@@ -1,0 +1,86 @@
+//===- bench/BenchCommon.h - Shared experiment drivers ---------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the paper-reproduction benches: compile+profile
+/// the suite once, then score estimators with the paper's protocols —
+/// static estimates against each profile averaged, profiles against the
+/// aggregate of the others (§3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BENCH_BENCHCOMMON_H
+#define BENCH_BENCHCOMMON_H
+
+#include "estimators/Pipeline.h"
+#include "metrics/BranchMiss.h"
+#include "metrics/Evaluation.h"
+#include "suite/Suite.h"
+#include "suite/SuiteRunner.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sest::bench {
+
+/// Prints to stdout (benches are tools; the iostream ban applies to
+/// libraries).
+inline void out(const std::string &S) { std::fputs(S.c_str(), stdout); }
+
+/// Compile + profile the whole suite, exiting loudly on failure.
+inline std::vector<CompiledSuiteProgram> loadSuite() {
+  std::vector<CompiledSuiteProgram> Suite = compileAndProfileSuite();
+  for (const CompiledSuiteProgram &P : Suite) {
+    if (!P.Ok) {
+      out("FATAL: " + P.Error + "\n");
+      std::exit(1);
+    }
+  }
+  return Suite;
+}
+
+/// Average over profiles of a static estimate's score.
+inline double
+scoreStaticEstimate(const CompiledSuiteProgram &P,
+                    const ProgramEstimate &E,
+                    const std::function<double(const ProgramEstimate &,
+                                               const Profile &)> &Score) {
+  return averageOverProfiles(P.Profiles, [&](const Profile &Prof) {
+    return Score(E, Prof);
+  });
+}
+
+/// Leave-one-out profiling score: each profile is predicted by the
+/// aggregate of the others.
+inline double scoreProfilingEstimate(
+    const CompiledSuiteProgram &P,
+    const std::function<double(const ProgramEstimate &, const Profile &)>
+        &Score) {
+  double Sum = 0;
+  for (size_t I = 0; I < P.Profiles.size(); ++I) {
+    Profile Agg = aggregateExcept(P.Profiles, I);
+    ProgramEstimate E = estimateFromProfile(Agg, *P.CG);
+    Sum += Score(E, P.Profiles[I]);
+  }
+  return Sum / static_cast<double>(P.Profiles.size());
+}
+
+/// Static estimate for a program under \p Options.
+inline ProgramEstimate estimateWith(const CompiledSuiteProgram &P,
+                                    const EstimatorOptions &Options) {
+  return estimateProgram(P.unit(), *P.Cfgs, *P.CG, Options);
+}
+
+/// Percent string with one decimal.
+inline std::string pct(double Fraction) { return formatPercent(Fraction); }
+
+} // namespace sest::bench
+
+#endif // BENCH_BENCHCOMMON_H

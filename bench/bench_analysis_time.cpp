@@ -1,0 +1,112 @@
+//===- bench/bench_analysis_time.cpp - Analysis-cost benchmark -------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark timings backing the paper's cost claim ("We limited
+/// our analysis methods to those whose running time was comparable to
+/// conventional sequential compiler optimizations", §2): per-program
+/// wall time for the frontend (lex+parse+sema), CFG construction, and
+/// each estimation pipeline, so the estimators can be compared against
+/// the cost of compilation itself.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sest;
+
+namespace {
+
+const SuiteProgram &programByIndex(int64_t I) {
+  return benchmarkSuite()[static_cast<size_t>(I)];
+}
+
+void BM_Frontend(benchmark::State &State) {
+  const SuiteProgram &P = programByIndex(State.range(0));
+  State.SetLabel(P.Name);
+  for (auto _ : State) {
+    AstContext Ctx;
+    DiagnosticEngine Diags;
+    bool Ok = parseAndAnalyze(P.Source, Ctx, Diags);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+
+void BM_CfgBuild(benchmark::State &State) {
+  const SuiteProgram &P = programByIndex(State.range(0));
+  State.SetLabel(P.Name);
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  parseAndAnalyze(P.Source, Ctx, Diags);
+  for (auto _ : State) {
+    CfgModule Cfgs = CfgModule::build(Ctx.unit(), Diags);
+    benchmark::DoNotOptimize(Cfgs.all().size());
+  }
+}
+
+void estimatePipeline(benchmark::State &State, IntraEstimatorKind Intra,
+                      InterEstimatorKind Inter) {
+  const SuiteProgram &P = programByIndex(State.range(0));
+  State.SetLabel(P.Name);
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  parseAndAnalyze(P.Source, Ctx, Diags);
+  CfgModule Cfgs = CfgModule::build(Ctx.unit(), Diags);
+  CallGraph CG = CallGraph::build(Ctx.unit(), Cfgs);
+  EstimatorOptions Options;
+  Options.Intra = Intra;
+  Options.Inter = Inter;
+  for (auto _ : State) {
+    ProgramEstimate E = estimateProgram(Ctx.unit(), Cfgs, CG, Options);
+    benchmark::DoNotOptimize(E.FunctionEstimates.data());
+  }
+}
+
+void BM_EstimateSmartDirect(benchmark::State &State) {
+  estimatePipeline(State, IntraEstimatorKind::Smart,
+                   InterEstimatorKind::Direct);
+}
+
+void BM_EstimateSmartMarkov(benchmark::State &State) {
+  estimatePipeline(State, IntraEstimatorKind::Smart,
+                   InterEstimatorKind::Markov);
+}
+
+void BM_EstimateMarkovMarkov(benchmark::State &State) {
+  estimatePipeline(State, IntraEstimatorKind::Markov,
+                   InterEstimatorKind::Markov);
+}
+
+void registerAll() {
+  int64_t N = static_cast<int64_t>(benchmarkSuite().size());
+  for (int64_t I = 0; I < N; ++I) {
+    benchmark::RegisterBenchmark("frontend", BM_Frontend)->Arg(I);
+    benchmark::RegisterBenchmark("cfg_build", BM_CfgBuild)->Arg(I);
+    benchmark::RegisterBenchmark("estimate/smart+direct",
+                                 BM_EstimateSmartDirect)
+        ->Arg(I);
+    benchmark::RegisterBenchmark("estimate/smart+markov",
+                                 BM_EstimateSmartMarkov)
+        ->Arg(I);
+    benchmark::RegisterBenchmark("estimate/markov+markov",
+                                 BM_EstimateMarkovMarkov)
+        ->Arg(I);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

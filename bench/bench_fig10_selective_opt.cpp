@@ -1,0 +1,134 @@
+//===- bench/bench_fig10_selective_opt.cpp - Fig. 10 ----------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 10: selective optimization of compress. Functions
+/// are ranked three ways — by the static Markov estimate of function
+/// invocations, by the first profile, and by the aggregated (normalized
+/// and summed) results of the remaining profiles — and the top 1..6 and
+/// all 16 functions are "optimized" (their simulated per-operation cost
+/// halves). Each binary runs on an input different from the ones used
+/// for profiling; we report the speedup over the unoptimized program.
+///
+/// Expected shape: performance rises monotonically with the number of
+/// optimized functions; compress is dominated by ~4 of its 16 functions,
+/// and the static estimate identifies the top 4 correctly (100% at the
+/// 25% cutoff), so its curve is flat after k=4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <algorithm>
+
+using namespace sest;
+using namespace sest::bench;
+
+namespace {
+
+/// Defined functions ranked by descending score.
+std::vector<const FunctionDecl *>
+rankFunctions(const CompiledSuiteProgram &P,
+              const std::vector<double> &Scores) {
+  std::vector<const FunctionDecl *> Fns;
+  for (const FunctionDecl *F : P.unit().Functions)
+    if (F->isDefined())
+      Fns.push_back(F);
+  std::stable_sort(Fns.begin(), Fns.end(),
+                   [&Scores](const FunctionDecl *A, const FunctionDecl *B) {
+                     return Scores[A->functionId()] >
+                            Scores[B->functionId()];
+                   });
+  return Fns;
+}
+
+/// Simulated cycles with the top \p K of \p Ranking optimized.
+double cyclesWithTopK(const CompiledSuiteProgram &P,
+                      const std::vector<const FunctionDecl *> &Ranking,
+                      size_t K, const ProgramInput &EvalInput) {
+  InterpOptions Options;
+  for (size_t I = 0; I < K && I < Ranking.size(); ++I)
+    Options.OptimizedFunctions.insert(Ranking[I]);
+  RunResult R = runProgram(P.unit(), *P.Cfgs, EvalInput, Options);
+  if (!R.Ok) {
+    out("FATAL: " + R.Error + "\n");
+    std::exit(1);
+  }
+  return R.TheProfile.TotalCycles;
+}
+
+std::string topNames(const std::vector<const FunctionDecl *> &Ranking,
+                     size_t K) {
+  std::string S;
+  for (size_t I = 0; I < K && I < Ranking.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += Ranking[I]->name();
+  }
+  return S;
+}
+
+} // namespace
+
+int main() {
+  out("== Figure 10: speedup from selectively optimizing compress ==\n\n");
+
+  const SuiteProgram *Spec = findSuiteProgram("compress");
+  CompiledSuiteProgram P = compileAndProfileProgram(*Spec);
+  if (!P.Ok) {
+    out("FATAL: " + P.Error + "\n");
+    return 1;
+  }
+
+  // Orderings. Evaluation runs on the last input; profiles come from the
+  // others ("an input set different from the one used for profiling").
+  const ProgramInput &EvalInput = Spec->Inputs.back();
+
+  EstimatorOptions Options; // smart intra + Markov inter
+  ProgramEstimate Static = estimateWith(P, Options);
+  std::vector<const FunctionDecl *> ByEstimate =
+      rankFunctions(P, Static.FunctionEstimates);
+
+  std::vector<double> FirstCounts(P.unit().Functions.size(), 0.0);
+  for (size_t F = 0; F < FirstCounts.size(); ++F)
+    FirstCounts[F] = P.Profiles[0].Functions[F].EntryCount;
+  std::vector<const FunctionDecl *> ByFirstProfile =
+      rankFunctions(P, FirstCounts);
+
+  std::vector<const Profile *> Rest;
+  for (size_t I = 1; I + 1 < P.Profiles.size(); ++I)
+    Rest.push_back(&P.Profiles[I]);
+  Profile Agg = aggregateProfiles(Rest);
+  std::vector<double> AggCounts(P.unit().Functions.size(), 0.0);
+  for (size_t F = 0; F < AggCounts.size(); ++F)
+    AggCounts[F] = Agg.Functions[F].EntryCount;
+  std::vector<const FunctionDecl *> ByAggregate =
+      rankFunctions(P, AggCounts);
+
+  double Base = cyclesWithTopK(P, ByEstimate, 0, EvalInput);
+
+  TextTable T;
+  T.setHeader({"Optimized", "estimate", "profile", "aggregate"});
+  std::vector<size_t> Ks = {0, 1, 2, 3, 4, 5, 6, 16};
+  for (size_t K : Ks) {
+    double E = cyclesWithTopK(P, ByEstimate, K, EvalInput);
+    double F = cyclesWithTopK(P, ByFirstProfile, K, EvalInput);
+    double A = cyclesWithTopK(P, ByAggregate, K, EvalInput);
+    T.addRow({std::to_string(K), formatDouble(Base / E, 3) + "x",
+              formatDouble(Base / F, 3) + "x",
+              formatDouble(Base / A, 3) + "x"});
+  }
+  out(T.str());
+
+  out("\nTop-4 by static estimate: " + topNames(ByEstimate, 4) + "\n");
+  out("Top-4 by first profile:   " + topNames(ByFirstProfile, 4) + "\n");
+  out("Top-4 by aggregate:       " + topNames(ByAggregate, 4) + "\n");
+  out("\nPaper: performance increases monotonically; at the 25% cutoff "
+      "(4 of 16 functions) the static estimate identifies the top four "
+      "correctly, and optimizing the remaining 12 adds nothing "
+      "measurable.\n");
+  return 0;
+}

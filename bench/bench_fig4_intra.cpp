@@ -1,0 +1,64 @@
+//===- bench/bench_fig4_intra.cpp - Fig. 4: intra-procedural scores --------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 4: weight-matching scores for estimates of
+/// intra-procedural basic-block frequency at the 5% cutoff — the loop
+/// heuristic, the smart heuristic, the Markov technique, and profiling
+/// with alternate inputs; final column the average across programs.
+///
+/// Expected shape: essentially all the benefit comes from loop iteration
+/// alone; smart adds a little; Markov-intra adds no significant
+/// improvement; all are close to profiling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace sest;
+using namespace sest::bench;
+
+int main() {
+  out("== Figure 4: intra-procedural weight matching (5% cutoff) ==\n\n");
+
+  const double Cutoff = 0.05;
+  std::vector<CompiledSuiteProgram> Suite = loadSuite();
+
+  TextTable T;
+  T.setHeader({"Program", "loop", "smart", "markov", "profiling"});
+  double Sums[4] = {0, 0, 0, 0};
+
+  for (const CompiledSuiteProgram &P : Suite) {
+    std::vector<size_t> Ids = scoredFunctionIds(P.unit());
+    auto Score = [&](const ProgramEstimate &E, const Profile &Prof) {
+      return intraProceduralScore(E, Prof, Ids, Cutoff);
+    };
+
+    double Col[4];
+    IntraEstimatorKind Kinds[3] = {IntraEstimatorKind::Loop,
+                                   IntraEstimatorKind::Smart,
+                                   IntraEstimatorKind::Markov};
+    for (int K = 0; K < 3; ++K) {
+      EstimatorOptions Options;
+      Options.Intra = Kinds[K];
+      ProgramEstimate E = estimateWith(P, Options);
+      Col[K] = scoreStaticEstimate(P, E, Score);
+    }
+    Col[3] = scoreProfilingEstimate(P, Score);
+
+    for (int K = 0; K < 4; ++K)
+      Sums[K] += Col[K];
+    T.addRow({P.Spec->Name, pct(Col[0]), pct(Col[1]), pct(Col[2]),
+              pct(Col[3])});
+  }
+  double N = static_cast<double>(Suite.size());
+  T.addRow({"AVERAGE", pct(Sums[0] / N), pct(Sums[1] / N),
+            pct(Sums[2] / N), pct(Sums[3] / N)});
+  out(T.str());
+  out("\nPaper shape: loop alone captures most of the benefit; smart and "
+      "Markov refine only slightly; the gap to profiling is small.\n");
+  return 0;
+}

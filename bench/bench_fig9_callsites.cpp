@@ -1,0 +1,63 @@
+//===- bench/bench_fig9_callsites.cpp - Fig. 9: call-site estimates --------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 9: weight-matching scores for global call-site
+/// frequency estimates at the 25% cutoff — intra (smart) combined with
+/// either the direct or the Markov function estimator, against
+/// profiling. Calls through pointers are omitted, as the paper does for
+/// inlining ("it is difficult or impossible to inline calls through
+/// pointers").
+///
+/// Expected shape: the combined technique identifies the busiest quarter
+/// of call sites with ~76% accuracy (Markov column average).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace sest;
+using namespace sest::bench;
+
+int main() {
+  out("== Figure 9: call-site weight matching (25% cutoff) ==\n\n");
+
+  const double Cutoff = 0.25;
+  std::vector<CompiledSuiteProgram> Suite = loadSuite();
+
+  TextTable T;
+  T.setHeader({"Program", "direct", "markov", "profiling"});
+  double Sums[3] = {0, 0, 0};
+
+  for (const CompiledSuiteProgram &P : Suite) {
+    auto Score = [&](const ProgramEstimate &E, const Profile &Prof) {
+      return callSiteScore(E, Prof, Cutoff);
+    };
+
+    InterEstimatorKind Kinds[2] = {InterEstimatorKind::Direct,
+                                   InterEstimatorKind::Markov};
+    double Col[3];
+    for (int K = 0; K < 2; ++K) {
+      EstimatorOptions Options;
+      Options.Intra = IntraEstimatorKind::Smart;
+      Options.Inter = Kinds[K];
+      Col[K] = scoreStaticEstimate(P, estimateWith(P, Options), Score);
+    }
+    Col[2] = scoreProfilingEstimate(P, Score);
+
+    for (int K = 0; K < 3; ++K)
+      Sums[K] += Col[K];
+    T.addRow({P.Spec->Name, pct(Col[0]), pct(Col[1]), pct(Col[2])});
+  }
+  double N = static_cast<double>(Suite.size());
+  T.addRow({"AVERAGE", pct(Sums[0] / N), pct(Sums[1] / N),
+            pct(Sums[2] / N)});
+  out(T.str());
+  out("\nPaper: the combination of intra- and inter-procedural "
+      "heuristics identifies the busiest 1/4 of call sites with 76% "
+      "accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+//===- examples/code_layout.cpp - Hot-path block layout --------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An intra-procedural client from the paper's introduction: "code
+/// layout for instruction cache packing" (McFarling [8]). This example
+/// lays out each function's basic blocks hottest-first using the static
+/// smart estimates, then scores the layout by the fraction of dynamic
+/// control transfers that fall through to the next block in memory —
+/// comparing the static layout against a profile-driven layout and
+/// against source order.
+///
+/// Usage: code_layout [suite-program-name]   (default: compress)
+///
+//===----------------------------------------------------------------------===//
+
+#include "estimators/Pipeline.h"
+#include "suite/SuiteRunner.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+using namespace sest;
+
+namespace {
+
+void print(const std::string &S) { std::fputs(S.c_str(), stdout); }
+
+/// Greedy layout: place blocks in decreasing weight, but start from the
+/// entry block (it must come first).
+std::vector<uint32_t> layoutByWeight(const Cfg &G,
+                                     const std::vector<double> &Weight) {
+  std::vector<uint32_t> Order(G.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&Weight](uint32_t A, uint32_t B) {
+                     return Weight[A] > Weight[B];
+                   });
+  // Entry first.
+  auto It = std::find(Order.begin(), Order.end(), G.entry()->id());
+  std::rotate(Order.begin(), It, It + 1);
+  return Order;
+}
+
+/// Fraction of dynamic transfers that fall through: arc (B, S) is free
+/// when S is placed immediately after B.
+double fallthroughQuality(const Cfg &G, const FunctionProfile &FP,
+                          const std::vector<uint32_t> &Order) {
+  std::vector<uint32_t> PosOf(G.size());
+  for (uint32_t I = 0; I < Order.size(); ++I)
+    PosOf[Order[I]] = I;
+  double Free = 0, Total = 0;
+  for (const auto &B : G.blocks()) {
+    const auto &Succs = B->successors();
+    for (size_t S = 0; S < Succs.size(); ++S) {
+      double N = FP.ArcCounts[B->id()][S];
+      Total += N;
+      if (PosOf[Succs[S]->id()] == PosOf[B->id()] + 1)
+        Free += N;
+    }
+  }
+  return Total > 0 ? Free / Total : 1.0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "compress";
+  const SuiteProgram *Spec = findSuiteProgram(Name);
+  if (!Spec) {
+    print("unknown suite program '" + Name + "'\n");
+    return 1;
+  }
+  CompiledSuiteProgram P = compileAndProfileProgram(*Spec);
+  if (!P.Ok) {
+    print(P.Error + "\n");
+    return 1;
+  }
+
+  EstimatorOptions Options;
+  IntraEstimates Static = computeIntraEstimates(P.unit(), *P.Cfgs, Options);
+  Profile Agg = aggregateProfiles(P.Profiles);
+
+  print("Block-layout quality for '" + Name + "' (fraction of dynamic "
+        "transfers that fall through):\n\n");
+  TextTable T;
+  T.setHeader({"Function", "Blocks", "Source order", "Static layout",
+               "Profile layout"});
+  double SumSrc = 0, SumStatic = 0, SumProf = 0;
+  unsigned Rows = 0;
+  for (const auto &[F, G] : P.Cfgs->all()) {
+    const FunctionProfile &FP = Agg.Functions[F->functionId()];
+    if (FP.EntryCount <= 0 || G->size() < 3)
+      continue;
+
+    std::vector<uint32_t> SourceOrder(G->size());
+    std::iota(SourceOrder.begin(), SourceOrder.end(), 0u);
+    std::vector<uint32_t> StaticOrder =
+        layoutByWeight(*G, Static.Blocks[F->functionId()]);
+    std::vector<uint32_t> ProfileOrder =
+        layoutByWeight(*G, FP.BlockCounts);
+
+    double QSrc = fallthroughQuality(*G, FP, SourceOrder);
+    double QStatic = fallthroughQuality(*G, FP, StaticOrder);
+    double QProf = fallthroughQuality(*G, FP, ProfileOrder);
+    SumSrc += QSrc;
+    SumStatic += QStatic;
+    SumProf += QProf;
+    ++Rows;
+    T.addRow({F->name(), std::to_string(G->size()), formatPercent(QSrc),
+              formatPercent(QStatic), formatPercent(QProf)});
+  }
+  if (Rows) {
+    T.addRow({"AVERAGE", "", formatPercent(SumSrc / Rows),
+              formatPercent(SumStatic / Rows),
+              formatPercent(SumProf / Rows)});
+  }
+  print(T.str());
+  print("\nA static layout close to the profile-driven one means the "
+        "estimates suffice for cache packing without profiling.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- examples/inline_advisor.cpp - Inlining from static estimates --------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating inter-procedural client (§5.3): "In function
+/// inlining, the crucial information derived from a profile is the
+/// frequency of execution of specific call sites." This example ranks a
+/// program's direct call sites by their statically-estimated global
+/// frequency and prints inlining advice, then checks the advice against
+/// a real profile.
+///
+/// Usage: inline_advisor [suite-program-name]   (default: gcc)
+///
+//===----------------------------------------------------------------------===//
+
+#include "estimators/Pipeline.h"
+#include "metrics/WeightMatching.h"
+#include "suite/SuiteRunner.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace sest;
+
+namespace {
+
+void print(const std::string &S) { std::fputs(S.c_str(), stdout); }
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "gcc";
+  const SuiteProgram *Spec = findSuiteProgram(Name);
+  if (!Spec) {
+    print("unknown suite program '" + Name + "'\n");
+    return 1;
+  }
+
+  CompiledSuiteProgram P = compileAndProfileProgram(*Spec);
+  if (!P.Ok) {
+    print(P.Error + "\n");
+    return 1;
+  }
+
+  // Static estimate: smart intra + Markov inter, as the paper recommends.
+  EstimatorOptions Options;
+  ProgramEstimate E = estimateProgram(P.unit(), *P.Cfgs, *P.CG, Options);
+
+  // Rank direct call sites by estimated global frequency.
+  std::vector<const CallSiteInfo *> Sites;
+  for (const CallSiteInfo &S : P.CG->sites())
+    if (!S.isIndirect())
+      Sites.push_back(&S);
+  std::stable_sort(Sites.begin(), Sites.end(),
+                   [&E](const CallSiteInfo *A, const CallSiteInfo *B) {
+                     return E.CallSiteEstimates[A->CallSiteId] >
+                            E.CallSiteEstimates[B->CallSiteId];
+                   });
+
+  Profile Agg = aggregateProfiles(P.Profiles);
+
+  print("Inlining advice for '" + Name + "' (top 10 direct call sites "
+        "by static estimate):\n\n");
+  TextTable T;
+  T.setHeader({"#", "Call site", "Line", "Estimated", "Actual (avg)"});
+  for (size_t I = 0; I < Sites.size() && I < 10; ++I) {
+    const CallSiteInfo *S = Sites[I];
+    T.addRow({std::to_string(I + 1),
+              S->Caller->name() + " -> " + S->Callee->name(),
+              std::to_string(S->Site->loc().Line),
+              formatDouble(E.CallSiteEstimates[S->CallSiteId], 1),
+              formatDouble(Agg.CallSiteCounts[S->CallSiteId] /
+                               static_cast<double>(P.Profiles.size()),
+                           1)});
+  }
+  print(T.str());
+
+  double Score = weightMatchingScore(E.CallSiteEstimates,
+                                     Agg.CallSiteCounts, 0.25);
+  print("\nWeight-matching of the advice vs. the aggregate profile at "
+        "the 25% cutoff: " + formatPercent(Score) + "\n");
+  print("(Indirect call sites are omitted: \"it is difficult or "
+        "impossible to inline calls through pointers\", paper §5.3.)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- examples/quickstart.cpp - API tour ----------------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: compile a mini-C program, run every static estimator on
+/// it, execute it to collect a real profile, and compare the two with
+/// the weight-matching metric — the whole public API in ~100 lines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/CallGraph.h"
+#include "estimators/Pipeline.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "metrics/Evaluation.h"
+#include "metrics/WeightMatching.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <cstdio>
+
+using namespace sest;
+
+namespace {
+
+// The paper's running example, plus a caller.
+const char *Program = R"(
+char *strchr(char *str, int c) {
+  while (*str) {
+    if (*str == c)
+      return str;
+    str++;
+  }
+  return NULL;
+}
+
+int count_hits(char *text, char *chars) {
+  int hits = 0;
+  while (*chars) {
+    if (strchr(text, *chars) != NULL)
+      hits++;
+    chars++;
+  }
+  return hits;
+}
+
+int main() {
+  char text[16] = "hello world";
+  char probe[8] = "aeiou";
+  return count_hits(text, probe);
+}
+)";
+
+void print(const std::string &S) { std::fputs(S.c_str(), stdout); }
+
+} // namespace
+
+int main() {
+  // 1. Compile: lex + parse + semantic analysis.
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  if (!parseAndAnalyze(Program, Ctx, Diags)) {
+    print("compile error:\n" + Diags.str() + "\n");
+    return 1;
+  }
+
+  // 2. Build control-flow graphs and the call graph.
+  CfgModule Cfgs = CfgModule::build(Ctx.unit(), Diags);
+  CallGraph CG = CallGraph::build(Ctx.unit(), Cfgs);
+
+  // 3. Static estimation: smart intra heuristics + Markov call graph.
+  EstimatorOptions Options;
+  Options.Intra = IntraEstimatorKind::Smart;
+  Options.Inter = InterEstimatorKind::Markov;
+  ProgramEstimate Estimate = estimateProgram(Ctx.unit(), Cfgs, CG, Options);
+
+  // 4. Run the program to collect the *actual* profile.
+  ProgramInput Input;
+  RunResult R = runProgram(Ctx.unit(), Cfgs, Input);
+  if (!R.Ok) {
+    print("runtime error: " + R.Error + "\n");
+    return 1;
+  }
+
+  // 5. Compare: estimated vs. actual function invocation counts.
+  print("Function invocation counts (estimated vs. actual):\n");
+  TextTable T;
+  T.setHeader({"Function", "Estimated", "Actual"});
+  for (const FunctionDecl *F : Ctx.unit().Functions) {
+    if (!F->isDefined())
+      continue;
+    T.addRow({F->name(),
+              formatDouble(Estimate.FunctionEstimates[F->functionId()], 2),
+              formatDouble(
+                  R.TheProfile.Functions[F->functionId()].EntryCount, 0)});
+  }
+  print(T.str());
+
+  // 6. Score with the paper's weight-matching metric.
+  auto Ids = scoredFunctionIds(Ctx.unit());
+  print("\nWeight-matching scores against this run:\n");
+  for (double Cutoff : {0.25, 0.50}) {
+    print("  functions @" + formatPercent(Cutoff, 0) + ": " +
+          formatPercent(
+              functionInvocationScore(Estimate, R.TheProfile, Ids, Cutoff)) +
+          "   blocks @" + formatPercent(Cutoff, 0) + ": " +
+          formatPercent(
+              intraProceduralScore(Estimate, R.TheProfile, Ids, Cutoff)) +
+          "\n");
+  }
+  print("\nProgram output was: exit code " + std::to_string(R.ExitCode) +
+        " (vowels found in \"hello world\": 2 -> e, o)\n");
+  return 0;
+}

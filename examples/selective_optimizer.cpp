@@ -1,0 +1,93 @@
+//===- examples/selective_optimizer.cpp - §6 on any program ----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §6 experiment generalized: pick any suite program, rank
+/// its functions by the static Markov invocation estimate, optimize the
+/// top k (halving their simulated per-operation cost), and report the
+/// speedup curve on a held-out input.
+///
+/// Usage: selective_optimizer [suite-program-name]   (default: compress)
+///
+//===----------------------------------------------------------------------===//
+
+#include "estimators/Pipeline.h"
+#include "suite/SuiteRunner.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace sest;
+
+namespace {
+
+void print(const std::string &S) { std::fputs(S.c_str(), stdout); }
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "compress";
+  const SuiteProgram *Spec = findSuiteProgram(Name);
+  if (!Spec) {
+    print("unknown suite program '" + Name + "'\n");
+    return 1;
+  }
+  CompiledSuiteProgram P = compileProgramOnly(*Spec);
+  if (!P.Ok) {
+    print(P.Error + "\n");
+    return 1;
+  }
+
+  EstimatorOptions Options;
+  ProgramEstimate E = estimateProgram(P.unit(), *P.Cfgs, *P.CG, Options);
+
+  std::vector<const FunctionDecl *> Ranking;
+  for (const FunctionDecl *F : P.unit().Functions)
+    if (F->isDefined())
+      Ranking.push_back(F);
+  std::stable_sort(Ranking.begin(), Ranking.end(),
+                   [&E](const FunctionDecl *A, const FunctionDecl *B) {
+                     return E.FunctionEstimates[A->functionId()] >
+                            E.FunctionEstimates[B->functionId()];
+                   });
+
+  const ProgramInput &Input = Spec->Inputs.back();
+  auto CyclesWith = [&](size_t K) {
+    InterpOptions Opts;
+    for (size_t I = 0; I < K && I < Ranking.size(); ++I)
+      Opts.OptimizedFunctions.insert(Ranking[I]);
+    RunResult R = runProgram(P.unit(), *P.Cfgs, Input, Opts);
+    if (!R.Ok) {
+      print("runtime error: " + R.Error + "\n");
+      std::exit(1);
+    }
+    return R.TheProfile.TotalCycles;
+  };
+
+  double Base = CyclesWith(0);
+  print("Selective optimization of '" + Name + "' on input '" +
+        Input.Name + "' (" + std::to_string(Ranking.size()) +
+        " functions, ranked by static Markov estimate):\n\n");
+  TextTable T;
+  T.setHeader({"k", "Function added", "Cycles", "Speedup"});
+  T.addRow({"0", "-", formatDouble(Base, 0), "1.000x"});
+  size_t MaxK = std::min<size_t>(Ranking.size(), 8);
+  for (size_t K = 1; K <= MaxK; ++K) {
+    double C = CyclesWith(K);
+    T.addRow({std::to_string(K), Ranking[K - 1]->name(),
+              formatDouble(C, 0), formatDouble(Base / C, 3) + "x"});
+  }
+  double All = CyclesWith(Ranking.size());
+  T.addRow({std::to_string(Ranking.size()), "(all)", formatDouble(All, 0),
+            formatDouble(Base / All, 3) + "x"});
+  print(T.str());
+  print("\nFlattening of the curve before k reaches the function count "
+        "means the estimate found the hot functions early (paper Fig. "
+        "10).\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every reproduced table and figure plus the test evidence.
+# Usage: scripts/regenerate.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" -j"$(nproc)" 2>&1 | tee test_output.txt
+
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "===== $(basename "$b") ====="
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,143 @@
+//===- callgraph/CallGraph.cpp - Call graphs -------------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sest;
+
+void sest::collectCallExprs(const Expr *E,
+                            std::vector<const CallExpr *> &Out) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::Call: {
+    const auto *C = exprCast<CallExpr>(E);
+    Out.push_back(C);
+    if (!C->directCallee())
+      collectCallExprs(C->callee(), Out);
+    for (const Expr *A : C->args())
+      collectCallExprs(A, Out);
+    return;
+  }
+  case ExprKind::Unary:
+    collectCallExprs(exprCast<UnaryExpr>(E)->operand(), Out);
+    return;
+  case ExprKind::Binary: {
+    const auto *B = exprCast<BinaryExpr>(E);
+    collectCallExprs(B->lhs(), Out);
+    collectCallExprs(B->rhs(), Out);
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = exprCast<AssignExpr>(E);
+    collectCallExprs(A->lhs(), Out);
+    collectCallExprs(A->rhs(), Out);
+    return;
+  }
+  case ExprKind::Conditional: {
+    const auto *C = exprCast<ConditionalExpr>(E);
+    collectCallExprs(C->cond(), Out);
+    collectCallExprs(C->trueExpr(), Out);
+    collectCallExprs(C->falseExpr(), Out);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = exprCast<IndexExpr>(E);
+    collectCallExprs(I->base(), Out);
+    collectCallExprs(I->index(), Out);
+    return;
+  }
+  case ExprKind::Member:
+    collectCallExprs(exprCast<MemberExpr>(E)->base(), Out);
+    return;
+  case ExprKind::Cast:
+    collectCallExprs(exprCast<CastExpr>(E)->operand(), Out);
+    return;
+  case ExprKind::InitList:
+    for (const Expr *El : exprCast<InitListExpr>(E)->elements())
+      collectCallExprs(El, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+CallGraph CallGraph::build(const TranslationUnit &Unit,
+                           const CfgModule &Cfgs) {
+  CallGraph CG;
+
+  // Discover call sites block by block so each site knows the block whose
+  // execution triggers it (needed to weight call-graph arcs with
+  // intra-procedural block frequencies, §5.2).
+  for (const auto &[F, G] : Cfgs.all()) {
+    for (const auto &B : G->blocks()) {
+      std::vector<const CallExpr *> Calls;
+      for (const CfgAction &A : B->actions()) {
+        if (A.ActionKind == CfgAction::Kind::Eval)
+          collectCallExprs(A.E, Calls);
+        else if (A.Var && A.Var->init())
+          collectCallExprs(A.Var->init(), Calls);
+      }
+      if (B->condOrValue())
+        collectCallExprs(B->condOrValue(), Calls);
+      for (const CallExpr *C : Calls) {
+        CallSiteInfo Info;
+        Info.Site = C;
+        Info.Caller = F;
+        Info.Callee = C->directCallee();
+        Info.Block = B.get();
+        Info.CallSiteId = C->callSiteId();
+        CG.Sites.push_back(Info);
+      }
+    }
+  }
+  std::sort(CG.Sites.begin(), CG.Sites.end(),
+            [](const CallSiteInfo &A, const CallSiteInfo &B) {
+              return A.CallSiteId < B.CallSiteId;
+            });
+
+  for (const CallSiteInfo &S : CG.Sites) {
+    CG.ByCaller[S.Caller].push_back(&S);
+    if (S.Callee)
+      CG.ByCallee[S.Callee].push_back(&S);
+    else
+      CG.Indirect.push_back(&S);
+  }
+
+  for (const FunctionDecl *F : Unit.Functions) {
+    if (F->addressTakenCount() > 0) {
+      CG.AddressTaken.emplace_back(F, F->addressTakenCount());
+      CG.TotalAddrWeight += F->addressTakenCount();
+    }
+  }
+
+  CG.DirectAdj.assign(Unit.Functions.size(), {});
+  for (const CallSiteInfo &S : CG.Sites) {
+    if (!S.Callee)
+      continue;
+    size_t From = S.Caller->functionId();
+    size_t To = S.Callee->functionId();
+    auto &Row = CG.DirectAdj[From];
+    if (std::find(Row.begin(), Row.end(), To) == Row.end())
+      Row.push_back(To);
+  }
+  return CG;
+}
+
+const std::vector<const CallSiteInfo *> &
+CallGraph::sitesInFunction(const FunctionDecl *F) const {
+  auto It = ByCaller.find(F);
+  return It == ByCaller.end() ? EmptyList : It->second;
+}
+
+const std::vector<const CallSiteInfo *> &
+CallGraph::sitesTargeting(const FunctionDecl *F) const {
+  auto It = ByCallee.find(F);
+  return It == ByCallee.end() ? EmptyList : It->second;
+}

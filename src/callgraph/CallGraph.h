@@ -1,0 +1,110 @@
+//===- callgraph/CallGraph.h - Call graphs ----------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static call graph: call sites discovered by walking every CFG's
+/// expressions, direct arcs between functions, indirect call sites, and
+/// the set of address-taken functions — the targets of the paper's
+/// "pointer node" (§5.2.1), whose outgoing arcs are weighted by the
+/// static number of address-of operations on each function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CALLGRAPH_CALLGRAPH_H
+#define CALLGRAPH_CALLGRAPH_H
+
+#include "cfg/Cfg.h"
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace sest {
+
+/// One static call site.
+struct CallSiteInfo {
+  const CallExpr *Site = nullptr;
+  const FunctionDecl *Caller = nullptr;
+  /// Null for indirect calls (through a function pointer).
+  const FunctionDecl *Callee = nullptr;
+  /// The basic block whose execution triggers this call.
+  const BasicBlock *Block = nullptr;
+  uint32_t CallSiteId = UINT32_MAX;
+
+  bool isIndirect() const { return Callee == nullptr; }
+};
+
+/// The call graph of one translation unit.
+class CallGraph {
+public:
+  /// Builds the graph from the CFGs (so every call site is attributed to
+  /// its basic block).
+  static CallGraph build(const TranslationUnit &Unit,
+                         const CfgModule &Cfgs);
+
+  /// All call sites, ordered by call-site id (gaps filled with empty
+  /// entries never occur: ids are dense).
+  const std::vector<CallSiteInfo> &sites() const { return Sites; }
+
+  /// Call sites located in \p F.
+  const std::vector<const CallSiteInfo *> &
+  sitesInFunction(const FunctionDecl *F) const;
+
+  /// Direct call sites targeting \p F.
+  const std::vector<const CallSiteInfo *> &
+  sitesTargeting(const FunctionDecl *F) const;
+
+  /// All indirect call sites.
+  const std::vector<const CallSiteInfo *> &indirectSites() const {
+    return Indirect;
+  }
+
+  /// Functions whose address is taken, with their static address-of
+  /// counts — the pointer node's arc weights.
+  const std::vector<std::pair<const FunctionDecl *, uint32_t>> &
+  addressTakenFunctions() const {
+    return AddressTaken;
+  }
+
+  /// Sum of all address-of counts (the pointer node's total out-weight).
+  uint32_t totalAddressTakenWeight() const { return TotalAddrWeight; }
+
+  /// Direct-call adjacency for SCC analyses: Succ[f] lists function ids
+  /// directly called from function id f. Indirect arcs are *not*
+  /// included; the Markov model adds the pointer node itself.
+  const std::vector<std::vector<size_t>> &directAdjacency() const {
+    return DirectAdj;
+  }
+
+private:
+  std::vector<CallSiteInfo> Sites;
+  std::map<const FunctionDecl *, std::vector<const CallSiteInfo *>>
+      ByCaller;
+  std::map<const FunctionDecl *, std::vector<const CallSiteInfo *>>
+      ByCallee;
+  std::vector<const CallSiteInfo *> Indirect;
+  std::vector<std::pair<const FunctionDecl *, uint32_t>> AddressTaken;
+  uint32_t TotalAddrWeight = 0;
+  std::vector<std::vector<size_t>> DirectAdj;
+  std::vector<const CallSiteInfo *> EmptyList;
+};
+
+/// Collects every CallExpr reachable from \p E, outermost first.
+void collectCallExprs(const Expr *E, std::vector<const CallExpr *> &Out);
+
+/// Renders the call graph as a Graphviz digraph: defined functions,
+/// merged direct arcs (annotated with site counts), and the pointer node
+/// with its address-weighted dashed arcs (§5.2.1). When
+/// \p FunctionFreqs is non-null, nodes show their estimated invocation
+/// counts.
+std::string
+printCallGraphDot(const TranslationUnit &Unit, const CallGraph &CG,
+                  const std::vector<double> *FunctionFreqs = nullptr);
+
+} // namespace sest
+
+#endif // CALLGRAPH_CALLGRAPH_H

@@ -1,0 +1,63 @@
+//===- callgraph/CallGraphDot.cpp - Graphviz export -------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/CallGraph.h"
+
+#include "support/StringUtils.h"
+
+using namespace sest;
+
+std::string
+sest::printCallGraphDot(const TranslationUnit &Unit, const CallGraph &CG,
+                        const std::vector<double> *FunctionFreqs) {
+  std::string Out = "digraph callgraph {\n"
+                    "  node [shape=ellipse, fontname=\"monospace\"];\n";
+  for (const FunctionDecl *F : Unit.Functions) {
+    if (!F->isDefined())
+      continue;
+    std::string Label = F->name();
+    if (FunctionFreqs && F->functionId() < FunctionFreqs->size())
+      Label += "\\n" +
+               formatDouble((*FunctionFreqs)[F->functionId()], 2);
+    Out += "  f" + std::to_string(F->functionId()) + " [label=\"" + Label +
+           "\"];\n";
+  }
+
+  // The pointer node, when any call goes through a function pointer.
+  if (!CG.indirectSites().empty()) {
+    Out += "  ptr [label=\"(pointer node)\", shape=diamond];\n";
+    for (const auto &[F, Weight] : CG.addressTakenFunctions())
+      Out += "  ptr -> f" + std::to_string(F->functionId()) +
+             " [style=dashed, label=\"" + std::to_string(Weight) + "\"];\n";
+  }
+
+  // Direct arcs, merged per pair with site counts.
+  std::map<std::pair<uint32_t, uint32_t>, unsigned> Arcs;
+  std::map<uint32_t, unsigned> IndirectFrom;
+  for (const CallSiteInfo &S : CG.sites()) {
+    if (S.Callee) {
+      if (S.Callee->isDefined())
+        ++Arcs[{S.Caller->functionId(), S.Callee->functionId()}];
+    } else {
+      ++IndirectFrom[S.Caller->functionId()];
+    }
+  }
+  for (const auto &[Arc, Count] : Arcs) {
+    Out += "  f" + std::to_string(Arc.first) + " -> f" +
+           std::to_string(Arc.second);
+    if (Count > 1)
+      Out += " [label=\"x" + std::to_string(Count) + "\"]";
+    Out += ";\n";
+  }
+  for (const auto &[From, Count] : IndirectFrom) {
+    Out += "  f" + std::to_string(From) + " -> ptr";
+    if (Count > 1)
+      Out += " [label=\"x" + std::to_string(Count) + "\"]";
+    Out += ";\n";
+  }
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,495 @@
+//===- cfg/Cfg.cpp - Control-flow graphs -----------------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace sest;
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+void BasicBlock::replaceSuccessor(BasicBlock *From, BasicBlock *To) {
+  for (BasicBlock *&S : Succs)
+    if (S == From)
+      S = To;
+  for (SwitchCase &C : Cases)
+    if (C.Target == From)
+      C.Target = To;
+}
+
+//===----------------------------------------------------------------------===//
+// Cfg
+//===----------------------------------------------------------------------===//
+
+BasicBlock *Cfg::createBlock(const std::string &LabelBase) {
+  unsigned N = LabelCounters[LabelBase]++;
+  std::string Label = N == 0 ? LabelBase : LabelBase + std::to_string(N);
+  Blocks.push_back(std::make_unique<BasicBlock>(
+      static_cast<uint32_t>(Blocks.size()), Label));
+  return Blocks.back().get();
+}
+
+void Cfg::recomputePreds() {
+  for (auto &B : Blocks)
+    B->Preds.clear();
+  for (auto &B : Blocks)
+    for (BasicBlock *S : B->successors())
+      S->Preds.push_back(B.get());
+}
+
+size_t Cfg::countArcSlots() const {
+  size_t N = 0;
+  for (const auto &B : Blocks)
+    N += B->successors().size();
+  return N;
+}
+
+void Cfg::simplify() {
+  // 1. Thread empty Goto blocks out of existence. Chains are followed
+  //    with a visited set: a cycle of empty forwarders is a genuine
+  //    infinite loop (e.g. "for(;;){}"), and resolves to the block where
+  //    the cycle closes, which then simply jumps to itself.
+  auto IsTrivialForwarder = [](const BasicBlock *B) {
+    return B->actions().empty() &&
+           B->terminator() == TerminatorKind::Goto;
+  };
+  auto ResolveForward = [&IsTrivialForwarder](BasicBlock *B) {
+    std::set<BasicBlock *> Visited;
+    while (IsTrivialForwarder(B) && Visited.insert(B).second)
+      B = B->successors()[0];
+    return B;
+  };
+  Entry = ResolveForward(Entry);
+  for (auto &B : Blocks)
+    for (BasicBlock *S : B->successors())
+      if (BasicBlock *T = ResolveForward(S); T != S)
+        B->replaceSuccessor(S, T);
+
+  // 2. Merge straight-line chains: A --goto--> B where B has exactly one
+  //    predecessor. Requires up-to-date preds and reachability.
+  auto ComputeReachable = [this]() {
+    std::set<BasicBlock *> Reachable;
+    std::vector<BasicBlock *> Work{Entry};
+    while (!Work.empty()) {
+      BasicBlock *B = Work.back();
+      Work.pop_back();
+      if (!Reachable.insert(B).second)
+        continue;
+      for (BasicBlock *S : B->successors())
+        Work.push_back(S);
+    }
+    return Reachable;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::set<BasicBlock *> Reachable = ComputeReachable();
+    recomputePreds();
+    for (auto &APtr : Blocks) {
+      BasicBlock *A = APtr.get();
+      if (!Reachable.count(A) ||
+          A->terminator() != TerminatorKind::Goto)
+        continue;
+      BasicBlock *B = A->successors()[0];
+      if (B == A || B == Entry)
+        continue;
+      // Count only reachable predecessors.
+      unsigned LivePreds = 0;
+      for (BasicBlock *P : B->predecessors())
+        if (Reachable.count(P))
+          ++LivePreds;
+      if (LivePreds != 1)
+        continue;
+      // Merge B into A.
+      for (const CfgAction &Act : B->actions())
+        A->Actions.push_back(Act);
+      A->TermKind = B->TermKind;
+      A->CondOrValue = B->CondOrValue;
+      A->TermOrigin = B->TermOrigin;
+      A->Cases = B->Cases;
+      A->Succs = B->Succs;
+      if (!A->Anchor && B->Anchor) {
+        A->Anchor = B->Anchor;
+        A->AnchorK = B->AnchorK;
+      }
+      B->Succs.clear();
+      B->TermKind = TerminatorKind::Unreachable;
+      Changed = true;
+      break; // Restart: preds are stale.
+    }
+  }
+
+  // 3. Drop unreachable blocks, renumber, and put the entry first.
+  std::set<BasicBlock *> Reachable = ComputeReachable();
+  std::vector<std::unique_ptr<BasicBlock>> Kept;
+  for (auto &B : Blocks) {
+    if (B.get() == Entry)
+      Kept.insert(Kept.begin(), std::move(B));
+    else if (Reachable.count(B.get()))
+      Kept.push_back(std::move(B));
+  }
+  Blocks = std::move(Kept);
+  for (size_t I = 0; I < Blocks.size(); ++I)
+    Blocks[I]->setId(static_cast<uint32_t>(I));
+  recomputePreds();
+}
+
+//===----------------------------------------------------------------------===//
+// Builder
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a Cfg from a function body.
+class CfgBuilder {
+public:
+  CfgBuilder(Cfg &G, DiagnosticEngine &Diags) : G(G), Diags(Diags) {}
+
+  void run() {
+    Cur = G.createBlock("entry");
+    G.setEntry(Cur);
+    buildStmt(G.function()->body());
+    if (!Cur->isTerminated()) {
+      // Falling off the end: implicit "return;" (non-void functions get a
+      // default zero from the interpreter, as a diagnostic aid).
+      Cur->setReturn(nullptr);
+      Cur->markTerminated();
+    }
+  }
+
+private:
+  struct LoopContext {
+    BasicBlock *BreakTarget;
+    BasicBlock *ContinueTarget; ///< Null for switch contexts.
+  };
+
+  /// Anchors \p S on the current block if it has no anchor yet.
+  void noteStmt(const Stmt *S, AnchorKind K = AnchorKind::Exec) {
+    if (!Cur->anchor())
+      Cur->setAnchor(S, K);
+  }
+
+  /// Ends the current block (if still open) with a jump to \p Target.
+  void finishWithGoto(BasicBlock *Target) {
+    if (Cur->isTerminated())
+      return;
+    Cur->setGoto(Target);
+    Cur->markTerminated();
+  }
+
+  /// Starts a fresh block for code after a terminator (dead unless a
+  /// label re-enters it).
+  void startDeadBlock() { Cur = G.createBlock("dead"); }
+
+  BasicBlock *labelBlock(const std::string &Name) {
+    auto [It, Inserted] = LabelBlocks.emplace(Name, nullptr);
+    if (Inserted)
+      It->second = G.createBlock("label." + Name);
+    return It->second;
+  }
+
+  BasicBlock *continueTarget() {
+    for (auto It = Loops.rbegin(); It != Loops.rend(); ++It)
+      if (It->ContinueTarget)
+        return It->ContinueTarget;
+    return nullptr;
+  }
+
+  void buildStmt(const Stmt *S);
+  void buildIf(const IfStmt *S);
+  void buildWhile(const WhileStmt *S);
+  void buildDoWhile(const DoWhileStmt *S);
+  void buildFor(const ForStmt *S);
+  void buildSwitch(const SwitchStmt *S);
+
+  Cfg &G;
+  DiagnosticEngine &Diags;
+  BasicBlock *Cur = nullptr;
+  std::vector<LoopContext> Loops;
+  std::map<std::string, BasicBlock *> LabelBlocks;
+};
+
+void CfgBuilder::buildStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Expr: {
+    const auto *E = stmtCast<ExprStmt>(S);
+    noteStmt(S);
+    Cur->actions().push_back(
+        {CfgAction::Kind::Eval, S, E->expr(), nullptr});
+    return;
+  }
+  case StmtKind::Decl: {
+    const auto *D = stmtCast<DeclStmt>(S);
+    noteStmt(S);
+    Cur->actions().push_back(
+        {CfgAction::Kind::DeclInit, S, nullptr, D->var()});
+    return;
+  }
+  case StmtKind::Compound:
+    for (const Stmt *Child : stmtCast<CompoundStmt>(S)->body())
+      buildStmt(Child);
+    return;
+  case StmtKind::If:
+    buildIf(stmtCast<IfStmt>(S));
+    return;
+  case StmtKind::While:
+    buildWhile(stmtCast<WhileStmt>(S));
+    return;
+  case StmtKind::DoWhile:
+    buildDoWhile(stmtCast<DoWhileStmt>(S));
+    return;
+  case StmtKind::For:
+    buildFor(stmtCast<ForStmt>(S));
+    return;
+  case StmtKind::Switch:
+    buildSwitch(stmtCast<SwitchStmt>(S));
+    return;
+  case StmtKind::CaseLabel:
+  case StmtKind::DefaultLabel:
+    // Reached only when a case label is nested below the immediate switch
+    // body (e.g. inside a loop inside the switch); that is valid C
+    // (Duff's device) but outside our subset.
+    Diags.error(S->loc(),
+                "case/default labels nested inside other statements are "
+                "not supported");
+    return;
+  case StmtKind::Break: {
+    noteStmt(S);
+    if (Loops.empty())
+      return; // sema already diagnosed
+    finishWithGoto(Loops.back().BreakTarget);
+    startDeadBlock();
+    return;
+  }
+  case StmtKind::Continue: {
+    noteStmt(S);
+    BasicBlock *Target = continueTarget();
+    if (!Target)
+      return; // sema already diagnosed
+    finishWithGoto(Target);
+    startDeadBlock();
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = stmtCast<ReturnStmt>(S);
+    noteStmt(S);
+    if (!Cur->isTerminated()) {
+      Cur->setReturn(R->value());
+      Cur->markTerminated();
+    }
+    startDeadBlock();
+    return;
+  }
+  case StmtKind::Goto: {
+    const auto *Go = stmtCast<GotoStmt>(S);
+    noteStmt(S);
+    finishWithGoto(labelBlock(Go->target()));
+    startDeadBlock();
+    return;
+  }
+  case StmtKind::Label: {
+    const auto *L = stmtCast<LabelStmt>(S);
+    BasicBlock *B = labelBlock(L->name());
+    finishWithGoto(B);
+    Cur = B;
+    noteStmt(S);
+    return;
+  }
+  case StmtKind::Null:
+    return;
+  }
+}
+
+void CfgBuilder::buildIf(const IfStmt *S) {
+  noteStmt(S, AnchorKind::Test);
+  BasicBlock *ThenB = G.createBlock("if.then");
+  ThenB->setAnchor(S->thenStmt(), AnchorKind::Exec);
+  BasicBlock *ElseB = nullptr;
+  if (S->elseStmt()) {
+    ElseB = G.createBlock("if.else");
+    ElseB->setAnchor(S->elseStmt(), AnchorKind::Exec);
+  }
+  BasicBlock *JoinB = G.createBlock("if.end");
+  JoinB->setAnchor(S, AnchorKind::Exec);
+
+  if (!Cur->isTerminated()) {
+    Cur->setCondBranch(S->cond(), ThenB, ElseB ? ElseB : JoinB);
+    Cur->setTerminatorOrigin(S);
+    Cur->markTerminated();
+  }
+
+  Cur = ThenB;
+  buildStmt(S->thenStmt());
+  finishWithGoto(JoinB);
+
+  if (ElseB) {
+    Cur = ElseB;
+    buildStmt(S->elseStmt());
+    finishWithGoto(JoinB);
+  }
+  Cur = JoinB;
+}
+
+void CfgBuilder::buildWhile(const WhileStmt *S) {
+  BasicBlock *CondB = G.createBlock("while.cond");
+  CondB->setAnchor(S, AnchorKind::Test);
+  BasicBlock *BodyB = G.createBlock("while.body");
+  BodyB->setAnchor(S->body(), AnchorKind::Exec);
+  BasicBlock *ExitB = G.createBlock("while.end");
+  ExitB->setAnchor(S, AnchorKind::Exec);
+
+  finishWithGoto(CondB);
+  CondB->setCondBranch(S->cond(), BodyB, ExitB);
+  CondB->setTerminatorOrigin(S);
+  CondB->markTerminated();
+
+  Cur = BodyB;
+  Loops.push_back({ExitB, CondB});
+  buildStmt(S->body());
+  Loops.pop_back();
+  finishWithGoto(CondB);
+  Cur = ExitB;
+}
+
+void CfgBuilder::buildDoWhile(const DoWhileStmt *S) {
+  BasicBlock *BodyB = G.createBlock("do.body");
+  BodyB->setAnchor(S->body(), AnchorKind::Exec);
+  BasicBlock *CondB = G.createBlock("do.cond");
+  CondB->setAnchor(S, AnchorKind::Test);
+  BasicBlock *ExitB = G.createBlock("do.end");
+  ExitB->setAnchor(S, AnchorKind::Exec);
+
+  finishWithGoto(BodyB);
+  Cur = BodyB;
+  Loops.push_back({ExitB, CondB});
+  buildStmt(S->body());
+  Loops.pop_back();
+  finishWithGoto(CondB);
+
+  CondB->setCondBranch(S->cond(), BodyB, ExitB);
+  CondB->setTerminatorOrigin(S);
+  CondB->markTerminated();
+  Cur = ExitB;
+}
+
+void CfgBuilder::buildFor(const ForStmt *S) {
+  if (S->init())
+    buildStmt(S->init());
+
+  BasicBlock *CondB = G.createBlock("for.cond");
+  CondB->setAnchor(S, AnchorKind::Test);
+  BasicBlock *BodyB = G.createBlock("for.body");
+  BodyB->setAnchor(S->body(), AnchorKind::Exec);
+  BasicBlock *ExitB = G.createBlock("for.end");
+  ExitB->setAnchor(S, AnchorKind::Exec);
+  BasicBlock *StepB = nullptr;
+  if (S->step()) {
+    StepB = G.createBlock("for.step");
+    StepB->setAnchor(S, AnchorKind::Step);
+    StepB->actions().push_back(
+        {CfgAction::Kind::Eval, S, S->step(), nullptr});
+    StepB->setGoto(CondB);
+    StepB->markTerminated();
+  }
+
+  finishWithGoto(CondB);
+  if (S->cond())
+    CondB->setCondBranch(S->cond(), BodyB, ExitB);
+  else
+    CondB->setGoto(BodyB);
+  CondB->setTerminatorOrigin(S);
+  CondB->markTerminated();
+
+  Cur = BodyB;
+  Loops.push_back({ExitB, StepB ? StepB : CondB});
+  buildStmt(S->body());
+  Loops.pop_back();
+  finishWithGoto(StepB ? StepB : CondB);
+  Cur = ExitB;
+}
+
+void CfgBuilder::buildSwitch(const SwitchStmt *S) {
+  noteStmt(S, AnchorKind::Test);
+  BasicBlock *SwitchB = Cur;
+  BasicBlock *ExitB = G.createBlock("switch.end");
+  ExitB->setAnchor(S, AnchorKind::Exec);
+
+  std::vector<SwitchCase> Cases;
+  BasicBlock *DefaultB = nullptr;
+
+  // Statements before the first label are dead code in C.
+  Cur = G.createBlock("switch.deadhead");
+  Loops.push_back({ExitB, nullptr});
+
+  const auto *Body = stmtDynCast<CompoundStmt>(S->body());
+  std::vector<const Stmt *> Children;
+  if (Body)
+    Children.assign(Body->body().begin(), Body->body().end());
+  else if (S->body())
+    Children.push_back(S->body());
+
+  for (const Stmt *Child : Children) {
+    if (const auto *Case = stmtDynCast<CaseLabelStmt>(Child)) {
+      BasicBlock *B = G.createBlock("case");
+      B->setAnchor(Case, AnchorKind::Exec);
+      finishWithGoto(B); // fallthrough from the previous arm
+      Cur = B;
+      Cases.push_back({Case->value(), B, 1});
+      continue;
+    }
+    if (stmtDynCast<DefaultLabelStmt>(Child)) {
+      BasicBlock *B = G.createBlock("default");
+      B->setAnchor(Child, AnchorKind::Exec);
+      finishWithGoto(B);
+      Cur = B;
+      DefaultB = B;
+      continue;
+    }
+    buildStmt(Child);
+  }
+  finishWithGoto(ExitB);
+  Loops.pop_back();
+
+  if (!SwitchB->isTerminated()) {
+    SwitchB->setSwitch(S->cond(), std::move(Cases),
+                       DefaultB ? DefaultB : ExitB);
+    SwitchB->setTerminatorOrigin(S);
+    SwitchB->markTerminated();
+  }
+  Cur = ExitB;
+}
+
+} // namespace
+
+std::unique_ptr<Cfg> sest::buildCfg(const FunctionDecl *F,
+                                    DiagnosticEngine &Diags) {
+  assert(F->isDefined() && "cannot build CFG for undefined function");
+  auto G = std::make_unique<Cfg>(F);
+  CfgBuilder B(*G, Diags);
+  B.run();
+  G->simplify();
+  return G;
+}
+
+CfgModule CfgModule::build(const TranslationUnit &Unit,
+                           DiagnosticEngine &Diags) {
+  CfgModule M;
+  for (const FunctionDecl *F : Unit.Functions) {
+    if (!F->isDefined())
+      continue;
+    auto G = buildCfg(F, Diags);
+    M.Ordered.emplace_back(F, G.get());
+    M.ByFunction.emplace(F, std::move(G));
+  }
+  return M;
+}

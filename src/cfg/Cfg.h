@@ -1,0 +1,265 @@
+//===- cfg/Cfg.h - Control-flow graphs ---------------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable control-flow graphs for mini-C functions. Unlike a purely
+/// analytical CFG, these blocks carry the statement-level actions needed
+/// to *run* the function: the profiling interpreter executes the CFG
+/// directly, which makes basic-block, arc, and branch-outcome counts exact
+/// by construction (the paper instrumented gcc's CFG for the same reason).
+///
+/// A block holds a sequence of actions (expression evaluations and local
+/// declarations) and ends in exactly one terminator: an unconditional
+/// jump, a two-way conditional branch, a switch, or a return. Arcs are
+/// identified by (block, successor-slot) so parallel edges to the same
+/// target (e.g. two switch cases) stay distinct.
+///
+/// Each block records an *anchor* — the AST statement whose execution it
+/// represents, and whether it represents the statement body or its test —
+/// which is how AST-level frequency estimates are "mapped to blocks in the
+/// CFG" (paper §4.2, Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFG_CFG_H
+#define CFG_CFG_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sest {
+
+class BasicBlock;
+
+/// One executable step inside a basic block.
+struct CfgAction {
+  enum class Kind {
+    Eval,     ///< Evaluate Expr for its side effects.
+    DeclInit, ///< Bring Var into scope and run its initializer.
+  };
+  Kind ActionKind;
+  /// The source statement this action came from (never null).
+  const Stmt *Origin;
+  const Expr *E = nullptr;       ///< For Eval.
+  const VarDecl *Var = nullptr;  ///< For DeclInit.
+};
+
+/// How a basic block ends.
+enum class TerminatorKind {
+  Goto,       ///< Unconditional jump to succ(0).
+  CondBranch, ///< Cond true → succ(0), false → succ(1).
+  Switch,     ///< Dispatch on Cond over Cases, else DefaultTarget.
+  Return,     ///< Function return (optional value).
+  Unreachable,///< Fell off the end of a non-void function, or dead code.
+};
+
+/// One switch arm.
+struct SwitchCase {
+  int64_t Value;
+  BasicBlock *Target;
+  /// Number of case labels merged into this arm (always 1 after
+  /// construction; kept for symmetry with the paper's case-label
+  /// weighting, which counts labels per *target block*).
+  unsigned NumLabels = 1;
+};
+
+/// What aspect of its anchor statement a block represents: the statement
+/// body (Exec), the evaluation of its controlling test (Test), or a loop's
+/// step expression (Step). Loops are the only statements where the three
+/// frequencies differ under the paper's loop model.
+enum class AnchorKind { Exec, Test, Step };
+
+/// A basic block.
+class BasicBlock {
+public:
+  BasicBlock(uint32_t Id, std::string Label)
+      : Id(Id), Label(std::move(Label)) {}
+
+  uint32_t id() const { return Id; }
+  void setId(uint32_t NewId) { Id = NewId; }
+  const std::string &label() const { return Label; }
+
+  std::vector<CfgAction> &actions() { return Actions; }
+  const std::vector<CfgAction> &actions() const { return Actions; }
+
+  TerminatorKind terminator() const { return TermKind; }
+  /// The branch/switch condition or return value (may be null for plain
+  /// "return;").
+  const Expr *condOrValue() const { return CondOrValue; }
+
+  /// The statement whose condition this block's terminator evaluates (the
+  /// IfStmt / WhileStmt / DoWhileStmt / ForStmt / SwitchStmt), or null for
+  /// unconditional terminators. Survives block merging.
+  const Stmt *terminatorOrigin() const { return TermOrigin; }
+  void setTerminatorOrigin(const Stmt *S) { TermOrigin = S; }
+
+  /// The statement this block's frequency corresponds to (may be null for
+  /// synthetic blocks such as the entry or a join).
+  const Stmt *anchor() const { return Anchor; }
+  AnchorKind anchorKind() const { return AnchorK; }
+  void setAnchor(const Stmt *S, AnchorKind K) {
+    Anchor = S;
+    AnchorK = K;
+  }
+
+  // Terminator setters (used by the builder).
+  void setGoto(BasicBlock *Target) {
+    TermKind = TerminatorKind::Goto;
+    Succs = {Target};
+  }
+  void setCondBranch(const Expr *Cond, BasicBlock *TrueB,
+                     BasicBlock *FalseB) {
+    TermKind = TerminatorKind::CondBranch;
+    CondOrValue = Cond;
+    Succs = {TrueB, FalseB};
+  }
+  void setSwitch(const Expr *Cond, std::vector<SwitchCase> TheCases,
+                 BasicBlock *DefaultTarget) {
+    TermKind = TerminatorKind::Switch;
+    CondOrValue = Cond;
+    Cases = std::move(TheCases);
+    Succs.clear();
+    for (const SwitchCase &C : Cases)
+      Succs.push_back(C.Target);
+    Succs.push_back(DefaultTarget);
+  }
+  void setReturn(const Expr *Value) {
+    TermKind = TerminatorKind::Return;
+    CondOrValue = Value;
+    Succs.clear();
+  }
+  void setUnreachable() {
+    TermKind = TerminatorKind::Unreachable;
+    Succs.clear();
+  }
+
+  /// Successor blocks in slot order: CondBranch = [true, false]; Switch =
+  /// [case0..caseN-1, default]; Goto = [target].
+  const std::vector<BasicBlock *> &successors() const { return Succs; }
+  /// Replaces every successor equal to \p From with \p To.
+  void replaceSuccessor(BasicBlock *From, BasicBlock *To);
+
+  /// Switch arms; valid only for Switch terminators.
+  const std::vector<SwitchCase> &switchCases() const { return Cases; }
+  /// The default target of a switch (the last successor slot).
+  BasicBlock *switchDefault() const {
+    assert(TermKind == TerminatorKind::Switch && !Succs.empty());
+    return Succs.back();
+  }
+
+  /// Predecessors (recomputed by Cfg::recomputePreds).
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+
+  bool isTerminated() const { return Terminated; }
+  void markTerminated() { Terminated = true; }
+
+private:
+  friend class Cfg;
+  uint32_t Id;
+  std::string Label;
+  std::vector<CfgAction> Actions;
+  TerminatorKind TermKind = TerminatorKind::Unreachable;
+  const Expr *CondOrValue = nullptr;
+  const Stmt *TermOrigin = nullptr;
+  std::vector<SwitchCase> Cases;
+  std::vector<BasicBlock *> Succs;
+  std::vector<BasicBlock *> Preds;
+  const Stmt *Anchor = nullptr;
+  AnchorKind AnchorK = AnchorKind::Exec;
+  bool Terminated = false;
+};
+
+/// The control-flow graph of one function.
+class Cfg {
+public:
+  explicit Cfg(const FunctionDecl *F) : Function(F) {}
+  Cfg(const Cfg &) = delete;
+  Cfg &operator=(const Cfg &) = delete;
+
+  const FunctionDecl *function() const { return Function; }
+  BasicBlock *entry() const { return Entry; }
+  void setEntry(BasicBlock *B) { Entry = B; }
+
+  /// All blocks, entry first; ids are dense indices into this vector.
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  size_t size() const { return Blocks.size(); }
+  BasicBlock *block(uint32_t Id) const { return Blocks[Id].get(); }
+
+  /// Creates a new block with a function-unique label derived from
+  /// \p LabelBase.
+  BasicBlock *createBlock(const std::string &LabelBase);
+
+  /// Recomputes predecessor lists from successor lists.
+  void recomputePreds();
+
+  /// Removes unreachable blocks and merges straight-line chains; renumbers
+  /// ids and recomputes predecessors. Entry stays first.
+  void simplify();
+
+  /// Total number of arc slots (sum of successor counts), for profile
+  /// sizing.
+  size_t countArcSlots() const;
+
+private:
+  const FunctionDecl *Function;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  BasicBlock *Entry = nullptr;
+  std::map<std::string, unsigned> LabelCounters;
+};
+
+/// Builds the CFG of \p F (which must be defined). Problems — e.g. a goto
+/// to a label that sema already rejected — are reported to \p Diags.
+std::unique_ptr<Cfg> buildCfg(const FunctionDecl *F,
+                              DiagnosticEngine &Diags);
+
+/// CFGs for every defined function of a translation unit, indexed by
+/// function id.
+class CfgModule {
+public:
+  /// Builds CFGs for all defined functions in \p Unit.
+  static CfgModule build(const TranslationUnit &Unit,
+                         DiagnosticEngine &Diags);
+
+  /// The CFG for \p F, or null for builtins/undefined functions.
+  const Cfg *cfg(const FunctionDecl *F) const {
+    auto It = ByFunction.find(F);
+    return It == ByFunction.end() ? nullptr : It->second.get();
+  }
+  Cfg *cfg(const FunctionDecl *F) {
+    auto It = ByFunction.find(F);
+    return It == ByFunction.end() ? nullptr : It->second.get();
+  }
+
+  /// Iteration over (function, cfg) pairs in function-id order.
+  const std::vector<std::pair<const FunctionDecl *, Cfg *>> &all() const {
+    return Ordered;
+  }
+
+private:
+  std::map<const FunctionDecl *, std::unique_ptr<Cfg>> ByFunction;
+  std::vector<std::pair<const FunctionDecl *, Cfg *>> Ordered;
+};
+
+/// Renders \p G as readable text (one section per block with actions,
+/// terminator, successors and anchor).
+std::string printCfg(const Cfg &G);
+
+/// Renders \p G as a Graphviz digraph (the paper's Figure 6). When
+/// \p BlockWeights is non-null, each block's frequency is shown.
+std::string printCfgDot(const Cfg &G,
+                        const std::vector<double> *BlockWeights = nullptr);
+
+} // namespace sest
+
+#endif // CFG_CFG_H

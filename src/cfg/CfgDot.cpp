@@ -1,0 +1,78 @@
+//===- cfg/CfgDot.cpp - Graphviz export ------------------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "lang/AstPrinter.h"
+#include "support/StringUtils.h"
+
+using namespace sest;
+
+namespace {
+
+/// Escapes a string for a DOT label.
+std::string dotEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string sest::printCfgDot(const Cfg &G,
+                              const std::vector<double> *BlockWeights) {
+  std::string Out = "digraph \"" + dotEscape(G.function()->name()) +
+                    "\" {\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (const auto &B : G.blocks()) {
+    std::string Label = B->label();
+    if (BlockWeights && B->id() < BlockWeights->size())
+      Label += "\\nfreq " + formatDouble((*BlockWeights)[B->id()], 2);
+    for (const CfgAction &A : B->actions()) {
+      Label += "\\n";
+      Label += dotEscape(A.ActionKind == CfgAction::Kind::Eval
+                             ? printExpr(A.E)
+                             : A.Var->name() + " = ...");
+    }
+    if (B->terminator() == TerminatorKind::CondBranch)
+      Label += "\\nbranch " + dotEscape(printExpr(B->condOrValue()));
+    else if (B->terminator() == TerminatorKind::Switch)
+      Label += "\\nswitch " + dotEscape(printExpr(B->condOrValue()));
+    else if (B->terminator() == TerminatorKind::Return)
+      Label += "\\nreturn";
+
+    Out += "  n" + std::to_string(B->id()) + " [label=\"" + Label + "\"";
+    if (B.get() == G.entry())
+      Out += ", penwidth=2";
+    Out += "];\n";
+  }
+  for (const auto &B : G.blocks()) {
+    const auto &Succs = B->successors();
+    for (size_t S = 0; S < Succs.size(); ++S) {
+      Out += "  n" + std::to_string(B->id()) + " -> n" +
+             std::to_string(Succs[S]->id());
+      if (B->terminator() == TerminatorKind::CondBranch)
+        Out += S == 0 ? " [label=\"T\"]" : " [label=\"F\"]";
+      else if (B->terminator() == TerminatorKind::Switch) {
+        if (S + 1 == Succs.size())
+          Out += " [label=\"default\"]";
+        else
+          Out += " [label=\"" +
+                 std::to_string(B->switchCases()[S].Value) + "\"]";
+      }
+      Out += ";\n";
+    }
+  }
+  Out += "}\n";
+  return Out;
+}

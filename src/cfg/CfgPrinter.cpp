@@ -1,0 +1,58 @@
+//===- cfg/CfgPrinter.cpp - CFG text rendering -----------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "lang/AstPrinter.h"
+
+using namespace sest;
+
+std::string sest::printCfg(const Cfg &G) {
+  std::string Out = "cfg " + G.function()->name() + " (" +
+                    std::to_string(G.size()) + " blocks)\n";
+  for (const auto &B : G.blocks()) {
+    Out += "  " + std::to_string(B->id()) + ": " + B->label();
+    if (B.get() == G.entry())
+      Out += " [entry]";
+    Out += "\n";
+    for (const CfgAction &A : B->actions()) {
+      if (A.ActionKind == CfgAction::Kind::Eval)
+        Out += "      eval " + printExpr(A.E) + "\n";
+      else
+        Out += "      decl " + A.Var->name() +
+               (A.Var->init() ? " = " + printExpr(A.Var->init()) : "") +
+               "\n";
+    }
+    switch (B->terminator()) {
+    case TerminatorKind::Goto:
+      Out += "      goto -> " + B->successors()[0]->label() + "\n";
+      break;
+    case TerminatorKind::CondBranch:
+      Out += "      branch " + printExpr(B->condOrValue()) + " ? " +
+             B->successors()[0]->label() + " : " +
+             B->successors()[1]->label() + "\n";
+      break;
+    case TerminatorKind::Switch: {
+      Out += "      switch " + printExpr(B->condOrValue()) + "\n";
+      for (const SwitchCase &C : B->switchCases())
+        Out += "        case " + std::to_string(C.Value) + " -> " +
+               C.Target->label() + "\n";
+      Out += "        default -> " + B->switchDefault()->label() + "\n";
+      break;
+    }
+    case TerminatorKind::Return:
+      Out += "      return";
+      if (B->condOrValue())
+        Out += " " + printExpr(B->condOrValue());
+      Out += "\n";
+      break;
+    case TerminatorKind::Unreachable:
+      Out += "      unreachable\n";
+      break;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,132 @@
+//===- cfg/Dominators.cpp - Dominator tree and natural loops ---------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include <algorithm>
+
+using namespace sest;
+
+DominatorTree::DominatorTree(const Cfg &TheCfg) : G(TheCfg) {
+  const size_t N = G.size();
+  Idom.assign(N, UINT32_MAX);
+  RpoIndex.assign(N, UINT32_MAX);
+
+  // Postorder DFS from the entry (iterative).
+  std::vector<uint32_t> Post;
+  std::vector<uint8_t> State(N, 0); // 0 unseen, 1 on stack, 2 done
+  struct Frame {
+    uint32_t Block;
+    size_t NextSucc;
+  };
+  std::vector<Frame> Stack{{G.entry()->id(), 0}};
+  State[G.entry()->id()] = 1;
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    const BasicBlock *B = G.block(F.Block);
+    if (F.NextSucc < B->successors().size()) {
+      uint32_t S = B->successors()[F.NextSucc++]->id();
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    State[F.Block] = 2;
+    Post.push_back(F.Block);
+    Stack.pop_back();
+  }
+
+  Rpo.assign(Post.rbegin(), Post.rend());
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  // Cooper-Harvey-Kennedy: iterate to fixpoint over RPO.
+  uint32_t Entry = G.entry()->id();
+  Idom[Entry] = Entry;
+
+  auto Intersect = [this](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : Rpo) {
+      if (B == Entry)
+        continue;
+      uint32_t NewIdom = UINT32_MAX;
+      for (const BasicBlock *P : G.block(B)->predecessors()) {
+        uint32_t Pid = P->id();
+        if (Idom[Pid] == UINT32_MAX)
+          continue; // unprocessed or unreachable
+        NewIdom = NewIdom == UINT32_MAX ? Pid : Intersect(NewIdom, Pid);
+      }
+      if (NewIdom != UINT32_MAX && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  if (Idom[B] == UINT32_MAX)
+    return false; // unreachable
+  uint32_t Entry = G.entry()->id();
+  uint32_t Cur = B;
+  for (;;) {
+    if (Cur == A)
+      return true;
+    if (Cur == Entry)
+      return false;
+    Cur = Idom[Cur];
+  }
+}
+
+bool sest::isBackEdge(const DominatorTree &DT, uint32_t From, uint32_t To) {
+  return DT.dominates(To, From);
+}
+
+std::vector<NaturalLoop> sest::findNaturalLoops(const Cfg &G,
+                                                const DominatorTree &DT) {
+  std::vector<NaturalLoop> Loops;
+  for (const auto &B : G.blocks()) {
+    for (const BasicBlock *S : B->successors()) {
+      if (!isBackEdge(DT, B->id(), S->id()))
+        continue;
+      NaturalLoop L;
+      L.Header = S->id();
+      L.Latch = B->id();
+
+      // The natural loop: header + all blocks that reach the latch
+      // without passing through the header (backwards DFS).
+      std::vector<uint32_t> Work{L.Latch};
+      std::vector<uint8_t> In(G.size(), 0);
+      In[L.Header] = 1;
+      while (!Work.empty()) {
+        uint32_t X = Work.back();
+        Work.pop_back();
+        if (In[X])
+          continue;
+        In[X] = 1;
+        for (const BasicBlock *P : G.block(X)->predecessors())
+          Work.push_back(P->id());
+      }
+      for (uint32_t I = 0; I < G.size(); ++I)
+        if (In[I])
+          L.Blocks.push_back(I);
+      Loops.push_back(std::move(L));
+    }
+  }
+  return Loops;
+}

@@ -1,0 +1,74 @@
+//===- cfg/Dominators.h - Dominator tree and natural loops ------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator analysis (Cooper-Harvey-Kennedy iterative algorithm) and
+/// natural-loop detection over a Cfg. The branch predictor uses back
+/// edges to apply the loop heuristic to loops the AST cannot see —
+/// loops formed by goto, the case the paper flags at the intra level
+/// ("In principle, a loop created by a goto could cause a similar
+/// problem...", §5.2.2) and the heart of Ball-Larus's loop-branch
+/// heuristic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CFG_DOMINATORS_H
+#define CFG_DOMINATORS_H
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sest {
+
+/// Immediate-dominator tree for one Cfg.
+class DominatorTree {
+public:
+  /// Computes dominators for \p G (entry dominates everything reachable).
+  explicit DominatorTree(const Cfg &G);
+
+  /// The immediate dominator of block id \p B; the entry's idom is
+  /// itself. UINT32_MAX for unreachable blocks.
+  uint32_t idom(uint32_t B) const { return Idom[B]; }
+
+  /// True when block \p A dominates block \p B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+  /// Reverse postorder of the reachable blocks.
+  const std::vector<uint32_t> &reversePostOrder() const { return Rpo; }
+
+private:
+  const Cfg &G;
+  std::vector<uint32_t> Idom;     ///< by block id
+  std::vector<uint32_t> RpoIndex; ///< block id -> RPO position
+  std::vector<uint32_t> Rpo;
+};
+
+/// One natural loop: the back edge that defines it and its block set.
+struct NaturalLoop {
+  uint32_t Header = 0;
+  uint32_t Latch = 0; ///< Source of the back edge.
+  /// Ids of all blocks in the loop (header included), sorted.
+  std::vector<uint32_t> Blocks;
+
+  bool contains(uint32_t B) const {
+    return std::binary_search(Blocks.begin(), Blocks.end(), B);
+  }
+};
+
+/// Finds all natural loops of \p G: one per back edge (B -> H with H
+/// dominating B); loops sharing a header are kept separate.
+std::vector<NaturalLoop> findNaturalLoops(const Cfg &G,
+                                          const DominatorTree &DT);
+
+/// True when the edge (From, To) is a back edge under \p DT.
+bool isBackEdge(const DominatorTree &DT, uint32_t From, uint32_t To);
+
+} // namespace sest
+
+#endif // CFG_DOMINATORS_H

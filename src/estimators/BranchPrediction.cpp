@@ -1,0 +1,595 @@
+//===- estimators/BranchPrediction.cpp - Static branch prediction ----------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimators/BranchPrediction.h"
+
+#include "callgraph/CallGraph.h"
+#include "cfg/Dominators.h"
+#include "estimators/LoopBounds.h"
+#include "lang/ConstFold.h"
+
+#include <functional>
+#include <optional>
+
+using namespace sest;
+
+//===----------------------------------------------------------------------===//
+// AST walkers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Generic expression walker calling \p OnRef for each DeclRef with a flag
+/// telling whether the reference is a pure store target.
+template <typename Fn> void walkExprRefs(const Expr *E, bool IsStore, Fn OnRef) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::DeclRef:
+    OnRef(exprCast<DeclRefExpr>(E), IsStore);
+    return;
+  case ExprKind::Unary: {
+    const auto *U = exprCast<UnaryExpr>(E);
+    // Increment/decrement both read and write; AddrOf is treated as a
+    // read (the address may be used for anything).
+    walkExprRefs(U->operand(), /*IsStore=*/false, OnRef);
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *B = exprCast<BinaryExpr>(E);
+    walkExprRefs(B->lhs(), false, OnRef);
+    walkExprRefs(B->rhs(), false, OnRef);
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = exprCast<AssignExpr>(E);
+    // Only a direct "x = ..." is a pure store of x; compound assignments
+    // read the old value. Stores through indices/members read their base.
+    bool PureStore = !A->compoundOp() &&
+                     A->lhs()->kind() == ExprKind::DeclRef;
+    walkExprRefs(A->lhs(), PureStore, OnRef);
+    walkExprRefs(A->rhs(), false, OnRef);
+    return;
+  }
+  case ExprKind::Conditional: {
+    const auto *C = exprCast<ConditionalExpr>(E);
+    walkExprRefs(C->cond(), false, OnRef);
+    walkExprRefs(C->trueExpr(), false, OnRef);
+    walkExprRefs(C->falseExpr(), false, OnRef);
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = exprCast<CallExpr>(E);
+    if (!C->directCallee())
+      walkExprRefs(C->callee(), false, OnRef);
+    for (const Expr *A : C->args())
+      walkExprRefs(A, false, OnRef);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = exprCast<IndexExpr>(E);
+    walkExprRefs(I->base(), false, OnRef);
+    walkExprRefs(I->index(), false, OnRef);
+    return;
+  }
+  case ExprKind::Member:
+    walkExprRefs(exprCast<MemberExpr>(E)->base(), false, OnRef);
+    return;
+  case ExprKind::Cast:
+    walkExprRefs(exprCast<CastExpr>(E)->operand(), false, OnRef);
+    return;
+  case ExprKind::InitList:
+    for (const Expr *El : exprCast<InitListExpr>(E)->elements())
+      walkExprRefs(El, false, OnRef);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Walks all statements below \p S (inclusive), applying \p OnStmt.
+template <typename Fn> void walkStmts(const Stmt *S, Fn OnStmt) {
+  if (!S)
+    return;
+  OnStmt(S);
+  switch (S->kind()) {
+  case StmtKind::Compound:
+    for (const Stmt *C : stmtCast<CompoundStmt>(S)->body())
+      walkStmts(C, OnStmt);
+    return;
+  case StmtKind::If: {
+    const auto *I = stmtCast<IfStmt>(S);
+    walkStmts(I->thenStmt(), OnStmt);
+    walkStmts(I->elseStmt(), OnStmt);
+    return;
+  }
+  case StmtKind::While:
+    walkStmts(stmtCast<WhileStmt>(S)->body(), OnStmt);
+    return;
+  case StmtKind::DoWhile:
+    walkStmts(stmtCast<DoWhileStmt>(S)->body(), OnStmt);
+    return;
+  case StmtKind::For: {
+    const auto *F = stmtCast<ForStmt>(S);
+    walkStmts(F->init(), OnStmt);
+    walkStmts(F->body(), OnStmt);
+    return;
+  }
+  case StmtKind::Switch:
+    walkStmts(stmtCast<SwitchStmt>(S)->body(), OnStmt);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Applies \p OnExpr to every expression directly attached to \p S (not
+/// descending into nested statements; use with walkStmts).
+template <typename Fn> void forEachStmtExpr(const Stmt *S, Fn OnExpr) {
+  switch (S->kind()) {
+  case StmtKind::Expr:
+    OnExpr(stmtCast<ExprStmt>(S)->expr());
+    return;
+  case StmtKind::Decl:
+    if (const Expr *Init = stmtCast<DeclStmt>(S)->var()->init())
+      OnExpr(Init);
+    return;
+  case StmtKind::If:
+    OnExpr(stmtCast<IfStmt>(S)->cond());
+    return;
+  case StmtKind::While:
+    OnExpr(stmtCast<WhileStmt>(S)->cond());
+    return;
+  case StmtKind::DoWhile:
+    OnExpr(stmtCast<DoWhileStmt>(S)->cond());
+    return;
+  case StmtKind::For: {
+    const auto *F = stmtCast<ForStmt>(S);
+    if (F->cond())
+      OnExpr(F->cond());
+    if (F->step())
+      OnExpr(F->step());
+    return;
+  }
+  case StmtKind::Switch:
+    OnExpr(stmtCast<SwitchStmt>(S)->cond());
+    return;
+  case StmtKind::Return:
+    if (const Expr *V = stmtCast<ReturnStmt>(S)->value())
+      OnExpr(V);
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+std::set<const VarDecl *> sest::collectReadVariables(const FunctionDecl *F) {
+  std::set<const VarDecl *> Reads;
+  if (!F->isDefined())
+    return Reads;
+  walkStmts(F->body(), [&Reads](const Stmt *S) {
+    forEachStmtExpr(S, [&Reads](const Expr *E) {
+      walkExprRefs(E, false,
+                   [&Reads](const DeclRefExpr *Ref, bool IsStore) {
+                     if (IsStore)
+                       return;
+                     if (const auto *V = declDynCast<VarDecl>(Ref->decl()))
+                       Reads.insert(V);
+                   });
+    });
+  });
+  return Reads;
+}
+
+bool sest::armCallsError(const Stmt *Arm) {
+  if (!Arm)
+    return false;
+  bool Found = false;
+  walkStmts(Arm, [&Found](const Stmt *S) {
+    forEachStmtExpr(S, [&Found](const Expr *E) {
+      std::vector<const CallExpr *> Calls;
+      collectCallExprs(E, Calls);
+      for (const CallExpr *C : Calls)
+        if (C->directCallee() && C->directCallee()->isNoReturn())
+          Found = true;
+    });
+  });
+  return Found;
+}
+
+bool sest::armWritesReadVariable(
+    const Stmt *Arm, const std::set<const VarDecl *> &ReadVars) {
+  if (!Arm)
+    return false;
+  bool Found = false;
+  walkStmts(Arm, [&](const Stmt *S) {
+    forEachStmtExpr(S, [&](const Expr *E) {
+      // Look for assignments and increments whose target is a plain
+      // variable in the read set.
+      std::function<void(const Expr *)> Scan = [&](const Expr *X) {
+        if (!X)
+          return;
+        if (const auto *A = exprDynCast<AssignExpr>(X)) {
+          if (const auto *Ref = exprDynCast<DeclRefExpr>(A->lhs()))
+            if (const auto *V = declDynCast<VarDecl>(Ref->decl()))
+              if (ReadVars.count(V))
+                Found = true;
+          Scan(A->lhs());
+          Scan(A->rhs());
+          return;
+        }
+        if (const auto *U = exprDynCast<UnaryExpr>(X)) {
+          if (U->op() == UnaryOp::PreInc || U->op() == UnaryOp::PreDec ||
+              U->op() == UnaryOp::PostInc || U->op() == UnaryOp::PostDec)
+            if (const auto *Ref = exprDynCast<DeclRefExpr>(U->operand()))
+              if (const auto *V = declDynCast<VarDecl>(Ref->decl()))
+                if (ReadVars.count(V))
+                  Found = true;
+          Scan(U->operand());
+          return;
+        }
+        if (const auto *B = exprDynCast<BinaryExpr>(X)) {
+          Scan(B->lhs());
+          Scan(B->rhs());
+          return;
+        }
+        if (const auto *C = exprDynCast<ConditionalExpr>(X)) {
+          Scan(C->cond());
+          Scan(C->trueExpr());
+          Scan(C->falseExpr());
+          return;
+        }
+        if (const auto *C = exprDynCast<CallExpr>(X)) {
+          for (const Expr *Arg : C->args())
+            Scan(Arg);
+          return;
+        }
+        if (const auto *I = exprDynCast<IndexExpr>(X)) {
+          Scan(I->base());
+          Scan(I->index());
+          return;
+        }
+        if (const auto *M = exprDynCast<MemberExpr>(X)) {
+          Scan(M->base());
+          return;
+        }
+        if (const auto *C = exprDynCast<CastExpr>(X)) {
+          Scan(C->operand());
+          return;
+        }
+      };
+      Scan(E);
+    });
+  });
+  return Found;
+}
+
+unsigned sest::countConjuncts(const Expr *Cond) {
+  if (const auto *B = exprDynCast<BinaryExpr>(Cond))
+    if (B->op() == BinaryOp::LogicalAnd)
+      return countConjuncts(B->lhs()) + countConjuncts(B->rhs());
+  return 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Condition classification
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isPointerish(const Expr *E) {
+  const Type *T = E->type();
+  if (!T)
+    return false;
+  if (T->isPointer() || T->isArray() || T->isFunction())
+    return true;
+  return false;
+}
+
+/// Prediction with the configured confidence.
+BranchPrediction decide(bool PredictTrue, double TakenProb,
+                        const char *Heuristic) {
+  BranchPrediction P;
+  P.PredictTrue = PredictTrue;
+  P.ProbTrue = PredictTrue ? TakenProb : 1.0 - TakenProb;
+  P.Heuristic = Heuristic;
+  return P;
+}
+
+} // namespace
+
+BranchPrediction BranchPredictor::predictCondition(
+    const Expr *Cond, const Stmt *ThenArm, const Stmt *ElseArm,
+    const std::set<const VarDecl *> &ReadVars) const {
+  // Constant conditions: predicted exactly, excluded from miss scoring.
+  if (auto CV = foldConstant(Cond)) {
+    BranchPrediction P;
+    P.PredictTrue = CV->isTruthy();
+    P.ProbTrue = P.PredictTrue ? 1.0 : 0.0;
+    P.ConstantCondition = true;
+    P.Heuristic = "constant";
+    return P;
+  }
+
+  // "!x": predict the inner condition with swapped arms and invert.
+  if (const auto *U = exprDynCast<UnaryExpr>(Cond);
+      U && U->op() == UnaryOp::LogicalNot) {
+    BranchPrediction Inner =
+        predictCondition(U->operand(), ElseArm, ThenArm, ReadVars);
+    BranchPrediction P = Inner;
+    P.PredictTrue = !Inner.PredictTrue;
+    P.ProbTrue = 1.0 - Inner.ProbTrue;
+    return P;
+  }
+
+  // Collect the opinion of every firing heuristic, in priority order.
+  struct Evidence {
+    const char *Name;
+    bool PredictTrue;
+    double Confidence; ///< In the predicted direction.
+  };
+  std::vector<Evidence> Firing;
+
+  // Error heuristic: an arm that reaches abort/exit is unlikely.
+  if (Config.UseErrorHeuristic) {
+    bool ThenErr = armCallsError(ThenArm);
+    bool ElseErr = armCallsError(ElseArm);
+    if (ThenErr != ElseErr)
+      Firing.push_back({"error", !ThenErr, Config.ErrorConfidence});
+  }
+
+  // Pointer heuristic.
+  if (Config.UsePointerHeuristic) {
+    bool Fired = false;
+    if (const auto *B = exprDynCast<BinaryExpr>(Cond)) {
+      bool LhsPtr = isPointerish(B->lhs());
+      bool RhsPtr = isPointerish(B->rhs());
+      if ((LhsPtr || RhsPtr) &&
+          (B->op() == BinaryOp::Eq || B->op() == BinaryOp::Ne)) {
+        // "p == NULL" / "p == q": unlikely; "p != ...": likely.
+        Firing.push_back({"pointer", B->op() == BinaryOp::Ne,
+                          Config.PointerConfidence});
+        Fired = true;
+      }
+    }
+    if (!Fired && isPointerish(Cond))
+      Firing.push_back({"pointer", true, Config.PointerConfidence});
+  }
+
+  // Opcode heuristic (Ball-Larus style).
+  if (Config.UseOpcodeHeuristic) {
+    if (const auto *B = exprDynCast<BinaryExpr>(Cond)) {
+      bool PtrCmp = isPointerish(B->lhs()) || isPointerish(B->rhs());
+      auto Fire = [&](bool PredictTrue) {
+        Firing.push_back(
+            {"opcode", PredictTrue, Config.OpcodeConfidence});
+      };
+      if (!PtrCmp && B->op() == BinaryOp::Eq)
+        Fire(false);
+      else if (!PtrCmp && B->op() == BinaryOp::Ne)
+        Fire(true);
+      else {
+        auto RhsC = foldConstant(B->rhs());
+        auto LhsC = foldConstant(B->lhs());
+        if (RhsC && !RhsC->IsDouble) {
+          int64_t C = RhsC->IntVal;
+          // "x < 0", "x <= 0" unlikely; "x > 0", "x >= 0" likely.
+          if ((B->op() == BinaryOp::Lt || B->op() == BinaryOp::Le) &&
+              C <= 0)
+            Fire(false);
+          else if ((B->op() == BinaryOp::Gt || B->op() == BinaryOp::Ge) &&
+                   C <= 0)
+            Fire(true);
+        } else if (LhsC && !LhsC->IsDouble) {
+          int64_t C = LhsC->IntVal;
+          // Mirrored forms: "0 > x" unlikely, "0 < x" likely.
+          if ((B->op() == BinaryOp::Gt || B->op() == BinaryOp::Ge) &&
+              C <= 0)
+            Fire(false);
+          else if ((B->op() == BinaryOp::Lt || B->op() == BinaryOp::Le) &&
+                   C <= 0)
+            Fire(true);
+        }
+      }
+    }
+  }
+
+  // Multiple logical ANDs make a condition less likely.
+  if (Config.UseAndHeuristic && countConjuncts(Cond) >= 2)
+    Firing.push_back({"and", false, Config.AndConfidence});
+
+  // Store heuristic.
+  if (Config.UseStoreHeuristic && !ReadVars.empty()) {
+    bool ThenWrites = armWritesReadVariable(ThenArm, ReadVars);
+    bool ElseWrites = armWritesReadVariable(ElseArm, ReadVars);
+    if (ThenWrites != ElseWrites)
+      Firing.push_back({"store", ThenWrites, Config.StoreConfidence});
+  }
+
+  if (Firing.empty())
+    return decide(true, Config.TakenProbability, "default");
+
+  switch (Config.ProbMode) {
+  case ProbabilityMode::Fixed:
+    // The paper's scheme: direction from the first heuristic, the fixed
+    // 0.8 as its probability.
+    return decide(Firing.front().PredictTrue, Config.TakenProbability,
+                  Firing.front().Name);
+  case ProbabilityMode::PerHeuristic:
+    return decide(Firing.front().PredictTrue, Firing.front().Confidence,
+                  Firing.front().Name);
+  case ProbabilityMode::DempsterShafer: {
+    // Combine all opinions: with per-heuristic probabilities p_i that
+    // the condition is *true*, the combined belief is
+    //   Π p_i / (Π p_i + Π (1 - p_i)).
+    double True = 1.0, False = 1.0;
+    for (const Evidence &E : Firing) {
+      double P = E.PredictTrue ? E.Confidence : 1.0 - E.Confidence;
+      True *= P;
+      False *= 1.0 - P;
+    }
+    double ProbTrue = True / (True + False);
+    BranchPrediction P;
+    P.PredictTrue = ProbTrue >= 0.5;
+    P.ProbTrue = ProbTrue;
+    P.Heuristic = Firing.front().Name;
+    return P;
+  }
+  }
+  return decide(true, Config.TakenProbability, "default");
+}
+
+BranchPrediction
+BranchPredictor::predictIf(const IfStmt *S,
+                           const std::set<const VarDecl *> &ReadVars) const {
+  return predictCondition(S->cond(), S->thenStmt(), S->elseStmt(),
+                          ReadVars);
+}
+
+std::vector<double>
+BranchPredictor::switchArmProbabilities(const BasicBlock *B) const {
+  assert(B->terminator() == TerminatorKind::Switch && "not a switch block");
+  size_t NumSlots = B->successors().size(); // cases + default
+  std::vector<double> Probs(NumSlots, 0.0);
+  if (NumSlots == 0)
+    return Probs;
+
+  if (Config.SwitchMode == SwitchWeighting::CaseLabelWeighted) {
+    // Every case label (and the default) is one unit of weight. Two case
+    // labels that fall into the same block contribute two slots, so the
+    // block's total weight is its label count, as in the paper.
+    double Unit = 1.0 / static_cast<double>(NumSlots);
+    for (double &P : Probs)
+      P = Unit;
+    return Probs;
+  }
+
+  // Uniform: each *distinct target block* equally likely, split across
+  // the slots that reach it.
+  std::map<const BasicBlock *, unsigned> SlotsPerTarget;
+  for (const BasicBlock *S : B->successors())
+    ++SlotsPerTarget[S];
+  double PerTarget = 1.0 / static_cast<double>(SlotsPerTarget.size());
+  for (size_t I = 0; I < NumSlots; ++I)
+    Probs[I] = PerTarget / SlotsPerTarget[B->successors()[I]];
+  return Probs;
+}
+
+FunctionBranchPredictions
+BranchPredictor::predictFunction(const Cfg &G) const {
+  FunctionBranchPredictions Out;
+  std::set<const VarDecl *> ReadVars =
+      Config.UseStoreHeuristic ? collectReadVariables(G.function())
+                               : std::set<const VarDecl *>{};
+
+  // Natural loops for the CFG-level loop heuristic (goto loops). For
+  // each block, remember its innermost containing loop.
+  std::vector<const NaturalLoop *> InnermostLoop;
+  std::vector<NaturalLoop> Loops;
+  if (Config.UseLoopHeuristic && Config.UseCfgLoopHeuristic) {
+    DominatorTree DT(G);
+    Loops = findNaturalLoops(G, DT);
+    InnermostLoop.assign(G.size(), nullptr);
+    for (const NaturalLoop &L : Loops)
+      for (uint32_t B : L.Blocks)
+        if (!InnermostLoop[B] ||
+            L.Blocks.size() < InnermostLoop[B]->Blocks.size())
+          InnermostLoop[B] = &L;
+  }
+
+  for (const auto &B : G.blocks()) {
+    if (B->terminator() == TerminatorKind::Switch) {
+      Out.SwitchProbs[B->id()] = switchArmProbabilities(B.get());
+      continue;
+    }
+    if (B->terminator() != TerminatorKind::CondBranch)
+      continue;
+
+    const Stmt *Origin = B->terminatorOrigin();
+    const Expr *Cond = B->condOrValue();
+
+    // Loop conditions get the loop model's probability.
+    bool IsLoopCond =
+        Origin && (Origin->kind() == StmtKind::While ||
+                   Origin->kind() == StmtKind::DoWhile ||
+                   Origin->kind() == StmtKind::For);
+    if (IsLoopCond && Config.UseLoopHeuristic) {
+      if (auto CV = foldConstant(Cond)) {
+        BranchPrediction P;
+        P.PredictTrue = CV->isTruthy();
+        P.ProbTrue = P.PredictTrue ? 1.0 : 0.0;
+        P.ConstantCondition = true;
+        P.Heuristic = "constant";
+        Out.ByBlock[B->id()] = P;
+        continue;
+      }
+      BranchPrediction P;
+      P.PredictTrue = true;
+      P.ProbTrue = loopContinueProbability();
+      P.Heuristic = "loop";
+      if (Config.UseConstantLoopBounds) {
+        if (const auto *For = stmtDynCast<ForStmt>(Origin)) {
+          if (auto Trips =
+                  constantTripCount(For, Config.MaxConstantTrips)) {
+            // T body executions per T+1 tests.
+            P.ProbTrue = *Trips / (*Trips + 1.0);
+            P.PredictTrue = *Trips >= 1.0;
+            P.Heuristic = "counted-loop";
+          }
+        }
+      }
+      Out.ByBlock[B->id()] = P;
+      continue;
+    }
+
+    // CFG-level loop heuristic (Ball-Larus's LBH, restricted to latch
+    // tests): when one edge returns to the innermost loop's header and
+    // the other leaves the loop, predict the back edge — this is how
+    // goto-formed loops get the loop model. Continue tests (back edge,
+    // but the other edge stays inside) and break tests (no back edge)
+    // keep their AST heuristics, matching the paper's AST-level
+    // predictor on structured code.
+    if (!InnermostLoop.empty() && InnermostLoop[B->id()]) {
+      const NaturalLoop *L = InnermostLoop[B->id()];
+      bool TrueToHeader = B->successors()[0]->id() == L->Header;
+      bool FalseToHeader = B->successors()[1]->id() == L->Header;
+      bool TrueInside = L->contains(B->successors()[0]->id());
+      bool FalseInside = L->contains(B->successors()[1]->id());
+      bool LatchTest = (TrueToHeader && !FalseInside) ||
+                       (FalseToHeader && !TrueInside);
+      if (LatchTest) {
+        if (auto CV = foldConstant(Cond)) {
+          BranchPrediction P;
+          P.PredictTrue = CV->isTruthy();
+          P.ProbTrue = P.PredictTrue ? 1.0 : 0.0;
+          P.ConstantCondition = true;
+          P.Heuristic = "constant";
+          Out.ByBlock[B->id()] = P;
+          continue;
+        }
+        BranchPrediction P;
+        P.PredictTrue = TrueInside;
+        double Stay = loopContinueProbability();
+        P.ProbTrue = TrueInside ? Stay : 1.0 - Stay;
+        P.Heuristic = "cfg-loop";
+        Out.ByBlock[B->id()] = P;
+        continue;
+      }
+    }
+
+    const Stmt *ThenArm = nullptr;
+    const Stmt *ElseArm = nullptr;
+    if (const auto *If = stmtDynCast<IfStmt>(Origin)) {
+      ThenArm = If->thenStmt();
+      ElseArm = If->elseStmt();
+    }
+    Out.ByBlock[B->id()] =
+        predictCondition(Cond, ThenArm, ElseArm, ReadVars);
+  }
+  return Out;
+}

@@ -1,0 +1,181 @@
+//===- estimators/BranchPrediction.h - Static branch prediction -*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "smart" branch predictor (§4.1): programming-idiom
+/// heuristics over the AST and the C type system, in the spirit of Ball &
+/// Larus but applied before code generation. The heuristics implemented:
+///
+///  - Loop: loop conditions are predicted true with probability
+///    (L-1)/L for the configured loop count L (the paper's 0.8 for L=5).
+///  - Pointer: pointers are unlikely to be NULL; pointer equality
+///    comparisons are unlikely to hold.
+///  - Opcode: integer equality, and comparisons against negative
+///    constants or zero lower bounds, are unlikely to hold.
+///  - Error: an arm that (transitively in its statements) calls abort()
+///    or exit() is unlikely.
+///  - Store: "when one arm of a conditional construct writes to variables
+///    read elsewhere, that arm is more likely".
+///  - And: "multiple logical ANDs make a condition less likely".
+///
+/// Each heuristic can be toggled for the ablation benches; the first
+/// enabled heuristic that fires decides, in the order above (after the
+/// error heuristic, which dominates idiom heuristics). Branches whose
+/// condition folds to a compile-time constant are predicted but flagged
+/// so the miss-rate metric can exclude them (§2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESTIMATORS_BRANCHPREDICTION_H
+#define ESTIMATORS_BRANCHPREDICTION_H
+
+#include "cfg/Cfg.h"
+#include "lang/Ast.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sest {
+
+/// How switch arms are weighted (§4.1 footnote 3).
+enum class SwitchWeighting {
+  Uniform,           ///< Every distinct target equally likely.
+  CaseLabelWeighted, ///< Arms weighted by their number of case labels.
+};
+
+/// How branch probabilities are produced. The paper leaves open "whether
+/// static branch prediction can be accurate enough to make good use of
+/// the intra-procedural Markov model (for example, by using a static
+/// predictor that generates probabilities directly, rather than a
+/// true/false guess)" (§5.1); the last two modes implement that idea in
+/// the style of Wu & Larus.
+enum class ProbabilityMode {
+  /// The paper's scheme: every predicted arm gets TakenProbability.
+  Fixed,
+  /// The deciding heuristic supplies its own confidence.
+  PerHeuristic,
+  /// All firing heuristics combine their confidences by Dempster-Shafer
+  /// evidence combination.
+  DempsterShafer,
+};
+
+/// Tuning knobs for the smart predictor.
+struct BranchPredictorConfig {
+  bool UseLoopHeuristic = true;
+  /// Apply the loop heuristic to CFG back edges too (Ball-Larus's LBH):
+  /// catches loops the AST cannot see, e.g. goto-formed loops.
+  bool UseCfgLoopHeuristic = true;
+  bool UseErrorHeuristic = true;
+  bool UsePointerHeuristic = true;
+  bool UseOpcodeHeuristic = true;
+  bool UseAndHeuristic = true;
+  bool UseStoreHeuristic = true;
+  /// Probability given to the predicted arm of a non-loop branch (the
+  /// paper chose 0.8 and found the exact value insignificant).
+  double TakenProbability = 0.8;
+  /// Assumed loop iteration count (paper: 5); loop conditions get
+  /// probability (L-1)/L of staying in the loop.
+  double LoopIterations = 5.0;
+  /// Refinement: use the exact trip count of counted for-loops with
+  /// constant bounds (see LoopBounds.h) instead of the fixed count.
+  bool UseConstantLoopBounds = false;
+  /// Cap on detected constant trip counts.
+  double MaxConstantTrips = 4096.0;
+  SwitchWeighting SwitchMode = SwitchWeighting::CaseLabelWeighted;
+
+  /// Probability generation (see ProbabilityMode).
+  ProbabilityMode ProbMode = ProbabilityMode::Fixed;
+  /// Per-heuristic confidences in the predicted direction, used by the
+  /// PerHeuristic and DempsterShafer modes. Defaults follow the
+  /// empirical hit rates reported by Ball-Larus / Wu-Larus.
+  double ErrorConfidence = 0.96;
+  double PointerConfidence = 0.90;
+  double OpcodeConfidence = 0.84;
+  double AndConfidence = 0.75;
+  double StoreConfidence = 0.55;
+};
+
+/// Prediction for one two-way conditional branch.
+struct BranchPrediction {
+  /// True when the condition is predicted to evaluate true.
+  bool PredictTrue = true;
+  /// Probability that the condition is true.
+  double ProbTrue = 0.5;
+  /// The condition folds to a compile-time constant: predicted, but not
+  /// scored in miss rates.
+  bool ConstantCondition = false;
+  /// Short name of the heuristic that decided ("loop", "pointer", ...).
+  const char *Heuristic = "default";
+};
+
+/// Per-function branch predictions keyed by basic-block id (blocks with
+/// CondBranch terminators only).
+struct FunctionBranchPredictions {
+  std::map<uint32_t, BranchPrediction> ByBlock;
+  /// Switch arm probabilities per block id (one per successor slot,
+  /// summing to 1).
+  std::map<uint32_t, std::vector<double>> SwitchProbs;
+};
+
+/// The smart static branch predictor.
+class BranchPredictor {
+public:
+  explicit BranchPredictor(const BranchPredictorConfig &Config = {})
+      : Config(Config) {}
+
+  const BranchPredictorConfig &config() const { return Config; }
+
+  /// Predicts every conditional branch and switch in \p G.
+  FunctionBranchPredictions predictFunction(const Cfg &G) const;
+
+  /// Predicts one `if` statement: the probability that the condition is
+  /// true. \p ReadVars is the function's read-variable set (store
+  /// heuristic); pass empty to disable.
+  BranchPrediction
+  predictIf(const IfStmt *S,
+            const std::set<const VarDecl *> &ReadVars) const;
+
+  /// Probability that a loop condition evaluates true ((L-1)/L).
+  double loopContinueProbability() const {
+    double L = Config.LoopIterations;
+    return L > 1 ? (L - 1.0) / L : 0.5;
+  }
+
+  /// Arm probabilities for a switch terminator block (per successor
+  /// slot).
+  std::vector<double> switchArmProbabilities(const BasicBlock *B) const;
+
+private:
+  /// Heuristic pipeline over a condition expression; \p ThenArm /
+  /// \p ElseArm may be null (loop or expression contexts).
+  BranchPrediction
+  predictCondition(const Expr *Cond, const Stmt *ThenArm,
+                   const Stmt *ElseArm,
+                   const std::set<const VarDecl *> &ReadVars) const;
+
+  BranchPredictorConfig Config;
+};
+
+/// Collects every variable read in \p F (operand positions other than
+/// pure stores). Used by the store heuristic.
+std::set<const VarDecl *> collectReadVariables(const FunctionDecl *F);
+
+/// True when \p Arm contains a direct call to a noreturn builtin
+/// (abort/exit).
+bool armCallsError(const Stmt *Arm);
+
+/// True when \p Arm writes any variable in \p ReadVars.
+bool armWritesReadVariable(const Stmt *Arm,
+                           const std::set<const VarDecl *> &ReadVars);
+
+/// Number of top-level conjuncts in \p Cond (1 for no "&&").
+unsigned countConjuncts(const Expr *Cond);
+
+} // namespace sest
+
+#endif // ESTIMATORS_BRANCHPREDICTION_H

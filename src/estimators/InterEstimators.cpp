@@ -1,0 +1,362 @@
+//===- estimators/InterEstimators.cpp - Inter-procedural estimates ---------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimators/InterEstimators.h"
+
+#include "support/LinearSystem.h"
+#include "support/Scc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace sest;
+
+const char *sest::interEstimatorName(InterEstimatorKind K) {
+  switch (K) {
+  case InterEstimatorKind::CallSite:
+    return "call-site";
+  case InterEstimatorKind::Direct:
+    return "direct";
+  case InterEstimatorKind::AllRec:
+    return "all_rec";
+  case InterEstimatorKind::AllRec2:
+    return "all_rec2";
+  case InterEstimatorKind::Markov:
+    return "markov";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Functions that directly call themselves.
+std::set<size_t> directlyRecursive(const CallGraph &CG) {
+  std::set<size_t> Out;
+  for (const CallSiteInfo &S : CG.sites())
+    if (S.Callee && S.Callee == S.Caller)
+      Out.insert(S.Caller->functionId());
+  return Out;
+}
+
+/// Functions in any direct-call cycle (SCC of size > 1, or self-arc).
+std::set<size_t> anyRecursive(const TranslationUnit &Unit,
+                              const CallGraph &CG) {
+  std::set<size_t> Out = directlyRecursive(CG);
+  SccResult Scc = computeScc(Unit.Functions.size(), CG.directAdjacency());
+  for (size_t F = 0; F < Unit.Functions.size(); ++F)
+    if (Scc.inNontrivialComponent(F))
+      Out.insert(F);
+  return Out;
+}
+
+/// The §4.3 simple algorithm: per-function counts as the sum of the
+/// (optionally rescaled) local block counts of their call sites, with
+/// indirect-site totals split across address-taken functions.
+std::vector<double>
+simpleCounts(const TranslationUnit &Unit, const CallGraph &CG,
+             const IntraEstimates &Intra,
+             const std::vector<double> *BlockScale) {
+  std::vector<double> Est(Unit.Functions.size(), 0.0);
+  if (const FunctionDecl *Main = Unit.findFunction("main"))
+    Est[Main->functionId()] += 1.0; // the program invokes main once
+
+  double IndirectTotal = 0.0;
+  for (const CallSiteInfo &S : CG.sites()) {
+    double Local = Intra.localSiteFrequency(S);
+    if (BlockScale)
+      Local *= (*BlockScale)[S.Caller->functionId()];
+    if (S.Callee)
+      Est[S.Callee->functionId()] += Local;
+    else
+      IndirectTotal += Local;
+  }
+
+  // "indirect call site counts are summed and divided among the
+  // functions whose address is taken, weighted by the (static) number of
+  // address-of operations" (§4.3).
+  if (IndirectTotal > 0 && CG.totalAddressTakenWeight() > 0) {
+    for (const auto &[F, W] : CG.addressTakenFunctions())
+      Est[F->functionId()] +=
+          IndirectTotal * W / CG.totalAddressTakenWeight();
+  }
+  return Est;
+}
+
+void applyRecursionFactor(std::vector<double> &Est,
+                          const std::set<size_t> &Recursive,
+                          double Factor) {
+  for (size_t F : Recursive)
+    Est[F] *= Factor;
+}
+
+//===----------------------------------------------------------------------===//
+// Markov call-graph model (§5.2)
+//===----------------------------------------------------------------------===//
+
+/// A weighted directed graph over function nodes + optional pointer node.
+struct WeightedCallGraph {
+  size_t NumNodes = 0;
+  size_t PointerNode = SIZE_MAX; ///< SIZE_MAX when absent.
+  /// Arc weights, merged per (from, to).
+  std::map<std::pair<size_t, size_t>, double> W;
+  size_t EntryNode = SIZE_MAX;
+
+  std::vector<std::vector<size_t>> adjacency() const {
+    std::vector<std::vector<size_t>> Adj(NumNodes);
+    for (const auto &[Arc, Weight] : W)
+      if (Weight > 0)
+        Adj[Arc.first].push_back(Arc.second);
+    return Adj;
+  }
+};
+
+WeightedCallGraph buildWeightedGraph(const TranslationUnit &Unit,
+                                     const CallGraph &CG,
+                                     const IntraEstimates &Intra) {
+  WeightedCallGraph G;
+  G.NumNodes = Unit.Functions.size();
+  bool NeedPointerNode = !CG.indirectSites().empty();
+  if (NeedPointerNode) {
+    G.PointerNode = G.NumNodes;
+    ++G.NumNodes;
+  }
+
+  for (const CallSiteInfo &S : CG.sites()) {
+    double Local = Intra.localSiteFrequency(S);
+    if (Local <= 0)
+      continue;
+    size_t From = S.Caller->functionId();
+    size_t To = S.Callee ? S.Callee->functionId() : G.PointerNode;
+    G.W[{From, To}] += Local;
+  }
+
+  if (NeedPointerNode && CG.totalAddressTakenWeight() > 0) {
+    for (const auto &[F, Weight] : CG.addressTakenFunctions())
+      G.W[{G.PointerNode, F->functionId()}] =
+          static_cast<double>(Weight) / CG.totalAddressTakenWeight();
+  }
+
+  if (const FunctionDecl *Main = Unit.findFunction("main"))
+    G.EntryNode = Main->functionId();
+  return G;
+}
+
+/// Solves f = e + Wᵀ f over the whole graph. Returns empty on a singular
+/// system.
+std::optional<std::vector<double>>
+solveWhole(const WeightedCallGraph &G) {
+  Matrix P(G.NumNodes, G.NumNodes);
+  for (const auto &[Arc, Weight] : G.W)
+    P.at(Arc.first, Arc.second) += Weight;
+  std::vector<double> Entry(G.NumNodes, 0.0);
+  if (G.EntryNode != SIZE_MAX)
+    Entry[G.EntryNode] = 1.0;
+  return solveMarkovFrequencies(P, Entry);
+}
+
+bool solutionIsValid(const std::vector<double> &F) {
+  for (double V : F)
+    if (!(V >= -1e-9) || !std::isfinite(V) || V > 1e15)
+      return false;
+  return true;
+}
+
+/// Repairs one strongly connected component per §5.2.2: build a
+/// subproblem with an artificial main whose arcs carry the component's
+/// external inflow proportions, then scale the component's internal arc
+/// probabilities until the subproblem solves with no negative values and
+/// nothing above the ceiling.
+void repairScc(WeightedCallGraph &G, const std::vector<size_t> &Component,
+               const InterEstimatorConfig &Config) {
+  if (Component.size() < 2)
+    return;
+  std::set<size_t> InScc(Component.begin(), Component.end());
+
+  // External inflow per member: "the arc from the artificial main node of
+  // the subproblem to each of the nodes in the SCC received a flow of
+  // m/n, where m is the number of calls to the target from outside the
+  // SCC, and n the total number of calls into the SCC from outside".
+  std::map<size_t, double> Inflow;
+  double TotalInflow = 0.0;
+  for (const auto &[Arc, Weight] : G.W) {
+    if (!InScc.count(Arc.first) && InScc.count(Arc.second)) {
+      Inflow[Arc.second] += Weight;
+      TotalInflow += Weight;
+    }
+  }
+
+  // Dense renumbering: member i -> index i, artificial main -> last.
+  std::map<size_t, size_t> Index;
+  for (size_t I = 0; I < Component.size(); ++I)
+    Index[Component[I]] = I;
+  const size_t N = Component.size() + 1;
+  const size_t MainIdx = Component.size();
+
+  for (unsigned Iter = 0; Iter < Config.MaxSccRepairIterations; ++Iter) {
+    Matrix P(N, N);
+    for (const auto &[Arc, Weight] : G.W)
+      if (InScc.count(Arc.first) && InScc.count(Arc.second))
+        P.at(Index[Arc.first], Index[Arc.second]) += Weight;
+    for (size_t I = 0; I < Component.size(); ++I) {
+      double Flow = TotalInflow > 0
+                        ? (Inflow.count(Component[I])
+                               ? Inflow[Component[I]] / TotalInflow
+                               : 0.0)
+                        : 1.0 / Component.size();
+      P.at(MainIdx, I) = Flow;
+    }
+    std::vector<double> Entry(N, 0.0);
+    Entry[MainIdx] = 1.0;
+
+    auto F = solveMarkovFrequencies(P, Entry);
+    bool Ok = F.has_value();
+    if (Ok) {
+      for (size_t I = 0; I < Component.size(); ++I)
+        if ((*F)[I] < -1e-9 || (*F)[I] > Config.SccCeiling)
+          Ok = false;
+    }
+    if (Ok)
+      return;
+
+    // "we scale down all the arc probabilities in the SCC by a constant,
+    // repeating until the solution succeeds."
+    for (auto &[Arc, Weight] : G.W)
+      if (InScc.count(Arc.first) && InScc.count(Arc.second))
+        Weight *= Config.SccScale;
+  }
+}
+
+std::vector<double> markovFunctionCounts(const TranslationUnit &Unit,
+                                         const CallGraph &CG,
+                                         const IntraEstimates &Intra,
+                                         const InterEstimatorConfig &Config) {
+  WeightedCallGraph G = buildWeightedGraph(Unit, CG, Intra);
+  size_t NumFns = Unit.Functions.size();
+
+  // Step 1: direct recursive arcs with probability >= 1 become 0.8. (A
+  // weight of exactly 1 is just as impossible as the paper's 1.6 — "for
+  // every time the function is called, it calls itself again", i.e. it
+  // never returns — and leaves the system singular.)
+  for (auto &[Arc, Weight] : G.W)
+    if (Arc.first == Arc.second && Weight >= 1.0)
+      Weight = Config.RecursiveArcProbability;
+
+  // Step 2: attempt the whole program.
+  auto F = solveWhole(G);
+  if (!F || !solutionIsValid(*F)) {
+    // Step 3: repair each SCC in isolation, then re-solve.
+    SccResult Scc = computeScc(G.NumNodes, G.adjacency());
+    for (const auto &Component : Scc.Components)
+      repairScc(G, Component, Config);
+    F = solveWhole(G);
+  }
+
+  // Step 4: last resort — scale everything until the system solves.
+  unsigned Guard = 0;
+  while ((!F || !solutionIsValid(*F)) &&
+         Guard++ < Config.MaxSccRepairIterations) {
+    for (auto &[Arc, Weight] : G.W)
+      Weight *= Config.SccScale;
+    F = solveWhole(G);
+  }
+
+  std::vector<double> Out(NumFns, 0.0);
+  if (F && solutionIsValid(*F)) {
+    for (size_t I = 0; I < NumFns; ++I)
+      Out[I] = std::max(0.0, (*F)[I]);
+  } else {
+    // Degenerate graph: every function once.
+    Out.assign(NumFns, 1.0);
+  }
+  return Out;
+}
+
+} // namespace
+
+std::vector<double> sest::estimateFunctionFrequencies(
+    InterEstimatorKind Kind, const TranslationUnit &Unit,
+    const CallGraph &CG, const IntraEstimates &Intra,
+    const InterEstimatorConfig &Config) {
+  switch (Kind) {
+  case InterEstimatorKind::CallSite:
+    return simpleCounts(Unit, CG, Intra, nullptr);
+  case InterEstimatorKind::Direct: {
+    std::vector<double> Est = simpleCounts(Unit, CG, Intra, nullptr);
+    applyRecursionFactor(Est, directlyRecursive(CG),
+                         Config.RecursionFactor);
+    return Est;
+  }
+  case InterEstimatorKind::AllRec: {
+    std::vector<double> Est = simpleCounts(Unit, CG, Intra, nullptr);
+    applyRecursionFactor(Est, anyRecursive(Unit, CG),
+                         Config.RecursionFactor);
+    return Est;
+  }
+  case InterEstimatorKind::AllRec2: {
+    // "all_rec2 uses the function invocation counts of all_rec to scale
+    // up the execution counts of basic blocks, then reapplies the
+    // algorithm to compute new function counts" (§4.3).
+    std::vector<double> First = simpleCounts(Unit, CG, Intra, nullptr);
+    applyRecursionFactor(First, anyRecursive(Unit, CG),
+                         Config.RecursionFactor);
+    std::vector<double> Est = simpleCounts(Unit, CG, Intra, &First);
+    applyRecursionFactor(Est, anyRecursive(Unit, CG),
+                         Config.RecursionFactor);
+    return Est;
+  }
+  case InterEstimatorKind::Markov:
+    return markovFunctionCounts(Unit, CG, Intra, Config);
+  }
+  return std::vector<double>(Unit.Functions.size(), 0.0);
+}
+
+std::vector<CallArcEstimate> sest::estimateCallArcFrequencies(
+    const TranslationUnit &Unit, const CallGraph &CG,
+    const IntraEstimates &Intra, const std::vector<double> &FunctionFreqs) {
+  (void)Unit;
+  std::map<std::pair<const FunctionDecl *, const FunctionDecl *>,
+           CallArcEstimate>
+      Arcs;
+  for (const CallSiteInfo &S : CG.sites()) {
+    if (S.isIndirect())
+      continue;
+    CallArcEstimate &A = Arcs[{S.Caller, S.Callee}];
+    A.Caller = S.Caller;
+    A.Callee = S.Callee;
+    A.Frequency += Intra.localSiteFrequency(S) *
+                   FunctionFreqs[S.Caller->functionId()];
+    A.NumSites += 1;
+  }
+  std::vector<CallArcEstimate> Out;
+  Out.reserve(Arcs.size());
+  for (auto &[Key, A] : Arcs)
+    Out.push_back(A);
+  std::sort(Out.begin(), Out.end(),
+            [](const CallArcEstimate &A, const CallArcEstimate &B) {
+              if (A.Frequency != B.Frequency)
+                return A.Frequency > B.Frequency;
+              // Deterministic tie-break by ids.
+              if (A.Caller->functionId() != B.Caller->functionId())
+                return A.Caller->functionId() < B.Caller->functionId();
+              return A.Callee->functionId() < B.Callee->functionId();
+            });
+  return Out;
+}
+
+std::vector<double> sest::estimateCallSiteFrequencies(
+    const TranslationUnit &Unit, const CallGraph &CG,
+    const IntraEstimates &Intra, const std::vector<double> &FunctionFreqs) {
+  std::vector<double> Out(Unit.NumCallSites, -1.0);
+  for (const CallSiteInfo &S : CG.sites()) {
+    if (S.isIndirect())
+      continue; // omitted, §5.3
+    double Local = Intra.localSiteFrequency(S);
+    Out[S.CallSiteId] = Local * FunctionFreqs[S.Caller->functionId()];
+  }
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- estimators/LoopBounds.h - Constant trip-count detection --*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant loop-bound detection. The paper observes that its benchmark
+/// programs "fall roughly into two categories: numerical programs with
+/// simple control flow, and others with complex loop behavior. In the
+/// numerical category, it is often possible to estimate the iteration
+/// counts of loops accurately" (§4.1) — but still used the fixed count
+/// of 5 throughout. This optional refinement recovers the exact trip
+/// count of counted for-loops of the form
+///
+///   for (i = C0; i < C1; i += S) ...     (also <=, >, >=, ++, --)
+///
+/// when C0, C1 and S are compile-time constants and the body never
+/// writes the induction variable. Enabled via
+/// AstEstimatorConfig::UseConstantLoopBounds and
+/// BranchPredictorConfig::UseConstantLoopBounds; the ablation bench
+/// measures its effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESTIMATORS_LOOPBOUNDS_H
+#define ESTIMATORS_LOOPBOUNDS_H
+
+#include "lang/Ast.h"
+
+#include <optional>
+
+namespace sest {
+
+/// The number of body executions of \p S per loop entry, when it is a
+/// counted for-loop with constant bounds whose induction variable is not
+/// modified by the body. Returns nullopt otherwise. The result is capped
+/// at \p MaxTrips.
+std::optional<double> constantTripCount(const ForStmt *S,
+                                        double MaxTrips = 4096.0);
+
+} // namespace sest
+
+#endif // ESTIMATORS_LOOPBOUNDS_H

@@ -1,0 +1,106 @@
+//===- estimators/MarkovIntra.cpp - Markov CFG frequencies -----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimators/MarkovIntra.h"
+
+#include "support/LinearSystem.h"
+
+using namespace sest;
+
+std::vector<std::vector<double>>
+sest::transitionProbabilities(const Cfg &G,
+                              const FunctionBranchPredictions &P) {
+  std::vector<std::vector<double>> Probs(G.size());
+  for (const auto &B : G.blocks()) {
+    auto &Row = Probs[B->id()];
+    switch (B->terminator()) {
+    case TerminatorKind::Goto:
+      Row = {1.0};
+      break;
+    case TerminatorKind::CondBranch: {
+      auto It = P.ByBlock.find(B->id());
+      double ProbTrue = It != P.ByBlock.end() ? It->second.ProbTrue : 0.5;
+      Row = {ProbTrue, 1.0 - ProbTrue};
+      break;
+    }
+    case TerminatorKind::Switch: {
+      auto It = P.SwitchProbs.find(B->id());
+      if (It != P.SwitchProbs.end())
+        Row = It->second;
+      else
+        Row.assign(B->successors().size(),
+                   1.0 / static_cast<double>(B->successors().size()));
+      break;
+    }
+    case TerminatorKind::Return:
+    case TerminatorKind::Unreachable:
+      break; // no successors
+    }
+  }
+  return Probs;
+}
+
+MarkovIntraResult
+sest::markovBlockFrequencies(const Cfg &G, const MarkovIntraConfig &Config) {
+  BranchPredictor Predictor(Config.Branch);
+  FunctionBranchPredictions Pred = Predictor.predictFunction(G);
+  std::vector<std::vector<double>> Slot = transitionProbabilities(G, Pred);
+
+  const size_t N = G.size();
+  MarkovIntraResult Result;
+  Result.BlockFrequencies.assign(N, 1.0);
+
+  std::vector<double> Entry(N, 0.0);
+  Entry[G.entry()->id()] = 1.0;
+
+  for (unsigned Attempt = 0; Attempt <= Config.MaxRepairIterations;
+       ++Attempt) {
+    // Aggregate per-slot probabilities into a dense state matrix.
+    Matrix P(N, N);
+    for (const auto &B : G.blocks()) {
+      const auto &Succs = B->successors();
+      for (size_t S = 0; S < Succs.size(); ++S)
+        P.at(B->id(), Succs[S]->id()) += Slot[B->id()][S];
+    }
+    auto F = solveMarkovFrequencies(P, Entry);
+    if (F) {
+      bool Sane = true;
+      for (double V : *F)
+        if (!(V > -1e-9) || V > 1e15)
+          Sane = false;
+      if (Sane) {
+        for (double &V : *F)
+          if (V < 0)
+            V = 0;
+        Result.BlockFrequencies = std::move(*F);
+        Result.ArcFrequencies.resize(N);
+        for (const auto &B : G.blocks()) {
+          auto &Arcs = Result.ArcFrequencies[B->id()];
+          Arcs.resize(B->successors().size());
+          for (size_t S = 0; S < Arcs.size(); ++S)
+            Arcs[S] =
+                Result.BlockFrequencies[B->id()] * Slot[B->id()][S];
+        }
+        return Result;
+      }
+    }
+    // Singular (or insane): a probability-1 cycle. Scale every
+    // transition probability down so flow leaks and the system becomes
+    // solvable — the same trick the paper applies to stubborn call-graph
+    // SCCs (§5.2.2).
+    Result.Repaired = true;
+    for (auto &Row : Slot)
+      for (double &V : Row)
+        V *= Config.SingularScale;
+  }
+
+  // Fall back to uniform frequencies.
+  Result.BlockFrequencies.assign(N, 1.0);
+  Result.ArcFrequencies.assign(N, {});
+  for (const auto &B : G.blocks())
+    Result.ArcFrequencies[B->id()].assign(B->successors().size(), 1.0);
+  return Result;
+}

@@ -1,0 +1,64 @@
+//===- estimators/MarkovIntra.h - Markov CFG frequencies --------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The intra-procedural Markov model (paper §5.1, Figures 6-7): control
+/// flow within a function is a Markov process whose states are basic
+/// blocks and whose transition probabilities come from branch prediction.
+/// With the entry frequency fixed at 1, block frequencies are the
+/// solution of the linear system f = e + Pᵀf.
+///
+/// Unlike the AST estimators, this model reflects break / continue /
+/// goto / return exactly: "The solution to the equations yields a test
+/// count of only 2.78, because the return within the loop reduces the
+/// flow back to the top."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESTIMATORS_MARKOVINTRA_H
+#define ESTIMATORS_MARKOVINTRA_H
+
+#include "cfg/Cfg.h"
+#include "estimators/BranchPrediction.h"
+
+#include <vector>
+
+namespace sest {
+
+/// Configuration for the intra-procedural Markov solver.
+struct MarkovIntraConfig {
+  BranchPredictorConfig Branch;
+  /// When the system is singular (a probability-1 cycle, e.g. "for(;;)"
+  /// with no break), all cycle probabilities are repeatedly scaled by
+  /// this factor until it solves.
+  double SingularScale = 0.9;
+  unsigned MaxRepairIterations = 60;
+};
+
+/// Result of the Markov intra-procedural estimate.
+struct MarkovIntraResult {
+  /// Frequency per block id, normalized to entry = 1.
+  std::vector<double> BlockFrequencies;
+  /// Probability-weighted flow per (block, successor slot).
+  std::vector<std::vector<double>> ArcFrequencies;
+  /// True when the original system was singular and required scaling.
+  bool Repaired = false;
+};
+
+/// Solves the Markov system for \p G. Never fails: a persistently
+/// singular system falls back to uniform frequencies.
+MarkovIntraResult markovBlockFrequencies(const Cfg &G,
+                                         const MarkovIntraConfig &Config);
+
+/// The per-slot transition probabilities for \p G under \p Predictions
+/// (CondBranch uses ProbTrue; Switch uses SwitchProbs; Goto is 1).
+std::vector<std::vector<double>>
+transitionProbabilities(const Cfg &G,
+                        const FunctionBranchPredictions &Predictions);
+
+} // namespace sest
+
+#endif // ESTIMATORS_MARKOVINTRA_H

@@ -1,0 +1,114 @@
+//===- estimators/Pipeline.cpp - End-to-end estimation ---------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "estimators/Pipeline.h"
+
+using namespace sest;
+
+IntraEstimates sest::computeIntraEstimates(const TranslationUnit &Unit,
+                                           const CfgModule &Cfgs,
+                                           const EstimatorOptions &Options) {
+  IntraEstimates Out;
+  Out.Blocks.resize(Unit.Functions.size());
+
+  for (const auto &[F, G] : Cfgs.all()) {
+    switch (Options.Intra) {
+    case IntraEstimatorKind::Loop:
+    case IntraEstimatorKind::Smart: {
+      AstEstimatorConfig C;
+      C.Kind = Options.Intra;
+      C.LoopIterations = Options.LoopIterations;
+      C.Branch = Options.Branch;
+      C.Branch.LoopIterations = Options.LoopIterations;
+      Out.Blocks[F->functionId()] = estimateBlockFrequencies(*G, C);
+      break;
+    }
+    case IntraEstimatorKind::Markov: {
+      MarkovIntraConfig C = Options.MarkovIntra_;
+      C.Branch = Options.Branch;
+      C.Branch.LoopIterations = Options.LoopIterations;
+      Out.Blocks[F->functionId()] =
+          markovBlockFrequencies(*G, C).BlockFrequencies;
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+ProgramEstimate sest::estimateProgram(const TranslationUnit &Unit,
+                                      const CfgModule &Cfgs,
+                                      const CallGraph &CG,
+                                      const EstimatorOptions &Options) {
+  ProgramEstimate Out;
+  IntraEstimates Intra = computeIntraEstimates(Unit, Cfgs, Options);
+  Out.FunctionEstimates = estimateFunctionFrequencies(
+      Options.Inter, Unit, CG, Intra, Options.Inter_);
+  Out.CallSiteEstimates = estimateCallSiteFrequencies(
+      Unit, CG, Intra, Out.FunctionEstimates);
+  Out.BlockEstimates = std::move(Intra.Blocks);
+  return Out;
+}
+
+std::vector<std::vector<double>>
+sest::globalBlockEstimates(const ProgramEstimate &E) {
+  std::vector<std::vector<double>> Out = E.BlockEstimates;
+  for (size_t F = 0; F < Out.size(); ++F) {
+    double Scale =
+        F < E.FunctionEstimates.size() ? E.FunctionEstimates[F] : 0.0;
+    for (double &B : Out[F])
+      B *= Scale;
+  }
+  return Out;
+}
+
+std::vector<std::vector<std::vector<double>>>
+sest::globalArcEstimates(const TranslationUnit &Unit, const CfgModule &Cfgs,
+                         const ProgramEstimate &E,
+                         const EstimatorOptions &Options) {
+  std::vector<std::vector<std::vector<double>>> Out(
+      Unit.Functions.size());
+  BranchPredictorConfig BC = Options.Branch;
+  BC.LoopIterations = Options.LoopIterations;
+  BranchPredictor Predictor(BC);
+  for (const auto &[F, G] : Cfgs.all()) {
+    size_t Fid = F->functionId();
+    FunctionBranchPredictions Pred = Predictor.predictFunction(*G);
+    std::vector<std::vector<double>> Probs =
+        transitionProbabilities(*G, Pred);
+    double Scale = E.FunctionEstimates[Fid];
+    auto &Rows = Out[Fid];
+    Rows.resize(G->size());
+    for (const auto &B : G->blocks()) {
+      double BlockFreq = E.BlockEstimates[Fid][B->id()] * Scale;
+      auto &Arcs = Rows[B->id()];
+      Arcs.resize(B->successors().size());
+      for (size_t S = 0; S < Arcs.size(); ++S)
+        Arcs[S] = BlockFreq * Probs[B->id()][S];
+    }
+  }
+  return Out;
+}
+
+ProgramEstimate sest::estimateFromProfile(const Profile &P,
+                                          const CallGraph &CG) {
+  ProgramEstimate Out;
+  Out.BlockEstimates.resize(P.Functions.size());
+  Out.FunctionEstimates.assign(P.Functions.size(), 0.0);
+  for (size_t F = 0; F < P.Functions.size(); ++F) {
+    const FunctionProfile &FP = P.Functions[F];
+    Out.FunctionEstimates[F] = FP.EntryCount;
+    Out.BlockEstimates[F] = FP.BlockCounts;
+    if (FP.EntryCount > 0)
+      for (double &B : Out.BlockEstimates[F])
+        B /= FP.EntryCount; // normalize per entry, like static estimates
+  }
+  Out.CallSiteEstimates = P.CallSiteCounts;
+  for (const CallSiteInfo *S : CG.indirectSites())
+    if (S->CallSiteId < Out.CallSiteEstimates.size())
+      Out.CallSiteEstimates[S->CallSiteId] = -1.0;
+  return Out;
+}

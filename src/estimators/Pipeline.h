@@ -1,0 +1,97 @@
+//===- estimators/Pipeline.h - End-to-end estimation ------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public one-stop API: compile-time estimation of block, function
+/// and call-site frequencies for a whole program, combining a chosen
+/// intra-procedural estimator (loop / smart / Markov) with a chosen
+/// inter-procedural estimator (call_site / direct / all_rec / all_rec2 /
+/// Markov). This is the pipeline an optimizing compiler would run
+/// ("analysis time similar to that of gcc's standard optimization
+/// option", §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ESTIMATORS_PIPELINE_H
+#define ESTIMATORS_PIPELINE_H
+
+#include "callgraph/CallGraph.h"
+#include "cfg/Cfg.h"
+#include "estimators/AstEstimator.h"
+#include "estimators/InterEstimators.h"
+#include "estimators/MarkovIntra.h"
+#include "profile/Profile.h"
+
+namespace sest {
+
+/// Full estimator configuration.
+struct EstimatorOptions {
+  IntraEstimatorKind Intra = IntraEstimatorKind::Smart;
+  InterEstimatorKind Inter = InterEstimatorKind::Markov;
+  /// Assumed loop iteration count (paper: 5).
+  double LoopIterations = 5.0;
+  /// Branch heuristics (probability, toggles, switch weighting).
+  BranchPredictorConfig Branch;
+  /// Inter-procedural knobs (recursion factor, SCC ceiling...).
+  InterEstimatorConfig Inter_;
+  /// Markov-intra repair knobs.
+  MarkovIntraConfig MarkovIntra_;
+
+  /// Keeps the shared loop count consistent across sub-configs.
+  void setLoopIterations(double L) {
+    LoopIterations = L;
+    Branch.LoopIterations = L;
+    MarkovIntra_.Branch.LoopIterations = L;
+  }
+};
+
+/// A complete static estimate of one program.
+struct ProgramEstimate {
+  /// Per-function block frequencies normalized to one entry
+  /// ([function id][block id]; empty rows for builtins).
+  std::vector<std::vector<double>> BlockEstimates;
+  /// Estimated invocation counts per function id.
+  std::vector<double> FunctionEstimates;
+  /// Estimated global call-site frequencies per call-site id; -1 for
+  /// omitted (indirect) sites.
+  std::vector<double> CallSiteEstimates;
+};
+
+/// Runs the intra-procedural estimator over every defined function.
+IntraEstimates computeIntraEstimates(const TranslationUnit &Unit,
+                                     const CfgModule &Cfgs,
+                                     const EstimatorOptions &Options);
+
+/// Runs the full pipeline (intra → inter → call sites).
+ProgramEstimate estimateProgram(const TranslationUnit &Unit,
+                                const CfgModule &Cfgs, const CallGraph &CG,
+                                const EstimatorOptions &Options);
+
+/// Converts a measured (or aggregated) profile into the same shape, so
+/// profiles can be scored as estimators ("profiling with alternate
+/// inputs"). Block counts are renormalized per entry; indirect call
+/// sites in \p CG are marked omitted for like-for-like comparison.
+ProgramEstimate estimateFromProfile(const Profile &P, const CallGraph &CG);
+
+/// Whole-program ("global") block frequencies — the abstract's "arc and
+/// basic block frequency estimates for the entire program": each
+/// function's per-entry block estimates scaled by its estimated
+/// invocation count. Indexed like BlockEstimates.
+std::vector<std::vector<double>>
+globalBlockEstimates(const ProgramEstimate &E);
+
+/// Whole-program arc frequency estimates: the probability-weighted flow
+/// of every (block, successor-slot), scaled by the function's estimated
+/// invocation count. Probabilities come from the branch predictor in
+/// \p Options. Indexed [function id][block id][slot].
+std::vector<std::vector<std::vector<double>>>
+globalArcEstimates(const TranslationUnit &Unit, const CfgModule &Cfgs,
+                   const ProgramEstimate &E,
+                   const EstimatorOptions &Options);
+
+} // namespace sest
+
+#endif // ESTIMATORS_PIPELINE_H

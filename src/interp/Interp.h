@@ -1,0 +1,84 @@
+//===- interp/Interp.h - Profiling interpreter ------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CFG-level interpreter for mini-C that doubles as the profiling
+/// substrate: it executes the program on a given input and records exact
+/// basic-block, arc, function-entry and call-site counts (the role played
+/// by gcc-based instrumentation in the paper, §2).
+///
+/// It also implements the cost model used by the selective-optimization
+/// experiment (paper §6 / Fig. 10): every expression-node evaluation costs
+/// one cycle, scaled by a per-function factor when the function is in the
+/// "optimized" set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTERP_INTERP_H
+#define INTERP_INTERP_H
+
+#include "cfg/Cfg.h"
+#include "interp/Value.h"
+#include "lang/Ast.h"
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace sest {
+
+/// One program input: the byte stream read_char/read_int consume, plus
+/// the PRNG seed for rand().
+struct ProgramInput {
+  std::string Name = "input";
+  std::string Text;
+  uint64_t RandSeed = 1;
+};
+
+/// Knobs for one execution.
+struct InterpOptions {
+  /// Abort the run after this many evaluation steps (runaway guard).
+  uint64_t MaxSteps = 200'000'000;
+  /// Maximum call depth.
+  unsigned MaxCallDepth = 4096;
+  /// Maximum host (C++) stack the interpreter's own recursion may
+  /// consume before a run is aborted; guards against host stack
+  /// overflow on builds with large frames (debug, sanitizers), where
+  /// MaxCallDepth alone would be reached too late.
+  size_t MaxHostStackBytes = 6u << 20;
+  /// Maximum total heap cells.
+  int64_t MaxHeapCells = 1 << 26;
+  /// Functions whose per-cycle cost is multiplied by OptimizedCostFactor
+  /// (the Fig. 10 experiment).
+  std::set<const FunctionDecl *> OptimizedFunctions;
+  double OptimizedCostFactor = 0.5;
+};
+
+/// Outcome of one execution.
+struct RunResult {
+  /// True when the program ran to completion (normal return from main or
+  /// an exit() call).
+  bool Ok = false;
+  /// Diagnostic for aborted runs (runtime error, abort(), step limit).
+  std::string Error;
+  /// Exit code (main's return value or exit()'s argument).
+  int64_t ExitCode = 0;
+  /// Everything the program printed.
+  std::string Output;
+  /// The collected profile.
+  Profile TheProfile;
+};
+
+/// Executes \p Unit (starting at "main", which must take no parameters)
+/// with CFGs from \p Cfgs on \p Input.
+RunResult runProgram(const TranslationUnit &Unit, const CfgModule &Cfgs,
+                     const ProgramInput &Input,
+                     const InterpOptions &Options = {});
+
+} // namespace sest
+
+#endif // INTERP_INTERP_H

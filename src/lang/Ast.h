@@ -1,0 +1,879 @@
+//===- lang/Ast.h - Mini-C abstract syntax trees ----------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-C AST. The paper's "smart" estimators operate directly on this
+/// representation ("We have employed a similar technique within the
+/// compiler, operating at the level of the abstract syntax and the C type
+/// system", §1), so the AST keeps full structural and type information.
+///
+/// Nodes are arena-allocated and owned by an AstContext; raw pointers in
+/// the tree are non-owning. Hand-rolled LLVM-style RTTI (kind enums +
+/// classof) is used throughout; there are no virtual functions on nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LANG_AST_H
+#define LANG_AST_H
+
+#include "lang/Type.h"
+#include "support/Arena.h"
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sest {
+
+class Decl;
+class Expr;
+class FunctionDecl;
+class Stmt;
+class VarDecl;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for Expr.
+enum class ExprKind {
+  IntLit,
+  DoubleLit,
+  StringLit,
+  DeclRef,
+  Unary,
+  Binary,
+  Assign,
+  Conditional,
+  Call,
+  Index,
+  Member,
+  Cast,
+  InitList,
+};
+
+/// Unary operators.
+enum class UnaryOp {
+  Neg,     ///< -x
+  LogicalNot, ///< !x
+  BitNot,  ///< ~x
+  Deref,   ///< *p
+  AddrOf,  ///< &x
+  PreInc,  ///< ++x
+  PreDec,  ///< --x
+  PostInc, ///< x++
+  PostDec, ///< x--
+};
+
+/// Binary operators (including short-circuiting logical forms).
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  LogicalAnd,
+  LogicalOr,
+};
+
+/// Spelling of a binary operator ("+", "==", ...).
+const char *binaryOpSpelling(BinaryOp Op);
+/// Spelling of a unary operator ("-", "!", ...).
+const char *unaryOpSpelling(UnaryOp Op);
+/// True for <, >, <=, >=, ==, !=.
+bool isComparisonOp(BinaryOp Op);
+
+/// Base class of all expressions.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// The expression's type; set by semantic analysis, null before.
+  const Type *type() const { return Ty; }
+  void setType(const Type *T) { Ty = T; }
+
+  /// Unique id within the translation unit (set at construction).
+  uint32_t nodeId() const { return NodeId; }
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc, uint32_t NodeId)
+      : Kind(Kind), Loc(Loc), NodeId(NodeId) {}
+  ~Expr() = default;
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+  const Type *Ty = nullptr;
+  uint32_t NodeId;
+};
+
+/// An integer or character literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(SourceLoc Loc, uint32_t Id, int64_t Value)
+      : Expr(ExprKind::IntLit, Loc, Id), Value(Value) {}
+  int64_t value() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::IntLit;
+  }
+
+private:
+  int64_t Value;
+};
+
+/// A floating-point literal.
+class DoubleLitExpr : public Expr {
+public:
+  DoubleLitExpr(SourceLoc Loc, uint32_t Id, double Value)
+      : Expr(ExprKind::DoubleLit, Loc, Id), Value(Value) {}
+  double value() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::DoubleLit;
+  }
+
+private:
+  double Value;
+};
+
+/// A string literal; lowered to a char array in static storage.
+class StringLitExpr : public Expr {
+public:
+  StringLitExpr(SourceLoc Loc, uint32_t Id, std::string Value)
+      : Expr(ExprKind::StringLit, Loc, Id), Value(std::move(Value)) {}
+  const std::string &value() const { return Value; }
+
+  /// Index into the translation unit's string table (set by sema).
+  uint32_t stringId() const { return StringId; }
+  void setStringId(uint32_t Id) { StringId = Id; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::StringLit;
+  }
+
+private:
+  std::string Value;
+  uint32_t StringId = UINT32_MAX;
+};
+
+/// A reference to a variable, parameter, or function by name.
+class DeclRefExpr : public Expr {
+public:
+  DeclRefExpr(SourceLoc Loc, uint32_t Id, std::string Name)
+      : Expr(ExprKind::DeclRef, Loc, Id), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+
+  /// The resolved declaration (VarDecl or FunctionDecl); set by sema.
+  Decl *decl() const { return Target; }
+  void setDecl(Decl *D) { Target = D; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::DeclRef;
+  }
+
+private:
+  std::string Name;
+  Decl *Target = nullptr;
+};
+
+/// A unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, uint32_t Id, UnaryOp Op, Expr *Operand)
+      : Expr(ExprKind::Unary, Loc, Id), Op(Op), Operand(Operand) {}
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Unary;
+  }
+
+private:
+  UnaryOp Op;
+  Expr *Operand;
+};
+
+/// A binary operation, including short-circuit && and ||.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, uint32_t Id, BinaryOp Op, Expr *Lhs, Expr *Rhs)
+      : Expr(ExprKind::Binary, Loc, Id), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Binary;
+  }
+
+private:
+  BinaryOp Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+/// An assignment "lhs = rhs" or compound assignment "lhs op= rhs".
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLoc Loc, uint32_t Id, Expr *Lhs, Expr *Rhs,
+             std::optional<BinaryOp> CompoundOp)
+      : Expr(ExprKind::Assign, Loc, Id), Lhs(Lhs), Rhs(Rhs),
+        CompoundOp(CompoundOp) {}
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+  /// The arithmetic op of a compound assignment, or nullopt for plain "=".
+  std::optional<BinaryOp> compoundOp() const { return CompoundOp; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Assign;
+  }
+
+private:
+  Expr *Lhs;
+  Expr *Rhs;
+  std::optional<BinaryOp> CompoundOp;
+};
+
+/// The ternary conditional "cond ? t : f".
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLoc Loc, uint32_t Id, Expr *Cond, Expr *TrueE,
+                  Expr *FalseE)
+      : Expr(ExprKind::Conditional, Loc, Id), Cond(Cond), TrueE(TrueE),
+        FalseE(FalseE) {}
+  Expr *cond() const { return Cond; }
+  Expr *trueExpr() const { return TrueE; }
+  Expr *falseExpr() const { return FalseE; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Conditional;
+  }
+
+private:
+  Expr *Cond;
+  Expr *TrueE;
+  Expr *FalseE;
+};
+
+/// A function call, direct (callee resolves to a FunctionDecl) or indirect
+/// (callee is a function-pointer expression).
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, uint32_t Id, Expr *Callee,
+           std::vector<Expr *> Args)
+      : Expr(ExprKind::Call, Loc, Id), Callee(Callee),
+        Args(std::move(Args)) {}
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  /// The statically-known callee, or null for an indirect call (set by
+  /// sema).
+  FunctionDecl *directCallee() const { return Direct; }
+  void setDirectCallee(FunctionDecl *F) { Direct = F; }
+  bool isIndirect() const { return Direct == nullptr; }
+
+  /// Dense call-site index within the translation unit (set by sema).
+  uint32_t callSiteId() const { return CallSiteId; }
+  void setCallSiteId(uint32_t Id) { CallSiteId = Id; }
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+  FunctionDecl *Direct = nullptr;
+  uint32_t CallSiteId = UINT32_MAX;
+};
+
+/// Array subscript "base[index]".
+class IndexExpr : public Expr {
+public:
+  IndexExpr(SourceLoc Loc, uint32_t Id, Expr *Base, Expr *Index)
+      : Expr(ExprKind::Index, Loc, Id), Base(Base), Index(Index) {}
+  Expr *base() const { return Base; }
+  Expr *index() const { return Index; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Index;
+  }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+/// Member access "base.field" or "base->field".
+class MemberExpr : public Expr {
+public:
+  MemberExpr(SourceLoc Loc, uint32_t Id, Expr *Base, std::string Field,
+             bool IsArrow)
+      : Expr(ExprKind::Member, Loc, Id), Base(Base),
+        Field(std::move(Field)), IsArrow(IsArrow) {}
+  Expr *base() const { return Base; }
+  const std::string &fieldName() const { return Field; }
+  bool isArrow() const { return IsArrow; }
+
+  /// Cell offset of the field inside the struct (set by sema).
+  int64_t fieldOffset() const { return FieldOffset; }
+  void setFieldOffset(int64_t Offset) { FieldOffset = Offset; }
+
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::Member;
+  }
+
+private:
+  Expr *Base;
+  std::string Field;
+  bool IsArrow;
+  int64_t FieldOffset = 0;
+};
+
+/// An explicit cast "(type) expr".
+class CastExpr : public Expr {
+public:
+  CastExpr(SourceLoc Loc, uint32_t Id, const Type *Target, Expr *Operand)
+      : Expr(ExprKind::Cast, Loc, Id), Target(Target), Operand(Operand) {}
+  const Type *targetType() const { return Target; }
+  Expr *operand() const { return Operand; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Cast; }
+
+private:
+  const Type *Target;
+  Expr *Operand;
+};
+
+/// A brace initializer list "{ a, b, c }" for array/struct initialization.
+class InitListExpr : public Expr {
+public:
+  InitListExpr(SourceLoc Loc, uint32_t Id, std::vector<Expr *> Elements)
+      : Expr(ExprKind::InitList, Loc, Id), Elements(std::move(Elements)) {}
+  const std::vector<Expr *> &elements() const { return Elements; }
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::InitList;
+  }
+
+private:
+  std::vector<Expr *> Elements;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for Stmt.
+enum class StmtKind {
+  Expr,
+  Decl,
+  Compound,
+  If,
+  While,
+  DoWhile,
+  For,
+  Switch,
+  CaseLabel,
+  DefaultLabel,
+  Break,
+  Continue,
+  Return,
+  Goto,
+  Label,
+  Null,
+};
+
+/// Base class of all statements.
+class Stmt {
+public:
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  uint32_t nodeId() const { return NodeId; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc, uint32_t NodeId)
+      : Kind(Kind), Loc(Loc), NodeId(NodeId) {}
+  ~Stmt() = default;
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+  uint32_t NodeId;
+};
+
+/// An expression evaluated for its side effects.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, uint32_t Id, Expr *E)
+      : Stmt(StmtKind::Expr, Loc, Id), E(E) {}
+  Expr *expr() const { return E; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Expr; }
+
+private:
+  Expr *E;
+};
+
+/// A local variable declaration (possibly with initializer).
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(SourceLoc Loc, uint32_t Id, VarDecl *Var)
+      : Stmt(StmtKind::Decl, Loc, Id), Var(Var) {}
+  VarDecl *var() const { return Var; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
+
+private:
+  VarDecl *Var;
+};
+
+/// A brace-enclosed statement sequence.
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt(SourceLoc Loc, uint32_t Id, std::vector<Stmt *> Body)
+      : Stmt(StmtKind::Compound, Loc, Id), Body(std::move(Body)) {}
+  const std::vector<Stmt *> &body() const { return Body; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Compound;
+  }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+/// if (cond) then [else els].
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, uint32_t Id, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(StmtKind::If, Loc, Id), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+/// while (cond) body.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, uint32_t Id, Expr *Cond, Stmt *Body)
+      : Stmt(StmtKind::While, Loc, Id), Cond(Cond), Body(Body) {}
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::While;
+  }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+/// do body while (cond);.
+class DoWhileStmt : public Stmt {
+public:
+  DoWhileStmt(SourceLoc Loc, uint32_t Id, Stmt *Body, Expr *Cond)
+      : Stmt(StmtKind::DoWhile, Loc, Id), Body(Body), Cond(Cond) {}
+  Stmt *body() const { return Body; }
+  Expr *cond() const { return Cond; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::DoWhile;
+  }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+/// for (init; cond; step) body. Init may be a DeclStmt or ExprStmt or
+/// null; cond and step may be null.
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, uint32_t Id, Stmt *Init, Expr *Cond, Expr *Step,
+          Stmt *Body)
+      : Stmt(StmtKind::For, Loc, Id), Init(Init), Cond(Cond), Step(Step),
+        Body(Body) {}
+  Stmt *init() const { return Init; }
+  Expr *cond() const { return Cond; }
+  Expr *step() const { return Step; }
+  Stmt *body() const { return Body; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Step;
+  Stmt *Body;
+};
+
+/// switch (cond) body; case/default labels appear inside body.
+class SwitchStmt : public Stmt {
+public:
+  SwitchStmt(SourceLoc Loc, uint32_t Id, Expr *Cond, Stmt *Body)
+      : Stmt(StmtKind::Switch, Loc, Id), Cond(Cond), Body(Body) {}
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Switch;
+  }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+/// "case V:" — a label marker; the labeled code is the statement sequence
+/// that follows it (C-style fallthrough is fully supported).
+class CaseLabelStmt : public Stmt {
+public:
+  CaseLabelStmt(SourceLoc Loc, uint32_t Id, Expr *Value)
+      : Stmt(StmtKind::CaseLabel, Loc, Id), Value(Value) {}
+  Expr *valueExpr() const { return Value; }
+
+  /// The folded constant case value (set by sema).
+  int64_t value() const { return FoldedValue; }
+  void setValue(int64_t V) { FoldedValue = V; }
+
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::CaseLabel;
+  }
+
+private:
+  Expr *Value;
+  int64_t FoldedValue = 0;
+};
+
+/// "default:" label marker.
+class DefaultLabelStmt : public Stmt {
+public:
+  DefaultLabelStmt(SourceLoc Loc, uint32_t Id)
+      : Stmt(StmtKind::DefaultLabel, Loc, Id) {}
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::DefaultLabel;
+  }
+};
+
+/// break;
+class BreakStmt : public Stmt {
+public:
+  BreakStmt(SourceLoc Loc, uint32_t Id) : Stmt(StmtKind::Break, Loc, Id) {}
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Break;
+  }
+};
+
+/// continue;
+class ContinueStmt : public Stmt {
+public:
+  ContinueStmt(SourceLoc Loc, uint32_t Id)
+      : Stmt(StmtKind::Continue, Loc, Id) {}
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Continue;
+  }
+};
+
+/// return [expr];
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, uint32_t Id, Expr *Value)
+      : Stmt(StmtKind::Return, Loc, Id), Value(Value) {}
+  Expr *value() const { return Value; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Return;
+  }
+
+private:
+  Expr *Value;
+};
+
+/// goto label;
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(SourceLoc Loc, uint32_t Id, std::string Target)
+      : Stmt(StmtKind::Goto, Loc, Id), Target(std::move(Target)) {}
+  const std::string &target() const { return Target; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Goto; }
+
+private:
+  std::string Target;
+};
+
+/// "name:" — a goto label marker (labels the following statements).
+class LabelStmt : public Stmt {
+public:
+  LabelStmt(SourceLoc Loc, uint32_t Id, std::string Name)
+      : Stmt(StmtKind::Label, Loc, Id), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Label;
+  }
+
+private:
+  std::string Name;
+};
+
+/// ";" — the empty statement.
+class NullStmt : public Stmt {
+public:
+  NullStmt(SourceLoc Loc, uint32_t Id) : Stmt(StmtKind::Null, Loc, Id) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Null; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Discriminator for Decl.
+enum class DeclKind { Var, Function };
+
+/// Where a variable's cells live at run time.
+enum class StorageKind { Global, Frame };
+
+/// Base class for variable and function declarations.
+class Decl {
+public:
+  DeclKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  const std::string &name() const { return Name; }
+
+protected:
+  Decl(DeclKind Kind, SourceLoc Loc, std::string Name)
+      : Kind(Kind), Loc(Loc), Name(std::move(Name)) {}
+  ~Decl() = default;
+
+private:
+  DeclKind Kind;
+  SourceLoc Loc;
+  std::string Name;
+};
+
+/// A variable: global, local, or parameter.
+class VarDecl : public Decl {
+public:
+  VarDecl(SourceLoc Loc, std::string Name, const Type *Ty, Expr *Init,
+          bool IsParam)
+      : Decl(DeclKind::Var, Loc, std::move(Name)), Ty(Ty), Init(Init),
+        IsParam(IsParam) {}
+
+  const Type *type() const { return Ty; }
+  Expr *init() const { return Init; }
+  bool isParam() const { return IsParam; }
+
+  StorageKind storage() const { return Storage; }
+  /// Cell offset within the global segment or the stack frame.
+  int64_t cellOffset() const { return CellOffset; }
+  void setStorage(StorageKind K, int64_t Offset) {
+    Storage = K;
+    CellOffset = Offset;
+  }
+
+  static bool classof(const Decl *D) { return D->kind() == DeclKind::Var; }
+
+private:
+  const Type *Ty;
+  Expr *Init;
+  bool IsParam;
+  StorageKind Storage = StorageKind::Frame;
+  int64_t CellOffset = -1;
+};
+
+/// Identifies the runtime builtins the interpreter provides.
+enum class BuiltinKind {
+  None,
+  PrintInt,
+  PrintChar,
+  PrintStr,
+  PrintDouble,
+  ReadInt,    ///< Next integer from the input stream; -1 at EOF.
+  ReadChar,   ///< Next character from the input stream; -1 at EOF.
+  Malloc,
+  Free,
+  Abort,
+  Exit,
+  Rand,       ///< Deterministic PRNG, seeded per run.
+  Srand,
+  Sqrt,
+  Fabs,
+  Floor,
+};
+
+/// A function: user-defined (with a body) or builtin (interpreted
+/// natively).
+class FunctionDecl : public Decl {
+public:
+  FunctionDecl(SourceLoc Loc, std::string Name, const FunctionType *Ty,
+               std::vector<VarDecl *> Params)
+      : Decl(DeclKind::Function, Loc, std::move(Name)), Ty(Ty),
+        Params(std::move(Params)) {}
+
+  const FunctionType *type() const { return Ty; }
+  const std::vector<VarDecl *> &params() const { return Params; }
+
+  CompoundStmt *body() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+  bool isDefined() const { return Body != nullptr; }
+
+  BuiltinKind builtin() const { return Builtin; }
+  void setBuiltin(BuiltinKind K) { Builtin = K; }
+  bool isBuiltin() const { return Builtin != BuiltinKind::None; }
+
+  /// True for abort/exit — the paper's error heuristic treats paths that
+  /// reach these as unlikely.
+  bool isNoReturn() const {
+    return Builtin == BuiltinKind::Abort || Builtin == BuiltinKind::Exit;
+  }
+
+  /// Dense function index within the translation unit (set by sema).
+  uint32_t functionId() const { return FunctionId; }
+  void setFunctionId(uint32_t Id) { FunctionId = Id; }
+
+  /// Number of static address-of operations on this function (paper
+  /// §5.2.1: arcs from the pointer node are weighted by this count).
+  uint32_t addressTakenCount() const { return AddressTaken; }
+  void noteAddressTaken() { ++AddressTaken; }
+
+  /// Total frame size in cells (params + locals; set by sema).
+  int64_t frameSizeCells() const { return FrameSize; }
+  void setFrameSizeCells(int64_t Size) { FrameSize = Size; }
+
+  static bool classof(const Decl *D) {
+    return D->kind() == DeclKind::Function;
+  }
+
+private:
+  const FunctionType *Ty;
+  std::vector<VarDecl *> Params;
+  CompoundStmt *Body = nullptr;
+  BuiltinKind Builtin = BuiltinKind::None;
+  uint32_t FunctionId = UINT32_MAX;
+  uint32_t AddressTaken = 0;
+  int64_t FrameSize = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Translation unit and context
+//===----------------------------------------------------------------------===//
+
+/// One parsed program.
+struct TranslationUnit {
+  /// All functions in declaration order (builtins included, first).
+  std::vector<FunctionDecl *> Functions;
+  /// Global variables in declaration order.
+  std::vector<VarDecl *> Globals;
+  /// Interned string literals; StringLitExpr::stringId indexes here.
+  std::vector<std::string> StringTable;
+  /// Total number of global cells (set by sema).
+  int64_t GlobalSizeCells = 0;
+  /// Total number of call sites (set by sema).
+  uint32_t NumCallSites = 0;
+
+  /// Finds a function by name, or null.
+  FunctionDecl *findFunction(const std::string &Name) const {
+    for (FunctionDecl *F : Functions)
+      if (F->name() == Name)
+        return F;
+    return nullptr;
+  }
+};
+
+/// Owns everything produced by parsing one program: the node arena, the
+/// type context, and the translation unit.
+class AstContext {
+public:
+  AstContext() = default;
+  AstContext(const AstContext &) = delete;
+  AstContext &operator=(const AstContext &) = delete;
+
+  TypeContext &types() { return Types; }
+  const TypeContext &types() const { return Types; }
+  TranslationUnit &unit() { return Unit; }
+  const TranslationUnit &unit() const { return Unit; }
+
+  /// Allocates an AST node of type \p T with a fresh node id prepended to
+  /// the constructor arguments (after the location).
+  template <typename T, typename... Args>
+  T *create(SourceLoc Loc, Args &&...As) {
+    return NodeArena.create<T>(Loc, NextNodeId++,
+                               std::forward<Args>(As)...);
+  }
+
+  /// Allocates a declaration (declarations carry no node id).
+  template <typename T, typename... Args> T *createDecl(Args &&...As) {
+    return NodeArena.create<T>(std::forward<Args>(As)...);
+  }
+
+  uint32_t nodeCount() const { return NextNodeId; }
+
+private:
+  Arena NodeArena;
+  TypeContext Types;
+  TranslationUnit Unit;
+  uint32_t NextNodeId = 0;
+};
+
+/// dyn_cast-style helpers for Expr.
+template <typename T> T *exprDynCast(Expr *E) {
+  if (E && T::classof(E))
+    return static_cast<T *>(E);
+  return nullptr;
+}
+template <typename T> const T *exprDynCast(const Expr *E) {
+  if (E && T::classof(E))
+    return static_cast<const T *>(E);
+  return nullptr;
+}
+template <typename T> T *exprCast(Expr *E) {
+  assert(E && T::classof(E) && "exprCast to wrong kind");
+  return static_cast<T *>(E);
+}
+template <typename T> const T *exprCast(const Expr *E) {
+  assert(E && T::classof(E) && "exprCast to wrong kind");
+  return static_cast<const T *>(E);
+}
+
+/// dyn_cast-style helpers for Stmt.
+template <typename T> T *stmtDynCast(Stmt *S) {
+  if (S && T::classof(S))
+    return static_cast<T *>(S);
+  return nullptr;
+}
+template <typename T> const T *stmtDynCast(const Stmt *S) {
+  if (S && T::classof(S))
+    return static_cast<const T *>(S);
+  return nullptr;
+}
+template <typename T> T *stmtCast(Stmt *S) {
+  assert(S && T::classof(S) && "stmtCast to wrong kind");
+  return static_cast<T *>(S);
+}
+template <typename T> const T *stmtCast(const Stmt *S) {
+  assert(S && T::classof(S) && "stmtCast to wrong kind");
+  return static_cast<const T *>(S);
+}
+
+/// dyn_cast-style helpers for Decl.
+template <typename T> T *declDynCast(Decl *D) {
+  if (D && T::classof(D))
+    return static_cast<T *>(D);
+  return nullptr;
+}
+template <typename T> const T *declDynCast(const Decl *D) {
+  if (D && T::classof(D))
+    return static_cast<const T *>(D);
+  return nullptr;
+}
+
+} // namespace sest
+
+#endif // LANG_AST_H

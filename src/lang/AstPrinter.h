@@ -1,0 +1,43 @@
+//===- lang/AstPrinter.h - AST pretty printer -------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST as an indented tree, optionally annotated with a
+/// per-statement frequency map — the format of the paper's Figure 3
+/// ("A single top-down tree walk computes an estimated count (shown to
+/// the left of each node) for each basic block").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LANG_ASTPRINTER_H
+#define LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <map>
+#include <string>
+
+namespace sest {
+
+/// Options controlling AST printing.
+struct AstPrintOptions {
+  /// When non-null, each statement line is prefixed with its estimated
+  /// frequency from this map (statement node id → frequency).
+  const std::map<uint32_t, double> *StmtFrequencies = nullptr;
+  /// Print expression node details (kinds and operators).
+  bool PrintExprs = true;
+};
+
+/// Renders \p F as an indented tree.
+std::string printFunctionAst(const FunctionDecl *F,
+                             const AstPrintOptions &Options = {});
+
+/// Renders a single expression as (approximate) source text.
+std::string printExpr(const Expr *E);
+
+} // namespace sest
+
+#endif // LANG_ASTPRINTER_H

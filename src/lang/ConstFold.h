@@ -1,0 +1,54 @@
+//===- lang/ConstFold.h - Constant expression folding -----------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time evaluation of constant expressions. Used by sema to fold
+/// case labels, and by the evaluation pipeline to detect branches whose
+/// condition is a compile-time constant: the paper predicts such branches
+/// "but [does] not count [them] towards the score" (§2), since constant
+/// propagation would eliminate them and counting them would make miss
+/// rates look artificially low.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LANG_CONSTFOLD_H
+#define LANG_CONSTFOLD_H
+
+#include "lang/Ast.h"
+
+#include <optional>
+
+namespace sest {
+
+/// A folded constant: integer or floating.
+struct ConstValue {
+  bool IsDouble = false;
+  int64_t IntVal = 0;
+  double DoubleVal = 0.0;
+
+  static ConstValue makeInt(int64_t V) { return {false, V, 0.0}; }
+  static ConstValue makeDouble(double V) { return {true, 0, V}; }
+
+  /// Truthiness, as a branch condition would see it.
+  bool isTruthy() const { return IsDouble ? DoubleVal != 0.0 : IntVal != 0; }
+  /// Value coerced to double.
+  double asDouble() const {
+    return IsDouble ? DoubleVal : static_cast<double>(IntVal);
+  }
+};
+
+/// Attempts to evaluate \p E at compile time. Handles literals, unary and
+/// binary arithmetic/logic/comparison, conditional expressions and scalar
+/// casts over constants. Returns nullopt for anything involving memory,
+/// calls, or division by a zero constant.
+std::optional<ConstValue> foldConstant(const Expr *E);
+
+/// Folds \p E to an integer; fails also when the result is floating.
+std::optional<int64_t> foldIntConstant(const Expr *E);
+
+} // namespace sest
+
+#endif // LANG_CONSTFOLD_H

@@ -1,0 +1,474 @@
+//===- lang/Lexer.cpp - Mini-C lexer ---------------------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace sest;
+
+const char *sest::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::DoubleLiteral:
+    return "floating literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwSwitch:
+    return "'switch'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwGoto:
+    return "'goto'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::KwNull:
+    return "'NULL'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LessLess:
+    return "'<<'";
+  case TokenKind::GreaterGreater:
+    return "'>>'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::PlusEqual:
+    return "'+='";
+  case TokenKind::MinusEqual:
+    return "'-='";
+  case TokenKind::StarEqual:
+    return "'*='";
+  case TokenKind::SlashEqual:
+    return "'/='";
+  case TokenKind::PercentEqual:
+    return "'%='";
+  case TokenKind::AmpEqual:
+    return "'&='";
+  case TokenKind::PipeEqual:
+    return "'|='";
+  case TokenKind::CaretEqual:
+    return "'^='";
+  case TokenKind::LessLessEqual:
+    return "'<<='";
+  case TokenKind::GreaterGreaterEqual:
+    return "'>>='";
+  }
+  return "<unknown token>";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      bool Closed = false;
+      while (peek() != '\0') {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text(Source.substr(Start, Pos - Start));
+
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},         {"char", TokenKind::KwChar},
+      {"double", TokenKind::KwDouble},   {"void", TokenKind::KwVoid},
+      {"struct", TokenKind::KwStruct},   {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},         {"do", TokenKind::KwDo},
+      {"switch", TokenKind::KwSwitch},   {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault}, {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"return", TokenKind::KwReturn},   {"goto", TokenKind::KwGoto},
+      {"sizeof", TokenKind::KwSizeof},   {"NULL", TokenKind::KwNull},
+  };
+  auto It = Keywords.find(Text);
+  Token T = makeToken(It != Keywords.end() ? It->second
+                                           : TokenKind::Identifier,
+                      Loc);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  bool IsHex = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    IsHex = true;
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+
+  bool IsDouble = false;
+  if (!IsHex && peek() == '.' &&
+      std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsDouble = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (!IsHex && (peek() == 'e' || peek() == 'E')) {
+    char Sign = peek(1);
+    size_t DigitAt = (Sign == '+' || Sign == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(peek(DigitAt)))) {
+      IsDouble = true;
+      advance();
+      if (Sign == '+' || Sign == '-')
+        advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+
+  std::string Text(Source.substr(Start, Pos - Start));
+  if (IsDouble) {
+    Token T = makeToken(TokenKind::DoubleLiteral, Loc);
+    T.DoubleValue = std::strtod(Text.c_str(), nullptr);
+    T.Text = std::move(Text);
+    return T;
+  }
+  Token T = makeToken(TokenKind::IntLiteral, Loc);
+  T.IntValue =
+      static_cast<int64_t>(std::strtoll(Text.c_str(), nullptr, 0));
+  T.Text = std::move(Text);
+  return T;
+}
+
+int Lexer::decodeEscape() {
+  char C = advance();
+  if (C != '\\')
+    return static_cast<unsigned char>(C);
+  char E = advance();
+  switch (E) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    Diags.error(here(), std::string("unknown escape sequence '\\") + E +
+                            "'");
+    return E;
+  }
+}
+
+Token Lexer::lexCharLiteral(SourceLoc Loc) {
+  advance(); // opening quote
+  int Value = 0;
+  if (peek() == '\'' || peek() == '\0')
+    Diags.error(Loc, "empty character literal");
+  else
+    Value = decodeEscape();
+  if (!match('\''))
+    Diags.error(Loc, "unterminated character literal");
+  Token T = makeToken(TokenKind::CharLiteral, Loc);
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::lexStringLiteral(SourceLoc Loc) {
+  advance(); // opening quote
+  std::string Value;
+  while (peek() != '"' && peek() != '\0' && peek() != '\n')
+    Value += static_cast<char>(decodeEscape());
+  if (!match('"'))
+    Diags.error(Loc, "unterminated string literal");
+  Token T = makeToken(TokenKind::StringLiteral, Loc);
+  T.Text = std::move(Value);
+  return T;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLoc Loc = here();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::EndOfFile, Loc);
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (C == '\'')
+    return lexCharLiteral(Loc);
+  if (C == '"')
+    return lexStringLiteral(Loc);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case ':':
+    return makeToken(TokenKind::Colon, Loc);
+  case '?':
+    return makeToken(TokenKind::Question, Loc);
+  case '.':
+    return makeToken(TokenKind::Dot, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PlusEqual, Loc);
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::MinusEqual, Loc);
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Loc);
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarEqual, Loc);
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashEqual, Loc);
+    return makeToken(TokenKind::Slash, Loc);
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentEqual, Loc);
+    return makeToken(TokenKind::Percent, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc);
+    if (match('='))
+      return makeToken(TokenKind::AmpEqual, Loc);
+    return makeToken(TokenKind::Amp, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PipeEqual, Loc);
+    return makeToken(TokenKind::Pipe, Loc);
+  case '^':
+    if (match('='))
+      return makeToken(TokenKind::CaretEqual, Loc);
+    return makeToken(TokenKind::Caret, Loc);
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::BangEqual, Loc);
+    return makeToken(TokenKind::Bang, Loc);
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokenKind::LessLessEqual, Loc);
+      return makeToken(TokenKind::LessLess, Loc);
+    }
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Loc);
+    return makeToken(TokenKind::Less, Loc);
+  case '>':
+    if (match('>')) {
+      if (match('='))
+        return makeToken(TokenKind::GreaterGreaterEqual, Loc);
+      return makeToken(TokenKind::GreaterGreater, Loc);
+    }
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Loc);
+    return makeToken(TokenKind::Greater, Loc);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Loc);
+    return makeToken(TokenKind::Equal, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return next();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(next());
+    if (Tokens.back().is(TokenKind::EndOfFile))
+      return Tokens;
+  }
+}

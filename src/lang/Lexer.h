@@ -1,0 +1,63 @@
+//===- lang/Lexer.h - Mini-C lexer -------------------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for mini-C. Supports //- and /*-style comments,
+/// decimal and hexadecimal integers, floating literals with exponents,
+/// character and string literals with the usual escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LANG_LEXER_H
+#define LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace sest {
+
+/// Lexes one source buffer into a token stream.
+class Lexer {
+public:
+  /// \p Source must outlive the lexer. Diagnostics go to \p Diags.
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token (EndOfFile at the end, repeatedly).
+  Token next();
+
+  /// Lexes the whole buffer; the last token is EndOfFile.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLoc here() const { return SourceLoc(Line, Column); }
+
+  Token makeToken(TokenKind Kind, SourceLoc Loc) const;
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+  Token lexCharLiteral(SourceLoc Loc);
+  Token lexStringLiteral(SourceLoc Loc);
+  /// Decodes one (possibly escaped) character of a char/string literal.
+  int decodeEscape();
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace sest
+
+#endif // LANG_LEXER_H

@@ -1,0 +1,917 @@
+//===- lang/Parser.cpp - Mini-C parser -------------------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "lang/Sema.h"
+
+#include <cassert>
+
+using namespace sest;
+
+Parser::Parser(AstContext &Ctx, std::vector<Token> Tokens,
+               DiagnosticEngine &Diags)
+    : Ctx(Ctx), Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() &&
+         this->Tokens.back().is(TokenKind::EndOfFile) &&
+         "token stream must end with EOF");
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1;
+  return Tokens[I];
+}
+
+Token Parser::consume() {
+  Token T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") +
+                                 tokenKindName(Kind) + " " + Context +
+                                 ", found " + tokenKindName(current().Kind));
+  return false;
+}
+
+/// Error recovery: skip forward to the next ';' or '}' boundary.
+void Parser::skipToSync() {
+  unsigned Depth = 0;
+  while (!check(TokenKind::EndOfFile)) {
+    TokenKind K = current().Kind;
+    if (Depth == 0 && (K == TokenKind::Semicolon || K == TokenKind::RBrace)) {
+      consume();
+      return;
+    }
+    if (K == TokenKind::LBrace)
+      ++Depth;
+    else if (K == TokenKind::RBrace && Depth > 0)
+      --Depth;
+    consume();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Types and declarators
+//===----------------------------------------------------------------------===//
+
+bool Parser::atTypeSpecifier() const {
+  switch (current().Kind) {
+  case TokenKind::KwInt:
+  case TokenKind::KwChar:
+  case TokenKind::KwDouble:
+  case TokenKind::KwVoid:
+  case TokenKind::KwStruct:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const Type *Parser::parseTypeSpecifier() {
+  TypeContext &Types = Ctx.types();
+  switch (current().Kind) {
+  case TokenKind::KwInt:
+    consume();
+    return Types.intType();
+  case TokenKind::KwChar:
+    consume();
+    return Types.charType();
+  case TokenKind::KwDouble:
+    consume();
+    return Types.doubleType();
+  case TokenKind::KwVoid:
+    consume();
+    return Types.voidType();
+  case TokenKind::KwStruct: {
+    consume();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(current().Loc, "expected struct name");
+      return Types.intType();
+    }
+    Token Name = consume();
+    auto It = StructTypes.find(Name.Text);
+    if (It != StructTypes.end())
+      return It->second;
+    // Forward reference: create an incomplete struct (usable behind a
+    // pointer).
+    StructType *S = Types.createStruct(Name.Text);
+    StructTypes.emplace(Name.Text, S);
+    return S;
+  }
+  default:
+    Diags.error(current().Loc, "expected type specifier");
+    return Types.intType();
+  }
+}
+
+Parser::Declarator Parser::parseDeclarator(bool RequireName) {
+  Declarator D;
+  D.Loc = current().Loc;
+  unsigned Pointers = 0;
+  while (accept(TokenKind::Star))
+    ++Pointers;
+  parseDirectDeclarator(D, RequireName);
+  for (unsigned I = 0; I < Pointers; ++I) {
+    DeclaratorOp Op;
+    Op.OpKind = DeclaratorOp::Kind::Pointer;
+    D.Ops.push_back(std::move(Op));
+  }
+  return D;
+}
+
+void Parser::parseDirectDeclarator(Declarator &D, bool RequireName) {
+  // A '(' here is a grouping paren (e.g. "(*fp)(int)") when followed by
+  // '*' or another '('; otherwise it would be a parameter list, which is
+  // handled as a suffix.
+  if (check(TokenKind::LParen) &&
+      (peek(1).is(TokenKind::Star) || peek(1).is(TokenKind::LParen))) {
+    consume();
+    Declarator Inner = parseDeclarator(RequireName);
+    expect(TokenKind::RParen, "after grouped declarator");
+    D.Name = std::move(Inner.Name);
+    if (Inner.Loc.isValid())
+      D.Loc = Inner.Loc;
+    D.Ops = std::move(Inner.Ops);
+  } else if (check(TokenKind::Identifier)) {
+    Token T = consume();
+    D.Name = T.Text;
+    D.Loc = T.Loc;
+  } else if (RequireName) {
+    Diags.error(current().Loc, "expected declarator name");
+  }
+  parseDeclaratorSuffixes(D);
+}
+
+void Parser::parseDeclaratorSuffixes(Declarator &D) {
+  for (;;) {
+    if (accept(TokenKind::LBracket)) {
+      DeclaratorOp Op;
+      Op.OpKind = DeclaratorOp::Kind::Array;
+      if (check(TokenKind::IntLiteral)) {
+        Op.ArrayLen = consume().IntValue;
+        if (Op.ArrayLen <= 0)
+          Diags.error(current().Loc, "array length must be positive");
+      } else {
+        Diags.error(current().Loc,
+                    "expected integer constant array length");
+      }
+      expect(TokenKind::RBracket, "after array length");
+      D.Ops.push_back(std::move(Op));
+      continue;
+    }
+    if (check(TokenKind::LParen)) {
+      consume();
+      DeclaratorOp Op;
+      Op.OpKind = DeclaratorOp::Kind::Function;
+      if (accept(TokenKind::KwVoid) && check(TokenKind::RParen)) {
+        // "(void)" — explicit empty parameter list.
+      } else if (!check(TokenKind::RParen)) {
+        // We consumed 'void' above only when it stood alone; if it was a
+        // 'void *' parameter, back up by reparsing from the 'void'.
+        if (Tokens[Pos - 1].is(TokenKind::KwVoid) &&
+            !check(TokenKind::RParen))
+          --Pos;
+        for (;;) {
+          const Type *ParamBase = parseTypeSpecifier();
+          Declarator PD = parseDeclarator(/*RequireName=*/false);
+          const Type *ParamTy = applyDeclarator(ParamBase, PD);
+          // Arrays and functions decay to pointers in parameter position.
+          if (const auto *AT = typeDynCast<ArrayType>(ParamTy))
+            ParamTy = Ctx.types().pointerTo(AT->element());
+          else if (ParamTy->isFunction())
+            ParamTy = Ctx.types().pointerTo(ParamTy);
+          Op.ParamTypes.push_back(ParamTy);
+          Op.ParamNames.push_back(PD.Name);
+          Op.ParamLocs.push_back(PD.Loc.isValid() ? PD.Loc : current().Loc);
+          if (!accept(TokenKind::Comma))
+            break;
+        }
+      }
+      expect(TokenKind::RParen, "after parameter list");
+      D.Ops.push_back(std::move(Op));
+      continue;
+    }
+    return;
+  }
+}
+
+const Type *Parser::applyDeclarator(const Type *Base, const Declarator &D) {
+  // Ops are stored innermost-first; build the type from the outside in by
+  // walking them in reverse.
+  const Type *Cur = Base;
+  for (auto It = D.Ops.rbegin(), E = D.Ops.rend(); It != E; ++It) {
+    switch (It->OpKind) {
+    case DeclaratorOp::Kind::Pointer:
+      Cur = Ctx.types().pointerTo(Cur);
+      break;
+    case DeclaratorOp::Kind::Array:
+      Cur = Ctx.types().arrayOf(Cur, It->ArrayLen);
+      break;
+    case DeclaratorOp::Kind::Function:
+      Cur = Ctx.types().functionType(Cur, It->ParamTypes);
+      break;
+    }
+  }
+  return Cur;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseTranslationUnit() {
+  while (!check(TokenKind::EndOfFile))
+    parseTopLevel();
+  return !Diags.hasErrors();
+}
+
+void Parser::parseTopLevel() {
+  if (check(TokenKind::KwStruct) && peek(1).is(TokenKind::Identifier) &&
+      peek(2).is(TokenKind::LBrace)) {
+    parseStructDecl();
+    return;
+  }
+  if (!atTypeSpecifier()) {
+    Diags.error(current().Loc,
+                std::string("expected declaration, found ") +
+                    tokenKindName(current().Kind));
+    skipToSync();
+    return;
+  }
+  const Type *Base = parseTypeSpecifier();
+  parseGlobalAfterType(Base);
+}
+
+void Parser::parseStructDecl() {
+  consume(); // 'struct'
+  Token Name = consume();
+  StructType *S;
+  auto It = StructTypes.find(Name.Text);
+  if (It != StructTypes.end()) {
+    S = It->second;
+    if (S->isComplete()) {
+      Diags.error(Name.Loc, "redefinition of struct " + Name.Text);
+      skipToSync();
+      return;
+    }
+  } else {
+    S = Ctx.types().createStruct(Name.Text);
+    StructTypes.emplace(Name.Text, S);
+  }
+  expect(TokenKind::LBrace, "in struct definition");
+  std::vector<StructField> Fields;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    const Type *Base = parseTypeSpecifier();
+    for (;;) {
+      Declarator D = parseDeclarator(/*RequireName=*/true);
+      const Type *FieldTy = applyDeclarator(Base, D);
+      if (FieldTy->isVoid() || FieldTy->isFunction()) {
+        Diags.error(D.Loc, "invalid field type " + FieldTy->str());
+        FieldTy = Ctx.types().intType();
+      }
+      if (const auto *FS = typeDynCast<StructType>(FieldTy);
+          FS && !FS->isComplete()) {
+        Diags.error(D.Loc, "field has incomplete type " + FieldTy->str());
+        FieldTy = Ctx.types().intType();
+      }
+      Fields.push_back({D.Name, FieldTy, 0});
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::Semicolon, "after struct field");
+  }
+  expect(TokenKind::RBrace, "at end of struct definition");
+  expect(TokenKind::Semicolon, "after struct definition");
+  Ctx.types().completeStruct(S, std::move(Fields));
+}
+
+void Parser::parseGlobalAfterType(const Type *Base) {
+  // "struct foo;" alone is a forward declaration, already handled by the
+  // type specifier.
+  if (accept(TokenKind::Semicolon))
+    return;
+
+  Declarator First = parseDeclarator(/*RequireName=*/true);
+  // A function definition/prototype: outermost op is Function and next
+  // token is '{' or ';'.
+  if (First.functionOp() &&
+      (check(TokenKind::LBrace) || check(TokenKind::Semicolon))) {
+    parseFunctionRest(Base, First);
+    return;
+  }
+
+  // Global variable(s).
+  Declarator D = std::move(First);
+  for (;;) {
+    const Type *Ty = applyDeclarator(Base, D);
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Equal))
+      Init = parseInitializer();
+    auto *Var = Ctx.createDecl<VarDecl>(D.Loc, D.Name, Ty, Init,
+                                        /*IsParam=*/false);
+    Ctx.unit().Globals.push_back(Var);
+    if (!accept(TokenKind::Comma))
+      break;
+    D = parseDeclarator(/*RequireName=*/true);
+  }
+  expect(TokenKind::Semicolon, "after global declaration");
+}
+
+FunctionDecl *Parser::parseFunctionRest(const Type *Base,
+                                        const Declarator &D) {
+  const DeclaratorOp *FnOp = D.functionOp();
+  assert(FnOp && "not a function declarator");
+
+  // The ops outside the innermost Function op describe the return type.
+  Declarator RetD;
+  RetD.Ops.assign(D.Ops.begin() + 1, D.Ops.end());
+  const Type *RetTy = applyDeclarator(Base, RetD);
+
+  const FunctionType *FnTy =
+      Ctx.types().functionType(RetTy, FnOp->ParamTypes);
+
+  std::vector<VarDecl *> Params;
+  for (size_t I = 0; I < FnOp->ParamTypes.size(); ++I) {
+    std::string PName = FnOp->ParamNames[I];
+    Params.push_back(Ctx.createDecl<VarDecl>(FnOp->ParamLocs[I], PName,
+                                             FnOp->ParamTypes[I],
+                                             /*Init=*/nullptr,
+                                             /*IsParam=*/true));
+  }
+
+  auto *Fn = Ctx.createDecl<FunctionDecl>(D.Loc, D.Name, FnTy,
+                                          std::move(Params));
+  Ctx.unit().Functions.push_back(Fn);
+
+  if (accept(TokenKind::Semicolon))
+    return Fn; // prototype
+
+  if (check(TokenKind::LBrace)) {
+    for (size_t I = 0; I < FnOp->ParamNames.size(); ++I)
+      if (FnOp->ParamNames[I].empty())
+        Diags.error(D.Loc, "parameter " + std::to_string(I + 1) +
+                               " of function '" + D.Name +
+                               "' needs a name");
+    Stmt *Body = parseCompound();
+    Fn->setBody(stmtCast<CompoundStmt>(Body));
+  } else {
+    Diags.error(current().Loc, "expected function body or ';'");
+    skipToSync();
+  }
+  return Fn;
+}
+
+Expr *Parser::parseInitializer() {
+  if (check(TokenKind::LBrace)) {
+    SourceLoc Loc = consume().Loc;
+    std::vector<Expr *> Elements;
+    if (!check(TokenKind::RBrace)) {
+      for (;;) {
+        Elements.push_back(parseInitializer());
+        if (!accept(TokenKind::Comma))
+          break;
+        if (check(TokenKind::RBrace))
+          break; // trailing comma
+      }
+    }
+    expect(TokenKind::RBrace, "at end of initializer list");
+    return Ctx.create<InitListExpr>(Loc, std::move(Elements));
+  }
+  return parseAssignment();
+}
+
+std::vector<Stmt *> Parser::parseLocalDecl() {
+  const Type *Base = parseTypeSpecifier();
+  std::vector<Stmt *> Out;
+  for (;;) {
+    Declarator D = parseDeclarator(/*RequireName=*/true);
+    const Type *Ty = applyDeclarator(Base, D);
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Equal))
+      Init = parseInitializer();
+    auto *Var =
+        Ctx.createDecl<VarDecl>(D.Loc, D.Name, Ty, Init, /*IsParam=*/false);
+    Out.push_back(Ctx.create<DeclStmt>(D.Loc, Var));
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::Semicolon, "after declaration");
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Stmt *Parser::parseCompound() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<Stmt *> Body;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (atTypeSpecifier()) {
+      std::vector<Stmt *> Decls = parseLocalDecl();
+      Body.insert(Body.end(), Decls.begin(), Decls.end());
+      continue;
+    }
+    Body.push_back(parseStmt());
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Ctx.create<CompoundStmt>(Loc, std::move(Body));
+}
+
+Stmt *Parser::parseStmt() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseCompound();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwBreak:
+    consume();
+    expect(TokenKind::Semicolon, "after 'break'");
+    return Ctx.create<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    expect(TokenKind::Semicolon, "after 'continue'");
+    return Ctx.create<ContinueStmt>(Loc);
+  case TokenKind::KwGoto: {
+    consume();
+    std::string Target;
+    if (check(TokenKind::Identifier))
+      Target = consume().Text;
+    else
+      Diags.error(current().Loc, "expected label after 'goto'");
+    expect(TokenKind::Semicolon, "after goto target");
+    return Ctx.create<GotoStmt>(Loc, std::move(Target));
+  }
+  case TokenKind::KwCase: {
+    consume();
+    Expr *Value = parseConditional();
+    expect(TokenKind::Colon, "after case value");
+    return Ctx.create<CaseLabelStmt>(Loc, Value);
+  }
+  case TokenKind::KwDefault:
+    consume();
+    expect(TokenKind::Colon, "after 'default'");
+    return Ctx.create<DefaultLabelStmt>(Loc);
+  case TokenKind::Semicolon:
+    consume();
+    return Ctx.create<NullStmt>(Loc);
+  case TokenKind::Identifier:
+    // "name:" is a goto label.
+    if (peek(1).is(TokenKind::Colon)) {
+      std::string Name = consume().Text;
+      consume(); // ':'
+      return Ctx.create<LabelStmt>(Loc, std::move(Name));
+    }
+    break;
+  default:
+    break;
+  }
+
+  Expr *E = parseExpr();
+  expect(TokenKind::Semicolon, "after expression statement");
+  return Ctx.create<ExprStmt>(Loc, E);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = consume().Loc; // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStmt();
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse))
+    Else = parseStmt();
+  return Ctx.create<IfStmt>(Loc, Cond, Then, Else);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc; // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStmt();
+  return Ctx.create<WhileStmt>(Loc, Cond, Body);
+}
+
+Stmt *Parser::parseDoWhile() {
+  SourceLoc Loc = consume().Loc; // 'do'
+  Stmt *Body = parseStmt();
+  expect(TokenKind::KwWhile, "after do body");
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semicolon, "after do-while");
+  return Ctx.create<DoWhileStmt>(Loc, Body, Cond);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = consume().Loc; // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+  Stmt *Init = nullptr;
+  if (atTypeSpecifier()) {
+    // "for (int i = 0; ...)": a single declaration (no comma lists here).
+    const Type *Base = parseTypeSpecifier();
+    Declarator D = parseDeclarator(/*RequireName=*/true);
+    const Type *Ty = applyDeclarator(Base, D);
+    Expr *InitE = nullptr;
+    if (accept(TokenKind::Equal))
+      InitE = parseInitializer();
+    auto *Var = Ctx.createDecl<VarDecl>(D.Loc, D.Name, Ty, InitE,
+                                        /*IsParam=*/false);
+    Init = Ctx.create<DeclStmt>(D.Loc, Var);
+    expect(TokenKind::Semicolon, "after for initializer");
+  } else if (!accept(TokenKind::Semicolon)) {
+    Expr *E = parseExpr();
+    Init = Ctx.create<ExprStmt>(E->loc(), E);
+    expect(TokenKind::Semicolon, "after for initializer");
+  }
+  Expr *Cond = nullptr;
+  if (!check(TokenKind::Semicolon))
+    Cond = parseExpr();
+  expect(TokenKind::Semicolon, "after for condition");
+  Expr *Step = nullptr;
+  if (!check(TokenKind::RParen))
+    Step = parseExpr();
+  expect(TokenKind::RParen, "after for clauses");
+  Stmt *Body = parseStmt();
+  return Ctx.create<ForStmt>(Loc, Init, Cond, Step, Body);
+}
+
+Stmt *Parser::parseSwitch() {
+  SourceLoc Loc = consume().Loc; // 'switch'
+  expect(TokenKind::LParen, "after 'switch'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after switch condition");
+  Stmt *Body = parseStmt();
+  return Ctx.create<SwitchStmt>(Loc, Cond, Body);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLoc Loc = consume().Loc; // 'return'
+  Expr *Value = nullptr;
+  if (!check(TokenKind::Semicolon))
+    Value = parseExpr();
+  expect(TokenKind::Semicolon, "after return");
+  return Ctx.create<ReturnStmt>(Loc, Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() { return parseAssignment(); }
+
+namespace {
+/// RAII nesting guard used by parseUnary.
+struct DepthGuard {
+  unsigned &Depth;
+  explicit DepthGuard(unsigned &Depth) : Depth(Depth) { ++Depth; }
+  ~DepthGuard() { --Depth; }
+};
+} // namespace
+
+Expr *Parser::parseAssignment() {
+  Expr *Lhs = parseConditional();
+  std::optional<BinaryOp> Compound;
+  switch (current().Kind) {
+  case TokenKind::Equal:
+    break;
+  case TokenKind::PlusEqual:
+    Compound = BinaryOp::Add;
+    break;
+  case TokenKind::MinusEqual:
+    Compound = BinaryOp::Sub;
+    break;
+  case TokenKind::StarEqual:
+    Compound = BinaryOp::Mul;
+    break;
+  case TokenKind::SlashEqual:
+    Compound = BinaryOp::Div;
+    break;
+  case TokenKind::PercentEqual:
+    Compound = BinaryOp::Rem;
+    break;
+  case TokenKind::AmpEqual:
+    Compound = BinaryOp::BitAnd;
+    break;
+  case TokenKind::PipeEqual:
+    Compound = BinaryOp::BitOr;
+    break;
+  case TokenKind::CaretEqual:
+    Compound = BinaryOp::BitXor;
+    break;
+  case TokenKind::LessLessEqual:
+    Compound = BinaryOp::Shl;
+    break;
+  case TokenKind::GreaterGreaterEqual:
+    Compound = BinaryOp::Shr;
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLoc Loc = consume().Loc;
+  Expr *Rhs = parseAssignment();
+  return Ctx.create<AssignExpr>(Loc, Lhs, Rhs, Compound);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinary(0);
+  if (!check(TokenKind::Question))
+    return Cond;
+  SourceLoc Loc = consume().Loc;
+  Expr *TrueE = parseExpr();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *FalseE = parseConditional();
+  return Ctx.create<ConditionalExpr>(Loc, Cond, TrueE, FalseE);
+}
+
+namespace {
+/// Binary operator precedence; higher binds tighter. -1 means "not a
+/// binary operator".
+int binaryPrecedence(TokenKind Kind, BinaryOp &Op) {
+  switch (Kind) {
+  case TokenKind::PipePipe:
+    Op = BinaryOp::LogicalOr;
+    return 1;
+  case TokenKind::AmpAmp:
+    Op = BinaryOp::LogicalAnd;
+    return 2;
+  case TokenKind::Pipe:
+    Op = BinaryOp::BitOr;
+    return 3;
+  case TokenKind::Caret:
+    Op = BinaryOp::BitXor;
+    return 4;
+  case TokenKind::Amp:
+    Op = BinaryOp::BitAnd;
+    return 5;
+  case TokenKind::EqualEqual:
+    Op = BinaryOp::Eq;
+    return 6;
+  case TokenKind::BangEqual:
+    Op = BinaryOp::Ne;
+    return 6;
+  case TokenKind::Less:
+    Op = BinaryOp::Lt;
+    return 7;
+  case TokenKind::Greater:
+    Op = BinaryOp::Gt;
+    return 7;
+  case TokenKind::LessEqual:
+    Op = BinaryOp::Le;
+    return 7;
+  case TokenKind::GreaterEqual:
+    Op = BinaryOp::Ge;
+    return 7;
+  case TokenKind::LessLess:
+    Op = BinaryOp::Shl;
+    return 8;
+  case TokenKind::GreaterGreater:
+    Op = BinaryOp::Shr;
+    return 8;
+  case TokenKind::Plus:
+    Op = BinaryOp::Add;
+    return 9;
+  case TokenKind::Minus:
+    Op = BinaryOp::Sub;
+    return 9;
+  case TokenKind::Star:
+    Op = BinaryOp::Mul;
+    return 10;
+  case TokenKind::Slash:
+    Op = BinaryOp::Div;
+    return 10;
+  case TokenKind::Percent:
+    Op = BinaryOp::Rem;
+    return 10;
+  default:
+    return -1;
+  }
+}
+} // namespace
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *Lhs = parseUnary();
+  for (;;) {
+    BinaryOp Op;
+    int Prec = binaryPrecedence(current().Kind, Op);
+    if (Prec < 0 || Prec < MinPrec)
+      return Lhs;
+    SourceLoc Loc = consume().Loc;
+    Expr *Rhs = parseBinary(Prec + 1);
+    Lhs = Ctx.create<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLoc Loc = current().Loc;
+  DepthGuard Guard(ExprDepth);
+  if (ExprDepth > MaxExprDepth) {
+    Diags.error(Loc, "expression nesting too deep");
+    // Swallow the rest of the expression to avoid error cascades.
+    skipToSync();
+    return Ctx.create<IntLitExpr>(Loc, int64_t{0});
+  }
+  switch (current().Kind) {
+  case TokenKind::Minus:
+    consume();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::Neg, parseUnary());
+  case TokenKind::Bang:
+    consume();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::LogicalNot, parseUnary());
+  case TokenKind::Tilde:
+    consume();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::BitNot, parseUnary());
+  case TokenKind::Star:
+    consume();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::Deref, parseUnary());
+  case TokenKind::Amp:
+    consume();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::AddrOf, parseUnary());
+  case TokenKind::PlusPlus:
+    consume();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::PreInc, parseUnary());
+  case TokenKind::MinusMinus:
+    consume();
+    return Ctx.create<UnaryExpr>(Loc, UnaryOp::PreDec, parseUnary());
+  case TokenKind::KwSizeof: {
+    consume();
+    expect(TokenKind::LParen, "after 'sizeof'");
+    const Type *Base = parseTypeSpecifier();
+    Declarator D = parseDeclarator(/*RequireName=*/false);
+    const Type *Ty = applyDeclarator(Base, D);
+    expect(TokenKind::RParen, "after sizeof type");
+    // Folded immediately: sizes are known at parse time in our cell model.
+    if (const auto *S = typeDynCast<StructType>(Ty); S && !S->isComplete()) {
+      Diags.error(Loc, "sizeof incomplete struct " + Ty->str());
+      return Ctx.create<IntLitExpr>(Loc, int64_t{1});
+    }
+    return Ctx.create<IntLitExpr>(Loc, Ty->sizeInCells());
+  }
+  case TokenKind::LParen:
+    // Cast: '(' type-specifier ... ')'.
+    if (peek(1).is(TokenKind::KwInt) || peek(1).is(TokenKind::KwChar) ||
+        peek(1).is(TokenKind::KwDouble) || peek(1).is(TokenKind::KwVoid) ||
+        peek(1).is(TokenKind::KwStruct)) {
+      consume();
+      const Type *Base = parseTypeSpecifier();
+      Declarator D = parseDeclarator(/*RequireName=*/false);
+      const Type *Ty = applyDeclarator(Base, D);
+      expect(TokenKind::RParen, "after cast type");
+      Expr *Operand = parseUnary();
+      return Ctx.create<CastExpr>(Loc, Ty, Operand);
+    }
+    break;
+  default:
+    break;
+  }
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  for (;;) {
+    SourceLoc Loc = current().Loc;
+    if (accept(TokenKind::LBracket)) {
+      Expr *Index = parseExpr();
+      expect(TokenKind::RBracket, "after array index");
+      E = Ctx.create<IndexExpr>(Loc, E, Index);
+      continue;
+    }
+    if (check(TokenKind::LParen)) {
+      std::vector<Expr *> Args = parseCallArgs();
+      E = Ctx.create<CallExpr>(Loc, E, std::move(Args));
+      continue;
+    }
+    if (accept(TokenKind::Dot)) {
+      std::string Field;
+      if (check(TokenKind::Identifier))
+        Field = consume().Text;
+      else
+        Diags.error(current().Loc, "expected field name after '.'");
+      E = Ctx.create<MemberExpr>(Loc, E, std::move(Field),
+                                 /*IsArrow=*/false);
+      continue;
+    }
+    if (accept(TokenKind::Arrow)) {
+      std::string Field;
+      if (check(TokenKind::Identifier))
+        Field = consume().Text;
+      else
+        Diags.error(current().Loc, "expected field name after '->'");
+      E = Ctx.create<MemberExpr>(Loc, E, std::move(Field),
+                                 /*IsArrow=*/true);
+      continue;
+    }
+    if (accept(TokenKind::PlusPlus)) {
+      E = Ctx.create<UnaryExpr>(Loc, UnaryOp::PostInc, E);
+      continue;
+    }
+    if (accept(TokenKind::MinusMinus)) {
+      E = Ctx.create<UnaryExpr>(Loc, UnaryOp::PostDec, E);
+      continue;
+    }
+    return E;
+  }
+}
+
+std::vector<Expr *> Parser::parseCallArgs() {
+  expect(TokenKind::LParen, "in call");
+  std::vector<Expr *> Args;
+  if (!check(TokenKind::RParen)) {
+    for (;;) {
+      Args.push_back(parseAssignment());
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+  }
+  expect(TokenKind::RParen, "after call arguments");
+  return Args;
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = current().Loc;
+  switch (current().Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return Ctx.create<IntLitExpr>(Loc, T.IntValue);
+  }
+  case TokenKind::CharLiteral: {
+    Token T = consume();
+    return Ctx.create<IntLitExpr>(Loc, T.IntValue);
+  }
+  case TokenKind::DoubleLiteral: {
+    Token T = consume();
+    return Ctx.create<DoubleLitExpr>(Loc, T.DoubleValue);
+  }
+  case TokenKind::StringLiteral: {
+    Token T = consume();
+    return Ctx.create<StringLitExpr>(Loc, T.Text);
+  }
+  case TokenKind::KwNull:
+    consume();
+    return Ctx.create<IntLitExpr>(Loc, int64_t{0});
+  case TokenKind::Identifier: {
+    Token T = consume();
+    return Ctx.create<DeclRefExpr>(Loc, T.Text);
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found ") +
+                         tokenKindName(current().Kind));
+    consume();
+    return Ctx.create<IntLitExpr>(Loc, int64_t{0});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+bool sest::parseAndAnalyze(std::string_view Source, AstContext &Ctx,
+                           DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return false;
+  Parser P(Ctx, std::move(Tokens), Diags);
+  if (!P.parseTranslationUnit())
+    return false;
+  Sema S(Ctx, Diags);
+  return S.run();
+}

@@ -1,0 +1,137 @@
+//===- lang/Parser.h - Mini-C parser -----------------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for mini-C. Produces an AST owned by an
+/// AstContext; errors are collected in a DiagnosticEngine and the parser
+/// recovers at statement/declaration boundaries.
+///
+/// The accepted language is the C subset described in DESIGN.md: int /
+/// char / double / void, pointers, fixed arrays, structs, function
+/// pointers (full C declarator syntax), all C control flow including
+/// switch fallthrough and goto, and brace initializer lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LANG_PARSER_H
+#define LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sest {
+
+/// Parses one token stream into a TranslationUnit.
+class Parser {
+public:
+  /// \p Ctx receives the AST; \p Tokens must end with EndOfFile.
+  Parser(AstContext &Ctx, std::vector<Token> Tokens,
+         DiagnosticEngine &Diags);
+
+  /// Parses the whole buffer. Returns true on success (no errors).
+  /// Builtin function declarations are injected before user code.
+  bool parseTranslationUnit();
+
+private:
+  // Token helpers.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToSync();
+
+  // Types and declarators.
+  bool atTypeSpecifier() const;
+  const Type *parseTypeSpecifier();
+  /// One step of a C declarator: applied innermost-first.
+  struct DeclaratorOp {
+    enum class Kind { Pointer, Array, Function } OpKind;
+    int64_t ArrayLen = 0;
+    std::vector<const Type *> ParamTypes;
+    std::vector<std::string> ParamNames;
+    std::vector<SourceLoc> ParamLocs;
+  };
+  struct Declarator {
+    std::string Name;
+    SourceLoc Loc;
+    std::vector<DeclaratorOp> Ops;
+    /// When this declarator declares a function (not a function pointer),
+    /// the innermost op — the one applied directly to the name — is a
+    /// Function op; returns it, else null. E.g. "int f(int)" and
+    /// "int *f(int)" are functions, "int (*f)(int)" is a variable.
+    const DeclaratorOp *functionOp() const {
+      if (!Ops.empty() &&
+          Ops.front().OpKind == DeclaratorOp::Kind::Function)
+        return &Ops.front();
+      return nullptr;
+    }
+  };
+  /// Parses a declarator; \p RequireName controls abstract declarators.
+  Declarator parseDeclarator(bool RequireName);
+  void parseDirectDeclarator(Declarator &D, bool RequireName);
+  void parseDeclaratorSuffixes(Declarator &D);
+  /// Applies declarator ops to \p Base, innermost binding tightest.
+  const Type *applyDeclarator(const Type *Base, const Declarator &D);
+
+  // Declarations.
+  void parseTopLevel();
+  void parseStructDecl();
+  /// Parses declarators after a type at global scope (vars or function).
+  void parseGlobalAfterType(const Type *Base);
+  FunctionDecl *parseFunctionRest(const Type *Base, const Declarator &D);
+  /// Parses "type d1 [= init], d2 ...;" as local declarations.
+  std::vector<Stmt *> parseLocalDecl();
+  Expr *parseInitializer();
+
+  // Statements.
+  Stmt *parseStmt();
+  Stmt *parseCompound();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDoWhile();
+  Stmt *parseFor();
+  Stmt *parseSwitch();
+  Stmt *parseReturn();
+
+  // Expressions (precedence climbing).
+  Expr *parseExpr();
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  std::vector<Expr *> parseCallArgs();
+
+  AstContext &Ctx;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  /// Current expression nesting depth; capped so pathological inputs
+  /// (e.g. ten thousand open parentheses) cannot overflow the host
+  /// stack of the parser or of any later recursive tree walk.
+  unsigned ExprDepth = 0;
+  static constexpr unsigned MaxExprDepth = 400;
+  /// Named struct types seen so far.
+  std::map<std::string, StructType *> StructTypes;
+};
+
+/// Convenience: lex + parse + run semantic analysis over \p Source.
+/// Returns true when the program is error-free; diagnostics accumulate in
+/// \p Diags either way.
+bool parseAndAnalyze(std::string_view Source, AstContext &Ctx,
+                     DiagnosticEngine &Diags);
+
+} // namespace sest
+
+#endif // LANG_PARSER_H

@@ -1,0 +1,1030 @@
+//===- lang/Sema.cpp - Mini-C semantic analysis ----------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "lang/ConstFold.h"
+
+#include <set>
+
+using namespace sest;
+
+Sema::Sema(AstContext &Ctx, DiagnosticEngine &Diags)
+    : Ctx(Ctx), Diags(Diags) {}
+
+bool Sema::run() {
+  injectBuiltins();
+  mergePrototypes();
+
+  // Assign dense function ids (builtins first, then user functions).
+  for (FunctionDecl *F : Ctx.unit().Functions)
+    F->setFunctionId(NextFunctionId++);
+
+  checkGlobals();
+  for (FunctionDecl *F : Ctx.unit().Functions)
+    if (F->isDefined())
+      checkFunction(F);
+
+  Ctx.unit().GlobalSizeCells = GlobalTop;
+  Ctx.unit().NumCallSites = NextCallSiteId;
+  return !Diags.hasErrors();
+}
+
+//===----------------------------------------------------------------------===//
+// Builtins and prototype merging
+//===----------------------------------------------------------------------===//
+
+FunctionDecl *Sema::makeBuiltin(const char *Name, BuiltinKind Kind,
+                                const Type *Ret,
+                                std::vector<const Type *> Params) {
+  const FunctionType *Ty = Ctx.types().functionType(Ret, Params);
+  std::vector<VarDecl *> ParamDecls;
+  for (size_t I = 0; I < Params.size(); ++I)
+    ParamDecls.push_back(Ctx.createDecl<VarDecl>(
+        SourceLoc(), "arg" + std::to_string(I), Params[I],
+        /*Init=*/nullptr, /*IsParam=*/true));
+  auto *F = Ctx.createDecl<FunctionDecl>(SourceLoc(), Name, Ty,
+                                         std::move(ParamDecls));
+  F->setBuiltin(Kind);
+  return F;
+}
+
+void Sema::injectBuiltins() {
+  TypeContext &T = Ctx.types();
+  const Type *I = T.intType();
+  const Type *D = T.doubleType();
+  const Type *V = T.voidType();
+  const Type *CharPtr = T.pointerTo(T.charType());
+  const Type *VoidPtr = T.pointerTo(V);
+
+  std::vector<FunctionDecl *> Builtins = {
+      makeBuiltin("print_int", BuiltinKind::PrintInt, V, {I}),
+      makeBuiltin("print_char", BuiltinKind::PrintChar, V, {I}),
+      makeBuiltin("print_str", BuiltinKind::PrintStr, V, {CharPtr}),
+      makeBuiltin("print_double", BuiltinKind::PrintDouble, V, {D}),
+      makeBuiltin("read_int", BuiltinKind::ReadInt, I, {}),
+      makeBuiltin("read_char", BuiltinKind::ReadChar, I, {}),
+      makeBuiltin("malloc", BuiltinKind::Malloc, VoidPtr, {I}),
+      makeBuiltin("free", BuiltinKind::Free, V, {VoidPtr}),
+      makeBuiltin("abort", BuiltinKind::Abort, V, {}),
+      makeBuiltin("exit", BuiltinKind::Exit, V, {I}),
+      makeBuiltin("rand", BuiltinKind::Rand, I, {}),
+      makeBuiltin("srand", BuiltinKind::Srand, V, {I}),
+      makeBuiltin("sqrt", BuiltinKind::Sqrt, D, {D}),
+      makeBuiltin("fabs", BuiltinKind::Fabs, D, {D}),
+      makeBuiltin("floor", BuiltinKind::Floor, D, {D}),
+  };
+  auto &Functions = Ctx.unit().Functions;
+  Functions.insert(Functions.begin(), Builtins.begin(), Builtins.end());
+}
+
+void Sema::mergePrototypes() {
+  std::vector<FunctionDecl *> Merged;
+  std::map<std::string, size_t> IndexByName;
+
+  for (FunctionDecl *F : Ctx.unit().Functions) {
+    auto It = IndexByName.find(F->name());
+    if (It == IndexByName.end()) {
+      IndexByName.emplace(F->name(), Merged.size());
+      Merged.push_back(F);
+      FunctionsByName[F->name()] = F;
+      continue;
+    }
+    FunctionDecl *Prev = Merged[It->second];
+    if (F->type() != Prev->type()) {
+      error(F->loc(), "conflicting declaration of function '" + F->name() +
+                          "': " + F->type()->str() + " vs " +
+                          Prev->type()->str());
+      continue;
+    }
+    if (!F->isDefined())
+      continue; // Redundant prototype.
+    if (Prev->isDefined()) {
+      error(F->loc(), "redefinition of function '" + F->name() + "'");
+      continue;
+    }
+    // The definition becomes canonical, keeping the prototype's position.
+    Merged[It->second] = F;
+    FunctionsByName[F->name()] = F;
+  }
+  Ctx.unit().Functions = std::move(Merged);
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Sema::declareLocal(VarDecl *D) {
+  assert(!Scopes.empty() && "no active scope");
+  auto [It, Inserted] = Scopes.back().emplace(D->name(), D);
+  (void)It;
+  if (!Inserted)
+    error(D->loc(), "redefinition of '" + D->name() + "'");
+}
+
+Decl *Sema::lookup(const std::string &Name) {
+  for (auto ScopeIt = Scopes.rbegin(); ScopeIt != Scopes.rend(); ++ScopeIt) {
+    auto It = ScopeIt->find(Name);
+    if (It != ScopeIt->end())
+      return It->second;
+  }
+  if (auto It = GlobalsByName.find(Name); It != GlobalsByName.end())
+    return It->second;
+  if (auto It = FunctionsByName.find(Name); It != FunctionsByName.end())
+    return It->second;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Globals
+//===----------------------------------------------------------------------===//
+
+void Sema::checkGlobals() {
+  for (VarDecl *G : Ctx.unit().Globals) {
+    if (GlobalsByName.count(G->name()) || FunctionsByName.count(G->name())) {
+      error(G->loc(), "redefinition of '" + G->name() + "'");
+      continue;
+    }
+    const Type *Ty = G->type();
+    if (Ty->isVoid() || Ty->isFunction()) {
+      error(G->loc(), "variable '" + G->name() + "' has invalid type " +
+                          Ty->str());
+      continue;
+    }
+    if (const auto *S = typeDynCast<StructType>(Ty); S && !S->isComplete()) {
+      error(G->loc(), "variable '" + G->name() + "' has incomplete type " +
+                          Ty->str());
+      continue;
+    }
+    GlobalsByName.emplace(G->name(), G);
+    G->setStorage(StorageKind::Global, GlobalTop);
+    GlobalTop += Ty->sizeInCells();
+    checkVarInit(G, /*IsGlobal=*/true);
+  }
+}
+
+namespace {
+/// Recursively reports calls inside a global initializer.
+void findCalls(const Expr *E, std::vector<const CallExpr *> &Out) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::Call: {
+    const auto *C = exprCast<CallExpr>(E);
+    Out.push_back(C);
+    findCalls(C->callee(), Out);
+    for (const Expr *A : C->args())
+      findCalls(A, Out);
+    return;
+  }
+  case ExprKind::Unary:
+    findCalls(exprCast<UnaryExpr>(E)->operand(), Out);
+    return;
+  case ExprKind::Binary: {
+    const auto *B = exprCast<BinaryExpr>(E);
+    findCalls(B->lhs(), Out);
+    findCalls(B->rhs(), Out);
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = exprCast<AssignExpr>(E);
+    findCalls(A->lhs(), Out);
+    findCalls(A->rhs(), Out);
+    return;
+  }
+  case ExprKind::Conditional: {
+    const auto *C = exprCast<ConditionalExpr>(E);
+    findCalls(C->cond(), Out);
+    findCalls(C->trueExpr(), Out);
+    findCalls(C->falseExpr(), Out);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = exprCast<IndexExpr>(E);
+    findCalls(I->base(), Out);
+    findCalls(I->index(), Out);
+    return;
+  }
+  case ExprKind::Member:
+    findCalls(exprCast<MemberExpr>(E)->base(), Out);
+    return;
+  case ExprKind::Cast:
+    findCalls(exprCast<CastExpr>(E)->operand(), Out);
+    return;
+  case ExprKind::InitList:
+    for (const Expr *El : exprCast<InitListExpr>(E)->elements())
+      findCalls(El, Out);
+    return;
+  default:
+    return;
+  }
+}
+} // namespace
+
+void Sema::checkVarInit(VarDecl *V, bool IsGlobal) {
+  Expr *Init = V->init();
+  if (!Init)
+    return;
+
+  if (IsGlobal) {
+    std::vector<const CallExpr *> Calls;
+    findCalls(Init, Calls);
+    for (const CallExpr *C : Calls)
+      error(C->loc(), "calls are not allowed in global initializers");
+  }
+
+  const Type *Ty = V->type();
+  if (auto *List = exprDynCast<InitListExpr>(Init)) {
+    checkInitList(Ty, List);
+    return;
+  }
+  // "char buf[N] = "...";" — string initialization of a char array.
+  if (auto *Str = exprDynCast<StringLitExpr>(Init)) {
+    if (const auto *AT = typeDynCast<ArrayType>(Ty);
+        AT && AT->element()->isChar()) {
+      checkExpr(Str); // registers the literal
+      if (static_cast<int64_t>(Str->value().size()) + 1 > AT->length())
+        error(Init->loc(), "string literal does not fit in array of " +
+                               std::to_string(AT->length()) + " chars");
+      return;
+    }
+  }
+  const Type *InitTy = decay(checkExpr(Init));
+  if (!isConvertible(InitTy, Ty, Init))
+    error(Init->loc(), "cannot initialize " + Ty->str() + " with " +
+                           InitTy->str());
+}
+
+void Sema::checkInitList(const Type *Ty, Expr *Init) {
+  auto *List = exprDynCast<InitListExpr>(Init);
+  if (!List) {
+    // Scalar element inside a braced initializer.
+    if (auto *Str = exprDynCast<StringLitExpr>(Init)) {
+      if (const auto *AT = typeDynCast<ArrayType>(Ty);
+          AT && AT->element()->isChar()) {
+        checkExpr(Str);
+        if (static_cast<int64_t>(Str->value().size()) + 1 > AT->length())
+          error(Init->loc(), "string literal too long for array");
+        return;
+      }
+    }
+    const Type *InitTy = decay(checkExpr(Init));
+    if (!isConvertible(InitTy, Ty, Init))
+      error(Init->loc(), "cannot initialize " + Ty->str() + " with " +
+                             InitTy->str());
+    return;
+  }
+
+  List->setType(Ty);
+  if (const auto *AT = typeDynCast<ArrayType>(Ty)) {
+    if (static_cast<int64_t>(List->elements().size()) > AT->length()) {
+      error(List->loc(), "too many initializers for " + Ty->str());
+      return;
+    }
+    for (Expr *El : List->elements())
+      checkInitList(AT->element(), El);
+    return;
+  }
+  if (const auto *ST = typeDynCast<StructType>(Ty)) {
+    if (List->elements().size() > ST->fields().size()) {
+      error(List->loc(), "too many initializers for " + Ty->str());
+      return;
+    }
+    for (size_t I = 0; I < List->elements().size(); ++I)
+      checkInitList(ST->fields()[I].Ty, List->elements()[I]);
+    return;
+  }
+  error(List->loc(), "braced initializer for scalar type " + Ty->str());
+}
+
+//===----------------------------------------------------------------------===//
+// Functions and statements
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Collects every label defined in \p S (for forward gotos).
+void collectLabels(const Stmt *S, std::map<std::string, bool> &Labels,
+                   DiagnosticEngine &Diags) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Label: {
+    const auto *L = stmtCast<LabelStmt>(S);
+    if (Labels.count(L->name()))
+      Diags.error(L->loc(), "duplicate label '" + L->name() + "'");
+    Labels[L->name()] = true;
+    return;
+  }
+  case StmtKind::Compound:
+    for (const Stmt *Child : stmtCast<CompoundStmt>(S)->body())
+      collectLabels(Child, Labels, Diags);
+    return;
+  case StmtKind::If: {
+    const auto *I = stmtCast<IfStmt>(S);
+    collectLabels(I->thenStmt(), Labels, Diags);
+    collectLabels(I->elseStmt(), Labels, Diags);
+    return;
+  }
+  case StmtKind::While:
+    collectLabels(stmtCast<WhileStmt>(S)->body(), Labels, Diags);
+    return;
+  case StmtKind::DoWhile:
+    collectLabels(stmtCast<DoWhileStmt>(S)->body(), Labels, Diags);
+    return;
+  case StmtKind::For: {
+    const auto *F = stmtCast<ForStmt>(S);
+    collectLabels(F->init(), Labels, Diags);
+    collectLabels(F->body(), Labels, Diags);
+    return;
+  }
+  case StmtKind::Switch:
+    collectLabels(stmtCast<SwitchStmt>(S)->body(), Labels, Diags);
+    return;
+  default:
+    return;
+  }
+}
+} // namespace
+
+void Sema::checkFunction(FunctionDecl *F) {
+  if (F->type()->returnType()->isStruct())
+    error(F->loc(), "function '" + F->name() +
+                        "' returns a struct by value; return a pointer "
+                        "instead (unsupported in the cell model)");
+  CurFunction = F;
+  FrameTop = 0;
+  LoopDepth = 0;
+  SwitchDepth = 0;
+  LabelsSeen.clear();
+  collectLabels(F->body(), LabelsSeen, Diags);
+
+  pushScope();
+  for (VarDecl *P : F->params()) {
+    const Type *PTy = P->type();
+    if (PTy->isVoid() || PTy->isFunction()) {
+      error(P->loc(), "parameter '" + P->name() + "' has invalid type " +
+                          PTy->str());
+      continue;
+    }
+    if (const auto *St = typeDynCast<StructType>(PTy);
+        St && !St->isComplete()) {
+      error(P->loc(), "parameter '" + P->name() +
+                          "' has incomplete type " + PTy->str());
+      continue;
+    }
+    P->setStorage(StorageKind::Frame, FrameTop);
+    FrameTop += PTy->sizeInCells();
+    declareLocal(P);
+  }
+  checkStmt(F->body());
+  popScope();
+
+  F->setFrameSizeCells(FrameTop);
+  CurFunction = nullptr;
+}
+
+void Sema::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Expr:
+    checkExpr(stmtCast<ExprStmt>(S)->expr());
+    return;
+  case StmtKind::Decl: {
+    VarDecl *V = stmtCast<DeclStmt>(S)->var();
+    const Type *Ty = V->type();
+    if (Ty->isVoid() || Ty->isFunction()) {
+      error(V->loc(), "variable '" + V->name() + "' has invalid type " +
+                          Ty->str());
+      return;
+    }
+    if (const auto *St = typeDynCast<StructType>(Ty);
+        St && !St->isComplete()) {
+      error(V->loc(), "variable '" + V->name() + "' has incomplete type " +
+                          Ty->str());
+      return;
+    }
+    V->setStorage(StorageKind::Frame, FrameTop);
+    FrameTop += Ty->sizeInCells();
+    declareLocal(V);
+    checkVarInit(V, /*IsGlobal=*/false);
+    return;
+  }
+  case StmtKind::Compound: {
+    pushScope();
+    for (Stmt *Child : stmtCast<CompoundStmt>(S)->body())
+      checkStmt(Child);
+    popScope();
+    return;
+  }
+  case StmtKind::If: {
+    auto *I = stmtCast<IfStmt>(S);
+    const Type *CondTy = decay(checkExpr(I->cond()));
+    if (!CondTy->isScalar())
+      error(I->cond()->loc(), "if condition has non-scalar type " +
+                                  CondTy->str());
+    checkStmt(I->thenStmt());
+    checkStmt(I->elseStmt());
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = stmtCast<WhileStmt>(S);
+    const Type *CondTy = decay(checkExpr(W->cond()));
+    if (!CondTy->isScalar())
+      error(W->cond()->loc(), "loop condition has non-scalar type " +
+                                  CondTy->str());
+    ++LoopDepth;
+    checkStmt(W->body());
+    --LoopDepth;
+    return;
+  }
+  case StmtKind::DoWhile: {
+    auto *D = stmtCast<DoWhileStmt>(S);
+    ++LoopDepth;
+    checkStmt(D->body());
+    --LoopDepth;
+    const Type *CondTy = decay(checkExpr(D->cond()));
+    if (!CondTy->isScalar())
+      error(D->cond()->loc(), "loop condition has non-scalar type " +
+                                  CondTy->str());
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = stmtCast<ForStmt>(S);
+    pushScope();
+    checkStmt(F->init());
+    if (F->cond()) {
+      const Type *CondTy = decay(checkExpr(F->cond()));
+      if (!CondTy->isScalar())
+        error(F->cond()->loc(), "loop condition has non-scalar type " +
+                                    CondTy->str());
+    }
+    if (F->step())
+      checkExpr(F->step());
+    ++LoopDepth;
+    checkStmt(F->body());
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case StmtKind::Switch: {
+    auto *Sw = stmtCast<SwitchStmt>(S);
+    const Type *CondTy = decay(checkExpr(Sw->cond()));
+    if (!CondTy->isIntegral())
+      error(Sw->cond()->loc(), "switch condition has non-integer type " +
+                                   CondTy->str());
+    ++SwitchDepth;
+    SwitchCaseValues.emplace_back();
+    SwitchHasDefault.push_back(false);
+    checkStmt(Sw->body());
+    SwitchHasDefault.pop_back();
+    SwitchCaseValues.pop_back();
+    --SwitchDepth;
+    return;
+  }
+  case StmtKind::CaseLabel: {
+    auto *C = stmtCast<CaseLabelStmt>(S);
+    if (SwitchDepth == 0) {
+      error(C->loc(), "'case' outside of switch");
+      return;
+    }
+    auto V = foldIntConstant(C->valueExpr());
+    if (!V) {
+      error(C->loc(), "case value is not an integer constant");
+      return;
+    }
+    C->setValue(*V);
+    if (!SwitchCaseValues.back().insert(*V).second)
+      error(C->loc(), "duplicate case value " + std::to_string(*V));
+    return;
+  }
+  case StmtKind::DefaultLabel:
+    if (SwitchDepth == 0) {
+      error(S->loc(), "'default' outside of switch");
+      return;
+    }
+    if (SwitchHasDefault.back())
+      error(S->loc(), "multiple default labels in one switch");
+    SwitchHasDefault.back() = true;
+    return;
+  case StmtKind::Break:
+    if (LoopDepth == 0 && SwitchDepth == 0)
+      error(S->loc(), "'break' outside of loop or switch");
+    return;
+  case StmtKind::Continue:
+    if (LoopDepth == 0)
+      error(S->loc(), "'continue' outside of loop");
+    return;
+  case StmtKind::Return: {
+    auto *R = stmtCast<ReturnStmt>(S);
+    const Type *RetTy = CurFunction->type()->returnType();
+    if (R->value()) {
+      if (RetTy->isVoid()) {
+        error(R->loc(), "void function '" + CurFunction->name() +
+                            "' returns a value");
+        checkExpr(R->value());
+        return;
+      }
+      const Type *ValTy = decay(checkExpr(R->value()));
+      if (!isConvertible(ValTy, RetTy, R->value()))
+        error(R->loc(), "cannot return " + ValTy->str() + " from function "
+                            "returning " + RetTy->str());
+      return;
+    }
+    if (!RetTy->isVoid())
+      error(R->loc(), "non-void function '" + CurFunction->name() +
+                          "' returns no value");
+    return;
+  }
+  case StmtKind::Goto: {
+    auto *G = stmtCast<GotoStmt>(S);
+    if (!LabelsSeen.count(G->target()))
+      error(G->loc(), "no label '" + G->target() + "' in this function");
+    return;
+  }
+  case StmtKind::Label:
+  case StmtKind::Null:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Type *Sema::decay(const Type *Ty) {
+  if (const auto *AT = typeDynCast<ArrayType>(Ty))
+    return Ctx.types().pointerTo(AT->element());
+  if (Ty->isFunction())
+    return Ctx.types().pointerTo(Ty);
+  return Ty;
+}
+
+const Type *Sema::arithResult(const Type *L, const Type *R) const {
+  if (L->isDouble() || R->isDouble())
+    return Ctx.types().doubleType();
+  return Ctx.types().intType();
+}
+
+bool Sema::isLvalue(const Expr *E) const {
+  switch (E->kind()) {
+  case ExprKind::DeclRef:
+    return declDynCast<VarDecl>(exprCast<DeclRefExpr>(E)->decl()) != nullptr;
+  case ExprKind::Index:
+  case ExprKind::Member:
+    return true;
+  case ExprKind::Unary:
+    return exprCast<UnaryExpr>(E)->op() == UnaryOp::Deref;
+  default:
+    return false;
+  }
+}
+
+bool Sema::isConvertible(const Type *From, const Type *To,
+                         const Expr *FromExpr) const {
+  if (From == To)
+    return true;
+  if (From->isArithmetic() && To->isArithmetic())
+    return true;
+  if (To->isPointer()) {
+    if (From->isPointer()) {
+      const Type *FromP = typeCast<PointerType>(From)->pointee();
+      const Type *ToP = typeCast<PointerType>(To)->pointee();
+      return FromP == ToP || FromP->isVoid() || ToP->isVoid();
+    }
+    if (From->isIntegral()) {
+      auto V = foldIntConstant(FromExpr);
+      return V && *V == 0; // Null-pointer constant.
+    }
+    return false;
+  }
+  return false;
+}
+
+const Type *Sema::checkExpr(Expr *E) {
+  assert(E && "null expression");
+  const Type *Ty = nullptr;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    Ty = Ctx.types().intType();
+    break;
+  case ExprKind::DoubleLit:
+    Ty = Ctx.types().doubleType();
+    break;
+  case ExprKind::StringLit: {
+    auto *S = exprCast<StringLitExpr>(E);
+    if (S->stringId() == UINT32_MAX) {
+      S->setStringId(static_cast<uint32_t>(Ctx.unit().StringTable.size()));
+      Ctx.unit().StringTable.push_back(S->value());
+    }
+    Ty = Ctx.types().pointerTo(Ctx.types().charType());
+    break;
+  }
+  case ExprKind::DeclRef:
+    Ty = checkDeclRef(exprCast<DeclRefExpr>(E));
+    break;
+  case ExprKind::Unary:
+    Ty = checkUnary(exprCast<UnaryExpr>(E));
+    break;
+  case ExprKind::Binary:
+    Ty = checkBinary(exprCast<BinaryExpr>(E));
+    break;
+  case ExprKind::Assign:
+    Ty = checkAssign(exprCast<AssignExpr>(E));
+    break;
+  case ExprKind::Conditional:
+    Ty = checkConditional(exprCast<ConditionalExpr>(E));
+    break;
+  case ExprKind::Call:
+    Ty = checkCall(exprCast<CallExpr>(E));
+    break;
+  case ExprKind::Index:
+    Ty = checkIndex(exprCast<IndexExpr>(E));
+    break;
+  case ExprKind::Member:
+    Ty = checkMember(exprCast<MemberExpr>(E));
+    break;
+  case ExprKind::Cast:
+    Ty = checkCast(exprCast<CastExpr>(E));
+    break;
+  case ExprKind::InitList:
+    error(E->loc(), "initializer list used outside a declaration");
+    Ty = Ctx.types().intType();
+    break;
+  }
+  E->setType(Ty);
+  return Ty;
+}
+
+const Type *Sema::checkDeclRef(DeclRefExpr *E) {
+  Decl *D = lookup(E->name());
+  if (!D) {
+    error(E->loc(), "use of undeclared identifier '" + E->name() + "'");
+    return Ctx.types().intType();
+  }
+  E->setDecl(D);
+  if (auto *V = declDynCast<VarDecl>(D))
+    return V->type();
+  auto *F = declDynCast<FunctionDecl>(D);
+  assert(F && "unexpected decl kind");
+  // A function name used as a value (outside a direct-call callee, which
+  // bypasses this path) is an address-of operation on the function — the
+  // static count the Markov pointer node weights arcs with (§5.2.1).
+  F->noteAddressTaken();
+  return F->type();
+}
+
+const Type *Sema::checkUnary(UnaryExpr *E) {
+  const Type *IntTy = Ctx.types().intType();
+  switch (E->op()) {
+  case UnaryOp::Deref: {
+    const Type *T = decay(checkExpr(E->operand()));
+    const auto *PT = typeDynCast<PointerType>(T);
+    if (!PT) {
+      error(E->loc(), "cannot dereference non-pointer type " + T->str());
+      return IntTy;
+    }
+    if (PT->pointee()->isVoid()) {
+      error(E->loc(), "cannot dereference void pointer");
+      return IntTy;
+    }
+    return PT->pointee();
+  }
+  case UnaryOp::AddrOf: {
+    const Type *T = checkExpr(E->operand());
+    if (T->isFunction())
+      return Ctx.types().pointerTo(T);
+    if (const auto *AT = typeDynCast<ArrayType>(T))
+      return Ctx.types().pointerTo(AT->element());
+    if (!isLvalue(E->operand())) {
+      error(E->loc(), "cannot take the address of an rvalue");
+      return Ctx.types().pointerTo(IntTy);
+    }
+    return Ctx.types().pointerTo(T);
+  }
+  case UnaryOp::Neg: {
+    const Type *T = decay(checkExpr(E->operand()));
+    if (!T->isArithmetic()) {
+      error(E->loc(), "cannot negate value of type " + T->str());
+      return IntTy;
+    }
+    return T->isDouble() ? T : IntTy;
+  }
+  case UnaryOp::BitNot: {
+    const Type *T = decay(checkExpr(E->operand()));
+    if (!T->isIntegral())
+      error(E->loc(), "operand of '~' must be an integer, got " + T->str());
+    return IntTy;
+  }
+  case UnaryOp::LogicalNot: {
+    const Type *T = decay(checkExpr(E->operand()));
+    if (!T->isScalar())
+      error(E->loc(), "operand of '!' must be scalar, got " + T->str());
+    return IntTy;
+  }
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+  case UnaryOp::PostInc:
+  case UnaryOp::PostDec: {
+    const Type *T = checkExpr(E->operand());
+    if (!isLvalue(E->operand()))
+      error(E->loc(), "operand of increment/decrement must be an lvalue");
+    if (!T->isScalar()) {
+      error(E->loc(), "cannot increment value of type " + T->str());
+      return IntTy;
+    }
+    return T;
+  }
+  }
+  return IntTy;
+}
+
+const Type *Sema::checkBinary(BinaryExpr *E) {
+  const Type *IntTy = Ctx.types().intType();
+  const Type *L = decay(checkExpr(E->lhs()));
+  const Type *R = decay(checkExpr(E->rhs()));
+
+  switch (E->op()) {
+  case BinaryOp::LogicalAnd:
+  case BinaryOp::LogicalOr:
+    if (!L->isScalar())
+      error(E->lhs()->loc(), "operand of '" +
+                                 std::string(binaryOpSpelling(E->op())) +
+                                 "' must be scalar, got " + L->str());
+    if (!R->isScalar())
+      error(E->rhs()->loc(), "operand of '" +
+                                 std::string(binaryOpSpelling(E->op())) +
+                                 "' must be scalar, got " + R->str());
+    return IntTy;
+
+  case BinaryOp::Add:
+    if (L->isPointer() && R->isIntegral())
+      return L;
+    if (L->isIntegral() && R->isPointer())
+      return R;
+    if (L->isArithmetic() && R->isArithmetic())
+      return arithResult(L, R);
+    break;
+
+  case BinaryOp::Sub:
+    if (L->isPointer() && R->isIntegral())
+      return L;
+    if (L->isPointer() && R->isPointer()) {
+      if (L != R)
+        error(E->loc(), "subtracting incompatible pointers " + L->str() +
+                            " and " + R->str());
+      return IntTy;
+    }
+    if (L->isArithmetic() && R->isArithmetic())
+      return arithResult(L, R);
+    break;
+
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+    if (L->isArithmetic() && R->isArithmetic())
+      return arithResult(L, R);
+    break;
+
+  case BinaryOp::Rem:
+  case BinaryOp::Shl:
+  case BinaryOp::Shr:
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor:
+    if (L->isIntegral() && R->isIntegral())
+      return IntTy;
+    break;
+
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    if (L->isArithmetic() && R->isArithmetic())
+      return IntTy;
+    if (L->isPointer() && R->isPointer()) {
+      const Type *LP = typeCast<PointerType>(L)->pointee();
+      const Type *RP = typeCast<PointerType>(R)->pointee();
+      if (LP != RP && !LP->isVoid() && !RP->isVoid())
+        error(E->loc(), "comparing incompatible pointers " + L->str() +
+                            " and " + R->str());
+      return IntTy;
+    }
+    // Pointer vs null-pointer constant (e.g. "p == NULL").
+    if ((L->isPointer() && R->isIntegral()) ||
+        (L->isIntegral() && R->isPointer()))
+      return IntTy;
+    break;
+  }
+
+  error(E->loc(), std::string("invalid operands to '") +
+                      binaryOpSpelling(E->op()) + "': " + L->str() +
+                      " and " + R->str());
+  return IntTy;
+}
+
+const Type *Sema::checkAssign(AssignExpr *E) {
+  const Type *LhsTy = checkExpr(E->lhs());
+  if (!isLvalue(E->lhs()))
+    error(E->loc(), "assignment target is not an lvalue");
+  if (LhsTy->isArray() || LhsTy->isFunction()) {
+    error(E->loc(), "cannot assign to value of type " + LhsTy->str());
+    checkExpr(E->rhs());
+    return Ctx.types().intType();
+  }
+
+  const Type *RhsTy = decay(checkExpr(E->rhs()));
+  if (E->compoundOp()) {
+    BinaryOp Op = *E->compoundOp();
+    bool PointerStep = LhsTy->isPointer() && RhsTy->isIntegral() &&
+                       (Op == BinaryOp::Add || Op == BinaryOp::Sub);
+    bool Arith = LhsTy->isArithmetic() && RhsTy->isArithmetic();
+    bool IntOnly = Op == BinaryOp::Rem || Op == BinaryOp::Shl ||
+                   Op == BinaryOp::Shr || Op == BinaryOp::BitAnd ||
+                   Op == BinaryOp::BitOr || Op == BinaryOp::BitXor;
+    if (IntOnly && !(LhsTy->isIntegral() && RhsTy->isIntegral()))
+      error(E->loc(), std::string("invalid compound assignment '") +
+                          binaryOpSpelling(Op) + "=' on " + LhsTy->str());
+    else if (!PointerStep && !Arith)
+      error(E->loc(), std::string("invalid compound assignment '") +
+                          binaryOpSpelling(Op) + "=' on " + LhsTy->str() +
+                          " and " + RhsTy->str());
+    return LhsTy;
+  }
+
+  if (LhsTy->isStruct()) {
+    if (LhsTy != RhsTy)
+      error(E->loc(), "cannot assign " + RhsTy->str() + " to " +
+                          LhsTy->str());
+    return LhsTy;
+  }
+  if (!isConvertible(RhsTy, LhsTy, E->rhs()))
+    error(E->loc(), "cannot assign " + RhsTy->str() + " to " +
+                        LhsTy->str());
+  return LhsTy;
+}
+
+const Type *Sema::checkConditional(ConditionalExpr *E) {
+  const Type *CondTy = decay(checkExpr(E->cond()));
+  if (!CondTy->isScalar())
+    error(E->cond()->loc(), "conditional-expression condition must be "
+                            "scalar, got " + CondTy->str());
+  const Type *T = decay(checkExpr(E->trueExpr()));
+  const Type *F = decay(checkExpr(E->falseExpr()));
+  if (T == F)
+    return T;
+  if (T->isArithmetic() && F->isArithmetic())
+    return arithResult(T, F);
+  if (T->isPointer() && F->isPointer()) {
+    const Type *TP = typeCast<PointerType>(T)->pointee();
+    const Type *FP = typeCast<PointerType>(F)->pointee();
+    if (TP == FP || FP->isVoid())
+      return T;
+    if (TP->isVoid())
+      return F;
+  }
+  if (T->isPointer() && isConvertible(F, T, E->falseExpr()))
+    return T;
+  if (F->isPointer() && isConvertible(T, F, E->trueExpr()))
+    return F;
+  error(E->loc(), "incompatible conditional-expression branches " +
+                      T->str() + " and " + F->str());
+  return T;
+}
+
+const Type *Sema::checkCall(CallExpr *E) {
+  const Type *IntTy = Ctx.types().intType();
+  const FunctionType *FnTy = nullptr;
+
+  // Direct call: the callee is an identifier naming a function. Resolved
+  // here (not via checkDeclRef) so it does not count as address-taken.
+  if (auto *Ref = exprDynCast<DeclRefExpr>(E->callee())) {
+    Decl *D = lookup(Ref->name());
+    if (auto *F = declDynCast<FunctionDecl>(D)) {
+      Ref->setDecl(F);
+      Ref->setType(F->type());
+      E->setDirectCallee(F);
+      FnTy = F->type();
+    }
+  }
+
+  if (!FnTy) {
+    const Type *CalleeTy = checkExpr(E->callee());
+    // Calling through "fp", "*fp", or any function-pointer expression.
+    if (CalleeTy->isFunction())
+      FnTy = typeCast<FunctionType>(CalleeTy);
+    else if (const auto *PT = typeDynCast<PointerType>(decay(CalleeTy));
+             PT && PT->pointee()->isFunction())
+      FnTy = typeCast<FunctionType>(PT->pointee());
+    else {
+      error(E->loc(), "called object has non-function type " +
+                          CalleeTy->str());
+      for (Expr *A : E->args())
+        checkExpr(A);
+      return IntTy;
+    }
+  }
+
+  E->setCallSiteId(NextCallSiteId++);
+
+  const auto &Params = FnTy->params();
+  if (E->args().size() != Params.size()) {
+    error(E->loc(), "call expects " + std::to_string(Params.size()) +
+                        " argument(s), got " +
+                        std::to_string(E->args().size()));
+    for (Expr *A : E->args())
+      checkExpr(A);
+    return FnTy->returnType();
+  }
+  for (size_t I = 0; I < Params.size(); ++I) {
+    const Type *ArgTy = decay(checkExpr(E->args()[I]));
+    if (Params[I]->isStruct()) {
+      if (ArgTy != Params[I])
+        error(E->args()[I]->loc(),
+              "argument " + std::to_string(I + 1) + " has type " +
+                  ArgTy->str() + ", expected " + Params[I]->str());
+      continue;
+    }
+    if (!isConvertible(ArgTy, Params[I], E->args()[I]))
+      error(E->args()[I]->loc(),
+            "argument " + std::to_string(I + 1) + " has type " +
+                ArgTy->str() + ", expected " + Params[I]->str());
+  }
+  return FnTy->returnType();
+}
+
+const Type *Sema::checkIndex(IndexExpr *E) {
+  const Type *BaseTy = decay(checkExpr(E->base()));
+  const Type *IdxTy = decay(checkExpr(E->index()));
+  if (!IdxTy->isIntegral())
+    error(E->index()->loc(), "array index must be an integer, got " +
+                                 IdxTy->str());
+  const auto *PT = typeDynCast<PointerType>(BaseTy);
+  if (!PT) {
+    error(E->loc(), "subscripted value of type " + BaseTy->str() +
+                        " is not an array or pointer");
+    return Ctx.types().intType();
+  }
+  if (PT->pointee()->isVoid() || PT->pointee()->isFunction()) {
+    error(E->loc(), "cannot index pointer to " + PT->pointee()->str());
+    return Ctx.types().intType();
+  }
+  return PT->pointee();
+}
+
+const Type *Sema::checkMember(MemberExpr *E) {
+  const Type *BaseTy = checkExpr(E->base());
+  const StructType *ST = nullptr;
+  if (E->isArrow()) {
+    const auto *PT = typeDynCast<PointerType>(decay(BaseTy));
+    if (PT)
+      ST = typeDynCast<StructType>(PT->pointee());
+    if (!ST) {
+      error(E->loc(), "'->' applied to non-struct-pointer type " +
+                          BaseTy->str());
+      return Ctx.types().intType();
+    }
+  } else {
+    ST = typeDynCast<StructType>(BaseTy);
+    if (!ST) {
+      error(E->loc(), "'.' applied to non-struct type " + BaseTy->str());
+      return Ctx.types().intType();
+    }
+  }
+  if (!ST->isComplete()) {
+    error(E->loc(), "member access into incomplete type " + ST->str());
+    return Ctx.types().intType();
+  }
+  const StructField *F = ST->findField(E->fieldName());
+  if (!F) {
+    error(E->loc(), "no field '" + E->fieldName() + "' in " + ST->str());
+    return Ctx.types().intType();
+  }
+  E->setFieldOffset(F->OffsetCells);
+  return F->Ty;
+}
+
+const Type *Sema::checkCast(CastExpr *E) {
+  const Type *SrcTy = decay(checkExpr(E->operand()));
+  const Type *DstTy = E->targetType();
+  if (DstTy->isVoid())
+    return DstTy; // Discarding cast.
+  bool SrcOk = SrcTy->isScalar();
+  bool DstOk = DstTy->isScalar();
+  // Pointer ↔ pointer, pointer ↔ integer, arithmetic ↔ arithmetic are all
+  // permitted with an explicit cast; double ↔ pointer is not.
+  if (SrcOk && DstOk) {
+    bool DoublePtrMix =
+        (SrcTy->isDouble() && DstTy->isPointer()) ||
+        (SrcTy->isPointer() && DstTy->isDouble());
+    if (!DoublePtrMix)
+      return DstTy;
+  }
+  error(E->loc(), "invalid cast from " + SrcTy->str() + " to " +
+                      DstTy->str());
+  return DstTy;
+}

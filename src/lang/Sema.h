@@ -1,0 +1,121 @@
+//===- lang/Sema.h - Mini-C semantic analysis -------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for mini-C:
+///  - injects the runtime builtin declarations (print_*, read_*, malloc,
+///    free, abort, exit, rand, srand, sqrt, fabs, floor);
+///  - merges prototypes with definitions;
+///  - resolves names, type-checks every expression, and annotates the AST
+///    (expression types, resolved declarations, member offsets, direct
+///    callees, call-site ids, string-literal ids);
+///  - folds case labels, resolves goto labels, checks break/continue
+///    placement;
+///  - lays out storage (global segment offsets, stack-frame offsets) and
+///    counts address-of operations on functions — the static weight the
+///    paper's pointer node uses (§5.2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LANG_SEMA_H
+#define LANG_SEMA_H
+
+#include "lang/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sest {
+
+/// Runs semantic analysis over a parsed translation unit.
+class Sema {
+public:
+  Sema(AstContext &Ctx, DiagnosticEngine &Diags);
+
+  /// Analyzes the unit; returns true when error-free.
+  bool run();
+
+private:
+  // Setup.
+  void injectBuiltins();
+  FunctionDecl *makeBuiltin(const char *Name, BuiltinKind Kind,
+                            const Type *Ret,
+                            std::vector<const Type *> Params);
+  void mergePrototypes();
+
+  // Scopes.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  /// Declares \p D in the innermost scope; diagnoses redefinition.
+  void declareLocal(VarDecl *D);
+  /// Finds a name, innermost scope outward, then globals/functions.
+  Decl *lookup(const std::string &Name);
+
+  // Globals and functions.
+  void checkGlobals();
+  void checkFunction(FunctionDecl *F);
+
+  // Statements. \p LoopDepth/\p SwitchDepth track break/continue legality.
+  void checkStmt(Stmt *S);
+  void checkVarInit(VarDecl *V, bool IsGlobal);
+  void checkInitList(const Type *Ty, Expr *Init);
+
+  // Expressions. Returns the annotated expression type (never null; int
+  // on error, with a diagnostic already emitted).
+  const Type *checkExpr(Expr *E);
+  const Type *checkDeclRef(DeclRefExpr *E);
+  const Type *checkUnary(UnaryExpr *E);
+  const Type *checkBinary(BinaryExpr *E);
+  const Type *checkAssign(AssignExpr *E);
+  const Type *checkConditional(ConditionalExpr *E);
+  const Type *checkCall(CallExpr *E);
+  const Type *checkIndex(IndexExpr *E);
+  const Type *checkMember(MemberExpr *E);
+  const Type *checkCast(CastExpr *E);
+
+  /// True when \p E denotes a memory location (assignable).
+  bool isLvalue(const Expr *E) const;
+  /// True when a value of \p From may be implicitly converted to \p To
+  /// (\p FromExpr enables literal-zero → pointer).
+  bool isConvertible(const Type *From, const Type *To,
+                     const Expr *FromExpr) const;
+  /// Array/function decay applied to a type in value position.
+  const Type *decay(const Type *Ty);
+  /// The usual arithmetic conversion result (double wins, else int).
+  const Type *arithResult(const Type *L, const Type *R) const;
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.error(Loc, std::move(Message));
+  }
+
+  AstContext &Ctx;
+  DiagnosticEngine &Diags;
+
+  std::map<std::string, FunctionDecl *> FunctionsByName;
+  std::map<std::string, VarDecl *> GlobalsByName;
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+
+  /// State for the function currently being checked.
+  FunctionDecl *CurFunction = nullptr;
+  int64_t FrameTop = 0;
+  unsigned LoopDepth = 0;
+  unsigned SwitchDepth = 0;
+  std::map<std::string, bool> LabelsSeen; // name -> defined
+  /// Per active switch: case values seen (duplicate detection) and
+  /// whether a default label appeared.
+  std::vector<std::set<int64_t>> SwitchCaseValues;
+  std::vector<bool> SwitchHasDefault;
+  uint32_t NextCallSiteId = 0;
+  uint32_t NextFunctionId = 0;
+  int64_t GlobalTop = 0;
+};
+
+} // namespace sest
+
+#endif // LANG_SEMA_H

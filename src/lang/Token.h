@@ -1,0 +1,119 @@
+//===- lang/Token.h - Mini-C tokens ------------------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token record produced by the lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LANG_TOKEN_H
+#define LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sest {
+
+/// Every distinct lexeme category of mini-C.
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  DoubleLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwDouble,
+  KwVoid,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwDo,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwGoto,
+  KwSizeof,
+  KwNull,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Colon,
+  Question,
+  Dot,
+  Arrow,
+
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Less,
+  Greater,
+  LessLess,
+  GreaterGreater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  PlusPlus,
+  MinusMinus,
+
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+};
+
+/// Human-readable spelling of a token kind, for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One token. Literal payloads live in the fields below; Text holds the
+/// identifier or string-literal spelling.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+  double DoubleValue = 0.0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace sest
+
+#endif // LANG_TOKEN_H

@@ -1,0 +1,138 @@
+//===- lang/Type.cpp - Mini-C type system ---------------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Type.h"
+
+#include <map>
+
+using namespace sest;
+
+int64_t Type::sizeInCells() const {
+  switch (Kind) {
+  case TypeKind::Void:
+  case TypeKind::Function:
+    return 0;
+  case TypeKind::Int:
+  case TypeKind::Char:
+  case TypeKind::Double:
+  case TypeKind::Pointer:
+    return 1;
+  case TypeKind::Array: {
+    const auto *A = static_cast<const ArrayType *>(this);
+    return A->length() * A->element()->sizeInCells();
+  }
+  case TypeKind::Struct:
+    return static_cast<const StructType *>(this)->sizeCells();
+  }
+  assert(false && "unknown type kind");
+  return 0;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Pointer:
+    return static_cast<const PointerType *>(this)->pointee()->str() + " *";
+  case TypeKind::Array: {
+    const auto *A = static_cast<const ArrayType *>(this);
+    return A->element()->str() + " [" + std::to_string(A->length()) + "]";
+  }
+  case TypeKind::Struct:
+    return "struct " + static_cast<const StructType *>(this)->name();
+  case TypeKind::Function: {
+    const auto *F = static_cast<const FunctionType *>(this);
+    std::string S = F->returnType()->str() + " (";
+    for (size_t I = 0; I < F->params().size(); ++I) {
+      if (I != 0)
+        S += ", ";
+      S += F->params()[I]->str();
+    }
+    S += ")";
+    return S;
+  }
+  }
+  assert(false && "unknown type kind");
+  return "";
+}
+
+//===----------------------------------------------------------------------===//
+// TypeContext
+//===----------------------------------------------------------------------===//
+
+struct TypeContext::Impl {
+  Type Void{TypeKind::Void};
+  Type Int{TypeKind::Int};
+  Type Char{TypeKind::Char};
+  Type Double{TypeKind::Double};
+
+  std::map<const Type *, std::unique_ptr<PointerType>> Pointers;
+  std::map<std::pair<const Type *, int64_t>, std::unique_ptr<ArrayType>>
+      Arrays;
+  std::map<std::pair<const Type *, std::vector<const Type *>>,
+           std::unique_ptr<FunctionType>>
+      Functions;
+  std::vector<std::unique_ptr<StructType>> Structs;
+};
+
+TypeContext::TypeContext() : Pimpl(std::make_unique<Impl>()) {
+  VoidTy = &Pimpl->Void;
+  IntTy = &Pimpl->Int;
+  CharTy = &Pimpl->Char;
+  DoubleTy = &Pimpl->Double;
+}
+
+TypeContext::~TypeContext() = default;
+
+const PointerType *TypeContext::pointerTo(const Type *Pointee) {
+  auto &Slot = Pimpl->Pointers[Pointee];
+  if (!Slot)
+    Slot.reset(new PointerType(Pointee));
+  return Slot.get();
+}
+
+const ArrayType *TypeContext::arrayOf(const Type *Element, int64_t Length) {
+  assert(Length >= 0 && "negative array length");
+  auto &Slot = Pimpl->Arrays[{Element, Length}];
+  if (!Slot)
+    Slot.reset(new ArrayType(Element, Length));
+  return Slot.get();
+}
+
+const FunctionType *
+TypeContext::functionType(const Type *Return,
+                          std::vector<const Type *> Params) {
+  auto Key = std::make_pair(Return, Params);
+  auto &Slot = Pimpl->Functions[Key];
+  if (!Slot)
+    Slot.reset(new FunctionType(Return, std::move(Params)));
+  return Slot.get();
+}
+
+StructType *TypeContext::createStruct(std::string Name) {
+  Pimpl->Structs.push_back(
+      std::unique_ptr<StructType>(new StructType(std::move(Name))));
+  return Pimpl->Structs.back().get();
+}
+
+void TypeContext::completeStruct(StructType *S,
+                                 std::vector<StructField> Fields) {
+  assert(!S->Complete && "struct completed twice");
+  int64_t Offset = 0;
+  for (StructField &F : Fields) {
+    F.OffsetCells = Offset;
+    Offset += F.Ty->sizeInCells();
+  }
+  S->Fields = std::move(Fields);
+  S->SizeCells = Offset;
+  S->Complete = true;
+}

@@ -1,0 +1,233 @@
+//===- lang/Type.h - Mini-C type system -------------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mini-C type system: void, int, char, double, pointers, fixed-size
+/// arrays, structs, and function types. Types are interned in a
+/// TypeContext, so pointer equality is type equality.
+///
+/// Memory model: sizes are measured in *cells*, not bytes. Every scalar
+/// (int, char, double, pointer) occupies exactly one cell; arrays and
+/// structs occupy the sum of their elements. Pointer arithmetic operates
+/// in element units, exactly as in C. The frequency estimators never
+/// observe object layout, so this substitution (documented in DESIGN.md)
+/// does not affect any reproduced result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LANG_TYPE_H
+#define LANG_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sest {
+
+class Type;
+class StructType;
+
+/// Discriminator for the Type hierarchy (LLVM-style hand-rolled RTTI).
+enum class TypeKind {
+  Void,
+  Int,
+  Char,
+  Double,
+  Pointer,
+  Array,
+  Struct,
+  Function,
+};
+
+/// Base class of all mini-C types. Instances are interned and owned by a
+/// TypeContext; compare with pointer equality.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isChar() const { return Kind == TypeKind::Char; }
+  bool isDouble() const { return Kind == TypeKind::Double; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
+  bool isFunction() const { return Kind == TypeKind::Function; }
+
+  /// Integer-classified scalars (int or char).
+  bool isIntegral() const { return isInt() || isChar(); }
+  /// Anything usable in arithmetic (integral or double).
+  bool isArithmetic() const { return isIntegral() || isDouble(); }
+  /// Anything truth-testable (arithmetic or pointer).
+  bool isScalar() const { return isArithmetic() || isPointer(); }
+
+  /// Size in cells (see file comment). Void and function types have size 0.
+  int64_t sizeInCells() const;
+
+  /// A human-readable rendering like "int", "char *", "struct node".
+  std::string str() const;
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+  ~Type() = default;
+
+private:
+  friend class TypeContext;
+  TypeKind Kind;
+};
+
+/// A pointer type "T *".
+class PointerType : public Type {
+public:
+  const Type *pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Pointer;
+  }
+
+private:
+  friend class TypeContext;
+  explicit PointerType(const Type *Pointee)
+      : Type(TypeKind::Pointer), Pointee(Pointee) {}
+  const Type *Pointee;
+};
+
+/// A fixed-size array type "T [N]".
+class ArrayType : public Type {
+public:
+  const Type *element() const { return Element; }
+  int64_t length() const { return Length; }
+
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Array; }
+
+private:
+  friend class TypeContext;
+  ArrayType(const Type *Element, int64_t Length)
+      : Type(TypeKind::Array), Element(Element), Length(Length) {}
+  const Type *Element;
+  int64_t Length;
+};
+
+/// One named member of a struct.
+struct StructField {
+  std::string Name;
+  const Type *Ty = nullptr;
+  /// Offset of the field from the struct start, in cells.
+  int64_t OffsetCells = 0;
+};
+
+/// A struct type. Structs are nominal: each "struct Name {...}" definition
+/// creates one StructType; the body may be filled in after creation to
+/// permit self-referential pointers.
+class StructType : public Type {
+public:
+  const std::string &name() const { return Name; }
+  bool isComplete() const { return Complete; }
+  const std::vector<StructField> &fields() const { return Fields; }
+
+  /// Finds a field by name; returns nullptr when absent.
+  const StructField *findField(const std::string &FieldName) const {
+    for (const StructField &F : Fields)
+      if (F.Name == FieldName)
+        return &F;
+    return nullptr;
+  }
+
+  /// Total size in cells; only valid when complete.
+  int64_t sizeCells() const {
+    assert(Complete && "size of incomplete struct");
+    return SizeCells;
+  }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Struct;
+  }
+
+private:
+  friend class TypeContext;
+  explicit StructType(std::string Name)
+      : Type(TypeKind::Struct), Name(std::move(Name)) {}
+
+  std::string Name;
+  std::vector<StructField> Fields;
+  int64_t SizeCells = 0;
+  bool Complete = false;
+};
+
+/// A function type "Ret (P0, P1, ...)".
+class FunctionType : public Type {
+public:
+  const Type *returnType() const { return Return; }
+  const std::vector<const Type *> &params() const { return Params; }
+
+  static bool classof(const Type *T) {
+    return T->kind() == TypeKind::Function;
+  }
+
+private:
+  friend class TypeContext;
+  FunctionType(const Type *Return, std::vector<const Type *> Params)
+      : Type(TypeKind::Function), Return(Return), Params(std::move(Params)) {
+  }
+  const Type *Return;
+  std::vector<const Type *> Params;
+};
+
+/// Owns and interns all types for one translation unit.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+  ~TypeContext();
+
+  const Type *voidType() const { return VoidTy; }
+  const Type *intType() const { return IntTy; }
+  const Type *charType() const { return CharTy; }
+  const Type *doubleType() const { return DoubleTy; }
+
+  /// Returns the unique "Pointee *" type.
+  const PointerType *pointerTo(const Type *Pointee);
+  /// Returns the unique "Element[Length]" type.
+  const ArrayType *arrayOf(const Type *Element, int64_t Length);
+  /// Returns the unique function type with the given signature.
+  const FunctionType *functionType(const Type *Return,
+                                   std::vector<const Type *> Params);
+
+  /// Creates a fresh, incomplete struct type named \p Name. Nominal: two
+  /// calls with the same name yield distinct types (the parser keeps a
+  /// name→type map to avoid that).
+  StructType *createStruct(std::string Name);
+
+  /// Completes \p S with \p Fields, computing offsets and size.
+  void completeStruct(StructType *S, std::vector<StructField> Fields);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> Pimpl;
+  const Type *VoidTy;
+  const Type *IntTy;
+  const Type *CharTy;
+  const Type *DoubleTy;
+};
+
+/// dyn_cast-style helpers for the Type hierarchy.
+template <typename T> const T *typeDynCast(const Type *Ty) {
+  if (Ty && T::classof(Ty))
+    return static_cast<const T *>(Ty);
+  return nullptr;
+}
+
+template <typename T> const T *typeCast(const Type *Ty) {
+  assert(Ty && T::classof(Ty) && "typeCast to wrong type");
+  return static_cast<const T *>(Ty);
+}
+
+} // namespace sest
+
+#endif // LANG_TYPE_H

@@ -1,0 +1,70 @@
+//===- metrics/BranchMiss.cpp - Branch miss-rate metrics -------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/BranchMiss.h"
+
+using namespace sest;
+
+std::vector<FunctionBranchPredictions>
+sest::predictAllFunctions(const TranslationUnit &Unit, const CfgModule &Cfgs,
+                          const BranchPredictor &Predictor) {
+  std::vector<FunctionBranchPredictions> Out(Unit.Functions.size());
+  for (const auto &[F, G] : Cfgs.all())
+    Out[F->functionId()] = Predictor.predictFunction(*G);
+  return Out;
+}
+
+BranchMissCounts sest::branchMissRate(
+    const CfgModule &Cfgs,
+    const std::vector<FunctionBranchPredictions> &Predictions,
+    const Profile &Actual, BranchOracle Oracle, const Profile *Training) {
+  assert((Oracle != BranchOracle::Training || Training) &&
+         "training oracle needs a training profile");
+
+  BranchMissCounts Counts;
+  for (const auto &[F, G] : Cfgs.all()) {
+    size_t Fid = F->functionId();
+    const FunctionBranchPredictions &Pred = Predictions[Fid];
+    const FunctionProfile &FP = Actual.Functions[Fid];
+
+    for (const auto &B : G->blocks()) {
+      if (B->terminator() != TerminatorKind::CondBranch)
+        continue; // switches are excluded from Fig. 2
+      auto It = Pred.ByBlock.find(B->id());
+      if (It == Pred.ByBlock.end())
+        continue;
+      if (It->second.ConstantCondition)
+        continue; // "predicting, but not counting towards the score"
+
+      double Taken = FP.ArcCounts[B->id()][0];    // condition true
+      double NotTaken = FP.ArcCounts[B->id()][1]; // condition false
+      double Executed = Taken + NotTaken;
+      if (Executed <= 0)
+        continue;
+
+      bool PredictTrue = true;
+      switch (Oracle) {
+      case BranchOracle::Static:
+        PredictTrue = It->second.PredictTrue;
+        break;
+      case BranchOracle::Training: {
+        const FunctionProfile &TP = Training->Functions[Fid];
+        double TTaken = TP.ArcCounts[B->id()][0];
+        double TNot = TP.ArcCounts[B->id()][1];
+        PredictTrue = TTaken >= TNot;
+        break;
+      }
+      case BranchOracle::Perfect:
+        PredictTrue = Taken >= NotTaken;
+        break;
+      }
+
+      Counts.Executed += Executed;
+      Counts.Misses += PredictTrue ? NotTaken : Taken;
+    }
+  }
+  return Counts;
+}

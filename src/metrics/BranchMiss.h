@@ -1,0 +1,78 @@
+//===- metrics/BranchMiss.h - Branch miss-rate metrics ----------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch miss-rate measurement (Fig. 2): the percentage of dynamic
+/// two-way branches mispredicted by
+///
+///  - the smart static predictor,
+///  - profiling with alternate inputs (majority direction in a training
+///    profile), and
+///  - the perfect static predictor (PSP) — "this uses a single profile to
+///    predict its own result; it thus represents the upper bound on the
+///    performance of static branch prediction".
+///
+/// Following §2 and Fig. 2's caption, branches whose condition is a
+/// compile-time constant are excluded, and switch dispatches are not
+/// counted (they are not two-way branches).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METRICS_BRANCHMISS_H
+#define METRICS_BRANCHMISS_H
+
+#include "cfg/Cfg.h"
+#include "estimators/BranchPrediction.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace sest {
+
+/// Accumulated miss statistics.
+struct BranchMissCounts {
+  double Misses = 0;
+  double Executed = 0;
+
+  double rate() const { return Executed > 0 ? Misses / Executed : 0.0; }
+
+  BranchMissCounts &operator+=(const BranchMissCounts &Rhs) {
+    Misses += Rhs.Misses;
+    Executed += Rhs.Executed;
+    return *this;
+  }
+};
+
+/// Who predicts the branch direction.
+enum class BranchOracle {
+  Static,   ///< The smart predictor's directions.
+  Training, ///< Majority direction in a separate training profile.
+  Perfect,  ///< Majority direction in the *scored* profile (PSP).
+};
+
+/// Computes the miss rate of \p Oracle over all two-way branches of the
+/// program, scored against \p Actual.
+///
+/// \p Predictions must hold predictFunction() results for every defined
+/// function (indexed by function id) — its directions drive
+/// BranchOracle::Static, and its ConstantCondition flags define the
+/// exclusion set for every oracle. \p Training is required (and only
+/// used) for BranchOracle::Training.
+BranchMissCounts
+branchMissRate(const CfgModule &Cfgs,
+               const std::vector<FunctionBranchPredictions> &Predictions,
+               const Profile &Actual, BranchOracle Oracle,
+               const Profile *Training = nullptr);
+
+/// Convenience: predictions for every defined function, indexed by
+/// function id.
+std::vector<FunctionBranchPredictions>
+predictAllFunctions(const TranslationUnit &Unit, const CfgModule &Cfgs,
+                    const BranchPredictor &Predictor);
+
+} // namespace sest
+
+#endif // METRICS_BRANCHMISS_H

@@ -1,0 +1,66 @@
+//===- metrics/Evaluation.cpp - Paper evaluation drivers -------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Evaluation.h"
+
+#include "metrics/WeightMatching.h"
+
+using namespace sest;
+
+std::vector<size_t> sest::scoredFunctionIds(const TranslationUnit &Unit) {
+  std::vector<size_t> Ids;
+  for (const FunctionDecl *F : Unit.Functions)
+    if (F->isDefined())
+      Ids.push_back(F->functionId());
+  return Ids;
+}
+
+double sest::intraProceduralScore(const ProgramEstimate &Estimate,
+                                  const Profile &Actual,
+                                  const std::vector<size_t> &FunctionIds,
+                                  double Cutoff) {
+  double WeightedSum = 0.0;
+  double WeightTotal = 0.0;
+  for (size_t F : FunctionIds) {
+    const FunctionProfile &FP = Actual.Functions[F];
+    if (FP.EntryCount <= 0)
+      continue; // never invoked under this input
+    if (F >= Estimate.BlockEstimates.size() ||
+        Estimate.BlockEstimates[F].size() != FP.BlockCounts.size())
+      continue;
+    double Score = weightMatchingScore(Estimate.BlockEstimates[F],
+                                       FP.BlockCounts, Cutoff);
+    // "the resulting per-function scores were then averaged, weighted by
+    // the dynamic invocation count of the function in question" (§4.2).
+    WeightedSum += Score * FP.EntryCount;
+    WeightTotal += FP.EntryCount;
+  }
+  return WeightTotal > 0 ? WeightedSum / WeightTotal : 1.0;
+}
+
+double sest::functionInvocationScore(const ProgramEstimate &Estimate,
+                                     const Profile &Actual,
+                                     const std::vector<size_t> &FunctionIds,
+                                     double Cutoff) {
+  std::vector<double> Est, Act;
+  Est.reserve(FunctionIds.size());
+  Act.reserve(FunctionIds.size());
+  for (size_t F : FunctionIds) {
+    Est.push_back(F < Estimate.FunctionEstimates.size()
+                      ? Estimate.FunctionEstimates[F]
+                      : 0.0);
+    Act.push_back(Actual.Functions[F].EntryCount);
+  }
+  return weightMatchingScore(Est, Act, Cutoff);
+}
+
+double sest::callSiteScore(const ProgramEstimate &Estimate,
+                           const Profile &Actual, double Cutoff) {
+  // Negative estimates mark omitted (indirect) sites; the metric skips
+  // them in both rankings.
+  return weightMatchingScore(Estimate.CallSiteEstimates,
+                             Actual.CallSiteCounts, Cutoff);
+}

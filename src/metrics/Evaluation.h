@@ -1,0 +1,73 @@
+//===- metrics/Evaluation.h - Paper evaluation drivers ----------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's scoring protocols (§3):
+///
+///  - intra-procedural: per-function weight matching of block estimates
+///    against a profile, averaged weighted by each function's dynamic
+///    invocation count;
+///  - function invocations: weight matching of per-function counts over
+///    the defined (user) functions;
+///  - call sites: weight matching over direct call sites of the whole
+///    program;
+///  - cross-validation: an estimate is scored against each profile
+///    separately and the scores averaged; a profile is scored against
+///    the aggregate of all the *other* profiles.
+///
+/// Branch miss rates (Fig. 2) live in BranchMiss.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METRICS_EVALUATION_H
+#define METRICS_EVALUATION_H
+
+#include "estimators/Pipeline.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace sest {
+
+/// Which functions participate in function-level and intra-procedural
+/// scoring (the paper scores compiled user functions, not library
+/// builtins). Returns the ids of all defined functions.
+std::vector<size_t> scoredFunctionIds(const TranslationUnit &Unit);
+
+/// Intra-procedural weight matching (Fig. 4): per-function scores at
+/// \p Cutoff, weighted by the function's dynamic invocation count in
+/// \p Actual. Functions never invoked are skipped.
+double intraProceduralScore(const ProgramEstimate &Estimate,
+                            const Profile &Actual,
+                            const std::vector<size_t> &FunctionIds,
+                            double Cutoff);
+
+/// Function-invocation weight matching (Fig. 5).
+double functionInvocationScore(const ProgramEstimate &Estimate,
+                               const Profile &Actual,
+                               const std::vector<size_t> &FunctionIds,
+                               double Cutoff);
+
+/// Call-site weight matching (Fig. 9); indirect sites are omitted via
+/// the estimate's -1 markers.
+double callSiteScore(const ProgramEstimate &Estimate, const Profile &Actual,
+                     double Cutoff);
+
+/// Averages \p ScoreFn(profile) over all profiles — the "compare to each
+/// profile, then average" protocol.
+template <typename Fn>
+double averageOverProfiles(const std::vector<Profile> &Profiles, Fn ScoreFn) {
+  if (Profiles.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (const Profile &P : Profiles)
+    Sum += ScoreFn(P);
+  return Sum / static_cast<double>(Profiles.size());
+}
+
+} // namespace sest
+
+#endif // METRICS_EVALUATION_H

@@ -1,0 +1,87 @@
+//===- metrics/WeightMatching.cpp - Wall's weight-matching metric ----------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/WeightMatching.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace sest;
+
+namespace {
+
+/// Indices 0..N-1 ordered by descending key; ties broken by index so the
+/// ranking is deterministic.
+std::vector<size_t> rankDescending(const std::vector<double> &Keys) {
+  std::vector<size_t> Order(Keys.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&Keys](size_t A, size_t B) { return Keys[A] > Keys[B]; });
+  return Order;
+}
+
+/// Sum of Values over the top Cutoff·N items by Keys with fractional
+/// rounding ("we round up, and weight the extra block fractionally").
+double topWeight(const std::vector<double> &Keys,
+                 const std::vector<double> &Values, double CutoffFraction) {
+  const size_t N = Keys.size();
+  double Count = CutoffFraction * static_cast<double>(N);
+  if (Count <= 0)
+    return 0.0;
+  size_t Whole = static_cast<size_t>(std::floor(Count));
+  double Frac = Count - static_cast<double>(Whole);
+  if (Whole > N) {
+    Whole = N;
+    Frac = 0;
+  }
+
+  std::vector<size_t> Order = rankDescending(Keys);
+  double Sum = 0.0;
+  for (size_t I = 0; I < Whole; ++I)
+    Sum += Values[Order[I]];
+  if (Frac > 0 && Whole < N)
+    Sum += Frac * Values[Order[Whole]];
+  return Sum;
+}
+
+} // namespace
+
+double sest::quantileWeight(const std::vector<double> &Keys,
+                            const std::vector<double> &Values,
+                            double CutoffFraction) {
+  assert(Keys.size() == Values.size() && "parallel vectors required");
+  return topWeight(Keys, Values, CutoffFraction);
+}
+
+double sest::weightMatchingScore(const std::vector<double> &Estimate,
+                                 const std::vector<double> &Actual,
+                                 double CutoffFraction) {
+  assert(Estimate.size() == Actual.size() && "parallel vectors required");
+
+  // Drop omitted items (negative estimates).
+  std::vector<double> E, A;
+  E.reserve(Estimate.size());
+  A.reserve(Actual.size());
+  for (size_t I = 0; I < Estimate.size(); ++I) {
+    if (Estimate[I] < 0)
+      continue;
+    E.push_back(Estimate[I]);
+    A.push_back(Actual[I]);
+  }
+
+  if (E.empty() || CutoffFraction <= 0)
+    return 1.0;
+
+  double Denominator = topWeight(A, A, CutoffFraction);
+  if (Denominator <= 0)
+    return 1.0;
+  double Numerator = topWeight(E, A, CutoffFraction);
+  // Ties at the actual cutoff can let the estimate capture marginally
+  // more weight than the canonical actual quantile; clamp to 1.
+  return std::min(1.0, Numerator / Denominator);
+}

@@ -1,0 +1,48 @@
+//===- metrics/WeightMatching.h - Wall's weight-matching metric -*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The weight-matching metric (paper §3, after Wall [12]): how well does
+/// an estimate identify the top n% of items by actual weight? The
+/// quantile is selected once by estimate and once by actual weight; the
+/// score is the actual weight captured by the estimated quantile divided
+/// by the actual weight of the actual quantile. When the percentage does
+/// not divide the item count exactly, the count is rounded up and the
+/// extra item weighted fractionally (paper footnote 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METRICS_WEIGHTMATCHING_H
+#define METRICS_WEIGHTMATCHING_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sest {
+
+/// Weight-matching score in [0, 1].
+///
+/// \p Estimate and \p Actual are parallel vectors of item weights.
+/// \p CutoffFraction is the quantile (the paper uses 0.05 to 0.6).
+/// Items with negative estimates are treated as "omitted" and excluded
+/// from both rankings (used for indirect call sites).
+///
+/// Degenerate cases score 1.0: no items, zero cutoff, or an actual
+/// quantile of total weight zero.
+double weightMatchingScore(const std::vector<double> &Estimate,
+                           const std::vector<double> &Actual,
+                           double CutoffFraction);
+
+/// The quantile weight helper: sum of the top \p Cutoff·N weights of
+/// \p Values when ranked by \p Keys (descending, ties by index), with
+/// the paper's fractional rounding. Exposed for tests.
+double quantileWeight(const std::vector<double> &Keys,
+                      const std::vector<double> &Values,
+                      double CutoffFraction);
+
+} // namespace sest
+
+#endif // METRICS_WEIGHTMATCHING_H

@@ -1,0 +1,52 @@
+//===- suite/Suite.cpp - The 14-program benchmark suite --------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/StringUtils.h"
+
+using namespace sest;
+
+unsigned SuiteProgram::sourceLines() const {
+  unsigned Lines = 0;
+  for (const std::string &Line : splitString(Source, '\n')) {
+    for (char C : Line)
+      if (C != ' ' && C != '\t') {
+        ++Lines;
+        break;
+      }
+  }
+  return Lines;
+}
+
+const std::vector<SuiteProgram> &sest::benchmarkSuite() {
+  static const std::vector<SuiteProgram> Suite = [] {
+    std::vector<SuiteProgram> S;
+    S.push_back(makeAlvinn());
+    S.push_back(makeCompress());
+    S.push_back(makeEar());
+    S.push_back(makeEqntott());
+    S.push_back(makeEspresso());
+    S.push_back(makeGcc());
+    S.push_back(makeSc());
+    S.push_back(makeXlisp());
+    S.push_back(makeAwk());
+    S.push_back(makeBison());
+    S.push_back(makeCholesky());
+    S.push_back(makeGs());
+    S.push_back(makeMpeg());
+    S.push_back(makeWater());
+    return S;
+  }();
+  return Suite;
+}
+
+const SuiteProgram *sest::findSuiteProgram(const std::string &Name) {
+  for (const SuiteProgram &P : benchmarkSuite())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

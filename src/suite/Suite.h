@@ -1,0 +1,66 @@
+//===- suite/Suite.h - The 14-program benchmark suite -----------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation suite: 14 mini-C programs standing in for the paper's
+/// Table 1 (the SPEC92 C programs plus six others), each reproducing its
+/// model's domain and control-flow idioms, with at least four inputs.
+/// See DESIGN.md for the substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUITE_SUITE_H
+#define SUITE_SUITE_H
+
+#include "interp/Interp.h"
+
+#include <string>
+#include <vector>
+
+namespace sest {
+
+/// One benchmark program.
+struct SuiteProgram {
+  /// Short name ("compress", "xlisp", ...).
+  std::string Name;
+  /// The Table 1 program this one stands in for.
+  std::string PaperAnalogue;
+  /// One-line description (the Table 1 column).
+  std::string Description;
+  /// Mini-C source text.
+  std::string Source;
+  /// At least four inputs.
+  std::vector<ProgramInput> Inputs;
+
+  /// Number of non-blank source lines (the Table 1 "Lines" column).
+  unsigned sourceLines() const;
+};
+
+/// The full suite in Table 1 order.
+const std::vector<SuiteProgram> &benchmarkSuite();
+
+/// Finds a program by name; null when absent.
+const SuiteProgram *findSuiteProgram(const std::string &Name);
+
+// One factory per program (suite/programs/*.cpp).
+SuiteProgram makeAlvinn();
+SuiteProgram makeCompress();
+SuiteProgram makeEar();
+SuiteProgram makeEqntott();
+SuiteProgram makeEspresso();
+SuiteProgram makeGcc();
+SuiteProgram makeSc();
+SuiteProgram makeXlisp();
+SuiteProgram makeAwk();
+SuiteProgram makeBison();
+SuiteProgram makeCholesky();
+SuiteProgram makeGs();
+SuiteProgram makeMpeg();
+SuiteProgram makeWater();
+
+} // namespace sest
+
+#endif // SUITE_SUITE_H

@@ -1,0 +1,59 @@
+//===- suite/SuiteRunner.cpp - Compile & profile suite programs ------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/SuiteRunner.h"
+
+using namespace sest;
+
+CompiledSuiteProgram sest::compileProgramOnly(const SuiteProgram &Program) {
+  CompiledSuiteProgram Out;
+  Out.Spec = &Program;
+  Out.Ctx = std::make_unique<AstContext>();
+  DiagnosticEngine Diags;
+  if (!parseAndAnalyze(Program.Source, *Out.Ctx, Diags)) {
+    Out.Error = Program.Name + ": compile error:\n" + Diags.str();
+    return Out;
+  }
+  Out.Cfgs = std::make_unique<CfgModule>(
+      CfgModule::build(Out.Ctx->unit(), Diags));
+  if (Diags.hasErrors()) {
+    Out.Error = Program.Name + ": CFG error:\n" + Diags.str();
+    return Out;
+  }
+  Out.CG = std::make_unique<CallGraph>(
+      CallGraph::build(Out.Ctx->unit(), *Out.Cfgs));
+  Out.Ok = true;
+  return Out;
+}
+
+CompiledSuiteProgram
+sest::compileAndProfileProgram(const SuiteProgram &Program,
+                               const InterpOptions &Options) {
+  CompiledSuiteProgram Out = compileProgramOnly(Program);
+  if (!Out.Ok)
+    return Out;
+
+  for (const ProgramInput &Input : Program.Inputs) {
+    RunResult R = runProgram(Out.unit(), *Out.Cfgs, Input, Options);
+    if (!R.Ok) {
+      Out.Ok = false;
+      Out.Error = Program.Name + " on input '" + Input.Name +
+                  "': " + R.Error;
+      return Out;
+    }
+    R.TheProfile.ProgramName = Program.Name;
+    Out.Profiles.push_back(std::move(R.TheProfile));
+  }
+  return Out;
+}
+
+std::vector<CompiledSuiteProgram>
+sest::compileAndProfileSuite(const InterpOptions &Options) {
+  std::vector<CompiledSuiteProgram> Out;
+  for (const SuiteProgram &P : benchmarkSuite())
+    Out.push_back(compileAndProfileProgram(P, Options));
+  return Out;
+}

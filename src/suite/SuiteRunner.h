@@ -1,0 +1,62 @@
+//===- suite/SuiteRunner.h - Compile & profile suite programs ---*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives one suite program through the whole substrate: compile (lex /
+/// parse / sema), build CFGs and the call graph, and execute every input
+/// collecting profiles — the "instrument and run on several inputs" leg
+/// of the paper's methodology (§2, §3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUITE_SUITERUNNER_H
+#define SUITE_SUITERUNNER_H
+
+#include "callgraph/CallGraph.h"
+#include "cfg/Cfg.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "profile/Profile.h"
+#include "suite/Suite.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sest {
+
+/// A suite program compiled and profiled on all its inputs.
+struct CompiledSuiteProgram {
+  const SuiteProgram *Spec = nullptr;
+  std::unique_ptr<AstContext> Ctx;
+  std::unique_ptr<CfgModule> Cfgs;
+  std::unique_ptr<CallGraph> CG;
+  /// One profile per input, in input order.
+  std::vector<Profile> Profiles;
+
+  bool Ok = false;
+  std::string Error;
+
+  const TranslationUnit &unit() const { return Ctx->unit(); }
+};
+
+/// Compiles \p Program and runs every input. On any compile or runtime
+/// error, \c Ok is false and \c Error says what failed.
+CompiledSuiteProgram
+compileAndProfileProgram(const SuiteProgram &Program,
+                         const InterpOptions &Options = {});
+
+/// Compiles only (no execution) — used by analysis-time benchmarks.
+CompiledSuiteProgram compileProgramOnly(const SuiteProgram &Program);
+
+/// Compiles and profiles the entire suite (in Table 1 order). Programs
+/// that fail are still present with Ok == false.
+std::vector<CompiledSuiteProgram>
+compileAndProfileSuite(const InterpOptions &Options = {});
+
+} // namespace sest
+
+#endif // SUITE_SUITERUNNER_H

@@ -1,0 +1,186 @@
+//===- suite/programs/Alvinn.cpp - Neural-net back-propagation ------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for SPEC92 "alvinn" (back-propagation on a neural net): a
+/// small MLP trained on synthetic patterns. Numerical code with simple
+/// control flow whose only branches are long-running loops — the paper
+/// notes alvinn's miss rates are "uniformly low (0.23%), because its only
+/// branches are for loops that iterate many times".
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* back-propagation training of an 8-12-4 multilayer perceptron */
+
+double in_units[8];
+double hid_units[12];
+double out_units[4];
+double target[4];
+
+double w_ih[8][12];
+double w_ho[12][4];
+double delta_out[4];
+double delta_hid[12];
+
+double patterns[32][8];
+double labels[32][4];
+int n_patterns = 32;
+
+double squash(double x) {
+  /* fast sigmoid: 0.5 * x / (1 + |x|) + 0.5 */
+  return 0.5 * x / (1.0 + fabs(x)) + 0.5;
+}
+
+double rand_unit() {
+  return (rand() % 2000) / 1000.0 - 1.0;
+}
+
+void init_weights() {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 12; j++)
+      w_ih[i][j] = rand_unit() * 0.5;
+  for (i = 0; i < 12; i++)
+    for (j = 0; j < 4; j++)
+      w_ho[i][j] = rand_unit() * 0.5;
+}
+
+void make_patterns() {
+  int p;
+  int i;
+  int cls;
+  for (p = 0; p < n_patterns; p++) {
+    cls = p % 4;
+    for (i = 0; i < 8; i++)
+      patterns[p][i] = rand_unit() * 0.2 + ((i % 4 == cls) ? 0.8 : -0.8);
+    for (i = 0; i < 4; i++)
+      labels[p][i] = (i == cls) ? 0.9 : 0.1;
+  }
+}
+
+void forward(int p) {
+  int i;
+  int j;
+  double sum;
+  for (i = 0; i < 8; i++)
+    in_units[i] = patterns[p][i];
+  for (j = 0; j < 12; j++) {
+    sum = 0.0;
+    for (i = 0; i < 8; i++)
+      sum += in_units[i] * w_ih[i][j];
+    hid_units[j] = squash(sum);
+  }
+  for (j = 0; j < 4; j++) {
+    sum = 0.0;
+    for (i = 0; i < 12; i++)
+      sum += hid_units[i] * w_ho[i][j];
+    out_units[j] = squash(sum);
+  }
+}
+
+double backward(int p, double rate) {
+  int i;
+  int j;
+  double err = 0.0;
+  double diff;
+  double back;
+  for (i = 0; i < 4; i++)
+    target[i] = labels[p][i];
+  for (j = 0; j < 4; j++) {
+    diff = target[j] - out_units[j];
+    err += diff * diff;
+    delta_out[j] = diff * out_units[j] * (1.0 - out_units[j]);
+  }
+  for (i = 0; i < 12; i++) {
+    back = 0.0;
+    for (j = 0; j < 4; j++)
+      back += delta_out[j] * w_ho[i][j];
+    delta_hid[i] = back * hid_units[i] * (1.0 - hid_units[i]);
+  }
+  for (i = 0; i < 12; i++)
+    for (j = 0; j < 4; j++)
+      w_ho[i][j] += rate * delta_out[j] * hid_units[i];
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 12; j++)
+      w_ih[i][j] += rate * delta_hid[j] * in_units[i];
+  return err;
+}
+
+double train_epoch(double rate) {
+  int p;
+  double total = 0.0;
+  for (p = 0; p < n_patterns; p++) {
+    forward(p);
+    total += backward(p, rate);
+  }
+  return total;
+}
+
+int classify(int p) {
+  int j;
+  int best = 0;
+  forward(p);
+  for (j = 1; j < 4; j++)
+    if (out_units[j] > out_units[best])
+      best = j;
+  return best;
+}
+
+int count_correct() {
+  int p;
+  int good = 0;
+  for (p = 0; p < n_patterns; p++)
+    if (classify(p) == p % 4)
+      good++;
+  return good;
+}
+
+int main() {
+  int seed = read_int();
+  int epochs = read_int();
+  int e;
+  double err = 0.0;
+  srand(seed);
+  init_weights();
+  make_patterns();
+  for (e = 0; e < epochs; e++)
+    err = train_epoch(0.35);
+  print_str("epochs=");
+  print_int(epochs);
+  print_str(" err1000=");
+  print_int((int)(err * 1000.0));
+  print_str(" correct=");
+  print_int(count_correct());
+  print_char('\n');
+  return 0;
+}
+)MC";
+
+} // namespace
+
+SuiteProgram sest::makeAlvinn() {
+  SuiteProgram P;
+  P.Name = "alvinn";
+  P.PaperAnalogue = "alvinn (SPEC92)";
+  P.Description = "Back-propagation on a neural net";
+  P.Source = Source;
+  P.Inputs = {
+      {"train20", "3 20", 3},
+      {"train35", "17 35", 17},
+      {"train12", "29 12", 29},
+      {"train28", "41 28", 41},
+      {"train16", "53 16", 53},
+  };
+  return P;
+}

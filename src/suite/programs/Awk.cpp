@@ -1,0 +1,232 @@
+//===- suite/programs/Awk.cpp - Pattern matching utility -------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for "awk" (Unix pattern-matching utility): a grep-style
+/// regular-expression matcher (literals, '.', '*' closure, '^'/'$'
+/// anchors, character classes) run over input lines — the classic
+/// Kernighan/Pike recursive matchhere structure, plus per-line field
+/// splitting and counting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/Prng.h"
+
+#include <string>
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* rematch0: count pattern matches and fields over input lines */
+
+char patterns[8][32];
+int n_patterns = 0;
+int match_counts[8];
+
+char line_buf[256];
+int line_len = 0;
+
+int total_lines = 0;
+int total_fields = 0;
+
+int match_here(char *pat, char *text);
+
+/* matches a single pattern element (c, '.', or [abc]) */
+int match_one(char *pat, int c) {
+  int i;
+  int negate = 0;
+  if (c == 0)
+    return 0;
+  if (pat[0] == '.')
+    return 1;
+  if (pat[0] == '[') {
+    i = 1;
+    if (pat[i] == '^') {
+      negate = 1;
+      i++;
+    }
+    while (pat[i] != ']' && pat[i] != 0) {
+      if (pat[i] == c)
+        return !negate;
+      i++;
+    }
+    return negate;
+  }
+  return pat[0] == c;
+}
+
+/* length of one pattern element */
+int elem_len(char *pat) {
+  int n = 1;
+  if (pat[0] == '[') {
+    while (pat[n] != ']' && pat[n] != 0)
+      n++;
+    n++;
+  }
+  return n;
+}
+
+/* closure: e* followed by rest */
+int match_star(char *elem, char *rest, char *text) {
+  char *t = text;
+  for (;;) {
+    if (match_here(rest, t))
+      return 1;
+    if (!match_one(elem, *t))
+      return 0;
+    t++;
+  }
+}
+
+int match_here(char *pat, char *text) {
+  int n;
+  if (pat[0] == 0)
+    return 1;
+  if (pat[0] == '$' && pat[1] == 0)
+    return *text == 0;
+  n = elem_len(pat);
+  if (pat[n] == '*')
+    return match_star(pat, pat + n + 1, text);
+  if (*text != 0 && match_one(pat, *text))
+    return match_here(pat + n, text + 1);
+  return 0;
+}
+
+int match_anywhere(char *pat, char *text) {
+  if (pat[0] == '^')
+    return match_here(pat + 1, text);
+  /* try every start position, even for empty text */
+  do {
+    if (match_here(pat, text))
+      return 1;
+    text++;
+  } while (text[-1] != 0);
+  return 0;
+}
+
+int read_line() {
+  int c = read_char();
+  int n = 0;
+  if (c == -1)
+    return -1;
+  while (c != -1 && c != '\n' && n < 255) {
+    line_buf[n] = c;
+    n++;
+    c = read_char();
+  }
+  line_buf[n] = 0;
+  line_len = n;
+  return n;
+}
+
+int count_fields() {
+  int i = 0;
+  int fields = 0;
+  int in_field = 0;
+  while (line_buf[i] != 0) {
+    if (line_buf[i] == ' ') {
+      in_field = 0;
+    } else if (!in_field) {
+      in_field = 1;
+      fields++;
+    }
+    i++;
+  }
+  return fields;
+}
+
+void load_patterns() {
+  int n = read_int();
+  int i;
+  int c;
+  int k;
+  read_char(); /* trailing newline */
+  if (n > 8)
+    n = 8;
+  n_patterns = n;
+  for (i = 0; i < n; i++) {
+    k = 0;
+    c = read_char();
+    while (c != -1 && c != '\n' && k < 31) {
+      patterns[i][k] = c;
+      k++;
+      c = read_char();
+    }
+    patterns[i][k] = 0;
+    match_counts[i] = 0;
+  }
+}
+
+int main() {
+  int i;
+  load_patterns();
+  while (read_line() != -1) {
+    total_lines++;
+    total_fields += count_fields();
+    for (i = 0; i < n_patterns; i++)
+      if (match_anywhere(patterns[i], line_buf))
+        match_counts[i]++;
+  }
+  print_str("lines=");
+  print_int(total_lines);
+  print_str(" fields=");
+  print_int(total_fields);
+  print_str(" matches:");
+  for (i = 0; i < n_patterns; i++) {
+    print_char(' ');
+    print_int(match_counts[i]);
+  }
+  print_char('\n');
+  return 0;
+}
+)MC";
+
+/// Input: pattern count, patterns, then text lines.
+std::string makeMatchInput(uint64_t Seed, int Lines) {
+  Prng R(Seed);
+  static const char *Patterns[] = {
+      "^the",      "ing$",    "a.b",     "ab*c",
+      "[aeiou][aeiou]", "^[^t]", "qu",   "z*end$",
+  };
+  static const char *Words[] = {
+      "the",   "thing",  "abacus", "abbbc", "cab",    "aerie",
+      "queen", "zzend",  "end",    "string", "táil",  "aab",
+      "quilt", "running", "axb",   "banana", "loop",  "testing"};
+  std::string S = "8\n";
+  for (const char *P : Patterns)
+    S += std::string(P) + "\n";
+  for (int L = 0; L < Lines; ++L) {
+    unsigned N = 2 + static_cast<unsigned>(R.nextBelow(6));
+    for (unsigned W = 0; W < N; ++W) {
+      S += Words[R.nextBelow(18)];
+      S += W + 1 == N ? "" : " ";
+    }
+    S += "\n";
+  }
+  return S;
+}
+
+} // namespace
+
+SuiteProgram sest::makeAwk() {
+  SuiteProgram P;
+  P.Name = "awk";
+  P.PaperAnalogue = "awk";
+  P.Description = "Unix pattern-matching utility (regex over lines)";
+  P.Source = Source;
+  P.Inputs = {
+      {"l60", makeMatchInput(15, 60), 15},
+      {"l90", makeMatchInput(35, 90), 35},
+      {"l40", makeMatchInput(55, 40), 55},
+      {"l120", makeMatchInput(77, 120), 77},
+      {"l75", makeMatchInput(93, 75), 93},
+  };
+  return P;
+}

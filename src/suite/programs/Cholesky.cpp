@@ -1,0 +1,182 @@
+//===- suite/programs/Cholesky.cpp - Cholesky factorization ---------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for "cholesky" (Cholesky-factorize a sparse matrix): build a
+/// banded symmetric positive-definite system, factorize it skipping
+/// zero entries outside the band (the sparse twist), solve by forward /
+/// backward substitution, and verify the residual.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* banded sparse Cholesky: A = L·Lᵀ, solve A x = b, check residual */
+
+double a_mat[40][40];
+double l_mat[40][40];
+double b_vec[40];
+double y_vec[40];
+double x_vec[40];
+int n_dim = 0;
+int bandwidth = 0;
+
+void build_matrix(int n, int band) {
+  int i;
+  int j;
+  n_dim = n;
+  bandwidth = band;
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++)
+      a_mat[i][j] = 0.0;
+  for (i = 0; i < n; i++) {
+    a_mat[i][i] = 4.0 + (rand() % 100) / 50.0;
+    for (j = i + 1; j < n && j <= i + band; j++) {
+      a_mat[i][j] = 0.0 - (rand() % 100) / 120.0;
+      a_mat[j][i] = a_mat[i][j];
+    }
+  }
+  for (i = 0; i < n; i++)
+    b_vec[i] = 1.0 + (rand() % 100) / 100.0;
+}
+
+int is_zero(double v) {
+  if (fabs(v) < 1e-12)
+    return 1;
+  return 0;
+}
+
+/* column-oriented factorization; skips zero (out-of-band) entries */
+int factorize() {
+  int i;
+  int j;
+  int k;
+  double sum;
+  for (j = 0; j < n_dim; j++) {
+    sum = a_mat[j][j];
+    for (k = 0; k < j; k++) {
+      if (is_zero(l_mat[j][k]))
+        continue;
+      sum -= l_mat[j][k] * l_mat[j][k];
+    }
+    if (sum <= 0.0)
+      return 0; /* not positive definite */
+    l_mat[j][j] = sqrt(sum);
+    for (i = j + 1; i < n_dim; i++) {
+      if (i > j + bandwidth + 2) {
+        l_mat[i][j] = 0.0;
+        continue;
+      }
+      sum = a_mat[i][j];
+      for (k = 0; k < j; k++) {
+        if (is_zero(l_mat[i][k]) || is_zero(l_mat[j][k]))
+          continue;
+        sum -= l_mat[i][k] * l_mat[j][k];
+      }
+      l_mat[i][j] = sum / l_mat[j][j];
+    }
+  }
+  return 1;
+}
+
+void forward_solve() {
+  int i;
+  int k;
+  double sum;
+  for (i = 0; i < n_dim; i++) {
+    sum = b_vec[i];
+    for (k = 0; k < i; k++)
+      sum -= l_mat[i][k] * y_vec[k];
+    y_vec[i] = sum / l_mat[i][i];
+  }
+}
+
+void backward_solve() {
+  int i;
+  int k;
+  double sum;
+  for (i = n_dim - 1; i >= 0; i--) {
+    sum = y_vec[i];
+    for (k = i + 1; k < n_dim; k++)
+      sum -= l_mat[k][i] * x_vec[k];
+    x_vec[i] = sum / l_mat[i][i];
+  }
+}
+
+double residual() {
+  int i;
+  int j;
+  double r = 0.0;
+  double row;
+  for (i = 0; i < n_dim; i++) {
+    row = 0.0 - b_vec[i];
+    for (j = 0; j < n_dim; j++)
+      row += a_mat[i][j] * x_vec[j];
+    r += row * row;
+  }
+  return r;
+}
+
+int count_nonzeros() {
+  int i;
+  int j;
+  int nz = 0;
+  for (i = 0; i < n_dim; i++)
+    for (j = 0; j <= i; j++)
+      if (!is_zero(l_mat[i][j]))
+        nz++;
+  return nz;
+}
+
+int main() {
+  int seed = read_int();
+  int n = read_int();
+  int band = read_int();
+  double r;
+  if (n > 40)
+    n = 40;
+  srand(seed);
+  build_matrix(n, band);
+  if (!factorize()) {
+    print_str("not positive definite\n");
+    abort();
+  }
+  forward_solve();
+  backward_solve();
+  r = residual();
+  print_str("n=");
+  print_int(n_dim);
+  print_str(" nz=");
+  print_int(count_nonzeros());
+  print_str(" resid_ok=");
+  print_int(r < 1e-12);
+  print_char('\n');
+  return 0;
+}
+)MC";
+
+} // namespace
+
+SuiteProgram sest::makeCholesky() {
+  SuiteProgram P;
+  P.Name = "cholesky";
+  P.PaperAnalogue = "cholesky";
+  P.Description = "Cholesky-factorize a sparse (banded) matrix";
+  P.Source = Source;
+  P.Inputs = {
+      {"n24b3", "3 24 3", 3},
+      {"n32b4", "13 32 4", 13},
+      {"n28b2", "27 28 2", 27},
+      {"n36b5", "31 36 5", 31},
+      {"n20b6", "43 20 6", 43},
+  };
+  return P;
+}

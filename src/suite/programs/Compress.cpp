@@ -1,0 +1,276 @@
+//===- suite/programs/Compress.cpp - LZW compression stand-in --------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for SPEC92 "compress" (Unix compression utility): LZW
+/// compression and decompression with verification. Deliberately
+/// structured as 16 functions, of which roughly four dominate the run
+/// time — the property the paper's selective-optimization experiment
+/// (§6, Fig. 10) relies on ("The run time of the program is dominated by
+/// 4 of its 16 functions").
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/Prng.h"
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* lzw compress + decompress with verification; 16 functions */
+
+int in_buf[4200];
+int in_len = 0;
+
+int code_buf[4200];
+int n_codes = 0;
+
+int out_buf[8400];
+int out_len = 0;
+
+/* open-addressing hash table for (prefix, char) -> code */
+int hash_code[4099];
+int hash_prefix[4099];
+int hash_char[4099];
+
+/* decoder dictionary */
+int dict_prefix[4096];
+int dict_char[4096];
+int next_code = 256;
+
+int total_bits = 0;
+int check_in = 0;
+int check_out = 0;
+
+int hash_key(int prefix, int ch) {
+  int h = (prefix * 31 + ch * 7) % 4099;
+  if (h < 0)
+    h += 4099;
+  return h;
+}
+
+void table_reset() {
+  int i;
+  for (i = 0; i < 4099; i++)
+    hash_code[i] = -1;
+  next_code = 256;
+}
+
+int table_lookup(int prefix, int ch) {
+  int h = hash_key(prefix, ch);
+  while (hash_code[h] != -1) {
+    if (hash_prefix[h] == prefix && hash_char[h] == ch)
+      return hash_code[h];
+    h++;
+    if (h == 4099)
+      h = 0;
+  }
+  return -1;
+}
+
+void table_insert(int prefix, int ch, int code) {
+  int h = hash_key(prefix, ch);
+  while (hash_code[h] != -1) {
+    h++;
+    if (h == 4099)
+      h = 0;
+  }
+  hash_code[h] = code;
+  hash_prefix[h] = prefix;
+  hash_char[h] = ch;
+}
+
+int code_length(int code) {
+  int bits = 1;
+  int top = 2;
+  while (top <= code) {
+    top = top * 2;
+    bits++;
+  }
+  if (bits < 9)
+    return 9;
+  return bits;
+}
+
+void put_code(int code) {
+  code_buf[n_codes] = code;
+  n_codes++;
+  total_bits += code_length(code);
+}
+
+int read_input() {
+  int c = read_char();
+  int n = 0;
+  while (c != -1 && n < 4096) {
+    in_buf[n] = c;
+    n++;
+    c = read_char();
+  }
+  return n;
+}
+
+void checksum_in(int c) {
+  check_in = (check_in * 131 + c) % 1000000007;
+}
+
+void checksum_out(int c) {
+  check_out = (check_out * 131 + c) % 1000000007;
+}
+
+void lzw_compress() {
+  int w;
+  int i;
+  int c;
+  int found;
+  if (in_len == 0)
+    return;
+  table_reset();
+  w = in_buf[0];
+  checksum_in(w);
+  for (i = 1; i < in_len; i++) {
+    c = in_buf[i];
+    checksum_in(c);
+    found = table_lookup(w, c);
+    if (found != -1) {
+      w = found;
+    } else {
+      put_code(w);
+      if (next_code < 4096) {
+        table_insert(w, c, next_code);
+        next_code++;
+      }
+      w = c;
+    }
+  }
+  put_code(w);
+}
+
+int first_char_of(int code) {
+  while (code >= 256)
+    code = dict_prefix[code];
+  return code;
+}
+
+void emit_expansion(int code) {
+  if (code >= 256)
+    emit_expansion(dict_prefix[code]);
+  if (code >= 256)
+    out_buf[out_len] = dict_char[code];
+  else
+    out_buf[out_len] = code;
+  checksum_out(out_buf[out_len]);
+  out_len++;
+}
+
+void lzw_decompress() {
+  int i;
+  int prev;
+  int code;
+  int dnext = 256;
+  if (n_codes == 0)
+    return;
+  prev = code_buf[0];
+  emit_expansion(prev);
+  for (i = 1; i < n_codes; i++) {
+    code = code_buf[i];
+    if (code < dnext) {
+      emit_expansion(code);
+    } else {
+      /* the KwKwK special case */
+      emit_expansion(prev);
+      out_buf[out_len] = first_char_of(prev);
+      checksum_out(out_buf[out_len]);
+      out_len++;
+    }
+    if (dnext < 4096) {
+      dict_prefix[dnext] = prev;
+      if (code < dnext)
+        dict_char[dnext] = first_char_of(code);
+      else
+        dict_char[dnext] = first_char_of(prev);
+      dnext++;
+    }
+    prev = code;
+  }
+}
+
+int verify_roundtrip() {
+  int i;
+  if (out_len != in_len)
+    return 0;
+  for (i = 0; i < in_len; i++)
+    if (out_buf[i] != in_buf[i])
+      return 0;
+  return 1;
+}
+
+void print_summary(int ok) {
+  print_str("in=");
+  print_int(in_len);
+  print_str(" codes=");
+  print_int(n_codes);
+  print_str(" bits=");
+  print_int(total_bits);
+  print_str(" ratio100=");
+  if (total_bits > 0)
+    print_int(in_len * 800 / total_bits);
+  else
+    print_int(0);
+  print_str(" ok=");
+  print_int(ok);
+  print_str(" check=");
+  print_int(check_in == check_out);
+  print_char('\n');
+}
+
+int main() {
+  int ok;
+  in_len = read_input();
+  lzw_compress();
+  lzw_decompress();
+  ok = verify_roundtrip();
+  print_summary(ok);
+  if (!ok)
+    abort();
+  return 0;
+}
+)MC";
+
+/// Deterministic English-like text with enough repetition to compress.
+std::string makeText(uint64_t Seed, size_t Words) {
+  static const char *Vocab[] = {
+      "the",  "quick", "brown",  "fox",   "jumps", "over",  "lazy",
+      "dog",  "pack",  "my",     "box",   "with",  "five",  "dozen",
+      "jugs", "of",    "liquor", "state", "zip",   "code"};
+  Prng R(Seed);
+  std::string Out;
+  for (size_t I = 0; I < Words; ++I) {
+    Out += Vocab[R.nextBelow(20)];
+    Out += R.nextBelow(12) == 0 ? '\n' : ' ';
+  }
+  return Out;
+}
+
+} // namespace
+
+SuiteProgram sest::makeCompress() {
+  SuiteProgram P;
+  P.Name = "compress";
+  P.PaperAnalogue = "compress (SPEC92)";
+  P.Description = "Unix compression utility (LZW round trip)";
+  P.Source = Source;
+  P.Inputs = {
+      {"text1", makeText(11, 700), 1},
+      {"text2", makeText(23, 1100), 2},
+      {"text3", makeText(37, 500), 3},
+      {"text4", makeText(51, 900), 4},
+      {"text5", makeText(71, 1300), 5},
+  };
+  return P;
+}

@@ -1,0 +1,160 @@
+//===- suite/programs/Ear.cpp - Cochlea / filter-bank simulation ----------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for SPEC92 "ear" (simulate sound processing in the ear): a
+/// bank of second-order resonators over a synthesized signal, half-wave
+/// rectification, leaky integration, and channel-energy reporting.
+/// Numerical, loop-dominated control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* cochlear filter bank: 16 resonator channels over a synthetic signal */
+
+double signal[2048];
+int n_samples = 0;
+
+double f_b0[16];
+double f_a1[16];
+double f_a2[16];
+double state1[16];
+double state2[16];
+double energy[16];
+double envelope[16];
+
+double osc_phase = 0.0;
+
+/* triangle-wave oscillator: cheap deterministic "sine" */
+double osc_next(double freq) {
+  double v;
+  osc_phase += freq;
+  while (osc_phase >= 1.0)
+    osc_phase -= 1.0;
+  if (osc_phase < 0.5)
+    v = 4.0 * osc_phase - 1.0;
+  else
+    v = 3.0 - 4.0 * osc_phase;
+  return v;
+}
+
+void synthesize(int n, int tone_a, int tone_b) {
+  int i;
+  double fa = tone_a / 4096.0;
+  double fb = tone_b / 4096.0;
+  double noise;
+  for (i = 0; i < n; i++) {
+    noise = (rand() % 200) / 1000.0 - 0.1;
+    signal[i] = 0.6 * osc_next(fa) + 0.3 * osc_next(fb) + noise;
+  }
+  n_samples = n;
+}
+
+void design_bank() {
+  int c;
+  double f;
+  double q;
+  for (c = 0; c < 16; c++) {
+    f = 0.02 + 0.025 * c;       /* normalized center frequency */
+    q = 0.9 - 0.02 * c;         /* pole radius */
+    f_b0[c] = 1.0 - q;
+    f_a1[c] = 2.0 * q * (1.0 - 2.0 * f);
+    f_a2[c] = 0.0 - q * q;
+    state1[c] = 0.0;
+    state2[c] = 0.0;
+    energy[c] = 0.0;
+    envelope[c] = 0.0;
+  }
+}
+
+double filter_sample(int c, double x) {
+  double y = f_b0[c] * x + f_a1[c] * state1[c] + f_a2[c] * state2[c];
+  state2[c] = state1[c];
+  state1[c] = y;
+  return y;
+}
+
+double rectify(double x) {
+  if (x < 0.0)
+    return 0.0;
+  return x;
+}
+
+void run_bank() {
+  int i;
+  int c;
+  double y;
+  double r;
+  for (i = 0; i < n_samples; i++) {
+    for (c = 0; c < 16; c++) {
+      y = filter_sample(c, signal[i]);
+      r = rectify(y);
+      envelope[c] = 0.995 * envelope[c] + 0.005 * r;
+      energy[c] += y * y;
+    }
+  }
+}
+
+int loudest_channel() {
+  int c;
+  int best = 0;
+  for (c = 1; c < 16; c++)
+    if (energy[c] > energy[best])
+      best = c;
+  return best;
+}
+
+void report() {
+  int c;
+  print_str("channels:");
+  for (c = 0; c < 16; c++) {
+    print_char(' ');
+    print_int((int)(energy[c] * 10.0));
+  }
+  print_str(" loudest=");
+  print_int(loudest_channel());
+  print_char('\n');
+}
+
+int main() {
+  int seed = read_int();
+  int n = read_int();
+  int tone_a = read_int();
+  int tone_b = read_int();
+  if (n > 2048)
+    n = 2048;
+  srand(seed);
+  design_bank();
+  synthesize(n, tone_a, tone_b);
+  run_bank();
+  report();
+  return 0;
+}
+)MC";
+
+} // namespace
+
+SuiteProgram sest::makeEar() {
+  SuiteProgram P;
+  P.Name = "ear";
+  P.PaperAnalogue = "ear (SPEC92)";
+  P.Description = "Simulate sound processing in the ear";
+  P.Source = Source;
+  P.Inputs = {
+      {"low", "5 1400 90 180", 5},
+      {"mid", "9 1800 200 340", 9},
+      {"high", "13 1100 380 520", 13},
+      {"mixed", "21 2000 120 480", 21},
+      {"short", "27 900 260 70", 27},
+  };
+  return P;
+}

@@ -1,0 +1,272 @@
+//===- suite/programs/Eqntott.cpp - Boolean functions to truth tables ------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for SPEC92 "eqntott" (translate boolean functions to truth
+/// tables): parse boolean equations over variables a..e (recursive
+/// descent into malloc'd AST nodes), enumerate all assignments to build
+/// the truth table, and sort the rows with a quicksort driven by a
+/// comparison *function pointer* — eqntott's famously hot "cmppt"
+/// pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/Prng.h"
+
+#include <functional>
+#include <string>
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* eqntott: boolean equations -> sorted truth tables */
+
+struct node {
+  int op;            /* 0 var, 1 not, 2 and, 3 or */
+  int var;
+  struct node *left;
+  struct node *right;
+};
+
+char expr_buf[256];
+int expr_len = 0;
+int expr_pos = 0;
+int n_vars = 0;
+
+int table_rows[1024];  /* packed: (assignment << 1) | output */
+int n_rows = 0;
+
+int read_line() {
+  int c = read_char();
+  int n = 0;
+  while (c != -1 && c != '\n' && n < 255) {
+    if (c != ' ') {
+      expr_buf[n] = c;
+      n++;
+    }
+    c = read_char();
+  }
+  expr_buf[n] = 0;
+  expr_len = n;
+  expr_pos = 0;
+  return n;
+}
+
+int peek_ch() {
+  if (expr_pos >= expr_len)
+    return 0;
+  return expr_buf[expr_pos];
+}
+
+struct node *new_node(int op, int var, struct node *l, struct node *r) {
+  struct node *n = (struct node *)malloc(sizeof(struct node));
+  if (n == NULL)
+    abort();
+  n->op = op;
+  n->var = var;
+  n->left = l;
+  n->right = r;
+  return n;
+}
+
+struct node *parse_or();
+
+struct node *parse_atom() {
+  int c = peek_ch();
+  struct node *n;
+  if (c == '(') {
+    expr_pos++;
+    n = parse_or();
+    if (peek_ch() == ')')
+      expr_pos++;
+    return n;
+  }
+  if (c == '!') {
+    expr_pos++;
+    return new_node(1, 0, parse_atom(), NULL);
+  }
+  if (c >= 'a' && c <= 'e') {
+    expr_pos++;
+    if (c - 'a' + 1 > n_vars)
+      n_vars = c - 'a' + 1;
+    return new_node(0, c - 'a', NULL, NULL);
+  }
+  /* malformed input */
+  abort();
+  return NULL;
+}
+
+struct node *parse_and() {
+  struct node *l = parse_atom();
+  while (peek_ch() == '&') {
+    expr_pos++;
+    l = new_node(2, 0, l, parse_atom());
+  }
+  return l;
+}
+
+struct node *parse_or() {
+  struct node *l = parse_and();
+  while (peek_ch() == '|') {
+    expr_pos++;
+    l = new_node(3, 0, l, parse_and());
+  }
+  return l;
+}
+
+int eval_node(struct node *n, int assignment) {
+  if (n->op == 0)
+    return (assignment >> n->var) & 1;
+  if (n->op == 1)
+    return !eval_node(n->left, assignment);
+  if (n->op == 2) {
+    if (!eval_node(n->left, assignment))
+      return 0;
+    return eval_node(n->right, assignment);
+  }
+  if (!eval_node(n->left, assignment))
+    return eval_node(n->right, assignment);
+  return 1;
+}
+
+void free_tree(struct node *n) {
+  if (n == NULL)
+    return;
+  free_tree(n->left);
+  free_tree(n->right);
+  free(n);
+}
+
+void build_table(struct node *root) {
+  int a;
+  int total = 1 << n_vars;
+  n_rows = 0;
+  for (a = 0; a < total; a++) {
+    table_rows[n_rows] = (a << 1) | eval_node(root, a);
+    n_rows++;
+  }
+}
+
+/* comparison functions, selected by pointer like eqntott's cmppt */
+int cmp_output_first(int x, int y) {
+  int ox = x & 1;
+  int oy = y & 1;
+  if (ox != oy)
+    return oy - ox; /* rows with output 1 first */
+  return x - y;
+}
+
+int cmp_assignment(int x, int y) {
+  return (x >> 1) - (y >> 1);
+}
+
+void quicksort(int lo, int hi, int (*cmp)(int, int)) {
+  int pivot;
+  int i;
+  int j;
+  int tmp;
+  if (lo >= hi)
+    return;
+  pivot = table_rows[(lo + hi) / 2];
+  i = lo;
+  j = hi;
+  while (i <= j) {
+    while (cmp(table_rows[i], pivot) < 0)
+      i++;
+    while (cmp(table_rows[j], pivot) > 0)
+      j--;
+    if (i <= j) {
+      tmp = table_rows[i];
+      table_rows[i] = table_rows[j];
+      table_rows[j] = tmp;
+      i++;
+      j--;
+    }
+  }
+  quicksort(lo, j, cmp);
+  quicksort(i, hi, cmp);
+}
+
+int count_minterms() {
+  int i;
+  int ones = 0;
+  for (i = 0; i < n_rows; i++)
+    ones += table_rows[i] & 1;
+  return ones;
+}
+
+int table_checksum() {
+  int i;
+  int h = 0;
+  for (i = 0; i < n_rows; i++)
+    h = (h * 31 + table_rows[i] * (i + 1)) % 1000000007;
+  return h;
+}
+
+int main() {
+  int n_eqns = read_int();
+  int e;
+  struct node *root;
+  read_char(); /* newline after the count */
+  for (e = 0; e < n_eqns; e++) {
+    if (read_line() == 0)
+      break;
+    n_vars = 1;
+    root = parse_or();
+    build_table(root);
+    quicksort(0, n_rows - 1, cmp_output_first);
+    print_str("minterms=");
+    print_int(count_minterms());
+    quicksort(0, n_rows - 1, cmp_assignment);
+    print_str(" check=");
+    print_int(table_checksum());
+    print_char('\n');
+    free_tree(root);
+  }
+  return 0;
+}
+)MC";
+
+/// Random boolean expressions over a..e.
+std::string makeEquations(uint64_t Seed, int Count, int Depth) {
+  Prng R(Seed);
+  std::function<std::string(int)> Gen = [&](int D) -> std::string {
+    if (D == 0 || R.nextBelow(4) == 0) {
+      std::string V(1, static_cast<char>('a' + R.nextBelow(5)));
+      return R.nextBelow(3) == 0 ? "!" + V : V;
+    }
+    std::string L = Gen(D - 1);
+    std::string Rhs = Gen(D - 1);
+    const char *Op = R.nextBelow(2) == 0 ? "&" : "|";
+    return "(" + L + Op + Rhs + ")";
+  };
+  std::string Out = std::to_string(Count) + "\n";
+  for (int I = 0; I < Count; ++I)
+    Out += Gen(Depth) + "\n";
+  return Out;
+}
+
+} // namespace
+
+SuiteProgram sest::makeEqntott() {
+  SuiteProgram P;
+  P.Name = "eqntott";
+  P.PaperAnalogue = "eqntott (SPEC92)";
+  P.Description = "Translate boolean functions to truth tables";
+  P.Source = Source;
+  P.Inputs = {
+      {"eq8d3", makeEquations(7, 8, 3), 7},
+      {"eq12d4", makeEquations(19, 12, 4), 19},
+      {"eq6d5", makeEquations(37, 6, 5), 37},
+      {"eq10d3", makeEquations(53, 10, 3), 53},
+      {"eq9d4", makeEquations(71, 9, 4), 71},
+  };
+  return P;
+}

@@ -1,0 +1,237 @@
+//===- suite/programs/Espresso.cpp - Boolean minimization ------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for SPEC92 "espresso" (minimize boolean functions): a
+/// Quine-McCluskey-style two-level minimizer over cube lists — pairwise
+/// merging of implicants that differ in one literal, prime-implicant
+/// extraction, and a greedy cover. Bit-twiddling inner loops with
+/// data-dependent branches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/Prng.h"
+
+#include <string>
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* two-level boolean minimization over cubes (value, care-mask) */
+
+int cube_val[2048];
+int cube_mask[2048];
+int cube_used[2048];
+int n_cubes = 0;
+
+int prime_val[1024];
+int prime_mask[1024];
+int n_primes = 0;
+
+int minterms[256];
+int n_minterms = 0;
+int n_bits = 0;
+
+int popcount(int x) {
+  int n = 0;
+  while (x) {
+    n += x & 1;
+    x >>= 1;
+  }
+  return n;
+}
+
+void add_cube(int val, int mask) {
+  int i;
+  /* suppress duplicates */
+  for (i = 0; i < n_cubes; i++)
+    if (cube_val[i] == val && cube_mask[i] == mask)
+      return;
+  if (n_cubes >= 2048)
+    return;
+  cube_val[n_cubes] = val;
+  cube_mask[n_cubes] = mask;
+  cube_used[n_cubes] = 0;
+  n_cubes++;
+}
+
+void add_prime(int val, int mask) {
+  int i;
+  for (i = 0; i < n_primes; i++)
+    if (prime_val[i] == val && prime_mask[i] == mask)
+      return;
+  if (n_primes >= 1024)
+    return;
+  prime_val[n_primes] = val;
+  prime_mask[n_primes] = mask;
+  n_primes++;
+}
+
+/* one merging generation: cubes differing in exactly one cared bit */
+int merge_generation() {
+  int i;
+  int j;
+  int diff;
+  int merged_any = 0;
+  int start = 0;
+  int end = n_cubes;
+  for (i = start; i < end; i++) {
+    for (j = i + 1; j < end; j++) {
+      if (cube_mask[i] != cube_mask[j])
+        continue;
+      diff = (cube_val[i] ^ cube_val[j]) & cube_mask[i];
+      if (popcount(diff) != 1)
+        continue;
+      add_cube(cube_val[i] & ~diff, cube_mask[i] & ~diff);
+      cube_used[i] = 1;
+      cube_used[j] = 1;
+      merged_any = 1;
+    }
+  }
+  for (i = start; i < end; i++)
+    if (!cube_used[i])
+      add_prime(cube_val[i], cube_mask[i]);
+  /* drop the old generation */
+  j = 0;
+  for (i = end; i < n_cubes; i++) {
+    cube_val[j] = cube_val[i];
+    cube_mask[j] = cube_mask[i];
+    cube_used[j] = 0;
+    j++;
+  }
+  n_cubes = j;
+  return merged_any;
+}
+
+int cube_covers(int val, int mask, int minterm) {
+  return (minterm & mask) == (val & mask);
+}
+
+int count_covered(int p, int *covered) {
+  int m;
+  int n = 0;
+  for (m = 0; m < n_minterms; m++) {
+    if (covered[m])
+      continue;
+    if (cube_covers(prime_val[p], prime_mask[p], minterms[m]))
+      n++;
+  }
+  return n;
+}
+
+/* greedy set cover over the primes */
+int select_cover() {
+  int covered[256];
+  int m;
+  int p;
+  int best;
+  int best_gain;
+  int gain;
+  int selected = 0;
+  int left = n_minterms;
+  for (m = 0; m < n_minterms; m++)
+    covered[m] = 0;
+  while (left > 0) {
+    best = -1;
+    best_gain = 0;
+    for (p = 0; p < n_primes; p++) {
+      gain = count_covered(p, covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = p;
+      }
+    }
+    if (best == -1)
+      break; /* should not happen: primes cover all minterms */
+    for (m = 0; m < n_minterms; m++)
+      if (!covered[m] &&
+          cube_covers(prime_val[best], prime_mask[best], minterms[m])) {
+        covered[m] = 1;
+        left--;
+      }
+    selected++;
+  }
+  if (left > 0)
+    abort();
+  return selected;
+}
+
+int literal_count() {
+  int p;
+  int lits = 0;
+  for (p = 0; p < n_primes; p++)
+    lits += popcount(prime_mask[p]);
+  return lits;
+}
+
+int main() {
+  int full_mask;
+  int m;
+  int generations = 0;
+  int cover;
+  n_bits = read_int();
+  n_minterms = read_int();
+  full_mask = (1 << n_bits) - 1;
+  for (m = 0; m < n_minterms; m++) {
+    minterms[m] = read_int() & full_mask;
+    add_cube(minterms[m], full_mask);
+  }
+  while (merge_generation()) {
+    generations++;
+    if (generations > 20)
+      break;
+  }
+  cover = select_cover();
+  print_str("minterms=");
+  print_int(n_minterms);
+  print_str(" primes=");
+  print_int(n_primes);
+  print_str(" cover=");
+  print_int(cover);
+  print_str(" lits=");
+  print_int(literal_count());
+  print_char('\n');
+  return 0;
+}
+)MC";
+
+/// n_bits, n_minterms, then distinct minterm values.
+std::string makeMinterms(uint64_t Seed, int Bits, int Count) {
+  Prng R(Seed);
+  std::vector<int> All;
+  for (int I = 0; I < (1 << Bits); ++I)
+    All.push_back(I);
+  // Fisher-Yates shuffle, take the first Count.
+  for (size_t I = All.size(); I > 1; --I)
+    std::swap(All[I - 1], All[R.nextBelow(I)]);
+  std::string S = std::to_string(Bits) + " " + std::to_string(Count) + "\n";
+  for (int I = 0; I < Count; ++I)
+    S += std::to_string(All[I]) + " ";
+  S += "\n";
+  return S;
+}
+
+} // namespace
+
+SuiteProgram sest::makeEspresso() {
+  SuiteProgram P;
+  P.Name = "espresso";
+  P.PaperAnalogue = "espresso (SPEC92)";
+  P.Description = "Minimize boolean functions";
+  P.Source = Source;
+  P.Inputs = {
+      {"b6m28", makeMinterms(5, 6, 28), 5},
+      {"b7m52", makeMinterms(17, 7, 52), 17},
+      {"b6m40", makeMinterms(23, 6, 40), 23},
+      {"b8m70", makeMinterms(47, 8, 70), 47},
+      {"b7m36", makeMinterms(61, 7, 36), 61},
+  };
+  return P;
+}

@@ -1,0 +1,450 @@
+//===- suite/programs/Gcc.cpp - Tiny optimizing compiler ------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for SPEC92 "gcc" (the GNU C compiler): a miniature compiler
+/// pipeline for assignment/expression statements — tokenizer, recursive
+/// descent parser into malloc'd trees, constant folding and algebraic
+/// simplification passes, stack-code generation, and a verifying VM that
+/// executes the emitted code. Irregular, pointer-rich control flow with
+/// deep recursion — the gcc-ish profile.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/Prng.h"
+
+#include <functional>
+#include <string>
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* cc0: compile "v = expr;" statements to stack code, then execute them */
+
+struct tree {
+  int kind;          /* 0 num, 1 var, 2 add, 3 sub, 4 mul, 5 div, 6 neg */
+  int value;         /* number, or variable index */
+  struct tree *left;
+  struct tree *right;
+};
+
+/* token stream */
+int tok_kind[4096];  /* 0 num, 1 var, 2 op, 3 end-of-statement, 4 eof */
+int tok_val[4096];
+int n_toks = 0;
+int tok_pos = 0;
+
+int var_values[26];
+int code_ops[8192];  /* 0 push, 1 load, 2 add, 3 sub, 4 mul, 5 div, 6 neg, 7 store */
+int code_args[8192];
+int n_code = 0;
+
+int stats_folded = 0;
+int stats_nodes = 0;
+int checksum = 0;
+
+struct tree *new_tree(int kind, int value, struct tree *l, struct tree *r) {
+  struct tree *t = (struct tree *)malloc(sizeof(struct tree));
+  if (t == NULL)
+    abort();
+  t->kind = kind;
+  t->value = value;
+  t->left = l;
+  t->right = r;
+  stats_nodes++;
+  return t;
+}
+
+void free_tree(struct tree *t) {
+  if (t == NULL)
+    return;
+  free_tree(t->left);
+  free_tree(t->right);
+  free(t);
+}
+
+int is_digit(int c) {
+  return c >= '0' && c <= '9';
+}
+
+int is_lower(int c) {
+  return c >= 'a' && c <= 'z';
+}
+
+/* tokenize the whole input */
+void tokenize() {
+  int c = read_char();
+  int v;
+  n_toks = 0;
+  while (c != -1 && n_toks < 4094) {
+    if (c == ' ' || c == '\n' || c == '\t') {
+      c = read_char();
+      continue;
+    }
+    if (is_digit(c)) {
+      v = 0;
+      while (is_digit(c)) {
+        v = v * 10 + c - '0';
+        c = read_char();
+      }
+      tok_kind[n_toks] = 0;
+      tok_val[n_toks] = v;
+      n_toks++;
+      continue;
+    }
+    if (is_lower(c)) {
+      tok_kind[n_toks] = 1;
+      tok_val[n_toks] = c - 'a';
+      n_toks++;
+      c = read_char();
+      continue;
+    }
+    if (c == ';') {
+      tok_kind[n_toks] = 3;
+      n_toks++;
+      c = read_char();
+      continue;
+    }
+    tok_kind[n_toks] = 2;
+    tok_val[n_toks] = c;
+    n_toks++;
+    c = read_char();
+  }
+  tok_kind[n_toks] = 4;
+  n_toks++;
+}
+
+int peek_kind() { return tok_kind[tok_pos]; }
+int peek_val() { return tok_val[tok_pos]; }
+
+int at_op(int ch) {
+  return tok_kind[tok_pos] == 2 && tok_val[tok_pos] == ch;
+}
+
+struct tree *parse_expr();
+
+struct tree *parse_primary() {
+  struct tree *t;
+  if (peek_kind() == 0) {
+    t = new_tree(0, peek_val(), NULL, NULL);
+    tok_pos++;
+    return t;
+  }
+  if (peek_kind() == 1) {
+    t = new_tree(1, peek_val(), NULL, NULL);
+    tok_pos++;
+    return t;
+  }
+  if (at_op('(')) {
+    tok_pos++;
+    t = parse_expr();
+    if (at_op(')'))
+      tok_pos++;
+    return t;
+  }
+  if (at_op('-')) {
+    tok_pos++;
+    return new_tree(6, 0, parse_primary(), NULL);
+  }
+  abort(); /* syntax error */
+  return NULL;
+}
+
+struct tree *parse_term() {
+  struct tree *l = parse_primary();
+  while (at_op('*') || at_op('/')) {
+    int op = peek_val();
+    tok_pos++;
+    if (op == '*')
+      l = new_tree(4, 0, l, parse_primary());
+    else
+      l = new_tree(5, 0, l, parse_primary());
+  }
+  return l;
+}
+
+struct tree *parse_expr() {
+  struct tree *l = parse_term();
+  while (at_op('+') || at_op('-')) {
+    int op = peek_val();
+    tok_pos++;
+    if (op == '+')
+      l = new_tree(2, 0, l, parse_term());
+    else
+      l = new_tree(3, 0, l, parse_term());
+  }
+  return l;
+}
+
+int both_const(struct tree *t) {
+  if (t->left == NULL || t->left->kind != 0)
+    return 0;
+  if (t->right == NULL || t->right->kind != 0)
+    return 0;
+  return 1;
+}
+
+/* bottom-up constant folding + algebraic identities */
+struct tree *fold(struct tree *t) {
+  int v;
+  if (t == NULL)
+    return NULL;
+  t->left = fold(t->left);
+  t->right = fold(t->right);
+  if (t->kind == 6 && t->left->kind == 0) {
+    v = -t->left->value;
+    free_tree(t->left);
+    t->kind = 0;
+    t->value = v;
+    t->left = NULL;
+    stats_folded++;
+    return t;
+  }
+  if (t->kind >= 2 && t->kind <= 5 && both_const(t)) {
+    if (t->kind == 2)
+      v = t->left->value + t->right->value;
+    else if (t->kind == 3)
+      v = t->left->value - t->right->value;
+    else if (t->kind == 4)
+      v = t->left->value * t->right->value;
+    else if (t->right->value != 0)
+      v = t->left->value / t->right->value;
+    else
+      v = 0;
+    free_tree(t->left);
+    free_tree(t->right);
+    t->kind = 0;
+    t->value = v;
+    t->left = NULL;
+    t->right = NULL;
+    stats_folded++;
+    return t;
+  }
+  /* x*1 = x, x+0 = x, x*0 = 0 */
+  if ((t->kind == 4 || t->kind == 2) && t->right != NULL &&
+      t->right->kind == 0) {
+    if (t->kind == 4 && t->right->value == 1) {
+      struct tree *keep = t->left;
+      free(t->right);
+      free(t);
+      stats_folded++;
+      return keep;
+    }
+    if (t->kind == 2 && t->right->value == 0) {
+      struct tree *keep2 = t->left;
+      free(t->right);
+      free(t);
+      stats_folded++;
+      return keep2;
+    }
+    if (t->kind == 4 && t->right->value == 0) {
+      free_tree(t->left);
+      free(t->right);
+      t->kind = 0;
+      t->value = 0;
+      t->left = NULL;
+      t->right = NULL;
+      stats_folded++;
+      return t;
+    }
+  }
+  return t;
+}
+
+void emit(int op, int arg) {
+  if (n_code >= 8192)
+    abort();
+  code_ops[n_code] = op;
+  code_args[n_code] = arg;
+  n_code++;
+}
+
+void gen_code(struct tree *t) {
+  if (t->kind == 0) {
+    emit(0, t->value);
+    return;
+  }
+  if (t->kind == 1) {
+    emit(1, t->value);
+    return;
+  }
+  if (t->kind == 6) {
+    gen_code(t->left);
+    emit(6, 0);
+    return;
+  }
+  gen_code(t->left);
+  gen_code(t->right);
+  emit(t->kind, 0);
+}
+
+/* stack VM over the generated code */
+int run_code(int start, int end) {
+  int stack[64];
+  int sp = 0;
+  int pc;
+  int a;
+  int b;
+  for (pc = start; pc < end; pc++) {
+    int op = code_ops[pc];
+    switch (op) {
+    case 0:
+      stack[sp] = code_args[pc];
+      sp++;
+      break;
+    case 1:
+      stack[sp] = var_values[code_args[pc]];
+      sp++;
+      break;
+    case 6:
+      stack[sp - 1] = -stack[sp - 1];
+      break;
+    case 7:
+      sp--;
+      var_values[code_args[pc]] = stack[sp];
+      break;
+    default:
+      sp--;
+      b = stack[sp];
+      a = stack[sp - 1];
+      if (op == 2)
+        stack[sp - 1] = a + b;
+      else if (op == 3)
+        stack[sp - 1] = a - b;
+      else if (op == 4)
+        stack[sp - 1] = a * b;
+      else if (b != 0)
+        stack[sp - 1] = a / b;
+      else
+        stack[sp - 1] = 0;
+      break;
+    }
+  }
+  if (sp != 0)
+    abort();
+  return 0;
+}
+
+/* interpret the tree directly, to check the generated code */
+int eval_tree(struct tree *t) {
+  int l;
+  int r;
+  if (t->kind == 0)
+    return t->value;
+  if (t->kind == 1)
+    return var_values[t->value];
+  if (t->kind == 6)
+    return -eval_tree(t->left);
+  l = eval_tree(t->left);
+  r = eval_tree(t->right);
+  if (t->kind == 2)
+    return l + r;
+  if (t->kind == 3)
+    return l - r;
+  if (t->kind == 4)
+    return l * r;
+  if (r != 0)
+    return l / r;
+  return 0;
+}
+
+/* compile one "v = expr ;" statement; returns 0 at eof */
+int compile_statement() {
+  int target;
+  int expected;
+  int start;
+  struct tree *t;
+  if (peek_kind() == 4)
+    return 0;
+  if (peek_kind() != 1)
+    abort();
+  target = peek_val();
+  tok_pos++;
+  if (!at_op('='))
+    abort();
+  tok_pos++;
+  t = parse_expr();
+  if (peek_kind() == 3)
+    tok_pos++;
+  t = fold(t);
+  expected = eval_tree(t);
+  start = n_code;
+  gen_code(t);
+  emit(7, target);
+  run_code(start, n_code);
+  if (var_values[target] != expected)
+    abort();
+  checksum = (checksum * 37 + var_values[target]) % 1000000007;
+  free_tree(t);
+  return 1;
+}
+
+int main() {
+  int n_stmts = 0;
+  tokenize();
+  while (compile_statement())
+    n_stmts++;
+  print_str("stmts=");
+  print_int(n_stmts);
+  print_str(" nodes=");
+  print_int(stats_nodes);
+  print_str(" folded=");
+  print_int(stats_folded);
+  print_str(" code=");
+  print_int(n_code);
+  print_str(" check=");
+  print_int(checksum % 100000);
+  print_char('\n');
+  return 0;
+}
+)MC";
+
+/// Generates "v = expr;" statements with nested arithmetic.
+std::string makeStatements(uint64_t Seed, int Count, int Depth) {
+  Prng R(Seed);
+  std::function<std::string(int)> Gen = [&](int D) -> std::string {
+    if (D == 0 || R.nextBelow(3) == 0) {
+      if (R.nextBelow(2) == 0)
+        return std::string(1, static_cast<char>('a' + R.nextBelow(8)));
+      return std::to_string(R.nextBelow(50));
+    }
+    std::string L = Gen(D - 1);
+    std::string Rhs = Gen(D - 1);
+    const char *Ops[] = {"+", "-", "*", "/", "+", "*"};
+    std::string E = "(" + L + Ops[R.nextBelow(6)] + Rhs + ")";
+    if (R.nextBelow(8) == 0)
+      E = "-" + E;
+    return E;
+  };
+  std::string Out;
+  for (int I = 0; I < Count; ++I) {
+    Out += std::string(1, static_cast<char>('a' + R.nextBelow(8)));
+    Out += " = " + Gen(Depth) + ";\n";
+  }
+  return Out;
+}
+
+} // namespace
+
+SuiteProgram sest::makeGcc() {
+  SuiteProgram P;
+  P.Name = "gcc";
+  P.PaperAnalogue = "gcc (SPEC92)";
+  P.Description = "GNU C compiler (mini compile-fold-codegen-verify)";
+  P.Source = Source;
+  P.Inputs = {
+      {"s12d4", makeStatements(3, 12, 4), 3},
+      {"s20d3", makeStatements(29, 20, 3), 29},
+      {"s8d5", makeStatements(59, 8, 5), 59},
+      {"s16d4", makeStatements(83, 16, 4), 83},
+      {"s24d3", makeStatements(97, 24, 3), 97},
+  };
+  return P;
+}

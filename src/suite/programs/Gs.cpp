@@ -1,0 +1,297 @@
+//===- suite/programs/Gs.cpp - PostScript-style interpreter ----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for "gs" (PostScript previewer): a stack-machine interpreter
+/// whose operators are *all* dispatched through a function-pointer table
+/// — about half of this program's functions are referenced indirectly,
+/// reproducing the case where the paper's pointer-node approximation
+/// breaks down ("the only one of the programs in which a complex system
+/// of function pointers is used heavily enough for this analysis to fail
+/// is gs, in which some 650 functions (about half the functions in the
+/// program) are referenced indirectly", §5.2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/Prng.h"
+
+#include <string>
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* psvm: a postscript-flavored stack machine. lowercase letters are
+   operators dispatched through op_table; digits push values. */
+
+int stack_[256];
+int sp = 0;
+int page_x = 0;
+int page_y = 0;
+int ink = 0;
+int path_len = 0;
+int ops_run = 0;
+int checksum = 0;
+
+void vm_fault() {
+  print_str("vm fault\n");
+  abort();
+}
+
+void push(int v) {
+  if (sp >= 256)
+    vm_fault();
+  stack_[sp] = v;
+  sp++;
+}
+
+int pop() {
+  if (sp <= 0)
+    vm_fault();
+  sp--;
+  return stack_[sp];
+}
+
+void note(int v) {
+  checksum = (checksum * 33 + v + 7) % 1000000007;
+}
+
+/* ---- operators (all called through the dispatch table) ---- */
+
+void op_add() { push(pop() + pop()); }
+
+void op_sub() {
+  int b = pop();
+  push(pop() - b);
+}
+
+void op_mul() { push(pop() * pop()); }
+
+void op_div() {
+  int b = pop();
+  int a = pop();
+  if (b == 0)
+    push(0);
+  else
+    push(a / b);
+}
+
+void op_dup() {
+  int a = pop();
+  push(a);
+  push(a);
+}
+
+void op_exch() {
+  int b = pop();
+  int a = pop();
+  push(b);
+  push(a);
+}
+
+void op_pop() { note(pop()); }
+
+void op_neg() { push(-pop()); }
+
+void op_abs() {
+  int a = pop();
+  if (a < 0)
+    a = -a;
+  push(a);
+}
+
+void op_moveto() {
+  page_y = pop();
+  page_x = pop();
+  note(page_x * 31 + page_y);
+}
+
+void op_lineto() {
+  int y = pop();
+  int x = pop();
+  int dx = x - page_x;
+  int dy = y - page_y;
+  if (dx < 0)
+    dx = -dx;
+  if (dy < 0)
+    dy = -dy;
+  path_len += dx + dy;
+  page_x = x;
+  page_y = y;
+}
+
+void op_setink() {
+  ink = pop() % 256;
+  if (ink < 0)
+    ink += 256;
+}
+
+void op_fill() {
+  note(path_len * (ink + 1));
+  path_len = 0;
+}
+
+void op_index() {
+  int n = pop();
+  if (n < 0 || n >= sp)
+    vm_fault();
+  push(stack_[sp - 1 - n]);
+}
+
+void op_roll() {
+  int b = pop();
+  int a = pop();
+  int t;
+  push(a);
+  push(b);
+  if (sp >= 3) {
+    t = stack_[sp - 3];
+    stack_[sp - 3] = stack_[sp - 1];
+    stack_[sp - 1] = t;
+  }
+}
+
+void op_min() {
+  int b = pop();
+  int a = pop();
+  push(a < b ? a : b);
+}
+
+void op_max() {
+  int b = pop();
+  int a = pop();
+  push(a > b ? a : b);
+}
+
+void op_mod() {
+  int b = pop();
+  int a = pop();
+  if (b == 0)
+    push(0);
+  else
+    push(a % b);
+}
+
+void op_clear() {
+  while (sp > 0)
+    note(pop());
+}
+
+void op_count() { push(sp); }
+
+/* ---- dispatch: 20 operators, indexed 'a'..'t' ---- */
+
+void (*op_table[20])() = {
+  op_add,    op_sub,   op_mul,  op_div,  op_dup,
+  op_exch,   op_pop,   op_neg,  op_abs,  op_moveto,
+  op_lineto, op_setink, op_fill, op_index, op_roll,
+  op_min,    op_max,   op_mod,  op_clear, op_count };
+
+void run_program() {
+  int c = read_char();
+  int v;
+  while (c != -1) {
+    if (c >= '0' && c <= '9') {
+      v = 0;
+      while (c >= '0' && c <= '9') {
+        v = v * 10 + c - '0';
+        c = read_char();
+      }
+      push(v);
+      continue;
+    }
+    if (c >= 'a' && c <= 't') {
+      op_table[c - 'a']();
+      ops_run++;
+      c = read_char();
+      continue;
+    }
+    c = read_char();
+  }
+}
+
+int main() {
+  run_program();
+  print_str("ops=");
+  print_int(ops_run);
+  print_str(" sp=");
+  print_int(sp);
+  print_str(" path=");
+  print_int(path_len);
+  print_str(" check=");
+  print_int(checksum % 100000);
+  print_char('\n');
+  return 0;
+}
+)MC";
+
+/// Generates a token stream that keeps the stack healthy: tracks an
+/// approximate stack depth and only emits operators that have enough
+/// operands.
+std::string makeProgram(uint64_t Seed, int Tokens) {
+  Prng R(Seed);
+  std::string S;
+  int Depth = 0;
+  for (int I = 0; I < Tokens; ++I) {
+    if (Depth < 2 || R.nextBelow(3) == 0) {
+      S += std::to_string(R.nextBelow(100)) + " ";
+      ++Depth;
+      continue;
+    }
+    // Operators by effect on depth. Letters: a..t.
+    // -1: a(add) b(sub) c(mul) d(div) g(pop) p(min) q(max) r(mod)
+    //  0: f(exch) h(neg) i(abs) l(setink needs 1) o(roll)
+    // +1: e(dup) t(count)
+    // -2: j(moveto) k(lineto)
+    static const char Minus1[] = {'a', 'b', 'c', 'd', 'g', 'p', 'q', 'r'};
+    static const char Zero[] = {'f', 'h', 'i', 'o'};
+    unsigned Pick = static_cast<unsigned>(R.nextBelow(16));
+    if (Pick < 7) {
+      S += Minus1[R.nextBelow(8)];
+      --Depth;
+    } else if (Pick < 10 && Depth >= 2) {
+      S += Zero[R.nextBelow(4)];
+    } else if (Pick < 12) {
+      S += 'e'; // dup
+      ++Depth;
+    } else if (Pick < 14 && Depth >= 2) {
+      S += R.nextBelow(2) == 0 ? 'j' : 'k'; // moveto/lineto
+      Depth -= 2;
+    } else if (Pick == 14 && Depth >= 1) {
+      S += 'l'; // setink
+      --Depth;
+    } else {
+      S += 'm'; // fill
+    }
+    S += " ";
+    if (R.nextBelow(40) == 0) {
+      S += "s "; // clear
+      Depth = 0;
+    }
+  }
+  return S;
+}
+
+} // namespace
+
+SuiteProgram sest::makeGs() {
+  SuiteProgram P;
+  P.Name = "gs";
+  P.PaperAnalogue = "gs";
+  P.Description = "PostScript previewer (pointer-dispatched stack machine)";
+  P.Source = Source;
+  P.Inputs = {
+      {"t400", makeProgram(27, 400), 27},
+      {"t700", makeProgram(53, 700), 53},
+      {"t300", makeProgram(79, 300), 79},
+      {"t900", makeProgram(97, 900), 97},
+      {"t550", makeProgram(131, 550), 131},
+  };
+  return P;
+}

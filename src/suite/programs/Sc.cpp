@@ -1,0 +1,231 @@
+//===- suite/programs/Sc.cpp - Spreadsheet evaluator ----------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for SPEC92 "sc" (Unix spreadsheet): a cell grid where each
+/// cell is a constant or a small formula over other cells (binary op of
+/// two references / constants, or a range SUM). Recursive dependency
+/// evaluation with memoization and cycle detection, plus a recalculation
+/// loop after cell updates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+#include "support/Prng.h"
+
+#include <string>
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* sc0: 16x8 spreadsheet with formulas and recalculation */
+
+/* cell kinds: 0 empty, 1 constant, 2 binop, 3 range sum */
+int cell_kind[128];
+double cell_const[128];
+int cell_op[128];      /* 0 + , 1 - , 2 * , 3 safediv */
+int cell_ref1[128];
+int cell_ref2[128];
+
+double cell_value[128];
+int cell_state[128];   /* 0 unevaluated, 1 in progress, 2 done */
+int eval_count = 0;
+int cycle_errors = 0;
+
+int cell_index(int row, int col) {
+  return row * 8 + col;
+}
+
+double eval_cell(int idx);
+
+double ref_value(int idx) {
+  if (idx < 0 || idx >= 128)
+    return 0.0;
+  return eval_cell(idx);
+}
+
+double apply_op(int op, double a, double b) {
+  if (op == 0)
+    return a + b;
+  if (op == 1)
+    return a - b;
+  if (op == 2)
+    return a * b;
+  if (b < 0.0001 && b > -0.0001)
+    return 0.0;
+  return a / b;
+}
+
+double sum_range(int from, int to) {
+  int i;
+  double s = 0.0;
+  if (from > to) {
+    int t = from;
+    from = to;
+    to = t;
+  }
+  for (i = from; i <= to; i++)
+    s += ref_value(i);
+  return s;
+}
+
+double eval_cell(int idx) {
+  double v;
+  eval_count++;
+  if (cell_state[idx] == 2)
+    return cell_value[idx];
+  if (cell_state[idx] == 1) {
+    /* dependency cycle: sc treats it as an error value */
+    cycle_errors++;
+    return 0.0;
+  }
+  cell_state[idx] = 1;
+  if (cell_kind[idx] == 0)
+    v = 0.0;
+  else if (cell_kind[idx] == 1)
+    v = cell_const[idx];
+  else if (cell_kind[idx] == 2)
+    v = apply_op(cell_op[idx], ref_value(cell_ref1[idx]),
+                 ref_value(cell_ref2[idx]));
+  else
+    v = sum_range(cell_ref1[idx], cell_ref2[idx]);
+  cell_value[idx] = v;
+  cell_state[idx] = 2;
+  return v;
+}
+
+void invalidate_all() {
+  int i;
+  for (i = 0; i < 128; i++)
+    cell_state[i] = 0;
+}
+
+void recalculate() {
+  int i;
+  invalidate_all();
+  for (i = 0; i < 128; i++)
+    eval_cell(i);
+}
+
+void load_sheet() {
+  int n = read_int();
+  int i;
+  int idx;
+  int kind;
+  for (i = 0; i < n; i++) {
+    idx = read_int() % 128;
+    kind = read_int();
+    if (kind == 1) {
+      cell_kind[idx] = 1;
+      cell_const[idx] = read_int() / 10.0;
+    } else if (kind == 2) {
+      cell_kind[idx] = 2;
+      cell_op[idx] = read_int() % 4;
+      cell_ref1[idx] = read_int() % 128;
+      cell_ref2[idx] = read_int() % 128;
+    } else {
+      cell_kind[idx] = 3;
+      cell_ref1[idx] = read_int() % 128;
+      cell_ref2[idx] = read_int() % 128;
+    }
+  }
+}
+
+void apply_updates() {
+  int n = read_int();
+  int i;
+  int idx;
+  for (i = 0; i < n; i++) {
+    idx = read_int() % 128;
+    cell_kind[idx] = 1;
+    cell_const[idx] = read_int() / 10.0;
+    recalculate();
+  }
+}
+
+double sheet_total() {
+  int i;
+  double t = 0.0;
+  for (i = 0; i < 128; i++)
+    t += cell_value[i];
+  return t;
+}
+
+int count_nonzero() {
+  int i;
+  int n = 0;
+  for (i = 0; i < 128; i++)
+    if (cell_value[i] > 0.0001 || cell_value[i] < -0.0001)
+      n++;
+  return n;
+}
+
+int main() {
+  load_sheet();
+  recalculate();
+  apply_updates();
+  print_str("total10=");
+  print_int((int)(sheet_total() * 10.0));
+  print_str(" nonzero=");
+  print_int(count_nonzero());
+  print_str(" evals=");
+  print_int(eval_count);
+  print_str(" cycles=");
+  print_int(cycle_errors);
+  print_char('\n');
+  return 0;
+}
+)MC";
+
+/// Sheet definition + update stream.
+std::string makeSheet(uint64_t Seed, int Defs, int Updates) {
+  Prng R(Seed);
+  std::string S = std::to_string(Defs) + "\n";
+  for (int I = 0; I < Defs; ++I) {
+    int Idx = static_cast<int>(R.nextBelow(128));
+    int Kind = 1 + static_cast<int>(R.nextBelow(3));
+    S += std::to_string(Idx) + " " + std::to_string(Kind) + " ";
+    if (Kind == 1) {
+      S += std::to_string(R.nextInRange(-500, 500));
+    } else if (Kind == 2) {
+      S += std::to_string(R.nextBelow(4)) + " " +
+           std::to_string(R.nextBelow(128)) + " " +
+           std::to_string(R.nextBelow(128));
+    } else {
+      // Ranges kept short so evaluation stays fast.
+      int From = static_cast<int>(R.nextBelow(120));
+      S += std::to_string(From) + " " +
+           std::to_string(From + R.nextBelow(8));
+    }
+    S += "\n";
+  }
+  S += std::to_string(Updates) + "\n";
+  for (int I = 0; I < Updates; ++I)
+    S += std::to_string(R.nextBelow(128)) + " " +
+         std::to_string(R.nextInRange(-300, 300)) + "\n";
+  return S;
+}
+
+} // namespace
+
+SuiteProgram sest::makeSc() {
+  SuiteProgram P;
+  P.Name = "sc";
+  P.PaperAnalogue = "sc (SPEC92)";
+  P.Description = "Unix spreadsheet (formula evaluation)";
+  P.Source = Source;
+  P.Inputs = {
+      {"d60u12", makeSheet(9, 60, 12), 9},
+      {"d90u8", makeSheet(21, 90, 8), 21},
+      {"d40u20", makeSheet(33, 40, 20), 33},
+      {"d75u15", makeSheet(57, 75, 15), 57},
+      {"d55u10", makeSheet(73, 55, 10), 73},
+  };
+  return P;
+}

@@ -1,0 +1,161 @@
+//===- suite/programs/Water.cpp - Molecular dynamics ----------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stand-in for "water" (simulate a system of water molecules): an
+/// O(n²) molecular-dynamics kernel with a Lennard-Jones-like potential,
+/// cutoff tests, and velocity-Verlet integration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace sest;
+
+namespace {
+
+const char *Source = R"MC(
+/* molecular dynamics of n point "molecules" in a periodic box */
+
+double px[32]; double py[32]; double pz[32];
+double vx[32]; double vy[32]; double vz[32];
+double fx[32]; double fy[32]; double fz[32];
+int n_mol = 0;
+double box = 10.0;
+double pot_energy = 0.0;
+
+double wrap(double x) {
+  while (x >= box)
+    x -= box;
+  while (x < 0.0)
+    x += box;
+  return x;
+}
+
+double min_image(double d) {
+  if (d > box * 0.5)
+    return d - box;
+  if (d < 0.0 - box * 0.5)
+    return d + box;
+  return d;
+}
+
+void init_system(int n) {
+  int i;
+  n_mol = n;
+  for (i = 0; i < n; i++) {
+    px[i] = (rand() % 1000) / 100.0;
+    py[i] = (rand() % 1000) / 100.0;
+    pz[i] = (rand() % 1000) / 100.0;
+    vx[i] = (rand() % 200) / 1000.0 - 0.1;
+    vy[i] = (rand() % 200) / 1000.0 - 0.1;
+    vz[i] = (rand() % 200) / 1000.0 - 0.1;
+  }
+}
+
+void zero_forces() {
+  int i;
+  for (i = 0; i < n_mol; i++) {
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+    fz[i] = 0.0;
+  }
+}
+
+/* pair force with a cutoff; soft-core to avoid singularities */
+void pair_force(int i, int j) {
+  double dx = min_image(px[i] - px[j]);
+  double dy = min_image(py[i] - py[j]);
+  double dz = min_image(pz[i] - pz[j]);
+  double r2 = dx * dx + dy * dy + dz * dz + 0.2;
+  double inv2;
+  double inv6;
+  double f;
+  if (r2 > 9.0)
+    return; /* beyond cutoff */
+  inv2 = 1.0 / r2;
+  inv6 = inv2 * inv2 * inv2;
+  f = 24.0 * inv6 * (2.0 * inv6 - 1.0) * inv2;
+  pot_energy += 4.0 * inv6 * (inv6 - 1.0);
+  fx[i] += f * dx;
+  fy[i] += f * dy;
+  fz[i] += f * dz;
+  fx[j] -= f * dx;
+  fy[j] -= f * dy;
+  fz[j] -= f * dz;
+}
+
+void compute_forces() {
+  int i;
+  int j;
+  pot_energy = 0.0;
+  zero_forces();
+  for (i = 0; i < n_mol; i++)
+    for (j = i + 1; j < n_mol; j++)
+      pair_force(i, j);
+}
+
+void integrate(double dt) {
+  int i;
+  for (i = 0; i < n_mol; i++) {
+    vx[i] += fx[i] * dt;
+    vy[i] += fy[i] * dt;
+    vz[i] += fz[i] * dt;
+    px[i] = wrap(px[i] + vx[i] * dt);
+    py[i] = wrap(py[i] + vy[i] * dt);
+    pz[i] = wrap(pz[i] + vz[i] * dt);
+  }
+}
+
+double kinetic_energy() {
+  int i;
+  double k = 0.0;
+  for (i = 0; i < n_mol; i++)
+    k += 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+  return k;
+}
+
+int main() {
+  int seed = read_int();
+  int n = read_int();
+  int steps = read_int();
+  int s;
+  if (n > 32)
+    n = 32;
+  srand(seed);
+  init_system(n);
+  for (s = 0; s < steps; s++) {
+    compute_forces();
+    integrate(0.004);
+  }
+  print_str("n=");
+  print_int(n_mol);
+  print_str(" ke1000=");
+  print_int((int)(kinetic_energy() * 1000.0));
+  print_str(" pe1000=");
+  print_int((int)(pot_energy * 1000.0));
+  print_char('\n');
+  return 0;
+}
+)MC";
+
+} // namespace
+
+SuiteProgram sest::makeWater() {
+  SuiteProgram P;
+  P.Name = "water";
+  P.PaperAnalogue = "water";
+  P.Description = "Simulate a system of water molecules";
+  P.Source = Source;
+  P.Inputs = {
+      {"n16s40", "7 16 40", 7},
+      {"n24s30", "11 24 30", 11},
+      {"n20s50", "19 20 50", 19},
+      {"n28s25", "23 28 25", 23},
+      {"n18s35", "37 18 35", 37},
+  };
+  return P;
+}

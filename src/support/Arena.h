@@ -1,0 +1,103 @@
+//===- support/Arena.h - Bump-pointer allocator ---------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena used to own AST nodes, CFG blocks, and other
+/// long-lived analysis objects. Objects allocated here are never
+/// individually freed; destructors of trivially-destructible payloads are
+/// skipped, and non-trivial ones are registered and run when the arena
+/// dies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_ARENA_H
+#define SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sest {
+
+/// A bump-pointer arena allocator.
+///
+/// Allocation is O(1) amortized; all memory is released at once when the
+/// arena is destroyed. Non-trivially-destructible objects created through
+/// \c create() have their destructors run in reverse creation order.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  ~Arena() {
+    for (auto It = Destructors.rbegin(), E = Destructors.rend(); It != E;
+         ++It)
+      It->Destroy(It->Object);
+  }
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+           "alignment must be a power of two");
+    uintptr_t P = reinterpret_cast<uintptr_t>(Next);
+    uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      grow(Size + Align);
+      P = reinterpret_cast<uintptr_t>(Next);
+      Aligned = (P + Align - 1) & ~(Align - 1);
+    }
+    Next = reinterpret_cast<char *>(Aligned + Size);
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a \p T in the arena, forwarding \p Args to its constructor.
+  template <typename T, typename... Args> T *create(Args &&...Ts) {
+    void *Mem = allocate(sizeof(T), alignof(T));
+    T *Obj = new (Mem) T(std::forward<Args>(Ts)...);
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Destructors.push_back(
+          {Obj, [](void *P) { static_cast<T *>(P)->~T(); }});
+    return Obj;
+  }
+
+  /// Total bytes handed out so far (diagnostic only).
+  size_t bytesAllocated() const { return TotalAllocated; }
+
+private:
+  void grow(size_t MinBytes) {
+    size_t SlabSize = Slabs.empty() ? 4096 : Slabs.back().Size * 2;
+    if (SlabSize < MinBytes)
+      SlabSize = MinBytes;
+    Slabs.push_back({std::make_unique<char[]>(SlabSize), SlabSize});
+    Next = Slabs.back().Memory.get();
+    End = Next + SlabSize;
+    TotalAllocated += SlabSize;
+  }
+
+  struct Slab {
+    std::unique_ptr<char[]> Memory;
+    size_t Size;
+  };
+  struct DtorEntry {
+    void *Object;
+    void (*Destroy)(void *);
+  };
+
+  std::vector<Slab> Slabs;
+  std::vector<DtorEntry> Destructors;
+  char *Next = nullptr;
+  char *End = nullptr;
+  size_t TotalAllocated = 0;
+};
+
+} // namespace sest
+
+#endif // SUPPORT_ARENA_H

@@ -1,0 +1,35 @@
+//===- support/Diagnostics.cpp - Error reporting --------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace sest;
+
+std::string Diagnostic::str() const {
+  const char *KindName = "error";
+  switch (Kind) {
+  case DiagKind::Error:
+    KindName = "error";
+    break;
+  case DiagKind::Warning:
+    KindName = "warning";
+    break;
+  case DiagKind::Note:
+    KindName = "note";
+    break;
+  }
+  return Loc.str() + ": " + KindName + ": " + Message;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}

@@ -1,0 +1,106 @@
+//===- support/LinearSystem.cpp - Dense linear algebra --------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LinearSystem.h"
+
+#include <cmath>
+#include <utility>
+
+using namespace sest;
+
+Matrix Matrix::identity(size_t N) {
+  Matrix M(N, N);
+  for (size_t I = 0; I < N; ++I)
+    M.at(I, I) = 1.0;
+  return M;
+}
+
+Matrix Matrix::multiply(const Matrix &Rhs) const {
+  assert(NumCols == Rhs.NumRows && "dimension mismatch in multiply");
+  Matrix Out(NumRows, Rhs.NumCols);
+  for (size_t I = 0; I < NumRows; ++I)
+    for (size_t K = 0; K < NumCols; ++K) {
+      double V = at(I, K);
+      if (V == 0.0)
+        continue;
+      for (size_t J = 0; J < Rhs.NumCols; ++J)
+        Out.at(I, J) += V * Rhs.at(K, J);
+    }
+  return Out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix Out(NumCols, NumRows);
+  for (size_t I = 0; I < NumRows; ++I)
+    for (size_t J = 0; J < NumCols; ++J)
+      Out.at(J, I) = at(I, J);
+  return Out;
+}
+
+SolveResult sest::solveLinearSystem(Matrix A, std::vector<double> B,
+                                    double PivotEps) {
+  assert(A.rows() == A.cols() && "system matrix must be square");
+  assert(A.rows() == B.size() && "rhs size mismatch");
+  const size_t N = A.rows();
+
+  // Forward elimination with partial pivoting.
+  for (size_t Col = 0; Col < N; ++Col) {
+    size_t Pivot = Col;
+    double Best = std::fabs(A.at(Col, Col));
+    for (size_t R = Col + 1; R < N; ++R) {
+      double V = std::fabs(A.at(R, Col));
+      if (V > Best) {
+        Best = V;
+        Pivot = R;
+      }
+    }
+    if (Best < PivotEps)
+      return {std::nullopt, /*Singular=*/true};
+    if (Pivot != Col) {
+      for (size_t C = 0; C < N; ++C)
+        std::swap(A.at(Pivot, C), A.at(Col, C));
+      std::swap(B[Pivot], B[Col]);
+    }
+    double Diag = A.at(Col, Col);
+    for (size_t R = Col + 1; R < N; ++R) {
+      double Factor = A.at(R, Col) / Diag;
+      if (Factor == 0.0)
+        continue;
+      A.at(R, Col) = 0.0;
+      for (size_t C = Col + 1; C < N; ++C)
+        A.at(R, C) -= Factor * A.at(Col, C);
+      B[R] -= Factor * B[Col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> X(N, 0.0);
+  for (size_t RI = N; RI-- > 0;) {
+    double Sum = B[RI];
+    for (size_t C = RI + 1; C < N; ++C)
+      Sum -= A.at(RI, C) * X[C];
+    X[RI] = Sum / A.at(RI, RI);
+  }
+  return {std::move(X), /*Singular=*/false};
+}
+
+std::optional<std::vector<double>>
+sest::solveMarkovFrequencies(const Matrix &Prob,
+                             const std::vector<double> &Entry,
+                             double PivotEps) {
+  assert(Prob.rows() == Prob.cols() && "transition matrix must be square");
+  assert(Prob.rows() == Entry.size() && "entry vector size mismatch");
+  const size_t N = Prob.rows();
+
+  // Build (I - Probᵀ).
+  Matrix A(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      A.at(I, J) = (I == J ? 1.0 : 0.0) - Prob.at(J, I);
+
+  SolveResult R = solveLinearSystem(std::move(A), Entry, PivotEps);
+  return R.Solution;
+}

@@ -1,0 +1,89 @@
+//===- support/LinearSystem.h - Dense linear algebra ------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense-matrix type and a Gaussian-elimination solver. The Markov
+/// frequency models (paper §5, Figure 7) translate a control-flow or call
+/// graph into a system (I - Pᵀ)f = e and solve it here. Systems are tiny
+/// (one row per basic block or per function), so a dense O(n³) solver with
+/// partial pivoting is entirely adequate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_LINEARSYSTEM_H
+#define SUPPORT_LINEARSYSTEM_H
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace sest {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, 0.0) {}
+
+  /// Identity matrix of size \p N.
+  static Matrix identity(size_t N);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Matrix product; dimensions must agree.
+  Matrix multiply(const Matrix &Rhs) const;
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// Result of a linear solve.
+struct SolveResult {
+  /// The solution vector if the system was non-singular.
+  std::optional<std::vector<double>> Solution;
+  /// True when pivoting found a (numerically) zero pivot.
+  bool Singular = false;
+};
+
+/// Solves A·x = b by Gaussian elimination with partial pivoting.
+///
+/// \p A must be square and \p B must have A.rows() entries. Returns a
+/// result whose \c Solution is empty and \c Singular true when a pivot
+/// smaller than \p PivotEps (in absolute value) is encountered.
+SolveResult solveLinearSystem(Matrix A, std::vector<double> B,
+                              double PivotEps = 1e-12);
+
+/// Convenience wrapper for the Markov frequency equation.
+///
+/// Given transition probabilities \p Prob where Prob.at(i,j) is the
+/// probability-weighted flow from state i to state j, and an external
+/// entry vector \p Entry, solves f = Entry + Probᵀ·f, i.e.
+/// (I - Probᵀ)·f = Entry. Returns the state frequencies, or nullopt when
+/// the system is singular (e.g. a closed cycle with probability 1).
+std::optional<std::vector<double>>
+solveMarkovFrequencies(const Matrix &Prob, const std::vector<double> &Entry,
+                       double PivotEps = 1e-12);
+
+} // namespace sest
+
+#endif // SUPPORT_LINEARSYSTEM_H

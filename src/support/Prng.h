@@ -1,0 +1,84 @@
+//===- support/Prng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic PRNG (splitmix64 seeding + xoshiro256**)
+/// used by the benchmark-suite input generators and property tests. We do
+/// not use std::mt19937 so that streams are bit-identical across standard
+/// library implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_PRNG_H
+#define SUPPORT_PRNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace sest {
+
+/// Deterministic 64-bit PRNG with a tiny state.
+class Prng {
+public:
+  explicit Prng(uint64_t Seed) {
+    // splitmix64 to spread the seed over the full state.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value (xoshiro256**).
+  uint64_t next() {
+    auto Rotl = [](uint64_t V, int K) {
+      return (V << K) | (V >> (64 - K));
+    };
+    uint64_t Result = Rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = Rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be nonzero");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace sest
+
+#endif // SUPPORT_PRNG_H

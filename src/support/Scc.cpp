@@ -1,0 +1,97 @@
+//===- support/Scc.cpp - Strongly connected components --------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Scc.h"
+
+#include <cassert>
+#include <cstdint>
+
+using namespace sest;
+
+namespace {
+
+/// Iterative Tarjan state for one node.
+struct NodeState {
+  size_t Index = SIZE_MAX;
+  size_t LowLink = 0;
+  bool OnStack = false;
+};
+
+} // namespace
+
+SccResult sest::computeScc(size_t NumNodes,
+                           const std::vector<std::vector<size_t>> &Succ) {
+  assert(Succ.size() == NumNodes && "adjacency list size mismatch");
+
+  SccResult Result;
+  Result.ComponentOf.assign(NumNodes, SIZE_MAX);
+
+  std::vector<NodeState> State(NumNodes);
+  std::vector<size_t> Stack;
+  size_t NextIndex = 0;
+
+  // Explicit DFS stack: (node, next successor position to visit).
+  struct Frame {
+    size_t Node;
+    size_t SuccPos;
+  };
+  std::vector<Frame> Dfs;
+
+  for (size_t Root = 0; Root < NumNodes; ++Root) {
+    if (State[Root].Index != SIZE_MAX)
+      continue;
+    Dfs.push_back({Root, 0});
+    while (!Dfs.empty()) {
+      Frame &F = Dfs.back();
+      size_t N = F.Node;
+      if (F.SuccPos == 0) {
+        State[N].Index = NextIndex;
+        State[N].LowLink = NextIndex;
+        ++NextIndex;
+        Stack.push_back(N);
+        State[N].OnStack = true;
+      }
+      bool Descended = false;
+      while (F.SuccPos < Succ[N].size()) {
+        size_t M = Succ[N][F.SuccPos];
+        ++F.SuccPos;
+        assert(M < NumNodes && "successor index out of range");
+        if (State[M].Index == SIZE_MAX) {
+          Dfs.push_back({M, 0});
+          Descended = true;
+          break;
+        }
+        if (State[M].OnStack && State[M].Index < State[N].LowLink)
+          State[N].LowLink = State[M].Index;
+      }
+      if (Descended)
+        continue;
+
+      // All successors done: maybe emit a component, then propagate the
+      // low-link to the parent.
+      if (State[N].LowLink == State[N].Index) {
+        std::vector<size_t> Component;
+        for (;;) {
+          size_t M = Stack.back();
+          Stack.pop_back();
+          State[M].OnStack = false;
+          Result.ComponentOf[M] = Result.Components.size();
+          Component.push_back(M);
+          if (M == N)
+            break;
+        }
+        Result.Components.push_back(std::move(Component));
+      }
+      Dfs.pop_back();
+      if (!Dfs.empty()) {
+        size_t Parent = Dfs.back().Node;
+        if (State[N].LowLink < State[Parent].LowLink)
+          State[Parent].LowLink = State[N].LowLink;
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,50 @@
+//===- support/Scc.h - Strongly connected components ------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tarjan's strongly-connected-components algorithm over graphs given as
+/// adjacency lists of dense node indices. Used by the inter-procedural
+/// estimators: all_rec multiplies invocation counts of every function in a
+/// recursive SCC, and the Markov call-graph repair (paper §5.2.2) isolates
+/// offending SCCs into subproblems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_SCC_H
+#define SUPPORT_SCC_H
+
+#include <cstddef>
+#include <vector>
+
+namespace sest {
+
+/// The strongly connected components of a directed graph.
+struct SccResult {
+  /// Components in reverse topological order (callees before callers for a
+  /// call graph); each is a list of node indices.
+  std::vector<std::vector<size_t>> Components;
+  /// Maps each node to the index of its component in \c Components.
+  std::vector<size_t> ComponentOf;
+
+  /// True when node \p N is in a component of size > 1, or has a self-arc
+  /// recorded by the caller (self-arcs must be checked separately since the
+  /// adjacency list alone distinguishes them; see \c computeScc).
+  bool inNontrivialComponent(size_t N) const {
+    return Components[ComponentOf[N]].size() > 1;
+  }
+};
+
+/// Computes SCCs of the graph with \p NumNodes nodes and successor lists
+/// \p Succ (Succ.size() == NumNodes; entries are node indices < NumNodes).
+///
+/// Components are emitted in Tarjan's natural order, i.e. reverse
+/// topological order of the condensation.
+SccResult computeScc(size_t NumNodes,
+                     const std::vector<std::vector<size_t>> &Succ);
+
+} // namespace sest
+
+#endif // SUPPORT_SCC_H

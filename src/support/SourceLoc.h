@@ -1,0 +1,45 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight (line, column) source location used by the lexer, parser,
+/// diagnostics, and to label basic blocks with their originating syntax.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_SOURCELOC_H
+#define SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace sest {
+
+/// A 1-based (line, column) position; (0, 0) means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column) : Line(Line), Column(Column) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Rhs) const {
+    return Line == Rhs.Line && Column == Rhs.Column;
+  }
+
+  /// Renders as "line:col" (or "<unknown>").
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+} // namespace sest
+
+#endif // SUPPORT_SOURCELOC_H

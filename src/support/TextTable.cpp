@@ -1,0 +1,95 @@
+//===- support/TextTable.cpp - Aligned text tables ------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TextTable.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace sest;
+
+/// A cell is "numeric-looking" when it parses as a number, optionally with
+/// a trailing '%' or 'x'.
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  size_t End = Cell.size();
+  if (Cell.back() == '%' || Cell.back() == 'x')
+    --End;
+  if (End == 0)
+    return false;
+  bool SawDigit = false;
+  for (size_t I = 0; I < End; ++I) {
+    char C = Cell[I];
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      SawDigit = true;
+      continue;
+    }
+    if (C == '.' || C == '-' || C == '+' || C == 'e' || C == 'E')
+      continue;
+    return false;
+  }
+  return SawDigit;
+}
+
+std::string TextTable::str() const {
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Row) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  if (!Header.empty())
+    Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : "";
+      Out += looksNumeric(Cell) ? padLeft(Cell, Widths[I])
+                                : padRight(Cell, Widths[I]);
+      if (I + 1 != Widths.size())
+        Out += "  ";
+    }
+    // Trim trailing padding so output is stable in diffs.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+  if (!Header.empty()) {
+    Emit(Header);
+    size_t LineLen = 0;
+    for (size_t I = 0; I < Widths.size(); ++I)
+      LineLen += Widths[I] + (I + 1 != Widths.size() ? 2 : 0);
+    Out.append(LineLen, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+std::string TextTable::csv() const {
+  std::string Out;
+  auto Emit = [&Out](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      Out += Row[I];
+    }
+    Out += '\n';
+  };
+  if (!Header.empty())
+    Emit(Header);
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- support/TextTable.h - Aligned text tables ----------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A column-aligned plain-text table used by the benchmark harnesses to
+/// print the rows of each paper table/figure, and a companion CSV emitter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_TEXTTABLE_H
+#define SUPPORT_TEXTTABLE_H
+
+#include <string>
+#include <vector>
+
+namespace sest {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Columns) {
+    Header = std::move(Columns);
+  }
+
+  /// Appends a data row; rows may differ in length (short rows are padded).
+  void addRow(std::vector<std::string> Columns) {
+    Rows.push_back(std::move(Columns));
+  }
+
+  /// Renders with two-space gutters; numeric-looking cells right-aligned.
+  std::string str() const;
+
+  /// Renders as CSV (no quoting of separators; cells must not contain ',').
+  std::string csv() const;
+
+  size_t rowCount() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace sest
+
+#endif // SUPPORT_TEXTTABLE_H

@@ -1,0 +1,158 @@
+//===- tests/test_callgraph.cpp - Call graph unit tests --------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "callgraph/CallGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace sest;
+using namespace sest::test;
+
+namespace {
+
+std::unique_ptr<CallGraph> buildCg(Compiled &C) {
+  return std::make_unique<CallGraph>(CallGraph::build(C.unit(), *C.Cfgs));
+}
+
+TEST(CallGraph, DirectSitesDiscovered) {
+  auto C = compile("void g() {}\n"
+                   "void h() { g(); }\n"
+                   "int main() { g(); h(); return 0; }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  ASSERT_EQ(CG->sites().size(), 3u);
+  EXPECT_EQ(CG->sitesTargeting(C->fn("g")).size(), 2u);
+  EXPECT_EQ(CG->sitesTargeting(C->fn("h")).size(), 1u);
+  EXPECT_EQ(CG->sitesInFunction(C->fn("main")).size(), 2u);
+  EXPECT_TRUE(CG->indirectSites().empty());
+}
+
+TEST(CallGraph, SitesKnowTheirBlocks) {
+  auto C = compile("void g() {}\n"
+                   "int main() { int i;\n"
+                   "  for (i = 0; i < 3; i++) g();\n"
+                   "  return 0; }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  ASSERT_EQ(CG->sites().size(), 1u);
+  const CallSiteInfo &S = CG->sites()[0];
+  // The call lives in the loop body block.
+  EXPECT_EQ(S.Block->label().find("for.body"), 0u) << S.Block->label();
+}
+
+TEST(CallGraph, CallsInsideConditionsAttributedToCondBlock) {
+  auto C = compile("int check(int x) { return x < 10; }\n"
+                   "int main() { int i = 0;\n"
+                   "  while (check(i)) i++;\n"
+                   "  return i; }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  ASSERT_EQ(CG->sites().size(), 1u);
+  EXPECT_EQ(CG->sites()[0].Block->label().find("while.cond"), 0u);
+}
+
+TEST(CallGraph, NestedCallsAllFound) {
+  auto C = compile("int f(int x) { return x + 1; }\n"
+                   "int main() { return f(f(f(0))); }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  EXPECT_EQ(CG->sites().size(), 3u);
+}
+
+TEST(CallGraph, IndirectSitesAndAddressTaken) {
+  auto C = compile("int a() { return 1; }\n"
+                   "int b() { return 2; }\n"
+                   "int (*pick(int x))() { if (x) return a; return b; }\n"
+                   "int main() { int (*f)() = pick(1); return f(); }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  // pick() is direct; f() is indirect.
+  EXPECT_EQ(CG->indirectSites().size(), 1u);
+  EXPECT_EQ(CG->addressTakenFunctions().size(), 2u);
+  EXPECT_EQ(CG->totalAddressTakenWeight(), 2u);
+}
+
+TEST(CallGraph, AddressWeightCountsEveryReference) {
+  auto C = compile("int a() { return 1; }\n"
+                   "int (*t[3])() = { a, a, a };\n"
+                   "int main() { return t[0](); }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  ASSERT_EQ(CG->addressTakenFunctions().size(), 1u);
+  EXPECT_EQ(CG->addressTakenFunctions()[0].second, 3u);
+}
+
+TEST(CallGraph, DirectCalleeNeverCountsAsAddressTaken) {
+  auto C = compile("int a() { return 1; }\n"
+                   "int main() { return a() + a(); }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  EXPECT_TRUE(CG->addressTakenFunctions().empty());
+}
+
+TEST(CallGraph, DirectAdjacencyDeduplicates) {
+  auto C = compile("void g() {}\n"
+                   "int main() { g(); g(); g(); return 0; }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  size_t MainId = C->fn("main")->functionId();
+  ASSERT_LT(MainId, CG->directAdjacency().size());
+  EXPECT_EQ(CG->directAdjacency()[MainId].size(), 1u);
+}
+
+TEST(CallGraph, CallSiteIdsAreDense) {
+  auto C = compile("int f(int x) { return x; }\n"
+                   "int main() { return f(1) + f(2) + f(f(3)); }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  ASSERT_EQ(CG->sites().size(), C->unit().NumCallSites);
+  for (size_t I = 0; I < CG->sites().size(); ++I)
+    EXPECT_EQ(CG->sites()[I].CallSiteId, I);
+}
+
+TEST(CallGraph, CallsInGlobalInitializersNotSites) {
+  // Global initializers cannot contain calls (sema rejects), so every
+  // site belongs to a function body; function references in initializers
+  // still count as address-taken.
+  auto C = compile("int a() { return 1; }\n"
+                   "int (*p)() = a;\n"
+                   "int main() { return p(); }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  for (const CallSiteInfo &S : CG->sites())
+    EXPECT_NE(S.Caller, nullptr);
+  EXPECT_EQ(CG->totalAddressTakenWeight(), 1u);
+}
+
+TEST(CallGraph, DotExportShowsPointerNode) {
+  auto C = compile("int a() { return 1; }\n"
+                   "int (*t)() = a;\n"
+                   "void direct() {}\n"
+                   "int main() { direct(); direct(); return t(); }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  std::string Dot = printCallGraphDot(C->unit(), *CG);
+  EXPECT_EQ(Dot.find("digraph callgraph"), 0u);
+  EXPECT_NE(Dot.find("(pointer node)"), std::string::npos);
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
+  // Two direct() calls merge into one arc labeled x2.
+  EXPECT_NE(Dot.find("x2"), std::string::npos) << Dot;
+}
+
+TEST(CallGraph, RecursiveArcRecorded) {
+  auto C = compile("int f(int n) { if (n <= 0) return 0;\n"
+                   "  return f(n - 1); }\n"
+                   "int main() { return f(3); }");
+  ASSERT_TRUE(C);
+  auto CG = buildCg(*C);
+  size_t Fid = C->fn("f")->functionId();
+  const auto &Adj = CG->directAdjacency()[Fid];
+  EXPECT_NE(std::find(Adj.begin(), Adj.end(), Fid), Adj.end());
+}
+
+} // namespace

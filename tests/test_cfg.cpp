@@ -1,0 +1,277 @@
+//===- tests/test_cfg.cpp - CFG construction unit tests --------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sest;
+using namespace sest::test;
+
+namespace {
+
+/// The paper's running example (Figure 1).
+const char *StrchrSource = R"(
+char *strchr(char *str, int c) {
+  while (*str) {
+    if (*str == c)
+      return str;
+    str++;
+  }
+  return NULL;
+}
+int main() { return 0; }
+)";
+
+unsigned countTerminators(const Cfg *G, TerminatorKind K) {
+  unsigned N = 0;
+  for (const auto &B : G->blocks())
+    if (B->terminator() == K)
+      ++N;
+  return N;
+}
+
+TEST(Cfg, StrchrHasFivePaperBlocks) {
+  // Paper Table 2 scores strchr over 5 blocks: the while test, the if
+  // (loop body), the two returns, and the increment.
+  auto C = compile(StrchrSource);
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("strchr");
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->size(), 5u) << printCfg(*G);
+  EXPECT_EQ(countTerminators(G, TerminatorKind::Return), 2u);
+  EXPECT_EQ(countTerminators(G, TerminatorKind::CondBranch), 2u);
+  // The entry is the while test (the empty entry block is threaded away).
+  EXPECT_EQ(G->entry()->terminator(), TerminatorKind::CondBranch);
+}
+
+TEST(Cfg, EveryBlockIsTerminated) {
+  auto C = compile(StrchrSource);
+  ASSERT_TRUE(C);
+  for (const auto &[F, G] : C->Cfgs->all()) {
+    for (const auto &B : G->blocks()) {
+      EXPECT_NE(B->terminator(), TerminatorKind::Unreachable)
+          << F->name() << " block " << B->label();
+    }
+  }
+}
+
+TEST(Cfg, PredsMatchSuccs) {
+  auto C = compile(StrchrSource);
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("strchr");
+  for (const auto &B : G->blocks()) {
+    for (const BasicBlock *S : B->successors()) {
+      const auto &Preds = S->predecessors();
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), B.get()),
+                Preds.end());
+    }
+  }
+}
+
+TEST(Cfg, IfElseDiamond) {
+  auto C = compile("int f(int x) { int r;\n"
+                   "  if (x > 0) r = 1; else r = 2;\n"
+                   "  return r; }\n"
+                   "int main() { return f(1); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  // entry(cond) + then + else + join(return) = 4 blocks.
+  EXPECT_EQ(G->size(), 4u) << printCfg(*G);
+}
+
+TEST(Cfg, WhileLoopHasBackEdge) {
+  auto C = compile("int f(int n) { int s = 0;\n"
+                   "  while (n > 0) { s += n; n--; }\n"
+                   "  return s; }\n"
+                   "int main() { return f(3); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  // Some block must jump backwards to an earlier block (the loop).
+  bool HasBackEdge = false;
+  for (const auto &B : G->blocks())
+    for (const BasicBlock *S : B->successors())
+      if (S->id() <= B->id())
+        HasBackEdge = true;
+  EXPECT_TRUE(HasBackEdge) << printCfg(*G);
+}
+
+TEST(Cfg, ForLoopStructure) {
+  auto C = compile("int f() { int s = 0;\n"
+                   "  for (int i = 0; i < 4; i++) s += i;\n"
+                   "  return s; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  EXPECT_EQ(countTerminators(G, TerminatorKind::CondBranch), 1u)
+      << printCfg(*G);
+}
+
+TEST(Cfg, ForStepBlockSurvivesWithContinue) {
+  // With a continue, the step block has two predecessors and cannot be
+  // merged into the body; it keeps its Step anchor.
+  auto C = compile("int f() { int s = 0; int i;\n"
+                   "  for (i = 0; i < 9; i++) {\n"
+                   "    if (i == 3) continue;\n"
+                   "    s += i;\n"
+                   "  }\n"
+                   "  return s; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  bool HasStep = false;
+  for (const auto &B : G->blocks())
+    if (B->anchorKind() == AnchorKind::Step)
+      HasStep = true;
+  EXPECT_TRUE(HasStep) << printCfg(*G);
+  EXPECT_EQ(run(*C).ExitCode, 0 + 1 + 2 + 4 + 5 + 6 + 7 + 8);
+}
+
+TEST(Cfg, DoWhileExecutesBodyFirst) {
+  auto C = compile("int f() { int n = 0;\n"
+                   "  do { n++; } while (n < 3);\n"
+                   "  return n; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  // Entry must reach the body before any conditional branch.
+  const BasicBlock *E = G->entry();
+  EXPECT_NE(E->terminator(), TerminatorKind::CondBranch) << printCfg(*G);
+}
+
+TEST(Cfg, SwitchWithFallthroughAndDefault) {
+  auto C = compile(
+      "int f(int x) { int r = 0;\n"
+      "  switch (x) {\n"
+      "  case 1: r += 1;\n"        // falls through
+      "  case 2: r += 2; break;\n"
+      "  case 3: r += 3; break;\n"
+      "  default: r = 9;\n"
+      "  }\n"
+      "  return r; }\n"
+      "int main() { return f(1); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  const BasicBlock *SwitchB = nullptr;
+  for (const auto &B : G->blocks())
+    if (B->terminator() == TerminatorKind::Switch)
+      SwitchB = B.get();
+  ASSERT_TRUE(SwitchB) << printCfg(*G);
+  EXPECT_EQ(SwitchB->switchCases().size(), 3u);
+  // Default slot is the last successor and distinct from the exit.
+  EXPECT_EQ(SwitchB->successors().size(), 4u);
+}
+
+TEST(Cfg, SwitchWithoutDefaultFallsToExit) {
+  auto C = compile("int f(int x) { switch (x) { case 1: return 1; }\n"
+                   "  return 0; }\n"
+                   "int main() { return f(2); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  const BasicBlock *SwitchB = nullptr;
+  for (const auto &B : G->blocks())
+    if (B->terminator() == TerminatorKind::Switch)
+      SwitchB = B.get();
+  ASSERT_TRUE(SwitchB);
+  // Default target returns 0.
+  EXPECT_EQ(SwitchB->switchDefault()->terminator(),
+            TerminatorKind::Return);
+}
+
+TEST(Cfg, GotoFormsLoop) {
+  auto C = compile("int f() { int n = 0;\n"
+                   "again:\n"
+                   "  n++;\n"
+                   "  if (n < 5) goto again;\n"
+                   "  return n; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  bool HasBackEdge = false;
+  for (const auto &B : G->blocks())
+    for (const BasicBlock *S : B->successors())
+      if (S->id() <= B->id())
+        HasBackEdge = true;
+  EXPECT_TRUE(HasBackEdge) << printCfg(*G);
+}
+
+TEST(Cfg, BreakAndContinueTargets) {
+  auto C = compile("int f() { int s = 0; int i;\n"
+                   "  for (i = 0; i < 10; i++) {\n"
+                   "    if (i == 2) continue;\n"
+                   "    if (i == 5) break;\n"
+                   "    s += i;\n"
+                   "  }\n"
+                   "  return s; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  // Semantics validated by execution: 0+1+3+4 = 8.
+  RunResult R = run(*C);
+  EXPECT_EQ(R.ExitCode, 8);
+}
+
+TEST(Cfg, DeadCodeAfterReturnIsRemoved) {
+  auto C = compile("int f() { return 1; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  EXPECT_EQ(G->size(), 1u) << printCfg(*G);
+}
+
+TEST(Cfg, UnreachableCodeDropped) {
+  auto C = compile("int f() { return 1; int x = 2; return x; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  for (const auto &B : G->blocks())
+    EXPECT_NE(B->terminator(), TerminatorKind::Unreachable);
+}
+
+TEST(Cfg, ArcSlotCountMatchesSuccessors) {
+  auto C = compile(StrchrSource);
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("strchr");
+  size_t Total = 0;
+  for (const auto &B : G->blocks())
+    Total += B->successors().size();
+  EXPECT_EQ(G->countArcSlots(), Total);
+}
+
+TEST(Cfg, AnchorsAreAssigned) {
+  auto C = compile(StrchrSource);
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("strchr");
+  for (const auto &B : G->blocks())
+    EXPECT_NE(B->anchor(), nullptr) << B->label();
+}
+
+TEST(Cfg, DotExportIsWellFormed) {
+  auto C = compile(StrchrSource);
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("strchr");
+  std::string Dot = printCfgDot(*G);
+  EXPECT_EQ(Dot.find("digraph"), 0u);
+  EXPECT_NE(Dot.find("n0 ->"), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"T\""), std::string::npos);
+  EXPECT_EQ(Dot[Dot.size() - 2], '}');
+  // Weighted variant embeds frequencies.
+  std::vector<double> W(G->size(), 2.5);
+  std::string Weighted = printCfgDot(*G, &W);
+  EXPECT_NE(Weighted.find("freq 2.50"), std::string::npos);
+}
+
+TEST(Cfg, PrinterMentionsEveryBlock) {
+  auto C = compile(StrchrSource);
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("strchr");
+  std::string S = printCfg(*G);
+  for (const auto &B : G->blocks())
+    EXPECT_NE(S.find(B->label()), std::string::npos) << S;
+}
+
+} // namespace

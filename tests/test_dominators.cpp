@@ -1,0 +1,208 @@
+//===- tests/test_dominators.cpp - Dominators and natural loops ------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "cfg/Dominators.h"
+#include "estimators/BranchPrediction.h"
+#include "metrics/BranchMiss.h"
+
+#include <gtest/gtest.h>
+
+using namespace sest;
+using namespace sest::test;
+
+namespace {
+
+uint32_t blockByLabel(const Cfg *G, const std::string &Prefix) {
+  for (const auto &B : G->blocks())
+    if (B->label().find(Prefix) == 0)
+      return B->id();
+  ADD_FAILURE() << "no block labeled " << Prefix;
+  return 0;
+}
+
+TEST(Dominators, EntryDominatesEverything) {
+  auto C = compile("int f(int x) { int r = 0;\n"
+                   "  if (x > 0) r = 1; else r = 2;\n"
+                   "  while (x > 0) { r += x; x--; }\n"
+                   "  return r; }\n"
+                   "int main() { return f(3); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  DominatorTree DT(*G);
+  for (const auto &B : G->blocks())
+    EXPECT_TRUE(DT.dominates(G->entry()->id(), B->id())) << B->label();
+}
+
+TEST(Dominators, BranchArmsDoNotDominateJoin) {
+  auto C = compile("int f(int x) { int r = 0;\n"
+                   "  if (x > 0) r = 1; else r = 2;\n"
+                   "  return r; }\n"
+                   "int main() { return f(1); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  DominatorTree DT(*G);
+  uint32_t Then = blockByLabel(G, "if.then");
+  uint32_t Else = blockByLabel(G, "if.else");
+  uint32_t Join = blockByLabel(G, "if.end");
+  EXPECT_FALSE(DT.dominates(Then, Join));
+  EXPECT_FALSE(DT.dominates(Else, Join));
+  EXPECT_TRUE(DT.dominates(G->entry()->id(), Join));
+  // The join's immediate dominator is the branch (entry).
+  EXPECT_EQ(DT.idom(Join), G->entry()->id());
+}
+
+TEST(Dominators, SelfDominationIsReflexive) {
+  auto C = compile("int f() { return 1; }\nint main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  DominatorTree DT(*G);
+  EXPECT_TRUE(DT.dominates(0, 0));
+}
+
+TEST(Dominators, WhileLoopBackEdgeDetected) {
+  auto C = compile("int f(int n) { int s = 0;\n"
+                   "  while (n > 0) { s += n; n--; }\n"
+                   "  return s; }\n"
+                   "int main() { return f(3); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  DominatorTree DT(*G);
+  std::vector<NaturalLoop> Loops = findNaturalLoops(*G, DT);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_EQ(Loops[0].Header, blockByLabel(G, "while.cond"));
+  EXPECT_TRUE(Loops[0].contains(blockByLabel(G, "while.body")));
+  EXPECT_FALSE(Loops[0].contains(blockByLabel(G, "while.end")));
+}
+
+TEST(Dominators, NestedLoopsFound) {
+  auto C = compile("int f() { int s = 0; int i; int j;\n"
+                   "  for (i = 0; i < 3; i++)\n"
+                   "    for (j = 0; j < 3; j++)\n"
+                   "      s++;\n"
+                   "  return s; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  DominatorTree DT(*G);
+  std::vector<NaturalLoop> Loops = findNaturalLoops(*G, DT);
+  EXPECT_EQ(Loops.size(), 2u);
+  // One loop strictly contains the other.
+  const NaturalLoop &A = Loops[0].Blocks.size() > Loops[1].Blocks.size()
+                             ? Loops[0]
+                             : Loops[1];
+  const NaturalLoop &B = &A == &Loops[0] ? Loops[1] : Loops[0];
+  for (uint32_t Block : B.Blocks)
+    EXPECT_TRUE(A.contains(Block));
+  EXPECT_GT(A.Blocks.size(), B.Blocks.size());
+}
+
+TEST(Dominators, GotoLoopDetected) {
+  auto C = compile("int f() { int n = 0;\n"
+                   "again:\n"
+                   "  n++;\n"
+                   "  if (n < 5) goto again;\n"
+                   "  return n; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  const Cfg *G = C->cfg("f");
+  DominatorTree DT(*G);
+  std::vector<NaturalLoop> Loops = findNaturalLoops(*G, DT);
+  ASSERT_EQ(Loops.size(), 1u);
+  EXPECT_GE(Loops[0].Blocks.size(), 1u);
+}
+
+TEST(CfgLoopHeuristic, GotoLoopPredictedLikeALoop) {
+  // The if controlling "goto again" has no loop-statement origin, but
+  // its true edge is a CFG back edge: the cfg-loop heuristic must claim
+  // it with the loop probability.
+  auto C = compile("int f() { int n = 0;\n"
+                   "again:\n"
+                   "  n++;\n"
+                   "  if (n < 5) goto again;\n"
+                   "  return n; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  BranchPredictor BP;
+  FunctionBranchPredictions P = BP.predictFunction(*C->cfg("f"));
+  bool Found = false;
+  for (const auto &[Id, Pred] : P.ByBlock) {
+    if (std::string(Pred.Heuristic) == "cfg-loop") {
+      EXPECT_TRUE(Pred.PredictTrue);
+      EXPECT_NEAR(Pred.ProbTrue, 0.8, 1e-9);
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(CfgLoopHeuristic, CanBeDisabled) {
+  auto C = compile("int f() { int n = 0;\n"
+                   "again:\n"
+                   "  n++;\n"
+                   "  if (n < 5) goto again;\n"
+                   "  return n; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  BranchPredictorConfig Config;
+  Config.UseCfgLoopHeuristic = false;
+  BranchPredictor BP(Config);
+  FunctionBranchPredictions P = BP.predictFunction(*C->cfg("f"));
+  for (const auto &[Id, Pred] : P.ByBlock)
+    EXPECT_STRNE(Pred.Heuristic, "cfg-loop");
+}
+
+TEST(CfgLoopHeuristic, StructuredLoopsStillUseLoopHeuristic) {
+  auto C = compile("int f(int n) { int s = 0;\n"
+                   "  while (n > 0) { s += n; n--; }\n"
+                   "  return s; }\n"
+                   "int main() { return f(3); }");
+  ASSERT_TRUE(C);
+  BranchPredictor BP;
+  FunctionBranchPredictions P = BP.predictFunction(*C->cfg("f"));
+  bool SawLoop = false;
+  for (const auto &[Id, Pred] : P.ByBlock)
+    if (std::string(Pred.Heuristic) == "loop")
+      SawLoop = true;
+  EXPECT_TRUE(SawLoop);
+}
+
+TEST(CfgLoopHeuristic, ImprovesGotoLoopMissRate) {
+  // Execution takes the back edge 4 of 5 times; predicting "taken"
+  // (cfg-loop) misses once, while the disabled default also predicts
+  // true here — use an inverted-condition variant to discriminate.
+  auto C = compile("int f() { int n = 0;\n"
+                   "again:\n"
+                   "  n++;\n"
+                   "  if (n >= 50) return n;\n" // exit edge is TRUE
+                   "  goto again; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  BranchPredictor WithCfg;
+  auto PredsOn = predictAllFunctions(C->unit(), *C->Cfgs, WithCfg);
+  BranchPredictorConfig Off;
+  Off.UseCfgLoopHeuristic = false;
+  BranchPredictor WithoutCfg(Off);
+  auto PredsOff = predictAllFunctions(C->unit(), *C->Cfgs, WithoutCfg);
+
+  ProgramInput In;
+  RunResult R = runProgram(C->unit(), *C->Cfgs, In);
+  ASSERT_TRUE(R.Ok);
+
+  BranchMissCounts On = branchMissRate(*C->Cfgs, PredsOn, R.TheProfile,
+                                       BranchOracle::Static);
+  BranchMissCounts OffCounts = branchMissRate(
+      *C->Cfgs, PredsOff, R.TheProfile, BranchOracle::Static);
+  // "n >= 50" is false 49 of 50 times. The cfg-loop heuristic predicts
+  // false (the back edge); the opcode heuristic (>= positive constant...
+  // actually >= 50 doesn't fire opcode) -> default predicts true: 49
+  // misses.
+  EXPECT_LT(On.Misses, OffCounts.Misses);
+  EXPECT_NEAR(On.Misses, 1.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,372 @@
+//===- tests/test_lang_extra.cpp - Frontend/interpreter edge cases ---------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace sest;
+using namespace sest::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Declarator corner cases
+//===----------------------------------------------------------------------===//
+
+TEST(Declarators, FunctionReturningFunctionPointer) {
+  RunResult R = compileAndRun(
+      "int one() { return 1; }\n"
+      "int two() { return 2; }\n"
+      "int (*choose(int x))() { if (x) return one; return two; }\n"
+      "int main() { return choose(1)() * 10 + choose(0)(); }");
+  EXPECT_EQ(R.ExitCode, 12);
+}
+
+TEST(Declarators, PointerToPointer) {
+  RunResult R = compileAndRun(
+      "int main() { int x = 7; int *p = &x; int **pp = &p;\n"
+      "  **pp = 9; return x; }");
+  EXPECT_EQ(R.ExitCode, 9);
+}
+
+TEST(Declarators, ArrayOfPointers) {
+  RunResult R = compileAndRun(
+      "int main() { int a = 1; int b = 2; int c = 3;\n"
+      "  int *ptrs[3]; ptrs[0] = &a; ptrs[1] = &b; ptrs[2] = &c;\n"
+      "  *ptrs[1] = 20;\n"
+      "  return *ptrs[0] + b + *ptrs[2]; }");
+  EXPECT_EQ(R.ExitCode, 24);
+}
+
+TEST(Declarators, FunctionPointerParameter) {
+  RunResult R = compileAndRun(
+      "int twice(int (*f)(int), int x) { return f(f(x)); }\n"
+      "int inc(int x) { return x + 1; }\n"
+      "int main() { return twice(inc, 5); }");
+  EXPECT_EQ(R.ExitCode, 7);
+}
+
+TEST(Declarators, ArrayParameterDecays) {
+  RunResult R = compileAndRun(
+      "int sum(int a[4]) { return a[0] + a[1] + a[2] + a[3]; }\n"
+      "int main() { int v[4] = {1, 2, 3, 4}; return sum(v); }");
+  EXPECT_EQ(R.ExitCode, 10);
+}
+
+TEST(Declarators, DanglingElseBindsToInner) {
+  RunResult R = compileAndRun(
+      "int f(int a, int b) {\n"
+      "  if (a)\n"
+      "    if (b) return 1;\n"
+      "    else return 2;\n" // binds to the inner if
+      "  return 3; }\n"
+      "int main() { return f(1, 0) * 100 + f(0, 0) * 10 + f(1, 1); }");
+  EXPECT_EQ(R.ExitCode, 231);
+}
+
+//===----------------------------------------------------------------------===//
+// Structs
+//===----------------------------------------------------------------------===//
+
+TEST(Structs, NestedMembers) {
+  RunResult R = compileAndRun(
+      "struct inner { int a; int b; };\n"
+      "struct outer { int x; struct inner in; int y; };\n"
+      "int main() { struct outer o;\n"
+      "  o.x = 1; o.in.a = 2; o.in.b = 3; o.y = 4;\n"
+      "  return o.x * 1000 + o.in.a * 100 + o.in.b * 10 + o.y; }");
+  EXPECT_EQ(R.ExitCode, 1234);
+}
+
+TEST(Structs, ArrayFieldInsideStruct) {
+  RunResult R = compileAndRun(
+      "struct vec { int len; int data[4]; };\n"
+      "int main() { struct vec v; v.len = 3; int i;\n"
+      "  for (i = 0; i < v.len; i++) v.data[i] = i * i;\n"
+      "  return v.data[0] + v.data[1] + v.data[2]; }");
+  EXPECT_EQ(R.ExitCode, 5);
+}
+
+TEST(Structs, PointerToField) {
+  RunResult R = compileAndRun(
+      "struct pair { int a; int b; };\n"
+      "int main() { struct pair p; p.a = 1; p.b = 2;\n"
+      "  int *q = &p.b; *q = 42;\n"
+      "  return p.b; }");
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(Structs, FunctionPointerField) {
+  RunResult R = compileAndRun(
+      "int add(int a, int b) { return a + b; }\n"
+      "int mul(int a, int b) { return a * b; }\n"
+      "struct op { int code; int (*fn)(int, int); };\n"
+      "int main() { struct op ops[2];\n"
+      "  ops[0].code = 1; ops[0].fn = add;\n"
+      "  ops[1].code = 2; ops[1].fn = mul;\n"
+      "  return ops[0].fn(3, 4) + ops[1].fn(3, 4); }");
+  EXPECT_EQ(R.ExitCode, 19);
+}
+
+TEST(Structs, ArrayOfStructsWithArrowChains) {
+  RunResult R = compileAndRun(
+      "struct node { int v; struct node *next; };\n"
+      "int main() { struct node n[3];\n"
+      "  n[0].v = 1; n[1].v = 2; n[2].v = 3;\n"
+      "  n[0].next = &n[1]; n[1].next = &n[2]; n[2].next = NULL;\n"
+      "  return n[0].next->next->v; }");
+  EXPECT_EQ(R.ExitCode, 3);
+}
+
+TEST(Structs, StructCopyThroughPointerDeref) {
+  RunResult R = compileAndRun(
+      "struct pair { int a; int b; };\n"
+      "int main() { struct pair x; struct pair y; struct pair *p = &x;\n"
+      "  x.a = 5; x.b = 6;\n"
+      "  y = *p; x.a = 0;\n"
+      "  return y.a * 10 + y.b; }");
+  EXPECT_EQ(R.ExitCode, 56);
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic and conversions
+//===----------------------------------------------------------------------===//
+
+TEST(Arithmetic, NegativeDivisionTruncatesTowardZero) {
+  EXPECT_EQ(compileAndRun("int main() { return -7 / 2; }").ExitCode, -3);
+  EXPECT_EQ(compileAndRun("int main() { return -7 % 2; }").ExitCode, -1);
+  EXPECT_EQ(compileAndRun("int main() { return 7 / -2; }").ExitCode, -3);
+}
+
+TEST(Arithmetic, MixedIntDoublePromotes) {
+  EXPECT_EQ(
+      compileAndRun("int main() { return (int)(1 / 4.0 * 100.0); }")
+          .ExitCode,
+      25);
+  EXPECT_EQ(compileAndRun("int main() { double d = 3; int i = 2;\n"
+                          "  return (int)(d / i * 10.0); }")
+                .ExitCode,
+            15);
+}
+
+TEST(Arithmetic, CharsAreSmallIntegers) {
+  EXPECT_EQ(compileAndRun("int main() { char c = 'A'; c = c + 2;\n"
+                          "  return c; }")
+                .ExitCode,
+            'C');
+  EXPECT_EQ(compileAndRun("int main() { return 'z' - 'a'; }").ExitCode,
+            25);
+}
+
+TEST(Arithmetic, TernaryChoosesLazily) {
+  RunResult R = compileAndRun(
+      "int g = 0;\n"
+      "int bump() { g += 1; return g; }\n"
+      "int main() { int v = 1 ? 5 : bump(); return v * 10 + g; }");
+  EXPECT_EQ(R.ExitCode, 50);
+}
+
+TEST(Arithmetic, DeeplyNestedExpression) {
+  EXPECT_EQ(
+      compileAndRun(
+          "int main() { return ((((1 + 2) * (3 + 4)) - ((5 - 6) *\n"
+          "  (7 + 8))) << 1) / 2; }")
+          .ExitCode,
+      36);
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow corners
+//===----------------------------------------------------------------------===//
+
+TEST(ControlFlow, SwitchOnCharWithCaseExpressions) {
+  RunResult R = compileAndRun(
+      "int classify(int c) {\n"
+      "  switch (c) {\n"
+      "  case 'a': case 'e': case 'i': case 'o': case 'u': return 1;\n"
+      "  case '0' + 5: return 2;\n"
+      "  default: return 0;\n"
+      "  } }\n"
+      "int main() { return classify('e') * 100 + classify('5') * 10 +\n"
+      "  classify('x'); }");
+  EXPECT_EQ(R.ExitCode, 120);
+}
+
+TEST(ControlFlow, NestedSwitchInLoop) {
+  RunResult R = compileAndRun(
+      "int main() { int s = 0; int i;\n"
+      "  for (i = 0; i < 6; i++) {\n"
+      "    switch (i % 3) {\n"
+      "    case 0: s += 1; break;\n"
+      "    case 1: s += 10; break;\n"
+      "    default: s += 100;\n"
+      "    }\n"
+      "  }\n"
+      "  return s; }");
+  EXPECT_EQ(R.ExitCode, 222);
+}
+
+TEST(ControlFlow, BreakInsideSwitchInsideLoopExitsSwitchOnly) {
+  RunResult R = compileAndRun(
+      "int main() { int s = 0; int i;\n"
+      "  for (i = 0; i < 3; i++) {\n"
+      "    switch (i) { case 0: break; default: s += i; }\n"
+      "    s += 100;\n"
+      "  }\n"
+      "  return s; }");
+  EXPECT_EQ(R.ExitCode, 303);
+}
+
+TEST(ControlFlow, GotoForwardSkipsCode) {
+  RunResult R = compileAndRun(
+      "int main() { int s = 1;\n"
+      "  goto skip;\n"
+      "  s = 100;\n"
+      "skip:\n"
+      "  s += 2;\n"
+      "  return s; }");
+  EXPECT_EQ(R.ExitCode, 3);
+}
+
+TEST(ControlFlow, DoWhileRunsBodyAtLeastOnce) {
+  RunResult R = compileAndRun(
+      "int main() { int n = 0;\n"
+      "  do n++; while (0);\n"
+      "  return n; }");
+  EXPECT_EQ(R.ExitCode, 1);
+}
+
+TEST(ControlFlow, CommaOperatorIsRejected) {
+  // No comma operator in mini-C: this must fail to compile.
+  std::string E = compileExpectError(
+      "int main() { int s = 0; int i;\n"
+      "  for (i = 0; i < 5; s += i, i++) ;\n"
+      "  return s; }");
+  EXPECT_FALSE(E.empty());
+}
+
+TEST(ControlFlow, WhileWithComplexCondition) {
+  RunResult R = compileAndRun(
+      "int main() { int a = 0; int b = 10;\n"
+      "  while (a < 5 && b > 5) { a++; b--; }\n"
+      "  return a * 10 + b; }");
+  EXPECT_EQ(R.ExitCode, 55);
+}
+
+//===----------------------------------------------------------------------===//
+// More sema rejections
+//===----------------------------------------------------------------------===//
+
+TEST(SemaExtra, StructReturnRejected) {
+  std::string E = compileExpectError(
+      "struct p { int a; };\n"
+      "struct p make() { struct p v; v.a = 1; return v; }\n"
+      "int main() { return 0; }");
+  EXPECT_NE(E.find("struct"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, IndirectCallArityChecked) {
+  std::string E = compileExpectError(
+      "int f(int x) { return x; }\n"
+      "int main() { int (*p)(int) = f; return p(1, 2); }");
+  EXPECT_NE(E.find("argument"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, VoidValueUseRejected) {
+  std::string E = compileExpectError(
+      "void f() {}\n"
+      "int main() { return f() + 1; }");
+  EXPECT_FALSE(E.empty());
+}
+
+TEST(SemaExtra, IncompatiblePointerComparisonRejected) {
+  std::string E = compileExpectError(
+      "int main() { int x; double d; int *p = &x; double *q = &d;\n"
+      "  return p == q; }");
+  EXPECT_NE(E.find("incompatible"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, ArrayAssignmentRejected) {
+  std::string E = compileExpectError(
+      "int main() { int a[3]; int b[3]; a = b; return 0; }");
+  EXPECT_NE(E.find("cannot assign"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, CaseOutsideSwitchRejected) {
+  std::string E =
+      compileExpectError("int main() { case 1: return 0; }");
+  EXPECT_NE(E.find("case"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, CallingNonFunctionRejected) {
+  std::string E =
+      compileExpectError("int main() { int x = 3; return x(); }");
+  EXPECT_NE(E.find("non-function"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, DerefOfIntRejected) {
+  std::string E =
+      compileExpectError("int main() { int x = 3; return *x; }");
+  EXPECT_NE(E.find("dereference"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, SwitchOnDoubleRejected) {
+  std::string E = compileExpectError(
+      "int main() { double d = 1.0; switch (d) { default: return 0; }\n"
+      "  return 1; }");
+  EXPECT_NE(E.find("switch"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, VoidTypedParameterRejected) {
+  std::string E = compileExpectError(
+      "int f(void x) { return 0; }\n"
+      "int main() { return 0; }");
+  EXPECT_NE(E.find("invalid type"), std::string::npos) << E;
+}
+
+TEST(SemaExtra, VoidParameterListAccepted) {
+  auto C = compile("int f(void) { return 4; }\n"
+                   "int main() { return f(); }");
+  ASSERT_TRUE(C);
+  EXPECT_EQ(run(*C).ExitCode, 4);
+}
+
+//===----------------------------------------------------------------------===//
+// String handling
+//===----------------------------------------------------------------------===//
+
+TEST(Strings, LiteralsAreNulTerminatedGlobals) {
+  RunResult R = compileAndRun(
+      "int len(char *s) { int n = 0; while (s[n]) n++; return n; }\n"
+      "int main() { char *msg = \"hello world\"; return len(msg); }");
+  EXPECT_EQ(R.ExitCode, 11);
+}
+
+TEST(Strings, EscapesInLiterals) {
+  RunResult R = compileAndRun(
+      "int main() { char *s = \"a\\nb\\tc\";\n"
+      "  return (s[1] == '\\n') * 10 + (s[3] == '\\t'); }");
+  EXPECT_EQ(R.ExitCode, 11);
+}
+
+TEST(Strings, CharArrayInitPadsWithZeros) {
+  RunResult R = compileAndRun(
+      "int main() { char buf[8] = \"ab\";\n"
+      "  return (buf[2] == 0) * 10 + (buf[7] == 0); }");
+  EXPECT_EQ(R.ExitCode, 11);
+}
+
+TEST(Strings, StrcpyPattern) {
+  RunResult R = compileAndRun(
+      "void copy(char *dst, char *src) {\n"
+      "  while ((*dst = *src) != 0) { dst++; src++; } }\n"
+      "int main() { char a[8]; copy(a, \"xyz\");\n"
+      "  return a[0] * 10000 + a[2] + (a[3] == 0); }");
+  EXPECT_EQ(R.ExitCode, 'x' * 10000 + 'z' + 1);
+}
+
+} // namespace

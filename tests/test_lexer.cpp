@@ -1,0 +1,154 @@
+//===- tests/test_lexer.cpp - Lexer unit tests -----------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sest;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(const std::string &Source) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Source))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, Identifiers) {
+  auto Tokens = lex("foo _bar baz42");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "baz42");
+}
+
+TEST(Lexer, Keywords) {
+  auto Kinds = kindsOf("int char double void struct if else while for do "
+                       "switch case default break continue return goto "
+                       "sizeof NULL");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwInt,      TokenKind::KwChar,    TokenKind::KwDouble,
+      TokenKind::KwVoid,     TokenKind::KwStruct,  TokenKind::KwIf,
+      TokenKind::KwElse,     TokenKind::KwWhile,   TokenKind::KwFor,
+      TokenKind::KwDo,       TokenKind::KwSwitch,  TokenKind::KwCase,
+      TokenKind::KwDefault,  TokenKind::KwBreak,   TokenKind::KwContinue,
+      TokenKind::KwReturn,   TokenKind::KwGoto,    TokenKind::KwSizeof,
+      TokenKind::KwNull,     TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto Tokens = lex("0 42 0x1F 1000000");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 31);
+  EXPECT_EQ(Tokens[3].IntValue, 1000000);
+}
+
+TEST(Lexer, DoubleLiterals) {
+  auto Tokens = lex("3.5 0.25 1e3 2.5e-2");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::DoubleLiteral);
+  EXPECT_DOUBLE_EQ(Tokens[0].DoubleValue, 3.5);
+  EXPECT_DOUBLE_EQ(Tokens[1].DoubleValue, 0.25);
+  EXPECT_DOUBLE_EQ(Tokens[2].DoubleValue, 1000.0);
+  EXPECT_DOUBLE_EQ(Tokens[3].DoubleValue, 0.025);
+}
+
+TEST(Lexer, IntThenDotIsNotADouble) {
+  // "1." without a following digit stays an int followed by '.'.
+  auto Kinds = kindsOf("x.y");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier, TokenKind::Dot,
+                                     TokenKind::Identifier,
+                                     TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, CharLiterals) {
+  auto Tokens = lex("'a' '\\n' '\\0' '\\\\'");
+  EXPECT_EQ(Tokens[0].IntValue, 'a');
+  EXPECT_EQ(Tokens[1].IntValue, '\n');
+  EXPECT_EQ(Tokens[2].IntValue, 0);
+  EXPECT_EQ(Tokens[3].IntValue, '\\');
+}
+
+TEST(Lexer, StringLiterals) {
+  auto Tokens = lex("\"hello\\nworld\"");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "hello\nworld");
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto Kinds = kindsOf("<< >> <= >= == != && || ++ -- -> += -= *= /= %= "
+                       "&= |= ^= <<= >>=");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LessLess,      TokenKind::GreaterGreater,
+      TokenKind::LessEqual,     TokenKind::GreaterEqual,
+      TokenKind::EqualEqual,    TokenKind::BangEqual,
+      TokenKind::AmpAmp,        TokenKind::PipePipe,
+      TokenKind::PlusPlus,      TokenKind::MinusMinus,
+      TokenKind::Arrow,         TokenKind::PlusEqual,
+      TokenKind::MinusEqual,    TokenKind::StarEqual,
+      TokenKind::SlashEqual,    TokenKind::PercentEqual,
+      TokenKind::AmpEqual,      TokenKind::PipeEqual,
+      TokenKind::CaretEqual,    TokenKind::LessLessEqual,
+      TokenKind::GreaterGreaterEqual, TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto Kinds = kindsOf("a // line comment\nb /* block\ncomment */ c");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Identifier, TokenKind::Identifier,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, SourceLocations) {
+  auto Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(Lexer, UnterminatedStringIsDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("\"abc", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("/* never closed", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnknownCharacterIsDiagnosed) {
+  DiagnosticEngine Diags;
+  Lexer L("a @ b", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace

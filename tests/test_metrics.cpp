@@ -1,0 +1,302 @@
+//===- tests/test_metrics.cpp - Metric unit tests --------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "callgraph/CallGraph.h"
+#include "estimators/Pipeline.h"
+#include "metrics/BranchMiss.h"
+#include "metrics/Evaluation.h"
+#include "metrics/WeightMatching.h"
+#include "profile/Profile.h"
+
+#include <gtest/gtest.h>
+
+using namespace sest;
+using namespace sest::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Weight matching (paper §3, Table 2)
+//===----------------------------------------------------------------------===//
+
+TEST(WeightMatching, PaperTable2Strchr) {
+  // Estimated: while 5, if 4, return1 0.8, incr 3.2, return2 1.
+  // Actual:    while 3, if 3, return1 2, incr 1, return2 0.
+  std::vector<double> Est = {5, 4, 0.8, 3.2, 1};
+  std::vector<double> Act = {3, 3, 2, 1, 0};
+  // 20% of 5 = 1 block: both pick "while" -> 100%.
+  EXPECT_NEAR(weightMatchingScore(Est, Act, 0.20), 1.0, 1e-9);
+  // 60% of 5 = 3 blocks: estimate picks while,if,incr (3+3+1=7); actual
+  // picks while,if,return1 (3+3+2=8) -> 7/8 = 88%.
+  EXPECT_NEAR(weightMatchingScore(Est, Act, 0.60), 7.0 / 8.0, 1e-9);
+}
+
+TEST(WeightMatching, PerfectEstimateScoresOne) {
+  std::vector<double> Act = {5, 1, 9, 3, 7};
+  for (double Cutoff : {0.1, 0.25, 0.5, 0.75, 1.0})
+    EXPECT_NEAR(weightMatchingScore(Act, Act, Cutoff), 1.0, 1e-12)
+        << Cutoff;
+}
+
+TEST(WeightMatching, FractionalRounding) {
+  // 4 items at 30% -> 1.2 items: top item + 0.2 * second.
+  std::vector<double> Act = {10, 8, 2, 1};
+  std::vector<double> Est = {1, 2, 3, 4}; // reversed ranking
+  // Estimate picks 1 (value 1) + 0.2 * item of est-rank 2 (value 2).
+  double Num = 1 + 0.2 * 2;
+  double Den = 10 + 0.2 * 8;
+  EXPECT_NEAR(weightMatchingScore(Est, Act, 0.30), Num / Den, 1e-9);
+}
+
+TEST(WeightMatching, TiesAtCutoffDoNotPenalize) {
+  // Two items tied in actual weight; estimate picks "the other one".
+  std::vector<double> Act = {5, 5, 1, 0};
+  std::vector<double> EstA = {9, 0, 0, 0};
+  std::vector<double> EstB = {0, 9, 0, 0};
+  EXPECT_NEAR(weightMatchingScore(EstA, Act, 0.25), 1.0, 1e-9);
+  EXPECT_NEAR(weightMatchingScore(EstB, Act, 0.25), 1.0, 1e-9);
+}
+
+TEST(WeightMatching, OmittedItemsExcluded) {
+  std::vector<double> Est = {-1, 4, 2, -1};
+  std::vector<double> Act = {100, 4, 2, 100};
+  // The -1 items drop out entirely: remaining estimate ranks match.
+  EXPECT_NEAR(weightMatchingScore(Est, Act, 0.5), 1.0, 1e-9);
+}
+
+TEST(WeightMatching, DegenerateCases) {
+  EXPECT_NEAR(weightMatchingScore({}, {}, 0.25), 1.0, 1e-12);
+  EXPECT_NEAR(weightMatchingScore({1, 2}, {0, 0}, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(weightMatchingScore({1, 2}, {3, 4}, 0.0), 1.0, 1e-12);
+}
+
+TEST(WeightMatching, WorstCaseScoresLow) {
+  std::vector<double> Act = {100, 0, 0, 0};
+  std::vector<double> Est = {0, 9, 8, 7};
+  EXPECT_NEAR(weightMatchingScore(Est, Act, 0.25), 0.0, 1e-9);
+}
+
+TEST(WeightMatching, QuantileWeightHelper) {
+  std::vector<double> Keys = {3, 1, 2};
+  std::vector<double> Vals = {30, 10, 20};
+  EXPECT_NEAR(quantileWeight(Keys, Vals, 1.0 / 3.0), 30.0, 1e-9);
+  EXPECT_NEAR(quantileWeight(Keys, Vals, 2.0 / 3.0), 50.0, 1e-9);
+  EXPECT_NEAR(quantileWeight(Keys, Vals, 0.5), 30.0 + 0.5 * 20.0, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Profile aggregation (paper §3)
+//===----------------------------------------------------------------------===//
+
+Profile makeProfile(double Scale) {
+  Profile P;
+  P.Functions.resize(1);
+  P.Functions[0].BlockCounts = {10 * Scale, 5 * Scale, 1 * Scale};
+  P.Functions[0].ArcCounts = {{8 * Scale}, {5 * Scale}, {}};
+  P.Functions[0].EntryCount = Scale;
+  P.CallSiteCounts = {2 * Scale};
+  P.TotalCycles = 100 * Scale;
+  return P;
+}
+
+TEST(ProfileAggregation, NormalizesToCommonTotal) {
+  // Two profiles with the same shape but different magnitudes aggregate
+  // to proportional counts.
+  std::vector<Profile> Profiles = {makeProfile(1.0), makeProfile(10.0)};
+  Profile Agg = aggregateProfiles(Profiles);
+  // Each contributes equally after normalization: ratios preserved.
+  const auto &B = Agg.Functions[0].BlockCounts;
+  EXPECT_NEAR(B[0] / B[1], 2.0, 1e-9);
+  EXPECT_NEAR(B[1] / B[2], 5.0, 1e-9);
+  // Total equals 2 * mean total (each scaled profile sums to the mean).
+  double MeanTotal = (16.0 + 160.0) / 2.0;
+  EXPECT_NEAR(Agg.totalBlockCount(), 2 * MeanTotal, 1e-6);
+}
+
+TEST(ProfileAggregation, LeaveOneOut) {
+  std::vector<Profile> Profiles = {makeProfile(1), makeProfile(2),
+                                   makeProfile(3)};
+  Profile Agg = aggregateExcept(Profiles, 1);
+  // Aggregate of #0 and #2 only; shape preserved.
+  EXPECT_TRUE(Agg.shapeMatches(Profiles[0]));
+}
+
+TEST(ProfileSerialization, RoundTrips) {
+  Profile P = makeProfile(3.5);
+  P.ProgramName = "demo";
+  P.InputName = "input1";
+  std::string Text = writeProfileText(P);
+  Profile Q;
+  ASSERT_TRUE(readProfileText(Text, Q));
+  EXPECT_EQ(Q.ProgramName, "demo");
+  EXPECT_TRUE(P.shapeMatches(Q));
+  EXPECT_NEAR(Q.Functions[0].BlockCounts[0], 35.0, 1e-6);
+  EXPECT_NEAR(Q.TotalCycles, 350.0, 1e-3);
+}
+
+TEST(ProfileSerialization, RejectsGarbage) {
+  Profile Q;
+  EXPECT_FALSE(readProfileText("not a profile", Q));
+  EXPECT_FALSE(readProfileText("", Q));
+}
+
+//===----------------------------------------------------------------------===//
+// Branch miss rates (Fig. 2)
+//===----------------------------------------------------------------------===//
+
+struct MissFixture {
+  std::unique_ptr<Compiled> C;
+  std::vector<FunctionBranchPredictions> Preds;
+  Profile Prof;
+
+  MissFixture(const std::string &Source, const std::string &Input = "") {
+    C = compile(Source);
+    if (!C)
+      return;
+    BranchPredictor BP;
+    Preds = predictAllFunctions(C->unit(), *C->Cfgs, BP);
+    ProgramInput In;
+    In.Text = Input;
+    RunResult R = runProgram(C->unit(), *C->Cfgs, In);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    Prof = std::move(R.TheProfile);
+  }
+};
+
+TEST(BranchMiss, LoopHeavyCodePredictsWell) {
+  MissFixture F("int main() { int s = 0; int i;\n"
+                "  for (i = 0; i < 100; i++) s += i;\n"
+                "  return s != 4950; }");
+  ASSERT_TRUE(F.C);
+  BranchMissCounts M = branchMissRate(*F.C->Cfgs, F.Preds, F.Prof,
+                                      BranchOracle::Static);
+  // 101 executions, 1 miss (the final exit).
+  EXPECT_NEAR(M.Executed, 101.0, 1e-9);
+  EXPECT_NEAR(M.Misses, 1.0, 1e-9);
+}
+
+TEST(BranchMiss, PerfectOracleIsLowerBound) {
+  MissFixture F("int main() { int s = 0; int i;\n"
+                "  for (i = 0; i < 50; i++)\n"
+                "    if (i % 3 == 0) s += i; else s -= i;\n"
+                "  return s < 0; }");
+  ASSERT_TRUE(F.C);
+  BranchMissCounts Static = branchMissRate(*F.C->Cfgs, F.Preds, F.Prof,
+                                           BranchOracle::Static);
+  BranchMissCounts Perfect = branchMissRate(*F.C->Cfgs, F.Preds, F.Prof,
+                                            BranchOracle::Perfect);
+  EXPECT_LE(Perfect.rate(), Static.rate());
+  EXPECT_EQ(Perfect.Executed, Static.Executed);
+}
+
+TEST(BranchMiss, ConstantBranchesExcluded) {
+  MissFixture F("int main() { int s = 0;\n"
+                "  if (1 < 2) s = 1;\n"  // constant: excluded
+                "  if (s == 5) s = 2;\n" // real branch
+                "  return s; }");
+  ASSERT_TRUE(F.C);
+  BranchMissCounts M = branchMissRate(*F.C->Cfgs, F.Preds, F.Prof,
+                                      BranchOracle::Static);
+  EXPECT_NEAR(M.Executed, 1.0, 1e-9);
+}
+
+TEST(BranchMiss, SwitchesNotCounted) {
+  MissFixture F("int main() { int s = 0; int i;\n"
+                "  for (i = 0; i < 9; i++)\n"
+                "    switch (i % 3) { case 0: s++; break; default: s--; }\n"
+                "  return s + 3; }");
+  ASSERT_TRUE(F.C);
+  BranchMissCounts M = branchMissRate(*F.C->Cfgs, F.Preds, F.Prof,
+                                      BranchOracle::Static);
+  // Only the for-loop branch counts: 10 executions.
+  EXPECT_NEAR(M.Executed, 10.0, 1e-9);
+}
+
+TEST(BranchMiss, TrainingOracleUsesOtherProfile) {
+  const char *Source = "int main() { int n = read_int(); int s = 0;\n"
+                       "  int i;\n"
+                       "  for (i = 0; i < 20; i++)\n"
+                       "    if (i < n) s++; else s--;\n"
+                       "  return s + 20; }";
+  auto C = compile(Source);
+  ASSERT_TRUE(C);
+  BranchPredictor BP;
+  auto Preds = predictAllFunctions(C->unit(), *C->Cfgs, BP);
+  ProgramInput InA;
+  InA.Text = "18"; // "i < n" mostly true
+  ProgramInput InB;
+  InB.Text = "2"; // "i < n" mostly false
+  Profile A = runProgram(C->unit(), *C->Cfgs, InA).TheProfile;
+  Profile B = runProgram(C->unit(), *C->Cfgs, InB).TheProfile;
+
+  // Trained on A, scored on B: the if-branch flips -> many misses.
+  BranchMissCounts Cross = branchMissRate(*C->Cfgs, Preds, B,
+                                          BranchOracle::Training, &A);
+  BranchMissCounts Self = branchMissRate(*C->Cfgs, Preds, B,
+                                         BranchOracle::Perfect);
+  EXPECT_GT(Cross.Misses, Self.Misses);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation drivers
+//===----------------------------------------------------------------------===//
+
+TEST(Evaluation, IntraScoreWeightsByInvocation) {
+  auto C = compile(
+      "int hot(int n) { int s = 0; int i;\n"
+      "  for (i = 0; i < n; i++) s += i;\n"
+      "  return s; }\n"
+      "int cold(int n) { if (n > 0) return 1; return 0; }\n"
+      "int main() { int i; int s = 0;\n"
+      "  for (i = 0; i < 10; i++) s += hot(6);\n"
+      "  s += cold(3);\n"
+      "  return s != 0; }");
+  ASSERT_TRUE(C);
+  CallGraph CG = CallGraph::build(C->unit(), *C->Cfgs);
+  EstimatorOptions Options;
+  ProgramEstimate E = estimateProgram(C->unit(), *C->Cfgs, CG, Options);
+  ProgramInput In;
+  Profile P = runProgram(C->unit(), *C->Cfgs, In).TheProfile;
+  double Score = intraProceduralScore(E, P, scoredFunctionIds(C->unit()),
+                                      0.25);
+  EXPECT_GT(Score, 0.0);
+  EXPECT_LE(Score, 1.0);
+}
+
+TEST(Evaluation, SelfProfileScoresPerfectly) {
+  // A profile used as its own estimate must score 100% everywhere.
+  auto C = compile("int f(int n) { int s = 0; int i;\n"
+                   "  for (i = 0; i < n; i++)\n"
+                   "    if (i % 2 == 0) s += i; else s -= 1;\n"
+                   "  return s; }\n"
+                   "int main() { return f(30) != 0; }");
+  ASSERT_TRUE(C);
+  CallGraph CG = CallGraph::build(C->unit(), *C->Cfgs);
+  ProgramInput In;
+  Profile P = runProgram(C->unit(), *C->Cfgs, In).TheProfile;
+  ProgramEstimate E = estimateFromProfile(P, CG);
+  auto Ids = scoredFunctionIds(C->unit());
+  for (double Cutoff : {0.05, 0.1, 0.25, 0.5}) {
+    EXPECT_NEAR(intraProceduralScore(E, P, Ids, Cutoff), 1.0, 1e-9);
+    EXPECT_NEAR(functionInvocationScore(E, P, Ids, Cutoff), 1.0, 1e-9);
+    EXPECT_NEAR(callSiteScore(E, P, Cutoff), 1.0, 1e-9);
+  }
+}
+
+TEST(Evaluation, AverageOverProfiles) {
+  std::vector<Profile> Profiles(3);
+  int Calls = 0;
+  double Avg = averageOverProfiles(Profiles, [&Calls](const Profile &) {
+    ++Calls;
+    return static_cast<double>(Calls);
+  });
+  EXPECT_EQ(Calls, 3);
+  EXPECT_NEAR(Avg, 2.0, 1e-12);
+}
+
+} // namespace

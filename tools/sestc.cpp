@@ -1,0 +1,299 @@
+//===- tools/sestc.cpp - Static-estimator command-line driver --------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sestc — the static-estimator compiler driver. Compiles a mini-C file
+/// and prints, per the selected action:
+///
+///   --ast         annotated AST (Figure 3 style, with smart estimates)
+///   --cfg         control-flow graphs
+///   --dot         Graphviz CFG digraphs annotated with smart estimates
+///   --callgraph   Graphviz call graph (with the pointer node)
+///   --estimate    block / function / call-site frequency estimates
+///   --run         execute the program (stdin text via --input) and
+///                 print its output plus a profile summary
+///   --compare     run AND estimate, with weight-matching scores
+///
+/// Options:
+///   --intra loop|smart|markov     (default smart)
+///   --inter call-site|direct|all_rec|all_rec2|markov (default markov)
+///   --loop-count N                assumed loop iterations (default 5)
+///   --counted-loops               use exact constant trip counts
+///   --input TEXT                  program input text
+///   --seed N                      PRNG seed for rand()
+///   --emit-profile FILE           after --run/--compare, save the profile
+///   --score-profile FILE          score the estimate against a saved
+///                                 profile instead of running
+///
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/CallGraph.h"
+#include "estimators/Pipeline.h"
+#include "interp/Interp.h"
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "metrics/Evaluation.h"
+#include "profile/Profile.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace sest;
+
+namespace {
+
+void out(const std::string &S) { std::fputs(S.c_str(), stdout); }
+
+[[noreturn]] void usage() {
+  out("usage: sestc [--ast|--cfg|--estimate|--run|--compare] "
+      "[options] file.mc\n"
+      "  --intra loop|smart|markov    intra-procedural estimator\n"
+      "  --inter call-site|direct|all_rec|all_rec2|markov\n"
+      "  --loop-count N               assumed loop iterations\n"
+      "  --counted-loops              exact constant trip counts\n"
+      "  --input TEXT                 program input\n"
+      "  --seed N                     rand() seed\n");
+  std::exit(2);
+}
+
+struct Options {
+  std::string Action = "--compare";
+  std::string File;
+  std::string Input;
+  std::string EmitProfile;
+  std::string ScoreProfile;
+  uint64_t Seed = 1;
+  EstimatorOptions Est;
+};
+
+Options parseArgs(int argc, char **argv) {
+  Options O;
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> std::string {
+      if (I + 1 >= argc)
+        usage();
+      return argv[++I];
+    };
+    if (A == "--ast" || A == "--cfg" || A == "--dot" ||
+        A == "--callgraph" || A == "--estimate" || A == "--run" ||
+        A == "--compare") {
+      O.Action = A;
+    } else if (A == "--intra") {
+      std::string V = Next();
+      if (V == "loop")
+        O.Est.Intra = IntraEstimatorKind::Loop;
+      else if (V == "smart")
+        O.Est.Intra = IntraEstimatorKind::Smart;
+      else if (V == "markov")
+        O.Est.Intra = IntraEstimatorKind::Markov;
+      else
+        usage();
+    } else if (A == "--inter") {
+      std::string V = Next();
+      if (V == "call-site")
+        O.Est.Inter = InterEstimatorKind::CallSite;
+      else if (V == "direct")
+        O.Est.Inter = InterEstimatorKind::Direct;
+      else if (V == "all_rec")
+        O.Est.Inter = InterEstimatorKind::AllRec;
+      else if (V == "all_rec2")
+        O.Est.Inter = InterEstimatorKind::AllRec2;
+      else if (V == "markov")
+        O.Est.Inter = InterEstimatorKind::Markov;
+      else
+        usage();
+    } else if (A == "--loop-count") {
+      O.Est.setLoopIterations(std::strtod(Next().c_str(), nullptr));
+    } else if (A == "--counted-loops") {
+      O.Est.Branch.UseConstantLoopBounds = true;
+    } else if (A == "--input") {
+      O.Input = Next();
+    } else if (A == "--seed") {
+      O.Seed = std::strtoull(Next().c_str(), nullptr, 10);
+    } else if (A == "--emit-profile") {
+      O.EmitProfile = Next();
+    } else if (A == "--score-profile") {
+      O.ScoreProfile = Next();
+    } else if (!A.empty() && A[0] == '-') {
+      usage();
+    } else {
+      O.File = A;
+    }
+  }
+  if (O.File.empty())
+    usage();
+  return O;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    out("sestc: cannot open '" + Path + "'\n");
+    std::exit(1);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O = parseArgs(argc, argv);
+  std::string Source = readFile(O.File);
+
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  if (!parseAndAnalyze(Source, Ctx, Diags)) {
+    out(O.File + ":\n" + Diags.str() + "\n");
+    return 1;
+  }
+  CfgModule Cfgs = CfgModule::build(Ctx.unit(), Diags);
+  CallGraph CG = CallGraph::build(Ctx.unit(), Cfgs);
+
+  if (O.Action == "--ast") {
+    for (const FunctionDecl *F : Ctx.unit().Functions) {
+      if (!F->isDefined())
+        continue;
+      AstEstimatorConfig Config;
+      Config.Kind = O.Est.Intra == IntraEstimatorKind::Loop
+                        ? IntraEstimatorKind::Loop
+                        : IntraEstimatorKind::Smart;
+      Config.LoopIterations = O.Est.LoopIterations;
+      Config.Branch = O.Est.Branch;
+      AstFrequencies Freqs = estimateAstFrequencies(F, Config);
+      AstPrintOptions PrintOpts;
+      PrintOpts.StmtFrequencies = &Freqs.Exec;
+      out(printFunctionAst(F, PrintOpts) + "\n");
+    }
+    return 0;
+  }
+
+  if (O.Action == "--cfg") {
+    for (const auto &[F, G] : Cfgs.all())
+      out(printCfg(*G) + "\n");
+    return 0;
+  }
+
+  if (O.Action == "--dot") {
+    IntraEstimates Intra = computeIntraEstimates(Ctx.unit(), Cfgs, O.Est);
+    for (const auto &[F, G] : Cfgs.all())
+      out(printCfgDot(*G, &Intra.Blocks[F->functionId()]));
+    return 0;
+  }
+
+  ProgramEstimate E = estimateProgram(Ctx.unit(), Cfgs, CG, O.Est);
+
+  if (O.Action == "--callgraph") {
+    out(printCallGraphDot(Ctx.unit(), CG, &E.FunctionEstimates));
+    return 0;
+  }
+
+  // --score-profile: score the estimate against a saved profile.
+  if (!O.ScoreProfile.empty()) {
+    std::string Text = readFile(O.ScoreProfile);
+    Profile Saved;
+    if (!readProfileText(Text, Saved)) {
+      out("sestc: '" + O.ScoreProfile + "' is not a profile\n");
+      return 1;
+    }
+    auto Ids = scoredFunctionIds(Ctx.unit());
+    out("\nWeight-matching against saved profile '" + O.ScoreProfile +
+        "':\n");
+    TextTable T;
+    T.setHeader({"Cutoff", "Blocks (intra)", "Functions", "Call sites"});
+    for (double Cutoff : {0.10, 0.25, 0.50})
+      T.addRow({formatPercent(Cutoff, 0),
+                formatPercent(intraProceduralScore(E, Saved, Ids, Cutoff)),
+                formatPercent(
+                    functionInvocationScore(E, Saved, Ids, Cutoff)),
+                formatPercent(callSiteScore(E, Saved, Cutoff))});
+    out(T.str());
+    return 0;
+  }
+
+
+  if (O.Action == "--estimate" || O.Action == "--compare") {
+    out("Function invocation estimates:\n");
+    TextTable T;
+    T.setHeader({"Function", "Estimate"});
+    for (const FunctionDecl *F : Ctx.unit().Functions)
+      if (F->isDefined())
+        T.addRow({F->name(),
+                  formatDouble(E.FunctionEstimates[F->functionId()], 3)});
+    out(T.str());
+
+    out("\nTop call sites by estimated frequency:\n");
+    TextTable S;
+    S.setHeader({"Caller", "Callee", "Line", "Estimate"});
+    std::vector<const CallSiteInfo *> Sites;
+    for (const CallSiteInfo &Site : CG.sites())
+      if (!Site.isIndirect())
+        Sites.push_back(&Site);
+    std::stable_sort(Sites.begin(), Sites.end(),
+                     [&E](const CallSiteInfo *A, const CallSiteInfo *B) {
+                       return E.CallSiteEstimates[A->CallSiteId] >
+                              E.CallSiteEstimates[B->CallSiteId];
+                     });
+    for (size_t I = 0; I < Sites.size() && I < 12; ++I)
+      S.addRow({Sites[I]->Caller->name(), Sites[I]->Callee->name(),
+                std::to_string(Sites[I]->Site->loc().Line),
+                formatDouble(E.CallSiteEstimates[Sites[I]->CallSiteId],
+                             3)});
+    out(S.str());
+    if (O.Action == "--estimate")
+      return 0;
+  }
+
+  // --run / --compare: execute.
+  ProgramInput In;
+  In.Text = O.Input;
+  In.RandSeed = O.Seed;
+  RunResult R = runProgram(Ctx.unit(), Cfgs, In);
+  out("\n-- program output --\n" + R.Output);
+  if (!R.Ok) {
+    out("\nruntime error: " + R.Error + "\n");
+    return 1;
+  }
+  out("\nexit code " + std::to_string(R.ExitCode) + ", " +
+      formatDouble(R.TheProfile.TotalCycles, 0) + " simulated cycles\n");
+
+  if (!O.EmitProfile.empty()) {
+    std::ofstream PF(O.EmitProfile);
+    if (!PF) {
+      out("sestc: cannot write '" + O.EmitProfile + "'\n");
+      return 1;
+    }
+    R.TheProfile.ProgramName = O.File;
+    R.TheProfile.InputName = "cli";
+    PF << writeProfileText(R.TheProfile);
+    out("profile written to " + O.EmitProfile + "\n");
+  }
+
+  if (O.Action == "--compare") {
+    auto Ids = scoredFunctionIds(Ctx.unit());
+    out("\nWeight-matching of the static estimate against this run:\n");
+    TextTable T;
+    T.setHeader({"Cutoff", "Blocks (intra)", "Functions", "Call sites"});
+    for (double Cutoff : {0.10, 0.25, 0.50}) {
+      T.addRow({formatPercent(Cutoff, 0),
+                formatPercent(
+                    intraProceduralScore(E, R.TheProfile, Ids, Cutoff)),
+                formatPercent(functionInvocationScore(E, R.TheProfile,
+                                                      Ids, Cutoff)),
+                formatPercent(callSiteScore(E, R.TheProfile, Cutoff))});
+    }
+    out(T.str());
+  }
+  return 0;
+}
