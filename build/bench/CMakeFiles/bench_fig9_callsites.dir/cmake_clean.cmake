@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_callsites.dir/bench_fig9_callsites.cpp.o"
+  "CMakeFiles/bench_fig9_callsites.dir/bench_fig9_callsites.cpp.o.d"
+  "bench_fig9_callsites"
+  "bench_fig9_callsites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_callsites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

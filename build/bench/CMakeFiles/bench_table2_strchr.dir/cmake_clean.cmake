@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_strchr.dir/bench_table2_strchr.cpp.o"
+  "CMakeFiles/bench_table2_strchr.dir/bench_table2_strchr.cpp.o.d"
+  "bench_table2_strchr"
+  "bench_table2_strchr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_strchr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

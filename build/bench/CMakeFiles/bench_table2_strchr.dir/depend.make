@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table2_strchr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_compare.dir/profile_compare.cpp.o"
+  "CMakeFiles/profile_compare.dir/profile_compare.cpp.o.d"
+  "profile_compare"
+  "profile_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/selective_optimizer.cpp" "examples/CMakeFiles/selective_optimizer.dir/selective_optimizer.cpp.o" "gcc" "examples/CMakeFiles/selective_optimizer.dir/selective_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/sest_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sest_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/sest_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sest_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/callgraph/CMakeFiles/sest_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/sest_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sest_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sest_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_optimizer.dir/selective_optimizer.cpp.o"
+  "CMakeFiles/selective_optimizer.dir/selective_optimizer.cpp.o.d"
+  "selective_optimizer"
+  "selective_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sest_callgraph.dir/CallGraph.cpp.o"
+  "CMakeFiles/sest_callgraph.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/sest_callgraph.dir/CallGraphDot.cpp.o"
+  "CMakeFiles/sest_callgraph.dir/CallGraphDot.cpp.o.d"
+  "libsest_callgraph.a"
+  "libsest_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sest_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sest_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/sest_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/sest_cfg.dir/CfgDot.cpp.o"
+  "CMakeFiles/sest_cfg.dir/CfgDot.cpp.o.d"
+  "CMakeFiles/sest_cfg.dir/CfgPrinter.cpp.o"
+  "CMakeFiles/sest_cfg.dir/CfgPrinter.cpp.o.d"
+  "CMakeFiles/sest_cfg.dir/Dominators.cpp.o"
+  "CMakeFiles/sest_cfg.dir/Dominators.cpp.o.d"
+  "libsest_cfg.a"
+  "libsest_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sest_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

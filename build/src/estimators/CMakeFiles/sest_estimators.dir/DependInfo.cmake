@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/AstEstimator.cpp" "src/estimators/CMakeFiles/sest_estimators.dir/AstEstimator.cpp.o" "gcc" "src/estimators/CMakeFiles/sest_estimators.dir/AstEstimator.cpp.o.d"
+  "/root/repo/src/estimators/BranchPrediction.cpp" "src/estimators/CMakeFiles/sest_estimators.dir/BranchPrediction.cpp.o" "gcc" "src/estimators/CMakeFiles/sest_estimators.dir/BranchPrediction.cpp.o.d"
+  "/root/repo/src/estimators/InterEstimators.cpp" "src/estimators/CMakeFiles/sest_estimators.dir/InterEstimators.cpp.o" "gcc" "src/estimators/CMakeFiles/sest_estimators.dir/InterEstimators.cpp.o.d"
+  "/root/repo/src/estimators/LoopBounds.cpp" "src/estimators/CMakeFiles/sest_estimators.dir/LoopBounds.cpp.o" "gcc" "src/estimators/CMakeFiles/sest_estimators.dir/LoopBounds.cpp.o.d"
+  "/root/repo/src/estimators/MarkovIntra.cpp" "src/estimators/CMakeFiles/sest_estimators.dir/MarkovIntra.cpp.o" "gcc" "src/estimators/CMakeFiles/sest_estimators.dir/MarkovIntra.cpp.o.d"
+  "/root/repo/src/estimators/Pipeline.cpp" "src/estimators/CMakeFiles/sest_estimators.dir/Pipeline.cpp.o" "gcc" "src/estimators/CMakeFiles/sest_estimators.dir/Pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/callgraph/CMakeFiles/sest_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/sest_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sest_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sest_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

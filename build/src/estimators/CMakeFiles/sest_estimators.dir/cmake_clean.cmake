@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sest_estimators.dir/AstEstimator.cpp.o"
+  "CMakeFiles/sest_estimators.dir/AstEstimator.cpp.o.d"
+  "CMakeFiles/sest_estimators.dir/BranchPrediction.cpp.o"
+  "CMakeFiles/sest_estimators.dir/BranchPrediction.cpp.o.d"
+  "CMakeFiles/sest_estimators.dir/InterEstimators.cpp.o"
+  "CMakeFiles/sest_estimators.dir/InterEstimators.cpp.o.d"
+  "CMakeFiles/sest_estimators.dir/LoopBounds.cpp.o"
+  "CMakeFiles/sest_estimators.dir/LoopBounds.cpp.o.d"
+  "CMakeFiles/sest_estimators.dir/MarkovIntra.cpp.o"
+  "CMakeFiles/sest_estimators.dir/MarkovIntra.cpp.o.d"
+  "CMakeFiles/sest_estimators.dir/Pipeline.cpp.o"
+  "CMakeFiles/sest_estimators.dir/Pipeline.cpp.o.d"
+  "libsest_estimators.a"
+  "libsest_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sest_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsest_estimators.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sest_interp.dir/Interp.cpp.o"
+  "CMakeFiles/sest_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/sest_interp.dir/Value.cpp.o"
+  "CMakeFiles/sest_interp.dir/Value.cpp.o.d"
+  "libsest_interp.a"
+  "libsest_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sest_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

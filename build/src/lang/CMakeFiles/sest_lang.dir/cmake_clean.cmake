@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sest_lang.dir/Ast.cpp.o"
+  "CMakeFiles/sest_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/sest_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/sest_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/sest_lang.dir/ConstFold.cpp.o"
+  "CMakeFiles/sest_lang.dir/ConstFold.cpp.o.d"
+  "CMakeFiles/sest_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/sest_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sest_lang.dir/Parser.cpp.o"
+  "CMakeFiles/sest_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/sest_lang.dir/Sema.cpp.o"
+  "CMakeFiles/sest_lang.dir/Sema.cpp.o.d"
+  "CMakeFiles/sest_lang.dir/Type.cpp.o"
+  "CMakeFiles/sest_lang.dir/Type.cpp.o.d"
+  "libsest_lang.a"
+  "libsest_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sest_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sest_metrics.dir/BranchMiss.cpp.o"
+  "CMakeFiles/sest_metrics.dir/BranchMiss.cpp.o.d"
+  "CMakeFiles/sest_metrics.dir/Evaluation.cpp.o"
+  "CMakeFiles/sest_metrics.dir/Evaluation.cpp.o.d"
+  "CMakeFiles/sest_metrics.dir/WeightMatching.cpp.o"
+  "CMakeFiles/sest_metrics.dir/WeightMatching.cpp.o.d"
+  "libsest_metrics.a"
+  "libsest_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sest_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sest_profile.dir/Profile.cpp.o"
+  "CMakeFiles/sest_profile.dir/Profile.cpp.o.d"
+  "libsest_profile.a"
+  "libsest_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sest_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suite/Suite.cpp" "src/suite/CMakeFiles/sest_suite.dir/Suite.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/Suite.cpp.o.d"
+  "/root/repo/src/suite/SuiteRunner.cpp" "src/suite/CMakeFiles/sest_suite.dir/SuiteRunner.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/SuiteRunner.cpp.o.d"
+  "/root/repo/src/suite/programs/Alvinn.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Alvinn.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Alvinn.cpp.o.d"
+  "/root/repo/src/suite/programs/Awk.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Awk.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Awk.cpp.o.d"
+  "/root/repo/src/suite/programs/Bison.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Bison.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Bison.cpp.o.d"
+  "/root/repo/src/suite/programs/Cholesky.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Cholesky.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Cholesky.cpp.o.d"
+  "/root/repo/src/suite/programs/Compress.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Compress.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Compress.cpp.o.d"
+  "/root/repo/src/suite/programs/Ear.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Ear.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Ear.cpp.o.d"
+  "/root/repo/src/suite/programs/Eqntott.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Eqntott.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Eqntott.cpp.o.d"
+  "/root/repo/src/suite/programs/Espresso.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Espresso.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Espresso.cpp.o.d"
+  "/root/repo/src/suite/programs/Gcc.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Gcc.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Gcc.cpp.o.d"
+  "/root/repo/src/suite/programs/Gs.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Gs.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Gs.cpp.o.d"
+  "/root/repo/src/suite/programs/Mpeg.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Mpeg.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Mpeg.cpp.o.d"
+  "/root/repo/src/suite/programs/Sc.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Sc.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Sc.cpp.o.d"
+  "/root/repo/src/suite/programs/Water.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Water.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Water.cpp.o.d"
+  "/root/repo/src/suite/programs/Xlisp.cpp" "src/suite/CMakeFiles/sest_suite.dir/programs/Xlisp.cpp.o" "gcc" "src/suite/CMakeFiles/sest_suite.dir/programs/Xlisp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/sest_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/callgraph/CMakeFiles/sest_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/sest_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/sest_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sest_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sest_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

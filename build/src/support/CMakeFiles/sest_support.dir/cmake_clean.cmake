@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sest_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/sest_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/sest_support.dir/LinearSystem.cpp.o"
+  "CMakeFiles/sest_support.dir/LinearSystem.cpp.o.d"
+  "CMakeFiles/sest_support.dir/Scc.cpp.o"
+  "CMakeFiles/sest_support.dir/Scc.cpp.o.d"
+  "CMakeFiles/sest_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/sest_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/sest_support.dir/TextTable.cpp.o"
+  "CMakeFiles/sest_support.dir/TextTable.cpp.o.d"
+  "libsest_support.a"
+  "libsest_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sest_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang_extra.dir/test_lang_extra.cpp.o"
+  "CMakeFiles/test_lang_extra.dir/test_lang_extra.cpp.o.d"
+  "test_lang_extra"
+  "test_lang_extra.pdb"
+  "test_lang_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

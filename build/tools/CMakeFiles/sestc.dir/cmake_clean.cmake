@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sestc.dir/sestc.cpp.o"
+  "CMakeFiles/sestc.dir/sestc.cpp.o.d"
+  "sestc"
+  "sestc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sestc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

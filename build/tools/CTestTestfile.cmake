@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sestc_ast "/root/repo/build/tools/sestc" "--ast" "/root/repo/tools/testdata/smoke.mc")
+set_tests_properties(sestc_ast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sestc_cfg "/root/repo/build/tools/sestc" "--cfg" "/root/repo/tools/testdata/smoke.mc")
+set_tests_properties(sestc_cfg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sestc_dot "/root/repo/build/tools/sestc" "--dot" "/root/repo/tools/testdata/smoke.mc")
+set_tests_properties(sestc_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sestc_callgraph "/root/repo/build/tools/sestc" "--callgraph" "/root/repo/tools/testdata/smoke.mc")
+set_tests_properties(sestc_callgraph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sestc_estimate "/root/repo/build/tools/sestc" "--estimate" "/root/repo/tools/testdata/smoke.mc")
+set_tests_properties(sestc_estimate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sestc_compare "/root/repo/build/tools/sestc" "--compare" "--input" "12" "/root/repo/tools/testdata/smoke.mc")
+set_tests_properties(sestc_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sestc_counted_loops "/root/repo/build/tools/sestc" "--estimate" "--counted-loops" "--intra" "markov" "/root/repo/tools/testdata/smoke.mc")
+set_tests_properties(sestc_counted_loops PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(sestc_rejects_bad_usage "/root/repo/build/tools/sestc" "--bogus")
+set_tests_properties(sestc_rejects_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
