@@ -20,12 +20,15 @@
 #include "metrics/Evaluation.h"
 #include "suite/Suite.h"
 #include "suite/SuiteRunner.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sest::bench {
@@ -80,6 +83,75 @@ inline ProgramEstimate estimateWith(const CompiledSuiteProgram &P,
 
 /// Percent string with one decimal.
 inline std::string pct(double Fraction) { return formatPercent(Fraction); }
+
+/// Machine-readable bench output. Construct with argc/argv; when the
+/// user passed `--json FILE`, every add() is collected and finish()
+/// writes one JSON document:
+///
+///   {"schema": "sest-bench-report/1", "bench": "<name>",
+///    "results": [{"name": ..., "value": ...} | {"name": ..., "text": ...}]}
+///
+/// Without --json the reporter is inert and add()/finish() cost nothing,
+/// so benches call it unconditionally alongside their tables.
+class BenchReport {
+public:
+  BenchReport(std::string_view BenchName, int argc, char **argv) {
+    for (int I = 1; I + 1 < argc; ++I)
+      if (std::string_view(argv[I]) == "--json")
+        Path = argv[I + 1];
+    if (Path.empty())
+      return;
+    W.beginObject();
+    W.member("schema", "sest-bench-report/1");
+    W.member("bench", BenchName);
+    W.key("results");
+    W.beginArray();
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Records one named numeric result (a table cell, an average, ...).
+  void add(std::string_view Name, double Value) {
+    if (!enabled())
+      return;
+    W.beginObject();
+    W.member("name", Name);
+    W.member("value", Value);
+    W.endObject();
+  }
+
+  /// Records one named string result.
+  void add(std::string_view Name, std::string_view Text) {
+    if (!enabled())
+      return;
+    W.beginObject();
+    W.member("name", Name);
+    W.member("text", Text);
+    W.endObject();
+  }
+
+  /// Closes the document and writes it. Returns false only when a file
+  /// was requested and could not be written.
+  bool finish() {
+    if (!enabled())
+      return true;
+    W.endArray();
+    W.endObject();
+    std::ofstream OutFile(Path);
+    if (!OutFile) {
+      out("bench: cannot write '" + Path + "'\n");
+      return false;
+    }
+    OutFile << W.str();
+    out("bench results written to " + Path + "\n");
+    Path.clear();
+    return true;
+  }
+
+private:
+  std::string Path;
+  JsonWriter W;
+};
 
 } // namespace sest::bench
 

@@ -16,9 +16,10 @@
 using namespace sest;
 using namespace sest::bench;
 
-int main() {
+int main(int argc, char **argv) {
   out("== Table 1: programs used in this study ==\n\n");
 
+  BenchReport Report("table1", argc, argv);
   TextTable T;
   T.setHeader({"Program", "Lines", "Description", "Fns", "Sites", "Inputs",
                "Stands in for"});
@@ -37,10 +38,16 @@ int main() {
     T.addRow({P.Name, std::to_string(P.sourceLines()), P.Description,
               std::to_string(Fns), std::to_string(C.unit().NumCallSites),
               std::to_string(P.Inputs.size()), P.PaperAnalogue});
+    Report.add(P.Name + ".lines", static_cast<double>(P.sourceLines()));
+    Report.add(P.Name + ".functions", static_cast<double>(Fns));
+    Report.add(P.Name + ".call_sites",
+               static_cast<double>(C.unit().NumCallSites));
+    Report.add(P.Name + ".inputs", static_cast<double>(P.Inputs.size()));
   }
   T.addRow({"TOTAL", std::to_string(TotalLines), "", "", "", "", ""});
   out(T.str());
   out("\n(The first eight are stand-ins for the C programs of the SPEC92 "
       "benchmark suite.)\n");
-  return 0;
+  Report.add("total.lines", static_cast<double>(TotalLines));
+  return Report.finish() ? 0 : 1;
 }

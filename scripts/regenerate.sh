@@ -18,3 +18,7 @@ for b in "$BUILD"/bench/bench_*; do
   "$b"
   echo
 done 2>&1 | tee bench_output.txt
+
+# Refresh the checked-in suite run report (per-program compile time,
+# per-input wall time and resource usage) — the trajectory baseline.
+"$BUILD"/tools/sestc --suite --report bench/suite_report.json

@@ -6,6 +6,9 @@
 
 #include "callgraph/CallGraph.h"
 
+#include "obs/Telemetry.h"
+#include "support/Scc.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -70,6 +73,7 @@ void sest::collectCallExprs(const Expr *E,
 
 CallGraph CallGraph::build(const TranslationUnit &Unit,
                            const CfgModule &Cfgs) {
+  obs::ScopedPhase Phase("callgraph.build");
   CallGraph CG;
 
   // Discover call sites block by block so each site knows the block whose
@@ -126,6 +130,26 @@ CallGraph CallGraph::build(const TranslationUnit &Unit,
     auto &Row = CG.DirectAdj[From];
     if (std::find(Row.begin(), Row.end(), To) == Row.end())
       Row.push_back(To);
+  }
+
+  obs::counterAdd("callgraph.sites.direct",
+                  static_cast<double>(CG.Sites.size() -
+                                      CG.Indirect.size()));
+  obs::counterAdd("callgraph.sites.indirect",
+                  static_cast<double>(CG.Indirect.size()));
+  obs::counterAdd("callgraph.functions.address_taken",
+                  static_cast<double>(CG.AddressTaken.size()));
+  if (obs::telemetryActive()) {
+    // SCC shape of the direct-call graph (recursion structure).
+    SccResult Scc = computeScc(Unit.Functions.size(), CG.DirectAdj);
+    for (const auto &Component : Scc.Components) {
+      obs::histRecord("callgraph.scc.size",
+                      static_cast<double>(Component.size()));
+      obs::gaugeMax("callgraph.scc.max_size",
+                    static_cast<double>(Component.size()));
+      if (Component.size() > 1)
+        obs::counterAdd("callgraph.scc.nontrivial");
+    }
   }
   return CG;
 }

@@ -6,6 +6,8 @@
 
 #include "cfg/Cfg.h"
 
+#include "obs/Telemetry.h"
+
 #include <algorithm>
 #include <set>
 
@@ -483,11 +485,16 @@ std::unique_ptr<Cfg> sest::buildCfg(const FunctionDecl *F,
 
 CfgModule CfgModule::build(const TranslationUnit &Unit,
                            DiagnosticEngine &Diags) {
+  obs::ScopedPhase Phase("cfg.build");
   CfgModule M;
   for (const FunctionDecl *F : Unit.Functions) {
     if (!F->isDefined())
       continue;
     auto G = buildCfg(F, Diags);
+    obs::counterAdd("cfg.functions.built");
+    obs::counterAdd("cfg.blocks.built", static_cast<double>(G->size()));
+    obs::counterAdd("cfg.arcs.built",
+                    static_cast<double>(G->countArcSlots()));
     M.Ordered.emplace_back(F, G.get());
     M.ByFunction.emplace(F, std::move(G));
   }

@@ -6,6 +6,7 @@
 
 #include "estimators/InterEstimators.h"
 
+#include "obs/Telemetry.h"
 #include "support/LinearSystem.h"
 #include "support/Scc.h"
 
@@ -156,7 +157,23 @@ solveWhole(const WeightedCallGraph &G) {
   std::vector<double> Entry(G.NumNodes, 0.0);
   if (G.EntryNode != SIZE_MAX)
     Entry[G.EntryNode] = 1.0;
-  return solveMarkovFrequencies(P, Entry);
+  auto F = solveMarkovFrequencies(P, Entry);
+  obs::counterAdd("support.linsys.solves");
+  obs::histRecord("support.linsys.dim", static_cast<double>(G.NumNodes));
+  if (!F) {
+    obs::counterAdd("support.linsys.singular");
+  } else if (obs::telemetryActive()) {
+    // Residual of f = e + Wᵀf over the whole call graph.
+    double Worst = 0.0;
+    for (size_t I = 0; I < F->size(); ++I) {
+      double Flow = Entry[I];
+      for (size_t J = 0; J < F->size(); ++J)
+        Flow += P.at(J, I) * (*F)[J];
+      Worst = std::max(Worst, std::fabs((*F)[I] - Flow));
+    }
+    obs::histRecord("estimators.markov_inter.residual", Worst);
+  }
+  return F;
 }
 
 bool solutionIsValid(const std::vector<double> &F) {
@@ -197,7 +214,11 @@ void repairScc(WeightedCallGraph &G, const std::vector<size_t> &Component,
   const size_t N = Component.size() + 1;
   const size_t MainIdx = Component.size();
 
+  obs::counterAdd("estimators.markov_inter.scc_repairs");
+  obs::histRecord("estimators.markov_inter.scc_size",
+                  static_cast<double>(Component.size()));
   for (unsigned Iter = 0; Iter < Config.MaxSccRepairIterations; ++Iter) {
+    obs::counterAdd("estimators.markov_inter.scc_repair_iterations");
     Matrix P(N, N);
     for (const auto &[Arc, Weight] : G.W)
       if (InScc.count(Arc.first) && InScc.count(Arc.second))
@@ -235,6 +256,7 @@ std::vector<double> markovFunctionCounts(const TranslationUnit &Unit,
                                          const CallGraph &CG,
                                          const IntraEstimates &Intra,
                                          const InterEstimatorConfig &Config) {
+  obs::counterAdd("estimators.markov_inter.solves");
   WeightedCallGraph G = buildWeightedGraph(Unit, CG, Intra);
   size_t NumFns = Unit.Functions.size();
 
@@ -260,10 +282,14 @@ std::vector<double> markovFunctionCounts(const TranslationUnit &Unit,
   unsigned Guard = 0;
   while ((!F || !solutionIsValid(*F)) &&
          Guard++ < Config.MaxSccRepairIterations) {
+    obs::counterAdd("estimators.markov_inter.rescale_iterations");
     for (auto &[Arc, Weight] : G.W)
       Weight *= Config.SccScale;
     F = solveWhole(G);
   }
+  obs::counterAdd("estimators.markov_inter.iterations", Guard + 1);
+  if (!F || !solutionIsValid(*F))
+    obs::counterAdd("estimators.markov_inter.fallback_uniform");
 
   std::vector<double> Out(NumFns, 0.0);
   if (F && solutionIsValid(*F)) {

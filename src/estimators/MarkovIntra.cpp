@@ -6,9 +6,31 @@
 
 #include "estimators/MarkovIntra.h"
 
+#include "obs/Telemetry.h"
 #include "support/LinearSystem.h"
 
+#include <cmath>
+
 using namespace sest;
+
+namespace {
+
+/// Largest absolute defect of f = e + Pᵀf — how exactly the linear solve
+/// satisfies the Markov flow equation (0 for an exact solve; grows with
+/// conditioning). Recorded as a telemetry histogram.
+double markovResidual(const Matrix &P, const std::vector<double> &Entry,
+                      const std::vector<double> &F) {
+  double Worst = 0.0;
+  for (size_t I = 0; I < F.size(); ++I) {
+    double Flow = Entry[I];
+    for (size_t J = 0; J < F.size(); ++J)
+      Flow += P.at(J, I) * F[J];
+    Worst = std::max(Worst, std::fabs(F[I] - Flow));
+  }
+  return Worst;
+}
+
+} // namespace
 
 std::vector<std::vector<double>>
 sest::transitionProbabilities(const Cfg &G,
@@ -66,6 +88,10 @@ sest::markovBlockFrequencies(const Cfg &G, const MarkovIntraConfig &Config) {
         P.at(B->id(), Succs[S]->id()) += Slot[B->id()][S];
     }
     auto F = solveMarkovFrequencies(P, Entry);
+    obs::counterAdd("support.linsys.solves");
+    obs::histRecord("support.linsys.dim", static_cast<double>(N));
+    if (!F)
+      obs::counterAdd("support.linsys.singular");
     if (F) {
       bool Sane = true;
       for (double V : *F)
@@ -75,6 +101,13 @@ sest::markovBlockFrequencies(const Cfg &G, const MarkovIntraConfig &Config) {
         for (double &V : *F)
           if (V < 0)
             V = 0;
+        obs::counterAdd("estimators.markov_intra.solves");
+        obs::counterAdd("estimators.markov_intra.iterations", Attempt + 1);
+        if (obs::telemetryActive())
+          obs::histRecord("estimators.markov_intra.residual",
+                          markovResidual(P, Entry, *F));
+        if (Attempt > 0)
+          obs::counterAdd("estimators.markov_intra.repaired");
         Result.BlockFrequencies = std::move(*F);
         Result.ArcFrequencies.resize(N);
         for (const auto &B : G.blocks()) {
@@ -98,6 +131,7 @@ sest::markovBlockFrequencies(const Cfg &G, const MarkovIntraConfig &Config) {
   }
 
   // Fall back to uniform frequencies.
+  obs::counterAdd("estimators.markov_intra.fallback_uniform");
   Result.BlockFrequencies.assign(N, 1.0);
   Result.ArcFrequencies.assign(N, {});
   for (const auto &B : G.blocks())

@@ -6,15 +6,19 @@
 
 #include "estimators/Pipeline.h"
 
+#include "obs/Telemetry.h"
+
 using namespace sest;
 
 IntraEstimates sest::computeIntraEstimates(const TranslationUnit &Unit,
                                            const CfgModule &Cfgs,
                                            const EstimatorOptions &Options) {
+  obs::ScopedPhase Phase("estimate.intra");
   IntraEstimates Out;
   Out.Blocks.resize(Unit.Functions.size());
 
   for (const auto &[F, G] : Cfgs.all()) {
+    obs::ScopedPhase FnPhase("estimate.intra.function", F->name());
     switch (Options.Intra) {
     case IntraEstimatorKind::Loop:
     case IntraEstimatorKind::Smart: {
@@ -43,12 +47,20 @@ ProgramEstimate sest::estimateProgram(const TranslationUnit &Unit,
                                       const CfgModule &Cfgs,
                                       const CallGraph &CG,
                                       const EstimatorOptions &Options) {
+  obs::ScopedPhase Phase("estimate");
   ProgramEstimate Out;
   IntraEstimates Intra = computeIntraEstimates(Unit, Cfgs, Options);
-  Out.FunctionEstimates = estimateFunctionFrequencies(
-      Options.Inter, Unit, CG, Intra, Options.Inter_);
-  Out.CallSiteEstimates = estimateCallSiteFrequencies(
-      Unit, CG, Intra, Out.FunctionEstimates);
+  {
+    obs::ScopedPhase InterPhase("estimate.inter",
+                                interEstimatorName(Options.Inter));
+    Out.FunctionEstimates = estimateFunctionFrequencies(
+        Options.Inter, Unit, CG, Intra, Options.Inter_);
+  }
+  {
+    obs::ScopedPhase SitesPhase("estimate.callsites");
+    Out.CallSiteEstimates = estimateCallSiteFrequencies(
+        Unit, CG, Intra, Out.FunctionEstimates);
+  }
   Out.BlockEstimates = std::move(Intra.Blocks);
   return Out;
 }

@@ -6,9 +6,11 @@
 
 #include "interp/Interp.h"
 
+#include "obs/Telemetry.h"
 #include "support/Prng.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cctype>
 #include <cmath>
@@ -33,6 +35,8 @@ public:
   RunResult run();
 
 private:
+  void flushTelemetry() const;
+
   //===--------------------------------------------------------------------===//
   // Failure handling (no exceptions: a sticky flag short-circuits).
   //===--------------------------------------------------------------------===//
@@ -44,6 +48,23 @@ private:
     }
     return Value::makeInt(0);
   }
+
+  /// A resource-limit abort: records which limit was hit and appends the
+  /// run's high-water marks to the diagnostic.
+  Value failLimit(RunLimit Limit, const std::string &Message) {
+    if (!Failed && !Exited) {
+      LimitHit = Limit;
+      fail(Message + " (" + usageSummary() + ")");
+    }
+    return Value::makeInt(0);
+  }
+
+  std::string usageSummary() const {
+    return "steps " + std::to_string(Steps) + ", call-depth high-water " +
+           std::to_string(CallDepthHighWater) + ", heap high-water " +
+           std::to_string(HeapHighWater) + " cells";
+  }
+
   bool halted() const { return Failed || Exited; }
 
   //===--------------------------------------------------------------------===//
@@ -162,9 +183,13 @@ private:
 
   void tick() {
     ++Steps;
+    if (CurSelfSteps)
+      ++*CurSelfSteps;
     Cycles += CostFactor;
     if (Steps > Options.MaxSteps)
-      fail("execution step limit exceeded");
+      failLimit(RunLimit::Steps,
+                "execution step limit exceeded (MaxSteps=" +
+                    std::to_string(Options.MaxSteps) + ")");
   }
 
   double factorFor(const FunctionDecl *F) const {
@@ -262,9 +287,16 @@ private:
   std::vector<Value> Stack;
   std::vector<HeapBlock> Heap;
   int64_t HeapCellsUsed = 0;
+  int64_t HeapHighWater = 0;
   std::vector<int64_t> StringBase;
   int64_t FrameBase = 0;
   unsigned CallDepth = 0;
+  unsigned CallDepthHighWater = 0;
+  RunLimit LimitHit = RunLimit::None;
+  /// Per-function self step counts (steps taken while the function's own
+  /// frame is active, excluding callees), indexed by function id.
+  std::vector<uint64_t> SelfSteps;
+  uint64_t *CurSelfSteps = nullptr;
 
   Profile Prof;
   std::string Output;
@@ -318,10 +350,12 @@ void Interpreter::setupGlobals() {
 }
 
 RunResult Interpreter::run() {
+  obs::ScopedPhase Phase("interp.run", Input.Name);
   // Size the profile.
   Prof.ProgramName = Unit.Functions.empty() ? "" : "program";
   Prof.InputName = Input.Name;
   Prof.Functions.resize(Unit.Functions.size());
+  SelfSteps.assign(Unit.Functions.size(), 0);
   for (const auto &[F, G] : Cfgs.all()) {
     FunctionProfile &FP = Prof.Functions[F->functionId()];
     FP.BlockCounts.assign(G->size(), 0.0);
@@ -357,7 +391,33 @@ RunResult Interpreter::run() {
   R.Output = std::move(Output);
   Prof.TotalCycles = Cycles;
   R.TheProfile = std::move(Prof);
+  R.LimitHit = LimitHit;
+  R.StepsExecuted = Steps;
+  R.HeapCellsHighWater = HeapHighWater;
+  R.CallDepthHighWater = CallDepthHighWater;
+  flushTelemetry();
   return R;
+}
+
+/// One-shot flush of the run's accumulated resource usage into the
+/// ambient telemetry context. The hot loop only touches plain members;
+/// all counter traffic happens here.
+void Interpreter::flushTelemetry() const {
+  if (!obs::telemetryActive())
+    return;
+  obs::counterAdd("interp.runs");
+  obs::counterAdd("interp.steps.executed", static_cast<double>(Steps));
+  obs::gaugeMax("interp.heap_cells.high_water",
+                static_cast<double>(HeapHighWater));
+  obs::gaugeMax("interp.call_depth.high_water",
+                static_cast<double>(CallDepthHighWater));
+  if (LimitHit != RunLimit::None)
+    obs::counterAdd(std::string("interp.limit_hit.") +
+                    runLimitName(LimitHit));
+  for (size_t F = 0; F < SelfSteps.size(); ++F)
+    if (SelfSteps[F])
+      obs::counterAdd("interp.fn_self_steps." + Unit.Functions[F]->name(),
+                      static_cast<double>(SelfSteps[F]));
 }
 
 //===----------------------------------------------------------------------===//
@@ -426,7 +486,10 @@ Value Interpreter::callFunction(
     const std::vector<std::pair<Loc, int64_t>> &StructArgs,
     const std::vector<bool> &IsStructArg) {
   if (CallDepth >= Options.MaxCallDepth)
-    return fail("call depth limit exceeded in '" + F->name() + "'");
+    return failLimit(RunLimit::CallDepth,
+                     "call depth limit exceeded in '" + F->name() +
+                         "' (MaxCallDepth=" +
+                         std::to_string(Options.MaxCallDepth) + ")");
   // The interpreter recurses on the host stack (callFunction ->
   // executeBody -> evalExpr -> callFunction); on large-frame builds the
   // host stack can overflow long before MaxCallDepth, so budget it
@@ -436,8 +499,10 @@ Value Interpreter::callFunction(
   size_t Used = HostStackBase > Here ? HostStackBase - Here
                                      : Here - HostStackBase;
   if (Used > Options.MaxHostStackBytes)
-    return fail("call depth limit exceeded in '" + F->name() +
-                "' (host stack budget)");
+    return failLimit(RunLimit::HostStack,
+                     "call depth limit exceeded in '" + F->name() +
+                         "' (host stack budget, MaxHostStackBytes=" +
+                         std::to_string(Options.MaxHostStackBytes) + ")");
   const Cfg *G = Cfgs.cfg(F);
   if (!G)
     return fail("call to undefined function '" + F->name() + "'");
@@ -446,12 +511,17 @@ Value Interpreter::callFunction(
 
   int64_t SavedBase = FrameBase;
   double SavedFactor = CostFactor;
+  uint64_t *SavedSelf = CurSelfSteps;
   FrameBase = static_cast<int64_t>(Stack.size());
   if (Stack.size() + F->frameSizeCells() > (1u << 24))
-    return fail("stack overflow in '" + F->name() + "'");
+    return failLimit(RunLimit::HostFrame,
+                     "stack overflow in '" + F->name() + "'");
   Stack.resize(Stack.size() + F->frameSizeCells(), Value::makeInt(0));
   CostFactor = factorFor(F);
+  if (F->functionId() < SelfSteps.size())
+    CurSelfSteps = &SelfSteps[F->functionId()];
   ++CallDepth;
+  CallDepthHighWater = std::max(CallDepthHighWater, CallDepth);
 
   // Bind parameters.
   size_t ScalarIdx = 0, StructIdx = 0;
@@ -470,6 +540,7 @@ Value Interpreter::callFunction(
 
   --CallDepth;
   CostFactor = SavedFactor;
+  CurSelfSteps = SavedSelf;
   Stack.resize(FrameBase);
   FrameBase = SavedBase;
   return Ret;
@@ -1019,8 +1090,11 @@ Value Interpreter::evalBuiltin(const FunctionDecl *F,
     if (N <= 0)
       return Value::makeNull();
     if (HeapCellsUsed + N > Options.MaxHeapCells)
-      return fail("heap limit exceeded");
+      return failLimit(RunLimit::HeapCells,
+                       "heap limit exceeded (MaxHeapCells=" +
+                           std::to_string(Options.MaxHeapCells) + ")");
     HeapCellsUsed += N;
+    HeapHighWater = std::max(HeapHighWater, HeapCellsUsed);
     Heap.push_back(HeapBlock{std::vector<Value>(N, Value::makeInt(0)),
                              false});
     return Value::makePtr(
@@ -1074,6 +1148,24 @@ Value Interpreter::evalBuiltin(const FunctionDecl *F,
 }
 
 } // namespace
+
+const char *sest::runLimitName(RunLimit L) {
+  switch (L) {
+  case RunLimit::None:
+    return "none";
+  case RunLimit::Steps:
+    return "steps";
+  case RunLimit::CallDepth:
+    return "call-depth";
+  case RunLimit::HostStack:
+    return "host-stack";
+  case RunLimit::HeapCells:
+    return "heap-cells";
+  case RunLimit::HostFrame:
+    return "host-frame";
+  }
+  return "none";
+}
 
 RunResult sest::runProgram(const TranslationUnit &Unit,
                            const CfgModule &Cfgs, const ProgramInput &Input,

@@ -58,19 +58,41 @@ struct InterpOptions {
   double OptimizedCostFactor = 0.5;
 };
 
+/// Which resource limit (if any) aborted a run.
+enum class RunLimit {
+  None,
+  Steps,     ///< InterpOptions::MaxSteps.
+  CallDepth, ///< InterpOptions::MaxCallDepth.
+  HostStack, ///< InterpOptions::MaxHostStackBytes.
+  HeapCells, ///< InterpOptions::MaxHeapCells.
+  HostFrame, ///< The fixed interpreter value-stack ceiling.
+};
+
+/// Short identifier for a limit ("steps", "call-depth", ...).
+const char *runLimitName(RunLimit L);
+
 /// Outcome of one execution.
 struct RunResult {
   /// True when the program ran to completion (normal return from main or
   /// an exit() call).
   bool Ok = false;
   /// Diagnostic for aborted runs (runtime error, abort(), step limit).
+  /// Resource-limit aborts include the configured limit and the run's
+  /// high-water marks.
   std::string Error;
+  /// The resource limit that aborted the run, when one did.
+  RunLimit LimitHit = RunLimit::None;
   /// Exit code (main's return value or exit()'s argument).
   int64_t ExitCode = 0;
   /// Everything the program printed.
   std::string Output;
   /// The collected profile.
   Profile TheProfile;
+
+  // Resource usage, filled for every run (successful or not).
+  uint64_t StepsExecuted = 0;         ///< Evaluation steps taken.
+  int64_t HeapCellsHighWater = 0;     ///< Peak live heap cells.
+  unsigned CallDepthHighWater = 0;    ///< Peak mini-C call depth.
 };
 
 /// Executes \p Unit (starting at "main", which must take no parameters)

@@ -8,6 +8,7 @@
 
 #include "lang/Lexer.h"
 #include "lang/Sema.h"
+#include "obs/Telemetry.h"
 
 #include <cassert>
 
@@ -905,13 +906,31 @@ Expr *Parser::parsePrimary() {
 
 bool sest::parseAndAnalyze(std::string_view Source, AstContext &Ctx,
                            DiagnosticEngine &Diags) {
-  Lexer Lex(Source, Diags);
-  std::vector<Token> Tokens = Lex.lexAll();
-  if (Diags.hasErrors())
-    return false;
-  Parser P(Ctx, std::move(Tokens), Diags);
-  if (!P.parseTranslationUnit())
-    return false;
-  Sema S(Ctx, Diags);
-  return S.run();
+  obs::ScopedPhase Phase("frontend");
+  bool Ok = [&] {
+    std::vector<Token> Tokens;
+    {
+      obs::ScopedPhase LexPhase("lex");
+      Lexer Lex(Source, Diags);
+      Tokens = Lex.lexAll();
+    }
+    obs::counterAdd("frontend.tokens.lexed",
+                    static_cast<double>(Tokens.size()));
+    if (Diags.hasErrors())
+      return false;
+    {
+      obs::ScopedPhase ParsePhase("parse");
+      Parser P(Ctx, std::move(Tokens), Diags);
+      if (!P.parseTranslationUnit())
+        return false;
+    }
+    obs::ScopedPhase SemaPhase("sema");
+    Sema S(Ctx, Diags);
+    return S.run();
+  }();
+  obs::counterAdd("frontend.ast.nodes",
+                  static_cast<double>(Ctx.nodeCount()));
+  obs::counterAdd("frontend.sema.diagnostics",
+                  static_cast<double>(Diags.diagnostics().size()));
+  return Ok;
 }

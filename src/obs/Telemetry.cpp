@@ -1,0 +1,274 @@
+//===- obs/Telemetry.cpp - Phase tracing and counter registry --------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Telemetry.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/TextTable.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sest;
+using namespace sest::obs;
+
+thread_local Telemetry *sest::obs::detail::Active = nullptr;
+
+Telemetry::Telemetry() : Epoch(std::chrono::steady_clock::now()) {
+  Root.Name = "<root>";
+}
+
+Telemetry::~Telemetry() {
+  if (Installed)
+    uninstall();
+}
+
+void Telemetry::install() {
+  assert(!Installed && "telemetry context installed twice");
+  Previous = detail::Active;
+  detail::Active = this;
+  Installed = true;
+}
+
+void Telemetry::uninstall() {
+  assert(Installed && "uninstall() without install()");
+  // Only pop ourselves if we are still the top of the ambient stack.
+  if (detail::Active == this)
+    detail::Active = Previous;
+  Installed = false;
+}
+
+uint64_t Telemetry::nowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Epoch)
+          .count());
+}
+
+//===----------------------------------------------------------------------===//
+// Recording
+//===----------------------------------------------------------------------===//
+
+void Telemetry::add(std::string_view Name, double Delta) {
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    Counters.emplace(std::string(Name), Delta);
+  else
+    It->second += Delta;
+}
+
+void Telemetry::raiseMax(std::string_view Name, double Value) {
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    Gauges.emplace(std::string(Name), Value);
+  else if (Value > It->second)
+    It->second = Value;
+}
+
+void Telemetry::record(std::string_view Name, double Sample) {
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end()) {
+    HistogramStats H;
+    H.Count = 1;
+    H.Sum = H.Min = H.Max = Sample;
+    Histograms.emplace(std::string(Name), H);
+    return;
+  }
+  HistogramStats &H = It->second;
+  ++H.Count;
+  H.Sum += Sample;
+  H.Min = std::min(H.Min, Sample);
+  H.Max = std::max(H.Max, Sample);
+}
+
+void Telemetry::beginPhase(std::string_view Name, std::string_view Detail) {
+  PhaseNode *Parent = Open.empty() ? &Root : Open.back().Node;
+  PhaseNode *Node = nullptr;
+  for (const auto &C : Parent->Children)
+    if (C->Name == Name) {
+      Node = C.get();
+      break;
+    }
+  if (!Node) {
+    Parent->Children.push_back(std::make_unique<PhaseNode>());
+    Node = Parent->Children.back().get();
+    Node->Name = std::string(Name);
+  }
+  Open.push_back({Node, std::string(Detail), nowUs()});
+}
+
+void Telemetry::endPhase() {
+  assert(!Open.empty() && "endPhase() without beginPhase()");
+  if (Open.empty())
+    return;
+  OpenPhase P = std::move(Open.back());
+  Open.pop_back();
+  uint64_t Dur = nowUs() - P.StartUs;
+  P.Node->Count += 1;
+  P.Node->TotalUs += Dur;
+  if (!Open.empty())
+    Open.back().Node->ChildUs += Dur;
+  else
+    Root.ChildUs += Dur;
+
+  TraceEvent E;
+  E.Name = P.Node->Name;
+  E.Detail = std::move(P.Detail);
+  E.StartUs = P.StartUs;
+  E.DurUs = Dur;
+  E.Depth = static_cast<unsigned>(Open.size());
+  Events.push_back(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string Telemetry::traceJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.member("displayTimeUnit", "ms");
+  W.key("traceEvents").beginArray();
+
+  // Process metadata so trace viewers show a meaningful track name.
+  W.beginObject()
+      .member("name", "process_name")
+      .member("ph", "M")
+      .member("pid", int64_t{1})
+      .member("tid", int64_t{1})
+      .key("args")
+      .beginObject()
+      .member("name", "sest")
+      .endObject()
+      .endObject();
+
+  for (const TraceEvent &E : Events) {
+    W.beginObject()
+        .member("name", E.Name)
+        .member("cat", "phase")
+        .member("ph", "X")
+        .member("ts", static_cast<uint64_t>(E.StartUs))
+        .member("dur", static_cast<uint64_t>(E.DurUs))
+        .member("pid", int64_t{1})
+        .member("tid", int64_t{1});
+    if (!E.Detail.empty())
+      W.key("args").beginObject().member("detail", E.Detail).endObject();
+    W.endObject();
+  }
+
+  // Final counter samples, so the numeric registry rides along in the
+  // same file ("C" = counter event).
+  uint64_t End = Events.empty() ? 0 : nowUs();
+  auto emitCounter = [&](const std::string &Name, double Value) {
+    W.beginObject()
+        .member("name", Name)
+        .member("ph", "C")
+        .member("ts", End)
+        .member("pid", int64_t{1})
+        .key("args")
+        .beginObject()
+        .member("value", Value)
+        .endObject()
+        .endObject();
+  };
+  for (const auto &[Name, Value] : Counters)
+    emitCounter(Name, Value);
+  for (const auto &[Name, Value] : Gauges)
+    emitCounter(Name, Value);
+
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+std::string Telemetry::statsTable() const {
+  TextTable T;
+  T.setHeader({"Name", "Kind", "Value", "N", "Min", "Mean", "Max"});
+  for (const auto &[Name, Value] : Counters)
+    T.addRow({Name, "counter", formatDouble(Value, 0), "", "", "", ""});
+  for (const auto &[Name, Value] : Gauges)
+    T.addRow({Name, "gauge", formatDouble(Value, 0), "", "", "", ""});
+  for (const auto &[Name, H] : Histograms)
+    T.addRow({Name, "hist", formatDouble(H.Sum, 2),
+              std::to_string(H.Count), formatDouble(H.Min, 3),
+              formatDouble(H.mean(), 3), formatDouble(H.Max, 3)});
+  return T.str();
+}
+
+namespace {
+
+void summarizeNode(const PhaseNode &N, unsigned Depth, uint64_t RootUs,
+                   TextTable &T) {
+  std::string Indent(2 * Depth, ' ');
+  double TotalMs = static_cast<double>(N.TotalUs) / 1000.0;
+  double SelfMs = static_cast<double>(N.selfUs()) / 1000.0;
+  double Share = RootUs ? 100.0 * static_cast<double>(N.TotalUs) /
+                              static_cast<double>(RootUs)
+                        : 0.0;
+  T.addRow({Indent + N.Name, std::to_string(N.Count),
+            formatDouble(TotalMs, 3), formatDouble(SelfMs, 3),
+            formatDouble(Share, 1) + "%"});
+  for (const auto &C : N.Children)
+    summarizeNode(*C, Depth + 1, RootUs, T);
+}
+
+void reportNode(const PhaseNode &N, JsonWriter &W) {
+  W.beginObject()
+      .member("name", N.Name)
+      .member("count", static_cast<uint64_t>(N.Count))
+      .member("total_us", static_cast<uint64_t>(N.TotalUs))
+      .member("self_us", static_cast<uint64_t>(N.selfUs()));
+  W.key("children").beginArray();
+  for (const auto &C : N.Children)
+    reportNode(*C, W);
+  W.endArray();
+  W.endObject();
+}
+
+} // namespace
+
+std::string Telemetry::phaseSummary() const {
+  TextTable T;
+  T.setHeader({"Phase", "Count", "Total ms", "Self ms", "% root"});
+  uint64_t RootUs = Root.ChildUs;
+  for (const auto &C : Root.Children)
+    summarizeNode(*C, 0, RootUs, T);
+  return T.str();
+}
+
+void Telemetry::writeReport(JsonWriter &W) const {
+  W.beginObject();
+
+  W.key("phases").beginArray();
+  for (const auto &C : Root.Children)
+    reportNode(*C, W);
+  W.endArray();
+
+  W.key("counters").beginObject();
+  for (const auto &[Name, Value] : Counters)
+    W.member(Name, Value);
+  W.endObject();
+
+  W.key("gauges").beginObject();
+  for (const auto &[Name, Value] : Gauges)
+    W.member(Name, Value);
+  W.endObject();
+
+  W.key("histograms").beginObject();
+  for (const auto &[Name, H] : Histograms) {
+    W.key(Name).beginObject();
+    W.member("count", static_cast<uint64_t>(H.Count))
+        .member("sum", H.Sum)
+        .member("min", H.Min)
+        .member("mean", H.mean())
+        .member("max", H.Max);
+    W.endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+}

@@ -6,9 +6,27 @@
 
 #include "suite/SuiteRunner.h"
 
+#include "obs/Telemetry.h"
+#include "support/Json.h"
+
+#include <chrono>
+
 using namespace sest;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
 CompiledSuiteProgram sest::compileProgramOnly(const SuiteProgram &Program) {
+  obs::ScopedPhase Phase("suite.compile", Program.Name);
+  Clock::time_point Start = Clock::now();
   CompiledSuiteProgram Out;
   Out.Spec = &Program;
   Out.Ctx = std::make_unique<AstContext>();
@@ -26,18 +44,30 @@ CompiledSuiteProgram sest::compileProgramOnly(const SuiteProgram &Program) {
   Out.CG = std::make_unique<CallGraph>(
       CallGraph::build(Out.Ctx->unit(), *Out.Cfgs));
   Out.Ok = true;
+  Out.CompileMs = msSince(Start);
   return Out;
 }
 
 CompiledSuiteProgram
 sest::compileAndProfileProgram(const SuiteProgram &Program,
                                const InterpOptions &Options) {
+  obs::ScopedPhase Phase("suite.program", Program.Name);
   CompiledSuiteProgram Out = compileProgramOnly(Program);
   if (!Out.Ok)
     return Out;
 
   for (const ProgramInput &Input : Program.Inputs) {
+    Clock::time_point Start = Clock::now();
     RunResult R = runProgram(Out.unit(), *Out.Cfgs, Input, Options);
+    SuiteRunStats Stats;
+    Stats.InputName = Input.Name;
+    Stats.WallMs = msSince(Start);
+    Stats.Steps = R.StepsExecuted;
+    Stats.Cycles = R.TheProfile.TotalCycles;
+    Stats.HeapCellsHighWater = R.HeapCellsHighWater;
+    Stats.CallDepthHighWater = R.CallDepthHighWater;
+    Stats.ExitCode = R.ExitCode;
+    Out.RunStats.push_back(std::move(Stats));
     if (!R.Ok) {
       Out.Ok = false;
       Out.Error = Program.Name + " on input '" + Input.Name +
@@ -52,8 +82,83 @@ sest::compileAndProfileProgram(const SuiteProgram &Program,
 
 std::vector<CompiledSuiteProgram>
 sest::compileAndProfileSuite(const InterpOptions &Options) {
+  obs::ScopedPhase Phase("suite.run");
   std::vector<CompiledSuiteProgram> Out;
   for (const SuiteProgram &P : benchmarkSuite())
     Out.push_back(compileAndProfileProgram(P, Options));
   return Out;
+}
+
+std::string
+sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", "sest-suite-report/1");
+
+  unsigned NumOk = 0, NumRuns = 0;
+  double TotalWallMs = 0.0, TotalCompileMs = 0.0;
+  uint64_t TotalSteps = 0;
+
+  W.key("programs");
+  W.beginArray();
+  for (const CompiledSuiteProgram &P : Programs) {
+    W.beginObject();
+    W.member("name", P.Spec ? P.Spec->Name : "");
+    W.member("ok", P.Ok);
+    if (!P.Ok)
+      W.member("error", P.Error);
+    W.member("compile_ms", P.CompileMs);
+    if (P.Ctx) {
+      W.member("functions",
+               static_cast<uint64_t>(P.unit().Functions.size()));
+      if (P.Cfgs) {
+        uint64_t Blocks = 0;
+        for (const auto &[F, G] : P.Cfgs->all())
+          Blocks += G->size();
+        W.member("blocks", Blocks);
+      }
+    }
+    W.key("runs");
+    W.beginArray();
+    for (const SuiteRunStats &S : P.RunStats) {
+      W.beginObject();
+      W.member("input", S.InputName);
+      W.member("wall_ms", S.WallMs);
+      W.member("steps", S.Steps);
+      W.member("cycles", S.Cycles);
+      W.member("heap_cells_high_water", S.HeapCellsHighWater);
+      W.member("call_depth_high_water",
+               static_cast<uint64_t>(S.CallDepthHighWater));
+      W.member("exit_code", S.ExitCode);
+      W.endObject();
+      ++NumRuns;
+      TotalWallMs += S.WallMs;
+      TotalSteps += S.Steps;
+    }
+    W.endArray();
+    W.endObject();
+    if (P.Ok)
+      ++NumOk;
+    TotalCompileMs += P.CompileMs;
+  }
+  W.endArray();
+
+  W.key("totals");
+  W.beginObject();
+  W.member("programs", static_cast<uint64_t>(Programs.size()));
+  W.member("ok", static_cast<uint64_t>(NumOk));
+  W.member("runs", static_cast<uint64_t>(NumRuns));
+  W.member("compile_ms", TotalCompileMs);
+  W.member("wall_ms", TotalWallMs);
+  W.member("steps", TotalSteps);
+  W.endObject();
+
+  if (obs::Telemetry *T = obs::Telemetry::active()) {
+    W.key("telemetry");
+    T->writeReport(W);
+  }
+
+  W.endObject();
+  assert(W.complete() && "unbalanced suite report document");
+  return W.take();
 }

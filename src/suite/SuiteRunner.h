@@ -28,6 +28,17 @@
 
 namespace sest {
 
+/// Timing and resource usage of one profiled input run.
+struct SuiteRunStats {
+  std::string InputName;
+  double WallMs = 0.0;             ///< Wall time of the interpreter run.
+  uint64_t Steps = 0;              ///< Evaluation steps executed.
+  double Cycles = 0.0;             ///< Cost-model cycles (Profile.TotalCycles).
+  int64_t HeapCellsHighWater = 0;  ///< Peak live heap cells.
+  unsigned CallDepthHighWater = 0; ///< Peak mini-C call depth.
+  int64_t ExitCode = 0;
+};
+
 /// A suite program compiled and profiled on all its inputs.
 struct CompiledSuiteProgram {
   const SuiteProgram *Spec = nullptr;
@@ -36,6 +47,10 @@ struct CompiledSuiteProgram {
   std::unique_ptr<CallGraph> CG;
   /// One profile per input, in input order.
   std::vector<Profile> Profiles;
+  /// Wall time / usage per input, parallel to Profiles.
+  std::vector<SuiteRunStats> RunStats;
+  /// Wall time of compile + CFG + call-graph construction.
+  double CompileMs = 0.0;
 
   bool Ok = false;
   std::string Error;
@@ -56,6 +71,14 @@ CompiledSuiteProgram compileProgramOnly(const SuiteProgram &Program);
 /// that fail are still present with Ok == false.
 std::vector<CompiledSuiteProgram>
 compileAndProfileSuite(const InterpOptions &Options = {});
+
+/// Renders compiled-suite results as the machine-readable
+/// suite_report.json document (per-program compile time, per-input wall
+/// time and resource usage, suite totals). When a telemetry context is
+/// installed on this thread its full report is embedded under
+/// "telemetry".
+std::string
+suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs);
 
 } // namespace sest
 

@@ -1,0 +1,359 @@
+//===- tests/test_obs.cpp - Telemetry subsystem unit tests -----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the observability substrate: the JSON writer/reader, the
+/// counter/gauge/histogram registry, phase timer nesting, trace-JSON
+/// well-formedness (validated by parsing it back), the disabled path,
+/// and the pipeline / interpreter instrumentation built on top.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "obs/Telemetry.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace sest;
+using namespace sest::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JSON writer / reader
+//===----------------------------------------------------------------------===//
+
+TEST(Json, WriterProducesParseableDocument) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("name", "sest");
+  W.member("count", 3);
+  W.member("ratio", 0.25);
+  W.member("big", uint64_t(1) << 53);
+  W.member("flag", true);
+  W.key("nested");
+  W.beginObject();
+  W.key("null");
+  W.nullValue();
+  W.endObject();
+  W.key("items");
+  W.beginArray();
+  W.value(1).value("two").value(3.5);
+  W.endArray();
+  W.endObject();
+  ASSERT_TRUE(W.complete());
+
+  auto V = parseJson(W.str());
+  ASSERT_TRUE(V.has_value());
+  ASSERT_TRUE(V->isObject());
+  EXPECT_EQ(V->find("name")->StringVal, "sest");
+  EXPECT_EQ(V->numberOr("count", -1), 3);
+  EXPECT_EQ(V->numberOr("ratio", -1), 0.25);
+  EXPECT_TRUE(V->find("flag")->BoolVal);
+  EXPECT_TRUE(V->find("nested")->find("null")->isNull());
+  ASSERT_EQ(V->find("items")->Items.size(), 3u);
+  EXPECT_EQ(V->find("items")->Items[1].StringVal, "two");
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("s", "a\"b\\c\n\t\x01");
+  W.endObject();
+  auto V = parseJson(W.str());
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->find("s")->StringVal, "a\"b\\c\n\t\x01");
+}
+
+TEST(Json, NumbersRoundTrip) {
+  EXPECT_EQ(jsonNumber(3.0), "3");
+  EXPECT_EQ(jsonNumber(-17.0), "-17");
+  EXPECT_EQ(jsonNumber(0.5), "0.5");
+  // JSON has no NaN/Infinity; they degrade to null.
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(parseJson("{").has_value());
+  EXPECT_FALSE(parseJson("[1,]").has_value());
+  EXPECT_FALSE(parseJson("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parseJson("'single'").has_value());
+  EXPECT_TRUE(parseJson(" { \"a\" : [ 1 , 2 ] } ").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Counter / gauge / histogram registry
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, CountersAccumulate) {
+  obs::Telemetry T;
+  T.install();
+  obs::counterAdd("a.b.c");
+  obs::counterAdd("a.b.c", 4.0);
+  obs::counterAdd("x.y.z", 2.5);
+  T.uninstall();
+  EXPECT_EQ(T.counters().at("a.b.c"), 5.0);
+  EXPECT_EQ(T.counters().at("x.y.z"), 2.5);
+}
+
+TEST(Telemetry, GaugesKeepHighWater) {
+  obs::Telemetry T;
+  T.install();
+  obs::gaugeMax("g", 3.0);
+  obs::gaugeMax("g", 7.0);
+  obs::gaugeMax("g", 5.0);
+  T.uninstall();
+  EXPECT_EQ(T.gauges().at("g"), 7.0);
+}
+
+TEST(Telemetry, HistogramsTrackCountSumMinMaxMean) {
+  obs::Telemetry T;
+  T.install();
+  obs::histRecord("h", 1.0);
+  obs::histRecord("h", 4.0);
+  obs::histRecord("h", 10.0);
+  T.uninstall();
+  const obs::HistogramStats &H = T.histograms().at("h");
+  EXPECT_EQ(H.Count, 3u);
+  EXPECT_EQ(H.Sum, 15.0);
+  EXPECT_EQ(H.Min, 1.0);
+  EXPECT_EQ(H.Max, 10.0);
+  EXPECT_EQ(H.mean(), 5.0);
+}
+
+TEST(Telemetry, NothingRecordedWithoutInstall) {
+  // The disabled path: with no context installed these are no-ops, and
+  // a context that is never installed collects nothing.
+  obs::Telemetry T;
+  EXPECT_FALSE(obs::telemetryActive());
+  obs::counterAdd("dropped");
+  obs::gaugeMax("dropped", 1.0);
+  obs::histRecord("dropped", 1.0);
+  { obs::ScopedPhase P("dropped.phase"); }
+  EXPECT_TRUE(T.counters().empty());
+  EXPECT_TRUE(T.gauges().empty());
+  EXPECT_TRUE(T.histograms().empty());
+  EXPECT_TRUE(T.events().empty());
+  EXPECT_EQ(T.traceJson().find("dropped"), std::string::npos);
+}
+
+TEST(Telemetry, InstallsStack) {
+  obs::Telemetry Outer, Inner;
+  Outer.install();
+  obs::counterAdd("n");
+  Inner.install();
+  obs::counterAdd("n");
+  Inner.uninstall();
+  obs::counterAdd("n");
+  Outer.uninstall();
+  EXPECT_EQ(Outer.counters().at("n"), 2.0);
+  EXPECT_EQ(Inner.counters().at("n"), 1.0);
+  EXPECT_FALSE(obs::telemetryActive());
+}
+
+//===----------------------------------------------------------------------===//
+// Phase timers
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, PhasesNestAndAggregate) {
+  obs::Telemetry T;
+  T.install();
+  for (int I = 0; I < 2; ++I) {
+    obs::ScopedPhase Outer("outer");
+    obs::ScopedPhase InnerA("inner.a");
+    { obs::ScopedPhase InnerB("inner.b"); }
+  }
+  T.uninstall();
+  EXPECT_EQ(T.openPhaseDepth(), 0u);
+
+  const obs::PhaseNode &Root = T.phaseTree();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const obs::PhaseNode &Outer = *Root.Children[0];
+  EXPECT_EQ(Outer.Name, "outer");
+  EXPECT_EQ(Outer.Count, 2u);
+  ASSERT_EQ(Outer.Children.size(), 1u);
+  const obs::PhaseNode &InnerA = *Outer.Children[0];
+  EXPECT_EQ(InnerA.Name, "inner.a");
+  EXPECT_EQ(InnerA.Count, 2u);
+  ASSERT_EQ(InnerA.Children.size(), 1u);
+  EXPECT_EQ(InnerA.Children[0]->Name, "inner.b");
+  // Every span covers its children.
+  EXPECT_GE(Outer.TotalUs, Outer.ChildUs);
+  EXPECT_GE(InnerA.TotalUs, InnerA.ChildUs);
+
+  // Events carry nesting depth (completion order: innermost first).
+  ASSERT_EQ(T.events().size(), 6u);
+  EXPECT_EQ(T.events()[0].Name, "inner.b");
+  EXPECT_EQ(T.events()[0].Depth, 2u);
+  EXPECT_EQ(T.events()[2].Name, "outer");
+  EXPECT_EQ(T.events()[2].Depth, 0u);
+
+  // And the human-readable renderings mention every phase.
+  std::string Summary = T.phaseSummary();
+  EXPECT_NE(Summary.find("outer"), std::string::npos);
+  EXPECT_NE(Summary.find("inner.b"), std::string::npos);
+}
+
+TEST(Telemetry, TraceJsonIsWellFormed) {
+  obs::Telemetry T;
+  T.install();
+  {
+    obs::ScopedPhase Outer("estimate");
+    obs::ScopedPhase Inner("estimate.intra", "main");
+  }
+  obs::counterAdd("cfg.blocks.built", 7);
+  obs::gaugeMax("interp.heap_cells.high_water", 42);
+  T.uninstall();
+
+  auto V = parseJson(T.traceJson());
+  ASSERT_TRUE(V.has_value()) << T.traceJson();
+  const JsonValue *Events = V->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+
+  unsigned NumSpans = 0, NumCounters = 0;
+  bool SawInner = false;
+  for (const JsonValue &E : Events->Items) {
+    const JsonValue *Ph = E.find("ph");
+    ASSERT_NE(Ph, nullptr);
+    if (Ph->StringVal == "X") {
+      ++NumSpans;
+      EXPECT_TRUE(E.find("name")->isString());
+      EXPECT_TRUE(E.find("ts")->isNumber());
+      EXPECT_TRUE(E.find("dur")->isNumber());
+      if (E.find("name")->StringVal == "estimate.intra") {
+        SawInner = true;
+        EXPECT_EQ(E.find("args")->find("detail")->StringVal, "main");
+      }
+    } else if (Ph->StringVal == "C") {
+      ++NumCounters;
+    }
+  }
+  EXPECT_EQ(NumSpans, 2u);
+  EXPECT_TRUE(SawInner);
+  EXPECT_EQ(NumCounters, 2u);
+}
+
+TEST(Telemetry, ReportRoundTripsThroughReader) {
+  obs::Telemetry T;
+  T.install();
+  { obs::ScopedPhase P("phase.one"); }
+  obs::counterAdd("c", 3);
+  obs::histRecord("h", 2.0);
+  T.uninstall();
+
+  JsonWriter W;
+  T.writeReport(W);
+  auto V = parseJson(W.str());
+  ASSERT_TRUE(V.has_value()) << W.str();
+  EXPECT_EQ(V->find("counters")->numberOr("c", -1), 3.0);
+  EXPECT_EQ(V->find("histograms")->find("h")->numberOr("count", -1), 1.0);
+  ASSERT_EQ(V->find("phases")->Items.size(), 1u);
+  EXPECT_EQ(V->find("phases")->Items[0].find("name")->StringVal,
+            "phase.one");
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline instrumentation
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, PipelineEmitsFrontendAndInterpCounters) {
+  obs::Telemetry T;
+  T.install();
+  auto C = compile("int add(int a, int b) { return a + b; }\n"
+                   "int main() { int s = 0; int i;\n"
+                   "  for (i = 0; i < 10; i++) s = add(s, i);\n"
+                   "  return s; }");
+  ASSERT_NE(C, nullptr);
+  RunResult R = run(*C);
+  T.uninstall();
+
+  EXPECT_EQ(R.ExitCode, 45);
+  EXPECT_GT(T.counters().at("frontend.tokens.lexed"), 0.0);
+  EXPECT_GT(T.counters().at("frontend.ast.nodes"), 0.0);
+  EXPECT_EQ(T.counters().at("cfg.functions.built"), 2.0);
+  EXPECT_EQ(T.counters().at("interp.steps.executed"),
+            static_cast<double>(R.StepsExecuted));
+  EXPECT_EQ(T.gauges().at("interp.call_depth.high_water"),
+            static_cast<double>(R.CallDepthHighWater));
+  // Both functions accrued self time.
+  EXPECT_GT(T.counters().at("interp.fn_self_steps.main"), 0.0);
+  EXPECT_GT(T.counters().at("interp.fn_self_steps.add"), 0.0);
+
+  // The frontend phase nests lex/parse/sema under it.
+  const obs::PhaseNode &Root = T.phaseTree();
+  const obs::PhaseNode *Frontend = nullptr;
+  for (const auto &Child : Root.Children)
+    if (Child->Name == "frontend")
+      Frontend = Child.get();
+  ASSERT_NE(Frontend, nullptr);
+  EXPECT_EQ(Frontend->Children.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter resource-limit reporting
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, StepLimitReportsLimitAndHighWater) {
+  auto C = compile("int main() { while (1) {} return 0; }");
+  ASSERT_NE(C, nullptr);
+  InterpOptions Opts;
+  Opts.MaxSteps = 1000;
+  RunResult R = runProgram(C->unit(), *C->Cfgs, ProgramInput{}, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.LimitHit, RunLimit::Steps);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+  EXPECT_NE(R.Error.find("MaxSteps=1000"), std::string::npos);
+  EXPECT_NE(R.Error.find("high-water"), std::string::npos);
+  EXPECT_GT(R.StepsExecuted, 1000u);
+}
+
+TEST(Telemetry, HeapLimitReportsLimitAndHighWater) {
+  auto C = compile("int main() { while (1) { malloc(64); } return 0; }");
+  ASSERT_NE(C, nullptr);
+  InterpOptions Opts;
+  Opts.MaxHeapCells = 256;
+  RunResult R = runProgram(C->unit(), *C->Cfgs, ProgramInput{}, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.LimitHit, RunLimit::HeapCells);
+  EXPECT_NE(R.Error.find("heap limit exceeded"), std::string::npos);
+  EXPECT_NE(R.Error.find("MaxHeapCells=256"), std::string::npos);
+  EXPECT_EQ(R.HeapCellsHighWater, 256);
+}
+
+TEST(Telemetry, CallDepthLimitReportsLimitAndHighWater) {
+  auto C = compile("int f(int n) { return f(n + 1); }\n"
+                   "int main() { return f(0); }");
+  ASSERT_NE(C, nullptr);
+  InterpOptions Opts;
+  Opts.MaxCallDepth = 50;
+  RunResult R = runProgram(C->unit(), *C->Cfgs, ProgramInput{}, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.LimitHit, RunLimit::CallDepth);
+  EXPECT_NE(R.Error.find("call depth limit exceeded"), std::string::npos);
+  EXPECT_NE(R.Error.find("MaxCallDepth=50"), std::string::npos);
+  EXPECT_EQ(R.CallDepthHighWater, 50u);
+  EXPECT_STREQ(runLimitName(R.LimitHit), "call-depth");
+}
+
+TEST(Telemetry, SuccessfulRunReportsUsageWithoutLimit) {
+  auto C = compile("int main() { int *p = (int *)malloc(8);\n"
+                   "  if (p == 0) return 1; return 0; }");
+  ASSERT_NE(C, nullptr);
+  RunResult R = runProgram(C->unit(), *C->Cfgs, ProgramInput{});
+  EXPECT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.LimitHit, RunLimit::None);
+  EXPECT_GT(R.StepsExecuted, 0u);
+  EXPECT_EQ(R.HeapCellsHighWater, 8);
+  EXPECT_EQ(R.CallDepthHighWater, 1u);
+}
+
+} // namespace

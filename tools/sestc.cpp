@@ -16,6 +16,8 @@
 ///   --run         execute the program (stdin text via --input) and
 ///                 print its output plus a profile summary
 ///   --compare     run AND estimate, with weight-matching scores
+///   --suite       compile and profile the built-in benchmark suite
+///                 (no input file; combine with --report)
 ///
 /// Options:
 ///   --intra loop|smart|markov     (default smart)
@@ -28,6 +30,15 @@
 ///   --score-profile FILE          score the estimate against a saved
 ///                                 profile instead of running
 ///
+/// Observability (see docs/OBSERVABILITY.md):
+///   --trace FILE                  write a Chrome trace-event JSON of the
+///                                 run (open in chrome://tracing or
+///                                 https://ui.perfetto.dev)
+///   --stats                       print phase times and all counters /
+///                                 gauges / histograms after the action
+///   --report FILE                 write a machine-readable JSON report;
+///                                 with --suite, the full suite report
+///
 //===----------------------------------------------------------------------===//
 
 #include "callgraph/CallGraph.h"
@@ -36,7 +47,10 @@
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
 #include "metrics/Evaluation.h"
+#include "obs/Telemetry.h"
 #include "profile/Profile.h"
+#include "suite/SuiteRunner.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
 
@@ -54,14 +68,17 @@ namespace {
 void out(const std::string &S) { std::fputs(S.c_str(), stdout); }
 
 [[noreturn]] void usage() {
-  out("usage: sestc [--ast|--cfg|--estimate|--run|--compare] "
+  out("usage: sestc [--ast|--cfg|--estimate|--run|--compare|--suite] "
       "[options] file.mc\n"
       "  --intra loop|smart|markov    intra-procedural estimator\n"
       "  --inter call-site|direct|all_rec|all_rec2|markov\n"
       "  --loop-count N               assumed loop iterations\n"
       "  --counted-loops              exact constant trip counts\n"
       "  --input TEXT                 program input\n"
-      "  --seed N                     rand() seed\n");
+      "  --seed N                     rand() seed\n"
+      "  --trace FILE                 write Chrome trace-event JSON\n"
+      "  --stats                      print phase times and counters\n"
+      "  --report FILE                write machine-readable JSON report\n");
   std::exit(2);
 }
 
@@ -71,6 +88,9 @@ struct Options {
   std::string Input;
   std::string EmitProfile;
   std::string ScoreProfile;
+  std::string TraceFile;
+  std::string ReportFile;
+  bool Stats = false;
   uint64_t Seed = 1;
   EstimatorOptions Est;
 };
@@ -86,7 +106,7 @@ Options parseArgs(int argc, char **argv) {
     };
     if (A == "--ast" || A == "--cfg" || A == "--dot" ||
         A == "--callgraph" || A == "--estimate" || A == "--run" ||
-        A == "--compare") {
+        A == "--compare" || A == "--suite") {
       O.Action = A;
     } else if (A == "--intra") {
       std::string V = Next();
@@ -124,13 +144,19 @@ Options parseArgs(int argc, char **argv) {
       O.EmitProfile = Next();
     } else if (A == "--score-profile") {
       O.ScoreProfile = Next();
+    } else if (A == "--trace") {
+      O.TraceFile = Next();
+    } else if (A == "--report") {
+      O.ReportFile = Next();
+    } else if (A == "--stats") {
+      O.Stats = true;
     } else if (!A.empty() && A[0] == '-') {
       usage();
     } else {
       O.File = A;
     }
   }
-  if (O.File.empty())
+  if (O.File.empty() && O.Action != "--suite")
     usage();
   return O;
 }
@@ -146,10 +172,55 @@ std::string readFile(const std::string &Path) {
   return SS.str();
 }
 
-} // namespace
+bool writeTextFile(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    out("sestc: cannot write '" + Path + "'\n");
+    return false;
+  }
+  Out << Content;
+  return true;
+}
 
-int main(int argc, char **argv) {
-  Options O = parseArgs(argc, argv);
+/// --suite: compile and profile every built-in benchmark program,
+/// print a summary table, and optionally write the JSON suite report.
+int runSuite(const Options &O) {
+  std::vector<CompiledSuiteProgram> Programs = compileAndProfileSuite();
+
+  TextTable T;
+  T.setHeader({"Program", "Status", "Compile ms", "Runs", "Steps",
+               "Run ms"});
+  bool AllOk = true;
+  for (const CompiledSuiteProgram &P : Programs) {
+    uint64_t Steps = 0;
+    double WallMs = 0.0;
+    for (const SuiteRunStats &S : P.RunStats) {
+      Steps += S.Steps;
+      WallMs += S.WallMs;
+    }
+    T.addRow({P.Spec ? P.Spec->Name : "?", P.Ok ? "ok" : "FAILED",
+              formatDouble(P.CompileMs, 2),
+              std::to_string(P.RunStats.size()),
+              std::to_string(Steps), formatDouble(WallMs, 2)});
+    AllOk = AllOk && P.Ok;
+  }
+  out(T.str());
+  for (const CompiledSuiteProgram &P : Programs)
+    if (!P.Ok)
+      out("error: " + P.Error + "\n");
+
+  if (!O.ReportFile.empty()) {
+    if (!writeTextFile(O.ReportFile, suiteReportJson(Programs)))
+      return 1;
+    out("suite report written to " + O.ReportFile + "\n");
+  }
+  return AllOk ? 0 : 1;
+}
+
+int runAction(const Options &O) {
+  if (O.Action == "--suite")
+    return runSuite(O);
+
   std::string Source = readFile(O.File);
 
   AstContext Ctx;
@@ -296,4 +367,47 @@ int main(int argc, char **argv) {
     out(T.str());
   }
   return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O = parseArgs(argc, argv);
+
+  obs::Telemetry Tele;
+  bool WantTelemetry =
+      !O.TraceFile.empty() || !O.ReportFile.empty() || O.Stats;
+  if (WantTelemetry)
+    Tele.install();
+
+  int Rc = runAction(O);
+
+  if (!WantTelemetry)
+    return Rc;
+  Tele.uninstall();
+
+  if (O.Stats) {
+    out("\n-- phase times --\n" + Tele.phaseSummary());
+    out("\n-- counters --\n" + Tele.statsTable());
+  }
+  if (!O.TraceFile.empty()) {
+    if (!writeTextFile(O.TraceFile, Tele.traceJson()))
+      return 1;
+    out("trace written to " + O.TraceFile +
+        " (open in chrome://tracing or https://ui.perfetto.dev)\n");
+  }
+  if (!O.ReportFile.empty() && O.Action != "--suite") {
+    JsonWriter W;
+    W.beginObject();
+    W.member("schema", "sest-run-report/1");
+    W.member("file", O.File);
+    W.member("action", O.Action);
+    W.key("telemetry");
+    Tele.writeReport(W);
+    W.endObject();
+    if (!writeTextFile(O.ReportFile, W.take()))
+      return 1;
+    out("report written to " + O.ReportFile + "\n");
+  }
+  return Rc;
 }
