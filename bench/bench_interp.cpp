@@ -1,0 +1,107 @@
+//===- bench/bench_interp.cpp - Interpreter-tier benchmark -----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark timings for the two execution tiers: per suite
+/// program, the AST tree-walker vs. the bytecode VM on the program's
+/// first input, plus the cost of the one-time bytecode lowering itself.
+/// The ratio of run_ast to run_bytecode is the single-threaded speedup
+/// reported in docs/PERFORMANCE.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "interp/bytecode/BytecodeCompiler.h"
+#include "interp/bytecode/BytecodeVM.h"
+#include "lang/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sest;
+
+namespace {
+
+const SuiteProgram &programByIndex(int64_t I) {
+  return benchmarkSuite()[static_cast<size_t>(I)];
+}
+
+/// Compiled once per benchmark; runs share it like the suite runner.
+struct Prepared {
+  AstContext Ctx;
+  CfgModule Cfgs;
+  Prepared(const SuiteProgram &P) : Cfgs([&] {
+    DiagnosticEngine Diags;
+    parseAndAnalyze(P.Source, Ctx, Diags);
+    return CfgModule::build(Ctx.unit(), Diags);
+  }()) {}
+};
+
+void BM_RunAst(benchmark::State &State) {
+  const SuiteProgram &P = programByIndex(State.range(0));
+  State.SetLabel(P.Name);
+  Prepared Prep(P);
+  InterpOptions Options;
+  Options.Engine = InterpEngine::Ast;
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    RunResult R = runProgram(Prep.Ctx.unit(), Prep.Cfgs, P.Inputs.front(),
+                             Options);
+    Steps = R.StepsExecuted;
+    benchmark::DoNotOptimize(R.ExitCode);
+  }
+  State.counters["steps"] = static_cast<double>(Steps);
+  State.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_RunBytecode(benchmark::State &State) {
+  const SuiteProgram &P = programByIndex(State.range(0));
+  State.SetLabel(P.Name);
+  Prepared Prep(P);
+  bc::BcModule Module = bc::compileBytecode(Prep.Ctx.unit(), Prep.Cfgs);
+  InterpOptions Options;
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    RunResult R = bc::runProgramBytecode(Prep.Ctx.unit(), Prep.Cfgs, Module,
+                                         P.Inputs.front(), Options);
+    Steps = R.StepsExecuted;
+    benchmark::DoNotOptimize(R.ExitCode);
+  }
+  State.counters["steps"] = static_cast<double>(Steps);
+  State.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_BytecodeCompile(benchmark::State &State) {
+  const SuiteProgram &P = programByIndex(State.range(0));
+  State.SetLabel(P.Name);
+  Prepared Prep(P);
+  for (auto _ : State) {
+    bc::BcModule Module = bc::compileBytecode(Prep.Ctx.unit(), Prep.Cfgs);
+    benchmark::DoNotOptimize(Module.NumInstrs);
+  }
+}
+
+void registerAll() {
+  int64_t N = static_cast<int64_t>(benchmarkSuite().size());
+  for (int64_t I = 0; I < N; ++I) {
+    benchmark::RegisterBenchmark("run_ast", BM_RunAst)->Arg(I);
+    benchmark::RegisterBenchmark("run_bytecode", BM_RunBytecode)->Arg(I);
+    benchmark::RegisterBenchmark("bytecode_compile", BM_BytecodeCompile)
+        ->Arg(I);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  registerAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

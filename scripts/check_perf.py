@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare a fresh --suite run against the checked-in baseline report.
+
+Runs ``sestc --suite --report`` and compares per-program wall times with
+``bench/suite_report.json``. Wall times are machine- and load-dependent,
+so the tolerance is deliberately generous (default: flag a program only
+when it is 3x slower than baseline); step counts are deterministic and
+must match exactly when both reports used the same engine.
+
+Exit status: 0 = within tolerance, 1 = regression flagged, 2 = could not
+run. Intended as a non-blocking CI signal (continue-on-error).
+
+Usage: scripts/check_perf.py [--build BUILD_DIR] [--baseline FILE]
+                             [--tolerance RATIO]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_programs(report):
+    return {p["name"]: p for p in report.get("programs", [])}
+
+
+def total_wall_ms(program):
+    return sum(r.get("wall_ms", 0.0) for r in program.get("runs", []))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build", help="build directory")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(ROOT, "bench", "suite_report.json"),
+        help="checked-in baseline report",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="flag a program when fresh/baseline wall time exceeds this",
+    )
+    args = ap.parse_args()
+
+    sestc = os.path.join(args.build, "tools", "sestc")
+    if not os.path.exists(sestc):
+        print(f"check_perf: {sestc} not built", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"check_perf: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        subprocess.run(
+            [sestc, "--suite", "--report", fresh_path],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+    except (subprocess.CalledProcessError, OSError, ValueError) as e:
+        print(f"check_perf: suite run failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        os.unlink(fresh_path)
+
+    base_progs = load_programs(baseline)
+    fresh_progs = load_programs(fresh)
+    same_engine = baseline.get("engine") == fresh.get("engine")
+
+    failed = False
+    print(f"{'program':<10} {'base ms':>9} {'fresh ms':>9} {'ratio':>6}")
+    for name, base in sorted(base_progs.items()):
+        freshp = fresh_progs.get(name)
+        if freshp is None:
+            print(f"{name:<10} missing from fresh report")
+            failed = True
+            continue
+        if not freshp.get("ok", False):
+            print(f"{name:<10} FAILED: {freshp.get('error', '?')}")
+            failed = True
+            continue
+        base_ms = total_wall_ms(base)
+        fresh_ms = total_wall_ms(freshp)
+        ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
+        flag = ""
+        if ratio > args.tolerance:
+            flag = f"  <-- slower than {args.tolerance:.1f}x baseline"
+            failed = True
+        if same_engine:
+            base_steps = sum(r.get("steps", 0) for r in base.get("runs", []))
+            fresh_steps = sum(
+                r.get("steps", 0) for r in freshp.get("runs", [])
+            )
+            if base_steps != fresh_steps:
+                flag += (
+                    f"  <-- steps drifted: {base_steps} -> {fresh_steps}"
+                )
+                failed = True
+        print(f"{name:<10} {base_ms:>9.1f} {fresh_ms:>9.1f} {ratio:>6.2f}{flag}")
+
+    if failed:
+        print("check_perf: regression flagged (non-blocking signal)")
+        return 1
+    print("check_perf: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

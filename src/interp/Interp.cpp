@@ -6,6 +6,8 @@
 
 #include "interp/Interp.h"
 
+#include "interp/bytecode/BytecodeCompiler.h"
+#include "interp/bytecode/BytecodeVM.h"
 #include "obs/Telemetry.h"
 #include "support/Prng.h"
 #include "support/StringUtils.h"
@@ -1170,6 +1172,13 @@ const char *sest::runLimitName(RunLimit L) {
 RunResult sest::runProgram(const TranslationUnit &Unit,
                            const CfgModule &Cfgs, const ProgramInput &Input,
                            const InterpOptions &Options) {
-  Interpreter I(Unit, Cfgs, Input, Options);
-  return I.run();
+  if (Options.Engine == InterpEngine::Ast) {
+    Interpreter I(Unit, Cfgs, Input, Options);
+    return I.run();
+  }
+  // One-shot bytecode run: lower, execute, discard. Callers that run
+  // many inputs against one program (the suite runner) compile once and
+  // use bc::runProgramBytecode directly.
+  bc::BcModule Module = bc::compileBytecode(Unit, Cfgs);
+  return bc::runProgramBytecode(Unit, Cfgs, Module, Input, Options);
 }

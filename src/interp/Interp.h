@@ -39,6 +39,14 @@ struct ProgramInput {
   uint64_t RandSeed = 1;
 };
 
+/// Which execution engine runs the program. Both produce bit-identical
+/// RunResults (profiles, diagnostics, limit semantics); the tree-walker
+/// is the reference oracle, the bytecode VM is the fast default.
+enum class InterpEngine {
+  Ast,      ///< Recursive tree-walker (interp/Interp.cpp).
+  Bytecode, ///< Compile-once bytecode VM (interp/bytecode/).
+};
+
 /// Knobs for one execution.
 struct InterpOptions {
   /// Abort the run after this many evaluation steps (runaway guard).
@@ -56,6 +64,8 @@ struct InterpOptions {
   /// (the Fig. 10 experiment).
   std::set<const FunctionDecl *> OptimizedFunctions;
   double OptimizedCostFactor = 0.5;
+  /// Execution engine (see InterpEngine).
+  InterpEngine Engine = InterpEngine::Bytecode;
 };
 
 /// Which resource limit (if any) aborted a run.

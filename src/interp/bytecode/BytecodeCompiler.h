@@ -1,0 +1,38 @@
+//===- interp/bytecode/BytecodeCompiler.h - CFG -> bytecode -----*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers every defined function's CFG into a BcModule: block labels are
+/// resolved to instruction offsets, locals become frame cell offsets,
+/// expression trees are flattened onto a register window in the walker's
+/// exact evaluation order, and profile-counter bumps are fused into the
+/// branch / call instructions. Lowering happens once per program; runs
+/// share the module read-only, so the suite runner can execute inputs
+/// concurrently against one compiled module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTERP_BYTECODE_BYTECODECOMPILER_H
+#define INTERP_BYTECODE_BYTECODECOMPILER_H
+
+#include "interp/bytecode/Bytecode.h"
+
+namespace sest {
+class CfgModule;
+struct TranslationUnit;
+} // namespace sest
+
+namespace sest::bc {
+
+/// Lowers \p Unit (with CFGs from \p Cfgs) into bytecode. Never fails:
+/// constructs that cannot execute (unresolved references, non-assignable
+/// lvalues) lower to FailMsg instructions carrying the tree-walker's
+/// exact diagnostic.
+BcModule compileBytecode(const TranslationUnit &Unit, const CfgModule &Cfgs);
+
+} // namespace sest::bc
+
+#endif // INTERP_BYTECODE_BYTECODECOMPILER_H

@@ -1,0 +1,34 @@
+//===- interp/bytecode/BytecodeVM.h - Bytecode executor ---------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a BcModule with a tight dispatch loop (computed goto on
+/// GCC/Clang, dense switch elsewhere). Produces bit-identical RunResults
+/// — profiles, diagnostics, limit/high-water semantics — to the
+/// tree-walking Interpreter in interp/Interp.cpp, which remains the
+/// reference oracle (InterpEngine::Ast).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef INTERP_BYTECODE_BYTECODEVM_H
+#define INTERP_BYTECODE_BYTECODEVM_H
+
+#include "interp/Interp.h"
+#include "interp/bytecode/Bytecode.h"
+
+namespace sest::bc {
+
+/// Runs a precompiled \p Module. The module is read-only here, so
+/// callers may execute many inputs concurrently against one module
+/// (each run on its own thread with its own VM state).
+RunResult runProgramBytecode(const TranslationUnit &Unit,
+                             const CfgModule &Cfgs, const BcModule &Module,
+                             const ProgramInput &Input,
+                             const InterpOptions &Options);
+
+} // namespace sest::bc
+
+#endif // INTERP_BYTECODE_BYTECODEVM_H

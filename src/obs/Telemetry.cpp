@@ -124,6 +124,77 @@ void Telemetry::endPhase() {
   Events.push_back(std::move(E));
 }
 
+namespace {
+
+/// Merges \p From into \p Into: same-name children unify (first-seen
+/// order preserved), everything else is appended.
+void mergePhaseChildren(const PhaseNode &From, PhaseNode &Into) {
+  for (const auto &FC : From.Children) {
+    PhaseNode *Node = nullptr;
+    for (const auto &C : Into.Children)
+      if (C->Name == FC->Name) {
+        Node = C.get();
+        break;
+      }
+    if (!Node) {
+      Into.Children.push_back(std::make_unique<PhaseNode>());
+      Node = Into.Children.back().get();
+      Node->Name = FC->Name;
+    }
+    Node->Count += FC->Count;
+    Node->TotalUs += FC->TotalUs;
+    Node->ChildUs += FC->ChildUs;
+    mergePhaseChildren(*FC, *Node);
+  }
+}
+
+} // namespace
+
+void Telemetry::mergeFrom(const Telemetry &Other) {
+  assert(Other.Open.empty() && "merging a context with open phases");
+
+  for (const auto &[Name, Value] : Other.Counters)
+    add(Name, Value);
+  for (const auto &[Name, Value] : Other.Gauges)
+    raiseMax(Name, Value);
+  for (const auto &[Name, H] : Other.Histograms) {
+    auto It = Histograms.find(Name);
+    if (It == Histograms.end()) {
+      Histograms.emplace(Name, H);
+      continue;
+    }
+    HistogramStats &D = It->second;
+    D.Count += H.Count;
+    D.Sum += H.Sum;
+    D.Min = std::min(D.Min, H.Min);
+    D.Max = std::max(D.Max, H.Max);
+  }
+
+  // Graft the phase tree under the innermost open phase so merged work
+  // nests where the merge happens (e.g. per-run contexts under
+  // "suite.run"). The grafted top-level time is child time of that
+  // phase.
+  PhaseNode &Parent = Open.empty() ? Root : *Open.back().Node;
+  Parent.ChildUs += Other.Root.ChildUs;
+  mergePhaseChildren(Other.Root, Parent);
+
+  // Replay events on this context's clock. Both epochs come from the
+  // same steady clock, so the offset lines spans up where they really
+  // ran; clamp in case Other predates this context.
+  int64_t EpochDelta = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Other.Epoch - Epoch)
+                           .count();
+  unsigned BaseDepth = static_cast<unsigned>(Open.size());
+  Events.reserve(Events.size() + Other.Events.size());
+  for (const TraceEvent &E : Other.Events) {
+    TraceEvent Copy = E;
+    int64_t Start = static_cast<int64_t>(E.StartUs) + EpochDelta;
+    Copy.StartUs = Start > 0 ? static_cast<uint64_t>(Start) : 0;
+    Copy.Depth = E.Depth + BaseDepth;
+    Events.push_back(std::move(Copy));
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Rendering
 //===----------------------------------------------------------------------===//

@@ -125,6 +125,15 @@ public:
   void beginPhase(std::string_view Name, std::string_view Detail = {});
   void endPhase();
 
+  /// Folds everything \p Other collected into this context: counters
+  /// sum, gauges take the max, histograms combine, \p Other's phase
+  /// tree is grafted under the innermost currently-open phase (nodes
+  /// with the same name merge, preserving first-seen order), and its
+  /// trace events are appended with timestamps remapped onto this
+  /// context's epoch. \p Other must have no open phases. Used by the
+  /// parallel suite runner to merge per-run contexts deterministically.
+  void mergeFrom(const Telemetry &Other);
+
   //===--------------------------------------------------------------------===//
   // Inspection
   //===--------------------------------------------------------------------===//

@@ -6,10 +6,14 @@
 
 #include "suite/SuiteRunner.h"
 
+#include "interp/bytecode/BytecodeCompiler.h"
+#include "interp/bytecode/BytecodeVM.h"
 #include "obs/Telemetry.h"
 #include "support/Json.h"
 
+#include <atomic>
 #include <chrono>
+#include <thread>
 
 using namespace sest;
 
@@ -20,6 +24,56 @@ using Clock = std::chrono::steady_clock;
 double msSince(Clock::time_point Start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - Start)
       .count();
+}
+
+/// Lowers a successfully compiled program to bytecode. The module is
+/// read-only at run time, so every input (possibly on several threads)
+/// executes against this one copy.
+void prepareEngine(CompiledSuiteProgram &P, const InterpOptions &Options) {
+  if (P.Ok && Options.Engine == InterpEngine::Bytecode)
+    P.Bc = std::make_unique<bc::BcModule>(
+        bc::compileBytecode(P.unit(), *P.Cfgs));
+}
+
+/// One timed input execution on whichever engine was prepared.
+struct RunOutcome {
+  RunResult R;
+  double WallMs = 0.0;
+};
+
+RunOutcome timedRun(const CompiledSuiteProgram &P, const ProgramInput &Input,
+                    const InterpOptions &Options) {
+  Clock::time_point Start = Clock::now();
+  RunOutcome O;
+  O.R = P.Bc ? bc::runProgramBytecode(P.unit(), *P.Cfgs, *P.Bc, Input,
+                                      Options)
+             : runProgram(P.unit(), *P.Cfgs, Input, Options);
+  O.WallMs = msSince(Start);
+  return O;
+}
+
+/// Folds one run into its program's stats/profiles. Returns false when
+/// the run failed — the program's remaining inputs must be discarded.
+bool absorbRun(CompiledSuiteProgram &Out, const ProgramInput &Input,
+               RunOutcome O) {
+  SuiteRunStats Stats;
+  Stats.InputName = Input.Name;
+  Stats.WallMs = O.WallMs;
+  Stats.Steps = O.R.StepsExecuted;
+  Stats.Cycles = O.R.TheProfile.TotalCycles;
+  Stats.HeapCellsHighWater = O.R.HeapCellsHighWater;
+  Stats.CallDepthHighWater = O.R.CallDepthHighWater;
+  Stats.ExitCode = O.R.ExitCode;
+  Out.RunStats.push_back(std::move(Stats));
+  if (!O.R.Ok) {
+    Out.Ok = false;
+    Out.Error = Out.Spec->Name + " on input '" + Input.Name +
+                "': " + O.R.Error;
+    return false;
+  }
+  O.R.TheProfile.ProgramName = Out.Spec->Name;
+  Out.Profiles.push_back(std::move(O.R.TheProfile));
+  return true;
 }
 
 } // namespace
@@ -53,47 +107,99 @@ sest::compileAndProfileProgram(const SuiteProgram &Program,
                                const InterpOptions &Options) {
   obs::ScopedPhase Phase("suite.program", Program.Name);
   CompiledSuiteProgram Out = compileProgramOnly(Program);
+  prepareEngine(Out, Options);
   if (!Out.Ok)
     return Out;
 
-  for (const ProgramInput &Input : Program.Inputs) {
-    Clock::time_point Start = Clock::now();
-    RunResult R = runProgram(Out.unit(), *Out.Cfgs, Input, Options);
-    SuiteRunStats Stats;
-    Stats.InputName = Input.Name;
-    Stats.WallMs = msSince(Start);
-    Stats.Steps = R.StepsExecuted;
-    Stats.Cycles = R.TheProfile.TotalCycles;
-    Stats.HeapCellsHighWater = R.HeapCellsHighWater;
-    Stats.CallDepthHighWater = R.CallDepthHighWater;
-    Stats.ExitCode = R.ExitCode;
-    Out.RunStats.push_back(std::move(Stats));
-    if (!R.Ok) {
-      Out.Ok = false;
-      Out.Error = Program.Name + " on input '" + Input.Name +
-                  "': " + R.Error;
-      return Out;
-    }
-    R.TheProfile.ProgramName = Program.Name;
-    Out.Profiles.push_back(std::move(R.TheProfile));
-  }
+  for (const ProgramInput &Input : Program.Inputs)
+    if (!absorbRun(Out, Input, timedRun(Out, Input, Options)))
+      break;
   return Out;
 }
 
 std::vector<CompiledSuiteProgram>
-sest::compileAndProfileSuite(const InterpOptions &Options) {
+sest::compileAndProfileSuite(const InterpOptions &Options, unsigned Jobs) {
   obs::ScopedPhase Phase("suite.run");
+
+  // Compile (and lower) every program once, up front and serially —
+  // compilation is a sliver of the suite's wall time.
   std::vector<CompiledSuiteProgram> Out;
-  for (const SuiteProgram &P : benchmarkSuite())
-    Out.push_back(compileAndProfileProgram(P, Options));
+  for (const SuiteProgram &P : benchmarkSuite()) {
+    obs::ScopedPhase ProgPhase("suite.program", P.Name);
+    Out.push_back(compileProgramOnly(P));
+    prepareEngine(Out.back(), Options);
+  }
+
+  // Fan the (program, input) runs out over a small thread pool. Every
+  // run collects into a private Telemetry context so worker threads
+  // never touch the ambient one.
+  struct Task {
+    size_t Prog;
+    const ProgramInput *Input;
+  };
+  std::vector<Task> Tasks;
+  for (size_t I = 0; I < Out.size(); ++I)
+    if (Out[I].Ok)
+      for (const ProgramInput &Input : Out[I].Spec->Inputs)
+        Tasks.push_back({I, &Input});
+
+  struct TaskResult {
+    RunOutcome O;
+    std::unique_ptr<obs::Telemetry> T;
+  };
+  std::vector<TaskResult> Results(Tasks.size());
+
+  auto RunTask = [&](size_t I) {
+    auto T = std::make_unique<obs::Telemetry>();
+    T->install();
+    Results[I].O = timedRun(Out[Tasks[I].Prog], *Tasks[I].Input, Options);
+    T->uninstall();
+    Results[I].T = std::move(T);
+  };
+
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+  if (Jobs <= 1 || Tasks.size() <= 1) {
+    for (size_t I = 0; I < Tasks.size(); ++I)
+      RunTask(I);
+  } else {
+    std::atomic<size_t> Next{0};
+    auto Worker = [&] {
+      for (size_t I; (I = Next.fetch_add(1)) < Tasks.size();)
+        RunTask(I);
+    };
+    std::vector<std::thread> Pool;
+    unsigned N = std::min<size_t>(Jobs, Tasks.size());
+    Pool.reserve(N);
+    for (unsigned I = 0; I < N; ++I)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Fold results back in input order. A failing input ends its program
+  // exactly like a serial run: later inputs' results and telemetry are
+  // dropped, so the report is independent of the job count.
+  obs::Telemetry *Ambient = obs::Telemetry::active();
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    CompiledSuiteProgram &P = Out[Tasks[I].Prog];
+    if (!P.Ok)
+      continue;
+    if (Ambient && Results[I].T)
+      Ambient->mergeFrom(*Results[I].T);
+    absorbRun(P, *Tasks[I].Input, std::move(Results[I].O));
+  }
   return Out;
 }
 
 std::string
-sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs) {
+sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
+                      InterpEngine Engine) {
   JsonWriter W;
   W.beginObject();
-  W.member("schema", "sest-suite-report/1");
+  W.member("schema", "sest-suite-report/2");
+  W.member("engine",
+           Engine == InterpEngine::Bytecode ? "bytecode" : "ast");
 
   unsigned NumOk = 0, NumRuns = 0;
   double TotalWallMs = 0.0, TotalCompileMs = 0.0;

@@ -18,6 +18,7 @@
 #include "callgraph/CallGraph.h"
 #include "cfg/Cfg.h"
 #include "interp/Interp.h"
+#include "interp/bytecode/Bytecode.h"
 #include "lang/Parser.h"
 #include "profile/Profile.h"
 #include "suite/Suite.h"
@@ -45,6 +46,10 @@ struct CompiledSuiteProgram {
   std::unique_ptr<AstContext> Ctx;
   std::unique_ptr<CfgModule> Cfgs;
   std::unique_ptr<CallGraph> CG;
+  /// The program lowered to bytecode, compiled once and shared (it is
+  /// read-only at run time) by every input run — including concurrent
+  /// ones. Null when the AST engine is selected.
+  std::unique_ptr<bc::BcModule> Bc;
   /// One profile per input, in input order.
   std::vector<Profile> Profiles;
   /// Wall time / usage per input, parallel to Profiles.
@@ -69,16 +74,26 @@ CompiledSuiteProgram compileProgramOnly(const SuiteProgram &Program);
 
 /// Compiles and profiles the entire suite (in Table 1 order). Programs
 /// that fail are still present with Ok == false.
+///
+/// Each program is compiled (and lowered to bytecode) once; the
+/// (program, input) runs are then executed by a pool of \p Jobs worker
+/// threads (0 = hardware_concurrency). Every run collects into its own
+/// Telemetry context; the contexts are merged into the ambient one in
+/// input order, and a program's inputs after its first failing one are
+/// discarded, so results and telemetry are identical to a serial run
+/// regardless of the job count.
 std::vector<CompiledSuiteProgram>
-compileAndProfileSuite(const InterpOptions &Options = {});
+compileAndProfileSuite(const InterpOptions &Options = {}, unsigned Jobs = 0);
 
 /// Renders compiled-suite results as the machine-readable
 /// suite_report.json document (per-program compile time, per-input wall
 /// time and resource usage, suite totals). When a telemetry context is
 /// installed on this thread its full report is embedded under
-/// "telemetry".
+/// "telemetry". \p Engine names the interpreter tier that produced the
+/// runs.
 std::string
-suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs);
+suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
+                InterpEngine Engine = InterpEngine::Bytecode);
 
 } // namespace sest
 

@@ -76,6 +76,8 @@ void out(const std::string &S) { std::fputs(S.c_str(), stdout); }
       "  --counted-loops              exact constant trip counts\n"
       "  --input TEXT                 program input\n"
       "  --seed N                     rand() seed\n"
+      "  --interp ast|bytecode        execution engine (default bytecode)\n"
+      "  --jobs N                     suite worker threads (0 = cores)\n"
       "  --trace FILE                 write Chrome trace-event JSON\n"
       "  --stats                      print phase times and counters\n"
       "  --report FILE                write machine-readable JSON report\n");
@@ -92,6 +94,8 @@ struct Options {
   std::string ReportFile;
   bool Stats = false;
   uint64_t Seed = 1;
+  unsigned Jobs = 0;
+  InterpEngine Engine = InterpEngine::Bytecode;
   EstimatorOptions Est;
 };
 
@@ -140,6 +144,17 @@ Options parseArgs(int argc, char **argv) {
       O.Input = Next();
     } else if (A == "--seed") {
       O.Seed = std::strtoull(Next().c_str(), nullptr, 10);
+    } else if (A == "--interp") {
+      std::string V = Next();
+      if (V == "ast")
+        O.Engine = InterpEngine::Ast;
+      else if (V == "bytecode")
+        O.Engine = InterpEngine::Bytecode;
+      else
+        usage();
+    } else if (A == "--jobs") {
+      O.Jobs = static_cast<unsigned>(
+          std::strtoul(Next().c_str(), nullptr, 10));
     } else if (A == "--emit-profile") {
       O.EmitProfile = Next();
     } else if (A == "--score-profile") {
@@ -185,7 +200,10 @@ bool writeTextFile(const std::string &Path, const std::string &Content) {
 /// --suite: compile and profile every built-in benchmark program,
 /// print a summary table, and optionally write the JSON suite report.
 int runSuite(const Options &O) {
-  std::vector<CompiledSuiteProgram> Programs = compileAndProfileSuite();
+  InterpOptions Interp;
+  Interp.Engine = O.Engine;
+  std::vector<CompiledSuiteProgram> Programs =
+      compileAndProfileSuite(Interp, O.Jobs);
 
   TextTable T;
   T.setHeader({"Program", "Status", "Compile ms", "Runs", "Steps",
@@ -210,7 +228,7 @@ int runSuite(const Options &O) {
       out("error: " + P.Error + "\n");
 
   if (!O.ReportFile.empty()) {
-    if (!writeTextFile(O.ReportFile, suiteReportJson(Programs)))
+    if (!writeTextFile(O.ReportFile, suiteReportJson(Programs, O.Engine)))
       return 1;
     out("suite report written to " + O.ReportFile + "\n");
   }
@@ -330,7 +348,9 @@ int runAction(const Options &O) {
   ProgramInput In;
   In.Text = O.Input;
   In.RandSeed = O.Seed;
-  RunResult R = runProgram(Ctx.unit(), Cfgs, In);
+  InterpOptions Interp;
+  Interp.Engine = O.Engine;
+  RunResult R = runProgram(Ctx.unit(), Cfgs, In, Interp);
   out("\n-- program output --\n" + R.Output);
   if (!R.Ok) {
     out("\nruntime error: " + R.Error + "\n");
