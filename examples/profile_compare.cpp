@@ -5,13 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// How stable are profiles across inputs? The premise behind both
-/// profiling *and* static estimation (after Fisher & Freudenberger) is
-/// that programs behave consistently across inputs. This example
-/// cross-scores every pair of a program's input profiles with the
-/// weight-matching metric, round-trips one profile through the text
-/// serialization, and prints the leave-one-out aggregate score — the
-/// "profiling" column of the paper's figures.
+/// How stable are profiles across inputs, and *where* does the static
+/// estimator diverge from reality? The premise behind both profiling
+/// and static estimation (after Fisher & Freudenberger) is that
+/// programs behave consistently across inputs. This example drives the
+/// accuracy-attribution API (obs/Accuracy.h) three ways: it attributes
+/// the static estimate against the aggregate profile (per-family scores
+/// plus WORST-n divergence tables naming the blocks, functions, call
+/// sites and branches that cost the score), cross-scores every pair of
+/// input profiles, and runs the paper's §3 leave-one-out protocol with
+/// each held-out input scored through the same attribution path.
 ///
 /// Usage: profile_compare [suite-program-name]   (default: eqntott)
 ///
@@ -19,6 +22,7 @@
 
 #include "estimators/Pipeline.h"
 #include "metrics/Evaluation.h"
+#include "obs/Accuracy.h"
 #include "suite/SuiteRunner.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
@@ -46,7 +50,21 @@ int main(int argc, char **argv) {
     return 1;
   }
   auto Ids = scoredFunctionIds(P.unit());
+  EstimatorOptions Opts;
 
+  // Attribute the static estimate against the aggregate of every input
+  // profile: not just "what is the score" but which entities lost it.
+  Profile Agg = aggregateProfiles(P.Profiles);
+  Agg.ProgramName = Spec->Name;
+  Agg.InputName = "aggregate(" + std::to_string(P.Profiles.size()) + ")";
+  ProgramEstimate Static = estimateProgram(P.unit(), *P.Cfgs, *P.CG, Opts);
+  obs::AccuracyReport Rep = obs::computeAccuracy(
+      P.unit(), *P.Cfgs, *P.CG, Static, Agg, Opts);
+  print(obs::renderAccuracySummary(Rep));
+  print("\n" + obs::renderWorstTables(Rep, 5) + "\n");
+
+  // Cross-input stability: every input profile replayed as an estimator
+  // and scored against every other input.
   print("Pairwise intra-procedural weight matching (5% cutoff) between "
         "input profiles of '" + Name + "':\n\n");
   TextTable T;
@@ -64,14 +82,30 @@ int main(int argc, char **argv) {
   }
   print(T.str());
 
-  // Leave-one-out aggregate, the paper's §3 protocol.
+  // Leave-one-out aggregate, the paper's §3 protocol — each held-out
+  // input scored through the same attribution path, so the per-family
+  // scores of "profiling with alternate inputs" line up with the static
+  // estimator's summary above.
+  print("\nLeave-one-out (profiling with alternate inputs):\n");
+  TextTable L;
+  L.setHeader({"Held out", "Blocks", "Functions", "Call sites", "Intra"});
   double Sum = 0;
   for (size_t I = 0; I < P.Profiles.size(); ++I) {
-    Profile Agg = aggregateExcept(P.Profiles, I);
-    ProgramEstimate E = estimateFromProfile(Agg, *P.CG);
-    Sum += intraProceduralScore(E, P.Profiles[I], Ids, 0.05);
+    Profile Rest = aggregateExcept(P.Profiles, I);
+    ProgramEstimate E = estimateFromProfile(Rest, *P.CG);
+    obs::AccuracyOptions AOpts;
+    AOpts.Cutoff = 0.05;
+    AOpts.SweepCutoffs = {};
+    obs::AccuracyReport R = obs::computeAccuracy(
+        P.unit(), *P.Cfgs, *P.CG, E, P.Profiles[I], Opts, AOpts);
+    L.addRow({P.Profiles[I].InputName, formatPercent(R.Blocks.Score),
+              formatPercent(R.Functions.Score),
+              formatPercent(R.CallSites.Score),
+              formatPercent(R.IntraScore)});
+    Sum += R.IntraScore;
   }
-  print("\nLeave-one-out aggregate score: " +
+  print(L.str());
+  print("Leave-one-out aggregate score: " +
         formatPercent(Sum / P.Profiles.size()) + "\n");
 
   // Serialization round trip.

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Compare a fresh suite accuracy report against the checked-in baseline.
+
+Runs ``sestc --suite --accuracy-report`` and compares per-program family
+scores (block / function / call-site weight matching at the attribution
+cutoff), the intra-procedural protocol score and the static branch miss
+rate with ``bench/accuracy_report.json``. Accuracy is a pure function of
+the estimates and the deterministic profiles, so fresh values should
+match the baseline exactly on any machine; the tolerance only absorbs
+floating-point differences across toolchains, and only *regressions*
+(scores down, miss rate up, beyond tolerance) are flagged — genuine
+improvements are reported but pass, with a hint to re-run
+scripts/regenerate.sh.
+
+Exit status: 0 = no regression, 1 = regression flagged, 2 = could not
+run. Intended as a non-blocking CI signal (continue-on-error).
+
+Usage: scripts/check_accuracy.py [--build BUILD_DIR] [--baseline FILE]
+                                 [--tolerance ABS]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# (label, extractor, higher_is_better)
+METRICS = [
+    ("block", lambda p: p["families"]["block"]["score"], True),
+    ("function", lambda p: p["families"]["function"]["score"], True),
+    ("call_site", lambda p: p["families"]["call_site"]["score"], True),
+    ("intra", lambda p: p["intra_weighted"]["score"], True),
+    ("miss_rate", lambda p: p["branches"]["miss_rate"], False),
+]
+
+
+def load_programs(report):
+    return {p["program"]: p for p in report.get("programs", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build", help="build directory")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join(ROOT, "bench", "accuracy_report.json"),
+        help="checked-in baseline accuracy report",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.005,
+        help="absolute score drift tolerated before flagging",
+    )
+    args = ap.parse_args()
+
+    sestc = os.path.join(args.build, "tools", "sestc")
+    if not os.path.exists(sestc):
+        print(f"check_accuracy: {sestc} not built", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"check_accuracy: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+    if baseline.get("schema") != "sest-accuracy-report/1":
+        print(
+            f"check_accuracy: unexpected baseline schema "
+            f"{baseline.get('schema')!r}",
+            file=sys.stderr,
+        )
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        subprocess.run(
+            [sestc, "--suite", "--accuracy-report", fresh_path],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+    except (subprocess.CalledProcessError, OSError, ValueError) as e:
+        print(f"check_accuracy: suite run failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        os.unlink(fresh_path)
+
+    base_progs = load_programs(baseline)
+    fresh_progs = load_programs(fresh)
+
+    failed = False
+    improved = False
+    header = f"{'program':<10} " + " ".join(
+        f"{label:>10}" for label, _, _ in METRICS
+    )
+    print(header)
+    for name, base in sorted(base_progs.items()):
+        freshp = fresh_progs.get(name)
+        if freshp is None:
+            print(f"{name:<10} missing from fresh report")
+            failed = True
+            continue
+        cells = []
+        for label, extract, higher_better in METRICS:
+            try:
+                b, f = extract(base), extract(freshp)
+            except (KeyError, TypeError):
+                cells.append(f"{'?':>10}")
+                failed = True
+                continue
+            delta = f - b
+            regression = -delta if higher_better else delta
+            mark = ""
+            if regression > args.tolerance:
+                mark = "!"
+                failed = True
+            elif -regression > args.tolerance:
+                mark = "+"
+                improved = True
+            cells.append(f"{f:>9.4f}{mark or ' '}")
+        print(f"{name:<10} " + " ".join(cells))
+
+    for name in sorted(set(fresh_progs) - set(base_progs)):
+        print(f"{name:<10} new program (not in baseline)")
+        improved = True
+
+    if failed:
+        print(
+            "check_accuracy: accuracy regression flagged "
+            "(non-blocking signal); '!' marks the regressed metric"
+        )
+        return 1
+    if improved:
+        print(
+            "check_accuracy: accuracy improved ('+'); consider "
+            "re-running scripts/regenerate.sh to refresh the baseline"
+        )
+    else:
+        print("check_accuracy: matches baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

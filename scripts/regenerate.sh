@@ -1,5 +1,10 @@
 #!/usr/bin/env bash
-# Regenerates every reproduced table and figure plus the test evidence.
+# Regenerates every reproduced table and figure plus the test evidence,
+# and refreshes both checked-in baselines (bench/suite_report.json and
+# bench/accuracy_report.json). Baselines must come from a Release build:
+# wall times from an unoptimized build are misleading, and mixing build
+# types makes the perf baseline incomparable — so this script configures
+# Release and fails loudly if the build directory disagrees.
 # Usage: scripts/regenerate.sh [build-dir]
 set -euo pipefail
 
@@ -7,7 +12,17 @@ BUILD="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-cmake -B "$BUILD" -G Ninja
+cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")"
+if [ "$BUILD_TYPE" != "Release" ]; then
+  echo "regenerate.sh: FATAL: '$BUILD' is configured as" \
+    "'${BUILD_TYPE:-<unset>}', not Release." >&2
+  echo "regenerate.sh: baselines must be regenerated from a Release" \
+    "build; delete '$BUILD' (or pass a fresh build dir) and re-run." >&2
+  exit 1
+fi
+
 cmake --build "$BUILD"
 
 ctest --test-dir "$BUILD" -j"$(nproc)" 2>&1 | tee test_output.txt
@@ -20,5 +35,9 @@ for b in "$BUILD"/bench/bench_*; do
 done 2>&1 | tee bench_output.txt
 
 # Refresh the checked-in suite run report (per-program compile time,
-# per-input wall time and resource usage) — the trajectory baseline.
-"$BUILD"/tools/sestc --suite --report bench/suite_report.json
+# per-input wall time and resource usage) — the trajectory baseline —
+# and the accuracy baseline (per-entity divergence attribution; see
+# docs/OBSERVABILITY.md and scripts/check_accuracy.py).
+"$BUILD"/tools/sestc --suite \
+  --report bench/suite_report.json \
+  --accuracy-report bench/accuracy_report.json

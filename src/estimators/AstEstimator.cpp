@@ -10,6 +10,18 @@
 
 using namespace sest;
 
+const char *sest::intraEstimatorName(IntraEstimatorKind K) {
+  switch (K) {
+  case IntraEstimatorKind::Loop:
+    return "loop";
+  case IntraEstimatorKind::Smart:
+    return "smart";
+  case IntraEstimatorKind::Markov:
+    return "markov";
+  }
+  return "?";
+}
+
 double AstFrequencies::lookup(const Stmt *S, AnchorKind K) const {
   if (!S)
     return 0.0;

@@ -301,6 +301,14 @@ BranchPrediction decide(bool PredictTrue, double TakenProb,
   return P;
 }
 
+/// Records the single rule that produced \p P as its attribution — used
+/// by every path where exactly one heuristic speaks (constant folds,
+/// loop models, the default rule).
+void recordSoloOpinion(BranchPrediction &P) {
+  P.Fired = {{P.Heuristic, P.PredictTrue,
+              P.PredictTrue ? P.ProbTrue : 1.0 - P.ProbTrue}};
+}
+
 } // namespace
 
 BranchPrediction BranchPredictor::predictCondition(
@@ -313,6 +321,7 @@ BranchPrediction BranchPredictor::predictCondition(
     P.ProbTrue = P.PredictTrue ? 1.0 : 0.0;
     P.ConstantCondition = true;
     P.Heuristic = "constant";
+    recordSoloOpinion(P);
     return P;
   }
 
@@ -324,6 +333,9 @@ BranchPrediction BranchPredictor::predictCondition(
     BranchPrediction P = Inner;
     P.PredictTrue = !Inner.PredictTrue;
     P.ProbTrue = 1.0 - Inner.ProbTrue;
+    // The attribution speaks about the outer (negated) condition.
+    for (HeuristicOpinion &O : P.Fired)
+      O.PredictTrue = !O.PredictTrue;
     return P;
   }
 
@@ -411,18 +423,34 @@ BranchPrediction BranchPredictor::predictCondition(
       Firing.push_back({"store", ThenWrites, Config.StoreConfidence});
   }
 
-  if (Firing.empty())
-    return decide(true, Config.TakenProbability, "default");
+  if (Firing.empty()) {
+    BranchPrediction P = decide(true, Config.TakenProbability, "default");
+    recordSoloOpinion(P);
+    return P;
+  }
+
+  std::vector<HeuristicOpinion> Opinions;
+  Opinions.reserve(Firing.size());
+  for (const Evidence &E : Firing)
+    Opinions.push_back({E.Name, E.PredictTrue, E.Confidence});
 
   switch (Config.ProbMode) {
-  case ProbabilityMode::Fixed:
+  case ProbabilityMode::Fixed: {
     // The paper's scheme: direction from the first heuristic, the fixed
     // 0.8 as its probability.
-    return decide(Firing.front().PredictTrue, Config.TakenProbability,
-                  Firing.front().Name);
-  case ProbabilityMode::PerHeuristic:
-    return decide(Firing.front().PredictTrue, Firing.front().Confidence,
-                  Firing.front().Name);
+    BranchPrediction P = decide(Firing.front().PredictTrue,
+                                Config.TakenProbability,
+                                Firing.front().Name);
+    P.Fired = std::move(Opinions);
+    return P;
+  }
+  case ProbabilityMode::PerHeuristic: {
+    BranchPrediction P = decide(Firing.front().PredictTrue,
+                                Firing.front().Confidence,
+                                Firing.front().Name);
+    P.Fired = std::move(Opinions);
+    return P;
+  }
   case ProbabilityMode::DempsterShafer: {
     // Combine all opinions: with per-heuristic probabilities p_i that
     // the condition is *true*, the combined belief is
@@ -438,10 +466,13 @@ BranchPrediction BranchPredictor::predictCondition(
     P.PredictTrue = ProbTrue >= 0.5;
     P.ProbTrue = ProbTrue;
     P.Heuristic = Firing.front().Name;
+    P.Fired = std::move(Opinions);
     return P;
   }
   }
-  return decide(true, Config.TakenProbability, "default");
+  BranchPrediction P = decide(true, Config.TakenProbability, "default");
+  recordSoloOpinion(P);
+  return P;
 }
 
 BranchPrediction
@@ -525,6 +556,7 @@ BranchPredictor::predictFunction(const Cfg &G) const {
         P.ProbTrue = P.PredictTrue ? 1.0 : 0.0;
         P.ConstantCondition = true;
         P.Heuristic = "constant";
+        recordSoloOpinion(P);
         Out.ByBlock[B->id()] = P;
         continue;
       }
@@ -543,6 +575,7 @@ BranchPredictor::predictFunction(const Cfg &G) const {
           }
         }
       }
+      recordSoloOpinion(P);
       Out.ByBlock[B->id()] = P;
       continue;
     }
@@ -569,6 +602,7 @@ BranchPredictor::predictFunction(const Cfg &G) const {
           P.ProbTrue = P.PredictTrue ? 1.0 : 0.0;
           P.ConstantCondition = true;
           P.Heuristic = "constant";
+          recordSoloOpinion(P);
           Out.ByBlock[B->id()] = P;
           continue;
         }
@@ -577,6 +611,7 @@ BranchPredictor::predictFunction(const Cfg &G) const {
         double Stay = loopContinueProbability();
         P.ProbTrue = TrueInside ? Stay : 1.0 - Stay;
         P.Heuristic = "cfg-loop";
+        recordSoloOpinion(P);
         Out.ByBlock[B->id()] = P;
         continue;
       }

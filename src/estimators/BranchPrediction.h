@@ -100,6 +100,21 @@ struct BranchPredictorConfig {
   double StoreConfidence = 0.55;
 };
 
+/// One heuristic's opinion about a branch — the attribution record that
+/// explains *why* a direction was predicted. Every heuristic that fired
+/// is recorded, not just the one that decided, so mispredictions can be
+/// traced back to the responsible rule (and future tuning can reweight
+/// heuristics against measured outcomes).
+struct HeuristicOpinion {
+  /// Short heuristic name ("loop", "pointer", "opcode", ...).
+  const char *Name = "default";
+  /// The direction this heuristic votes for.
+  bool PredictTrue = true;
+  /// Its confidence in that direction (the configured per-heuristic
+  /// confidence; TakenProbability for the default/fixed rules).
+  double Confidence = 0.5;
+};
+
 /// Prediction for one two-way conditional branch.
 struct BranchPrediction {
   /// True when the condition is predicted to evaluate true.
@@ -111,6 +126,11 @@ struct BranchPrediction {
   bool ConstantCondition = false;
   /// Short name of the heuristic that decided ("loop", "pointer", ...).
   const char *Heuristic = "default";
+  /// Every heuristic that fired on this condition, in priority order;
+  /// the first entry is the decider (under Dempster-Shafer all entries
+  /// contribute to ProbTrue). Never empty: fallback paths record a
+  /// single "default" / "constant" / "loop" opinion.
+  std::vector<HeuristicOpinion> Fired;
 };
 
 /// Per-function branch predictions keyed by basic-block id (blocks with

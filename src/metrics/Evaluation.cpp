@@ -18,12 +18,12 @@ std::vector<size_t> sest::scoredFunctionIds(const TranslationUnit &Unit) {
   return Ids;
 }
 
-double sest::intraProceduralScore(const ProgramEstimate &Estimate,
-                                  const Profile &Actual,
-                                  const std::vector<size_t> &FunctionIds,
-                                  double Cutoff) {
-  double WeightedSum = 0.0;
-  double WeightTotal = 0.0;
+std::vector<FunctionIntraScore>
+sest::intraPerFunctionScores(const ProgramEstimate &Estimate,
+                             const Profile &Actual,
+                             const std::vector<size_t> &FunctionIds,
+                             double Cutoff) {
+  std::vector<FunctionIntraScore> Out;
   for (size_t F : FunctionIds) {
     const FunctionProfile &FP = Actual.Functions[F];
     if (FP.EntryCount <= 0)
@@ -33,10 +33,23 @@ double sest::intraProceduralScore(const ProgramEstimate &Estimate,
       continue;
     double Score = weightMatchingScore(Estimate.BlockEstimates[F],
                                        FP.BlockCounts, Cutoff);
-    // "the resulting per-function scores were then averaged, weighted by
-    // the dynamic invocation count of the function in question" (§4.2).
-    WeightedSum += Score * FP.EntryCount;
-    WeightTotal += FP.EntryCount;
+    Out.push_back({F, Score, FP.EntryCount});
+  }
+  return Out;
+}
+
+double sest::intraProceduralScore(const ProgramEstimate &Estimate,
+                                  const Profile &Actual,
+                                  const std::vector<size_t> &FunctionIds,
+                                  double Cutoff) {
+  // "the resulting per-function scores were then averaged, weighted by
+  // the dynamic invocation count of the function in question" (§4.2).
+  double WeightedSum = 0.0;
+  double WeightTotal = 0.0;
+  for (const FunctionIntraScore &S :
+       intraPerFunctionScores(Estimate, Actual, FunctionIds, Cutoff)) {
+    WeightedSum += S.Score * S.Weight;
+    WeightTotal += S.Weight;
   }
   return WeightTotal > 0 ? WeightedSum / WeightTotal : 1.0;
 }

@@ -45,6 +45,23 @@ double intraProceduralScore(const ProgramEstimate &Estimate,
                             const std::vector<size_t> &FunctionIds,
                             double Cutoff);
 
+/// One term of the intra-procedural average: a function's own
+/// weight-matching score and the invocation count that weights it.
+struct FunctionIntraScore {
+  size_t FunctionId = 0;
+  double Score = 1.0;
+  double Weight = 0.0; ///< Dynamic invocation count in the profile.
+};
+
+/// The per-function terms behind intraProceduralScore(), for divergence
+/// attribution: which functions drag the weighted average down. Skipped
+/// functions (never invoked, or shape mismatch) are absent.
+std::vector<FunctionIntraScore>
+intraPerFunctionScores(const ProgramEstimate &Estimate,
+                       const Profile &Actual,
+                       const std::vector<size_t> &FunctionIds,
+                       double Cutoff);
+
 /// Function-invocation weight matching (Fig. 5).
 double functionInvocationScore(const ProgramEstimate &Estimate,
                                const Profile &Actual,

@@ -58,6 +58,101 @@ double sest::quantileWeight(const std::vector<double> &Keys,
   return topWeight(Keys, Values, CutoffFraction);
 }
 
+namespace {
+
+/// Per-item top-quantile membership under the \p Keys ordering: 1 for
+/// the Whole leading items, the fractional remainder for the boundary
+/// item, 0 elsewhere. Mirrors topWeight()'s selection exactly.
+std::vector<double> topFractions(const std::vector<double> &Keys,
+                                 double CutoffFraction) {
+  const size_t N = Keys.size();
+  std::vector<double> Frac(N, 0.0);
+  double Count = CutoffFraction * static_cast<double>(N);
+  if (Count <= 0)
+    return Frac;
+  size_t Whole = static_cast<size_t>(std::floor(Count));
+  double Rem = Count - static_cast<double>(Whole);
+  if (Whole > N) {
+    Whole = N;
+    Rem = 0;
+  }
+  std::vector<size_t> Order = rankDescending(Keys);
+  for (size_t I = 0; I < Whole; ++I)
+    Frac[Order[I]] = 1.0;
+  if (Rem > 0 && Whole < N)
+    Frac[Order[Whole]] = Rem;
+  return Frac;
+}
+
+} // namespace
+
+WeightMatchingAttribution
+sest::weightMatchingAttribution(const std::vector<double> &Estimate,
+                                const std::vector<double> &Actual,
+                                double CutoffFraction) {
+  assert(Estimate.size() == Actual.size() && "parallel vectors required");
+  const size_t N = Estimate.size();
+
+  WeightMatchingAttribution Out;
+  Out.EstTopFraction.assign(N, 0.0);
+  Out.ActTopFraction.assign(N, 0.0);
+  Out.EstRank.assign(N, -1);
+  Out.ActRank.assign(N, -1);
+  Out.LossShare.assign(N, 0.0);
+
+  // Filter omitted items, remembering the original indices.
+  std::vector<double> E, A;
+  std::vector<size_t> Origin;
+  E.reserve(N);
+  A.reserve(N);
+  Origin.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (Estimate[I] < 0)
+      continue;
+    E.push_back(Estimate[I]);
+    A.push_back(Actual[I]);
+    Origin.push_back(I);
+  }
+
+  // Ranks are well-defined whenever any item is scored.
+  {
+    std::vector<size_t> EstOrder = rankDescending(E);
+    std::vector<size_t> ActOrder = rankDescending(A);
+    for (size_t R = 0; R < EstOrder.size(); ++R)
+      Out.EstRank[Origin[EstOrder[R]]] = static_cast<int>(R);
+    for (size_t R = 0; R < ActOrder.size(); ++R)
+      Out.ActRank[Origin[ActOrder[R]]] = static_cast<int>(R);
+  }
+
+  if (E.empty() || CutoffFraction <= 0)
+    return Out; // degenerate: score 1, no loss
+
+  std::vector<double> EstFrac = topFractions(E, CutoffFraction);
+  std::vector<double> ActFrac = topFractions(A, CutoffFraction);
+  double Denominator = 0.0, Numerator = 0.0;
+  for (size_t I = 0; I < E.size(); ++I) {
+    Denominator += ActFrac[I] * A[I];
+    Numerator += EstFrac[I] * A[I];
+  }
+  for (size_t I = 0; I < E.size(); ++I) {
+    Out.EstTopFraction[Origin[I]] = EstFrac[I];
+    Out.ActTopFraction[Origin[I]] = ActFrac[I];
+  }
+  if (Denominator <= 0)
+    return Out; // degenerate: score 1, no loss
+
+  double Raw = Numerator / Denominator;
+  Out.Score = std::min(1.0, Raw);
+  if (Raw >= 1.0)
+    return Out; // tie-clamped: loss 0, shares stay 0
+
+  Out.Loss = 1.0 - Raw;
+  for (size_t I = 0; I < E.size(); ++I)
+    Out.LossShare[Origin[I]] =
+        (ActFrac[I] - EstFrac[I]) * A[I] / Denominator;
+  return Out;
+}
+
 double sest::weightMatchingScore(const std::vector<double> &Estimate,
                                  const std::vector<double> &Actual,
                                  double CutoffFraction) {

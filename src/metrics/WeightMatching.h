@@ -43,6 +43,41 @@ double quantileWeight(const std::vector<double> &Keys,
                       const std::vector<double> &Values,
                       double CutoffFraction);
 
+/// Per-item decomposition of a weight-matching score: which items sit in
+/// the estimated / actual top quantile, their ranks under each ordering,
+/// and each item's additive contribution to the score's loss. Vectors are
+/// parallel to the original (unfiltered) inputs; omitted items (negative
+/// estimates) hold -1 ranks, zero fractions and zero shares.
+struct WeightMatchingAttribution {
+  /// The clamped score, identical to weightMatchingScore().
+  double Score = 1.0;
+  /// 1 - Score. Zero for every degenerate case that scores 1.0.
+  double Loss = 0.0;
+  /// Membership of each item in the estimated / actual top quantile:
+  /// 1 inside, 0 outside, fractional for the paper's rounded-up boundary
+  /// item.
+  std::vector<double> EstTopFraction, ActTopFraction;
+  /// Dense 0-based rank among scored items under the estimate / actual
+  /// ordering (descending, ties by index); -1 for omitted items.
+  std::vector<int> EstRank, ActRank;
+  /// Per-item contribution to Loss:
+  ///   (ActTopFraction - EstTopFraction) · actual / actualQuantileWeight.
+  /// Items the actual ranking puts in the top quantile but the estimate
+  /// misses contribute positively; items the estimate wrongly promotes
+  /// contribute negatively (their smaller actual weight *was* captured).
+  /// The shares sum to Loss exactly; when ties let the estimate capture
+  /// more than the canonical quantile (score clamped to 1) the shares
+  /// are all zeroed so the invariant holds.
+  std::vector<double> LossShare;
+};
+
+/// Computes the decomposition for the same inputs weightMatchingScore()
+/// takes. Attribution invariant: sum(LossShare) == Loss == 1 - Score.
+WeightMatchingAttribution
+weightMatchingAttribution(const std::vector<double> &Estimate,
+                          const std::vector<double> &Actual,
+                          double CutoffFraction);
+
 } // namespace sest
 
 #endif // METRICS_WEIGHTMATCHING_H

@@ -192,12 +192,49 @@ sest::compileAndProfileSuite(const InterpOptions &Options, unsigned Jobs) {
   return Out;
 }
 
+std::vector<obs::AccuracyReport>
+sest::computeSuiteAccuracy(const std::vector<CompiledSuiteProgram> &Programs,
+                           const EstimatorOptions &EstOpts) {
+  obs::ScopedPhase Phase("suite.accuracy");
+  std::vector<obs::AccuracyReport> Reports;
+  for (const CompiledSuiteProgram &P : Programs) {
+    if (!P.Ok || P.Profiles.empty())
+      continue;
+    Profile Aggregate = aggregateProfiles(P.Profiles);
+    Aggregate.ProgramName = P.Spec->Name;
+    Aggregate.InputName =
+        "aggregate(" + std::to_string(P.Profiles.size()) + ")";
+    ProgramEstimate Estimate =
+        estimateProgram(P.unit(), *P.Cfgs, *P.CG, EstOpts);
+    Reports.push_back(obs::computeAccuracy(P.unit(), *P.Cfgs, *P.CG,
+                                           Estimate, Aggregate, EstOpts));
+  }
+  return Reports;
+}
+
+std::string sest::suiteAccuracyReportJson(
+    const std::vector<CompiledSuiteProgram> &Programs, size_t MaxEntities) {
+  return obs::accuracyReportJson(computeSuiteAccuracy(Programs),
+                                 MaxEntities);
+}
+
 std::string
 sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
                       InterpEngine Engine) {
+  std::vector<obs::AccuracyReport> Accuracy = computeSuiteAccuracy(Programs);
+  auto AccuracyFor = [&](const CompiledSuiteProgram &P)
+      -> const obs::AccuracyReport * {
+    if (!P.Spec)
+      return nullptr;
+    for (const obs::AccuracyReport &R : Accuracy)
+      if (R.Program == P.Spec->Name)
+        return &R;
+    return nullptr;
+  };
+
   JsonWriter W;
   W.beginObject();
-  W.member("schema", "sest-suite-report/2");
+  W.member("schema", "sest-suite-report/3");
   W.member("engine",
            Engine == InterpEngine::Bytecode ? "bytecode" : "ast");
 
@@ -214,6 +251,17 @@ sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
     if (!P.Ok)
       W.member("error", P.Error);
     W.member("compile_ms", P.CompileMs);
+    if (const obs::AccuracyReport *R = AccuracyFor(P)) {
+      W.key("accuracy");
+      W.beginObject();
+      W.member("profile", R->ProfileName);
+      W.member("block_score", R->Blocks.Score);
+      W.member("function_score", R->Functions.Score);
+      W.member("call_site_score", R->CallSites.Score);
+      W.member("intra_score", R->IntraScore);
+      W.member("branch_miss_rate", R->Miss.rate());
+      W.endObject();
+    }
     if (P.Ctx) {
       W.member("functions",
                static_cast<uint64_t>(P.unit().Functions.size()));
@@ -257,6 +305,26 @@ sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
   W.member("compile_ms", TotalCompileMs);
   W.member("wall_ms", TotalWallMs);
   W.member("steps", TotalSteps);
+  if (!Accuracy.empty()) {
+    double Block = 0, Function = 0, CallSite = 0, Intra = 0, Miss = 0;
+    for (const obs::AccuracyReport &R : Accuracy) {
+      Block += R.Blocks.Score;
+      Function += R.Functions.Score;
+      CallSite += R.CallSites.Score;
+      Intra += R.IntraScore;
+      Miss += R.Miss.rate();
+    }
+    double N = static_cast<double>(Accuracy.size());
+    W.key("accuracy_means");
+    W.beginObject();
+    W.member("programs", static_cast<uint64_t>(Accuracy.size()));
+    W.member("block_score", Block / N);
+    W.member("function_score", Function / N);
+    W.member("call_site_score", CallSite / N);
+    W.member("intra_score", Intra / N);
+    W.member("branch_miss_rate", Miss / N);
+    W.endObject();
+  }
   W.endObject();
 
   if (obs::Telemetry *T = obs::Telemetry::active()) {

@@ -20,6 +20,7 @@
 #include "interp/Interp.h"
 #include "interp/bytecode/Bytecode.h"
 #include "lang/Parser.h"
+#include "obs/Accuracy.h"
 #include "profile/Profile.h"
 #include "suite/Suite.h"
 
@@ -87,13 +88,30 @@ compileAndProfileSuite(const InterpOptions &Options = {}, unsigned Jobs = 0);
 
 /// Renders compiled-suite results as the machine-readable
 /// suite_report.json document (per-program compile time, per-input wall
-/// time and resource usage, suite totals). When a telemetry context is
-/// installed on this thread its full report is embedded under
-/// "telemetry". \p Engine names the interpreter tier that produced the
-/// runs.
+/// time and resource usage, suite totals, and per-program accuracy
+/// summaries under "accuracy"). When a telemetry context is installed on
+/// this thread its full report is embedded under "telemetry". \p Engine
+/// names the interpreter tier that produced the runs.
 std::string
 suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
                 InterpEngine Engine = InterpEngine::Bytecode);
+
+/// Scores the default estimator configuration (or \p EstOpts) on every
+/// profiled suite program: each program's estimate is attributed against
+/// the aggregate of all its input profiles (ProfileName "aggregate(N)").
+/// Programs with Ok == false or no profiles are skipped. Profiles are
+/// bit-identical across engines and job counts, and the attribution uses
+/// no wall-clock inputs, so the result is deterministic.
+std::vector<obs::AccuracyReport>
+computeSuiteAccuracy(const std::vector<CompiledSuiteProgram> &Programs,
+                     const EstimatorOptions &EstOpts = {});
+
+/// The full sest-accuracy-report/1 document over the suite, with each
+/// family capped to its worst \p MaxEntities divergence records (the
+/// checked-in bench/accuracy_report.json baseline shape).
+std::string
+suiteAccuracyReportJson(const std::vector<CompiledSuiteProgram> &Programs,
+                        size_t MaxEntities = 20);
 
 } // namespace sest
 

@@ -1,0 +1,388 @@
+//===- tests/test_accuracy.cpp - Accuracy attribution unit tests -----------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the accuracy-observability subsystem: the weight-matching
+/// loss decomposition (shares must sum to the loss exactly), per-entity
+/// divergence records, heuristic attribution on every conditional
+/// branch, the sest-accuracy-report/1 JSON schema (validated by parsing
+/// it back), the golden annotated listing, and engine-independence of
+/// the report bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "callgraph/CallGraph.h"
+#include "estimators/Pipeline.h"
+#include "metrics/WeightMatching.h"
+#include "obs/Accuracy.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+using namespace sest;
+using namespace sest::test;
+
+namespace {
+
+double shareSum(const WeightMatchingAttribution &A) {
+  return std::accumulate(A.LossShare.begin(), A.LossShare.end(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Weight-matching loss decomposition
+//===----------------------------------------------------------------------===//
+
+TEST(WeightMatchingAttribution, SharesSumToLossExactly) {
+  // A deliberately misranked pair: the estimate promotes a cold item.
+  std::vector<double> Est = {10, 9, 1, 1, 1};
+  std::vector<double> Act = {1, 1, 10, 9, 1};
+  WeightMatchingAttribution A = weightMatchingAttribution(Est, Act, 0.25);
+  EXPECT_LT(A.Score, 1.0);
+  EXPECT_NEAR(A.Loss, 1.0 - A.Score, 1e-12);
+  EXPECT_NEAR(shareSum(A), A.Loss, 1e-9);
+  // Same decomposition invariant at other cutoffs.
+  for (double Cutoff : {0.10, 0.5, 0.75, 1.0}) {
+    WeightMatchingAttribution B =
+        weightMatchingAttribution(Est, Act, Cutoff);
+    EXPECT_NEAR(shareSum(B), B.Loss, 1e-9) << "cutoff " << Cutoff;
+  }
+}
+
+TEST(WeightMatchingAttribution, AgreesWithScalarScore) {
+  std::vector<double> Est = {5, 4, 3, 2, 1, 0.5};
+  std::vector<double> Act = {1, 6, 2, 5, 0, 3};
+  for (double Cutoff : {0.1, 0.25, 0.4, 0.6}) {
+    WeightMatchingAttribution A =
+        weightMatchingAttribution(Est, Act, Cutoff);
+    EXPECT_NEAR(A.Score, weightMatchingScore(Est, Act, Cutoff), 1e-12);
+    EXPECT_NEAR(shareSum(A), A.Loss, 1e-9);
+  }
+}
+
+TEST(WeightMatchingAttribution, PerfectRankingHasZeroShares) {
+  std::vector<double> Est = {8, 4, 2, 1};
+  std::vector<double> Act = {80, 40, 20, 10};
+  WeightMatchingAttribution A = weightMatchingAttribution(Est, Act, 0.25);
+  EXPECT_DOUBLE_EQ(A.Score, 1.0);
+  EXPECT_DOUBLE_EQ(A.Loss, 0.0);
+  for (double S : A.LossShare)
+    EXPECT_DOUBLE_EQ(S, 0.0);
+  EXPECT_EQ(A.EstRank, A.ActRank);
+}
+
+TEST(WeightMatchingAttribution, OmittedEstimatesCarryNoShare) {
+  // Negative estimates mark omitted items (indirect call sites): they
+  // are excluded from both rankings and never carry loss share.
+  std::vector<double> Est = {5, -1, 3, -1};
+  std::vector<double> Act = {10, 100, 5, 7};
+  WeightMatchingAttribution A = weightMatchingAttribution(Est, Act, 0.5);
+  EXPECT_EQ(A.EstRank[1], -1);
+  EXPECT_EQ(A.ActRank[1], -1);
+  EXPECT_DOUBLE_EQ(A.LossShare[1], 0.0);
+  EXPECT_DOUBLE_EQ(A.LossShare[3], 0.0);
+  EXPECT_NEAR(shareSum(A), A.Loss, 1e-9);
+}
+
+TEST(WeightMatchingAttribution, DegenerateInputsScorePerfect) {
+  WeightMatchingAttribution Empty = weightMatchingAttribution({}, {}, 0.25);
+  EXPECT_DOUBLE_EQ(Empty.Score, 1.0);
+  EXPECT_DOUBLE_EQ(Empty.Loss, 0.0);
+  std::vector<double> Zeros = {0, 0, 0};
+  WeightMatchingAttribution Z =
+      weightMatchingAttribution(Zeros, Zeros, 0.25);
+  EXPECT_DOUBLE_EQ(Z.Score, 1.0);
+  EXPECT_NEAR(shareSum(Z), Z.Loss, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program attribution
+//===----------------------------------------------------------------------===//
+
+const char *const DivergentSource =
+    "int work(int n) {\n"
+    "  int s = 0;\n"
+    "  int i;\n"
+    "  for (i = 0; i < n; i++) {\n"
+    "    if (i % 3 == 0)\n"
+    "      s += i;\n"
+    "    else\n"
+    "      s -= 1;\n"
+    "  }\n"
+    "  return s;\n"
+    "}\n"
+    "int rare(int n) { return n * 2; }\n"
+    "int main() {\n"
+    "  int t = work(100);\n"
+    "  if (t < 0)\n"
+    "    t = rare(t);\n"
+    "  return t > 0 ? 0 : 1;\n"
+    "}\n";
+
+struct Attributed {
+  std::unique_ptr<Compiled> C;
+  std::unique_ptr<CallGraph> CG;
+  ProgramEstimate Estimate;
+  Profile P;
+  obs::AccuracyReport Rep;
+};
+
+Attributed attribute(const char *Source, const EstimatorOptions &Opts = {}) {
+  Attributed Out;
+  Out.C = compile(Source);
+  if (!Out.C)
+    return Out;
+  Out.CG = std::make_unique<CallGraph>(
+      CallGraph::build(Out.C->unit(), *Out.C->Cfgs));
+  Out.Estimate =
+      estimateProgram(Out.C->unit(), *Out.C->Cfgs, *Out.CG, Opts);
+  Out.P = run(*Out.C).TheProfile;
+  Out.Rep = obs::computeAccuracy(Out.C->unit(), *Out.C->Cfgs, *Out.CG,
+                                 Out.Estimate, Out.P, Opts);
+  return Out;
+}
+
+TEST(Accuracy, FamilySharesSumToFamilyLoss) {
+  Attributed A = attribute(DivergentSource);
+  ASSERT_NE(A.C, nullptr);
+  for (const obs::FamilyAccuracy *F :
+       {&A.Rep.Blocks, &A.Rep.Functions, &A.Rep.CallSites}) {
+    double Sum = 0.0;
+    for (const obs::EntityDivergence &D : F->Entities)
+      Sum += D.LossShare;
+    EXPECT_NEAR(Sum, F->Loss, 1e-9)
+        << obs::entityFamilyName(F->Family);
+    EXPECT_NEAR(F->Loss, 1.0 - F->Score, 1e-12);
+  }
+  // Every entity is labeled with its owning function.
+  for (const obs::EntityDivergence &D : A.Rep.Blocks.Entities)
+    EXPECT_FALSE(D.Function.empty());
+}
+
+TEST(Accuracy, EveryConditionalBranchHasAttribution) {
+  Attributed A = attribute(DivergentSource);
+  ASSERT_NE(A.C, nullptr);
+
+  // Count the conditional branches in the CFGs; each must have exactly
+  // one divergence record with a named heuristic and a non-empty
+  // evidence list whose head is the deciding heuristic.
+  size_t CondBranches = 0;
+  for (const auto &[F, G] : A.C->Cfgs->all())
+    for (const auto &B : G->blocks())
+      if (B->terminator() == TerminatorKind::CondBranch)
+        ++CondBranches;
+  ASSERT_GT(CondBranches, 0u);
+  EXPECT_EQ(A.Rep.Branches.size(), CondBranches);
+
+  for (const obs::BranchDivergence &D : A.Rep.Branches) {
+    EXPECT_FALSE(D.Heuristic.empty());
+    ASSERT_FALSE(D.Fired.empty());
+    EXPECT_EQ(D.Fired.front().Name, D.Heuristic);
+    EXPECT_EQ(D.Fired.front().PredictTrue, D.PredictTrue);
+    EXPECT_GE(D.actualTakenRatio(), 0.0);
+    EXPECT_LE(D.actualTakenRatio(), 1.0);
+    EXPECT_GE(D.ProbTrue, 0.0);
+    EXPECT_LE(D.ProbTrue, 1.0);
+  }
+
+  // The loop back-edge branch in work() executes and is mostly taken.
+  bool FoundLoop = false;
+  for (const obs::BranchDivergence &D : A.Rep.Branches)
+    if (D.Function == "work" && D.Heuristic == "loop") {
+      FoundLoop = true;
+      EXPECT_TRUE(D.PredictTrue);
+      EXPECT_GT(D.executed(), 0.0);
+      EXPECT_GT(D.actualTakenRatio(), 0.9);
+    }
+  EXPECT_TRUE(FoundLoop);
+}
+
+TEST(Accuracy, MissTotalsMatchBranchRecords) {
+  Attributed A = attribute(DivergentSource);
+  ASSERT_NE(A.C, nullptr);
+  double Executed = 0.0, Misses = 0.0;
+  for (const obs::BranchDivergence &D : A.Rep.Branches) {
+    if (D.ConstantCondition || D.executed() <= 0)
+      continue;
+    Executed += D.executed();
+    Misses += D.missCount();
+  }
+  EXPECT_DOUBLE_EQ(A.Rep.Miss.Executed, Executed);
+  EXPECT_DOUBLE_EQ(A.Rep.Miss.Misses, Misses);
+}
+
+TEST(Accuracy, IntraScoreIsWeightedAverageOfPerFunctionTerms) {
+  Attributed A = attribute(DivergentSource);
+  ASSERT_NE(A.C, nullptr);
+  ASSERT_FALSE(A.Rep.IntraPerFunction.empty());
+  double Num = 0.0, Den = 0.0;
+  for (const FunctionIntraScore &S : A.Rep.IntraPerFunction) {
+    Num += S.Score * S.Weight;
+    Den += S.Weight;
+  }
+  ASSERT_GT(Den, 0.0);
+  EXPECT_NEAR(A.Rep.IntraScore, Num / Den, 1e-12);
+}
+
+TEST(Accuracy, WorstIndicesOrderByDescendingLossShare) {
+  Attributed A = attribute(DivergentSource);
+  ASSERT_NE(A.C, nullptr);
+  std::vector<size_t> Order = A.Rep.Blocks.worstIndices(0);
+  ASSERT_EQ(Order.size(), A.Rep.Blocks.Entities.size());
+  for (size_t I = 1; I < Order.size(); ++I)
+    EXPECT_GE(A.Rep.Blocks.Entities[Order[I - 1]].LossShare,
+              A.Rep.Blocks.Entities[Order[I]].LossShare);
+  EXPECT_EQ(A.Rep.Blocks.worstIndices(3).size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON schema
+//===----------------------------------------------------------------------===//
+
+TEST(Accuracy, ReportJsonRoundTripsThroughParser) {
+  Attributed A = attribute(DivergentSource);
+  ASSERT_NE(A.C, nullptr);
+  std::string Json = obs::accuracyReportJson({A.Rep});
+  std::optional<JsonValue> Doc = parseJson(Json);
+  ASSERT_TRUE(Doc.has_value()) << Json.substr(0, 200);
+
+  ASSERT_NE(Doc->find("schema"), nullptr);
+  EXPECT_EQ(Doc->find("schema")->StringVal, "sest-accuracy-report/1");
+  const JsonValue *Programs = Doc->find("programs");
+  ASSERT_NE(Programs, nullptr);
+  ASSERT_EQ(Programs->Items.size(), 1u);
+  const JsonValue &Prog = Programs->Items[0];
+  const JsonValue *Families = Prog.find("families");
+  ASSERT_NE(Families, nullptr);
+  const JsonValue *Blocks = Families->find("block");
+  ASSERT_NE(Blocks, nullptr);
+  EXPECT_NEAR(Blocks->numberOr("score", -1), A.Rep.Blocks.Score, 1e-12);
+  EXPECT_NEAR(Blocks->numberOr("loss", -1), A.Rep.Blocks.Loss, 1e-12);
+  EXPECT_EQ(static_cast<size_t>(Blocks->numberOr("entities_total", 0)),
+            A.Rep.Blocks.Entities.size());
+  // One branch record per conditional branch, with the full evidence.
+  const JsonValue *Branches = Prog.find("branches");
+  ASSERT_NE(Branches, nullptr);
+  EXPECT_EQ(static_cast<size_t>(Branches->numberOr("records_total", 0)),
+            A.Rep.Branches.size());
+  const JsonValue *Records = Branches->find("records");
+  ASSERT_NE(Records, nullptr);
+  ASSERT_FALSE(Records->Items.empty());
+  const JsonValue &First = Records->Items[0];
+  ASSERT_NE(First.find("heuristic"), nullptr);
+  EXPECT_FALSE(First.find("heuristic")->StringVal.empty());
+  ASSERT_NE(First.find("fired"), nullptr);
+  EXPECT_GE(First.find("fired")->Items.size(), 1u);
+  EXPECT_NEAR(Branches->numberOr("miss_rate", -1), A.Rep.Miss.rate(),
+              1e-12);
+}
+
+TEST(Accuracy, MaxEntitiesCapsWorstFirst) {
+  Attributed A = attribute(DivergentSource);
+  ASSERT_NE(A.C, nullptr);
+  std::string Json = obs::accuracyReportJson({A.Rep}, 2);
+  std::optional<JsonValue> Doc = parseJson(Json);
+  ASSERT_TRUE(Doc.has_value());
+  const JsonValue *Programs = Doc->find("programs");
+  ASSERT_NE(Programs, nullptr);
+  ASSERT_FALSE(Programs->Items.empty());
+  const JsonValue *Families = Programs->Items[0].find("families");
+  ASSERT_NE(Families, nullptr);
+  const JsonValue *Blocks = Families->find("block");
+  ASSERT_NE(Blocks, nullptr);
+  ASSERT_NE(Blocks->find("entities"), nullptr);
+  EXPECT_LE(Blocks->find("entities")->Items.size(), 2u);
+  // entities_total still reports the uncapped count.
+  EXPECT_EQ(static_cast<size_t>(Blocks->numberOr("entities_total", 0)),
+            A.Rep.Blocks.Entities.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Renderings
+//===----------------------------------------------------------------------===//
+
+TEST(Accuracy, GoldenAnnotatedListing) {
+  const std::string Source = "int main() {\n"
+                             "  int i;\n"
+                             "  int s = 0;\n"
+                             "  for (i = 0; i < 4; i++) {\n"
+                             "    if (i > 1)\n"
+                             "      s += i;\n"
+                             "  }\n"
+                             "  return s;\n"
+                             "}\n";
+  auto C = compile(Source);
+  ASSERT_NE(C, nullptr);
+  CallGraph CG = CallGraph::build(C->unit(), *C->Cfgs);
+  EstimatorOptions Opts;
+  ProgramEstimate E = estimateProgram(C->unit(), *C->Cfgs, CG, Opts);
+  Profile P = run(*C).TheProfile;
+  obs::AccuracyReport Rep =
+      obs::computeAccuracy(C->unit(), *C->Cfgs, CG, E, P, Opts);
+
+  const std::string Expected =
+      "         est      actual  line  source\n"
+      "           .           .     1  int main() {\n"
+      "        1.00           1     2    int i;\n"
+      "           .           .     3    int s = 0;\n"
+      "       14.00          14     4    for (i = 0; i < 4; i++) {\n"
+      "                                ^ branch in main: heuristic=loop "
+      "predicted=true p(true)=0.80 taken-ratio=0.80 (4/5) [ok]\n"
+      "           .           .     5      if (i > 1)\n"
+      "                                ^ branch in main: heuristic=store "
+      "predicted=true p(true)=0.80 taken-ratio=0.50 (2/4) [ok]\n"
+      "        3.20           2     6        s += i;\n"
+      "           .           .     7    }\n"
+      "           .           .     8    return s;\n"
+      "           .           .     9  }\n";
+  EXPECT_EQ(obs::renderAnnotatedListing(Source, Rep), Expected);
+}
+
+TEST(Accuracy, RenderingsMentionKeyFacts) {
+  Attributed A = attribute(DivergentSource);
+  ASSERT_NE(A.C, nullptr);
+  std::string Summary = obs::renderAccuracySummary(A.Rep);
+  EXPECT_NE(Summary.find("smart+markov"), std::string::npos);
+  EXPECT_NE(Summary.find("blocks"), std::string::npos);
+  EXPECT_NE(Summary.find("Branch miss rate"), std::string::npos);
+  std::string Worst = obs::renderWorstTables(A.Rep, 3);
+  EXPECT_NE(Worst.find("WORST 3"), std::string::npos);
+  std::string Listing =
+      obs::renderAnnotatedListing(DivergentSource, A.Rep);
+  EXPECT_NE(Listing.find("heuristic="), std::string::npos);
+  EXPECT_NE(Listing.find("taken-ratio="), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Accuracy, ReportBytesIdenticalAcrossEngines) {
+  auto C = compile(DivergentSource);
+  ASSERT_NE(C, nullptr);
+  CallGraph CG = CallGraph::build(C->unit(), *C->Cfgs);
+  EstimatorOptions Opts;
+  ProgramEstimate E = estimateProgram(C->unit(), *C->Cfgs, CG, Opts);
+
+  auto ReportWith = [&](InterpEngine Engine) {
+    ProgramInput In;
+    InterpOptions IOpts;
+    IOpts.Engine = Engine;
+    RunResult R = runProgram(C->unit(), *C->Cfgs, In, IOpts);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    obs::AccuracyReport Rep = obs::computeAccuracy(
+        C->unit(), *C->Cfgs, CG, E, R.TheProfile, Opts);
+    return obs::accuracyReportJson({Rep});
+  };
+  EXPECT_EQ(ReportWith(InterpEngine::Ast),
+            ReportWith(InterpEngine::Bytecode));
+}
+
+} // namespace

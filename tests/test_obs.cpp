@@ -356,4 +356,120 @@ TEST(Telemetry, SuccessfulRunReportsUsageWithoutLimit) {
   EXPECT_EQ(R.CallDepthHighWater, 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// mergeFrom edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, MergeFromDisjointHistogramKeys) {
+  obs::Telemetry A, B;
+  A.install();
+  obs::histRecord("only.a", 2.0);
+  obs::histRecord("shared", 1.0);
+  A.uninstall();
+  B.install();
+  obs::histRecord("only.b", 8.0);
+  obs::histRecord("shared", 5.0);
+  obs::histRecord("shared", 3.0);
+  B.uninstall();
+
+  A.mergeFrom(B);
+
+  // A key only the source had is copied over wholesale...
+  const obs::HistogramStats &OnlyB = A.histograms().at("only.b");
+  EXPECT_EQ(OnlyB.Count, 1u);
+  EXPECT_EQ(OnlyB.Sum, 8.0);
+  EXPECT_EQ(OnlyB.Min, 8.0);
+  EXPECT_EQ(OnlyB.Max, 8.0);
+  // ...a key only the destination had is untouched...
+  const obs::HistogramStats &OnlyA = A.histograms().at("only.a");
+  EXPECT_EQ(OnlyA.Count, 1u);
+  EXPECT_EQ(OnlyA.Sum, 2.0);
+  // ...and a shared key pools count/sum/min/max.
+  const obs::HistogramStats &Shared = A.histograms().at("shared");
+  EXPECT_EQ(Shared.Count, 3u);
+  EXPECT_EQ(Shared.Sum, 9.0);
+  EXPECT_EQ(Shared.Min, 1.0);
+  EXPECT_EQ(Shared.Max, 5.0);
+  // The source context is not consumed by the merge.
+  EXPECT_EQ(B.histograms().at("shared").Count, 2u);
+}
+
+TEST(Telemetry, MergeFromGraftsUnderActivePhaseStack) {
+  // Merging while phases are open must graft the source's phase tree
+  // under the innermost open phase (the suite runner merges per-run
+  // contexts from inside "suite.run"), and replayed events must be
+  // re-based to the open depth.
+  obs::Telemetry Src;
+  Src.install();
+  { obs::ScopedPhase P("worker.run"); }
+  Src.uninstall();
+  ASSERT_EQ(Src.events().size(), 1u);
+  EXPECT_EQ(Src.events()[0].Depth, 0u);
+
+  obs::Telemetry Dst;
+  Dst.install();
+  {
+    obs::ScopedPhase Outer("suite");
+    {
+      obs::ScopedPhase Inner("suite.run");
+      EXPECT_EQ(Dst.openPhaseDepth(), 2u);
+      Dst.mergeFrom(Src);
+    }
+  }
+  Dst.uninstall();
+
+  // Tree: suite > suite.run > worker.run.
+  const obs::PhaseNode &Root = Dst.phaseTree();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const obs::PhaseNode &Outer = *Root.Children[0];
+  EXPECT_EQ(Outer.Name, "suite");
+  ASSERT_EQ(Outer.Children.size(), 1u);
+  const obs::PhaseNode &Inner = *Outer.Children[0];
+  EXPECT_EQ(Inner.Name, "suite.run");
+  ASSERT_EQ(Inner.Children.size(), 1u);
+  EXPECT_EQ(Inner.Children[0]->Name, "worker.run");
+  EXPECT_EQ(Inner.Children[0]->Count, 1u);
+
+  // The replayed event sits two levels below the top.
+  bool FoundWorker = false;
+  for (const obs::TraceEvent &E : Dst.events())
+    if (E.Name == "worker.run") {
+      FoundWorker = true;
+      EXPECT_EQ(E.Depth, 2u);
+    }
+  EXPECT_TRUE(FoundWorker);
+  EXPECT_EQ(Dst.openPhaseDepth(), 0u);
+}
+
+TEST(Telemetry, TripleNestedInstallOrdering) {
+  // install() stacks: recording always goes to the innermost context,
+  // and uninstall() restores the next-outer one — across three levels.
+  obs::Telemetry A, B, C;
+  A.install();
+  obs::counterAdd("depth", 1.0);
+  B.install();
+  obs::counterAdd("depth", 10.0);
+  C.install();
+  obs::counterAdd("depth", 100.0);
+  EXPECT_EQ(obs::Telemetry::active(), &C);
+  C.uninstall();
+  EXPECT_EQ(obs::Telemetry::active(), &B);
+  obs::counterAdd("depth", 10.0);
+  B.uninstall();
+  EXPECT_EQ(obs::Telemetry::active(), &A);
+  obs::counterAdd("depth", 1.0);
+  A.uninstall();
+  EXPECT_FALSE(obs::telemetryActive());
+
+  EXPECT_EQ(A.counters().at("depth"), 2.0);
+  EXPECT_EQ(B.counters().at("depth"), 20.0);
+  EXPECT_EQ(C.counters().at("depth"), 100.0);
+
+  // Folding inner contexts outward (the parallel-runner pattern) pools
+  // everything into the outermost context.
+  B.mergeFrom(C);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.counters().at("depth"), 122.0);
+}
+
 } // namespace

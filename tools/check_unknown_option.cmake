@@ -1,0 +1,15 @@
+# Verifies sestc's unknown-option handling: a plausible typo must exit
+# nonzero AND print a "did you mean" suggestion naming the real option.
+# Run as: cmake -DSESTC=<path-to-sestc> -P check_unknown_option.cmake
+execute_process(
+  COMMAND ${SESTC} --staats
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "sestc --staats exited 0; expected failure")
+endif()
+if(NOT "${OUT}${ERR}" MATCHES "did you mean '--stats'")
+  message(FATAL_ERROR
+    "sestc --staats did not suggest --stats; output was:\n${OUT}${ERR}")
+endif()

@@ -38,6 +38,16 @@
 ///                                 gauges / histograms after the action
 ///   --report FILE                 write a machine-readable JSON report;
 ///                                 with --suite, the full suite report
+///   --explain                     with --run/--compare/--score-profile,
+///                                 print the annotated source listing
+///                                 (est vs actual per line, heuristic
+///                                 attribution per branch) and WORST-n
+///                                 divergence tables
+///   --accuracy-report FILE        write the sest-accuracy-report/1 JSON
+///                                 (per-entity divergence attribution);
+///                                 with --suite, one record per program
+///   --validate-json FILE          parse FILE with the project JSON
+///                                 parser and exit 0/1 (CI sanity check)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +57,7 @@
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
 #include "metrics/Evaluation.h"
+#include "obs/Accuracy.h"
 #include "obs/Telemetry.h"
 #include "profile/Profile.h"
 #include "suite/SuiteRunner.h"
@@ -80,7 +91,57 @@ void out(const std::string &S) { std::fputs(S.c_str(), stdout); }
       "  --jobs N                     suite worker threads (0 = cores)\n"
       "  --trace FILE                 write Chrome trace-event JSON\n"
       "  --stats                      print phase times and counters\n"
-      "  --report FILE                write machine-readable JSON report\n");
+      "  --report FILE                write machine-readable JSON report\n"
+      "  --explain                    annotated listing + WORST-n tables\n"
+      "  --accuracy-report FILE       write sest-accuracy-report/1 JSON\n"
+      "  --validate-json FILE         round-trip FILE through parseJson\n");
+  std::exit(2);
+}
+
+/// Classic dynamic-programming edit distance, for option suggestions.
+size_t editDistance(const std::string &A, const std::string &B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diag = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Next = std::min({Row[J] + 1, Row[J - 1] + 1,
+                              Diag + (A[I - 1] == B[J - 1] ? 0 : 1)});
+      Diag = Row[J];
+      Row[J] = Next;
+    }
+  }
+  return Row[B.size()];
+}
+
+/// Every option sestc understands, for the "did you mean" hint.
+const char *const KnownOptions[] = {
+    "--ast",          "--cfg",           "--dot",
+    "--callgraph",    "--estimate",      "--run",
+    "--compare",      "--suite",         "--intra",
+    "--inter",        "--loop-count",    "--counted-loops",
+    "--input",        "--seed",          "--interp",
+    "--jobs",         "--emit-profile",  "--score-profile",
+    "--trace",        "--stats",         "--report",
+    "--explain",      "--accuracy-report", "--validate-json",
+};
+
+[[noreturn]] void unknownOption(const std::string &A) {
+  std::string Msg = "sestc: unknown option '" + A + "'";
+  const char *Best = nullptr;
+  size_t BestDist = 4; // only suggest plausible typos
+  for (const char *K : KnownOptions) {
+    size_t D = editDistance(A, K);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = K;
+    }
+  }
+  if (Best)
+    Msg += "; did you mean '" + std::string(Best) + "'?";
+  std::fputs((Msg + "\n").c_str(), stderr);
   std::exit(2);
 }
 
@@ -92,6 +153,9 @@ struct Options {
   std::string ScoreProfile;
   std::string TraceFile;
   std::string ReportFile;
+  std::string AccuracyReportFile;
+  std::string ValidateJsonFile;
+  bool Explain = false;
   bool Stats = false;
   uint64_t Seed = 1;
   unsigned Jobs = 0;
@@ -163,15 +227,23 @@ Options parseArgs(int argc, char **argv) {
       O.TraceFile = Next();
     } else if (A == "--report") {
       O.ReportFile = Next();
+    } else if (A == "--accuracy-report") {
+      O.AccuracyReportFile = Next();
+    } else if (A == "--validate-json") {
+      O.ValidateJsonFile = Next();
+      O.Action = "--validate-json";
+    } else if (A == "--explain") {
+      O.Explain = true;
     } else if (A == "--stats") {
       O.Stats = true;
     } else if (!A.empty() && A[0] == '-') {
-      usage();
+      unknownOption(A);
     } else {
       O.File = A;
     }
   }
-  if (O.File.empty() && O.Action != "--suite")
+  if (O.File.empty() && O.Action != "--suite" &&
+      O.Action != "--validate-json")
     usage();
   return O;
 }
@@ -195,6 +267,41 @@ bool writeTextFile(const std::string &Path, const std::string &Content) {
   }
   Out << Content;
   return true;
+}
+
+/// Computes the accuracy attribution of \p E against \p P and emits
+/// whatever the flags asked for: the annotated listing plus WORST-n
+/// tables (--explain) and/or the JSON document (--accuracy-report).
+int emitAccuracy(const Options &O, const std::string &Source,
+                 const AstContext &Ctx, const CfgModule &Cfgs,
+                 const CallGraph &CG, const ProgramEstimate &E,
+                 const Profile &P) {
+  obs::AccuracyReport Rep =
+      obs::computeAccuracy(Ctx.unit(), Cfgs, CG, E, P, O.Est);
+  if (O.Explain) {
+    out("\n-- annotated listing (estimated vs actual) --\n" +
+        obs::renderAnnotatedListing(Source, Rep));
+    out("\n" + obs::renderAccuracySummary(Rep));
+    out("\n" + obs::renderWorstTables(Rep, 5));
+  }
+  if (!O.AccuracyReportFile.empty()) {
+    if (!writeTextFile(O.AccuracyReportFile,
+                       obs::accuracyReportJson({Rep})))
+      return 1;
+    out("accuracy report written to " + O.AccuracyReportFile + "\n");
+  }
+  return 0;
+}
+
+/// --validate-json: round-trip a file through the project JSON parser.
+int runValidateJson(const std::string &Path) {
+  std::string Text = readFile(Path);
+  if (!parseJson(Text)) {
+    out("sestc: '" + Path + "' is not valid JSON\n");
+    return 1;
+  }
+  out(Path + ": valid JSON\n");
+  return 0;
 }
 
 /// --suite: compile and profile every built-in benchmark program,
@@ -232,10 +339,18 @@ int runSuite(const Options &O) {
       return 1;
     out("suite report written to " + O.ReportFile + "\n");
   }
+  if (!O.AccuracyReportFile.empty()) {
+    if (!writeTextFile(O.AccuracyReportFile,
+                       suiteAccuracyReportJson(Programs)))
+      return 1;
+    out("accuracy report written to " + O.AccuracyReportFile + "\n");
+  }
   return AllOk ? 0 : 1;
 }
 
 int runAction(const Options &O) {
+  if (O.Action == "--validate-json")
+    return runValidateJson(O.ValidateJsonFile);
   if (O.Action == "--suite")
     return runSuite(O);
 
@@ -308,7 +423,7 @@ int runAction(const Options &O) {
                     functionInvocationScore(E, Saved, Ids, Cutoff)),
                 formatPercent(callSiteScore(E, Saved, Cutoff))});
     out(T.str());
-    return 0;
+    return emitAccuracy(O, Source, Ctx, Cfgs, CG, E, Saved);
   }
 
 
@@ -358,6 +473,8 @@ int runAction(const Options &O) {
   }
   out("\nexit code " + std::to_string(R.ExitCode) + ", " +
       formatDouble(R.TheProfile.TotalCycles, 0) + " simulated cycles\n");
+  R.TheProfile.ProgramName = O.File;
+  R.TheProfile.InputName = "cli";
 
   if (!O.EmitProfile.empty()) {
     std::ofstream PF(O.EmitProfile);
@@ -365,8 +482,6 @@ int runAction(const Options &O) {
       out("sestc: cannot write '" + O.EmitProfile + "'\n");
       return 1;
     }
-    R.TheProfile.ProgramName = O.File;
-    R.TheProfile.InputName = "cli";
     PF << writeProfileText(R.TheProfile);
     out("profile written to " + O.EmitProfile + "\n");
   }
@@ -386,7 +501,7 @@ int runAction(const Options &O) {
     }
     out(T.str());
   }
-  return 0;
+  return emitAccuracy(O, Source, Ctx, Cfgs, CG, E, R.TheProfile);
 }
 
 } // namespace
