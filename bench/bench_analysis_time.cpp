@@ -17,8 +17,12 @@
 #include "BenchCommon.h"
 
 #include "lang/Parser.h"
+#include "suite/Synthetic.h"
 
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
 
 using namespace sest;
 
@@ -84,6 +88,99 @@ void BM_EstimateMarkovMarkov(benchmark::State &State) {
                    InterEstimatorKind::Markov);
 }
 
+//===----------------------------------------------------------------------===//
+// Solver scaling on generated large CFGs
+//===----------------------------------------------------------------------===//
+
+/// One compiled synthetic program per (shape, blocks), built lazily and
+/// kept for the process lifetime so the timed region is the solve alone.
+struct SyntheticCfg {
+  std::unique_ptr<AstContext> Ctx;
+  std::unique_ptr<CfgModule> Cfgs;
+  const Cfg *Biggest = nullptr;
+  FunctionBranchPredictions Predictions;
+};
+
+const SyntheticCfg &syntheticCfg(size_t Blocks) {
+  static std::map<size_t, SyntheticCfg> Cache;
+  auto [It, New] = Cache.try_emplace(Blocks);
+  SyntheticCfg &S = It->second;
+  if (!New)
+    return S;
+  // Mixed control flow concentrated in one giant function: serial if
+  // chains, loop nests, switch dispatch, and irreducible goto regions —
+  // the block mix a large real function would have.
+  SyntheticConfig Config;
+  Config.Shape = SyntheticShape::Mixed;
+  Config.TargetBlocks = Blocks;
+  Config.FunctionBlocks = Blocks;
+  Config.Seed = 9;
+  std::string Source = generateSyntheticSource(Config);
+  S.Ctx = std::make_unique<AstContext>();
+  DiagnosticEngine Diags;
+  if (!parseAndAnalyze(Source, *S.Ctx, Diags))
+    std::abort();
+  S.Cfgs = std::make_unique<CfgModule>(
+      CfgModule::build(S.Ctx->unit(), Diags));
+  for (const auto &[F, G] : S.Cfgs->all()) {
+    (void)F;
+    if (!S.Biggest || G->size() > S.Biggest->size())
+      S.Biggest = G;
+  }
+  BranchPredictor Predictor((BranchPredictorConfig()));
+  S.Predictions = Predictor.predictFunction(*S.Biggest);
+  return S;
+}
+
+void solverBench(benchmark::State &State, MarkovSolverKind Kind) {
+  const SyntheticCfg &S = syntheticCfg(static_cast<size_t>(State.range(0)));
+  State.SetLabel(std::to_string(S.Biggest->size()) + " blocks");
+  MarkovIntraConfig Config;
+  Config.Solver = Kind;
+  for (auto _ : State) {
+    MarkovIntraResult R =
+        markovBlockFrequencies(*S.Biggest, Config, &S.Predictions);
+    benchmark::DoNotOptimize(R.BlockFrequencies.data());
+  }
+}
+
+void BM_SolverSparse(benchmark::State &State) {
+  solverBench(State, MarkovSolverKind::Sparse);
+}
+
+void BM_SolverDense(benchmark::State &State) {
+  solverBench(State, MarkovSolverKind::Dense);
+}
+
+/// Whole-pipeline wall time on a many-function synthetic program, at
+/// several worker counts — the parallel-estimation payoff.
+void BM_PipelineJobs(benchmark::State &State) {
+  static std::unique_ptr<AstContext> Ctx;
+  static std::unique_ptr<CfgModule> Cfgs;
+  static std::unique_ptr<CallGraph> CG;
+  if (!Ctx) {
+    SyntheticConfig Config;
+    Config.Shape = SyntheticShape::Mixed;
+    Config.TargetBlocks = 4000;
+    Config.Seed = 13;
+    std::string Source = generateSyntheticSource(Config);
+    Ctx = std::make_unique<AstContext>();
+    DiagnosticEngine Diags;
+    if (!parseAndAnalyze(Source, *Ctx, Diags))
+      std::abort();
+    Cfgs = std::make_unique<CfgModule>(CfgModule::build(Ctx->unit(), Diags));
+    CG = std::make_unique<CallGraph>(CallGraph::build(Ctx->unit(), *Cfgs));
+  }
+  EstimatorOptions Options;
+  Options.Intra = IntraEstimatorKind::Markov;
+  Options.Jobs = static_cast<unsigned>(State.range(0));
+  State.SetLabel("jobs=" + std::to_string(Options.Jobs));
+  for (auto _ : State) {
+    ProgramEstimate E = estimateProgram(Ctx->unit(), *Cfgs, *CG, Options);
+    benchmark::DoNotOptimize(E.FunctionEstimates.data());
+  }
+}
+
 void registerAll() {
   int64_t N = static_cast<int64_t>(benchmarkSuite().size());
   for (int64_t I = 0; I < N; ++I) {
@@ -99,6 +196,17 @@ void registerAll() {
                                  BM_EstimateMarkovMarkov)
         ->Arg(I);
   }
+  // Solver scaling: sparse at every size; dense only where O(N^3)
+  // stays affordable (at 5k blocks one dense solve takes minutes).
+  for (int64_t Blocks : {100, 1000, 5000})
+    benchmark::RegisterBenchmark("solver/sparse", BM_SolverSparse)
+        ->Arg(Blocks);
+  for (int64_t Blocks : {100, 1000})
+    benchmark::RegisterBenchmark("solver/dense", BM_SolverDense)
+        ->Arg(Blocks);
+  for (int64_t Jobs : {1, 4})
+    benchmark::RegisterBenchmark("pipeline/estimate_jobs", BM_PipelineJobs)
+        ->Arg(Jobs);
 }
 
 } // namespace

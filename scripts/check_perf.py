@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Compare a fresh --suite run against the checked-in baseline report.
+"""Compare fresh performance runs against the checked-in baselines.
 
-Runs ``sestc --suite --report`` and compares per-program wall times with
-``bench/suite_report.json``. Wall times are machine- and load-dependent,
-so the tolerance is deliberately generous (default: flag a program only
-when it is 3x slower than baseline); step counts are deterministic and
-must match exactly when both reports used the same engine.
+Two checks, both with deliberately generous machine-variance tolerance:
+
+1. Suite wall times: runs ``sestc --suite --report`` and compares
+   per-program wall times with ``bench/suite_report.json`` (flag only at
+   3x slower); step counts are deterministic and must match exactly when
+   both reports used the same engine.
+
+2. Solver / pipeline timings: runs ``bench_analysis_time`` on the
+   solver-scaling and parallel-pipeline benchmarks and compares
+   per-benchmark real time with ``bench/analysis_time.json``. Also
+   enforces the structural invariant that the sparse SCC solver beats
+   the dense oracle by at least 5x at 1000 blocks — that ratio is
+   machine-independent, so it is checked at full strength.
 
 Exit status: 0 = within tolerance, 1 = regression flagged, 2 = could not
 run. Intended as a non-blocking CI signal (continue-on-error).
 
 Usage: scripts/check_perf.py [--build BUILD_DIR] [--baseline FILE]
-                             [--tolerance RATIO]
+                             [--bench-baseline FILE] [--tolerance RATIO]
 """
 
 import argparse
@@ -32,6 +40,91 @@ def total_wall_ms(program):
     return sum(r.get("wall_ms", 0.0) for r in program.get("runs", []))
 
 
+BENCH_FILTER = "solver|pipeline"
+MIN_SPARSE_SPEEDUP = 5.0
+
+
+def bench_times(report):
+    """name -> real_time (ns) for a google-benchmark JSON document."""
+    times = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        times[b["name"]] = float(b.get("real_time", 0.0))
+    return times
+
+
+def check_bench(build, baseline_path, tolerance):
+    """Solver / pipeline timing check. Returns 0/1/2 like main."""
+    bench = os.path.join(build, "bench", "bench_analysis_time")
+    if not os.path.exists(bench):
+        print(f"check_perf: {bench} not built", file=sys.stderr)
+        return 2
+    try:
+        with open(baseline_path) as f:
+            baseline = bench_times(json.load(f))
+    except OSError as e:
+        print(f"check_perf: cannot read bench baseline: {e}", file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        subprocess.run(
+            [
+                bench,
+                f"--benchmark_filter={BENCH_FILTER}",
+                f"--benchmark_out={fresh_path}",
+                "--benchmark_out_format=json",
+            ],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(fresh_path) as f:
+            fresh = bench_times(json.load(f))
+    except (subprocess.CalledProcessError, OSError, ValueError) as e:
+        print(f"check_perf: bench run failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        os.unlink(fresh_path)
+
+    failed = False
+    print(f"\n{'benchmark':<28} {'base ms':>9} {'fresh ms':>9} {'ratio':>6}")
+    for name, base_ns in sorted(baseline.items()):
+        fresh_ns = fresh.get(name)
+        if fresh_ns is None:
+            print(f"{name:<28} missing from fresh run")
+            failed = True
+            continue
+        ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
+        flag = ""
+        if ratio > tolerance:
+            flag = f"  <-- slower than {tolerance:.1f}x baseline"
+            failed = True
+        print(
+            f"{name:<28} {base_ns / 1e6:>9.3f} {fresh_ns / 1e6:>9.3f}"
+            f" {ratio:>6.2f}{flag}"
+        )
+
+    # Machine-independent invariant: sparse must stay well ahead of the
+    # dense oracle at 1000 blocks.
+    sparse = fresh.get("solver/sparse/1000")
+    dense = fresh.get("solver/dense/1000")
+    if sparse and dense:
+        speedup = dense / sparse
+        ok = speedup >= MIN_SPARSE_SPEEDUP
+        print(
+            f"sparse-vs-dense speedup at 1000 blocks: {speedup:.1f}x"
+            + ("" if ok else f"  <-- below {MIN_SPARSE_SPEEDUP:.0f}x floor")
+        )
+        failed = failed or not ok
+    else:
+        print("check_perf: solver benchmarks missing from fresh run")
+        failed = True
+
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build", default="build", help="build directory")
@@ -39,6 +132,11 @@ def main():
         "--baseline",
         default=os.path.join(ROOT, "bench", "suite_report.json"),
         help="checked-in baseline report",
+    )
+    ap.add_argument(
+        "--bench-baseline",
+        default=os.path.join(ROOT, "bench", "analysis_time.json"),
+        help="checked-in bench_analysis_time baseline",
     )
     ap.add_argument(
         "--tolerance",
@@ -110,9 +208,10 @@ def main():
                 failed = True
         print(f"{name:<10} {base_ms:>9.1f} {fresh_ms:>9.1f} {ratio:>6.2f}{flag}")
 
-    if failed:
+    bench_rc = check_bench(args.build, args.bench_baseline, args.tolerance)
+    if failed or bench_rc != 0:
         print("check_perf: regression flagged (non-blocking signal)")
-        return 1
+        return max(1, bench_rc) if not failed else 1
     print("check_perf: within tolerance")
     return 0
 

@@ -9,6 +9,7 @@
 #include "obs/Telemetry.h"
 #include "support/LinearSystem.h"
 #include "support/Scc.h"
+#include "support/SparseMarkov.h"
 
 #include <algorithm>
 #include <cmath>
@@ -147,16 +148,65 @@ WeightedCallGraph buildWeightedGraph(const TranslationUnit &Unit,
   return G;
 }
 
-/// Solves f = e + Wᵀ f over the whole graph. Returns empty on a singular
-/// system.
-std::optional<std::vector<double>>
-solveWhole(const WeightedCallGraph &G) {
-  Matrix P(G.NumNodes, G.NumNodes);
+/// The graph's arcs as a dense-indexed sparse arc list (map order, so
+/// deterministic).
+std::vector<SparseArc> sparseArcs(const WeightedCallGraph &G) {
+  std::vector<SparseArc> Arcs;
+  Arcs.reserve(G.W.size());
   for (const auto &[Arc, Weight] : G.W)
-    P.at(Arc.first, Arc.second) += Weight;
+    Arcs.push_back({static_cast<uint32_t>(Arc.first),
+                    static_cast<uint32_t>(Arc.second), Weight});
+  return Arcs;
+}
+
+/// Solves f = e + Wᵀ f over the whole graph. Returns empty on a singular
+/// system. The repair ladder below owns all singular handling, so the
+/// sparse tier runs with its internal per-SCC repair disabled — both
+/// tiers fail identically and the ladder's behavior is solver-invariant.
+std::optional<std::vector<double>>
+solveWhole(const WeightedCallGraph &G, const InterEstimatorConfig &Config) {
   std::vector<double> Entry(G.NumNodes, 0.0);
   if (G.EntryNode != SIZE_MAX)
     Entry[G.EntryNode] = 1.0;
+
+  if (Config.Solver == MarkovSolverKind::Sparse) {
+    std::vector<SparseArc> Arcs = sparseArcs(G);
+    SparseMarkovResult R =
+        solveSparseMarkov(G.NumNodes, Arcs, Entry, SparseMarkovConfig());
+    obs::counterAdd("support.sparse.solves");
+    obs::histRecord("support.sparse.dim",
+                    static_cast<double>(G.NumNodes));
+    obs::histRecord("support.sparse.scc_count",
+                    static_cast<double>(R.Stats.SccCount));
+    obs::histRecord("support.sparse.max_scc_size",
+                    static_cast<double>(R.Stats.MaxSccSize));
+    if (R.Stats.CyclicSccCount) {
+      obs::counterAdd("support.sparse.dense_subsolves",
+                      static_cast<double>(R.Stats.CyclicSccCount));
+      obs::histRecord("support.sparse.dense_dim",
+                      static_cast<double>(R.Stats.DenseDim));
+    }
+    if (!R.Frequencies) {
+      obs::counterAdd("support.sparse.singular");
+      return std::nullopt;
+    }
+    if (obs::telemetryActive()) {
+      // Residual of f = e + Wᵀf over the whole call graph.
+      std::vector<double> Flow = Entry;
+      for (const SparseArc &A : Arcs)
+        Flow[A.To] += A.Prob * (*R.Frequencies)[A.From];
+      double Worst = 0.0;
+      for (size_t I = 0; I < Flow.size(); ++I)
+        Worst =
+            std::max(Worst, std::fabs((*R.Frequencies)[I] - Flow[I]));
+      obs::histRecord("estimators.markov_inter.residual", Worst);
+    }
+    return std::move(R.Frequencies);
+  }
+
+  Matrix P(G.NumNodes, G.NumNodes);
+  for (const auto &[Arc, Weight] : G.W)
+    P.at(Arc.first, Arc.second) += Weight;
   auto F = solveMarkovFrequencies(P, Entry);
   obs::counterAdd("support.linsys.solves");
   obs::histRecord("support.linsys.dim", static_cast<double>(G.NumNodes));
@@ -174,6 +224,21 @@ solveWhole(const WeightedCallGraph &G) {
     obs::histRecord("estimators.markov_inter.residual", Worst);
   }
   return F;
+}
+
+/// Solves one dense-indexed arc system on the configured tier (used by
+/// the §5.2.2 subproblems; the repair acceptance logic stays in the
+/// caller, so the sparse tier runs with internal repair off).
+std::optional<std::vector<double>>
+solveArcSystem(size_t N, const std::vector<SparseArc> &Arcs,
+               const std::vector<double> &Entry, MarkovSolverKind Kind) {
+  if (Kind == MarkovSolverKind::Sparse)
+    return solveSparseMarkov(N, Arcs, Entry, SparseMarkovConfig())
+        .Frequencies;
+  Matrix P(N, N);
+  for (const SparseArc &A : Arcs)
+    P.at(A.From, A.To) += A.Prob;
+  return solveMarkovFrequencies(P, Entry);
 }
 
 bool solutionIsValid(const std::vector<double> &F) {
@@ -219,22 +284,24 @@ void repairScc(WeightedCallGraph &G, const std::vector<size_t> &Component,
                   static_cast<double>(Component.size()));
   for (unsigned Iter = 0; Iter < Config.MaxSccRepairIterations; ++Iter) {
     obs::counterAdd("estimators.markov_inter.scc_repair_iterations");
-    Matrix P(N, N);
+    std::vector<SparseArc> Arcs;
     for (const auto &[Arc, Weight] : G.W)
       if (InScc.count(Arc.first) && InScc.count(Arc.second))
-        P.at(Index[Arc.first], Index[Arc.second]) += Weight;
+        Arcs.push_back({static_cast<uint32_t>(Index[Arc.first]),
+                        static_cast<uint32_t>(Index[Arc.second]), Weight});
     for (size_t I = 0; I < Component.size(); ++I) {
       double Flow = TotalInflow > 0
                         ? (Inflow.count(Component[I])
                                ? Inflow[Component[I]] / TotalInflow
                                : 0.0)
                         : 1.0 / Component.size();
-      P.at(MainIdx, I) = Flow;
+      Arcs.push_back({static_cast<uint32_t>(MainIdx),
+                      static_cast<uint32_t>(I), Flow});
     }
     std::vector<double> Entry(N, 0.0);
     Entry[MainIdx] = 1.0;
 
-    auto F = solveMarkovFrequencies(P, Entry);
+    auto F = solveArcSystem(N, Arcs, Entry, Config.Solver);
     bool Ok = F.has_value();
     if (Ok) {
       for (size_t I = 0; I < Component.size(); ++I)
@@ -269,13 +336,13 @@ std::vector<double> markovFunctionCounts(const TranslationUnit &Unit,
       Weight = Config.RecursiveArcProbability;
 
   // Step 2: attempt the whole program.
-  auto F = solveWhole(G);
+  auto F = solveWhole(G, Config);
   if (!F || !solutionIsValid(*F)) {
     // Step 3: repair each SCC in isolation, then re-solve.
     SccResult Scc = computeScc(G.NumNodes, G.adjacency());
     for (const auto &Component : Scc.Components)
       repairScc(G, Component, Config);
-    F = solveWhole(G);
+    F = solveWhole(G, Config);
   }
 
   // Step 4: last resort — scale everything until the system solves.
@@ -285,7 +352,7 @@ std::vector<double> markovFunctionCounts(const TranslationUnit &Unit,
     obs::counterAdd("estimators.markov_inter.rescale_iterations");
     for (auto &[Arc, Weight] : G.W)
       Weight *= Config.SccScale;
-    F = solveWhole(G);
+    F = solveWhole(G, Config);
   }
   obs::counterAdd("estimators.markov_inter.iterations", Guard + 1);
   if (!F || !solutionIsValid(*F))

@@ -36,7 +36,9 @@
 
 #include "callgraph/CallGraph.h"
 #include "cfg/Cfg.h"
+#include "estimators/BranchPrediction.h"
 #include "lang/Ast.h"
+#include "support/SparseMarkov.h"
 
 #include <vector>
 
@@ -47,6 +49,12 @@ namespace sest {
 /// builtins/undefined functions have empty rows.
 struct IntraEstimates {
   std::vector<std::vector<double>> Blocks;
+  /// CFG-level branch predictions computed alongside the block
+  /// estimates (indexed by function id; default-constructed entries for
+  /// builtins). Prediction runs once per function per configuration;
+  /// later passes (arc estimates, accuracy attribution) reuse these
+  /// instead of re-predicting.
+  std::vector<FunctionBranchPredictions> Predictions;
 
   /// The local (per-entry) frequency of the block containing \p Site.
   double localSiteFrequency(const CallSiteInfo &Site) const {
@@ -82,6 +90,12 @@ struct InterEstimatorConfig {
   /// Factor for the iterative scale-down of SCC arc probabilities.
   double SccScale = 0.9;
   unsigned MaxSccRepairIterations = 200;
+  /// Which linear-solver tier runs the call-graph flow equation (whole
+  /// graph and §5.2.2 subproblems). Sparse condenses into SCCs and
+  /// solves near-linearly; Dense is the original whole-matrix Gaussian
+  /// elimination, kept as the differential oracle. The repair ladder is
+  /// identical on both tiers.
+  MarkovSolverKind Solver = MarkovSolverKind::Sparse;
 };
 
 /// Estimates the invocation frequency of every function (indexed by

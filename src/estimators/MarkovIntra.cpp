@@ -8,6 +8,7 @@
 
 #include "obs/Telemetry.h"
 #include "support/LinearSystem.h"
+#include "support/SparseMarkov.h"
 
 #include <cmath>
 
@@ -30,47 +31,34 @@ double markovResidual(const Matrix &P, const std::vector<double> &Entry,
   return Worst;
 }
 
-} // namespace
-
-std::vector<std::vector<double>>
-sest::transitionProbabilities(const Cfg &G,
-                              const FunctionBranchPredictions &P) {
-  std::vector<std::vector<double>> Probs(G.size());
-  for (const auto &B : G.blocks()) {
-    auto &Row = Probs[B->id()];
-    switch (B->terminator()) {
-    case TerminatorKind::Goto:
-      Row = {1.0};
-      break;
-    case TerminatorKind::CondBranch: {
-      auto It = P.ByBlock.find(B->id());
-      double ProbTrue = It != P.ByBlock.end() ? It->second.ProbTrue : 0.5;
-      Row = {ProbTrue, 1.0 - ProbTrue};
-      break;
-    }
-    case TerminatorKind::Switch: {
-      auto It = P.SwitchProbs.find(B->id());
-      if (It != P.SwitchProbs.end())
-        Row = It->second;
-      else
-        Row.assign(B->successors().size(),
-                   1.0 / static_cast<double>(B->successors().size()));
-      break;
-    }
-    case TerminatorKind::Return:
-    case TerminatorKind::Unreachable:
-      break; // no successors
-    }
-  }
-  return Probs;
+/// The same defect computed from the arc list in O(E).
+double sparseResidual(const std::vector<SparseArc> &Arcs,
+                      const std::vector<double> &Eff,
+                      const std::vector<double> &Entry,
+                      const std::vector<double> &F) {
+  std::vector<double> Flow = Entry;
+  for (size_t I = 0; I < Arcs.size(); ++I)
+    Flow[Arcs[I].To] += Eff[I] * F[Arcs[I].From];
+  double Worst = 0.0;
+  for (size_t I = 0; I < F.size(); ++I)
+    Worst = std::max(Worst, std::fabs(F[I] - Flow[I]));
+  return Worst;
 }
 
-MarkovIntraResult
-sest::markovBlockFrequencies(const Cfg &G, const MarkovIntraConfig &Config) {
-  BranchPredictor Predictor(Config.Branch);
-  FunctionBranchPredictions Pred = Predictor.predictFunction(G);
-  std::vector<std::vector<double>> Slot = transitionProbabilities(G, Pred);
+void fillUniformFallback(const Cfg &G, MarkovIntraResult &Result) {
+  obs::counterAdd("estimators.markov_intra.fallback_uniform");
+  Result.BlockFrequencies.assign(G.size(), 1.0);
+  Result.ArcFrequencies.assign(G.size(), {});
+  for (const auto &B : G.blocks())
+    Result.ArcFrequencies[B->id()].assign(B->successors().size(), 1.0);
+}
 
+/// The original dense path: whole-matrix Gaussian elimination with the
+/// global repair loop (every transition probability rescaled, full
+/// re-factorization per attempt). Kept as the differential oracle for
+/// the sparse tier.
+MarkovIntraResult solveDense(const Cfg &G, const MarkovIntraConfig &Config,
+                             std::vector<std::vector<double>> Slot) {
   const size_t N = G.size();
   MarkovIntraResult Result;
   Result.BlockFrequencies.assign(N, 1.0);
@@ -131,10 +119,133 @@ sest::markovBlockFrequencies(const Cfg &G, const MarkovIntraConfig &Config) {
   }
 
   // Fall back to uniform frequencies.
-  obs::counterAdd("estimators.markov_intra.fallback_uniform");
-  Result.BlockFrequencies.assign(N, 1.0);
-  Result.ArcFrequencies.assign(N, {});
-  for (const auto &B : G.blocks())
-    Result.ArcFrequencies[B->id()].assign(B->successors().size(), 1.0);
+  fillUniformFallback(G, Result);
   return Result;
+}
+
+/// The default tier: SCC condensation, O(E) propagation through acyclic
+/// components, small dense blocks for cyclic ones, repair per SCC.
+MarkovIntraResult solveSparse(const Cfg &G, const MarkovIntraConfig &Config,
+                              const std::vector<std::vector<double>> &Slot) {
+  const size_t N = G.size();
+  MarkovIntraResult Result;
+
+  // Arcs in (block id, successor slot) order — the same order the arc
+  // frequency table is laid out in, so EffectiveProb maps back directly.
+  std::vector<SparseArc> Arcs;
+  Arcs.reserve(G.countArcSlots());
+  for (const auto &B : G.blocks()) {
+    const auto &Succs = B->successors();
+    for (size_t S = 0; S < Succs.size(); ++S)
+      Arcs.push_back({B->id(), Succs[S]->id(), Slot[B->id()][S]});
+  }
+  std::vector<double> Entry(N, 0.0);
+  Entry[G.entry()->id()] = 1.0;
+
+  SparseMarkovConfig SC;
+  SC.SingularScale = Config.SingularScale;
+  SC.MaxRepairIterations = Config.MaxRepairIterations;
+  SparseMarkovResult R = solveSparseMarkov(N, Arcs, Entry, SC);
+
+  obs::counterAdd("support.sparse.solves");
+  obs::histRecord("support.sparse.dim", static_cast<double>(N));
+  obs::histRecord("support.sparse.scc_count",
+                  static_cast<double>(R.Stats.SccCount));
+  obs::histRecord("support.sparse.max_scc_size",
+                  static_cast<double>(R.Stats.MaxSccSize));
+  if (R.Stats.CyclicSccCount) {
+    obs::counterAdd("support.sparse.dense_subsolves",
+                    static_cast<double>(R.Stats.CyclicSccCount));
+    obs::histRecord("support.sparse.dense_dim",
+                    static_cast<double>(R.Stats.DenseDim));
+  }
+  if (R.Stats.RepairIterations)
+    obs::counterAdd("support.sparse.repairs",
+                    static_cast<double>(R.Stats.RepairIterations));
+
+  Result.Repaired = R.Stats.Repaired;
+  if (!R.Frequencies) {
+    // The system was singular and stayed that way past the repair
+    // budget (dense reports the same flag on this path).
+    Result.Repaired = true;
+    obs::counterAdd("support.sparse.singular");
+    fillUniformFallback(G, Result);
+    return Result;
+  }
+
+  obs::counterAdd("estimators.markov_intra.solves");
+  obs::counterAdd("estimators.markov_intra.iterations",
+                  R.Stats.RepairIterations + 1);
+  if (R.Stats.Repaired)
+    obs::counterAdd("estimators.markov_intra.repaired");
+  if (obs::telemetryActive())
+    obs::histRecord(
+        "estimators.markov_intra.residual",
+        sparseResidual(Arcs, R.EffectiveProb, Entry, *R.Frequencies));
+
+  Result.BlockFrequencies = std::move(*R.Frequencies);
+  for (double &V : Result.BlockFrequencies)
+    if (V < 0)
+      V = 0;
+  Result.ArcFrequencies.resize(N);
+  size_t ArcIdx = 0;
+  for (const auto &B : G.blocks()) {
+    auto &Out = Result.ArcFrequencies[B->id()];
+    Out.resize(B->successors().size());
+    for (size_t S = 0; S < Out.size(); ++S, ++ArcIdx)
+      Out[S] =
+          Result.BlockFrequencies[B->id()] * R.EffectiveProb[ArcIdx];
+  }
+  return Result;
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+sest::transitionProbabilities(const Cfg &G,
+                              const FunctionBranchPredictions &P) {
+  std::vector<std::vector<double>> Probs(G.size());
+  for (const auto &B : G.blocks()) {
+    auto &Row = Probs[B->id()];
+    switch (B->terminator()) {
+    case TerminatorKind::Goto:
+      Row = {1.0};
+      break;
+    case TerminatorKind::CondBranch: {
+      auto It = P.ByBlock.find(B->id());
+      double ProbTrue = It != P.ByBlock.end() ? It->second.ProbTrue : 0.5;
+      Row = {ProbTrue, 1.0 - ProbTrue};
+      break;
+    }
+    case TerminatorKind::Switch: {
+      auto It = P.SwitchProbs.find(B->id());
+      if (It != P.SwitchProbs.end())
+        Row = It->second;
+      else
+        Row.assign(B->successors().size(),
+                   1.0 / static_cast<double>(B->successors().size()));
+      break;
+    }
+    case TerminatorKind::Return:
+    case TerminatorKind::Unreachable:
+      break; // no successors
+    }
+  }
+  return Probs;
+}
+
+MarkovIntraResult
+sest::markovBlockFrequencies(const Cfg &G, const MarkovIntraConfig &Config,
+                             const FunctionBranchPredictions *Predictions) {
+  FunctionBranchPredictions Local;
+  if (!Predictions) {
+    BranchPredictor Predictor(Config.Branch);
+    Local = Predictor.predictFunction(G);
+    Predictions = &Local;
+  }
+  std::vector<std::vector<double>> Slot =
+      transitionProbabilities(G, *Predictions);
+  return Config.Solver == MarkovSolverKind::Dense
+             ? solveDense(G, Config, std::move(Slot))
+             : solveSparse(G, Config, Slot);
 }

@@ -23,6 +23,7 @@
 
 #include "cfg/Cfg.h"
 #include "estimators/BranchPrediction.h"
+#include "support/SparseMarkov.h"
 
 #include <vector>
 
@@ -31,9 +32,14 @@ namespace sest {
 /// Configuration for the intra-procedural Markov solver.
 struct MarkovIntraConfig {
   BranchPredictorConfig Branch;
+  /// Which linear-solver tier runs the flow equation. Sparse condenses
+  /// the CFG into SCCs and solves near-linearly; Dense is the original
+  /// whole-matrix Gaussian elimination, kept as the differential oracle.
+  MarkovSolverKind Solver = MarkovSolverKind::Sparse;
   /// When the system is singular (a probability-1 cycle, e.g. "for(;;)"
-  /// with no break), all cycle probabilities are repeatedly scaled by
-  /// this factor until it solves.
+  /// with no break), cycle probabilities are repeatedly scaled by this
+  /// factor until it solves. The sparse solver scales only the offending
+  /// SCC's internal arcs; the dense solver scales every transition.
   double SingularScale = 0.9;
   unsigned MaxRepairIterations = 60;
 };
@@ -50,8 +56,14 @@ struct MarkovIntraResult {
 
 /// Solves the Markov system for \p G. Never fails: a persistently
 /// singular system falls back to uniform frequencies.
-MarkovIntraResult markovBlockFrequencies(const Cfg &G,
-                                         const MarkovIntraConfig &Config);
+///
+/// \p Predictions, when non-null, supplies precomputed branch
+/// predictions for \p G (must match Config.Branch); otherwise the
+/// predictor runs internally. The pipeline predicts each function once
+/// per configuration and shares the result across every pass.
+MarkovIntraResult
+markovBlockFrequencies(const Cfg &G, const MarkovIntraConfig &Config,
+                       const FunctionBranchPredictions *Predictions = nullptr);
 
 /// The per-slot transition probabilities for \p G under \p Predictions
 /// (CondBranch uses ProbTrue; Switch uses SwitchProbs; Goto is 1).

@@ -8,6 +8,10 @@
 
 #include "obs/Telemetry.h"
 
+#include <atomic>
+#include <memory>
+#include <thread>
+
 using namespace sest;
 
 IntraEstimates sest::computeIntraEstimates(const TranslationUnit &Unit,
@@ -16,30 +20,84 @@ IntraEstimates sest::computeIntraEstimates(const TranslationUnit &Unit,
   obs::ScopedPhase Phase("estimate.intra");
   IntraEstimates Out;
   Out.Blocks.resize(Unit.Functions.size());
+  Out.Predictions.resize(Unit.Functions.size());
 
-  for (const auto &[F, G] : Cfgs.all()) {
+  BranchPredictorConfig BC = Options.Branch;
+  BC.LoopIterations = Options.LoopIterations;
+  BranchPredictor Predictor(BC);
+
+  const auto &All = Cfgs.all();
+  // One function's estimate: predict its branches once, then run the
+  // configured intra estimator against the cached predictions.
+  auto EstimateOne = [&](size_t I) {
+    const auto &[F, G] = All[I];
     obs::ScopedPhase FnPhase("estimate.intra.function", F->name());
+    size_t Fid = F->functionId();
+    Out.Predictions[Fid] = Predictor.predictFunction(*G);
     switch (Options.Intra) {
     case IntraEstimatorKind::Loop:
     case IntraEstimatorKind::Smart: {
       AstEstimatorConfig C;
       C.Kind = Options.Intra;
       C.LoopIterations = Options.LoopIterations;
-      C.Branch = Options.Branch;
-      C.Branch.LoopIterations = Options.LoopIterations;
-      Out.Blocks[F->functionId()] = estimateBlockFrequencies(*G, C);
+      C.Branch = BC;
+      Out.Blocks[Fid] = estimateBlockFrequencies(*G, C);
       break;
     }
     case IntraEstimatorKind::Markov: {
       MarkovIntraConfig C = Options.MarkovIntra_;
-      C.Branch = Options.Branch;
-      C.Branch.LoopIterations = Options.LoopIterations;
-      Out.Blocks[F->functionId()] =
-          markovBlockFrequencies(*G, C).BlockFrequencies;
+      C.Branch = BC;
+      Out.Blocks[Fid] =
+          markovBlockFrequencies(*G, C, &Out.Predictions[Fid])
+              .BlockFrequencies;
       break;
     }
     }
+  };
+
+  unsigned Jobs = Options.Jobs == 0
+                      ? std::max(1u, std::thread::hardware_concurrency())
+                      : Options.Jobs;
+  if (Jobs <= 1 || All.size() <= 1) {
+    for (size_t I = 0; I < All.size(); ++I)
+      EstimateOne(I);
+    return Out;
   }
+
+  // Functions are independent: fan them over a worker pool. Each task
+  // collects into a private telemetry context; contexts are merged into
+  // the ambient one in function order, so counters, histograms, and the
+  // phase tree are identical to a serial run whatever the job count.
+  // With no ambient context the serial path's telemetry calls are
+  // no-ops; skip the private contexts too so parallelism stays free.
+  obs::Telemetry *Ambient = obs::Telemetry::active();
+  std::vector<std::unique_ptr<obs::Telemetry>> Tele(All.size());
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I; (I = Next.fetch_add(1)) < All.size();) {
+      if (!Ambient) {
+        EstimateOne(I);
+        continue;
+      }
+      auto T = std::make_unique<obs::Telemetry>();
+      T->install();
+      EstimateOne(I);
+      T->uninstall();
+      Tele[I] = std::move(T);
+    }
+  };
+  std::vector<std::thread> Pool;
+  unsigned N = static_cast<unsigned>(
+      std::min<size_t>(Jobs, All.size()));
+  Pool.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  if (Ambient)
+    for (const auto &T : Tele)
+      if (T)
+        Ambient->mergeFrom(*T);
   return Out;
 }
 
@@ -62,6 +120,7 @@ ProgramEstimate sest::estimateProgram(const TranslationUnit &Unit,
         Unit, CG, Intra, Out.FunctionEstimates);
   }
   Out.BlockEstimates = std::move(Intra.Blocks);
+  Out.Predictions = std::move(Intra.Predictions);
   return Out;
 }
 
@@ -86,9 +145,13 @@ sest::globalArcEstimates(const TranslationUnit &Unit, const CfgModule &Cfgs,
   BranchPredictorConfig BC = Options.Branch;
   BC.LoopIterations = Options.LoopIterations;
   BranchPredictor Predictor(BC);
+  // Estimates from the static pipeline carry their predictions; only
+  // profile-derived estimates need a fresh prediction pass.
+  bool HavePred = E.Predictions.size() == Unit.Functions.size();
   for (const auto &[F, G] : Cfgs.all()) {
     size_t Fid = F->functionId();
-    FunctionBranchPredictions Pred = Predictor.predictFunction(*G);
+    FunctionBranchPredictions Pred =
+        HavePred ? E.Predictions[Fid] : Predictor.predictFunction(*G);
     std::vector<std::vector<double>> Probs =
         transitionProbabilities(*G, Pred);
     double Scale = E.FunctionEstimates[Fid];

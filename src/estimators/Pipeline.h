@@ -39,12 +39,23 @@ struct EstimatorOptions {
   InterEstimatorConfig Inter_;
   /// Markov-intra repair knobs.
   MarkovIntraConfig MarkovIntra_;
+  /// Worker threads for per-function estimation (branch prediction +
+  /// intra solves are independent across functions). 1 = serial,
+  /// 0 = hardware_concurrency. Results are identical for every value.
+  unsigned Jobs = 1;
 
   /// Keeps the shared loop count consistent across sub-configs.
   void setLoopIterations(double L) {
     LoopIterations = L;
     Branch.LoopIterations = L;
     MarkovIntra_.Branch.LoopIterations = L;
+  }
+
+  /// Selects the linear-solver tier for both Markov models (sparse is
+  /// the default; dense is the differential oracle).
+  void setSolver(MarkovSolverKind K) {
+    MarkovIntra_.Solver = K;
+    Inter_.Solver = K;
   }
 };
 
@@ -58,6 +69,12 @@ struct ProgramEstimate {
   /// Estimated global call-site frequencies per call-site id; -1 for
   /// omitted (indirect) sites.
   std::vector<double> CallSiteEstimates;
+  /// The CFG-level branch predictions the estimate was computed with
+  /// (indexed by function id; empty when the estimate did not come from
+  /// the static pipeline, e.g. estimateFromProfile). Passes that need
+  /// predictions (arc estimates, accuracy attribution) reuse these so
+  /// prediction runs once per function per configuration.
+  std::vector<FunctionBranchPredictions> Predictions;
 };
 
 /// Runs the intra-procedural estimator over every defined function.

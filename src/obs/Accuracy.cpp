@@ -197,9 +197,14 @@ AccuracyReport sest::obs::computeAccuracy(const TranslationUnit &Unit,
     BranchPredictorConfig BC = EstOpts.Branch;
     BC.LoopIterations = EstOpts.LoopIterations;
     BranchPredictor Predictor(BC);
+    // Pipeline-produced estimates carry their predictions; reuse them so
+    // prediction runs once per function per configuration.
+    bool HavePred = Estimate.Predictions.size() == Unit.Functions.size();
     for (const auto &[F, G] : Cfgs.all()) {
       size_t Fid = F->functionId();
-      FunctionBranchPredictions Pred = Predictor.predictFunction(*G);
+      FunctionBranchPredictions Pred = HavePred
+                                           ? Estimate.Predictions[Fid]
+                                           : Predictor.predictFunction(*G);
       const FunctionProfile *FP =
           Fid < Actual.Functions.size() ? &Actual.Functions[Fid] : nullptr;
       bool HaveArcs = FP && FP->ArcCounts.size() == G->size();

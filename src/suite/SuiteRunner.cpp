@@ -194,34 +194,85 @@ sest::compileAndProfileSuite(const InterpOptions &Options, unsigned Jobs) {
 
 std::vector<obs::AccuracyReport>
 sest::computeSuiteAccuracy(const std::vector<CompiledSuiteProgram> &Programs,
-                           const EstimatorOptions &EstOpts) {
+                           const EstimatorOptions &EstOpts, unsigned Jobs) {
   obs::ScopedPhase Phase("suite.accuracy");
-  std::vector<obs::AccuracyReport> Reports;
-  for (const CompiledSuiteProgram &P : Programs) {
-    if (!P.Ok || P.Profiles.empty())
-      continue;
+
+  std::vector<const CompiledSuiteProgram *> Scored;
+  for (const CompiledSuiteProgram &P : Programs)
+    if (P.Ok && !P.Profiles.empty())
+      Scored.push_back(&P);
+
+  // Estimation + attribution for one program. Parallelism is across
+  // programs, so each estimate itself runs serially (nested pools would
+  // oversubscribe without helping wall time).
+  EstimatorOptions InnerOpts = EstOpts;
+  InnerOpts.Jobs = 1;
+  auto ScoreOne = [&](const CompiledSuiteProgram &P) -> obs::AccuracyReport {
     Profile Aggregate = aggregateProfiles(P.Profiles);
     Aggregate.ProgramName = P.Spec->Name;
     Aggregate.InputName =
         "aggregate(" + std::to_string(P.Profiles.size()) + ")";
     ProgramEstimate Estimate =
-        estimateProgram(P.unit(), *P.Cfgs, *P.CG, EstOpts);
-    Reports.push_back(obs::computeAccuracy(P.unit(), *P.Cfgs, *P.CG,
-                                           Estimate, Aggregate, EstOpts));
+        estimateProgram(P.unit(), *P.Cfgs, *P.CG, InnerOpts);
+    return obs::computeAccuracy(P.unit(), *P.Cfgs, *P.CG, Estimate,
+                                Aggregate, InnerOpts);
+  };
+
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<obs::AccuracyReport> Reports(Scored.size());
+  if (Jobs <= 1 || Scored.size() <= 1) {
+    for (size_t I = 0; I < Scored.size(); ++I)
+      Reports[I] = ScoreOne(*Scored[I]);
+    return Reports;
   }
+
+  // Per-program private telemetry, merged back in program order: the
+  // report (and any embedded telemetry) is identical for every Jobs.
+  // With no ambient context telemetry is off; skip the private
+  // contexts so parallelism costs nothing extra.
+  obs::Telemetry *Ambient = obs::Telemetry::active();
+  std::vector<std::unique_ptr<obs::Telemetry>> Tele(Scored.size());
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I; (I = Next.fetch_add(1)) < Scored.size();) {
+      if (!Ambient) {
+        Reports[I] = ScoreOne(*Scored[I]);
+        continue;
+      }
+      auto T = std::make_unique<obs::Telemetry>();
+      T->install();
+      Reports[I] = ScoreOne(*Scored[I]);
+      T->uninstall();
+      Tele[I] = std::move(T);
+    }
+  };
+  std::vector<std::thread> Pool;
+  unsigned N = std::min<size_t>(Jobs, Scored.size());
+  Pool.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  if (Ambient)
+    for (const auto &T : Tele)
+      if (T)
+        Ambient->mergeFrom(*T);
   return Reports;
 }
 
 std::string sest::suiteAccuracyReportJson(
-    const std::vector<CompiledSuiteProgram> &Programs, size_t MaxEntities) {
-  return obs::accuracyReportJson(computeSuiteAccuracy(Programs),
-                                 MaxEntities);
+    const std::vector<CompiledSuiteProgram> &Programs, size_t MaxEntities,
+    unsigned Jobs) {
+  return obs::accuracyReportJson(
+      computeSuiteAccuracy(Programs, {}, Jobs), MaxEntities);
 }
 
 std::string
 sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
-                      InterpEngine Engine) {
-  std::vector<obs::AccuracyReport> Accuracy = computeSuiteAccuracy(Programs);
+                      InterpEngine Engine, unsigned Jobs) {
+  std::vector<obs::AccuracyReport> Accuracy =
+      computeSuiteAccuracy(Programs, {}, Jobs);
   auto AccuracyFor = [&](const CompiledSuiteProgram &P)
       -> const obs::AccuracyReport * {
     if (!P.Spec)

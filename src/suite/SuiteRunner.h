@@ -91,27 +91,37 @@ compileAndProfileSuite(const InterpOptions &Options = {}, unsigned Jobs = 0);
 /// time and resource usage, suite totals, and per-program accuracy
 /// summaries under "accuracy"). When a telemetry context is installed on
 /// this thread its full report is embedded under "telemetry". \p Engine
-/// names the interpreter tier that produced the runs.
+/// names the interpreter tier that produced the runs. The embedded
+/// accuracy summaries are computed by \p Jobs worker threads (see
+/// computeSuiteAccuracy).
 std::string
 suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
-                InterpEngine Engine = InterpEngine::Bytecode);
+                InterpEngine Engine = InterpEngine::Bytecode,
+                unsigned Jobs = 1);
 
 /// Scores the default estimator configuration (or \p EstOpts) on every
 /// profiled suite program: each program's estimate is attributed against
 /// the aggregate of all its input profiles (ProfileName "aggregate(N)").
-/// Programs with Ok == false or no profiles are skipped. Profiles are
-/// bit-identical across engines and job counts, and the attribution uses
-/// no wall-clock inputs, so the result is deterministic.
+/// Programs with Ok == false or no profiles are skipped.
+///
+/// The per-program estimation + attribution passes are fanned out over
+/// \p Jobs worker threads (1 = serial, 0 = hardware_concurrency), each
+/// collecting into a private Telemetry context merged back in program
+/// order. Profiles are bit-identical across engines and job counts, and
+/// the attribution uses no wall-clock inputs, so reports and telemetry
+/// are identical for every job count.
 std::vector<obs::AccuracyReport>
 computeSuiteAccuracy(const std::vector<CompiledSuiteProgram> &Programs,
-                     const EstimatorOptions &EstOpts = {});
+                     const EstimatorOptions &EstOpts = {},
+                     unsigned Jobs = 1);
 
 /// The full sest-accuracy-report/1 document over the suite, with each
 /// family capped to its worst \p MaxEntities divergence records (the
-/// checked-in bench/accuracy_report.json baseline shape).
+/// checked-in bench/accuracy_report.json baseline shape). \p Jobs as in
+/// computeSuiteAccuracy.
 std::string
 suiteAccuracyReportJson(const std::vector<CompiledSuiteProgram> &Programs,
-                        size_t MaxEntities = 20);
+                        size_t MaxEntities = 20, unsigned Jobs = 1);
 
 } // namespace sest
 

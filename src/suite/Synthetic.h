@@ -1,0 +1,85 @@
+//===- suite/Synthetic.h - Synthetic mini-C program generator ---*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of synthetic mini-C programs for scaling
+/// benchmarks and property tests. The hand-written suite tops out at a
+/// few hundred CFG blocks per program; the solver-scaling story (sparse
+/// SCC-structured vs dense Gaussian elimination) needs CFGs and call
+/// graphs orders of magnitude larger, with the control-flow idioms that
+/// stress each part of the solver:
+///
+///  - LoopNest:        deep counted loop nests with embedded branches
+///                     (many small cyclic SCCs);
+///  - SwitchDispatch:  big switch-in-a-loop interpreter dispatch (one
+///                     wide SCC per dispatch loop);
+///  - GotoCycles:      label/goto soup with backward jumps and jumps
+///                     into loop bodies (irreducible SCCs no structured
+///                     construct produces);
+///  - WideCalls:       many small functions under fan-out callers plus
+///                     mutually recursive pairs (wide, cyclic call
+///                     graphs for the inter-procedural model);
+///  - Mixed:           round-robin of all of the above.
+///
+/// Generated programs always parse, pass sema (every path returns), and
+/// terminate when executed: loops are counter-bounded and every goto
+/// cycle strictly increases a budget counter. Generation is a pure
+/// function of the config — same config, same bytes, on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUITE_SYNTHETIC_H
+#define SUITE_SYNTHETIC_H
+
+#include "suite/Suite.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sest {
+
+/// Control-flow idiom the generated program is built from.
+enum class SyntheticShape {
+  LoopNest,
+  SwitchDispatch,
+  GotoCycles,
+  WideCalls,
+  Mixed,
+};
+
+/// CLI / table name ("loop-nest", "switch-dispatch", ...).
+const char *syntheticShapeName(SyntheticShape S);
+
+/// Parses a shape name; false when \p Name is unknown.
+bool parseSyntheticShape(const std::string &Name, SyntheticShape &Out);
+
+/// Knobs for one generated program.
+struct SyntheticConfig {
+  SyntheticShape Shape = SyntheticShape::Mixed;
+  /// Approximate total CFG blocks across the whole program (the
+  /// generator stops adding functions once it crosses this).
+  size_t TargetBlocks = 200;
+  /// Approximate CFG blocks per generated function — the dimension of
+  /// each intra-procedural Markov solve. 0 picks varied small sizes;
+  /// set it equal to TargetBlocks to concentrate everything in one
+  /// giant CFG.
+  size_t FunctionBlocks = 0;
+  /// PRNG seed; every structural choice derives from it.
+  uint64_t Seed = 1;
+};
+
+/// Renders the mini-C source text for \p Config.
+std::string generateSyntheticSource(const SyntheticConfig &Config);
+
+/// Wraps the generated source as a runnable SuiteProgram (named
+/// "synthetic-<shape>-<blocks>-s<seed>") with four rand-seed inputs, so
+/// it can go through the same compile/profile/estimate machinery as the
+/// hand-written suite.
+SuiteProgram makeSyntheticProgram(const SyntheticConfig &Config);
+
+} // namespace sest
+
+#endif // SUITE_SYNTHETIC_H

@@ -1,0 +1,150 @@
+//===- support/SparseMarkov.cpp - Sparse SCC-structured solver ------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SparseMarkov.h"
+
+#include "support/LinearSystem.h"
+#include "support/Scc.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace sest;
+
+SparseMarkovResult
+sest::solveSparseMarkov(size_t NumNodes, const std::vector<SparseArc> &Arcs,
+                        const std::vector<double> &Entry,
+                        const SparseMarkovConfig &Config) {
+  assert(Entry.size() == NumNodes && "entry vector size mismatch");
+
+  SparseMarkovResult Result;
+  Result.EffectiveProb.reserve(Arcs.size());
+  for (const SparseArc &A : Arcs) {
+    assert(A.From < NumNodes && A.To < NumNodes && "arc index out of range");
+    Result.EffectiveProb.push_back(A.Prob);
+  }
+  std::vector<double> &Eff = Result.EffectiveProb;
+
+  // Arc indices grouped by target (CSR by column): InStart[v]..InStart[v+1]
+  // index InArcs with every arc flowing into v. Counting sort, O(N + E).
+  std::vector<size_t> InStart(NumNodes + 1, 0);
+  for (const SparseArc &A : Arcs)
+    ++InStart[A.To + 1];
+  for (size_t V = 0; V < NumNodes; ++V)
+    InStart[V + 1] += InStart[V];
+  std::vector<size_t> InArcs(Arcs.size());
+  {
+    std::vector<size_t> Fill(InStart.begin(), InStart.end() - 1);
+    for (size_t I = 0; I < Arcs.size(); ++I)
+      InArcs[Fill[Arcs[I].To]++] = I;
+  }
+
+  // Condense into SCCs. Zero-probability arcs carry no flow, so they are
+  // excluded from the structure — splitting a component along them leaves
+  // the solution unchanged.
+  std::vector<std::vector<size_t>> Succ(NumNodes);
+  std::vector<bool> HasSelfArc(NumNodes, false);
+  for (const SparseArc &A : Arcs) {
+    if (A.Prob == 0.0)
+      continue;
+    Succ[A.From].push_back(A.To);
+    if (A.From == A.To)
+      HasSelfArc[A.From] = true;
+  }
+  SccResult Scc = computeScc(NumNodes, Succ);
+  Result.Stats.SccCount = Scc.Components.size();
+
+  std::vector<double> F(NumNodes, 0.0);
+  // Local index of each node within the component currently being
+  // solved; stale entries are never read (guarded by ComponentOf).
+  std::vector<size_t> Local(NumNodes, 0);
+  const bool RepairEnabled = Config.MaxRepairIterations > 0;
+
+  // Tarjan emits components in reverse topological order (successors
+  // first), so iterating backwards visits every component after all of
+  // its predecessors — external inflow is always already solved.
+  for (size_t CI = Scc.Components.size(); CI-- > 0;) {
+    const std::vector<size_t> &Members = Scc.Components[CI];
+    Result.Stats.MaxSccSize =
+        std::max(Result.Stats.MaxSccSize, Members.size());
+
+    bool Cyclic = Members.size() > 1 || HasSelfArc[Members[0]];
+    if (!Cyclic) {
+      // Acyclic singleton: pure forward propagation, O(in-degree).
+      size_t V = Members[0];
+      double Flow = Entry[V];
+      for (size_t P = InStart[V]; P < InStart[V + 1]; ++P) {
+        const SparseArc &A = Arcs[InArcs[P]];
+        Flow += Eff[InArcs[P]] * F[A.From];
+      }
+      F[V] = Flow;
+      continue;
+    }
+
+    // Cyclic component: solve f_S = b + P_Sᵀ f_S as a small dense block,
+    // where b carries the entry flow plus all external inflow.
+    const size_t K = Members.size();
+    for (size_t I = 0; I < K; ++I)
+      Local[Members[I]] = I;
+
+    std::vector<double> B(K, 0.0);
+    std::vector<size_t> Internal; // arc indices internal to the block
+    for (size_t I = 0; I < K; ++I) {
+      size_t V = Members[I];
+      double Flow = Entry[V];
+      for (size_t P = InStart[V]; P < InStart[V + 1]; ++P) {
+        size_t ArcIdx = InArcs[P];
+        const SparseArc &A = Arcs[ArcIdx];
+        if (Scc.ComponentOf[A.From] == CI)
+          Internal.push_back(ArcIdx);
+        else
+          Flow += Eff[ArcIdx] * F[A.From];
+      }
+      B[I] = Flow;
+    }
+
+    ++Result.Stats.CyclicSccCount;
+    Result.Stats.DenseDim += K;
+
+    for (unsigned Attempt = 0;; ++Attempt) {
+      Matrix A(K, K);
+      for (size_t I = 0; I < K; ++I)
+        A.at(I, I) = 1.0;
+      for (size_t ArcIdx : Internal)
+        A.at(Local[Arcs[ArcIdx].To], Local[Arcs[ArcIdx].From]) -=
+            Eff[ArcIdx];
+      SolveResult S = solveLinearSystem(std::move(A), B, Config.PivotEps);
+
+      bool Ok = S.Solution.has_value();
+      if (Ok && RepairEnabled) {
+        for (double V : *S.Solution)
+          if (!std::isfinite(V) || V < -Config.NegativeTolerance ||
+              V > Config.ValueCeiling)
+            Ok = false;
+      }
+      if (Ok) {
+        for (size_t I = 0; I < K; ++I)
+          F[Members[I]] = (*S.Solution)[I];
+        break;
+      }
+      if (Attempt >= Config.MaxRepairIterations) {
+        // Unrepairable probability-1 cycle (or repair disabled): report
+        // singular like the dense solver would for the whole system.
+        Result.Frequencies = std::nullopt;
+        return Result;
+      }
+      // The per-component repair: scale only this block's internal arcs
+      // so flow leaks out of the cycle, then re-solve just this block.
+      for (size_t ArcIdx : Internal)
+        Eff[ArcIdx] *= Config.SingularScale;
+      Result.Stats.Repaired = true;
+      ++Result.Stats.RepairIterations;
+    }
+  }
+
+  Result.Frequencies = std::move(F);
+  return Result;
+}

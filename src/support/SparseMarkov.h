@@ -1,0 +1,110 @@
+//===- support/SparseMarkov.h - Sparse SCC-structured solver ----*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse, SCC-structured solver for the Markov frequency equation
+/// f = e + Pᵀf (paper §5, Figure 7). The dense Gaussian elimination in
+/// LinearSystem.h is O(N³) and rebuilds the whole matrix on every
+/// singular repair; real control-flow and call graphs are overwhelmingly
+/// sparse and mostly acyclic, so this solver:
+///
+///  1. stores transitions as an arc list indexed in CSR form (both by
+///     source and by target),
+///  2. condenses the graph into its strongly connected components
+///     (support/Scc) — a DAG by construction,
+///  3. forward-propagates frequencies through acyclic components in
+///     topological order in O(E), and
+///  4. solves only the cyclic components as small dense subsystems, with
+///     singular-repair scaling applied *per component* instead of
+///     globally, so a repair re-solves one small block rather than
+///     re-factorizing the whole system.
+///
+/// Because (I - Pᵀ) is block-triangular under the condensation order,
+/// the block-wise solution equals the whole-matrix solution exactly (up
+/// to rounding); tests/test_sparse_markov.cpp pins the two solvers
+/// together to 1e-9. The dense solver stays available as the
+/// differential oracle (MarkovSolverKind::Dense).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_SPARSEMARKOV_H
+#define SUPPORT_SPARSEMARKOV_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace sest {
+
+/// Which linear-solver tier a Markov model runs on. Sparse is the
+/// default; Dense is the original O(N³) Gaussian elimination, kept as
+/// the differential oracle (the same tiering pattern as the bytecode VM
+/// vs. the AST walker).
+enum class MarkovSolverKind { Sparse, Dense };
+
+/// One probability-weighted arc of a sparse transition graph. Parallel
+/// arcs between the same pair are allowed; their flows sum.
+struct SparseArc {
+  uint32_t From = 0;
+  uint32_t To = 0;
+  double Prob = 0.0;
+};
+
+/// Tuning for the sparse solver.
+struct SparseMarkovConfig {
+  /// Pivot threshold forwarded to the dense subsystem solves.
+  double PivotEps = 1e-12;
+  /// When a cyclic component's subsystem is singular (a probability-1
+  /// cycle) or its solution insane, its *internal* arc probabilities are
+  /// scaled by this factor and only that block is re-solved.
+  double SingularScale = 0.9;
+  /// Maximum repair iterations per cyclic component. 0 disables repair:
+  /// a singular component then fails the whole solve, exactly like the
+  /// dense solver reporting Singular (used by callers that own their own
+  /// repair ladder, e.g. the §5.2.2 call-graph repair).
+  unsigned MaxRepairIterations = 0;
+  /// Repair acceptance: component solutions must lie in
+  /// [-NegativeTolerance, ValueCeiling] (matching the sanity window the
+  /// dense intra-procedural path enforced globally).
+  double NegativeTolerance = 1e-9;
+  double ValueCeiling = 1e15;
+};
+
+/// What the solve did — recorded as telemetry by the estimator call
+/// sites (support stays dependency-free, like LinearSystem).
+struct SparseMarkovStats {
+  size_t SccCount = 0;       ///< Components in the condensation.
+  size_t CyclicSccCount = 0; ///< Components that needed a dense subsolve.
+  size_t MaxSccSize = 0;     ///< Largest component (1 = fully acyclic).
+  size_t DenseDim = 0;       ///< Total rows across all dense subsolves.
+  unsigned RepairIterations = 0; ///< Per-component repair re-solves.
+  bool Repaired = false;     ///< Any component needed repair scaling.
+};
+
+/// Result of a sparse Markov solve.
+struct SparseMarkovResult {
+  /// Frequencies per node, or nullopt when some cyclic component stayed
+  /// singular (repair disabled or exhausted).
+  std::optional<std::vector<double>> Frequencies;
+  /// Effective per-arc probabilities after per-component repair scaling,
+  /// parallel to the input arc list (identical to the inputs when
+  /// !Stats.Repaired). Feeding these into the dense solver reproduces
+  /// Frequencies — the oracle check for repair paths.
+  std::vector<double> EffectiveProb;
+  SparseMarkovStats Stats;
+};
+
+/// Solves f = Entry + Pᵀf where P is given by \p Arcs over \p NumNodes
+/// dense node indices. Runs in O(E + Σ k³) for cyclic component sizes k.
+SparseMarkovResult solveSparseMarkov(size_t NumNodes,
+                                     const std::vector<SparseArc> &Arcs,
+                                     const std::vector<double> &Entry,
+                                     const SparseMarkovConfig &Config = {});
+
+} // namespace sest
+
+#endif // SUPPORT_SPARSEMARKOV_H

@@ -88,7 +88,11 @@ void out(const std::string &S) { std::fputs(S.c_str(), stdout); }
       "  --input TEXT                 program input\n"
       "  --seed N                     rand() seed\n"
       "  --interp ast|bytecode        execution engine (default bytecode)\n"
-      "  --jobs N                     suite worker threads (0 = cores)\n"
+      "  --jobs N                     worker threads for suite runs and\n"
+      "                               estimation (0 = cores; results are\n"
+      "                               identical for every N)\n"
+      "  --solver sparse|dense        Markov linear-solver tier (default\n"
+      "                               sparse; dense is the oracle)\n"
       "  --trace FILE                 write Chrome trace-event JSON\n"
       "  --stats                      print phase times and counters\n"
       "  --report FILE                write machine-readable JSON report\n"
@@ -123,7 +127,8 @@ const char *const KnownOptions[] = {
     "--compare",      "--suite",         "--intra",
     "--inter",        "--loop-count",    "--counted-loops",
     "--input",        "--seed",          "--interp",
-    "--jobs",         "--emit-profile",  "--score-profile",
+    "--jobs",         "--solver",        "--emit-profile",
+    "--score-profile",
     "--trace",        "--stats",         "--report",
     "--explain",      "--accuracy-report", "--validate-json",
 };
@@ -219,6 +224,17 @@ Options parseArgs(int argc, char **argv) {
     } else if (A == "--jobs") {
       O.Jobs = static_cast<unsigned>(
           std::strtoul(Next().c_str(), nullptr, 10));
+      // Single-file estimation parallelizes per function with the same
+      // knob (suite runs parallelize per program instead).
+      O.Est.Jobs = O.Jobs;
+    } else if (A == "--solver") {
+      std::string V = Next();
+      if (V == "sparse")
+        O.Est.setSolver(MarkovSolverKind::Sparse);
+      else if (V == "dense")
+        O.Est.setSolver(MarkovSolverKind::Dense);
+      else
+        usage();
     } else if (A == "--emit-profile") {
       O.EmitProfile = Next();
     } else if (A == "--score-profile") {
@@ -335,13 +351,14 @@ int runSuite(const Options &O) {
       out("error: " + P.Error + "\n");
 
   if (!O.ReportFile.empty()) {
-    if (!writeTextFile(O.ReportFile, suiteReportJson(Programs, O.Engine)))
+    if (!writeTextFile(O.ReportFile,
+                       suiteReportJson(Programs, O.Engine, O.Jobs)))
       return 1;
     out("suite report written to " + O.ReportFile + "\n");
   }
   if (!O.AccuracyReportFile.empty()) {
     if (!writeTextFile(O.AccuracyReportFile,
-                       suiteAccuracyReportJson(Programs)))
+                       suiteAccuracyReportJson(Programs, 20, O.Jobs)))
       return 1;
     out("accuracy report written to " + O.AccuracyReportFile + "\n");
   }
