@@ -22,26 +22,20 @@
 
 #include "BenchCommon.h"
 
-#include <algorithm>
+#include "opt/WeightSource.h"
 
 using namespace sest;
 using namespace sest::bench;
 
 namespace {
 
-/// Defined functions ranked by descending score.
+/// Defined functions hot-first under \p W (the same ranking every
+/// optimizer pass in src/opt/ consumes).
 std::vector<const FunctionDecl *>
-rankFunctions(const CompiledSuiteProgram &P,
-              const std::vector<double> &Scores) {
+rankedFunctions(const CompiledSuiteProgram &P, const opt::WeightSource &W) {
   std::vector<const FunctionDecl *> Fns;
-  for (const FunctionDecl *F : P.unit().Functions)
-    if (F->isDefined())
-      Fns.push_back(F);
-  std::stable_sort(Fns.begin(), Fns.end(),
-                   [&Scores](const FunctionDecl *A, const FunctionDecl *B) {
-                     return Scores[A->functionId()] >
-                            Scores[B->functionId()];
-                   });
+  for (const opt::RankedFunction &R : opt::rankFunctions(P.unit(), W))
+    Fns.push_back(R.F);
   return Fns;
 }
 
@@ -89,24 +83,18 @@ int main() {
 
   EstimatorOptions Options; // smart intra + Markov inter
   ProgramEstimate Static = estimateWith(P, Options);
-  std::vector<const FunctionDecl *> ByEstimate =
-      rankFunctions(P, Static.FunctionEstimates);
+  std::vector<const FunctionDecl *> ByEstimate = rankedFunctions(
+      P, opt::weightsFromEstimate(P.unit(), *P.Cfgs, Static, Options));
 
-  std::vector<double> FirstCounts(P.unit().Functions.size(), 0.0);
-  for (size_t F = 0; F < FirstCounts.size(); ++F)
-    FirstCounts[F] = P.Profiles[0].Functions[F].EntryCount;
-  std::vector<const FunctionDecl *> ByFirstProfile =
-      rankFunctions(P, FirstCounts);
+  std::vector<const FunctionDecl *> ByFirstProfile = rankedFunctions(
+      P, opt::weightsFromProfile(P.unit(), P.Profiles[0]));
 
   std::vector<const Profile *> Rest;
   for (size_t I = 1; I + 1 < P.Profiles.size(); ++I)
     Rest.push_back(&P.Profiles[I]);
   Profile Agg = aggregateProfiles(Rest);
-  std::vector<double> AggCounts(P.unit().Functions.size(), 0.0);
-  for (size_t F = 0; F < AggCounts.size(); ++F)
-    AggCounts[F] = Agg.Functions[F].EntryCount;
-  std::vector<const FunctionDecl *> ByAggregate =
-      rankFunctions(P, AggCounts);
+  std::vector<const FunctionDecl *> ByAggregate = rankedFunctions(
+      P, opt::weightsFromProfile(P.unit(), Agg, "aggregate"));
 
   double Base = cyclesWithTopK(P, ByEstimate, 0, EvalInput);
 

@@ -7,22 +7,23 @@
 /// \file
 /// An intra-procedural client from the paper's introduction: "code
 /// layout for instruction cache packing" (McFarling [8]). This example
-/// lays out each function's basic blocks hottest-first using the static
-/// smart estimates, then scores the layout by the fraction of dynamic
-/// control transfers that fall through to the next block in memory —
-/// comparing the static layout against a profile-driven layout and
-/// against source order.
+/// chains each function's basic blocks with the Pettis–Hansen-style
+/// layout pass from src/opt/ — once driven by static smart estimates and
+/// once by a measured profile, through the same WeightSource abstraction
+/// — then scores each layout by the fraction of dynamic control
+/// transfers that fall through to the next block in memory.
 ///
 /// Usage: code_layout [suite-program-name]   (default: compress)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "estimators/Pipeline.h"
+#include "opt/Layout.h"
+#include "opt/WeightSource.h"
 #include "suite/SuiteRunner.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <numeric>
 
@@ -31,22 +32,6 @@ using namespace sest;
 namespace {
 
 void print(const std::string &S) { std::fputs(S.c_str(), stdout); }
-
-/// Greedy layout: place blocks in decreasing weight, but start from the
-/// entry block (it must come first).
-std::vector<uint32_t> layoutByWeight(const Cfg &G,
-                                     const std::vector<double> &Weight) {
-  std::vector<uint32_t> Order(G.size());
-  std::iota(Order.begin(), Order.end(), 0u);
-  std::stable_sort(Order.begin(), Order.end(),
-                   [&Weight](uint32_t A, uint32_t B) {
-                     return Weight[A] > Weight[B];
-                   });
-  // Entry first.
-  auto It = std::find(Order.begin(), Order.end(), G.entry()->id());
-  std::rotate(Order.begin(), It, It + 1);
-  return Order;
-}
 
 /// Fraction of dynamic transfers that fall through: arc (B, S) is free
 /// when S is placed immediately after B.
@@ -83,9 +68,17 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // The same layout pass, two weight sources: that is the whole point of
+  // the WeightSource abstraction.
   EstimatorOptions Options;
-  IntraEstimates Static = computeIntraEstimates(P.unit(), *P.Cfgs, Options);
+  ProgramEstimate E = estimateProgram(P.unit(), *P.Cfgs, *P.CG, Options);
+  opt::WeightSource WStatic =
+      opt::weightsFromEstimate(P.unit(), *P.Cfgs, E, Options);
   Profile Agg = aggregateProfiles(P.Profiles);
+  opt::WeightSource WProfile = opt::weightsFromProfile(P.unit(), Agg);
+
+  opt::ProgramLayout Static = opt::computeBlockLayout(P.unit(), *P.Cfgs, WStatic);
+  opt::ProgramLayout Prof = opt::computeBlockLayout(P.unit(), *P.Cfgs, WProfile);
 
   print("Block-layout quality for '" + Name + "' (fraction of dynamic "
         "transfers that fall through):\n\n");
@@ -101,10 +94,10 @@ int main(int argc, char **argv) {
 
     std::vector<uint32_t> SourceOrder(G->size());
     std::iota(SourceOrder.begin(), SourceOrder.end(), 0u);
-    std::vector<uint32_t> StaticOrder =
-        layoutByWeight(*G, Static.Blocks[F->functionId()]);
-    std::vector<uint32_t> ProfileOrder =
-        layoutByWeight(*G, FP.BlockCounts);
+    const std::vector<uint32_t> &StaticOrder =
+        Static.Functions[F->functionId()].Order;
+    const std::vector<uint32_t> &ProfileOrder =
+        Prof.Functions[F->functionId()].Order;
 
     double QSrc = fallthroughQuality(*G, FP, SourceOrder);
     double QStatic = fallthroughQuality(*G, FP, StaticOrder);

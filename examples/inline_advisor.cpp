@@ -8,9 +8,10 @@
 /// The paper's motivating inter-procedural client (§5.3): "In function
 /// inlining, the crucial information derived from a profile is the
 /// frequency of execution of specific call sites." This example ranks a
-/// program's direct call sites by their statically-estimated global
-/// frequency and prints inlining advice, then checks the advice against
-/// a real profile.
+/// program's direct call sites with the src/opt/ WeightSource under the
+/// static estimate, checks the advice against a real profile, then
+/// actually inlines the top sites and differentially verifies that the
+/// transformed program behaves identically.
 ///
 /// Usage: inline_advisor [suite-program-name]   (default: gcc)
 ///
@@ -18,11 +19,12 @@
 
 #include "estimators/Pipeline.h"
 #include "metrics/WeightMatching.h"
+#include "opt/Inline.h"
+#include "opt/WeightSource.h"
 #include "suite/SuiteRunner.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
 
-#include <algorithm>
 #include <cstdio>
 
 using namespace sest;
@@ -50,17 +52,8 @@ int main(int argc, char **argv) {
   // Static estimate: smart intra + Markov inter, as the paper recommends.
   EstimatorOptions Options;
   ProgramEstimate E = estimateProgram(P.unit(), *P.Cfgs, *P.CG, Options);
-
-  // Rank direct call sites by estimated global frequency.
-  std::vector<const CallSiteInfo *> Sites;
-  for (const CallSiteInfo &S : P.CG->sites())
-    if (!S.isIndirect())
-      Sites.push_back(&S);
-  std::stable_sort(Sites.begin(), Sites.end(),
-                   [&E](const CallSiteInfo *A, const CallSiteInfo *B) {
-                     return E.CallSiteEstimates[A->CallSiteId] >
-                            E.CallSiteEstimates[B->CallSiteId];
-                   });
+  opt::WeightSource W =
+      opt::weightsFromEstimate(P.unit(), *P.Cfgs, E, Options);
 
   Profile Agg = aggregateProfiles(P.Profiles);
 
@@ -68,12 +61,13 @@ int main(int argc, char **argv) {
         "by static estimate):\n\n");
   TextTable T;
   T.setHeader({"#", "Call site", "Line", "Estimated", "Actual (avg)"});
-  for (size_t I = 0; I < Sites.size() && I < 10; ++I) {
-    const CallSiteInfo *S = Sites[I];
+  std::vector<opt::RankedCallSite> Ranked = opt::rankCallSites(*P.CG, W);
+  for (size_t I = 0; I < Ranked.size() && I < 10; ++I) {
+    const CallSiteInfo *S = Ranked[I].Site;
     T.addRow({std::to_string(I + 1),
               S->Caller->name() + " -> " + S->Callee->name(),
               std::to_string(S->Site->loc().Line),
-              formatDouble(E.CallSiteEstimates[S->CallSiteId], 1),
+              formatDouble(Ranked[I].Weight, 1),
               formatDouble(Agg.CallSiteCounts[S->CallSiteId] /
                                static_cast<double>(P.Profiles.size()),
                            1)});
@@ -86,5 +80,22 @@ int main(int argc, char **argv) {
         "the 25% cutoff: " + formatPercent(Score) + "\n");
   print("(Indirect call sites are omitted: \"it is difficult or "
         "impossible to inline calls through pointers\", paper §5.3.)\n");
-  return 0;
+
+  // Act on the advice: clone the hottest callees into their callers and
+  // prove by differential interpretation that nothing changed.
+  opt::InlinePlan Plan = opt::planInlining(P.unit(), *P.Cfgs, *P.CG, W);
+  if (Plan.Sites.empty()) {
+    print("\nNo call site is inlinable under the default budget.\n");
+    return 0;
+  }
+  RunResult Base = runProgram(P.unit(), *P.Cfgs, Spec->Inputs.back(), {});
+  opt::InlineMap Map = opt::applyInlining(*P.Ctx, *P.Cfgs, Plan);
+  RunResult Inl = runProgram(P.unit(), *P.Cfgs, Spec->Inputs.back(), {});
+  opt::InlineVerifyResult V = opt::compareInlinedRun(Base, Inl, Map);
+  print("\nInlined " + std::to_string(Map.Applied.size()) +
+        " sites; dynamic calls on input '" + Spec->Inputs.back().Name +
+        "' dropped " + std::to_string(Base.LayoutCost.Calls) + " -> " +
+        std::to_string(Inl.LayoutCost.Calls) + "; verification " +
+        (V.Match ? "ok" : ("FAILED: " + V.Detail)) + "\n");
+  return V.Match ? 0 : 1;
 }

@@ -15,11 +15,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "estimators/Pipeline.h"
+#include "opt/WeightSource.h"
 #include "suite/SuiteRunner.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
 
-#include <algorithm>
 #include <cstdio>
 
 using namespace sest;
@@ -46,15 +46,11 @@ int main(int argc, char **argv) {
   EstimatorOptions Options;
   ProgramEstimate E = estimateProgram(P.unit(), *P.Cfgs, *P.CG, Options);
 
+  opt::WeightSource W =
+      opt::weightsFromEstimate(P.unit(), *P.Cfgs, E, Options);
   std::vector<const FunctionDecl *> Ranking;
-  for (const FunctionDecl *F : P.unit().Functions)
-    if (F->isDefined())
-      Ranking.push_back(F);
-  std::stable_sort(Ranking.begin(), Ranking.end(),
-                   [&E](const FunctionDecl *A, const FunctionDecl *B) {
-                     return E.FunctionEstimates[A->functionId()] >
-                            E.FunctionEstimates[B->functionId()];
-                   });
+  for (const opt::RankedFunction &R : opt::rankFunctions(P.unit(), W))
+    Ranking.push_back(R.F);
 
   const ProgramInput &Input = Spec->Inputs.back();
   auto CyclesWith = [&](size_t K) {

@@ -15,6 +15,15 @@ Two checks, both with deliberately generous machine-variance tolerance:
    the dense oracle by at least 5x at 1000 blocks — that ratio is
    machine-independent, so it is checked at full strength.
 
+3. Optimizer outcomes: runs ``sestc --suite --optimize all --opt-report``
+   and checks ``bench/opt_report.json`` invariants. Differential
+   verification of every inlined program and the layout-cost VM
+   cross-checks are deterministic and checked at full strength; the
+   static recovery ratio must meet the report's own advisory floor and
+   the static-vs-profile decision overlaps (layout pair overlap, inline
+   Jaccard) must not regress below the checked-in baseline by more than
+   ``OVERLAP_SLACK``.
+
 Exit status: 0 = within tolerance, 1 = regression flagged, 2 = could not
 run. Intended as a non-blocking CI signal (continue-on-error).
 
@@ -125,6 +134,99 @@ def check_bench(build, baseline_path, tolerance):
     return 1 if failed else 0
 
 
+OVERLAP_SLACK = 0.05
+
+
+def mean_pair_overlap(report):
+    overlaps = [
+        p["layout"]["static_vs_profile_pair_overlap"]
+        for p in report.get("programs", [])
+        if p.get("ok") and "layout" in p
+    ]
+    return sum(overlaps) / len(overlaps) if overlaps else 0.0
+
+
+def check_opt(build, baseline_path):
+    """Optimizer invariants and decision-overlap no-regression check.
+
+    Returns 0/1/2 like main. Inline verification and the VM cross-checks
+    are deterministic, so they are hard failures; the recovery ratio and
+    overlap floors are the advisory trajectory guard.
+    """
+    sestc = os.path.join(build, "tools", "sestc")
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"check_perf: cannot read opt baseline: {e}", file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        # Exit status reflects verification failures; the JSON says which,
+        # so don't bail on a non-zero exit here.
+        subprocess.run(
+            [sestc, "--suite", "--optimize", "all", "--opt-report",
+             fresh_path],
+            stdout=subprocess.DEVNULL,
+        )
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf: opt report run failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        os.unlink(fresh_path)
+
+    failed = False
+    suite = fresh.get("suite", {})
+    layout = suite.get("layout", {})
+    inline = suite.get("inline", {})
+
+    # Deterministic invariants: full strength.
+    if not inline.get("all_verified", False):
+        bad = [
+            f"{p['name']}/{s['source']}"
+            for p in fresh.get("programs", [])
+            for s in p.get("inline", {}).get("sources", [])
+            if not s.get("verified", True)
+        ]
+        print(f"opt: inliner differential verification FAILED: {bad}")
+        failed = True
+    if not layout.get("all_crosschecks_ok", False):
+        print("opt: layout-cost VM cross-check FAILED")
+        failed = True
+
+    # Advisory trajectory: recovery floor and overlap no-regression.
+    ratio = layout.get("static_recovery_ratio", 0.0)
+    floor = layout.get("recovery_floor", 0.0)
+    flag = "" if ratio >= floor else f"  <-- below {floor:.2f} floor"
+    print(f"opt: static recovery ratio {ratio:.3f}{flag}")
+    failed = failed or ratio < floor
+
+    base_suite = baseline.get("suite", {})
+    for label, base_val, fresh_val in [
+        (
+            "layout pair overlap",
+            mean_pair_overlap(baseline),
+            mean_pair_overlap(fresh),
+        ),
+        (
+            "inline site jaccard",
+            base_suite.get("inline", {}).get("mean_jaccard", 0.0),
+            inline.get("mean_jaccard", 0.0),
+        ),
+    ]:
+        flag = ""
+        if fresh_val < base_val - OVERLAP_SLACK:
+            flag = f"  <-- regressed from baseline {base_val:.3f}"
+            failed = True
+        print(f"opt: static-vs-profile {label} {fresh_val:.3f}{flag}")
+
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build", default="build", help="build directory")
@@ -137,6 +239,11 @@ def main():
         "--bench-baseline",
         default=os.path.join(ROOT, "bench", "analysis_time.json"),
         help="checked-in bench_analysis_time baseline",
+    )
+    ap.add_argument(
+        "--opt-baseline",
+        default=os.path.join(ROOT, "bench", "opt_report.json"),
+        help="checked-in optimizer report baseline",
     )
     ap.add_argument(
         "--tolerance",
@@ -209,9 +316,10 @@ def main():
         print(f"{name:<10} {base_ms:>9.1f} {fresh_ms:>9.1f} {ratio:>6.2f}{flag}")
 
     bench_rc = check_bench(args.build, args.bench_baseline, args.tolerance)
-    if failed or bench_rc != 0:
+    opt_rc = check_opt(args.build, args.opt_baseline)
+    if failed or bench_rc != 0 or opt_rc != 0:
         print("check_perf: regression flagged (non-blocking signal)")
-        return max(1, bench_rc) if not failed else 1
+        return 1 if failed else max(1, bench_rc, opt_rc)
     print("check_perf: within tolerance")
     return 0
 

@@ -41,3 +41,9 @@ done 2>&1 | tee bench_output.txt
 "$BUILD"/tools/sestc --suite \
   --report bench/suite_report.json \
   --accuracy-report bench/accuracy_report.json
+
+# Refresh the optimizer baseline (static vs profile vs oracle layout /
+# inlining outcomes; see docs/OPTIMIZATION.md and scripts/check_perf.py).
+# The document has no wall-clock fields, so this is diff-clean on any
+# machine unless optimizer decisions actually changed.
+"$BUILD"/bench/bench_opt --json bench/opt_report.json

@@ -45,12 +45,20 @@ struct CfgAction {
   enum class Kind {
     Eval,     ///< Evaluate Expr for its side effects.
     DeclInit, ///< Bring Var into scope and run its initializer.
+    /// Zero CellCount frame cells starting at frame offset FrameOffset.
+    /// Synthesized by the inliner (src/opt/Inline.cpp) at the entry of an
+    /// inlined region so the callee's scratch locals start zeroed on
+    /// every traversal, exactly as a fresh frame would. Costs no
+    /// evaluation steps in either engine.
+    ZeroFrameRange,
   };
   Kind ActionKind;
   /// The source statement this action came from (never null).
   const Stmt *Origin;
   const Expr *E = nullptr;       ///< For Eval.
   const VarDecl *Var = nullptr;  ///< For DeclInit.
+  int64_t FrameOffset = 0;       ///< For ZeroFrameRange.
+  int64_t CellCount = 0;         ///< For ZeroFrameRange.
 };
 
 /// How a basic block ends.

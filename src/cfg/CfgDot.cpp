@@ -40,9 +40,12 @@ std::string sest::printCfgDot(const Cfg &G,
       Label += "\\nfreq " + formatDouble((*BlockWeights)[B->id()], 2);
     for (const CfgAction &A : B->actions()) {
       Label += "\\n";
-      Label += dotEscape(A.ActionKind == CfgAction::Kind::Eval
-                             ? printExpr(A.E)
-                             : A.Var->name() + " = ...");
+      if (A.ActionKind == CfgAction::Kind::Eval)
+        Label += dotEscape(printExpr(A.E));
+      else if (A.ActionKind == CfgAction::Kind::DeclInit)
+        Label += dotEscape(A.Var->name() + " = ...");
+      else
+        Label += "zero-frame " + std::to_string(A.CellCount);
     }
     if (B->terminator() == TerminatorKind::CondBranch)
       Label += "\\nbranch " + dotEscape(printExpr(B->condOrValue()));

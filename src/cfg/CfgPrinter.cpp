@@ -21,10 +21,13 @@ std::string sest::printCfg(const Cfg &G) {
     for (const CfgAction &A : B->actions()) {
       if (A.ActionKind == CfgAction::Kind::Eval)
         Out += "      eval " + printExpr(A.E) + "\n";
-      else
+      else if (A.ActionKind == CfgAction::Kind::DeclInit)
         Out += "      decl " + A.Var->name() +
                (A.Var->init() ? " = " + printExpr(A.Var->init()) : "") +
                "\n";
+      else
+        Out += "      zero-frame [" + std::to_string(A.FrameOffset) +
+               ", +" + std::to_string(A.CellCount) + ")\n";
     }
     switch (B->terminator()) {
     case TerminatorKind::Goto:

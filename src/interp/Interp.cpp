@@ -300,6 +300,10 @@ private:
   std::vector<uint64_t> SelfSteps;
   uint64_t *CurSelfSteps = nullptr;
 
+  /// Block positions under the run's layout (see layoutPositions).
+  std::vector<std::vector<uint32_t>> LayoutPos;
+  LayoutCostCounters LayoutCost;
+
   Profile Prof;
   std::string Output;
 
@@ -366,6 +370,7 @@ RunResult Interpreter::run() {
       FP.ArcCounts[B->id()].assign(B->successors().size(), 0.0);
   }
   Prof.CallSiteCounts.assign(Unit.NumCallSites, 0.0);
+  LayoutPos = layoutPositions(Unit, Cfgs, Options.Layout);
 
   char HostStackAnchor;
   HostStackBase = reinterpret_cast<uintptr_t>(&HostStackAnchor);
@@ -397,6 +402,7 @@ RunResult Interpreter::run() {
   R.StepsExecuted = Steps;
   R.HeapCellsHighWater = HeapHighWater;
   R.CallDepthHighWater = CallDepthHighWater;
+  R.LayoutCost = LayoutCost;
   flushTelemetry();
   return R;
 }
@@ -416,6 +422,14 @@ void Interpreter::flushTelemetry() const {
   if (LimitHit != RunLimit::None)
     obs::counterAdd(std::string("interp.limit_hit.") +
                     runLimitName(LimitHit));
+  obs::counterAdd("interp.layout.fall_through",
+                  static_cast<double>(LayoutCost.FallThrough));
+  obs::counterAdd("interp.layout.taken",
+                  static_cast<double>(LayoutCost.Taken));
+  obs::counterAdd("interp.layout.calls",
+                  static_cast<double>(LayoutCost.Calls));
+  obs::counterAdd("interp.layout.returns",
+                  static_cast<double>(LayoutCost.Returns));
   for (size_t F = 0; F < SelfSteps.size(); ++F)
     if (SelfSteps[F])
       obs::counterAdd("interp.fn_self_steps." + Unit.Functions[F]->name(),
@@ -510,6 +524,7 @@ Value Interpreter::callFunction(
     return fail("call to undefined function '" + F->name() + "'");
 
   Prof.Functions[F->functionId()].EntryCount += 1;
+  ++LayoutCost.Calls;
 
   int64_t SavedBase = FrameBase;
   double SavedFactor = CostFactor;
@@ -551,6 +566,7 @@ Value Interpreter::callFunction(
 Value Interpreter::executeBody(const FunctionDecl *F) {
   const Cfg *G = Cfgs.cfg(F);
   FunctionProfile &FP = Prof.Functions[F->functionId()];
+  const std::vector<uint32_t> &Pos = LayoutPos[F->functionId()];
   const BasicBlock *B = G->entry();
 
   while (!halted()) {
@@ -562,8 +578,12 @@ Value Interpreter::executeBody(const FunctionDecl *F) {
         return Value::makeInt(0);
       if (A.ActionKind == CfgAction::Kind::Eval)
         evalExpr(A.E);
-      else
+      else if (A.ActionKind == CfgAction::Kind::DeclInit)
         initVariable(A.Var);
+      else
+        zeroCells({static_cast<uint32_t>(MemSpace::Stack),
+                   FrameBase + A.FrameOffset},
+                  A.CellCount);
     }
     if (halted())
       return Value::makeInt(0);
@@ -590,9 +610,16 @@ Value Interpreter::executeBody(const FunctionDecl *F) {
       break;
     }
     case TerminatorKind::Return: {
-      if (!B->condOrValue())
+      if (!B->condOrValue()) {
+        ++LayoutCost.Returns;
         return Value::makeInt(0);
+      }
       Value V = evalExpr(B->condOrValue());
+      // The VM halts before reaching its Ret instruction when the value
+      // expression trips a limit; count only completed returns so both
+      // engines agree.
+      if (!halted())
+        ++LayoutCost.Returns;
       return convert(V, F->type()->returnType());
     }
     case TerminatorKind::Unreachable:
@@ -602,7 +629,12 @@ Value Interpreter::executeBody(const FunctionDecl *F) {
     if (halted())
       return Value::makeInt(0);
     FP.ArcCounts[B->id()][Slot] += 1;
-    B = B->successors()[Slot];
+    const BasicBlock *Next = B->successors()[Slot];
+    if (Pos[Next->id()] == Pos[B->id()] + 1)
+      ++LayoutCost.FallThrough;
+    else
+      ++LayoutCost.Taken;
+    B = Next;
   }
   return Value::makeInt(0);
 }
@@ -1150,6 +1182,28 @@ Value Interpreter::evalBuiltin(const FunctionDecl *F,
 }
 
 } // namespace
+
+std::vector<std::vector<uint32_t>>
+sest::layoutPositions(const TranslationUnit &Unit, const CfgModule &Cfgs,
+                      const ProgramBlockOrder *Layout) {
+  std::vector<std::vector<uint32_t>> Pos(Unit.Functions.size());
+  for (const auto &[F, G] : Cfgs.all()) {
+    std::vector<uint32_t> &Row = Pos[F->functionId()];
+    Row.resize(G->size());
+    const std::vector<uint32_t> *Order = nullptr;
+    if (Layout && F->functionId() < Layout->size() &&
+        (*Layout)[F->functionId()].size() == G->size())
+      Order = &(*Layout)[F->functionId()];
+    if (!Order) {
+      for (uint32_t I = 0; I < Row.size(); ++I)
+        Row[I] = I;
+      continue;
+    }
+    for (uint32_t I = 0; I < Order->size(); ++I)
+      Row[(*Order)[I] < Row.size() ? (*Order)[I] : 0] = I;
+  }
+  return Pos;
+}
 
 const char *sest::runLimitName(RunLimit L) {
   switch (L) {

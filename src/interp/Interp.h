@@ -47,6 +47,51 @@ enum class InterpEngine {
   Bytecode, ///< Compile-once bytecode VM (interp/bytecode/).
 };
 
+/// A whole-program basic-block layout: one block order per function id.
+/// An empty row (or a null layout pointer) means identity — blocks in
+/// block-id order, which is exactly how the CFG builder laid them out.
+/// Produced by the optimizer (src/opt/Layout.h) and consumed by the
+/// layout-sensitive dynamic cost model in both interpreter engines.
+using ProgramBlockOrder = std::vector<std::vector<uint32_t>>;
+
+/// Dynamic layout-cost counters: how control actually flowed relative to
+/// a chosen basic-block layout. Both engines count every arc transfer as
+/// either a fall-through (the successor is the next block in layout
+/// order) or a taken branch/jump, plus every mini-C call and completed
+/// return (call overhead). Counts are exact and bit-identical across
+/// engines and job counts; the weighted cost() is the scalar the
+/// optimizer minimizes (see docs/OPTIMIZATION.md).
+struct LayoutCostCounters {
+  uint64_t FallThrough = 0; ///< Transfers to the layout-adjacent block.
+  uint64_t Taken = 0;       ///< Every other arc transfer.
+  uint64_t Calls = 0;       ///< Mini-C (non-builtin) invocations.
+  uint64_t Returns = 0;     ///< Completed mini-C returns.
+
+  // Cost weights, in model cycles per event. A fall-through is the
+  // baseline; a taken transfer pays a redirect penalty; calls and
+  // returns pay the linkage overhead the inliner removes.
+  static constexpr double CostFallThrough = 1.0;
+  static constexpr double CostTaken = 4.0;
+  static constexpr double CostCall = 6.0;
+  static constexpr double CostReturn = 3.0;
+
+  double cost() const {
+    return static_cast<double>(FallThrough) * CostFallThrough +
+           static_cast<double>(Taken) * CostTaken +
+           static_cast<double>(Calls) * CostCall +
+           static_cast<double>(Returns) * CostReturn;
+  }
+  bool operator==(const LayoutCostCounters &) const = default;
+};
+
+/// Expands \p Layout (null, or per-function rows where empty = identity)
+/// into dense per-function block-position tables Pos[fid][block id].
+/// Rows whose size does not match the function's CFG fall back to
+/// identity. Shared by both engines so classification is identical.
+std::vector<std::vector<uint32_t>>
+layoutPositions(const TranslationUnit &Unit, const CfgModule &Cfgs,
+                const ProgramBlockOrder *Layout);
+
 /// Knobs for one execution.
 struct InterpOptions {
   /// Abort the run after this many evaluation steps (runaway guard).
@@ -66,6 +111,10 @@ struct InterpOptions {
   double OptimizedCostFactor = 0.5;
   /// Execution engine (see InterpEngine).
   InterpEngine Engine = InterpEngine::Bytecode;
+  /// Basic-block layout the run's LayoutCostCounters are keyed to (null
+  /// = identity). Classification only: the layout never changes what
+  /// executes, so profiles and outputs are layout-independent.
+  const ProgramBlockOrder *Layout = nullptr;
 };
 
 /// Which resource limit (if any) aborted a run.
@@ -103,6 +152,9 @@ struct RunResult {
   uint64_t StepsExecuted = 0;         ///< Evaluation steps taken.
   int64_t HeapCellsHighWater = 0;     ///< Peak live heap cells.
   unsigned CallDepthHighWater = 0;    ///< Peak mini-C call depth.
+  /// Layout-sensitive control-transfer counters for the layout in
+  /// InterpOptions::Layout (identity when none was given).
+  LayoutCostCounters LayoutCost;
 };
 
 /// Executes \p Unit (starting at "main", which must take no parameters)

@@ -750,8 +750,21 @@ void ChunkCompiler::compileBlock(const BasicBlock *B,
     RegTop = 0;
     if (A.ActionKind == CfgAction::Kind::Eval)
       compileExpr(A.E);
-    else
+    else if (A.ActionKind == CfgAction::Kind::DeclInit)
       compileDeclInit(A.Var);
+    else {
+      // ZeroFrameRange: like a no-init DeclInit, but addressed by raw
+      // frame offset (tickless in both engines).
+      uint16_t Dst = allocReg();
+      BcInstr Lea = ins(BcOp::LeaLocal);
+      Lea.A = Dst;
+      Lea.X = static_cast<int32_t>(A.FrameOffset);
+      emit(Lea);
+      BcInstr Z = ins(BcOp::ZeroLoc);
+      Z.A = Dst;
+      Z.Imm = A.CellCount;
+      emit(Z);
+    }
   }
   RegTop = 0;
 

@@ -295,6 +295,15 @@ private:
   /// Profile row of the function currently executing (null while the
   /// global-initializer chunk runs, which has no profiled blocks).
   FunctionProfile *CurFP = nullptr;
+  /// Per-function arc classification under the run's layout, shaped like
+  /// ArcCounts: FallTbl[fid][block][slot] is 1 when that arc lands on
+  /// the layout-adjacent block. Precomputed once per run so the arc
+  /// handlers pay one indexed load, not a position comparison.
+  std::vector<std::vector<std::vector<uint8_t>>> FallTbl;
+  /// FallTbl row of the function currently executing (null during the
+  /// global-initializer chunk, which has no arc instructions).
+  const std::vector<std::vector<uint8_t>> *CurFall = nullptr;
+  LayoutCostCounters LayoutCost;
   /// Instructions dispatched (telemetry: interp.bytecode.instrs).
   uint64_t InstrCount = 0;
 
@@ -354,6 +363,22 @@ RunResult BytecodeVM::run() {
   }
   Prof.CallSiteCounts.assign(Unit.NumCallSites, 0.0);
 
+  std::vector<std::vector<uint32_t>> Pos =
+      layoutPositions(Unit, Cfgs, Options.Layout);
+  FallTbl.resize(Unit.Functions.size());
+  for (const auto &[F, G] : Cfgs.all()) {
+    auto &T = FallTbl[F->functionId()];
+    const std::vector<uint32_t> &P = Pos[F->functionId()];
+    T.resize(G->size());
+    for (const auto &B : G->blocks()) {
+      std::vector<uint8_t> &Row = T[B->id()];
+      Row.resize(B->successors().size());
+      for (size_t S = 0; S < Row.size(); ++S)
+        Row[S] =
+            P[B->successors()[S]->id()] == P[B->id()] + 1 ? 1 : 0;
+    }
+  }
+
   char HostStackAnchor;
   HostStackBase = reinterpret_cast<uintptr_t>(&HostStackAnchor);
 
@@ -388,6 +413,7 @@ RunResult BytecodeVM::run() {
   R.StepsExecuted = Steps;
   R.HeapCellsHighWater = HeapHighWater;
   R.CallDepthHighWater = CallDepthHighWater;
+  R.LayoutCost = LayoutCost;
   flushTelemetry();
   return R;
 }
@@ -406,6 +432,14 @@ void BytecodeVM::flushTelemetry() const {
   if (LimitHit != RunLimit::None)
     obs::counterAdd(std::string("interp.limit_hit.") +
                     runLimitName(LimitHit));
+  obs::counterAdd("interp.layout.fall_through",
+                  static_cast<double>(LayoutCost.FallThrough));
+  obs::counterAdd("interp.layout.taken",
+                  static_cast<double>(LayoutCost.Taken));
+  obs::counterAdd("interp.layout.calls",
+                  static_cast<double>(LayoutCost.Calls));
+  obs::counterAdd("interp.layout.returns",
+                  static_cast<double>(LayoutCost.Returns));
   for (size_t F = 0; F < SelfSteps.size(); ++F)
     if (SelfSteps[F])
       obs::counterAdd("interp.fn_self_steps." + Unit.Functions[F]->name(),
@@ -575,11 +609,13 @@ Value BytecodeVM::callFunction(const FunctionDecl *F, size_t ArgBase,
     return fail("call to undefined function '" + F->name() + "'");
 
   Prof.Functions[F->functionId()].EntryCount += 1;
+  ++LayoutCost.Calls;
 
   int64_t SavedBase = FrameBase;
   double SavedFactor = CostFactor;
   uint64_t *SavedSelf = CurSelfSteps;
   FunctionProfile *SavedFP = CurFP;
+  const std::vector<std::vector<uint8_t>> *SavedFall = CurFall;
   size_t SavedRegBase = RegBase;
   FrameBase = static_cast<int64_t>(Stack.size());
   // Like the walker, this early return leaves FrameBase clobbered; the
@@ -594,6 +630,7 @@ Value BytecodeVM::callFunction(const FunctionDecl *F, size_t ArgBase,
   ++CallDepth;
   CallDepthHighWater = std::max(CallDepthHighWater, CallDepth);
   CurFP = &Prof.Functions[F->functionId()];
+  CurFall = &FallTbl[F->functionId()];
 
   // Bind parameters; struct params copy cells from the argument's
   // aggregate (the call site verified it is a Ptr).
@@ -623,6 +660,7 @@ Value BytecodeVM::callFunction(const FunctionDecl *F, size_t ArgBase,
   CostFactor = SavedFactor;
   CurSelfSteps = SavedSelf;
   CurFP = SavedFP;
+  CurFall = SavedFall;
   RegBase = SavedRegBase;
   Stack.resize(FrameBase);
   FrameBase = SavedBase;
@@ -940,6 +978,7 @@ Value BytecodeVM::dispatch(const BcChunk &Ch) {
                                            : Here - HostStackBase;
         if (Used <= Options.MaxHostStackBytes && M.chunkFor(F)) {
           Prof.Functions[F->functionId()].EntryCount += 1;
+          ++LayoutCost.Calls;
           if (Stack.size() + F->frameSizeCells() <= (1u << 24))
             CallDepthHighWater =
                 std::max(CallDepthHighWater, CallDepth + 1);
@@ -984,6 +1023,10 @@ Value BytecodeVM::dispatch(const BcChunk &Ch) {
   SEST_CASE(ArcJmp) : {
     const BcInstr &I = *IP++;
     CurFP->ArcCounts[I.B][I.C] += 1;
+    if ((*CurFall)[I.B][I.C])
+      ++LayoutCost.FallThrough;
+    else
+      ++LayoutCost.Taken;
     IP = Code + I.X;
   }
   SEST_NEXT();
@@ -991,7 +1034,12 @@ Value BytecodeVM::dispatch(const BcChunk &Ch) {
   SEST_CASE(ArcCondBr) : {
     const BcInstr &I = *IP++;
     bool Taken = R[I.A].isTruthy();
-    CurFP->ArcCounts[I.B][Taken ? 0 : 1] += 1;
+    unsigned Slot = Taken ? 0 : 1;
+    CurFP->ArcCounts[I.B][Slot] += 1;
+    if ((*CurFall)[I.B][Slot])
+      ++LayoutCost.FallThrough;
+    else
+      ++LayoutCost.Taken;
     IP = Code + (Taken ? I.X : static_cast<int32_t>(I.Imm));
   }
   SEST_NEXT();
@@ -1009,6 +1057,10 @@ Value BytecodeVM::dispatch(const BcChunk &Ch) {
         break;
       }
     CurFP->ArcCounts[I.B][Slot] += 1;
+    if ((*CurFall)[I.B][Slot])
+      ++LayoutCost.FallThrough;
+    else
+      ++LayoutCost.Taken;
     IP = Code + Target;
   }
   SEST_NEXT();
@@ -1016,12 +1068,17 @@ Value BytecodeVM::dispatch(const BcChunk &Ch) {
   SEST_CASE(RetVal) : {
     const BcInstr &I = *IP++;
     Ret = convert(R[I.A], static_cast<const Type *>(I.Ptr));
+    ++LayoutCost.Returns;
     goto VmRet;
   }
 
   SEST_CASE(RetVoid) : {
     ++IP;
     Ret = Value::makeInt(0);
+    // The global-initializer chunk (CurFP null) ends in RetVoid too,
+    // but is not a mini-C return; the walker never counts it.
+    if (CurFP)
+      ++LayoutCost.Returns;
     goto VmRet;
   }
 

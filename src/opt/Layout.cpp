@@ -1,0 +1,253 @@
+//===- opt/Layout.cpp - Basic-block layout & branch hints -----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Layout.h"
+
+#include "obs/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace sest;
+using namespace sest::opt;
+
+ProgramBlockOrder ProgramLayout::blockOrder() const {
+  ProgramBlockOrder Out(Functions.size());
+  for (size_t Fid = 0; Fid < Functions.size(); ++Fid)
+    Out[Fid] = Functions[Fid].Order;
+  return Out;
+}
+
+namespace {
+
+/// One candidate arc for chaining.
+struct ChainArc {
+  double Weight;
+  uint32_t Src;
+  uint32_t Slot;
+  uint32_t Dst;
+};
+
+FunctionLayout layoutFunction(const Cfg &G, uint32_t Fid,
+                              const WeightSource &W,
+                              const LayoutOptions &Options) {
+  FunctionLayout L;
+  const uint32_t N = static_cast<uint32_t>(G.size());
+  const uint32_t EntryId = G.entry()->id();
+
+  // Gather positive-weight arcs, excluding self-loops and arcs into the
+  // entry (the entry must stay first; chaining into it would demote it).
+  std::vector<ChainArc> Arcs;
+  for (const auto &BPtr : G.blocks()) {
+    const BasicBlock *B = BPtr.get();
+    const auto &Succs = B->successors();
+    for (uint32_t S = 0; S < Succs.size(); ++S) {
+      uint32_t Dst = Succs[S]->id();
+      double Weight = W.arcWeight(Fid, B->id(), S);
+      if (Weight <= 0 || Dst == B->id() || Dst == EntryId)
+        continue;
+      Arcs.push_back({Weight, B->id(), S, Dst});
+    }
+  }
+  std::stable_sort(Arcs.begin(), Arcs.end(),
+                   [](const ChainArc &A, const ChainArc &B) {
+                     if (A.Weight != B.Weight)
+                       return A.Weight > B.Weight;
+                     if (A.Src != B.Src)
+                       return A.Src < B.Src;
+                     return A.Slot < B.Slot;
+                   });
+
+  // Pettis–Hansen merge: walk arcs hot-first; merge when the source is
+  // still a chain tail and the destination a chain head.
+  std::vector<std::vector<uint32_t>> Chains(N);
+  std::vector<uint32_t> ChainOf(N);
+  for (uint32_t B = 0; B < N; ++B) {
+    Chains[B] = {B};
+    ChainOf[B] = B;
+  }
+  for (const ChainArc &A : Arcs) {
+    uint32_t CS = ChainOf[A.Src], CD = ChainOf[A.Dst];
+    if (CS == CD || Chains[CS].back() != A.Src ||
+        Chains[CD].front() != A.Dst)
+      continue;
+    for (uint32_t B : Chains[CD]) {
+      Chains[CS].push_back(B);
+      ChainOf[B] = CS;
+    }
+    Chains[CD].clear();
+  }
+
+  // Classify chains: the entry chain leads; the rest are hot (ordered by
+  // total block weight, hottest first) unless every block is below
+  // ColdFraction of the function's hottest block — those are outlined.
+  double MaxBlockWeight = 0;
+  for (uint32_t B = 0; B < N; ++B)
+    MaxBlockWeight = std::max(MaxBlockWeight, W.blockWeight(Fid, B));
+  const double ColdCutoff = Options.ColdFraction * MaxBlockWeight;
+
+  struct RankedChain {
+    uint32_t Index;
+    double TotalWeight;
+    uint32_t MinBlock;
+    bool Cold;
+  };
+  std::vector<RankedChain> Hot, Cold;
+  uint32_t EntryChain = ChainOf[EntryId];
+  for (uint32_t C = 0; C < N; ++C) {
+    if (Chains[C].empty() || C == EntryChain)
+      continue;
+    RankedChain R{C, 0.0, Chains[C].front(), true};
+    for (uint32_t B : Chains[C]) {
+      double BW = W.blockWeight(Fid, B);
+      R.TotalWeight += BW;
+      R.MinBlock = std::min(R.MinBlock, B);
+      if (BW >= ColdCutoff && BW > 0)
+        R.Cold = false;
+    }
+    (R.Cold ? Cold : Hot).push_back(R);
+  }
+  std::stable_sort(Hot.begin(), Hot.end(),
+                   [](const RankedChain &A, const RankedChain &B) {
+                     if (A.TotalWeight != B.TotalWeight)
+                       return A.TotalWeight > B.TotalWeight;
+                     return A.MinBlock < B.MinBlock;
+                   });
+  std::stable_sort(Cold.begin(), Cold.end(),
+                   [](const RankedChain &A, const RankedChain &B) {
+                     return A.MinBlock < B.MinBlock;
+                   });
+
+  L.Order.reserve(N);
+  for (uint32_t B : Chains[EntryChain])
+    L.Order.push_back(B);
+  for (const RankedChain &R : Hot)
+    for (uint32_t B : Chains[R.Index])
+      L.Order.push_back(B);
+  L.FirstColdPos = static_cast<uint32_t>(L.Order.size());
+  for (const RankedChain &R : Cold)
+    for (uint32_t B : Chains[R.Index])
+      L.Order.push_back(B);
+  if (Cold.empty())
+    L.FirstColdPos = static_cast<uint32_t>(L.Order.size());
+
+  L.NumChains = static_cast<uint32_t>(1 + Hot.size() + Cold.size());
+  L.Pos.resize(N);
+  for (uint32_t I = 0; I < N; ++I)
+    L.Pos[L.Order[I]] = I;
+  return L;
+}
+
+} // namespace
+
+ProgramLayout sest::opt::computeBlockLayout(const TranslationUnit &Unit,
+                                            const CfgModule &Cfgs,
+                                            const WeightSource &W,
+                                            const LayoutOptions &Options) {
+  obs::ScopedPhase Phase("opt.layout");
+  ProgramLayout PL;
+  PL.Functions.resize(Unit.Functions.size());
+  uint64_t Reordered = 0;
+  for (const auto &[F, G] : Cfgs.all()) {
+    FunctionLayout &L = PL.Functions[F->functionId()];
+    L = layoutFunction(*G, F->functionId(), W, Options);
+    if (!L.isIdentity())
+      ++Reordered;
+  }
+  obs::counterAdd("opt.layout.functions", Cfgs.all().size());
+  obs::counterAdd("opt.layout.reordered_functions", Reordered);
+  return PL;
+}
+
+ProgramLayout sest::opt::identityLayout(const TranslationUnit &Unit,
+                                        const CfgModule &Cfgs) {
+  ProgramLayout PL;
+  PL.Functions.resize(Unit.Functions.size());
+  for (const auto &[F, G] : Cfgs.all()) {
+    FunctionLayout &L = PL.Functions[F->functionId()];
+    const uint32_t N = static_cast<uint32_t>(G->size());
+    L.Order.resize(N);
+    L.Pos.resize(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      L.Order[I] = I;
+      L.Pos[I] = I;
+    }
+    L.NumChains = 1;
+    L.FirstColdPos = N;
+  }
+  return PL;
+}
+
+BranchHints sest::opt::computeBranchHints(const TranslationUnit &Unit,
+                                          const CfgModule &Cfgs,
+                                          const WeightSource &W) {
+  obs::ScopedPhase Phase("opt.branch_hints");
+  BranchHints H;
+  H.PredictedSlot.resize(Unit.Functions.size());
+  for (const auto &[F, G] : Cfgs.all()) {
+    uint32_t Fid = F->functionId();
+    std::vector<int> &Row = H.PredictedSlot[Fid];
+    Row.assign(G->size(), -1);
+    for (const auto &BPtr : G->blocks()) {
+      const BasicBlock *B = BPtr.get();
+      const auto &Succs = B->successors();
+      if (Succs.size() < 2)
+        continue;
+      uint32_t Best = 0;
+      double BestWeight = W.arcWeight(Fid, B->id(), 0);
+      for (uint32_t S = 1; S < Succs.size(); ++S) {
+        double Weight = W.arcWeight(Fid, B->id(), S);
+        if (Weight > BestWeight) {
+          BestWeight = Weight;
+          Best = S;
+        }
+      }
+      Row[B->id()] = static_cast<int>(Best);
+      if (W.blockWeight(Fid, B->id()) > 0)
+        for (uint32_t S = 0; S < Succs.size(); ++S)
+          if (W.arcWeight(Fid, B->id(), S) <= 0)
+            H.NeverTaken.push_back({Fid, B->id(), S});
+    }
+  }
+  obs::counterAdd("opt.hints.never_taken_arcs", H.NeverTaken.size());
+  return H;
+}
+
+LayoutCostCounters
+sest::opt::reclassifyLayoutCost(const TranslationUnit &Unit,
+                                const CfgModule &Cfgs, const Profile &P,
+                                const ProgramBlockOrder *Layout,
+                                const LayoutCostCounters &Base) {
+  std::vector<std::vector<uint32_t>> Pos =
+      layoutPositions(Unit, Cfgs, Layout);
+  LayoutCostCounters C;
+  C.Calls = Base.Calls;
+  C.Returns = Base.Returns;
+  for (const auto &[F, G] : Cfgs.all()) {
+    uint32_t Fid = F->functionId();
+    if (Fid >= P.Functions.size())
+      continue;
+    const FunctionProfile &FP = P.Functions[Fid];
+    const std::vector<uint32_t> &Row = Pos[Fid];
+    for (const auto &BPtr : G->blocks()) {
+      const BasicBlock *B = BPtr.get();
+      if (B->id() >= FP.ArcCounts.size())
+        continue;
+      const std::vector<double> &Slots = FP.ArcCounts[B->id()];
+      const auto &Succs = B->successors();
+      for (uint32_t S = 0; S < Succs.size() && S < Slots.size(); ++S) {
+        uint64_t Count = static_cast<uint64_t>(std::llround(Slots[S]));
+        if (!Count)
+          continue;
+        if (Row[Succs[S]->id()] == Row[B->id()] + 1)
+          C.FallThrough += Count;
+        else
+          C.Taken += Count;
+      }
+    }
+  }
+  return C;
+}

@@ -1,0 +1,129 @@
+//===- opt/Layout.h - Basic-block layout & branch hints ---------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pettis–Hansen-style basic-block layout: greedily chain blocks along
+/// their hottest arcs so the common path becomes fall-throughs, order
+/// chains hot-first, and outline cold chains to the end of the function.
+/// Also: branch-hint assignment (the predicted successor slot per
+/// multi-way terminator, and the arcs never predicted taken — the
+/// cold-code outliner's input), and post-hoc reclassification of a
+/// profile's arc counts under a layout, which is the differential oracle
+/// for the interpreters' dynamic LayoutCostCounters.
+///
+/// Everything here consumes a WeightSource, so each pass runs unchanged
+/// from static estimates or measured profiles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPT_LAYOUT_H
+#define OPT_LAYOUT_H
+
+#include "cfg/Cfg.h"
+#include "interp/Interp.h"
+#include "lang/Ast.h"
+#include "opt/WeightSource.h"
+#include "profile/Profile.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sest {
+namespace opt {
+
+/// Layout knobs.
+struct LayoutOptions {
+  /// A chain is "cold" (outlined to the end of the function) when every
+  /// block in it has weight below ColdFraction times the function's
+  /// hottest block. The entry chain is never cold.
+  double ColdFraction = 0.01;
+};
+
+/// The computed layout of one function.
+struct FunctionLayout {
+  /// Position -> block id (a permutation of 0..N-1).
+  std::vector<uint32_t> Order;
+  /// Block id -> position (inverse of Order).
+  std::vector<uint32_t> Pos;
+  /// Number of chains the blocks were grouped into.
+  uint32_t NumChains = 0;
+  /// Position of the first outlined cold block; == Order.size() when
+  /// nothing was outlined.
+  uint32_t FirstColdPos = 0;
+
+  bool isIdentity() const {
+    for (uint32_t I = 0; I < Order.size(); ++I)
+      if (Order[I] != I)
+        return false;
+    return true;
+  }
+};
+
+/// Layouts for every function, indexed by function id (empty rows for
+/// builtins/undefined functions).
+struct ProgramLayout {
+  std::vector<FunctionLayout> Functions;
+
+  /// The per-function block orders in the shape both interpreter engines
+  /// consume (InterpOptions::Layout).
+  ProgramBlockOrder blockOrder() const;
+};
+
+/// Runs the chaining pass over every defined function.
+ProgramLayout computeBlockLayout(const TranslationUnit &Unit,
+                                 const CfgModule &Cfgs,
+                                 const WeightSource &W,
+                                 const LayoutOptions &Options = {});
+
+/// The identity layout (blocks in id order) — the CFG builder's original
+/// order, for baselines and differential tests.
+ProgramLayout identityLayout(const TranslationUnit &Unit,
+                             const CfgModule &Cfgs);
+
+/// Branch hints: for every multi-successor terminator, the slot the
+/// weights predict, and the set of arcs never predicted taken (weight
+/// zero) — candidates for cold outlining / error paths.
+struct BranchHints {
+  /// [function id][block id] = predicted successor slot, or -1 for
+  /// blocks without a multi-successor terminator.
+  std::vector<std::vector<int>> PredictedSlot;
+  /// One never-predicted-taken arc.
+  struct ColdArc {
+    uint32_t Fid = 0;
+    uint32_t Block = 0;
+    uint32_t Slot = 0;
+  };
+  /// Arcs with weight zero whose block has weight > 0 (reachable code
+  /// guarding a path the weights say is never taken), in (fid, block,
+  /// slot) order.
+  std::vector<ColdArc> NeverTaken;
+};
+
+/// Computes branch hints from \p W. Deterministic: ties between equal
+/// slot weights resolve to the lowest slot.
+BranchHints computeBranchHints(const TranslationUnit &Unit,
+                               const CfgModule &Cfgs,
+                               const WeightSource &W);
+
+/// Reclassifies a measured profile's arc traversals under \p Layout:
+/// every ArcCounts entry becomes FallThrough when the successor is
+/// layout-adjacent, Taken otherwise. Calls/Returns are layout-independent
+/// but not derivable from a Profile (exits and aborts leave frames
+/// unreturned), so they are carried over from \p Base — pass the
+/// counters of the run that produced \p P. The result for layout L
+/// equals the counters of re-running the same input with
+/// InterpOptions::Layout = L, which is the oracle the differential
+/// tests pin.
+LayoutCostCounters reclassifyLayoutCost(const TranslationUnit &Unit,
+                                        const CfgModule &Cfgs,
+                                        const Profile &P,
+                                        const ProgramBlockOrder *Layout,
+                                        const LayoutCostCounters &Base);
+
+} // namespace opt
+} // namespace sest
+
+#endif // OPT_LAYOUT_H

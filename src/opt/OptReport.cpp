@@ -1,0 +1,417 @@
+//===- opt/OptReport.cpp - End-to-end optimization scoring ----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/OptReport.h"
+
+#include "obs/Telemetry.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <tuple>
+
+using namespace sest;
+using namespace sest::opt;
+
+const char *sest::opt::optPassSetName(OptPassSet Passes) {
+  switch (Passes) {
+  case OptPassSet::Layout:
+    return "layout";
+  case OptPassSet::Inline:
+    return "inline";
+  case OptPassSet::All:
+    return "all";
+  }
+  return "all";
+}
+
+namespace {
+
+/// Adjacent (block, next-block) pairs of a whole-program layout, tagged
+/// by function id.
+std::set<std::tuple<uint32_t, uint32_t, uint32_t>>
+adjacentPairs(const ProgramLayout &L) {
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> Pairs;
+  for (uint32_t Fid = 0; Fid < L.Functions.size(); ++Fid) {
+    const std::vector<uint32_t> &Order = L.Functions[Fid].Order;
+    for (size_t I = 0; I + 1 < Order.size(); ++I)
+      Pairs.insert({Fid, Order[I], Order[I + 1]});
+  }
+  return Pairs;
+}
+
+template <typename T>
+double jaccard(const std::set<T> &A, const std::set<T> &B) {
+  if (A.empty() && B.empty())
+    return 1.0;
+  size_t Inter = 0;
+  for (const T &X : A)
+    Inter += B.count(X);
+  const size_t Uni = A.size() + B.size() - Inter;
+  return Uni ? static_cast<double>(Inter) / static_cast<double>(Uni)
+             : 1.0;
+}
+
+uint32_t outlinedBlocks(const ProgramLayout &L) {
+  uint32_t N = 0;
+  for (const FunctionLayout &F : L.Functions)
+    N += static_cast<uint32_t>(F.Order.size()) - F.FirstColdPos;
+  return N;
+}
+
+uint32_t reorderedFunctions(const ProgramLayout &L) {
+  uint32_t N = 0;
+  for (const FunctionLayout &F : L.Functions)
+    if (!F.Order.empty() && !F.isIdentity())
+      ++N;
+  return N;
+}
+
+OptProgramReport scoreProgram(const CompiledSuiteProgram &CSP,
+                              const OptReportOptions &Options) {
+  obs::ScopedPhase Phase("opt.report.program", CSP.Spec->Name);
+  const bool DoLayout = Options.Passes != OptPassSet::Inline;
+  const bool DoInline = Options.Passes != OptPassSet::Layout;
+
+  OptProgramReport R;
+  R.Name = CSP.Spec->Name;
+  if (!CSP.Ok || CSP.Profiles.size() < 2) {
+    R.Error = CSP.Ok ? "needs at least two inputs" : CSP.Error;
+    return R;
+  }
+  const size_t EvalIdx = CSP.Profiles.size() - 1;
+  R.EvalInput = CSP.Spec->Inputs[EvalIdx].Name;
+  const TranslationUnit &Unit = CSP.unit();
+
+  // Weight sources: static pipeline, first profile, held-out aggregate.
+  EstimatorOptions Est = Options.Est;
+  Est.Jobs = 1; // Parallelism is across programs.
+  const ProgramEstimate Estimate =
+      estimateProgram(Unit, *CSP.Cfgs, *CSP.CG, Est);
+  const WeightSource WStatic =
+      weightsFromEstimate(Unit, *CSP.Cfgs, Estimate, Est);
+  const WeightSource WProfile =
+      weightsFromProfile(Unit, CSP.Profiles[0], "profile");
+  Profile Held = aggregateExcept(CSP.Profiles, EvalIdx);
+  const WeightSource WOracle = weightsFromProfile(Unit, Held, "oracle");
+  const WeightSource *Sources[3] = {&WStatic, &WProfile, &WOracle};
+
+  // Identity-layout baseline runs of every input (exact re-runs of the
+  // profiling pass, now also carrying LayoutCostCounters).
+  InterpOptions RunOpts;
+  RunOpts.Engine = Options.Engine;
+  std::vector<RunResult> BaseRuns(CSP.Profiles.size());
+  for (size_t I = 0; I < BaseRuns.size(); ++I) {
+    BaseRuns[I] = runProgram(Unit, *CSP.Cfgs, CSP.Spec->Inputs[I],
+                             RunOpts);
+    if (!BaseRuns[I].Ok) {
+      R.Error = "baseline run failed on input " +
+                CSP.Spec->Inputs[I].Name + ": " + BaseRuns[I].Error;
+      return R;
+    }
+  }
+  const LayoutCostCounters &BaseCost = BaseRuns[EvalIdx].LayoutCost;
+  R.IdentityCost = BaseCost.cost();
+
+  if (DoLayout) {
+    ProgramLayout Layouts[3];
+    for (int S = 0; S < 3; ++S) {
+      Layouts[S] = computeBlockLayout(Unit, *CSP.Cfgs, *Sources[S],
+                                      Options.Layout);
+      const ProgramBlockOrder Order = Layouts[S].blockOrder();
+      const LayoutCostCounters C = reclassifyLayoutCost(
+          Unit, *CSP.Cfgs, CSP.Profiles[EvalIdx], &Order, BaseCost);
+      LayoutSourceResult LR;
+      LR.Source = Sources[S]->Origin;
+      LR.Cost = C.cost();
+      LR.Reduction =
+          R.IdentityCost > 0
+              ? (R.IdentityCost - LR.Cost) / R.IdentityCost
+              : 0.0;
+      LR.ReorderedFunctions = reorderedFunctions(Layouts[S]);
+      LR.OutlinedBlocks = outlinedBlocks(Layouts[S]);
+      R.Layout.push_back(std::move(LR));
+
+      if (S == 0) {
+        // Cross-check: a real run under the static layout must count
+        // exactly what the reclassification predicts, and the layout
+        // must not change behavior.
+        InterpOptions LayoutOpts = RunOpts;
+        LayoutOpts.Layout = &Order;
+        const RunResult Real = runProgram(
+            Unit, *CSP.Cfgs, CSP.Spec->Inputs[EvalIdx], LayoutOpts);
+        R.VmCrossCheckOk = Real.Ok && Real.LayoutCost == C &&
+                           Real.Output == BaseRuns[EvalIdx].Output;
+      }
+    }
+    R.LayoutPairOverlap =
+        jaccard(adjacentPairs(Layouts[0]), adjacentPairs(Layouts[1]));
+
+    // Branch hints: never-predicted-taken arc agreement.
+    const BranchHints HS = computeBranchHints(Unit, *CSP.Cfgs, WStatic);
+    const BranchHints HP = computeBranchHints(Unit, *CSP.Cfgs, WProfile);
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t>> SS, SP;
+    for (const BranchHints::ColdArc &A : HS.NeverTaken)
+      SS.insert({A.Fid, A.Block, A.Slot});
+    for (const BranchHints::ColdArc &A : HP.NeverTaken)
+      SP.insert({A.Fid, A.Block, A.Slot});
+    R.StaticNeverTaken = SS.size();
+    R.ProfileNeverTaken = SP.size();
+    R.HintAgreement = jaccard(SS, SP);
+  }
+
+  if (DoInline) {
+    std::set<uint32_t> SiteSets[3];
+    for (int S = 0; S < 3; ++S) {
+      InlineSourceResult IR;
+      IR.Source = Sources[S]->Origin;
+      // Inlining mutates the program, so each variant gets a fresh
+      // compile; ids are stable across compiles of the same source, so
+      // the precomputed weights carry over.
+      CompiledSuiteProgram Fresh = compileProgramOnly(*CSP.Spec);
+      if (!Fresh.Ok) {
+        IR.Verified = false;
+        IR.VerifyDetail = "recompile failed: " + Fresh.Error;
+        R.Inline.push_back(std::move(IR));
+        continue;
+      }
+      const InlinePlan Plan =
+          planInlining(Fresh.unit(), *Fresh.Cfgs, *Fresh.CG, *Sources[S],
+                       Options.Inline);
+      const InlineMap Map =
+          applyInlining(*Fresh.Ctx, *Fresh.Cfgs, Plan);
+      for (const InlineDecision &D : Map.Applied)
+        IR.Sites.push_back(D.CallSiteId);
+      SiteSets[S].insert(IR.Sites.begin(), IR.Sites.end());
+
+      for (size_t I = 0; I < CSP.Spec->Inputs.size(); ++I) {
+        const RunResult Inl = runProgram(Fresh.unit(), *Fresh.Cfgs,
+                                         CSP.Spec->Inputs[I], RunOpts);
+        const InlineVerifyResult V =
+            compareInlinedRun(BaseRuns[I], Inl, Map);
+        if (!V.Match) {
+          IR.Verified = false;
+          if (IR.VerifyDetail.empty())
+            IR.VerifyDetail =
+                CSP.Spec->Inputs[I].Name + ": " + V.Detail;
+        }
+        if (I == EvalIdx) {
+          const double Cost = Inl.LayoutCost.cost();
+          IR.CostReduction = R.IdentityCost > 0
+                                 ? (R.IdentityCost - Cost) /
+                                       R.IdentityCost
+                                 : 0.0;
+          IR.CallsRemoved = BaseCost.Calls - Inl.LayoutCost.Calls;
+        }
+      }
+      R.Inline.push_back(std::move(IR));
+    }
+    R.InlineJaccard = jaccard(SiteSets[0], SiteSets[1]);
+  }
+
+  R.Ok = true;
+  return R;
+}
+
+} // namespace
+
+OptSuiteReport sest::opt::computeOptReport(
+    const std::vector<CompiledSuiteProgram> &Programs,
+    const OptReportOptions &Options) {
+  obs::ScopedPhase Phase("opt.report");
+
+  std::vector<const CompiledSuiteProgram *> Scored;
+  for (const CompiledSuiteProgram &P : Programs)
+    if (P.Spec)
+      Scored.push_back(&P);
+
+  unsigned Jobs = Options.Jobs;
+  if (Jobs == 0)
+    Jobs = std::max(1u, std::thread::hardware_concurrency());
+
+  OptSuiteReport Report;
+  Report.Programs.resize(Scored.size());
+  if (Jobs <= 1 || Scored.size() <= 1) {
+    for (size_t I = 0; I < Scored.size(); ++I)
+      Report.Programs[I] = scoreProgram(*Scored[I], Options);
+  } else {
+    // Per-program private telemetry merged back in program order, so
+    // the ambient report is identical for every job count.
+    obs::Telemetry *Ambient = obs::Telemetry::active();
+    std::vector<std::unique_ptr<obs::Telemetry>> Tele(Scored.size());
+    std::atomic<size_t> Next{0};
+    auto Worker = [&] {
+      for (size_t I; (I = Next.fetch_add(1)) < Scored.size();) {
+        if (!Ambient) {
+          Report.Programs[I] = scoreProgram(*Scored[I], Options);
+          continue;
+        }
+        auto T = std::make_unique<obs::Telemetry>();
+        T->install();
+        Report.Programs[I] = scoreProgram(*Scored[I], Options);
+        T->uninstall();
+        Tele[I] = std::move(T);
+      }
+    };
+    std::vector<std::thread> Pool;
+    const unsigned N = std::min<size_t>(Jobs, Scored.size());
+    Pool.reserve(N);
+    for (unsigned I = 0; I < N; ++I)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+    if (Ambient)
+      for (const auto &T : Tele)
+        if (T)
+          Ambient->mergeFrom(*T);
+  }
+
+  // Suite aggregation.
+  size_t JaccardCount = 0;
+  for (const OptProgramReport &P : Report.Programs) {
+    if (!P.Ok)
+      continue;
+    for (const LayoutSourceResult &L : P.Layout) {
+      const double Delta = P.IdentityCost - L.Cost;
+      if (L.Source == "static")
+        Report.StaticTotalReduction += Delta;
+      else if (L.Source == "profile")
+        Report.ProfileTotalReduction += Delta;
+      else
+        Report.OracleTotalReduction += Delta;
+    }
+    if (!P.VmCrossCheckOk)
+      Report.AllCrossChecksOk = false;
+    for (const InlineSourceResult &I : P.Inline)
+      if (!I.Verified)
+        Report.AllInlineVerified = false;
+    if (!P.Inline.empty()) {
+      Report.MeanInlineJaccard += P.InlineJaccard;
+      ++JaccardCount;
+    }
+  }
+  if (JaccardCount)
+    Report.MeanInlineJaccard /= static_cast<double>(JaccardCount);
+  if (Report.ProfileTotalReduction > 0)
+    Report.StaticRecoveryRatio =
+        Report.StaticTotalReduction / Report.ProfileTotalReduction;
+  else
+    Report.StaticRecoveryRatio = 1.0;
+  Report.MeetsRecoveryFloor =
+      Report.StaticRecoveryRatio >= Options.StaticRecoveryFloor;
+
+  obs::counterAdd("opt.report.programs", Report.Programs.size());
+  return Report;
+}
+
+std::string sest::opt::optReportJson(const OptSuiteReport &Report,
+                                     const OptReportOptions &Options) {
+  const bool DoLayout = Options.Passes != OptPassSet::Inline;
+  const bool DoInline = Options.Passes != OptPassSet::Layout;
+
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", "sest-opt-report/1");
+  W.member("passes", optPassSetName(Options.Passes));
+  W.member("engine",
+           Options.Engine == InterpEngine::Ast ? "ast" : "bytecode");
+  W.key("cost_weights").beginObject();
+  W.member("fall_through", LayoutCostCounters::CostFallThrough);
+  W.member("taken", LayoutCostCounters::CostTaken);
+  W.member("call", LayoutCostCounters::CostCall);
+  W.member("return", LayoutCostCounters::CostReturn);
+  W.endObject();
+
+  W.key("programs").beginArray();
+  for (const OptProgramReport &P : Report.Programs) {
+    W.beginObject();
+    W.member("name", P.Name);
+    W.member("ok", P.Ok);
+    if (!P.Ok) {
+      W.member("error", P.Error);
+      W.endObject();
+      continue;
+    }
+    W.member("eval_input", P.EvalInput);
+    W.member("identity_cost", P.IdentityCost);
+    if (DoLayout) {
+      W.key("layout").beginObject();
+      W.key("sources").beginArray();
+      for (const LayoutSourceResult &L : P.Layout) {
+        W.beginObject();
+        W.member("source", L.Source);
+        W.member("cost", L.Cost);
+        W.member("reduction", L.Reduction);
+        W.member("reordered_functions", L.ReorderedFunctions);
+        W.member("outlined_blocks", L.OutlinedBlocks);
+        W.endObject();
+      }
+      W.endArray();
+      W.member("static_vs_profile_pair_overlap", P.LayoutPairOverlap);
+      W.member("vm_crosscheck_ok", P.VmCrossCheckOk);
+      W.endObject();
+      W.key("hints").beginObject();
+      W.member("static_never_taken", P.StaticNeverTaken);
+      W.member("profile_never_taken", P.ProfileNeverTaken);
+      W.member("agreement", P.HintAgreement);
+      W.endObject();
+    }
+    if (DoInline) {
+      W.key("inline").beginObject();
+      W.key("sources").beginArray();
+      for (const InlineSourceResult &I : P.Inline) {
+        W.beginObject();
+        W.member("source", I.Source);
+        W.key("sites").beginArray();
+        for (uint32_t Id : I.Sites)
+          W.value(Id);
+        W.endArray();
+        W.member("verified", I.Verified);
+        if (!I.Verified)
+          W.member("verify_detail", I.VerifyDetail);
+        W.member("cost_reduction", I.CostReduction);
+        W.member("calls_removed", I.CallsRemoved);
+        W.endObject();
+      }
+      W.endArray();
+      W.member("static_vs_profile_jaccard", P.InlineJaccard);
+      W.endObject();
+    }
+    W.endObject();
+  }
+  W.endArray();
+
+  W.key("suite").beginObject();
+  uint64_t ScoredCount = 0;
+  for (const OptProgramReport &P : Report.Programs)
+    if (P.Ok)
+      ++ScoredCount;
+  W.member("programs_scored", ScoredCount);
+  if (DoLayout) {
+    W.key("layout").beginObject();
+    W.member("static_total_reduction", Report.StaticTotalReduction);
+    W.member("profile_total_reduction", Report.ProfileTotalReduction);
+    W.member("oracle_total_reduction", Report.OracleTotalReduction);
+    W.member("static_recovery_ratio", Report.StaticRecoveryRatio);
+    W.member("recovery_floor", Options.StaticRecoveryFloor);
+    W.member("meets_floor", Report.MeetsRecoveryFloor);
+    W.member("all_crosschecks_ok", Report.AllCrossChecksOk);
+    W.endObject();
+  }
+  if (DoInline) {
+    W.key("inline").beginObject();
+    W.member("mean_jaccard", Report.MeanInlineJaccard);
+    W.member("all_verified", Report.AllInlineVerified);
+    W.endObject();
+  }
+  W.endObject();
+
+  W.endObject();
+  return W.take();
+}

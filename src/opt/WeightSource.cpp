@@ -1,0 +1,88 @@
+//===- opt/WeightSource.cpp - Unified optimization weights ----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/WeightSource.h"
+
+#include "obs/Telemetry.h"
+
+#include <algorithm>
+
+using namespace sest;
+using namespace sest::opt;
+
+WeightSource sest::opt::weightsFromEstimate(const TranslationUnit &Unit,
+                                            const CfgModule &Cfgs,
+                                            const ProgramEstimate &E,
+                                            const EstimatorOptions &Options,
+                                            std::string Origin) {
+  obs::ScopedPhase Phase("opt.weights.from_estimate");
+  WeightSource W;
+  W.Origin = std::move(Origin);
+  W.BlockWeights = globalBlockEstimates(E);
+  W.ArcWeights = globalArcEstimates(Unit, Cfgs, E, Options);
+  W.FunctionWeights = E.FunctionEstimates;
+  W.CallSiteWeights = E.CallSiteEstimates;
+  return W;
+}
+
+WeightSource sest::opt::weightsFromProfile(const TranslationUnit &Unit,
+                                           const Profile &P,
+                                           std::string Origin) {
+  obs::ScopedPhase Phase("opt.weights.from_profile");
+  WeightSource W;
+  W.Origin = std::move(Origin);
+  W.BlockWeights.resize(Unit.Functions.size());
+  W.ArcWeights.resize(Unit.Functions.size());
+  W.FunctionWeights.assign(Unit.Functions.size(), 0.0);
+  for (size_t Fid = 0; Fid < P.Functions.size() &&
+                       Fid < Unit.Functions.size();
+       ++Fid) {
+    const FunctionProfile &FP = P.Functions[Fid];
+    W.BlockWeights[Fid] = FP.BlockCounts;
+    W.ArcWeights[Fid] = FP.ArcCounts;
+    W.FunctionWeights[Fid] = FP.EntryCount;
+  }
+  W.CallSiteWeights = P.CallSiteCounts;
+  return W;
+}
+
+std::vector<RankedFunction>
+sest::opt::rankFunctions(const TranslationUnit &Unit,
+                         const WeightSource &W) {
+  std::vector<RankedFunction> Out;
+  for (const FunctionDecl *F : Unit.Functions) {
+    if (!F->isDefined() || F->isBuiltin())
+      continue;
+    Out.push_back({F, W.functionWeight(F->functionId())});
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const RankedFunction &A, const RankedFunction &B) {
+                     if (A.Weight != B.Weight)
+                       return A.Weight > B.Weight;
+                     return A.F->functionId() < B.F->functionId();
+                   });
+  return Out;
+}
+
+std::vector<RankedCallSite>
+sest::opt::rankCallSites(const CallGraph &CG, const WeightSource &W) {
+  std::vector<RankedCallSite> Out;
+  for (const CallSiteInfo &S : CG.sites()) {
+    if (S.isIndirect())
+      continue;
+    double Weight = W.callSiteWeight(S.CallSiteId);
+    if (Weight < 0)
+      continue; // Omitted by the source.
+    Out.push_back({&S, Weight});
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const RankedCallSite &A, const RankedCallSite &B) {
+                     if (A.Weight != B.Weight)
+                       return A.Weight > B.Weight;
+                     return A.Site->CallSiteId < B.Site->CallSiteId;
+                   });
+  return Out;
+}

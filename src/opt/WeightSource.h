@@ -1,0 +1,109 @@
+//===- opt/WeightSource.h - Unified optimization weights --------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one abstraction every optimizer pass consumes: block, arc,
+/// function and call-site weights for a whole program, built either from
+/// a static ProgramEstimate or from a measured Profile. This is the
+/// paper's thesis made operational — a pass written against WeightSource
+/// cannot tell estimates from profiles, so swapping the source isolates
+/// exactly how much optimization benefit the static estimators recover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPT_WEIGHTSOURCE_H
+#define OPT_WEIGHTSOURCE_H
+
+#include "callgraph/CallGraph.h"
+#include "cfg/Cfg.h"
+#include "estimators/Pipeline.h"
+#include "lang/Ast.h"
+#include "profile/Profile.h"
+
+#include <string>
+#include <vector>
+
+namespace sest {
+namespace opt {
+
+/// Program-wide weights in profile shape. All vectors are indexed like
+/// the corresponding Profile fields; builtins and undefined functions
+/// have empty rows. Weights are non-negative except omitted call sites
+/// (indirect in the static pipeline), which are -1.
+struct WeightSource {
+  /// Where the weights came from: "static", "profile", or "oracle"
+  /// (held-out profile). Informational; passes never branch on it.
+  std::string Origin;
+  /// Whole-program block execution weights [function id][block id].
+  std::vector<std::vector<double>> BlockWeights;
+  /// Whole-program arc weights [function id][block id][successor slot].
+  std::vector<std::vector<std::vector<double>>> ArcWeights;
+  /// Invocation weight per function id.
+  std::vector<double> FunctionWeights;
+  /// Weight per call-site id; -1 for omitted (indirect) sites.
+  std::vector<double> CallSiteWeights;
+
+  double blockWeight(uint32_t Fid, uint32_t Block) const {
+    if (Fid >= BlockWeights.size() || Block >= BlockWeights[Fid].size())
+      return 0.0;
+    return BlockWeights[Fid][Block];
+  }
+  double arcWeight(uint32_t Fid, uint32_t Block, uint32_t Slot) const {
+    if (Fid >= ArcWeights.size() || Block >= ArcWeights[Fid].size() ||
+        Slot >= ArcWeights[Fid][Block].size())
+      return 0.0;
+    return ArcWeights[Fid][Block][Slot];
+  }
+  double functionWeight(uint32_t Fid) const {
+    return Fid < FunctionWeights.size() ? FunctionWeights[Fid] : 0.0;
+  }
+  double callSiteWeight(uint32_t SiteId) const {
+    return SiteId < CallSiteWeights.size() ? CallSiteWeights[SiteId] : -1.0;
+  }
+};
+
+/// Builds weights from a static estimate: global block estimates, arc
+/// estimates derived from the cached branch predictions, function
+/// invocation estimates, and call-site frequencies.
+WeightSource weightsFromEstimate(const TranslationUnit &Unit,
+                                 const CfgModule &Cfgs,
+                                 const ProgramEstimate &E,
+                                 const EstimatorOptions &Options,
+                                 std::string Origin = "static");
+
+/// Builds weights from a measured (or aggregated) profile. Counts are
+/// used as-is — no per-entry renormalization, since optimizer decisions
+/// care about absolute hotness.
+WeightSource weightsFromProfile(const TranslationUnit &Unit,
+                                const Profile &P,
+                                std::string Origin = "profile");
+
+/// A function ranked by invocation weight.
+struct RankedFunction {
+  const FunctionDecl *F = nullptr;
+  double Weight = 0.0;
+};
+
+/// Defined non-builtin functions sorted hot-first (weight descending,
+/// function id ascending on ties). Deterministic for identical weights.
+std::vector<RankedFunction> rankFunctions(const TranslationUnit &Unit,
+                                          const WeightSource &W);
+
+/// A direct call site ranked by weight.
+struct RankedCallSite {
+  const CallSiteInfo *Site = nullptr;
+  double Weight = 0.0;
+};
+
+/// Direct call sites sorted hot-first (weight descending, call-site id
+/// ascending on ties). Indirect and omitted (-1) sites are excluded.
+std::vector<RankedCallSite> rankCallSites(const CallGraph &CG,
+                                          const WeightSource &W);
+
+} // namespace opt
+} // namespace sest
+
+#endif // OPT_WEIGHTSOURCE_H

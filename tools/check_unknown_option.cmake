@@ -1,6 +1,11 @@
-# Verifies sestc's unknown-option handling: a plausible typo must exit
-# nonzero AND print a "did you mean" suggestion naming the real option.
-# Run as: cmake -DSESTC=<path-to-sestc> -P check_unknown_option.cmake
+# Verifies sestc's option handling:
+#   1. a plausible typo must exit nonzero AND print a "did you mean"
+#      suggestion naming the real option;
+#   2. every entry in sestc.cpp's OptionTable must appear in --help
+#      output (the table is the single source of truth, so a flag that
+#      parses but is missing from help means the generator broke).
+# Run as: cmake -DSESTC=<path> -DSESTC_SOURCE=<sestc.cpp> \
+#               -P check_unknown_option.cmake
 execute_process(
   COMMAND ${SESTC} --staats
   RESULT_VARIABLE RC
@@ -13,3 +18,30 @@ if(NOT "${OUT}${ERR}" MATCHES "did you mean '--stats'")
   message(FATAL_ERROR
     "sestc --staats did not suggest --stats; output was:\n${OUT}${ERR}")
 endif()
+
+if(NOT DEFINED SESTC_SOURCE)
+  return()
+endif()
+execute_process(
+  COMMAND ${SESTC} --help
+  RESULT_VARIABLE HELP_RC
+  OUTPUT_VARIABLE HELP_OUT
+  ERROR_VARIABLE HELP_ERR)
+if(NOT HELP_RC EQUAL 0)
+  message(FATAL_ERROR "sestc --help exited ${HELP_RC}; expected 0")
+endif()
+file(READ ${SESTC_SOURCE} SRC)
+# OptionTable entries are the only brace-initializers whose first field
+# is a quoted long option.
+string(REGEX MATCHALL "\\{ *\"--[a-z][a-z-]*\"" ENTRIES "${SRC}")
+if(ENTRIES STREQUAL "")
+  message(FATAL_ERROR "no OptionTable entries found in ${SESTC_SOURCE}")
+endif()
+foreach(ENTRY ${ENTRIES})
+  string(REGEX REPLACE "\\{ *\"(--[a-z-]+)\"" "\\1" FLAG "${ENTRY}")
+  string(FIND "${HELP_OUT}" "${FLAG}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR
+      "OptionTable entry '${FLAG}' missing from --help output:\n${HELP_OUT}")
+  endif()
+endforeach()

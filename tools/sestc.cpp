@@ -18,36 +18,15 @@
 ///   --compare     run AND estimate, with weight-matching scores
 ///   --suite       compile and profile the built-in benchmark suite
 ///                 (no input file; combine with --report)
+///   --optimize    run the estimate-driven optimizer passes (see
+///                 docs/OPTIMIZATION.md); with --suite, score them
+///                 three ways and write --opt-report FILE
 ///
-/// Options:
-///   --intra loop|smart|markov     (default smart)
-///   --inter call-site|direct|all_rec|all_rec2|markov (default markov)
-///   --loop-count N                assumed loop iterations (default 5)
-///   --counted-loops               use exact constant trip counts
-///   --input TEXT                  program input text
-///   --seed N                      PRNG seed for rand()
-///   --emit-profile FILE           after --run/--compare, save the profile
-///   --score-profile FILE          score the estimate against a saved
-///                                 profile instead of running
-///
-/// Observability (see docs/OBSERVABILITY.md):
-///   --trace FILE                  write a Chrome trace-event JSON of the
-///                                 run (open in chrome://tracing or
-///                                 https://ui.perfetto.dev)
-///   --stats                       print phase times and all counters /
-///                                 gauges / histograms after the action
-///   --report FILE                 write a machine-readable JSON report;
-///                                 with --suite, the full suite report
-///   --explain                     with --run/--compare/--score-profile,
-///                                 print the annotated source listing
-///                                 (est vs actual per line, heuristic
-///                                 attribution per branch) and WORST-n
-///                                 divergence tables
-///   --accuracy-report FILE        write the sest-accuracy-report/1 JSON
-///                                 (per-entity divergence attribution);
-///                                 with --suite, one record per program
-///   --validate-json FILE          parse FILE with the project JSON
-///                                 parser and exit 0/1 (CI sanity check)
+/// The full option list lives in ONE place — the OptionTable below —
+/// which generates both the usage text and `--help`; run `sestc --help`
+/// for the authoritative list (tools/check_unknown_option.cmake asserts
+/// every table entry appears there). See docs/OBSERVABILITY.md for the
+/// observability flags and docs/OPTIMIZATION.md for the optimizer ones.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,6 +37,7 @@
 #include "lang/Parser.h"
 #include "metrics/Evaluation.h"
 #include "obs/Accuracy.h"
+#include "opt/OptReport.h"
 #include "obs/Telemetry.h"
 #include "profile/Profile.h"
 #include "suite/SuiteRunner.h"
@@ -78,27 +58,72 @@ namespace {
 
 void out(const std::string &S) { std::fputs(S.c_str(), stdout); }
 
+/// One option sestc understands. The single source of truth: the usage
+/// text, `--help`, and the unknown-option suggestion list are all
+/// generated from this table, so they cannot drift apart.
+struct OptionSpec {
+  const char *Flag;
+  const char *Arg;  ///< Value placeholder; null for boolean flags.
+  const char *Help; ///< One-line description.
+};
+
+const OptionSpec OptionTable[] = {
+    {"--ast", nullptr, "print the annotated AST (Figure 3 style)"},
+    {"--cfg", nullptr, "print control-flow graphs"},
+    {"--dot", nullptr, "Graphviz CFGs annotated with smart estimates"},
+    {"--callgraph", nullptr, "Graphviz call graph (with the pointer node)"},
+    {"--estimate", nullptr, "print block/function/call-site estimates"},
+    {"--run", nullptr, "execute the program and print a profile summary"},
+    {"--compare", nullptr, "run AND estimate with matching scores (default)"},
+    {"--suite", nullptr, "compile and profile the built-in benchmark suite"},
+    {"--optimize", "layout|inline|all",
+     "run the estimate-driven optimizer passes"},
+    {"--weights", "static|profile",
+     "weight source for single-file --optimize (default static)"},
+    {"--opt-report", "FILE", "with --suite: write sest-opt-report/1 JSON"},
+    {"--intra", "loop|smart|markov",
+     "intra-procedural estimator (default smart)"},
+    {"--inter", "call-site|direct|all_rec|all_rec2|markov",
+     "inter-procedural estimator (default markov)"},
+    {"--loop-count", "N", "assumed loop iterations (default 5)"},
+    {"--counted-loops", nullptr, "use exact constant trip counts"},
+    {"--input", "TEXT", "program input text"},
+    {"--seed", "N", "PRNG seed for rand()"},
+    {"--interp", "ast|bytecode", "execution engine (default bytecode)"},
+    {"--jobs", "N",
+     "worker threads (0 = cores; results identical for every N)"},
+    {"--solver", "sparse|dense",
+     "Markov linear-solver tier (default sparse; dense is the oracle)"},
+    {"--emit-profile", "FILE", "after --run/--compare, save the profile"},
+    {"--score-profile", "FILE",
+     "score the estimate against a saved profile instead of running"},
+    {"--trace", "FILE", "write Chrome trace-event JSON of the run"},
+    {"--stats", nullptr, "print phase times and all counters"},
+    {"--report", "FILE", "write machine-readable JSON run/suite report"},
+    {"--explain", nullptr, "annotated listing + WORST-n divergence tables"},
+    {"--accuracy-report", "FILE", "write sest-accuracy-report/1 JSON"},
+    {"--validate-json", "FILE",
+     "round-trip FILE through the project JSON parser"},
+    {"--help", nullptr, "print this help and exit"},
+};
+
+std::string helpText() {
+  std::string S = "usage: sestc [action] [options] file.mc\n";
+  for (const OptionSpec &Opt : OptionTable) {
+    std::string Left = std::string("  ") + Opt.Flag;
+    if (Opt.Arg)
+      Left += std::string(" ") + Opt.Arg;
+    if (Left.size() < 32)
+      Left.resize(32, ' ');
+    else
+      Left += "  ";
+    S += Left + Opt.Help + "\n";
+  }
+  return S;
+}
+
 [[noreturn]] void usage() {
-  out("usage: sestc [--ast|--cfg|--estimate|--run|--compare|--suite] "
-      "[options] file.mc\n"
-      "  --intra loop|smart|markov    intra-procedural estimator\n"
-      "  --inter call-site|direct|all_rec|all_rec2|markov\n"
-      "  --loop-count N               assumed loop iterations\n"
-      "  --counted-loops              exact constant trip counts\n"
-      "  --input TEXT                 program input\n"
-      "  --seed N                     rand() seed\n"
-      "  --interp ast|bytecode        execution engine (default bytecode)\n"
-      "  --jobs N                     worker threads for suite runs and\n"
-      "                               estimation (0 = cores; results are\n"
-      "                               identical for every N)\n"
-      "  --solver sparse|dense        Markov linear-solver tier (default\n"
-      "                               sparse; dense is the oracle)\n"
-      "  --trace FILE                 write Chrome trace-event JSON\n"
-      "  --stats                      print phase times and counters\n"
-      "  --report FILE                write machine-readable JSON report\n"
-      "  --explain                    annotated listing + WORST-n tables\n"
-      "  --accuracy-report FILE       write sest-accuracy-report/1 JSON\n"
-      "  --validate-json FILE         round-trip FILE through parseJson\n");
+  out(helpText());
   std::exit(2);
 }
 
@@ -120,28 +145,15 @@ size_t editDistance(const std::string &A, const std::string &B) {
   return Row[B.size()];
 }
 
-/// Every option sestc understands, for the "did you mean" hint.
-const char *const KnownOptions[] = {
-    "--ast",          "--cfg",           "--dot",
-    "--callgraph",    "--estimate",      "--run",
-    "--compare",      "--suite",         "--intra",
-    "--inter",        "--loop-count",    "--counted-loops",
-    "--input",        "--seed",          "--interp",
-    "--jobs",         "--solver",        "--emit-profile",
-    "--score-profile",
-    "--trace",        "--stats",         "--report",
-    "--explain",      "--accuracy-report", "--validate-json",
-};
-
 [[noreturn]] void unknownOption(const std::string &A) {
   std::string Msg = "sestc: unknown option '" + A + "'";
   const char *Best = nullptr;
   size_t BestDist = 4; // only suggest plausible typos
-  for (const char *K : KnownOptions) {
-    size_t D = editDistance(A, K);
+  for (const OptionSpec &Opt : OptionTable) {
+    size_t D = editDistance(A, Opt.Flag);
     if (D < BestDist) {
       BestDist = D;
-      Best = K;
+      Best = Opt.Flag;
     }
   }
   if (Best)
@@ -160,6 +172,10 @@ struct Options {
   std::string ReportFile;
   std::string AccuracyReportFile;
   std::string ValidateJsonFile;
+  std::string OptReportFile;
+  std::string WeightsSource = "static";
+  opt::OptPassSet Optimize = opt::OptPassSet::All;
+  bool HasOptimize = false;
   bool Explain = false;
   bool Stats = false;
   uint64_t Seed = 1;
@@ -235,6 +251,27 @@ Options parseArgs(int argc, char **argv) {
         O.Est.setSolver(MarkovSolverKind::Dense);
       else
         usage();
+    } else if (A == "--optimize") {
+      std::string V = Next();
+      if (V == "layout")
+        O.Optimize = opt::OptPassSet::Layout;
+      else if (V == "inline")
+        O.Optimize = opt::OptPassSet::Inline;
+      else if (V == "all")
+        O.Optimize = opt::OptPassSet::All;
+      else
+        usage();
+      O.HasOptimize = true;
+    } else if (A == "--weights") {
+      std::string V = Next();
+      if (V != "static" && V != "profile")
+        usage();
+      O.WeightsSource = V;
+    } else if (A == "--opt-report") {
+      O.OptReportFile = Next();
+    } else if (A == "--help") {
+      out(helpText());
+      std::exit(0);
     } else if (A == "--emit-profile") {
       O.EmitProfile = Next();
     } else if (A == "--score-profile") {
@@ -320,6 +357,110 @@ int runValidateJson(const std::string &Path) {
   return 0;
 }
 
+/// Single-file --optimize: print the optimizer's decisions under the
+/// chosen weight source (--weights static|profile), apply them, and
+/// verify/score against the identity-layout baseline run.
+int runOptimize(const Options &O, AstContext &Ctx, CfgModule &Cfgs,
+                const CallGraph &CG, const ProgramEstimate &E) {
+  const TranslationUnit &Unit = Ctx.unit();
+  ProgramInput In;
+  In.Text = O.Input;
+  In.RandSeed = O.Seed;
+  InterpOptions Interp;
+  Interp.Engine = O.Engine;
+
+  // The identity-layout baseline: the cost yardstick, the profile
+  // behind --weights profile, and the inliner's differential reference.
+  RunResult Base = runProgram(Unit, Cfgs, In, Interp);
+  if (!Base.Ok) {
+    out("sestc: baseline run failed: " + Base.Error + "\n");
+    return 1;
+  }
+  const double IdentityCost = Base.LayoutCost.cost();
+
+  opt::WeightSource W =
+      O.WeightsSource == "profile"
+          ? opt::weightsFromProfile(Unit, Base.TheProfile)
+          : opt::weightsFromEstimate(Unit, Cfgs, E, O.Est);
+  out("Optimizer pass set '" +
+      std::string(opt::optPassSetName(O.Optimize)) + "' with " +
+      W.Origin + " weights:\n");
+  int Rc = 0;
+
+  if (O.Optimize != opt::OptPassSet::Inline) {
+    opt::ProgramLayout PL = opt::computeBlockLayout(Unit, Cfgs, W);
+    out("\n-- block layout (| marks the cold-outline boundary) --\n");
+    TextTable T;
+    T.setHeader({"Function", "Order", "Chains", "Cold"});
+    for (const FunctionDecl *F : Unit.Functions) {
+      if (!F->isDefined())
+        continue;
+      const opt::FunctionLayout &FL = PL.Functions[F->functionId()];
+      if (FL.Order.empty() ||
+          (FL.isIdentity() && FL.FirstColdPos == FL.Order.size()))
+        continue;
+      std::string OrderStr;
+      for (size_t I = 0; I < FL.Order.size(); ++I) {
+        if (I)
+          OrderStr += ' ';
+        if (I == FL.FirstColdPos)
+          OrderStr += "| ";
+        OrderStr += std::to_string(FL.Order[I]);
+      }
+      T.addRow({F->name(), OrderStr, std::to_string(FL.NumChains),
+                std::to_string(FL.Order.size() - FL.FirstColdPos)});
+    }
+    out(T.str());
+    const ProgramBlockOrder Order = PL.blockOrder();
+    const LayoutCostCounters C = opt::reclassifyLayoutCost(
+        Unit, Cfgs, Base.TheProfile, &Order, Base.LayoutCost);
+    const double Saved =
+        IdentityCost > 0 ? (IdentityCost - C.cost()) / IdentityCost : 0.0;
+    out("layout cost on this input: " + formatDouble(C.cost(), 0) +
+        " vs identity " + formatDouble(IdentityCost, 0) + " (" +
+        formatPercent(Saved) + " saved)\n");
+
+    opt::BranchHints H = opt::computeBranchHints(Unit, Cfgs, W);
+    out("never-predicted-taken arcs: " +
+        std::to_string(H.NeverTaken.size()) + "\n");
+    for (const opt::BranchHints::ColdArc &A : H.NeverTaken)
+      out("  " + Unit.Functions[A.Fid]->name() + ": block " +
+          std::to_string(A.Block) + " slot " + std::to_string(A.Slot) +
+          "\n");
+  }
+
+  if (O.Optimize != opt::OptPassSet::Layout) {
+    opt::InlinePlan Plan = opt::planInlining(Unit, Cfgs, CG, W);
+    out("\n-- inlining --\n");
+    if (Plan.Sites.empty()) {
+      out("no call sites selected\n");
+    } else {
+      TextTable T;
+      T.setHeader({"Site", "Caller", "Callee", "Line", "Weight"});
+      for (const opt::InlineDecision &D : Plan.Sites)
+        T.addRow({std::to_string(D.CallSiteId), D.Caller->name(),
+                  D.Callee->name(), std::to_string(D.Site->loc().Line),
+                  formatDouble(D.Weight, 3)});
+      out(T.str());
+      opt::InlineMap Map = opt::applyInlining(Ctx, Cfgs, Plan);
+      RunResult Inl = runProgram(Unit, Cfgs, In, Interp);
+      opt::InlineVerifyResult V = opt::compareInlinedRun(Base, Inl, Map);
+      if (!V.Match) {
+        out("inline verification FAILED: " + V.Detail + "\n");
+        Rc = 1;
+      } else {
+        out("inline verification: ok (output and mapped profile "
+            "identical)\n");
+        out("dynamic calls removed on this input: " +
+            std::to_string(Base.LayoutCost.Calls - Inl.LayoutCost.Calls) +
+            "; cost " + formatDouble(Inl.LayoutCost.cost(), 0) +
+            " vs identity " + formatDouble(IdentityCost, 0) + "\n");
+      }
+    }
+  }
+  return Rc;
+}
+
 /// --suite: compile and profile every built-in benchmark program,
 /// print a summary table, and optionally write the JSON suite report.
 int runSuite(const Options &O) {
@@ -361,6 +502,61 @@ int runSuite(const Options &O) {
                        suiteAccuracyReportJson(Programs, 20, O.Jobs)))
       return 1;
     out("accuracy report written to " + O.AccuracyReportFile + "\n");
+  }
+
+  // --optimize / --opt-report: score the optimizer passes three ways
+  // (static / profile / oracle weights) over the whole suite.
+  if (O.HasOptimize || !O.OptReportFile.empty()) {
+    opt::OptReportOptions OR;
+    OR.Passes = O.Optimize;
+    OR.Est = O.Est;
+    OR.Engine = O.Engine;
+    OR.Jobs = O.Jobs;
+    opt::OptSuiteReport Rep = opt::computeOptReport(Programs, OR);
+
+    TextTable T;
+    T.setHeader({"Program", "Identity cost", "Static", "Profile",
+                 "Oracle", "Inline ok"});
+    for (const opt::OptProgramReport &P : Rep.Programs) {
+      if (!P.Ok) {
+        T.addRow({P.Name, "-", "-", "-", "-", "-"});
+        continue;
+      }
+      auto Red = [&P](const char *Src) -> std::string {
+        for (const opt::LayoutSourceResult &L : P.Layout)
+          if (L.Source == Src)
+            return formatPercent(L.Reduction);
+        return "-";
+      };
+      std::string InlOk = P.Inline.empty() ? "-" : "yes";
+      for (const opt::InlineSourceResult &I : P.Inline)
+        if (!I.Verified)
+          InlOk = "NO";
+      T.addRow({P.Name, formatDouble(P.IdentityCost, 0), Red("static"),
+                Red("profile"), Red("oracle"), InlOk});
+    }
+    out("\n-- optimizer (" +
+        std::string(opt::optPassSetName(O.Optimize)) + ") --\n" +
+        T.str());
+    if (O.Optimize != opt::OptPassSet::Inline) {
+      out("static recovery ratio: " +
+          formatDouble(Rep.StaticRecoveryRatio, 3) +
+          (Rep.MeetsRecoveryFloor ? " (meets " : " (BELOW ") +
+          formatDouble(OR.StaticRecoveryFloor, 2) + " floor)\n");
+      if (!Rep.AllCrossChecksOk) {
+        out("error: a layout VM cross-check failed\n");
+        AllOk = false;
+      }
+    }
+    if (O.Optimize != opt::OptPassSet::Layout && !Rep.AllInlineVerified) {
+      out("error: an inline differential verification failed\n");
+      AllOk = false;
+    }
+    if (!O.OptReportFile.empty()) {
+      if (!writeTextFile(O.OptReportFile, opt::optReportJson(Rep, OR)))
+        return 1;
+      out("opt report written to " + O.OptReportFile + "\n");
+    }
   }
   return AllOk ? 0 : 1;
 }
@@ -419,6 +615,9 @@ int runAction(const Options &O) {
     out(printCallGraphDot(Ctx.unit(), CG, &E.FunctionEstimates));
     return 0;
   }
+
+  if (O.HasOptimize)
+    return runOptimize(O, Ctx, Cfgs, CG, E);
 
   // --score-profile: score the estimate against a saved profile.
   if (!O.ScoreProfile.empty()) {
