@@ -1,0 +1,136 @@
+//===- bench/bench_pipeline_latency.cpp - Per-stage latency percentiles ---===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Latency observability for the analysis pipeline: times each stage
+/// (parse, CFG construction, call-graph construction, estimation) per
+/// suite program over many repetitions and reports p50/p90/p99
+/// percentiles per stage — the flight-recorder view of "how long does
+/// one request take", sized for the future sestd analysis service.
+///
+/// `--json FILE` writes the sest-pipeline-latency/1 artifact consumed
+/// (advisorily) by scripts/check_perf.py; the checked-in baseline lives
+/// at bench/pipeline_latency.json. `--reps N` overrides the repetition
+/// count (default 20).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "callgraph/CallGraph.h"
+#include "cfg/Cfg.h"
+#include "lang/Parser.h"
+#include "obs/Telemetry.h"
+
+#include <chrono>
+#include <fstream>
+
+using namespace sest;
+using namespace sest::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double usSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  unsigned Reps = 20;
+  for (int I = 1; I + 1 < argc; ++I) {
+    if (std::string_view(argv[I]) == "--json")
+      JsonPath = argv[I + 1];
+    if (std::string_view(argv[I]) == "--reps")
+      Reps = static_cast<unsigned>(
+          std::strtoul(argv[I + 1], nullptr, 10));
+  }
+
+  out("== Pipeline stage latency percentiles ==\n\n");
+
+  // One Telemetry context used purely as a percentile-histogram sink;
+  // it is never installed, so the measured stages run unobserved.
+  obs::Telemetry Hist;
+  const std::vector<SuiteProgram> &Suite = benchmarkSuite();
+  unsigned Programs = 0;
+
+  for (const SuiteProgram &P : Suite) {
+    ++Programs;
+    for (unsigned R = 0; R < Reps; ++R) {
+      AstContext Ctx;
+      DiagnosticEngine Diags;
+
+      Clock::time_point T0 = Clock::now();
+      bool Parsed = parseAndAnalyze(P.Source, Ctx, Diags);
+      Hist.record("parse", usSince(T0));
+      if (!Parsed) {
+        out("FATAL: " + P.Name + ": compile error:\n" + Diags.str());
+        return 1;
+      }
+
+      T0 = Clock::now();
+      CfgModule Cfgs = CfgModule::build(Ctx.unit(), Diags);
+      Hist.record("cfg", usSince(T0));
+      if (Diags.hasErrors()) {
+        out("FATAL: " + P.Name + ": CFG error:\n" + Diags.str());
+        return 1;
+      }
+
+      T0 = Clock::now();
+      CallGraph CG = CallGraph::build(Ctx.unit(), Cfgs);
+      Hist.record("callgraph", usSince(T0));
+
+      EstimatorOptions Est;
+      Est.Jobs = 1;
+      T0 = Clock::now();
+      ProgramEstimate E = estimateProgram(Ctx.unit(), Cfgs, CG, Est);
+      Hist.record("estimate", usSince(T0));
+      (void)E;
+    }
+  }
+
+  TextTable T;
+  T.setHeader({"Stage", "N", "Mean us", "P50 us", "P90 us", "P99 us",
+               "Max us"});
+  for (const auto &[Name, H] : Hist.histograms())
+    T.addRow({Name, std::to_string(H.Count), formatDouble(H.mean(), 1),
+              formatDouble(H.p50(), 1), formatDouble(H.p90(), 1),
+              formatDouble(H.p99(), 1), formatDouble(H.Max, 1)});
+  out(T.str());
+
+  if (!JsonPath.empty()) {
+    JsonWriter W;
+    W.beginObject();
+    W.member("schema", "sest-pipeline-latency/1");
+    W.member("repetitions", static_cast<uint64_t>(Reps));
+    W.member("programs", static_cast<uint64_t>(Programs));
+    W.key("stages").beginObject();
+    for (const auto &[Name, H] : Hist.histograms()) {
+      W.key(Name).beginObject();
+      W.member("count", static_cast<uint64_t>(H.Count))
+          .member("mean_us", H.mean())
+          .member("p50_us", H.p50())
+          .member("p90_us", H.p90())
+          .member("p99_us", H.p99())
+          .member("max_us", H.Max);
+      W.endObject();
+    }
+    W.endObject();
+    W.endObject();
+    std::ofstream OutFile(JsonPath);
+    if (!OutFile) {
+      out("bench: cannot write '" + JsonPath + "'\n");
+      return 1;
+    }
+    OutFile << W.take();
+    out("\nlatency artifact written to " + JsonPath + "\n");
+  }
+  return 0;
+}

@@ -15,7 +15,11 @@ Two checks, both with deliberately generous machine-variance tolerance:
    the dense oracle by at least 5x at 1000 blocks — that ratio is
    machine-independent, so it is checked at full strength.
 
-3. Optimizer outcomes: runs ``sestc --suite --optimize all --opt-report``
+3. Pipeline stage latency: runs ``bench_pipeline_latency`` and compares
+   per-stage p90 latency with ``bench/pipeline_latency.json`` (flag only
+   at ``--tolerance`` times slower — advisory, wall-clock dependent).
+
+4. Optimizer outcomes: runs ``sestc --suite --optimize all --opt-report``
    and checks ``bench/opt_report.json`` invariants. Differential
    verification of every inlined program and the layout-cost VM
    cross-checks are deterministic and checked at full strength; the
@@ -134,6 +138,62 @@ def check_bench(build, baseline_path, tolerance):
     return 1 if failed else 0
 
 
+def check_latency(build, baseline_path, tolerance):
+    """Per-stage pipeline latency percentile check. Returns 0/1/2.
+
+    Percentiles are wall-clock, so this is the same advisory contract as
+    the suite wall-time check: flag only when a stage's p90 exceeds the
+    baseline by ``tolerance``x.
+    """
+    bench = os.path.join(build, "bench", "bench_pipeline_latency")
+    if not os.path.exists(bench):
+        print(f"check_perf: {bench} not built", file=sys.stderr)
+        return 2
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f).get("stages", {})
+    except OSError as e:
+        print(f"check_perf: cannot read latency baseline: {e}",
+              file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        subprocess.run(
+            [bench, "--json", fresh_path],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(fresh_path) as f:
+            fresh = json.load(f).get("stages", {})
+    except (subprocess.CalledProcessError, OSError, ValueError) as e:
+        print(f"check_perf: latency bench run failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        os.unlink(fresh_path)
+
+    failed = False
+    print(f"\n{'stage':<12} {'base p90':>9} {'fresh p90':>9} {'ratio':>6}")
+    for name, base in sorted(baseline.items()):
+        freshs = fresh.get(name)
+        if freshs is None:
+            print(f"{name:<12} missing from fresh run")
+            failed = True
+            continue
+        base_p90 = float(base.get("p90_us", 0.0))
+        fresh_p90 = float(freshs.get("p90_us", 0.0))
+        ratio = fresh_p90 / base_p90 if base_p90 > 0 else float("inf")
+        flag = ""
+        if ratio > tolerance:
+            flag = f"  <-- slower than {tolerance:.1f}x baseline"
+            failed = True
+        print(
+            f"{name:<12} {base_p90:>9.1f} {fresh_p90:>9.1f} {ratio:>6.2f}{flag}"
+        )
+    return 1 if failed else 0
+
+
 OVERLAP_SLACK = 0.05
 
 
@@ -241,6 +301,11 @@ def main():
         help="checked-in bench_analysis_time baseline",
     )
     ap.add_argument(
+        "--latency-baseline",
+        default=os.path.join(ROOT, "bench", "pipeline_latency.json"),
+        help="checked-in bench_pipeline_latency baseline",
+    )
+    ap.add_argument(
         "--opt-baseline",
         default=os.path.join(ROOT, "bench", "opt_report.json"),
         help="checked-in optimizer report baseline",
@@ -316,10 +381,13 @@ def main():
         print(f"{name:<10} {base_ms:>9.1f} {fresh_ms:>9.1f} {ratio:>6.2f}{flag}")
 
     bench_rc = check_bench(args.build, args.bench_baseline, args.tolerance)
+    latency_rc = check_latency(
+        args.build, args.latency_baseline, args.tolerance
+    )
     opt_rc = check_opt(args.build, args.opt_baseline)
-    if failed or bench_rc != 0 or opt_rc != 0:
+    if failed or bench_rc != 0 or latency_rc != 0 or opt_rc != 0:
         print("check_perf: regression flagged (non-blocking signal)")
-        return 1 if failed else max(1, bench_rc, opt_rc)
+        return 1 if failed else max(1, bench_rc, latency_rc, opt_rc)
     print("check_perf: within tolerance")
     return 0
 

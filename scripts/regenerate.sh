@@ -47,3 +47,8 @@ done 2>&1 | tee bench_output.txt
 # The document has no wall-clock fields, so this is diff-clean on any
 # machine unless optimizer decisions actually changed.
 "$BUILD"/bench/bench_opt --json bench/opt_report.json
+
+# Refresh the pipeline stage latency baseline (per-stage p50/p90/p99;
+# advisory guard in scripts/check_perf.py). Wall-clock, so expect the
+# numbers to move between machines — the guard has 3x slack.
+"$BUILD"/bench/bench_pipeline_latency --json bench/pipeline_latency.json

@@ -6,6 +6,7 @@
 
 #include "estimators/InterEstimators.h"
 
+#include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 #include "support/LinearSystem.h"
 #include "support/Scc.h"
@@ -252,11 +253,12 @@ bool solutionIsValid(const std::vector<double> &F) {
 /// subproblem with an artificial main whose arcs carry the component's
 /// external inflow proportions, then scale the component's internal arc
 /// probabilities until the subproblem solves with no negative values and
-/// nothing above the ceiling.
-void repairScc(WeightedCallGraph &G, const std::vector<size_t> &Component,
-               const InterEstimatorConfig &Config) {
+/// nothing above the ceiling. Returns the number of scalings applied
+/// (0 = the component needed none).
+unsigned repairScc(WeightedCallGraph &G, const std::vector<size_t> &Component,
+                   const InterEstimatorConfig &Config) {
   if (Component.size() < 2)
-    return;
+    return 0;
   std::set<size_t> InScc(Component.begin(), Component.end());
 
   // External inflow per member: "the arc from the artificial main node of
@@ -309,7 +311,7 @@ void repairScc(WeightedCallGraph &G, const std::vector<size_t> &Component,
           Ok = false;
     }
     if (Ok)
-      return;
+      return Iter;
 
     // "we scale down all the arc probabilities in the SCC by a constant,
     // repeating until the solution succeeds."
@@ -317,6 +319,7 @@ void repairScc(WeightedCallGraph &G, const std::vector<size_t> &Component,
       if (InScc.count(Arc.first) && InScc.count(Arc.second))
         Weight *= Config.SccScale;
   }
+  return Config.MaxSccRepairIterations;
 }
 
 std::vector<double> markovFunctionCounts(const TranslationUnit &Unit,
@@ -340,8 +343,26 @@ std::vector<double> markovFunctionCounts(const TranslationUnit &Unit,
   if (!F || !solutionIsValid(*F)) {
     // Step 3: repair each SCC in isolation, then re-solve.
     SccResult Scc = computeScc(G.NumNodes, G.adjacency());
-    for (const auto &Component : Scc.Components)
-      repairScc(G, Component, Config);
+    for (const auto &Component : Scc.Components) {
+      unsigned Scalings = repairScc(G, Component, Config);
+      if (Scalings && obs::eventLogActive()) {
+        // Name the repaired cycle by its smallest *function* node — the
+        // pointer node (index NumFns) stands for all indirect targets
+        // and has no accuracy-report entity; a multi-node SCC always
+        // contains defined functions, so a representative exists.
+        size_t Rep = SIZE_MAX;
+        for (size_t Node : Component)
+          if (Node < NumFns && Node < Rep)
+            Rep = Node;
+        if (Rep != SIZE_MAX)
+          obs::logEvent(
+              "solver.scc.repair",
+              obs::provFunction(Unit.Functions[Rep]->name()),
+              {obs::attr("scope", "inter"),
+               obs::attr("size", static_cast<double>(Component.size())),
+               obs::attr("iterations", static_cast<double>(Scalings))});
+      }
+    }
     F = solveWhole(G, Config);
   }
 

@@ -6,6 +6,7 @@
 
 #include "estimators/MarkovIntra.h"
 
+#include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 #include "support/LinearSystem.h"
 #include "support/SparseMarkov.h"
@@ -162,6 +163,27 @@ MarkovIntraResult solveSparse(const Cfg &G, const MarkovIntraConfig &Config,
   if (R.Stats.RepairIterations)
     obs::counterAdd("support.sparse.repairs",
                     static_cast<double>(R.Stats.RepairIterations));
+  obs::gaugeMax("support.sparse.dim.high_water", static_cast<double>(N));
+  if (R.Stats.DenseDim)
+    obs::gaugeMax("support.sparse.dense_dim.high_water",
+                  static_cast<double>(R.Stats.DenseDim));
+  if (R.Stats.MaxSccSize)
+    obs::gaugeMax("support.sparse.max_scc.high_water",
+                  static_cast<double>(R.Stats.MaxSccSize));
+
+  // Provenance: which block cycles needed singular-repair scaling. The
+  // repaired component is named by its smallest block id, which is a
+  // real block of this function's CFG.
+  if (!R.Stats.Repairs.empty() && obs::eventLogActive()) {
+    std::string Fn =
+        G.function() ? std::string(G.function()->name()) : "<cfg>";
+    for (const SparseSccRepair &Rep : R.Stats.Repairs)
+      obs::logEvent("solver.scc.repair", obs::provBlock(Fn, Rep.Node),
+                    {obs::attr("scope", "intra"), obs::attr("function", Fn),
+                     obs::attr("size", static_cast<double>(Rep.Size)),
+                     obs::attr("iterations",
+                               static_cast<double>(Rep.Iterations))});
+  }
 
   Result.Repaired = R.Stats.Repaired;
   if (!R.Frequencies) {

@@ -6,6 +6,7 @@
 
 #include "estimators/Pipeline.h"
 
+#include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 
 #include <atomic>
@@ -65,39 +66,30 @@ IntraEstimates sest::computeIntraEstimates(const TranslationUnit &Unit,
   }
 
   // Functions are independent: fan them over a worker pool. Each task
-  // collects into a private telemetry context; contexts are merged into
-  // the ambient one in function order, so counters, histograms, and the
-  // phase tree are identical to a serial run whatever the job count.
-  // With no ambient context the serial path's telemetry calls are
-  // no-ops; skip the private contexts too so parallelism stays free.
-  obs::Telemetry *Ambient = obs::Telemetry::active();
-  std::vector<std::unique_ptr<obs::Telemetry>> Tele(All.size());
+  // collects into private contexts (telemetry on a per-worker trace
+  // track, plus the decision log); contexts are merged into the ambient
+  // ones in function order, so counters, histograms, logged events, and
+  // the phase tree are identical to a serial run whatever the job
+  // count. With no ambient context TaskCapture skips the private
+  // contexts so parallelism stays free.
+  obs::TaskCapture Cap;
+  std::vector<obs::TaskCapture::Slot> Slots(All.size());
   std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    for (size_t I; (I = Next.fetch_add(1)) < All.size();) {
-      if (!Ambient) {
-        EstimateOne(I);
-        continue;
-      }
-      auto T = std::make_unique<obs::Telemetry>();
-      T->install();
-      EstimateOne(I);
-      T->uninstall();
-      Tele[I] = std::move(T);
-    }
+  auto Worker = [&](uint32_t Track) {
+    std::string Name = "worker-" + std::to_string(Track);
+    for (size_t I; (I = Next.fetch_add(1)) < All.size();)
+      Cap.run(Slots[I], Track, Name, [&] { EstimateOne(I); });
   };
   std::vector<std::thread> Pool;
   unsigned N = static_cast<unsigned>(
       std::min<size_t>(Jobs, All.size()));
   Pool.reserve(N);
   for (unsigned I = 0; I < N; ++I)
-    Pool.emplace_back(Worker);
+    Pool.emplace_back(Worker, I + 1);
   for (std::thread &T : Pool)
     T.join();
-  if (Ambient)
-    for (const auto &T : Tele)
-      if (T)
-        Ambient->mergeFrom(*T);
+  for (obs::TaskCapture::Slot &S : Slots)
+    Cap.merge(S);
   return Out;
 }
 

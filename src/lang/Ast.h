@@ -815,6 +815,10 @@ public:
 
   uint32_t nodeCount() const { return NextNodeId; }
 
+  /// Bytes held by the node arena — the frontend's resident footprint,
+  /// surfaced as the frontend.arena.bytes.high_water gauge.
+  size_t arenaBytes() const { return NodeArena.bytesAllocated(); }
+
 private:
   Arena NodeArena;
   TypeContext Types;

@@ -1,0 +1,236 @@
+//===- obs/EventLog.h - Decision-provenance event log -----------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured decision log of the flight recorder: a flat stream of
+/// `{kind, prov, attrs}` events recording *which optimizer decision was
+/// made about which entity and why* — inline sites chosen or rejected
+/// (with the budget reason), layout chain merges, cold-outline
+/// boundaries, never-taken hints, and sparse-solver SCC repairs.
+///
+/// Two contracts distinguish this log from the trace:
+///
+///  1. *Determinism.* Events carry no wall-clock data (timestamps live
+///     only in the trace), and merges happen in task order, so the
+///     rendered JSONL (`sest-events/1`) is byte-identical across
+///     `--jobs` values and interpreter engines.
+///
+///  2. *Provenance.* Every event names its subject with a stable ID
+///     (`fn:<name>`, `blk:<function>#<block>`, `cs:<site>`) that
+///     resolves to the same entities `obs/Accuracy` scores, so a
+///     decision can be joined against the accuracy report that judged
+///     the estimate it was based on.
+///
+/// Like Telemetry, the log is an ambient per-thread context installed
+/// RAII-style; recording sites pay one thread-local load when no log is
+/// installed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OBS_EVENTLOG_H
+#define OBS_EVENTLOG_H
+
+#include "obs/Telemetry.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sest::obs {
+
+class EventLog;
+
+namespace detail {
+/// The log installed on this thread; null when decision logging is off.
+extern thread_local EventLog *ActiveLog;
+} // namespace detail
+
+/// One key/value attribute of an event (string- or number-valued).
+struct EventAttr {
+  std::string Key;
+  std::string Str;
+  double Num = 0.0;
+  bool IsNum = false;
+};
+
+inline EventAttr attr(std::string_view Key, std::string_view Value) {
+  EventAttr A;
+  A.Key = std::string(Key);
+  A.Str = std::string(Value);
+  return A;
+}
+
+inline EventAttr attr(std::string_view Key, double Value) {
+  EventAttr A;
+  A.Key = std::string(Key);
+  A.Num = Value;
+  A.IsNum = true;
+  return A;
+}
+
+/// One recorded decision event.
+struct Event {
+  std::string Kind; ///< Taxonomy name, e.g. "inline.site.selected".
+  std::string Prov; ///< Provenance ID ("fn:...", "blk:...", "cs:...").
+  std::vector<EventAttr> Attrs;
+};
+
+/// A decision-log collection context. Install one, run the pipeline,
+/// then render jsonl(). Nested installs stack like Telemetry contexts,
+/// and per-task logs merge (append, in task order) into the ambient one.
+class EventLog {
+public:
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  void install();
+  void uninstall();
+  bool installed() const { return Installed; }
+
+  /// The log currently collecting on this thread (null = off).
+  static EventLog *active() { return detail::ActiveLog; }
+
+  void emit(Event E) { Events_.push_back(std::move(E)); }
+
+  /// Appends everything \p Other recorded. Call in deterministic task
+  /// order so the stream stays byte-stable across --jobs values.
+  void mergeFrom(const EventLog &Other) {
+    Events_.insert(Events_.end(), Other.Events_.begin(),
+                   Other.Events_.end());
+  }
+
+  const std::vector<Event> &events() const { return Events_; }
+
+  /// The `sest-events/1` document: a schema header line followed by one
+  /// JSON object per event. Contains no wall-clock data by design.
+  std::string jsonl() const;
+
+private:
+  std::vector<Event> Events_;
+  EventLog *Previous = nullptr;
+  bool Installed = false;
+};
+
+/// True when a log is collecting on this thread — use to guard sites
+/// whose attribute setup is costly.
+inline bool eventLogActive() {
+#ifndef SEST_OBS_DISABLED
+  return detail::ActiveLog != nullptr;
+#else
+  return false;
+#endif
+}
+
+/// Records one event into the ambient log, if any.
+inline void logEvent(std::string_view Kind, std::string Prov,
+                     std::vector<EventAttr> Attrs = {}) {
+#ifndef SEST_OBS_DISABLED
+  if (EventLog *L = detail::ActiveLog) {
+    Event E;
+    E.Kind = std::string(Kind);
+    E.Prov = std::move(Prov);
+    E.Attrs = std::move(Attrs);
+    L->emit(std::move(E));
+  }
+#else
+  (void)Kind;
+  (void)Prov;
+  (void)Attrs;
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance IDs — must stay in sync with the entity naming used by
+// obs/Accuracy (EntityDivergence Function/EntityId/Label fields).
+//===----------------------------------------------------------------------===//
+
+inline std::string provFunction(std::string_view Function) {
+  return "fn:" + std::string(Function);
+}
+
+inline std::string provBlock(std::string_view Function, uint32_t Block) {
+  return "blk:" + std::string(Function) + "#" + std::to_string(Block);
+}
+
+inline std::string provCallSite(uint32_t SiteId) {
+  return "cs:" + std::to_string(SiteId);
+}
+
+inline std::string provProgram(std::string_view Program) {
+  return "prog:" + std::string(Program);
+}
+
+//===----------------------------------------------------------------------===//
+// TaskCapture — shared worker-context plumbing for the parallel pools.
+//===----------------------------------------------------------------------===//
+
+/// Captures the ambient Telemetry and EventLog once on the spawning
+/// thread, runs each task under private per-task contexts (telemetry
+/// tagged with a per-worker track), and merges results back in task
+/// order. One helper so the suite runner, estimation pipeline, and
+/// optimizer report pools all observe identically.
+class TaskCapture {
+public:
+  TaskCapture()
+      : AmbientT(Telemetry::active()), AmbientE(EventLog::active()) {}
+
+  /// Whether any ambient context wants task-level capture at all.
+  bool wanted() const { return AmbientT || AmbientE; }
+
+  /// The private contexts of one task, merged later via merge().
+  struct Slot {
+    std::unique_ptr<Telemetry> T;
+    std::unique_ptr<EventLog> E;
+  };
+
+  /// Runs \p F under fresh contexts stored into \p S. \p Track tags the
+  /// telemetry with a worker timeline (0 keeps the main track, so the
+  /// serial path stays on a single stable track).
+  template <typename Fn>
+  void run(Slot &S, uint32_t Track, std::string_view TrackName,
+           Fn &&F) const {
+    if (!wanted()) {
+      F();
+      return;
+    }
+    if (AmbientT) {
+      S.T = std::make_unique<Telemetry>();
+      if (Track)
+        S.T->setTrack(Track, TrackName);
+      S.T->install();
+    }
+    if (AmbientE) {
+      S.E = std::make_unique<EventLog>();
+      S.E->install();
+    }
+    F();
+    if (S.E)
+      S.E->uninstall();
+    if (S.T)
+      S.T->uninstall();
+  }
+
+  /// Folds one task's contexts into the ambient ones. Call from the
+  /// spawning thread, in task order.
+  void merge(Slot &S) const {
+    if (AmbientT && S.T)
+      AmbientT->mergeFrom(*S.T);
+    if (AmbientE && S.E)
+      AmbientE->mergeFrom(*S.E);
+  }
+
+private:
+  Telemetry *AmbientT;
+  EventLog *AmbientE;
+};
+
+} // namespace sest::obs
+
+#endif // OBS_EVENTLOG_H

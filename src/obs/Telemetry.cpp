@@ -12,11 +12,64 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace sest;
 using namespace sest::obs;
 
 thread_local Telemetry *sest::obs::detail::Active = nullptr;
+
+//===----------------------------------------------------------------------===//
+// HistogramStats percentile buckets
+//===----------------------------------------------------------------------===//
+
+// 8 sub-buckets per power-of-two octave: relative bucket width ~9%, so
+// percentile estimates sit within ~4.5% of the true sample value while
+// the map stays tiny (a few dozen entries for microsecond latencies).
+static constexpr int SubBucketsPerOctave = 8;
+
+int32_t HistogramStats::bucketIndex(double Sample) {
+  if (!(Sample > 0.0) || !std::isfinite(Sample))
+    return INT32_MIN;
+  int Exp = 0;
+  double M = std::frexp(Sample, &Exp); // Sample = M * 2^Exp, M in [0.5, 1)
+  // (M - 0.5) * 16 maps [0.5, 1) exactly onto [0, 8) — the subtraction is
+  // exact (Sterbenz) and the scale is a power of two, so bucketing is
+  // bit-deterministic across platforms.
+  int Sub = static_cast<int>((M - 0.5) * (2 * SubBucketsPerOctave));
+  return static_cast<int32_t>(Exp) * SubBucketsPerOctave + Sub;
+}
+
+double HistogramStats::percentile(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Q * static_cast<double>(Count)));
+  Rank = std::max<uint64_t>(1, std::min(Rank, Count));
+  uint64_t Seen = 0;
+  for (const auto &[Index, N] : Buckets) {
+    Seen += N;
+    if (Seen < Rank)
+      continue;
+    if (Index == INT32_MIN)
+      return Min;
+    // Reconstruct the bucket bounds and answer with the midpoint.
+    int32_t Exp = Index >= 0 ? Index / SubBucketsPerOctave
+                             : -((-Index + SubBucketsPerOctave - 1) /
+                                 SubBucketsPerOctave);
+    int32_t Sub = Index - Exp * SubBucketsPerOctave;
+    double Lo = std::ldexp(0.5 + static_cast<double>(Sub) /
+                                     (2 * SubBucketsPerOctave),
+                           Exp);
+    double Hi = std::ldexp(0.5 + static_cast<double>(Sub + 1) /
+                                     (2 * SubBucketsPerOctave),
+                           Exp);
+    return std::min(std::max((Lo + Hi) / 2.0, Min), Max);
+  }
+  // Bucket totals always cover Count; reachable only on a foreign
+  // (hand-built) stats object with no buckets.
+  return Max;
+}
 
 Telemetry::Telemetry() : Epoch(std::chrono::steady_clock::now()) {
   Root.Name = "<root>";
@@ -40,6 +93,12 @@ void Telemetry::uninstall() {
   if (detail::Active == this)
     detail::Active = Previous;
   Installed = false;
+}
+
+void Telemetry::setTrack(uint32_t Id, std::string_view Name) {
+  Track = Id;
+  if (!Name.empty())
+    TrackNames[Id] = std::string(Name);
 }
 
 uint64_t Telemetry::nowUs() const {
@@ -75,7 +134,8 @@ void Telemetry::record(std::string_view Name, double Sample) {
     HistogramStats H;
     H.Count = 1;
     H.Sum = H.Min = H.Max = Sample;
-    Histograms.emplace(std::string(Name), H);
+    H.Buckets[HistogramStats::bucketIndex(Sample)] = 1;
+    Histograms.emplace(std::string(Name), std::move(H));
     return;
   }
   HistogramStats &H = It->second;
@@ -83,6 +143,7 @@ void Telemetry::record(std::string_view Name, double Sample) {
   H.Sum += Sample;
   H.Min = std::min(H.Min, Sample);
   H.Max = std::max(H.Max, Sample);
+  ++H.Buckets[HistogramStats::bucketIndex(Sample)];
 }
 
 void Telemetry::beginPhase(std::string_view Name, std::string_view Detail) {
@@ -121,6 +182,7 @@ void Telemetry::endPhase() {
   E.StartUs = P.StartUs;
   E.DurUs = Dur;
   E.Depth = static_cast<unsigned>(Open.size());
+  E.Track = Track;
   Events.push_back(std::move(E));
 }
 
@@ -168,7 +230,13 @@ void Telemetry::mergeFrom(const Telemetry &Other) {
     D.Sum += H.Sum;
     D.Min = std::min(D.Min, H.Min);
     D.Max = std::max(D.Max, H.Max);
+    for (const auto &[Index, N] : H.Buckets)
+      D.Buckets[Index] += N;
   }
+  // Track labels union; events below keep their originating track, so
+  // per-worker timelines survive the merge into the ambient context.
+  for (const auto &[Id, Name] : Other.TrackNames)
+    TrackNames.emplace(Id, Name);
 
   // Graft the phase tree under the innermost open phase so merged work
   // nests where the merge happens (e.g. per-run contexts under
@@ -210,12 +278,36 @@ std::string Telemetry::traceJson() const {
       .member("name", "process_name")
       .member("ph", "M")
       .member("pid", int64_t{1})
-      .member("tid", int64_t{1})
       .key("args")
       .beginObject()
       .member("name", "sest")
       .endObject()
       .endObject();
+
+  // One thread-name metadata event per track in use (tid = track + 1,
+  // so the main track renders as tid 1). Serial runs only ever touch
+  // track 0 and keep a single stable timeline.
+  std::map<uint32_t, std::string> Tracks;
+  Tracks.emplace(Track, std::string());
+  for (const TraceEvent &E : Events)
+    Tracks.emplace(E.Track, std::string());
+  for (auto &[Id, Name] : Tracks) {
+    auto It = TrackNames.find(Id);
+    if (It != TrackNames.end())
+      Name = It->second;
+    else
+      Name = Id == 0 ? "main" : "worker-" + std::to_string(Id);
+    W.beginObject()
+        .member("name", "thread_name")
+        .member("ph", "M")
+        .member("pid", int64_t{1})
+        .member("tid", static_cast<int64_t>(Id) + 1)
+        .key("args")
+        .beginObject()
+        .member("name", Name)
+        .endObject()
+        .endObject();
+  }
 
   for (const TraceEvent &E : Events) {
     W.beginObject()
@@ -225,7 +317,7 @@ std::string Telemetry::traceJson() const {
         .member("ts", static_cast<uint64_t>(E.StartUs))
         .member("dur", static_cast<uint64_t>(E.DurUs))
         .member("pid", int64_t{1})
-        .member("tid", int64_t{1});
+        .member("tid", static_cast<int64_t>(E.Track) + 1);
     if (!E.Detail.empty())
       W.key("args").beginObject().member("detail", E.Detail).endObject();
     W.endObject();
@@ -258,15 +350,21 @@ std::string Telemetry::traceJson() const {
 
 std::string Telemetry::statsTable() const {
   TextTable T;
-  T.setHeader({"Name", "Kind", "Value", "N", "Min", "Mean", "Max"});
+  T.setHeader(
+      {"Name", "Kind", "Value", "N", "Min", "Mean", "P50", "P90", "P99",
+       "Max"});
   for (const auto &[Name, Value] : Counters)
-    T.addRow({Name, "counter", formatDouble(Value, 0), "", "", "", ""});
+    T.addRow({Name, "counter", formatDouble(Value, 0), "", "", "", "", "",
+              "", ""});
   for (const auto &[Name, Value] : Gauges)
-    T.addRow({Name, "gauge", formatDouble(Value, 0), "", "", "", ""});
+    T.addRow({Name, "gauge", formatDouble(Value, 0), "", "", "", "", "",
+              "", ""});
   for (const auto &[Name, H] : Histograms)
     T.addRow({Name, "hist", formatDouble(H.Sum, 2),
               std::to_string(H.Count), formatDouble(H.Min, 3),
-              formatDouble(H.mean(), 3), formatDouble(H.Max, 3)});
+              formatDouble(H.mean(), 3), formatDouble(H.p50(), 3),
+              formatDouble(H.p90(), 3), formatDouble(H.p99(), 3),
+              formatDouble(H.Max, 3)});
   return T.str();
 }
 
@@ -336,6 +434,9 @@ void Telemetry::writeReport(JsonWriter &W) const {
         .member("sum", H.Sum)
         .member("min", H.Min)
         .member("mean", H.mean())
+        .member("p50", H.p50())
+        .member("p90", H.p90())
+        .member("p99", H.p99())
         .member("max", H.Max);
     W.endObject();
   }

@@ -58,14 +58,36 @@ extern thread_local Telemetry *Active;
 } // namespace detail
 
 /// Aggregated statistics of one histogram.
+///
+/// Alongside count/sum/min/max the histogram keeps a sparse log-scale
+/// bucket map (8 sub-buckets per octave, exact bucketing via frexp) so
+/// percentiles can be estimated without retaining samples. Bucketing is
+/// fully deterministic, and bucket maps merge additively, so percentile
+/// estimates are identical no matter how samples were partitioned across
+/// merged contexts.
 struct HistogramStats {
   uint64_t Count = 0;
   double Sum = 0.0;
   double Min = 0.0;
   double Max = 0.0;
+  /// Sample counts per log-scale bucket; key INT32_MIN collects
+  /// non-positive (and non-finite) samples.
+  std::map<int32_t, uint64_t> Buckets;
+
   double mean() const {
     return Count ? Sum / static_cast<double>(Count) : 0.0;
   }
+
+  /// Estimated value at quantile \p Q in (0, 1]: the midpoint of the
+  /// bucket holding the ceil(Q*Count)-th smallest sample, clamped to
+  /// [Min, Max] so the extremes stay exact.
+  double percentile(double Q) const;
+  double p50() const { return percentile(0.50); }
+  double p90() const { return percentile(0.90); }
+  double p99() const { return percentile(0.99); }
+
+  /// The bucket index of \p Sample (INT32_MIN for Sample <= 0).
+  static int32_t bucketIndex(double Sample);
 };
 
 /// One completed trace span.
@@ -74,7 +96,8 @@ struct TraceEvent {
   std::string Detail; ///< Optional argument (e.g. function name).
   uint64_t StartUs = 0;
   uint64_t DurUs = 0;
-  unsigned Depth = 0; ///< Nesting depth at begin (0 = top level).
+  unsigned Depth = 0;  ///< Nesting depth at begin (0 = top level).
+  uint32_t Track = 0;  ///< Timeline track (0 = main; workers are 1-based).
 };
 
 /// One node of the hierarchical phase-time summary.
@@ -108,6 +131,17 @@ public:
 
   /// The context currently collecting on this thread (null = off).
   static Telemetry *active() { return detail::Active; }
+
+  /// Assigns every span this context records to trace track \p Id
+  /// (0 = the main track). Per-task contexts in the parallel pools set
+  /// a 1-based worker track before running so merged traces keep one
+  /// timeline per worker; \p Name labels the track in trace viewers.
+  void setTrack(uint32_t Id, std::string_view Name = {});
+  uint32_t track() const { return Track; }
+  /// Track labels known to this context (unioned by mergeFrom()).
+  const std::map<uint32_t, std::string> &trackNames() const {
+    return TrackNames;
+  }
 
   //===--------------------------------------------------------------------===//
   // Recording (normally reached via the free functions below)
@@ -181,6 +215,8 @@ private:
   };
 
   std::chrono::steady_clock::time_point Epoch;
+  uint32_t Track = 0;
+  std::map<uint32_t, std::string> TrackNames;
   std::map<std::string, double, std::less<>> Counters;
   std::map<std::string, double, std::less<>> Gauges;
   std::map<std::string, HistogramStats, std::less<>> Histograms;

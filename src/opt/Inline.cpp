@@ -6,6 +6,7 @@
 
 #include "opt/Inline.h"
 
+#include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 
 #include <cstdio>
@@ -424,32 +425,65 @@ InlinePlan sest::opt::planInlining(const TranslationUnit &Unit,
                                    const InlineOptions &Options) {
   obs::ScopedPhase Phase("opt.inline.plan");
   (void)Unit;
+  const bool Log = obs::eventLogActive();
   InlinePlan Plan;
   std::set<const FunctionDecl *> Mutated;
   size_t Growth = 0;
+  uint32_t Rank = 0;
+  // Decision provenance: every ranked site produces exactly one
+  // selected/rejected event with the first reason that disqualified it,
+  // in rank order — the log reads as the budget walk itself.
+  auto LogReject = [&](const RankedCallSite &R, std::string_view Reason) {
+    if (Log)
+      obs::logEvent(
+          "inline.site.rejected", obs::provCallSite(R.Site->CallSiteId),
+          {obs::attr("caller", R.Site->Caller->name()),
+           obs::attr("callee",
+                     R.Site->Callee ? R.Site->Callee->name() : "<indirect>"),
+           obs::attr("origin", W.Origin), obs::attr("reason", Reason),
+           obs::attr("weight", R.Weight),
+           obs::attr("rank", static_cast<double>(Rank))});
+  };
   for (const RankedCallSite &R : rankCallSites(CG, W)) {
-    if (Plan.Sites.size() >= Options.TopK)
+    ++Rank;
+    if (Plan.Sites.size() >= Options.TopK) {
+      LogReject(R, "top-k-budget");
       break;
-    if (R.Weight <= 0)
+    }
+    if (R.Weight <= 0) {
+      LogReject(R, "cold");
       break; // Sorted descending: everything after is cold too.
+    }
     const CallSiteInfo *S = R.Site;
     const FunctionDecl *Callee = S->Callee;
-    if (!Callee || !Callee->isDefined() || Callee->isBuiltin())
+    if (!Callee || !Callee->isDefined() || Callee->isBuiltin()) {
+      LogReject(R, "callee-undefined-or-builtin");
       continue;
-    if (Callee == S->Caller || Callee->name() == "main")
+    }
+    if (Callee == S->Caller || Callee->name() == "main") {
+      LogReject(R, "recursive-or-main");
       continue;
+    }
     // A callee whose own CFG was mutated (as a caller) would clone its
     // inlined regions too; keep every clone pristine so the profile
     // map-back stays a direct fold.
-    if (Mutated.count(Callee))
+    if (Mutated.count(Callee)) {
+      LogReject(R, "callee-mutated");
       continue;
+    }
     const Cfg *CalleeG = Cfgs.cfg(Callee);
-    if (!CalleeG || !Cfgs.cfg(S->Caller))
+    if (!CalleeG || !Cfgs.cfg(S->Caller)) {
+      LogReject(R, "no-cfg");
       continue;
-    if (CalleeG->size() > Options.MaxCalleeBlocks)
+    }
+    if (CalleeG->size() > Options.MaxCalleeBlocks) {
+      LogReject(R, "callee-too-large");
       continue;
-    if (!scalarOnlySignature(Callee))
+    }
+    if (!scalarOnlySignature(Callee)) {
+      LogReject(R, "non-scalar-signature");
       continue;
+    }
     const VarDecl *Lhs = nullptr;
     SiteForm Form = SiteForm::None;
     for (const CfgAction &A : S->Block->actions()) {
@@ -457,13 +491,26 @@ InlinePlan sest::opt::planInlining(const TranslationUnit &Unit,
       if (Form != SiteForm::None)
         break;
     }
-    if (Form == SiteForm::None)
+    if (Form == SiteForm::None) {
+      LogReject(R, "not-statement-form");
       continue;
+    }
     size_t Cost = CalleeG->size() + 1;
-    if (Growth + Cost > Options.MaxTotalGrowthBlocks)
+    if (Growth + Cost > Options.MaxTotalGrowthBlocks) {
+      LogReject(R, "growth-budget");
       continue;
+    }
     Growth += Cost;
     Mutated.insert(S->Caller);
+    if (Log)
+      obs::logEvent("inline.site.selected",
+                    obs::provCallSite(S->CallSiteId),
+                    {obs::attr("caller", S->Caller->name()),
+                     obs::attr("callee", Callee->name()),
+                     obs::attr("origin", W.Origin),
+                     obs::attr("weight", R.Weight),
+                     obs::attr("rank", static_cast<double>(Rank)),
+                     obs::attr("cost_blocks", static_cast<double>(Cost))});
     Plan.Sites.push_back({S->CallSiteId, S->Site, S->Caller, Callee,
                           R.Weight});
   }

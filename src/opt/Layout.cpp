@@ -6,6 +6,7 @@
 
 #include "opt/Layout.h"
 
+#include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 
 #include <algorithm>
@@ -32,8 +33,9 @@ struct ChainArc {
 };
 
 FunctionLayout layoutFunction(const Cfg &G, uint32_t Fid,
-                              const WeightSource &W,
+                              std::string_view Fn, const WeightSource &W,
                               const LayoutOptions &Options) {
+  const bool Log = obs::eventLogActive();
   FunctionLayout L;
   const uint32_t N = static_cast<uint32_t>(G.size());
   const uint32_t EntryId = G.entry()->id();
@@ -74,6 +76,13 @@ FunctionLayout layoutFunction(const Cfg &G, uint32_t Fid,
     if (CS == CD || Chains[CS].back() != A.Src ||
         Chains[CD].front() != A.Dst)
       continue;
+    if (Log)
+      obs::logEvent("layout.chain.merge", obs::provBlock(Fn, A.Src),
+                    {obs::attr("function", Fn),
+                     obs::attr("origin", W.Origin),
+                     obs::attr("to", static_cast<double>(A.Dst)),
+                     obs::attr("slot", static_cast<double>(A.Slot)),
+                     obs::attr("weight", A.Weight)});
     for (uint32_t B : Chains[CD]) {
       Chains[CS].push_back(B);
       ChainOf[B] = CS;
@@ -133,6 +142,14 @@ FunctionLayout layoutFunction(const Cfg &G, uint32_t Fid,
       L.Order.push_back(B);
   if (Cold.empty())
     L.FirstColdPos = static_cast<uint32_t>(L.Order.size());
+  else if (Log)
+    obs::logEvent(
+        "layout.cold.boundary",
+        obs::provBlock(Fn, L.Order[L.FirstColdPos]),
+        {obs::attr("function", Fn), obs::attr("origin", W.Origin),
+         obs::attr("position", static_cast<double>(L.FirstColdPos)),
+         obs::attr("outlined_blocks",
+                   static_cast<double>(N - L.FirstColdPos))});
 
   L.NumChains = static_cast<uint32_t>(1 + Hot.size() + Cold.size());
   L.Pos.resize(N);
@@ -153,7 +170,7 @@ ProgramLayout sest::opt::computeBlockLayout(const TranslationUnit &Unit,
   uint64_t Reordered = 0;
   for (const auto &[F, G] : Cfgs.all()) {
     FunctionLayout &L = PL.Functions[F->functionId()];
-    L = layoutFunction(*G, F->functionId(), W, Options);
+    L = layoutFunction(*G, F->functionId(), F->name(), W, Options);
     if (!L.isIdentity())
       ++Reordered;
   }
@@ -185,6 +202,7 @@ BranchHints sest::opt::computeBranchHints(const TranslationUnit &Unit,
                                           const CfgModule &Cfgs,
                                           const WeightSource &W) {
   obs::ScopedPhase Phase("opt.branch_hints");
+  const bool Log = obs::eventLogActive();
   BranchHints H;
   H.PredictedSlot.resize(Unit.Functions.size());
   for (const auto &[F, G] : Cfgs.all()) {
@@ -208,8 +226,15 @@ BranchHints sest::opt::computeBranchHints(const TranslationUnit &Unit,
       Row[B->id()] = static_cast<int>(Best);
       if (W.blockWeight(Fid, B->id()) > 0)
         for (uint32_t S = 0; S < Succs.size(); ++S)
-          if (W.arcWeight(Fid, B->id(), S) <= 0)
+          if (W.arcWeight(Fid, B->id(), S) <= 0) {
             H.NeverTaken.push_back({Fid, B->id(), S});
+            if (Log)
+              obs::logEvent("layout.hint.never_taken",
+                            obs::provBlock(F->name(), B->id()),
+                            {obs::attr("function", F->name()),
+                             obs::attr("origin", W.Origin),
+                             obs::attr("slot", static_cast<double>(S))});
+          }
     }
   }
   obs::counterAdd("opt.hints.never_taken_arcs", H.NeverTaken.size());

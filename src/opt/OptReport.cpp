@@ -6,6 +6,7 @@
 
 #include "opt/OptReport.h"
 
+#include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 #include "support/Json.h"
 
@@ -241,35 +242,28 @@ OptSuiteReport sest::opt::computeOptReport(
     for (size_t I = 0; I < Scored.size(); ++I)
       Report.Programs[I] = scoreProgram(*Scored[I], Options);
   } else {
-    // Per-program private telemetry merged back in program order, so
+    // Per-program private contexts (telemetry on a per-worker trace
+    // track, plus the decision log) merged back in program order, so
     // the ambient report is identical for every job count.
-    obs::Telemetry *Ambient = obs::Telemetry::active();
-    std::vector<std::unique_ptr<obs::Telemetry>> Tele(Scored.size());
+    obs::TaskCapture Cap;
+    std::vector<obs::TaskCapture::Slot> Slots(Scored.size());
     std::atomic<size_t> Next{0};
-    auto Worker = [&] {
-      for (size_t I; (I = Next.fetch_add(1)) < Scored.size();) {
-        if (!Ambient) {
+    auto Worker = [&](uint32_t Track) {
+      std::string Name = "worker-" + std::to_string(Track);
+      for (size_t I; (I = Next.fetch_add(1)) < Scored.size();)
+        Cap.run(Slots[I], Track, Name, [&] {
           Report.Programs[I] = scoreProgram(*Scored[I], Options);
-          continue;
-        }
-        auto T = std::make_unique<obs::Telemetry>();
-        T->install();
-        Report.Programs[I] = scoreProgram(*Scored[I], Options);
-        T->uninstall();
-        Tele[I] = std::move(T);
-      }
+        });
     };
     std::vector<std::thread> Pool;
     const unsigned N = std::min<size_t>(Jobs, Scored.size());
     Pool.reserve(N);
     for (unsigned I = 0; I < N; ++I)
-      Pool.emplace_back(Worker);
+      Pool.emplace_back(Worker, I + 1);
     for (std::thread &T : Pool)
       T.join();
-    if (Ambient)
-      for (const auto &T : Tele)
-        if (T)
-          Ambient->mergeFrom(*T);
+    for (obs::TaskCapture::Slot &S : Slots)
+      Cap.merge(S);
   }
 
   // Suite aggregation.

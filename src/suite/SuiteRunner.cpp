@@ -8,6 +8,7 @@
 
 #include "interp/bytecode/BytecodeCompiler.h"
 #include "interp/bytecode/BytecodeVM.h"
+#include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 #include "support/Json.h"
 
@@ -97,6 +98,8 @@ CompiledSuiteProgram sest::compileProgramOnly(const SuiteProgram &Program) {
   }
   Out.CG = std::make_unique<CallGraph>(
       CallGraph::build(Out.Ctx->unit(), *Out.Cfgs));
+  obs::gaugeMax("frontend.arena.bytes.high_water",
+                static_cast<double>(Out.Ctx->arenaBytes()));
   Out.Ok = true;
   Out.CompileMs = msSince(Start);
   return Out;
@@ -131,8 +134,9 @@ sest::compileAndProfileSuite(const InterpOptions &Options, unsigned Jobs) {
   }
 
   // Fan the (program, input) runs out over a small thread pool. Every
-  // run collects into a private Telemetry context so worker threads
-  // never touch the ambient one.
+  // run collects into private per-task contexts (TaskCapture) so worker
+  // threads never touch the ambient ones; each worker gets its own
+  // trace track so --trace shows real per-worker timelines.
   struct Task {
     size_t Prog;
     const ProgramInput *Input;
@@ -143,36 +147,50 @@ sest::compileAndProfileSuite(const InterpOptions &Options, unsigned Jobs) {
       for (const ProgramInput &Input : Out[I].Spec->Inputs)
         Tasks.push_back({I, &Input});
 
-  struct TaskResult {
-    RunOutcome O;
-    std::unique_ptr<obs::Telemetry> T;
-  };
-  std::vector<TaskResult> Results(Tasks.size());
+  std::vector<RunOutcome> Results(Tasks.size());
+  obs::TaskCapture Cap;
+  std::vector<obs::TaskCapture::Slot> Slots(Tasks.size());
 
-  auto RunTask = [&](size_t I) {
-    auto T = std::make_unique<obs::Telemetry>();
-    T->install();
-    Results[I].O = timedRun(Out[Tasks[I].Prog], *Tasks[I].Input, Options);
-    T->uninstall();
-    Results[I].T = std::move(T);
+  auto RunTask = [&](size_t I, uint32_t Track,
+                     std::string_view TrackName) {
+    Cap.run(Slots[I], Track, TrackName, [&] {
+      obs::ScopedPhase TaskPhase("suite.task",
+                                 Out[Tasks[I].Prog].Spec->Name + "/" +
+                                     Tasks[I].Input->Name);
+      Results[I] = timedRun(Out[Tasks[I].Prog], *Tasks[I].Input, Options);
+      // Worker busy time: the _us suffix marks it timing-valued, so the
+      // serial/parallel counter-equality contract skips its value.
+      obs::counterAdd("suite.pool.busy_us", Results[I].WallMs * 1000.0);
+      obs::histRecord("suite.pool.task_us", Results[I].WallMs * 1000.0);
+    });
   };
 
   if (Jobs == 0)
     Jobs = std::max(1u, std::thread::hardware_concurrency());
+  // Pool shape metrics, emitted identically by the serial and parallel
+  // paths (only the worker gauge value differs; gauges are not part of
+  // the serial/parallel equality contract).
+  obs::counterAdd("suite.pool.tasks", static_cast<double>(Tasks.size()));
+  obs::gaugeMax("suite.pool.queue_depth.high_water",
+                static_cast<double>(Tasks.size()));
   if (Jobs <= 1 || Tasks.size() <= 1) {
+    obs::gaugeMax("suite.pool.workers", 1.0);
+    // Serial: run on the spawning thread, keeping the main trace track.
     for (size_t I = 0; I < Tasks.size(); ++I)
-      RunTask(I);
+      RunTask(I, 0, {});
   } else {
+    unsigned N = std::min<size_t>(Jobs, Tasks.size());
+    obs::gaugeMax("suite.pool.workers", static_cast<double>(N));
     std::atomic<size_t> Next{0};
-    auto Worker = [&] {
+    auto Worker = [&](uint32_t Track) {
+      std::string Name = "worker-" + std::to_string(Track);
       for (size_t I; (I = Next.fetch_add(1)) < Tasks.size();)
-        RunTask(I);
+        RunTask(I, Track, Name);
     };
     std::vector<std::thread> Pool;
-    unsigned N = std::min<size_t>(Jobs, Tasks.size());
     Pool.reserve(N);
     for (unsigned I = 0; I < N; ++I)
-      Pool.emplace_back(Worker);
+      Pool.emplace_back(Worker, I + 1);
     for (std::thread &T : Pool)
       T.join();
   }
@@ -180,14 +198,12 @@ sest::compileAndProfileSuite(const InterpOptions &Options, unsigned Jobs) {
   // Fold results back in input order. A failing input ends its program
   // exactly like a serial run: later inputs' results and telemetry are
   // dropped, so the report is independent of the job count.
-  obs::Telemetry *Ambient = obs::Telemetry::active();
   for (size_t I = 0; I < Tasks.size(); ++I) {
     CompiledSuiteProgram &P = Out[Tasks[I].Prog];
     if (!P.Ok)
       continue;
-    if (Ambient && Results[I].T)
-      Ambient->mergeFrom(*Results[I].T);
-    absorbRun(P, *Tasks[I].Input, std::move(Results[I].O));
+    Cap.merge(Slots[I]);
+    absorbRun(P, *Tasks[I].Input, std::move(Results[I]));
   }
   return Out;
 }
@@ -227,37 +243,29 @@ sest::computeSuiteAccuracy(const std::vector<CompiledSuiteProgram> &Programs,
     return Reports;
   }
 
-  // Per-program private telemetry, merged back in program order: the
-  // report (and any embedded telemetry) is identical for every Jobs.
-  // With no ambient context telemetry is off; skip the private
-  // contexts so parallelism costs nothing extra.
-  obs::Telemetry *Ambient = obs::Telemetry::active();
-  std::vector<std::unique_ptr<obs::Telemetry>> Tele(Scored.size());
+  // Per-program private contexts (telemetry on a per-worker trace
+  // track, plus the decision log), merged back in program order: the
+  // report (and any embedded telemetry or logged decisions) is
+  // identical for every Jobs. With no ambient context TaskCapture
+  // skips the private contexts so parallelism costs nothing extra.
+  obs::TaskCapture Cap;
+  std::vector<obs::TaskCapture::Slot> Slots(Scored.size());
   std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    for (size_t I; (I = Next.fetch_add(1)) < Scored.size();) {
-      if (!Ambient) {
-        Reports[I] = ScoreOne(*Scored[I]);
-        continue;
-      }
-      auto T = std::make_unique<obs::Telemetry>();
-      T->install();
-      Reports[I] = ScoreOne(*Scored[I]);
-      T->uninstall();
-      Tele[I] = std::move(T);
-    }
+  auto Worker = [&](uint32_t Track) {
+    std::string Name = "worker-" + std::to_string(Track);
+    for (size_t I; (I = Next.fetch_add(1)) < Scored.size();)
+      Cap.run(Slots[I], Track, Name,
+              [&] { Reports[I] = ScoreOne(*Scored[I]); });
   };
   std::vector<std::thread> Pool;
   unsigned N = std::min<size_t>(Jobs, Scored.size());
   Pool.reserve(N);
   for (unsigned I = 0; I < N; ++I)
-    Pool.emplace_back(Worker);
+    Pool.emplace_back(Worker, I + 1);
   for (std::thread &T : Pool)
     T.join();
-  if (Ambient)
-    for (const auto &T : Tele)
-      if (T)
-        Ambient->mergeFrom(*T);
+  for (obs::TaskCapture::Slot &S : Slots)
+    Cap.merge(S);
   return Reports;
 }
 
@@ -285,7 +293,7 @@ sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
 
   JsonWriter W;
   W.beginObject();
-  W.member("schema", "sest-suite-report/3");
+  W.member("schema", "sest-suite-report/4");
   W.member("engine",
            Engine == InterpEngine::Bytecode ? "bytecode" : "ast");
 

@@ -9,6 +9,7 @@
 #include "support/LinearSystem.h"
 #include "support/Scc.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -108,6 +109,8 @@ sest::solveSparseMarkov(size_t NumNodes, const std::vector<SparseArc> &Arcs,
 
     ++Result.Stats.CyclicSccCount;
     Result.Stats.DenseDim += K;
+    uint32_t MinNode = static_cast<uint32_t>(
+        *std::min_element(Members.begin(), Members.end()));
 
     for (unsigned Attempt = 0;; ++Attempt) {
       Matrix A(K, K);
@@ -128,11 +131,16 @@ sest::solveSparseMarkov(size_t NumNodes, const std::vector<SparseArc> &Arcs,
       if (Ok) {
         for (size_t I = 0; I < K; ++I)
           F[Members[I]] = (*S.Solution)[I];
+        if (Attempt > 0)
+          Result.Stats.Repairs.push_back(
+              {MinNode, static_cast<uint32_t>(K), Attempt});
         break;
       }
       if (Attempt >= Config.MaxRepairIterations) {
         // Unrepairable probability-1 cycle (or repair disabled): report
         // singular like the dense solver would for the whole system.
+        Result.Stats.Repairs.push_back(
+            {MinNode, static_cast<uint32_t>(K), Attempt + 1});
         Result.Frequencies = std::nullopt;
         return Result;
       }

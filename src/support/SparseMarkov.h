@@ -74,6 +74,17 @@ struct SparseMarkovConfig {
   double ValueCeiling = 1e15;
 };
 
+/// One cyclic component that needed singular-repair scaling, for the
+/// decision log: which component (identified by its smallest member
+/// node id), how big it was, and how many scalings it took. A component
+/// whose repair budget was exhausted reports Iterations one past the
+/// budget.
+struct SparseSccRepair {
+  uint32_t Node = 0;       ///< Smallest node id in the component.
+  uint32_t Size = 0;       ///< Component size (number of nodes).
+  uint32_t Iterations = 0; ///< Repair scalings applied.
+};
+
 /// What the solve did — recorded as telemetry by the estimator call
 /// sites (support stays dependency-free, like LinearSystem).
 struct SparseMarkovStats {
@@ -83,6 +94,9 @@ struct SparseMarkovStats {
   size_t DenseDim = 0;       ///< Total rows across all dense subsolves.
   unsigned RepairIterations = 0; ///< Per-component repair re-solves.
   bool Repaired = false;     ///< Any component needed repair scaling.
+  /// Components that needed repair, in solve (reverse topological)
+  /// order — the provenance records behind Repaired/RepairIterations.
+  std::vector<SparseSccRepair> Repairs;
 };
 
 /// Result of a sparse Markov solve.

@@ -14,6 +14,7 @@
 
 #include "TestUtil.h"
 
+#include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 #include "support/Json.h"
 
@@ -470,6 +471,348 @@ TEST(Telemetry, TripleNestedInstallOrdering) {
   B.mergeFrom(C);
   A.mergeFrom(B);
   EXPECT_EQ(A.counters().at("depth"), 122.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram percentiles
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, HistogramPercentilesFromBuckets) {
+  obs::Telemetry T;
+  T.install();
+  for (int I = 1; I <= 100; ++I)
+    obs::histRecord("h", static_cast<double>(I));
+  T.uninstall();
+
+  const obs::HistogramStats &H = T.histograms().at("h");
+  // Bucket boundaries are powers of two split 8 ways, so the expected
+  // midpoints are exact: rank 50 lands in [48,52) -> 50, rank 90 in
+  // [88,96) -> 92, rank 99 in [96,104) -> 100 after the Max clamp.
+  EXPECT_EQ(H.p50(), 50.0);
+  EXPECT_EQ(H.p90(), 92.0);
+  EXPECT_EQ(H.p99(), 100.0);
+  // Percentiles never escape the observed range.
+  EXPECT_EQ(H.percentile(0.0), H.percentile(0.01));
+  EXPECT_LE(H.percentile(1.0), H.Max);
+  EXPECT_GE(H.percentile(0.01), H.Min);
+}
+
+TEST(Telemetry, HistogramPercentileDegenerateCases) {
+  obs::HistogramStats Empty;
+  EXPECT_EQ(Empty.percentile(0.5), 0.0);
+
+  // All-identical samples: every percentile is that value (the bucket
+  // midpoint clamps to [Min, Max]).
+  obs::Telemetry T;
+  T.install();
+  for (int I = 0; I < 5; ++I)
+    obs::histRecord("same", 7.0);
+  // Non-positive samples share the underflow bucket and report Min.
+  obs::histRecord("neg", -5.0);
+  obs::histRecord("neg", -1.0);
+  obs::histRecord("neg", 3.0);
+  T.uninstall();
+  const obs::HistogramStats &Same = T.histograms().at("same");
+  EXPECT_EQ(Same.p50(), 7.0);
+  EXPECT_EQ(Same.p99(), 7.0);
+  const obs::HistogramStats &Neg = T.histograms().at("neg");
+  EXPECT_EQ(Neg.percentile(0.5), -5.0);
+
+  // The bucket index itself: monotone in the sample, underflow for
+  // non-positive/non-finite input.
+  EXPECT_EQ(obs::HistogramStats::bucketIndex(0.0), INT32_MIN);
+  EXPECT_EQ(obs::HistogramStats::bucketIndex(-1.0), INT32_MIN);
+  EXPECT_LT(obs::HistogramStats::bucketIndex(1.0),
+            obs::HistogramStats::bucketIndex(2.0));
+  EXPECT_LT(obs::HistogramStats::bucketIndex(0.001),
+            obs::HistogramStats::bucketIndex(0.002));
+}
+
+TEST(Telemetry, HistogramPercentilesMergeAdditively) {
+  // Percentiles of merged halves must match the combined distribution:
+  // the bucket maps are additive, so partitioning the samples across
+  // workers (the parallel suite) cannot move the percentile estimates.
+  obs::Telemetry Combined, A, B;
+  Combined.install();
+  for (int I = 1; I <= 100; ++I)
+    obs::histRecord("h", static_cast<double>(I));
+  Combined.uninstall();
+  A.install();
+  for (int I = 1; I <= 50; ++I)
+    obs::histRecord("h", static_cast<double>(I));
+  A.uninstall();
+  B.install();
+  for (int I = 51; I <= 100; ++I)
+    obs::histRecord("h", static_cast<double>(I));
+  B.uninstall();
+
+  A.mergeFrom(B);
+  const obs::HistogramStats &Whole = Combined.histograms().at("h");
+  const obs::HistogramStats &Merged = A.histograms().at("h");
+  EXPECT_EQ(Merged.Count, Whole.Count);
+  EXPECT_EQ(Merged.p50(), Whole.p50());
+  EXPECT_EQ(Merged.p90(), Whole.p90());
+  EXPECT_EQ(Merged.p99(), Whole.p99());
+}
+
+TEST(Telemetry, StatsTableAndReportCarryPercentiles) {
+  obs::Telemetry T;
+  T.install();
+  for (int I = 1; I <= 10; ++I)
+    obs::histRecord("h", static_cast<double>(I));
+  T.uninstall();
+
+  std::string Table = T.statsTable();
+  EXPECT_NE(Table.find("P50"), std::string::npos);
+  EXPECT_NE(Table.find("P90"), std::string::npos);
+  EXPECT_NE(Table.find("P99"), std::string::npos);
+
+  JsonWriter W;
+  T.writeReport(W);
+  auto V = parseJson(W.str());
+  ASSERT_TRUE(V.has_value()) << W.str();
+  const JsonValue *H = V->find("histograms")->find("h");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->numberOr("p50", -1), T.histograms().at("h").p50());
+  EXPECT_EQ(H->numberOr("p90", -1), T.histograms().at("h").p90());
+  EXPECT_EQ(H->numberOr("p99", -1), T.histograms().at("h").p99());
+}
+
+//===----------------------------------------------------------------------===//
+// Trace tracks (per-worker timelines)
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, TraceJsonEmitsPerTrackThreads) {
+  // A worker context tagged with a track renders its spans on a
+  // distinct tid (track + 1) with a thread_name metadata record, so the
+  // trace viewer shows real per-worker timelines.
+  obs::Telemetry Main, Worker;
+  Worker.setTrack(2, "worker-2");
+  Worker.install();
+  { obs::ScopedPhase P("task.on.worker"); }
+  Worker.uninstall();
+  Main.install();
+  { obs::ScopedPhase P("task.on.main"); }
+  Main.uninstall();
+  Main.mergeFrom(Worker);
+
+  auto V = parseJson(Main.traceJson());
+  ASSERT_TRUE(V.has_value()) << Main.traceJson();
+  const JsonValue *Events = V->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+
+  std::map<double, std::string> ThreadNames; // tid -> name
+  std::map<std::string, double> SpanTids;    // span name -> tid
+  for (const JsonValue &E : Events->Items) {
+    const std::string &Ph = E.find("ph")->StringVal;
+    if (Ph == "M" && E.find("name")->StringVal == "thread_name")
+      ThreadNames[E.numberOr("tid", -1)] =
+          E.find("args")->find("name")->StringVal;
+    else if (Ph == "X")
+      SpanTids[E.find("name")->StringVal] = E.numberOr("tid", -1);
+  }
+  // Main's span sits on tid 1 ("main"), the worker's on tid 3.
+  EXPECT_EQ(SpanTids.at("task.on.main"), 1.0);
+  EXPECT_EQ(SpanTids.at("task.on.worker"), 3.0);
+  EXPECT_EQ(ThreadNames.at(1.0), "main");
+  EXPECT_EQ(ThreadNames.at(3.0), "worker-2");
+}
+
+TEST(Telemetry, MergePreservesEventTracksAndNames) {
+  obs::Telemetry Dst, Src;
+  Src.setTrack(5, "worker-5");
+  Src.install();
+  { obs::ScopedPhase P("remote"); }
+  Src.uninstall();
+
+  Dst.install();
+  Dst.mergeFrom(Src);
+  Dst.uninstall();
+
+  bool Found = false;
+  for (const obs::TraceEvent &E : Dst.events())
+    if (E.Name == "remote") {
+      Found = true;
+      EXPECT_EQ(E.Track, 5u);
+    }
+  EXPECT_TRUE(Found);
+  ASSERT_EQ(Dst.trackNames().count(5), 1u);
+  EXPECT_EQ(Dst.trackNames().at(5), "worker-5");
+  // The destination itself still records on the main track.
+  EXPECT_EQ(Dst.track(), 0u);
+}
+
+TEST(Telemetry, SerialEventsStayOnSingleTrack) {
+  obs::Telemetry T;
+  T.install();
+  { obs::ScopedPhase A("one"); }
+  { obs::ScopedPhase B("two"); }
+  T.uninstall();
+  for (const obs::TraceEvent &E : T.events())
+    EXPECT_EQ(E.Track, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// EventLog (decision-provenance flight recorder)
+//===----------------------------------------------------------------------===//
+
+TEST(EventLog, ProvenanceIdFormats) {
+  EXPECT_EQ(obs::provFunction("main"), "fn:main");
+  EXPECT_EQ(obs::provBlock("main", 3), "blk:main#3");
+  EXPECT_EQ(obs::provCallSite(17), "cs:17");
+  EXPECT_EQ(obs::provProgram("wc"), "prog:wc");
+}
+
+TEST(EventLog, NothingRecordedWithoutInstall) {
+  obs::EventLog L;
+  EXPECT_FALSE(obs::eventLogActive());
+  obs::logEvent("dropped", obs::provFunction("f"));
+  EXPECT_TRUE(L.events().empty());
+}
+
+TEST(EventLog, InstallsStackAndCollect) {
+  obs::EventLog Outer, Inner;
+  Outer.install();
+  obs::logEvent("k.outer", obs::provFunction("a"));
+  Inner.install();
+  EXPECT_EQ(obs::EventLog::active(), &Inner);
+  obs::logEvent("k.inner", obs::provFunction("b"));
+  Inner.uninstall();
+  obs::logEvent("k.outer2", obs::provFunction("c"));
+  Outer.uninstall();
+  EXPECT_FALSE(obs::eventLogActive());
+
+  ASSERT_EQ(Outer.events().size(), 2u);
+  EXPECT_EQ(Outer.events()[0].Kind, "k.outer");
+  EXPECT_EQ(Outer.events()[1].Kind, "k.outer2");
+  ASSERT_EQ(Inner.events().size(), 1u);
+  EXPECT_EQ(Inner.events()[0].Prov, "fn:b");
+}
+
+TEST(EventLog, MergeAppendsInCallOrder) {
+  obs::EventLog Dst, T1, T2;
+  T1.install();
+  obs::logEvent("first", obs::provFunction("x"));
+  T1.uninstall();
+  T2.install();
+  obs::logEvent("second", obs::provFunction("y"));
+  T2.uninstall();
+  Dst.install();
+  obs::logEvent("zeroth", obs::provFunction("z"));
+  Dst.uninstall();
+
+  // Task-order merges define the deterministic stream order.
+  Dst.mergeFrom(T1);
+  Dst.mergeFrom(T2);
+  ASSERT_EQ(Dst.events().size(), 3u);
+  EXPECT_EQ(Dst.events()[0].Kind, "zeroth");
+  EXPECT_EQ(Dst.events()[1].Kind, "first");
+  EXPECT_EQ(Dst.events()[2].Kind, "second");
+  // Sources are not consumed.
+  EXPECT_EQ(T1.events().size(), 1u);
+}
+
+TEST(EventLog, JsonlHeaderAndRecordsParse) {
+  obs::EventLog L;
+  L.install();
+  obs::logEvent("inline.site.selected", obs::provCallSite(4),
+                {obs::attr("caller", "main"), obs::attr("weight", 12.5)});
+  obs::logEvent("layout.cold.boundary", obs::provBlock("f", 7));
+  L.uninstall();
+
+  std::string Doc = L.jsonl();
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Doc.size()) {
+    size_t Nl = Doc.find('\n', Pos);
+    ASSERT_NE(Nl, std::string::npos) << "unterminated line";
+    Lines.push_back(Doc.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  ASSERT_EQ(Lines.size(), 3u);
+
+  // Header line: schema + event count.
+  auto Header = parseJson(Lines[0]);
+  ASSERT_TRUE(Header.has_value()) << Lines[0];
+  EXPECT_EQ(Header->find("schema")->StringVal, "sest-events/1");
+  EXPECT_EQ(Header->numberOr("events", -1), 2.0);
+
+  auto E0 = parseJson(Lines[1]);
+  ASSERT_TRUE(E0.has_value()) << Lines[1];
+  EXPECT_EQ(E0->find("kind")->StringVal, "inline.site.selected");
+  EXPECT_EQ(E0->find("prov")->StringVal, "cs:4");
+  EXPECT_EQ(E0->find("attrs")->find("caller")->StringVal, "main");
+  EXPECT_EQ(E0->find("attrs")->numberOr("weight", -1), 12.5);
+
+  // No wall-clock fields anywhere — that is the determinism contract.
+  EXPECT_EQ(Doc.find("\"ts\":"), std::string::npos);
+  EXPECT_EQ(Doc.find("\"dur\":"), std::string::npos);
+  EXPECT_EQ(Doc.find("_us\":"), std::string::npos);
+  EXPECT_EQ(Doc.find("_ms\":"), std::string::npos);
+
+  // Events without attributes omit the attrs object entirely.
+  auto E1 = parseJson(Lines[2]);
+  ASSERT_TRUE(E1.has_value()) << Lines[2];
+  EXPECT_EQ(E1->find("attrs"), nullptr);
+  EXPECT_EQ(E1->find("prov")->StringVal, "blk:f#7");
+}
+
+TEST(EventLog, TaskCaptureRunsAndMergesPrivateContexts) {
+  obs::Telemetry Tele;
+  obs::EventLog Log;
+  Tele.install();
+  Log.install();
+
+  obs::TaskCapture Cap;
+  EXPECT_TRUE(Cap.wanted());
+  obs::TaskCapture::Slot S1, S2;
+  // Simulate two worker tasks (run here serially; the capture contract
+  // is about context routing, not threads).
+  Cap.run(S1, 1, "worker-1", [] {
+    obs::ScopedPhase P("task.a");
+    obs::counterAdd("task.count");
+    obs::logEvent("decision.a", obs::provFunction("fa"));
+  });
+  Cap.run(S2, 2, "worker-2", [] {
+    obs::ScopedPhase P("task.b");
+    obs::counterAdd("task.count");
+    obs::logEvent("decision.b", obs::provFunction("fb"));
+  });
+  // Nothing reaches the ambient contexts until merge.
+  EXPECT_TRUE(Log.events().empty());
+  EXPECT_EQ(Tele.counters().count("task.count"), 0u);
+
+  Cap.merge(S1);
+  Cap.merge(S2);
+  Log.uninstall();
+  Tele.uninstall();
+
+  EXPECT_EQ(Tele.counters().at("task.count"), 2.0);
+  ASSERT_EQ(Log.events().size(), 2u);
+  EXPECT_EQ(Log.events()[0].Kind, "decision.a");
+  EXPECT_EQ(Log.events()[1].Kind, "decision.b");
+  // Task spans landed on their worker tracks with names unioned in.
+  std::map<std::string, uint32_t> Tracks;
+  for (const obs::TraceEvent &E : Tele.events())
+    Tracks[E.Name] = E.Track;
+  EXPECT_EQ(Tracks.at("task.a"), 1u);
+  EXPECT_EQ(Tracks.at("task.b"), 2u);
+  EXPECT_EQ(Tele.trackNames().at(1), "worker-1");
+  EXPECT_EQ(Tele.trackNames().at(2), "worker-2");
+}
+
+TEST(EventLog, TaskCaptureSkipsContextsWhenNothingAmbient) {
+  // With no ambient telemetry or log, tasks run bare: no private
+  // contexts are allocated, so parallelism stays observation-free.
+  obs::TaskCapture Cap;
+  EXPECT_FALSE(Cap.wanted());
+  obs::TaskCapture::Slot S;
+  bool Ran = false;
+  Cap.run(S, 1, "worker-1", [&] { Ran = true; });
+  EXPECT_TRUE(Ran);
+  EXPECT_EQ(S.T, nullptr);
+  EXPECT_EQ(S.E, nullptr);
+  Cap.merge(S); // must be a no-op, not a crash
 }
 
 } // namespace

@@ -18,12 +18,17 @@
 #include "TestUtil.h"
 
 #include "callgraph/CallGraph.h"
+#include "estimators/Pipeline.h"
+#include "obs/EventLog.h"
 #include "opt/OptReport.h"
 #include "suite/SuiteRunner.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <set>
+#include <string_view>
 
 using namespace sest;
 using namespace sest::test;
@@ -529,6 +534,255 @@ TEST_F(OptReportTest, ByteStableAcrossJobsAndEngines) {
   // the same options so the self-describing engine label matches too.
   EXPECT_EQ(J1, opt::optReportJson(RA, Serial));
   EXPECT_NE(J1.find("\"schema\":\"sest-opt-report/1\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Decision event log (flight recorder)
+//===----------------------------------------------------------------------===//
+
+const obs::EventAttr *findAttr(const obs::Event &E, std::string_view Key) {
+  for (const obs::EventAttr &A : E.Attrs)
+    if (A.Key == Key)
+      return &A;
+  return nullptr;
+}
+
+TEST(EventLogOpt, InlinePlanLogsBudgetWalk) {
+  auto C = compile(R"(
+int add(int a, int b) { return a + b; }
+int rec(int n) {
+  if (n <= 0)
+    return 0;
+  return rec(n - 1);
+}
+int main() {
+  int s = 0;
+  int i = 0;
+  while (i < 10) { s = add(s, i); i = i + 1; }
+  s = s + rec(3);
+  print_int(s);
+  return 0;
+}
+)");
+  ASSERT_TRUE(C);
+  RunResult R = run(*C);
+  CallGraph CG = buildCG(*C);
+  opt::WeightSource W = opt::weightsFromProfile(C->unit(), R.TheProfile);
+
+  obs::EventLog Log;
+  Log.install();
+  opt::InlinePlan Plan = opt::planInlining(C->unit(), *C->Cfgs, CG, W);
+  Log.uninstall();
+
+  // Every ranked site produced exactly one selected/rejected event.
+  ASSERT_EQ(Log.events().size(), 4u);
+  const obs::Event *Selected = nullptr;
+  std::vector<std::string> Reasons;
+  for (const obs::Event &E : Log.events()) {
+    if (E.Kind == "inline.site.selected") {
+      EXPECT_EQ(Selected, nullptr) << "only the add site qualifies";
+      Selected = &E;
+    } else {
+      ASSERT_EQ(E.Kind, "inline.site.rejected");
+      const obs::EventAttr *Reason = findAttr(E, "reason");
+      ASSERT_NE(Reason, nullptr);
+      Reasons.push_back(Reason->Str);
+    }
+  }
+  // The hot loop-body call is the rank-1 selection...
+  ASSERT_NE(Selected, nullptr);
+  ASSERT_EQ(Plan.Sites.size(), 1u);
+  EXPECT_EQ(Selected->Prov,
+            obs::provCallSite(Plan.Sites[0].CallSiteId));
+  EXPECT_EQ(findAttr(*Selected, "caller")->Str, "main");
+  EXPECT_EQ(findAttr(*Selected, "callee")->Str, "add");
+  EXPECT_EQ(findAttr(*Selected, "origin")->Str, "profile");
+  EXPECT_EQ(findAttr(*Selected, "rank")->Num, 1.0);
+  EXPECT_EQ(findAttr(*Selected, "weight")->Num, 10.0);
+  // ...and each rejection names the first disqualifying reason: the
+  // self-recursive rec site, the non-statement-form rec() use in a
+  // compound expression, and the builtin print_int callee.
+  std::sort(Reasons.begin(), Reasons.end());
+  EXPECT_EQ(Reasons,
+            (std::vector<std::string>{"callee-undefined-or-builtin",
+                                      "not-statement-form",
+                                      "recursive-or-main"}));
+
+  // A TopK budget of 1 stops the walk right after the first selection:
+  // the rank-2 site logs "top-k-budget" and nothing after it is ranked.
+  obs::EventLog Tight;
+  Tight.install();
+  opt::InlineOptions Budget;
+  Budget.TopK = 1;
+  opt::planInlining(C->unit(), *C->Cfgs, CG, W, Budget);
+  Tight.uninstall();
+  ASSERT_EQ(Tight.events().size(), 2u);
+  EXPECT_EQ(Tight.events()[0].Kind, "inline.site.selected");
+  EXPECT_EQ(Tight.events()[1].Kind, "inline.site.rejected");
+  EXPECT_EQ(findAttr(Tight.events()[1], "reason")->Str, "top-k-budget");
+  EXPECT_EQ(findAttr(Tight.events()[1], "rank")->Num, 2.0);
+}
+
+TEST(EventLogOpt, LayoutLogsMergesColdBoundaryAndHints) {
+  // The else arm never executes, so under profile weights it is a
+  // zero-weight block on a hot branch: cold-outlined by the layout and
+  // flagged never-taken by the hint pass.
+  auto C = compile(R"(
+int main() {
+  int i = 0;
+  int s = 0;
+  while (i < 20) {
+    if (i < 100)
+      s = s + 1;
+    else
+      s = s - 1;
+    i = i + 1;
+  }
+  print_int(s);
+  return 0;
+}
+)");
+  ASSERT_TRUE(C);
+  RunResult R = run(*C);
+  opt::WeightSource W = opt::weightsFromProfile(C->unit(), R.TheProfile);
+
+  obs::EventLog Log;
+  Log.install();
+  opt::ProgramLayout L = opt::computeBlockLayout(C->unit(), *C->Cfgs, W);
+  opt::BranchHints H = opt::computeBranchHints(C->unit(), *C->Cfgs, W);
+  Log.uninstall();
+  ASSERT_FALSE(H.NeverTaken.empty());
+
+  unsigned Merges = 0, Boundaries = 0, Hints = 0;
+  for (const obs::Event &E : Log.events()) {
+    // Every layout decision anchors to a block of the one function.
+    EXPECT_EQ(E.Prov.rfind("blk:main#", 0), 0u) << E.Prov;
+    EXPECT_EQ(findAttr(E, "function")->Str, "main");
+    EXPECT_EQ(findAttr(E, "origin")->Str, "profile");
+    if (E.Kind == "layout.chain.merge") {
+      ++Merges;
+      EXPECT_NE(findAttr(E, "to"), nullptr);
+      EXPECT_GT(findAttr(E, "weight")->Num, 0.0);
+    } else if (E.Kind == "layout.cold.boundary") {
+      ++Boundaries;
+      EXPECT_GE(findAttr(E, "outlined_blocks")->Num, 1.0);
+    } else {
+      EXPECT_EQ(E.Kind, "layout.hint.never_taken");
+      ++Hints;
+    }
+  }
+  EXPECT_GE(Merges, 1u);
+  EXPECT_EQ(Boundaries, 1u);
+  EXPECT_EQ(Hints, static_cast<unsigned>(H.NeverTaken.size()));
+  (void)L;
+}
+
+/// The sestc --suite --log decision pass: compile + profile the suite,
+/// then walk each ok program once with the default static estimate.
+std::string suiteDecisionLog(InterpEngine Engine, unsigned Jobs) {
+  obs::EventLog Log;
+  Log.install();
+  InterpOptions O;
+  O.Engine = Engine;
+  std::vector<CompiledSuiteProgram> Programs =
+      compileAndProfileSuite(O, Jobs);
+  EstimatorOptions Est;
+  Est.Jobs = 1;
+  for (const CompiledSuiteProgram &P : Programs) {
+    if (!P.Ok || P.Profiles.empty())
+      continue;
+    obs::logEvent("program.begin", obs::provProgram(P.Spec->Name));
+    ProgramEstimate E = estimateProgram(P.unit(), *P.Cfgs, *P.CG, Est);
+    opt::WeightSource W =
+        opt::weightsFromEstimate(P.unit(), *P.Cfgs, E, Est);
+    opt::computeBlockLayout(P.unit(), *P.Cfgs, W);
+    opt::computeBranchHints(P.unit(), *P.Cfgs, W);
+    opt::planInlining(P.unit(), *P.Cfgs, *P.CG, W);
+  }
+  Log.uninstall();
+  return Log.jsonl();
+}
+
+TEST(EventLogOpt, SuiteDecisionLogByteIdenticalAcrossJobsAndEngines) {
+  // The determinism contract of sest-events/1: no wall-clock data and
+  // task-order merges, so the rendered document cannot depend on the
+  // worker count or the interpreter tier that produced the profiles.
+  const std::string Serial =
+      suiteDecisionLog(InterpEngine::Bytecode, 1);
+  EXPECT_FALSE(Serial.empty());
+  EXPECT_NE(Serial.find("\"schema\":\"sest-events/1\""),
+            std::string::npos);
+  EXPECT_EQ(Serial, suiteDecisionLog(InterpEngine::Bytecode, 2));
+  EXPECT_EQ(Serial, suiteDecisionLog(InterpEngine::Bytecode, 8));
+  EXPECT_EQ(Serial, suiteDecisionLog(InterpEngine::Ast, 2));
+}
+
+TEST(EventLogOpt, DecisionProvenanceResolvesToAccuracyEntities) {
+  // Every decision event must name an entity the accuracy report also
+  // scores — that join is the whole point of stable provenance IDs.
+  std::vector<CompiledSuiteProgram> Programs =
+      compileAndProfileSuite(InterpOptions{}, 0);
+  std::vector<obs::AccuracyReport> Reports =
+      computeSuiteAccuracy(Programs, {}, 1);
+
+  // Per-program entity universes, keyed exactly like prov IDs.
+  struct Universe {
+    std::set<std::string> Fns;    // "fn:<name>"
+    std::set<std::string> Blocks; // "blk:<fn>#<id>"
+    std::set<std::string> Sites;  // "cs:<id>"
+  };
+  std::map<std::string, Universe> ByProgram;
+  for (const obs::AccuracyReport &R : Reports) {
+    Universe &U = ByProgram[R.Program];
+    for (const obs::EntityDivergence &D : R.Blocks.Entities)
+      U.Blocks.insert(obs::provBlock(D.Function, D.EntityId));
+    for (const obs::EntityDivergence &D : R.Functions.Entities)
+      U.Fns.insert(obs::provFunction(D.Function));
+    for (const obs::EntityDivergence &D : R.CallSites.Entities)
+      U.Sites.insert(obs::provCallSite(D.EntityId));
+  }
+
+  obs::EventLog Log;
+  Log.install();
+  EstimatorOptions Est;
+  Est.Jobs = 1;
+  for (const CompiledSuiteProgram &P : Programs) {
+    if (!P.Ok || P.Profiles.empty())
+      continue;
+    obs::logEvent("program.begin", obs::provProgram(P.Spec->Name));
+    ProgramEstimate E = estimateProgram(P.unit(), *P.Cfgs, *P.CG, Est);
+    opt::WeightSource W =
+        opt::weightsFromEstimate(P.unit(), *P.Cfgs, E, Est);
+    opt::computeBlockLayout(P.unit(), *P.Cfgs, W);
+    opt::computeBranchHints(P.unit(), *P.Cfgs, W);
+    opt::planInlining(P.unit(), *P.Cfgs, *P.CG, W);
+  }
+  Log.uninstall();
+
+  const Universe *U = nullptr;
+  unsigned Checked = 0;
+  for (const obs::Event &E : Log.events()) {
+    if (E.Kind == "program.begin") {
+      ASSERT_EQ(E.Prov.rfind("prog:", 0), 0u);
+      std::string Name = E.Prov.substr(5);
+      auto It = ByProgram.find(Name);
+      ASSERT_NE(It, ByProgram.end())
+          << "program.begin names an unscored program: " << Name;
+      U = &It->second;
+      continue;
+    }
+    ASSERT_NE(U, nullptr) << "decision event before any program.begin";
+    ++Checked;
+    if (E.Prov.rfind("fn:", 0) == 0)
+      EXPECT_EQ(U->Fns.count(E.Prov), 1u) << E.Kind << " " << E.Prov;
+    else if (E.Prov.rfind("blk:", 0) == 0)
+      EXPECT_EQ(U->Blocks.count(E.Prov), 1u) << E.Kind << " " << E.Prov;
+    else if (E.Prov.rfind("cs:", 0) == 0)
+      EXPECT_EQ(U->Sites.count(E.Prov), 1u) << E.Kind << " " << E.Prov;
+    else
+      ADD_FAILURE() << "unknown provenance family: " << E.Prov;
+  }
+  EXPECT_GT(Checked, 100u) << "suite should produce many decisions";
 }
 
 } // namespace

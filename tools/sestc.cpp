@@ -37,6 +37,7 @@
 #include "lang/Parser.h"
 #include "metrics/Evaluation.h"
 #include "obs/Accuracy.h"
+#include "obs/EventLog.h"
 #include "opt/OptReport.h"
 #include "obs/Telemetry.h"
 #include "profile/Profile.h"
@@ -98,6 +99,8 @@ const OptionSpec OptionTable[] = {
     {"--score-profile", "FILE",
      "score the estimate against a saved profile instead of running"},
     {"--trace", "FILE", "write Chrome trace-event JSON of the run"},
+    {"--log", "FILE",
+     "write the sest-events/1 JSONL decision/provenance log"},
     {"--stats", nullptr, "print phase times and all counters"},
     {"--report", "FILE", "write machine-readable JSON run/suite report"},
     {"--explain", nullptr, "annotated listing + WORST-n divergence tables"},
@@ -169,6 +172,7 @@ struct Options {
   std::string EmitProfile;
   std::string ScoreProfile;
   std::string TraceFile;
+  std::string LogFile;
   std::string ReportFile;
   std::string AccuracyReportFile;
   std::string ValidateJsonFile;
@@ -278,6 +282,8 @@ Options parseArgs(int argc, char **argv) {
       O.ScoreProfile = Next();
     } else if (A == "--trace") {
       O.TraceFile = Next();
+    } else if (A == "--log") {
+      O.LogFile = Next();
     } else if (A == "--report") {
       O.ReportFile = Next();
     } else if (A == "--accuracy-report") {
@@ -347,13 +353,37 @@ int emitAccuracy(const Options &O, const std::string &Source,
 }
 
 /// --validate-json: round-trip a file through the project JSON parser.
+/// Falls back to line-delimited mode for JSONL documents (e.g. the
+/// --log event stream): every non-empty line must parse on its own.
 int runValidateJson(const std::string &Path) {
   std::string Text = readFile(Path);
-  if (!parseJson(Text)) {
+  if (parseJson(Text)) {
+    out(Path + ": valid JSON\n");
+    return 0;
+  }
+  size_t Records = 0, LineNo = 0, Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    if (!parseJson(Line)) {
+      out("sestc: '" + Path + "' is neither valid JSON nor valid JSONL"
+          " (line " + std::to_string(LineNo) + " does not parse)\n");
+      return 1;
+    }
+    ++Records;
+  }
+  if (Records == 0) {
     out("sestc: '" + Path + "' is not valid JSON\n");
     return 1;
   }
-  out(Path + ": valid JSON\n");
+  out(Path + ": valid JSONL (" + std::to_string(Records) +
+      " records)\n");
   return 0;
 }
 
@@ -468,6 +498,32 @@ int runSuite(const Options &O) {
   Interp.Engine = O.Engine;
   std::vector<CompiledSuiteProgram> Programs =
       compileAndProfileSuite(Interp, O.Jobs);
+
+  // --log without the optimizer actions: run a serial decision pass
+  // (estimate -> static weights -> layout/hints/inline plan) so the
+  // event log always carries optimizer provenance. The pass is
+  // read-only and single-threaded, and its inputs (static estimates)
+  // are engine- and jobs-independent, so the log is byte-stable. With
+  // --optimize/--opt-report the richer three-origin scoring pass emits
+  // the events instead.
+  if (!O.LogFile.empty() && !O.HasOptimize && O.OptReportFile.empty() &&
+      obs::eventLogActive()) {
+    obs::ScopedPhase DecisionPhase("suite.decisions");
+    EstimatorOptions Est = O.Est;
+    Est.Jobs = 1;
+    for (const CompiledSuiteProgram &P : Programs) {
+      if (!P.Ok || P.Profiles.empty())
+        continue;
+      obs::logEvent("program.begin", obs::provProgram(P.Spec->Name));
+      ProgramEstimate E =
+          estimateProgram(P.unit(), *P.Cfgs, *P.CG, Est);
+      opt::WeightSource W =
+          opt::weightsFromEstimate(P.unit(), *P.Cfgs, E, Est);
+      opt::computeBlockLayout(P.unit(), *P.Cfgs, W);
+      opt::computeBranchHints(P.unit(), *P.Cfgs, W);
+      opt::planInlining(P.unit(), *P.Cfgs, *P.CG, W);
+    }
+  }
 
   TextTable T;
   T.setHeader({"Program", "Status", "Compile ms", "Runs", "Steps",
@@ -726,13 +782,24 @@ int main(int argc, char **argv) {
   Options O = parseArgs(argc, argv);
 
   obs::Telemetry Tele;
+  obs::EventLog Log;
   bool WantTelemetry =
       !O.TraceFile.empty() || !O.ReportFile.empty() || O.Stats;
+  bool WantLog = !O.LogFile.empty();
   if (WantTelemetry)
     Tele.install();
+  if (WantLog)
+    Log.install();
 
   int Rc = runAction(O);
 
+  if (WantLog) {
+    Log.uninstall();
+    if (!writeTextFile(O.LogFile, Log.jsonl()))
+      return 1;
+    out("event log written to " + O.LogFile + " (" +
+        std::to_string(Log.events().size()) + " events)\n");
+  }
   if (!WantTelemetry)
     return Rc;
   Tele.uninstall();
