@@ -20,10 +20,14 @@
 #include "metrics/Evaluation.h"
 #include "suite/Suite.h"
 #include "suite/SuiteRunner.h"
+#include "suite/Synthetic.h"
 #include "support/Json.h"
+#include "support/Prng.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -83,6 +87,133 @@ inline ProgramEstimate estimateWith(const CompiledSuiteProgram &P,
 
 /// Percent string with one decimal.
 inline std::string pct(double Fraction) { return formatPercent(Fraction); }
+
+//===----------------------------------------------------------------------===//
+// Synthetic request workload — shared by the service-shaped benches.
+//
+// bench_service and bench_pipeline_latency both model the stream of
+// requests an analysis service sees: a pool of genprog-shaped programs
+// whose popularity follows a zipfian rank-frequency law (a few hot
+// sources dominate, a long tail recurs rarely), crossed with a weighted
+// mix of service operations. One helper so both benches — and any
+// future replay tool — agree on what "the workload" means.
+//===----------------------------------------------------------------------===//
+
+/// Zipfian rank sampler over [0, Count): rank R is drawn with
+/// probability proportional to 1/(R+1)^Exponent. Deterministic for a
+/// fixed (Count, Exponent, Seed).
+class ZipfSampler {
+public:
+  ZipfSampler(size_t Count, double Exponent, uint64_t Seed) : Rng(Seed) {
+    Cdf.reserve(Count);
+    double Sum = 0.0;
+    for (size_t I = 0; I < Count; ++I) {
+      Sum += 1.0 / std::pow(static_cast<double>(I + 1), Exponent);
+      Cdf.push_back(Sum);
+    }
+    for (double &C : Cdf)
+      C /= Sum;
+  }
+
+  size_t next() {
+    double U = Rng.nextDouble();
+    return static_cast<size_t>(
+        std::lower_bound(Cdf.begin(), Cdf.end(), U) - Cdf.begin());
+  }
+
+private:
+  std::vector<double> Cdf;
+  Prng Rng;
+};
+
+/// One service operation with its relative weight in the request mix.
+struct RequestMixEntry {
+  const char *Op;
+  unsigned Weight;
+};
+
+/// The default op mix: mostly estimates (the service's reason to
+/// exist), a fifth cheap parses, the rest full optimizer plans and
+/// interpreter-backed reports.
+inline const std::vector<RequestMixEntry> &defaultRequestMix() {
+  static const std::vector<RequestMixEntry> Mix = {
+      {"estimate", 55}, {"parse", 20}, {"optimize", 15}, {"report", 10}};
+  return Mix;
+}
+
+/// One sampled request: which pool program, which operation, and a
+/// small variant index the bench maps to an options/passes/seed flavor
+/// (so identical (program, op) pairs still exercise distinct cache
+/// keys).
+struct SampledRequest {
+  size_t Program;
+  const char *Op;
+  unsigned Variant;
+};
+
+/// Deterministic request stream: zipfian program popularity crossed
+/// with a weighted op mix. Same (pool size, mix, seed) — same stream,
+/// on every platform.
+class RequestStream {
+public:
+  RequestStream(size_t PoolSize, std::vector<RequestMixEntry> MixIn,
+                uint64_t Seed, double ZipfExponent = 1.0)
+      : Programs(PoolSize, ZipfExponent, Seed),
+        Mix(std::move(MixIn)), Rng(Seed ^ 0x9e3779b97f4a7c15ULL) {
+    for (const RequestMixEntry &E : Mix)
+      TotalWeight += E.Weight;
+  }
+
+  SampledRequest next() {
+    SampledRequest R;
+    R.Program = Programs.next();
+    uint64_t W = Rng.nextBelow(TotalWeight);
+    R.Op = Mix.back().Op;
+    for (const RequestMixEntry &E : Mix) {
+      if (W < E.Weight) {
+        R.Op = E.Op;
+        break;
+      }
+      W -= E.Weight;
+    }
+    R.Variant = static_cast<unsigned>(Rng.nextBelow(4));
+    return R;
+  }
+
+private:
+  ZipfSampler Programs;
+  std::vector<RequestMixEntry> Mix;
+  Prng Rng;
+  uint64_t TotalWeight = 0;
+};
+
+/// Knobs for the synthetic source pool backing a workload.
+struct WorkloadConfig {
+  size_t PoolSize = 48;     ///< distinct programs
+  size_t TargetBlocks = 80; ///< CFG blocks per program
+  uint64_t Seed = 1;
+};
+
+/// Pool of genprog-shaped sources cycling the five generator shapes
+/// (loop nests, switch dispatch, goto cycles, wide calls, mixed) with
+/// per-program seeds, so the workload stresses every solver idiom.
+inline std::vector<std::string>
+syntheticSourcePool(const WorkloadConfig &C) {
+  static const SyntheticShape Shapes[] = {
+      SyntheticShape::LoopNest, SyntheticShape::SwitchDispatch,
+      SyntheticShape::GotoCycles, SyntheticShape::WideCalls,
+      SyntheticShape::Mixed};
+  std::vector<std::string> Pool;
+  Pool.reserve(C.PoolSize);
+  for (size_t I = 0; I < C.PoolSize; ++I) {
+    SyntheticConfig SC;
+    SC.Shape = Shapes[I % (sizeof(Shapes) / sizeof(Shapes[0]))];
+    SC.TargetBlocks = C.TargetBlocks;
+    SC.Seed = C.Seed + I;
+    Pool.push_back(generateSyntheticSource(SC));
+  }
+  return Pool;
+}
 
 /// Machine-readable bench output. Construct with argc/argv; when the
 /// user passed `--json FILE`, every add() is collected and finish()

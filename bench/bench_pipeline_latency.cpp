@@ -6,15 +6,17 @@
 ///
 /// \file
 /// Latency observability for the analysis pipeline: times each stage
-/// (parse, CFG construction, call-graph construction, estimation) per
-/// suite program over many repetitions and reports p50/p90/p99
-/// percentiles per stage — the flight-recorder view of "how long does
-/// one request take", sized for the future sestd analysis service.
+/// (parse, CFG construction, call-graph construction, estimation) over
+/// a zipfian stream of genprog-shaped programs — the same workload
+/// model bench_service drives through the sestd analysis service (see
+/// the shared helpers in BenchCommon.h) — and reports p50/p90/p99
+/// percentiles per stage: the flight-recorder view of "what does one
+/// cold request cost, stage by stage".
 ///
 /// `--json FILE` writes the sest-pipeline-latency/1 artifact consumed
 /// (advisorily) by scripts/check_perf.py; the checked-in baseline lives
-/// at bench/pipeline_latency.json. `--reps N` overrides the repetition
-/// count (default 20).
+/// at bench/pipeline_latency.json. `--reps N` scales the sample count
+/// (N samples per pool program on average, default 20).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,55 +47,67 @@ double usSince(Clock::time_point Start) {
 int main(int argc, char **argv) {
   std::string JsonPath;
   unsigned Reps = 20;
+  WorkloadConfig WC;
+  WC.PoolSize = 24;
+  WC.Seed = 7;
   for (int I = 1; I + 1 < argc; ++I) {
-    if (std::string_view(argv[I]) == "--json")
+    std::string_view Arg = argv[I];
+    if (Arg == "--json")
       JsonPath = argv[I + 1];
-    if (std::string_view(argv[I]) == "--reps")
+    else if (Arg == "--reps")
       Reps = static_cast<unsigned>(
           std::strtoul(argv[I + 1], nullptr, 10));
+    else if (Arg == "--pool")
+      WC.PoolSize = std::strtoull(argv[I + 1], nullptr, 10);
+    else if (Arg == "--blocks")
+      WC.TargetBlocks = std::strtoull(argv[I + 1], nullptr, 10);
+    else if (Arg == "--seed")
+      WC.Seed = std::strtoull(argv[I + 1], nullptr, 10);
   }
+  size_t Samples = static_cast<size_t>(Reps) * WC.PoolSize;
 
   out("== Pipeline stage latency percentiles ==\n\n");
+  out("pool " + std::to_string(WC.PoolSize) + " programs x " +
+      std::to_string(WC.TargetBlocks) + " blocks, " +
+      std::to_string(Samples) + " zipfian samples\n\n");
 
   // One Telemetry context used purely as a percentile-histogram sink;
   // it is never installed, so the measured stages run unobserved.
   obs::Telemetry Hist;
-  const std::vector<SuiteProgram> &Suite = benchmarkSuite();
-  unsigned Programs = 0;
+  std::vector<std::string> Pool = syntheticSourcePool(WC);
+  ZipfSampler Zipf(Pool.size(), 1.0, WC.Seed);
 
-  for (const SuiteProgram &P : Suite) {
-    ++Programs;
-    for (unsigned R = 0; R < Reps; ++R) {
-      AstContext Ctx;
-      DiagnosticEngine Diags;
+  for (size_t S = 0; S < Samples; ++S) {
+    const std::string &Source = Pool[Zipf.next()];
+    AstContext Ctx;
+    DiagnosticEngine Diags;
 
-      Clock::time_point T0 = Clock::now();
-      bool Parsed = parseAndAnalyze(P.Source, Ctx, Diags);
-      Hist.record("parse", usSince(T0));
-      if (!Parsed) {
-        out("FATAL: " + P.Name + ": compile error:\n" + Diags.str());
-        return 1;
-      }
-
-      T0 = Clock::now();
-      CfgModule Cfgs = CfgModule::build(Ctx.unit(), Diags);
-      Hist.record("cfg", usSince(T0));
-      if (Diags.hasErrors()) {
-        out("FATAL: " + P.Name + ": CFG error:\n" + Diags.str());
-        return 1;
-      }
-
-      T0 = Clock::now();
-      CallGraph CG = CallGraph::build(Ctx.unit(), Cfgs);
-      Hist.record("callgraph", usSince(T0));
-
-      EstimatorOptions Est;
-      Est.Jobs = 1;
-      T0 = Clock::now();
-      ProgramEstimate E = estimateProgram(Ctx.unit(), Cfgs, CG, Est);
-      Hist.record("estimate", usSince(T0));
-      (void)E;
+    Clock::time_point T0 = Clock::now();
+    bool Parsed = parseAndAnalyze(Source, Ctx, Diags);
+    Hist.record("parse", usSince(T0));
+    if (!Parsed) {
+      out("FATAL: synthetic program failed to compile:\n" + Diags.str());
+      return 1;
     }
+
+    T0 = Clock::now();
+    CfgModule Cfgs = CfgModule::build(Ctx.unit(), Diags);
+    Hist.record("cfg", usSince(T0));
+    if (Diags.hasErrors()) {
+      out("FATAL: synthetic program CFG error:\n" + Diags.str());
+      return 1;
+    }
+
+    T0 = Clock::now();
+    CallGraph CG = CallGraph::build(Ctx.unit(), Cfgs);
+    Hist.record("callgraph", usSince(T0));
+
+    EstimatorOptions Est;
+    Est.Jobs = 1;
+    T0 = Clock::now();
+    ProgramEstimate E = estimateProgram(Ctx.unit(), Cfgs, CG, Est);
+    Hist.record("estimate", usSince(T0));
+    (void)E;
   }
 
   TextTable T;
@@ -110,7 +124,8 @@ int main(int argc, char **argv) {
     W.beginObject();
     W.member("schema", "sest-pipeline-latency/1");
     W.member("repetitions", static_cast<uint64_t>(Reps));
-    W.member("programs", static_cast<uint64_t>(Programs));
+    W.member("programs", static_cast<uint64_t>(WC.PoolSize));
+    W.member("samples", static_cast<uint64_t>(Samples));
     W.key("stages").beginObject();
     for (const auto &[Name, H] : Hist.histograms()) {
       W.key(Name).beginObject();

@@ -19,7 +19,13 @@ Two checks, both with deliberately generous machine-variance tolerance:
    per-stage p90 latency with ``bench/pipeline_latency.json`` (flag only
    at ``--tolerance`` times slower — advisory, wall-clock dependent).
 
-4. Optimizer outcomes: runs ``sestc --suite --optimize all --opt-report``
+4. Service throughput: runs ``bench_service`` (the million-request
+   zipfian mix against the sestd service core) and enforces the
+   machine-independent invariant that warm (memoized) throughput beats
+   cold (cache-disabled) throughput by at least 5x; warm requests/s
+   against ``bench/service_throughput.json`` is advisory wall-clock.
+
+5. Optimizer outcomes: runs ``sestc --suite --optimize all --opt-report``
    and checks ``bench/opt_report.json`` invariants. Differential
    verification of every inlined program and the layout-cost VM
    cross-checks are deterministic and checked at full strength; the
@@ -194,6 +200,75 @@ def check_latency(build, baseline_path, tolerance):
     return 1 if failed else 0
 
 
+MIN_SERVICE_WARM_SPEEDUP = 5.0
+
+
+def check_service(build, baseline_path, tolerance):
+    """Service memoization throughput check. Returns 0/1/2 like main.
+
+    The warm-over-cold speedup ratio is machine-independent (both
+    phases run on the same machine in the same process), so the 5x
+    floor is checked at full strength; absolute warm throughput is
+    wall-clock and compared advisorily against the baseline.
+    """
+    bench = os.path.join(build, "bench", "bench_service")
+    if not os.path.exists(bench):
+        print(f"check_perf: {bench} not built", file=sys.stderr)
+        return 2
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"check_perf: cannot read service baseline: {e}",
+              file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        subprocess.run(
+            [bench, "--json", fresh_path],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+    except (subprocess.CalledProcessError, OSError, ValueError) as e:
+        print(f"check_perf: service bench run failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        os.unlink(fresh_path)
+
+    failed = False
+
+    speedup = float(fresh.get("warm_speedup", 0.0))
+    flag = ""
+    if speedup < MIN_SERVICE_WARM_SPEEDUP:
+        flag = f"  <-- below {MIN_SERVICE_WARM_SPEEDUP:.0f}x floor"
+        failed = True
+    print(f"\nservice: warm-over-cold speedup {speedup:.1f}x{flag}")
+
+    bad = int(fresh.get("cold", {}).get("bad_responses", 0)) + int(
+        fresh.get("warm", {}).get("bad_responses", 0)
+    )
+    if bad:
+        print(f"service: {bad} ok:false responses in the mix  <-- FAILED")
+        failed = True
+
+    base_rps = float(baseline.get("warm", {}).get("rps", 0.0))
+    fresh_rps = float(fresh.get("warm", {}).get("rps", 0.0))
+    ratio = base_rps / fresh_rps if fresh_rps > 0 else float("inf")
+    flag = ""
+    if ratio > tolerance:
+        flag = f"  <-- slower than {tolerance:.1f}x baseline"
+        failed = True
+    print(
+        f"service: warm throughput {fresh_rps:,.0f} req/s"
+        f" (baseline {base_rps:,.0f}){flag}"
+    )
+    return 1 if failed else 0
+
+
 OVERLAP_SLACK = 0.05
 
 
@@ -306,6 +381,11 @@ def main():
         help="checked-in bench_pipeline_latency baseline",
     )
     ap.add_argument(
+        "--service-baseline",
+        default=os.path.join(ROOT, "bench", "service_throughput.json"),
+        help="checked-in bench_service baseline",
+    )
+    ap.add_argument(
         "--opt-baseline",
         default=os.path.join(ROOT, "bench", "opt_report.json"),
         help="checked-in optimizer report baseline",
@@ -384,10 +464,16 @@ def main():
     latency_rc = check_latency(
         args.build, args.latency_baseline, args.tolerance
     )
+    service_rc = check_service(
+        args.build, args.service_baseline, args.tolerance
+    )
     opt_rc = check_opt(args.build, args.opt_baseline)
-    if failed or bench_rc != 0 or latency_rc != 0 or opt_rc != 0:
+    if failed or bench_rc != 0 or latency_rc != 0 or service_rc != 0 \
+            or opt_rc != 0:
         print("check_perf: regression flagged (non-blocking signal)")
-        return 1 if failed else max(1, bench_rc, latency_rc, opt_rc)
+        return 1 if failed else max(
+            1, bench_rc, latency_rc, service_rc, opt_rc
+        )
     print("check_perf: within tolerance")
     return 0
 

@@ -52,3 +52,9 @@ done 2>&1 | tee bench_output.txt
 # advisory guard in scripts/check_perf.py). Wall-clock, so expect the
 # numbers to move between machines — the guard has 3x slack.
 "$BUILD"/bench/bench_pipeline_latency --json bench/pipeline_latency.json
+
+# Refresh the service throughput baseline (cold vs warm over the
+# million-request zipfian mix; see docs/SERVICE.md). The warm-over-cold
+# speedup floor in scripts/check_perf.py is machine-independent; the
+# absolute req/s numbers are wall-clock.
+"$BUILD"/bench/bench_service --json bench/service_throughput.json

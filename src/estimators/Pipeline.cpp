@@ -15,9 +15,10 @@
 
 using namespace sest;
 
-IntraEstimates sest::computeIntraEstimates(const TranslationUnit &Unit,
-                                           const CfgModule &Cfgs,
-                                           const EstimatorOptions &Options) {
+IntraEstimates sest::computeIntraEstimates(
+    const TranslationUnit &Unit, const CfgModule &Cfgs,
+    const EstimatorOptions &Options,
+    const std::vector<FunctionBranchPredictions> *CachedPredictions) {
   obs::ScopedPhase Phase("estimate.intra");
   IntraEstimates Out;
   Out.Blocks.resize(Unit.Functions.size());
@@ -27,14 +28,23 @@ IntraEstimates sest::computeIntraEstimates(const TranslationUnit &Unit,
   BC.LoopIterations = Options.LoopIterations;
   BranchPredictor Predictor(BC);
 
+  // A cached prediction table is only usable when it covers every
+  // function — a partial table would silently mix configurations.
+  if (CachedPredictions &&
+      CachedPredictions->size() != Unit.Functions.size())
+    CachedPredictions = nullptr;
+
   const auto &All = Cfgs.all();
-  // One function's estimate: predict its branches once, then run the
-  // configured intra estimator against the cached predictions.
+  // One function's estimate: predict its branches once (or reuse the
+  // caller's cached tables), then run the configured intra estimator
+  // against the predictions.
   auto EstimateOne = [&](size_t I) {
     const auto &[F, G] = All[I];
     obs::ScopedPhase FnPhase("estimate.intra.function", F->name());
     size_t Fid = F->functionId();
-    Out.Predictions[Fid] = Predictor.predictFunction(*G);
+    Out.Predictions[Fid] = CachedPredictions
+                               ? (*CachedPredictions)[Fid]
+                               : Predictor.predictFunction(*G);
     switch (Options.Intra) {
     case IntraEstimatorKind::Loop:
     case IntraEstimatorKind::Smart: {
@@ -93,13 +103,14 @@ IntraEstimates sest::computeIntraEstimates(const TranslationUnit &Unit,
   return Out;
 }
 
-ProgramEstimate sest::estimateProgram(const TranslationUnit &Unit,
-                                      const CfgModule &Cfgs,
-                                      const CallGraph &CG,
-                                      const EstimatorOptions &Options) {
+ProgramEstimate sest::estimateProgram(
+    const TranslationUnit &Unit, const CfgModule &Cfgs, const CallGraph &CG,
+    const EstimatorOptions &Options,
+    const std::vector<FunctionBranchPredictions> *CachedPredictions) {
   obs::ScopedPhase Phase("estimate");
   ProgramEstimate Out;
-  IntraEstimates Intra = computeIntraEstimates(Unit, Cfgs, Options);
+  IntraEstimates Intra =
+      computeIntraEstimates(Unit, Cfgs, Options, CachedPredictions);
   {
     obs::ScopedPhase InterPhase("estimate.inter",
                                 interEstimatorName(Options.Inter));

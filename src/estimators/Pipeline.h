@@ -78,14 +78,27 @@ struct ProgramEstimate {
 };
 
 /// Runs the intra-procedural estimator over every defined function.
-IntraEstimates computeIntraEstimates(const TranslationUnit &Unit,
-                                     const CfgModule &Cfgs,
-                                     const EstimatorOptions &Options);
+///
+/// When \p CachedPredictions is non-null (one FunctionBranchPredictions
+/// per function id, as produced by a previous run with the same source
+/// and branch configuration) the branch-prediction pass is skipped and
+/// the cached tables are used verbatim — the analysis service's
+/// branch-table cache tier feeds this. Results are bit-identical to a
+/// fresh prediction pass because prediction is a pure function of the
+/// CFG and the branch configuration.
+IntraEstimates
+computeIntraEstimates(const TranslationUnit &Unit, const CfgModule &Cfgs,
+                      const EstimatorOptions &Options,
+                      const std::vector<FunctionBranchPredictions>
+                          *CachedPredictions = nullptr);
 
 /// Runs the full pipeline (intra → inter → call sites).
+/// \p CachedPredictions as in computeIntraEstimates.
 ProgramEstimate estimateProgram(const TranslationUnit &Unit,
                                 const CfgModule &Cfgs, const CallGraph &CG,
-                                const EstimatorOptions &Options);
+                                const EstimatorOptions &Options,
+                                const std::vector<FunctionBranchPredictions>
+                                    *CachedPredictions = nullptr);
 
 /// Converts a measured (or aggregated) profile into the same shape, so
 /// profiles can be scored as estimators ("profiling with alternate

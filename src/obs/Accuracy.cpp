@@ -324,6 +324,7 @@ void sest::obs::writeAccuracyReport(JsonWriter &W, const AccuracyReport &R,
                                     size_t MaxEntities) {
   W.beginObject();
   W.member("program", R.Program);
+  W.member("program_hash", R.ProgramHash);
   W.member("profile", R.ProfileName);
   W.member("intra", R.IntraName);
   W.member("inter", R.InterName);

@@ -135,6 +135,12 @@ struct BranchDivergence {
 /// The full accuracy-attribution record of one run.
 struct AccuracyReport {
   std::string Program;     ///< File or suite-program name.
+  /// support::contentHash64 of the program source, as 16 hex digits —
+  /// the same identity the analysis service keys its cache by, so a
+  /// report can be joined against service responses and across runs
+  /// even when program names collide. Filled by the producer (the
+  /// scorer never sees the source text).
+  std::string ProgramHash;
   std::string ProfileName; ///< Input name, or "aggregate(N)".
   std::string IntraName;   ///< Intra estimator ("smart", "markov", ...).
   std::string InterName;   ///< Inter estimator ("markov", "direct", ...).

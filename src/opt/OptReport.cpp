@@ -8,6 +8,7 @@
 
 #include "obs/EventLog.h"
 #include "obs/Telemetry.h"
+#include "support/Hash.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -82,6 +83,7 @@ OptProgramReport scoreProgram(const CompiledSuiteProgram &CSP,
 
   OptProgramReport R;
   R.Name = CSP.Spec->Name;
+  R.ProgramHash = hashHex(contentHash64(CSP.Spec->Source));
   if (!CSP.Ok || CSP.Profiles.size() < 2) {
     R.Error = CSP.Ok ? "needs at least two inputs" : CSP.Error;
     return R;
@@ -326,6 +328,7 @@ std::string sest::opt::optReportJson(const OptSuiteReport &Report,
   for (const OptProgramReport &P : Report.Programs) {
     W.beginObject();
     W.member("name", P.Name);
+    W.member("program_hash", P.ProgramHash);
     W.member("ok", P.Ok);
     if (!P.Ok) {
       W.member("error", P.Error);

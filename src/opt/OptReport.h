@@ -79,6 +79,9 @@ struct InlineSourceResult {
 /// Everything measured for one program.
 struct OptProgramReport {
   std::string Name;
+  /// support::contentHash64 of the program source (16 hex digits); the
+  /// same identity the analysis service and the accuracy report use.
+  std::string ProgramHash;
   std::string EvalInput; ///< Held-out input the costs are measured on.
   bool Ok = false;
   std::string Error;

@@ -1,0 +1,114 @@
+//===- service/Cache.cpp - Sharded content-addressed LRU cache -------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Cache.h"
+
+#include "obs/Telemetry.h"
+
+using namespace sest;
+using namespace sest::service;
+
+ShardedCache::ShardedCache(std::string TierName, size_t BudgetBytes,
+                           unsigned Shards)
+    : Tier(std::move(TierName)),
+      CounterHit("service.cache." + Tier + ".hit"),
+      CounterMiss("service.cache." + Tier + ".miss"),
+      CounterEvict("service.cache." + Tier + ".evict"),
+      GaugeBytes("service.cache." + Tier + ".bytes.high_water"),
+      ShardBudget(BudgetBytes / (Shards ? Shards : 1)),
+      Shards_(Shards ? Shards : 1) {}
+
+std::shared_ptr<const void> ShardedCache::get(uint64_t Key) {
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Key);
+    if (It != S.Map.end()) {
+      // Refresh recency: move to the front of the LRU list.
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruIt);
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      obs::counterAdd(CounterHit);
+      return It->second.Value;
+    }
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  obs::counterAdd(CounterMiss);
+  return nullptr;
+}
+
+void ShardedCache::put(uint64_t Key, std::shared_ptr<const void> Value,
+                       size_t ValueBytes) {
+  // Oversized values (or a zero budget = caching disabled) are not
+  // admitted — admitting one would immediately evict everything else
+  // and still leave the shard over budget.
+  if (ShardBudget == 0 || ValueBytes > ShardBudget)
+    return;
+
+  // Evicted values are destroyed outside the shard lock: destructors of
+  // large artifacts (whole ASTs) are not free, and a concurrent reader
+  // may hold the last other reference.
+  std::vector<std::shared_ptr<const void>> Victims;
+  uint64_t Evicted = 0;
+  Shard &S = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto [It, Inserted] = S.Map.try_emplace(Key);
+    if (!Inserted) {
+      // Deterministic artifacts: the resident value equals the new one.
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second.LruIt);
+      return;
+    }
+    S.Lru.push_front(Key);
+    It->second.Value = std::move(Value);
+    It->second.Bytes = ValueBytes;
+    It->second.LruIt = S.Lru.begin();
+    S.Bytes += ValueBytes;
+    Entries.fetch_add(1, std::memory_order_relaxed);
+    Bytes.fetch_add(ValueBytes, std::memory_order_relaxed);
+
+    while (S.Bytes > ShardBudget && S.Lru.size() > 1) {
+      uint64_t VictimKey = S.Lru.back();
+      auto VIt = S.Map.find(VictimKey);
+      S.Bytes -= VIt->second.Bytes;
+      Bytes.fetch_sub(VIt->second.Bytes, std::memory_order_relaxed);
+      Entries.fetch_sub(1, std::memory_order_relaxed);
+      Victims.push_back(std::move(VIt->second.Value));
+      S.Map.erase(VIt);
+      S.Lru.pop_back();
+      ++Evicted;
+    }
+  }
+  if (Evicted) {
+    Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+    obs::counterAdd(CounterEvict, static_cast<double>(Evicted));
+  }
+  obs::gaugeMax(GaugeBytes,
+                static_cast<double>(Bytes.load(std::memory_order_relaxed)));
+}
+
+void ShardedCache::clear() {
+  for (Shard &S : Shards_) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[K, E] : S.Map) {
+      (void)K;
+      Bytes.fetch_sub(E.Bytes, std::memory_order_relaxed);
+      Entries.fetch_sub(1, std::memory_order_relaxed);
+    }
+    S.Map.clear();
+    S.Lru.clear();
+    S.Bytes = 0;
+  }
+}
+
+CacheTierStats ShardedCache::stats() const {
+  CacheTierStats Out;
+  Out.Hits = Hits.load(std::memory_order_relaxed);
+  Out.Misses = Misses.load(std::memory_order_relaxed);
+  Out.Evictions = Evictions.load(std::memory_order_relaxed);
+  Out.Bytes = Bytes.load(std::memory_order_relaxed);
+  Out.Entries = Entries.load(std::memory_order_relaxed);
+  return Out;
+}

@@ -1,0 +1,781 @@
+//===- service/Service.cpp - The sestd analysis service --------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "estimators/Pipeline.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "metrics/Evaluation.h"
+#include "obs/EventLog.h"
+#include "obs/Telemetry.h"
+#include "opt/Inline.h"
+#include "opt/Layout.h"
+#include "opt/WeightSource.h"
+#include "support/Diagnostics.h"
+#include "support/Hash.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace sest;
+using namespace sest::service;
+
+//===----------------------------------------------------------------------===//
+// Cache set
+//===----------------------------------------------------------------------===//
+
+CacheSet::CacheSet(size_t BudgetBytes, unsigned Shards)
+    : Ast("ast", BudgetBytes / 6, Shards),
+      Cfg("cfg", BudgetBytes / 6, Shards),
+      Branch("branch", BudgetBytes / 6, Shards),
+      Solve("solve", BudgetBytes / 6, Shards),
+      Plan("plan", BudgetBytes / 6, Shards),
+      Response("response", BudgetBytes / 6, Shards) {}
+
+std::vector<const ShardedCache *> CacheSet::all() const {
+  return {&Ast, &Cfg, &Branch, &Solve, &Plan, &Response};
+}
+
+void CacheSet::clearAll() {
+  Ast.clear();
+  Cfg.clear();
+  Branch.clear();
+  Solve.clear();
+  Plan.clear();
+  Response.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Cached artifacts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tier "ast": one parsed + analyzed program. Immutable after build;
+/// Ok=false entries (parse errors) are cached too — rejecting a program
+/// is as deterministic as accepting it.
+struct AstArtifact {
+  AstContext Ctx;
+  std::string DiagText; ///< Rendered diagnostics (empty when clean).
+  bool Ok = false;
+};
+
+/// Tier "cfg": CFGs + call graph. Both point into the AST arena, so the
+/// artifact co-owns its AST entry — evicting the ast tier can never
+/// dangle a resident cfg entry.
+struct CfgArtifact {
+  std::shared_ptr<const AstArtifact> Ast;
+  CfgModule Cfgs;
+  CallGraph CG;
+};
+
+/// Tier "branch": one prediction table per function id.
+using BranchArtifact = std::vector<FunctionBranchPredictions>;
+
+/// The request options the protocol exposes. Everything that can vary
+/// here is folded into the cache keys (optionsHash / branchOptionsHash),
+/// so two requests differing in any knob can never alias an artifact.
+struct RequestOptions {
+  EstimatorOptions Est;
+
+  uint64_t optionsHash() const {
+    HashBuilder H("opts");
+    H.addU64(static_cast<uint64_t>(Est.Intra))
+        .addU64(static_cast<uint64_t>(Est.Inter))
+        .addU64(static_cast<uint64_t>(Est.MarkovIntra_.Solver))
+        .addDouble(Est.LoopIterations)
+        .addDouble(Est.Branch.TakenProbability)
+        .addBool(Est.Branch.UseConstantLoopBounds);
+    return H.digest();
+  }
+
+  /// The subset of knobs that influence branch prediction — the branch
+  /// tier is shared between configurations that differ only in, say,
+  /// the inter-procedural estimator.
+  uint64_t branchOptionsHash() const {
+    HashBuilder H("branch-opts");
+    H.addDouble(Est.LoopIterations)
+        .addDouble(Est.Branch.TakenProbability)
+        .addBool(Est.Branch.UseConstantLoopBounds);
+    return H.digest();
+  }
+};
+
+/// One decoded request line.
+struct Request {
+  std::string Op;
+  bool HasId = false;
+  double Id = 0;
+  std::string Source;
+  RequestOptions Opts;
+  bool Blocks = false;      ///< estimate: include per-block estimates
+  std::string Passes = "all"; ///< optimize: layout | inline | all
+  std::string Input;        ///< report: bytes the program reads
+  uint64_t Seed = 1;        ///< report: rand() seed
+  std::string Error;        ///< non-empty -> ok:false response
+};
+
+bool parseEstimatorOptions(const JsonValue &V, RequestOptions &O,
+                           std::string &Error) {
+  for (const auto &[K, Val] : V.Members) {
+    if (K == "intra") {
+      if (Val.StringVal == "loop")
+        O.Est.Intra = IntraEstimatorKind::Loop;
+      else if (Val.StringVal == "smart")
+        O.Est.Intra = IntraEstimatorKind::Smart;
+      else if (Val.StringVal == "markov")
+        O.Est.Intra = IntraEstimatorKind::Markov;
+      else {
+        Error = "unknown intra estimator '" + Val.StringVal + "'";
+        return false;
+      }
+    } else if (K == "inter") {
+      if (Val.StringVal == "call_site")
+        O.Est.Inter = InterEstimatorKind::CallSite;
+      else if (Val.StringVal == "direct")
+        O.Est.Inter = InterEstimatorKind::Direct;
+      else if (Val.StringVal == "all_rec")
+        O.Est.Inter = InterEstimatorKind::AllRec;
+      else if (Val.StringVal == "all_rec2")
+        O.Est.Inter = InterEstimatorKind::AllRec2;
+      else if (Val.StringVal == "markov")
+        O.Est.Inter = InterEstimatorKind::Markov;
+      else {
+        Error = "unknown inter estimator '" + Val.StringVal + "'";
+        return false;
+      }
+    } else if (K == "solver") {
+      if (Val.StringVal == "sparse")
+        O.Est.setSolver(MarkovSolverKind::Sparse);
+      else if (Val.StringVal == "dense")
+        O.Est.setSolver(MarkovSolverKind::Dense);
+      else {
+        Error = "unknown solver '" + Val.StringVal + "'";
+        return false;
+      }
+    } else if (K == "loop_iterations") {
+      if (!Val.isNumber() || Val.NumberVal < 1.0) {
+        Error = "loop_iterations must be a number >= 1";
+        return false;
+      }
+      O.Est.setLoopIterations(Val.NumberVal);
+    } else if (K == "taken_probability") {
+      if (!Val.isNumber() || Val.NumberVal <= 0.0 ||
+          Val.NumberVal >= 1.0) {
+        Error = "taken_probability must be in (0, 1)";
+        return false;
+      }
+      O.Est.Branch.TakenProbability = Val.NumberVal;
+    } else if (K == "constant_loop_bounds") {
+      O.Est.Branch.UseConstantLoopBounds = Val.BoolVal;
+      O.Est.MarkovIntra_.Branch.UseConstantLoopBounds = Val.BoolVal;
+    } else {
+      // Unknown knobs are rejected, not ignored: a silently dropped
+      // option would alias two different configurations onto one cache
+      // key.
+      Error = "unknown option '" + K + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+Request parseRequest(const std::string &Line) {
+  Request R;
+  std::optional<JsonValue> Doc = parseJson(Line);
+  if (!Doc || !Doc->isObject()) {
+    R.Error = "request is not a JSON object";
+    return R;
+  }
+  const JsonValue *Op = Doc->find("op");
+  if (!Op || !Op->isString()) {
+    R.Error = "missing string field 'op'";
+    return R;
+  }
+  R.Op = Op->StringVal;
+  if (const JsonValue *Id = Doc->find("id"); Id && Id->isNumber()) {
+    R.HasId = true;
+    R.Id = Id->NumberVal;
+  }
+  bool NeedsSource = R.Op == "parse" || R.Op == "estimate" ||
+                     R.Op == "optimize" || R.Op == "report";
+  if (!NeedsSource) {
+    if (R.Op != "stats" && R.Op != "shutdown")
+      R.Error = "unknown op '" + R.Op + "'";
+    return R;
+  }
+  const JsonValue *Source = Doc->find("source");
+  if (!Source || !Source->isString()) {
+    R.Error = "missing string field 'source'";
+    return R;
+  }
+  R.Source = Source->StringVal;
+  if (const JsonValue *Opts = Doc->find("options")) {
+    if (!Opts->isObject()) {
+      R.Error = "'options' must be an object";
+      return R;
+    }
+    if (!parseEstimatorOptions(*Opts, R.Opts, R.Error))
+      return R;
+  }
+  if (const JsonValue *B = Doc->find("blocks"); B && B->isBool())
+    R.Blocks = B->BoolVal;
+  if (const JsonValue *P = Doc->find("passes"); P && P->isString()) {
+    R.Passes = P->StringVal;
+    if (R.Passes != "layout" && R.Passes != "inline" &&
+        R.Passes != "all") {
+      R.Error = "unknown passes '" + R.Passes + "'";
+      return R;
+    }
+  }
+  if (const JsonValue *I = Doc->find("input"); I && I->isString())
+    R.Input = I->StringVal;
+  if (const JsonValue *S = Doc->find("seed"); S && S->isNumber())
+    R.Seed = static_cast<uint64_t>(S->NumberVal);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact construction (get-or-build per tier)
+//===----------------------------------------------------------------------===//
+
+// Byte accounting is approximate: what matters is that charges scale
+// with real footprint so the LRU budget means something, not that they
+// match malloc to the byte.
+
+size_t cfgArtifactBytes(const CfgArtifact &A) {
+  size_t Bytes = sizeof(CfgArtifact);
+  for (const auto &[F, G] : A.Cfgs.all()) {
+    (void)F;
+    Bytes += 64 + G->size() * 96;
+  }
+  return Bytes;
+}
+
+size_t branchArtifactBytes(const BranchArtifact &A) {
+  size_t Bytes = sizeof(BranchArtifact) + A.size() * 64;
+  for (const FunctionBranchPredictions &P : A) {
+    Bytes += P.ByBlock.size() * 64;
+    for (const auto &[B, Probs] : P.SwitchProbs) {
+      (void)B;
+      Bytes += 48 + Probs.size() * sizeof(double);
+    }
+  }
+  return Bytes;
+}
+
+size_t estimateBytes(const ProgramEstimate &E) {
+  size_t Bytes = sizeof(ProgramEstimate);
+  for (const auto &Row : E.BlockEstimates)
+    Bytes += 24 + Row.size() * sizeof(double);
+  Bytes += (E.FunctionEstimates.size() + E.CallSiteEstimates.size()) *
+           sizeof(double);
+  for (const FunctionBranchPredictions &P : E.Predictions) {
+    Bytes += 64 + P.ByBlock.size() * 64;
+    for (const auto &[B, Probs] : P.SwitchProbs) {
+      (void)B;
+      Bytes += 48 + Probs.size() * sizeof(double);
+    }
+  }
+  return Bytes;
+}
+
+std::shared_ptr<const AstArtifact> getOrBuildAst(CacheSet &Caches,
+                                                const std::string &Source) {
+  uint64_t Key = HashBuilder("ast").add(Source).digest();
+  if (auto A = Caches.Ast.getAs<AstArtifact>(Key))
+    return A;
+  auto A = std::make_shared<AstArtifact>();
+  {
+    obs::ScopedPhase Phase("service.build.ast");
+    DiagnosticEngine Diags;
+    A->Ok = parseAndAnalyze(Source, A->Ctx, Diags);
+    A->DiagText = Diags.str();
+  }
+  Caches.Ast.put(Key, A,
+                 sizeof(AstArtifact) + Source.size() +
+                     A->Ctx.arenaBytes() + A->DiagText.size());
+  return A;
+}
+
+std::shared_ptr<const CfgArtifact>
+getOrBuildCfg(CacheSet &Caches, const std::string &Source,
+              std::shared_ptr<const AstArtifact> Ast) {
+  uint64_t Key = HashBuilder("cfg").add(Source).digest();
+  if (auto A = Caches.Cfg.getAs<CfgArtifact>(Key))
+    return A;
+  auto A = std::make_shared<CfgArtifact>();
+  {
+    obs::ScopedPhase Phase("service.build.cfg");
+    A->Ast = std::move(Ast);
+    DiagnosticEngine Diags; // CFG construction emits no errors on a
+                            // program sema accepted.
+    A->Cfgs = CfgModule::build(A->Ast->Ctx.unit(), Diags);
+    A->CG = CallGraph::build(A->Ast->Ctx.unit(), A->Cfgs);
+  }
+  Caches.Cfg.put(Key, A, cfgArtifactBytes(*A));
+  return A;
+}
+
+std::shared_ptr<const BranchArtifact>
+getOrBuildBranch(CacheSet &Caches, const std::string &Source,
+                 const RequestOptions &Opts, const CfgArtifact &Cfg) {
+  uint64_t Key = HashBuilder("branch")
+                     .add(Source)
+                     .addU64(Opts.branchOptionsHash())
+                     .digest();
+  if (auto A = Caches.Branch.getAs<BranchArtifact>(Key))
+    return A;
+  auto A = std::make_shared<BranchArtifact>();
+  {
+    obs::ScopedPhase Phase("service.build.branch");
+    const TranslationUnit &Unit = Cfg.Ast->Ctx.unit();
+    A->resize(Unit.Functions.size());
+    BranchPredictorConfig BC = Opts.Est.Branch;
+    BC.LoopIterations = Opts.Est.LoopIterations;
+    BranchPredictor Predictor(BC);
+    for (const auto &[F, G] : Cfg.Cfgs.all())
+      (*A)[F->functionId()] = Predictor.predictFunction(*G);
+  }
+  Caches.Branch.put(Key, A, branchArtifactBytes(*A));
+  return A;
+}
+
+std::shared_ptr<const ProgramEstimate>
+getOrBuildSolve(CacheSet &Caches, const std::string &Source,
+                const RequestOptions &Opts, const CfgArtifact &Cfg,
+                const BranchArtifact &Branch) {
+  uint64_t Key = HashBuilder("solve")
+                     .add(Source)
+                     .addU64(Opts.optionsHash())
+                     .digest();
+  if (auto A = Caches.Solve.getAs<ProgramEstimate>(Key))
+    return A;
+  std::shared_ptr<ProgramEstimate> A;
+  {
+    obs::ScopedPhase Phase("service.build.solve");
+    // Per-function parallelism stays off inside the service: the
+    // service parallelizes across requests, and nested pools would
+    // oversubscribe the batch workers.
+    EstimatorOptions Est = Opts.Est;
+    Est.Jobs = 1;
+    A = std::make_shared<ProgramEstimate>(
+        estimateProgram(Cfg.Ast->Ctx.unit(), Cfg.Cfgs, Cfg.CG, Est,
+                        &Branch));
+  }
+  Caches.Solve.put(Key, A, estimateBytes(*A));
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Response rendering
+//===----------------------------------------------------------------------===//
+
+/// What the response tier memoizes: everything about a response except
+/// the per-request envelope (the echoed id). ResultJson is one complete
+/// pre-rendered JSON object, spliced into the envelope verbatim — warm
+/// responses are byte-identical to cold ones because both go through
+/// the same splice.
+struct ResponseBody {
+  bool Ok = false;
+  std::string Error;      ///< Set when !Ok.
+  std::string ResultJson; ///< Set when Ok.
+};
+
+/// Renders the full response line for \p R around \p Body.
+std::string renderEnvelope(const Request &R, const ResponseBody &Body) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("protocol", "sest-service/1");
+  if (R.HasId)
+    W.member("id", R.Id);
+  W.member("op", R.Op);
+  W.member("ok", Body.Ok);
+  if (!R.Source.empty())
+    W.member("program_hash",
+             hashHex(contentHash64(R.Source)));
+  if (Body.Ok)
+    W.key("result").rawValue(Body.ResultJson);
+  else
+    W.member("error", Body.Error);
+  W.endObject();
+  return W.take();
+}
+
+std::string renderError(const Request &R, const std::string &Error) {
+  ResponseBody Body;
+  Body.Error = Error;
+  return renderEnvelope(R, Body);
+}
+
+std::string parseResultJson(const CfgArtifact &Cfg) {
+  const TranslationUnit &Unit = Cfg.Ast->Ctx.unit();
+  size_t TotalBlocks = 0;
+  JsonWriter W;
+  W.beginObject();
+  W.key("functions").beginArray();
+  for (const auto &[F, G] : Cfg.Cfgs.all()) {
+    TotalBlocks += G->size();
+    W.beginObject();
+    W.member("name", F->name());
+    W.member("blocks", static_cast<uint64_t>(G->size()));
+    W.endObject();
+  }
+  W.endArray();
+  W.member("total_blocks", static_cast<uint64_t>(TotalBlocks));
+  W.member("call_sites", static_cast<uint64_t>(Unit.NumCallSites));
+  W.endObject();
+  return W.take();
+}
+
+std::string estimateResultJson(const Request &R, const CfgArtifact &Cfg,
+                               const ProgramEstimate &E) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("intra", intraEstimatorName(R.Opts.Est.Intra));
+  W.member("inter", interEstimatorName(R.Opts.Est.Inter));
+  W.key("functions").beginArray();
+  for (const auto &[F, G] : Cfg.Cfgs.all()) {
+    (void)G;
+    size_t Fid = F->functionId();
+    W.beginObject();
+    W.member("name", F->name());
+    W.member("invocations", E.FunctionEstimates[Fid]);
+    if (R.Blocks) {
+      W.key("blocks").beginArray();
+      for (double B : E.BlockEstimates[Fid])
+        W.value(B);
+      W.endArray();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.key("call_sites").beginArray();
+  for (double C : E.CallSiteEstimates)
+    W.value(C);
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+std::string optimizeResultJson(const Request &R, const CfgArtifact &Cfg,
+                               const ProgramEstimate &E) {
+  const TranslationUnit &Unit = Cfg.Ast->Ctx.unit();
+  // The plan must be value-only: InlinePlan and layouts reference AST
+  // nodes whose lifetime is the ast tier entry's, so everything is
+  // rendered to JSON before it can outlive the artifacts.
+  opt::WeightSource Weights =
+      opt::weightsFromEstimate(Unit, Cfg.Cfgs, E, R.Opts.Est);
+  JsonWriter W;
+  W.beginObject();
+  W.member("passes", R.Passes);
+  W.member("weights", Weights.Origin);
+  if (R.Passes == "layout" || R.Passes == "all") {
+    opt::ProgramLayout Layout =
+        opt::computeBlockLayout(Unit, Cfg.Cfgs, Weights);
+    W.key("layout").beginArray();
+    for (const auto &[F, G] : Cfg.Cfgs.all()) {
+      (void)G;
+      const opt::FunctionLayout &FL = Layout.Functions[F->functionId()];
+      W.beginObject();
+      W.member("name", F->name());
+      W.key("order").beginArray();
+      for (uint32_t B : FL.Order)
+        W.value(B);
+      W.endArray();
+      W.member("chains", FL.NumChains);
+      W.member("first_cold", FL.FirstColdPos);
+      W.endObject();
+    }
+    W.endArray();
+    opt::BranchHints Hints =
+        opt::computeBranchHints(Unit, Cfg.Cfgs, Weights);
+    W.key("never_taken").beginArray();
+    for (const opt::BranchHints::ColdArc &A : Hints.NeverTaken) {
+      W.beginObject();
+      W.member("function", A.Fid);
+      W.member("block", A.Block);
+      W.member("slot", A.Slot);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  if (R.Passes == "inline" || R.Passes == "all") {
+    opt::InlinePlan Plan =
+        opt::planInlining(Unit, Cfg.Cfgs, Cfg.CG, Weights);
+    W.key("inline").beginArray();
+    for (const opt::InlineDecision &D : Plan.Sites) {
+      W.beginObject();
+      W.member("call_site", D.CallSiteId);
+      W.member("caller", D.Caller->name());
+      W.member("callee", D.Callee->name());
+      W.member("weight", D.Weight);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+  return W.take();
+}
+
+std::string reportResultJson(const Request &R, const CfgArtifact &Cfg,
+                             const ProgramEstimate &E) {
+  const TranslationUnit &Unit = Cfg.Ast->Ctx.unit();
+  ProgramInput Input;
+  Input.Text = R.Input;
+  Input.RandSeed = R.Seed;
+  RunResult Run;
+  {
+    obs::ScopedPhase Phase("service.build.run");
+    Run = runProgram(Unit, Cfg.Cfgs, Input);
+  }
+  JsonWriter W;
+  W.beginObject();
+  W.key("run").beginObject();
+  W.member("ok", Run.Ok);
+  if (!Run.Ok)
+    W.member("error", Run.Error);
+  W.member("exit_code", Run.ExitCode);
+  W.member("steps", Run.StepsExecuted);
+  W.member("output", Run.Output);
+  W.endObject();
+  if (Run.Ok) {
+    std::vector<size_t> Ids = scoredFunctionIds(Unit);
+    W.key("scores").beginArray();
+    for (double Cutoff : {0.10, 0.25, 0.50}) {
+      W.beginObject();
+      W.member("cutoff", Cutoff);
+      W.member("intra",
+               intraProceduralScore(E, Run.TheProfile, Ids, Cutoff));
+      W.member("functions",
+               functionInvocationScore(E, Run.TheProfile, Ids, Cutoff));
+      W.member("call_sites", callSiteScore(E, Run.TheProfile, Cutoff));
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+  return W.take();
+}
+
+/// The semantic key of a cacheable request: op + source + every knob
+/// that can change the result. Deliberately NOT the raw line — field
+/// order and the echoed id must not fragment the response tier.
+uint64_t responseKey(const Request &R) {
+  HashBuilder H("response");
+  H.add(R.Op)
+      .add(R.Source)
+      .addU64(R.Opts.optionsHash())
+      .addBool(R.Blocks)
+      .add(R.Passes)
+      .add(R.Input)
+      .addU64(R.Seed);
+  return H.digest();
+}
+
+/// Computes the response body for one cacheable op (parse / estimate /
+/// optimize / report), walking the artifact tiers top-down so every
+/// stage that is already cached is skipped.
+ResponseBody buildBody(CacheSet &Caches, const Request &R) {
+  ResponseBody Body;
+  std::shared_ptr<const AstArtifact> Ast =
+      getOrBuildAst(Caches, R.Source);
+  if (!Ast->Ok) {
+    Body.Error = "program does not parse: " + Ast->DiagText;
+    return Body;
+  }
+  std::shared_ptr<const CfgArtifact> Cfg =
+      getOrBuildCfg(Caches, R.Source, Ast);
+  if (R.Op == "parse") {
+    Body.Ok = true;
+    Body.ResultJson = parseResultJson(*Cfg);
+    return Body;
+  }
+  std::shared_ptr<const BranchArtifact> Branch =
+      getOrBuildBranch(Caches, R.Source, R.Opts, *Cfg);
+  std::shared_ptr<const ProgramEstimate> Solve =
+      getOrBuildSolve(Caches, R.Source, R.Opts, *Cfg, *Branch);
+  if (R.Op == "estimate") {
+    Body.Ok = true;
+    Body.ResultJson = estimateResultJson(R, *Cfg, *Solve);
+  } else if (R.Op == "optimize") {
+    // Plans get their own tier: they depend on `passes` on top of the
+    // solve, and rendering them walks the optimizer.
+    uint64_t PlanKey = HashBuilder("plan")
+                           .add(R.Source)
+                           .addU64(R.Opts.optionsHash())
+                           .add(R.Passes)
+                           .digest();
+    std::shared_ptr<const std::string> Plan =
+        Caches.Plan.getAs<std::string>(PlanKey);
+    if (!Plan) {
+      obs::ScopedPhase Phase("service.build.plan");
+      Plan = std::make_shared<const std::string>(
+          optimizeResultJson(R, *Cfg, *Solve));
+      Caches.Plan.put(PlanKey, Plan, sizeof(std::string) + Plan->size());
+    }
+    Body.Ok = true;
+    Body.ResultJson = *Plan;
+  } else { // report
+    Body.Ok = true;
+    Body.ResultJson = reportResultJson(R, *Cfg, *Solve);
+  }
+  return Body;
+}
+
+std::string statsResultJson(const ServiceOptions &Opts,
+                            const CacheSet &Caches) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", "sest-service-stats/1");
+  W.member("jobs", Opts.Jobs);
+  W.member("cache_budget_bytes",
+           static_cast<uint64_t>(Opts.CacheBudgetBytes));
+  W.member("cache_shards", Opts.CacheShards);
+  W.key("cache").beginObject();
+  for (const ShardedCache *C : Caches.all()) {
+    CacheTierStats S = C->stats();
+    W.key(C->tier()).beginObject();
+    W.member("hit", S.Hits);
+    W.member("miss", S.Misses);
+    W.member("evict", S.Evictions);
+    W.member("bytes", S.Bytes);
+    W.member("entries", S.Entries);
+    W.endObject();
+  }
+  W.endObject();
+  // The live telemetry report (phases, counters, gauges, histograms —
+  // the same shape the suite report embeds), when the caller's thread
+  // has a collector installed.
+  if (obs::Telemetry *T = obs::Telemetry::active()) {
+    W.key("telemetry");
+    T->writeReport(W);
+  } else {
+    W.key("telemetry").nullValue(); // no collector installed
+  }
+  W.endObject();
+  return W.take();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Service
+//===----------------------------------------------------------------------===//
+
+Service::Service(const ServiceOptions &Options)
+    : Opts(Options),
+      Caches(std::make_unique<CacheSet>(Options.CacheBudgetBytes,
+                                        Options.CacheShards)) {}
+
+Service::~Service() = default;
+
+void Service::clearCache() { Caches->clearAll(); }
+
+std::string Service::statsJson() const {
+  Request R;
+  R.Op = "stats";
+  ResponseBody Body;
+  Body.Ok = true;
+  Body.ResultJson = statsResultJson(Opts, *Caches);
+  return renderEnvelope(R, Body);
+}
+
+std::string Service::dispatch(const std::string &Line) {
+  Request R = parseRequest(Line);
+  obs::ScopedPhase Phase("service.request", R.Op);
+  obs::counterAdd(R.Error.empty() ? "service.requests"
+                                  : "service.requests.bad");
+  if (!R.Error.empty())
+    return renderError(R, R.Error);
+
+  // stats and shutdown are control ops: answered live, never cached.
+  if (R.Op == "stats") {
+    ResponseBody Body;
+    Body.Ok = true;
+    Body.ResultJson = statsResultJson(Opts, *Caches);
+    return renderEnvelope(R, Body);
+  }
+  if (R.Op == "shutdown") {
+    Shutdown.store(true, std::memory_order_relaxed);
+    ResponseBody Body;
+    Body.Ok = true;
+    Body.ResultJson = "{\"shutting_down\":true}";
+    return renderEnvelope(R, Body);
+  }
+
+  // The response tier short-circuits every analysis stage. A racing
+  // duplicate compute is benign (deterministic bodies; first put wins).
+  uint64_t Key = responseKey(R);
+  std::shared_ptr<const ResponseBody> Body =
+      Caches->Response.getAs<ResponseBody>(Key);
+  if (!Body) {
+    auto Built = std::make_shared<ResponseBody>(buildBody(*Caches, R));
+    Caches->Response.put(Key, Built,
+                         sizeof(ResponseBody) + Built->Error.size() +
+                             Built->ResultJson.size());
+    Body = std::move(Built);
+  }
+  return renderEnvelope(R, *Body);
+}
+
+std::string Service::handle(const std::string &Line) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start = Clock::now();
+  std::string Out = dispatch(Line);
+  obs::histRecord(
+      "service.request_us",
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - Start)
+              .count()));
+  return Out;
+}
+
+std::vector<std::string>
+Service::handleBatch(const std::vector<std::string> &Lines) {
+  std::vector<std::string> Out(Lines.size());
+  obs::ScopedPhase Phase("service.batch");
+  obs::gaugeMax("service.batch.depth",
+                static_cast<double>(Lines.size()));
+  obs::counterAdd("service.batches");
+
+  unsigned Jobs = Opts.Jobs == 0
+                      ? std::max(1u, std::thread::hardware_concurrency())
+                      : Opts.Jobs;
+  if (Jobs <= 1 || Lines.size() <= 1) {
+    for (size_t I = 0; I < Lines.size(); ++I)
+      Out[I] = handle(Lines[I]);
+    return Out;
+  }
+
+  // The suite runner's pool shape: workers pull the next request index,
+  // each task collects telemetry/events into private contexts on its
+  // worker's trace track, and contexts merge back in request order —
+  // so the merged report is independent of scheduling.
+  obs::TaskCapture Cap;
+  std::vector<obs::TaskCapture::Slot> Slots(Lines.size());
+  std::atomic<size_t> Next{0};
+  auto Worker = [&](uint32_t Track) {
+    std::string Name = "service-" + std::to_string(Track);
+    for (size_t I; (I = Next.fetch_add(1)) < Lines.size();)
+      Cap.run(Slots[I], Track, Name, [&] { Out[I] = handle(Lines[I]); });
+  };
+  std::vector<std::thread> Pool;
+  unsigned N =
+      static_cast<unsigned>(std::min<size_t>(Jobs, Lines.size()));
+  Pool.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Pool.emplace_back(Worker, I + 1);
+  for (std::thread &T : Pool)
+    T.join();
+  for (obs::TaskCapture::Slot &S : Slots)
+    Cap.merge(S);
+  return Out;
+}

@@ -1,0 +1,130 @@
+//===- service/Service.h - The sestd analysis service -----------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis-as-a-service core behind tools/sestd: newline-delimited
+/// JSON requests in, newline-delimited JSON responses out, executed
+/// batched on a thread pool and answered from a content-addressed
+/// memoization cache so a repeated or overlapping request skips every
+/// pipeline stage it has already paid for.
+///
+/// Protocol (`sest-service/1`, one JSON object per line; see
+/// docs/SERVICE.md for the full schema):
+///
+///   {"op":"parse",    "source":"...", ["id":N]}
+///   {"op":"estimate", "source":"...", ["options":{...}, "blocks":true]}
+///   {"op":"optimize", "source":"...", ["passes":"layout|inline|all"]}
+///   {"op":"report",   "source":"...", ["input":"...", "seed":N]}
+///   {"op":"stats"}          -> live telemetry + cache counters
+///   {"op":"shutdown"}       -> acknowledge, then the server exits
+///
+/// Cache tiers (each a ShardedCache, keyed by support::contentHash64
+/// over source text + the options that influence the artifact):
+///
+///   ast       parsed+analyzed ASTs
+///   cfg       CFGs + call graph (co-owns its AST entry)
+///   branch    branch-prediction tables
+///   solve     sparse-Markov solve results (whole ProgramEstimates)
+///   plan      optimizer plans (layout / hints / inline selection)
+///   response  rendered response bodies, keyed by the raw request line
+///
+/// Determinism contract (extends the repo-wide one to the service
+/// layer): a request's response is byte-identical whether it is served
+/// cold, warm, after any eviction history, at any batch split, and at
+/// any Jobs value. This holds because every cached artifact is a
+/// deterministic pure function of its key's content, responses embed no
+/// wall-clock or cache-provenance data, and `stats` (the one
+/// intentionally live, non-deterministic answer) is excluded from the
+/// contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SERVICE_SERVICE_H
+#define SERVICE_SERVICE_H
+
+#include "service/Cache.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sest::service {
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Worker threads per batch (1 = serial, 0 = hardware_concurrency).
+  /// Responses are byte-identical for every value.
+  unsigned Jobs = 1;
+  /// Total cache byte budget, split evenly across the six tiers
+  /// (0 disables memoization entirely — every request recomputes).
+  size_t CacheBudgetBytes = 256u << 20;
+  /// Mutex stripes per tier.
+  unsigned CacheShards = 16;
+};
+
+/// The six cache tiers of one service instance.
+struct CacheSet {
+  ShardedCache Ast, Cfg, Branch, Solve, Plan, Response;
+
+  CacheSet(size_t BudgetBytes, unsigned Shards);
+  /// Tier pointers in stable report order.
+  std::vector<const ShardedCache *> all() const;
+  void clearAll();
+};
+
+/// A long-lived analysis service instance. One Service is driven from
+/// one thread (sestd's read loop, a test, a bench); the parallelism is
+/// inside handleBatch. See the file comment for the contract.
+class Service {
+public:
+  explicit Service(const ServiceOptions &Options = {});
+  ~Service();
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// Handles one request line; returns the response line (no trailing
+  /// newline). Never throws: malformed input becomes an ok:false
+  /// response.
+  std::string handle(const std::string &Line);
+
+  /// Handles a batch: requests execute concurrently on Jobs workers,
+  /// responses come back in request order. Per-task telemetry and event
+  /// logs are captured via obs::TaskCapture and merged in task order,
+  /// exactly like the suite runner's pool.
+  std::vector<std::string> handleBatch(const std::vector<std::string> &Lines);
+
+  /// True once a shutdown request has been acknowledged; the driver
+  /// loop should stop reading after draining the current batch.
+  bool shutdownRequested() const {
+    return Shutdown.load(std::memory_order_relaxed);
+  }
+
+  /// The live stats document (also served as the `stats` op): cache
+  /// tier counters plus the ambient telemetry report when a context is
+  /// installed on the calling thread.
+  std::string statsJson() const;
+
+  /// Drops every cached artifact (for tests and benches; counters keep
+  /// counting).
+  void clearCache();
+
+  const CacheSet &caches() const { return *Caches; }
+  const ServiceOptions &options() const { return Opts; }
+
+private:
+  std::string dispatch(const std::string &Line);
+
+  ServiceOptions Opts;
+  std::unique_ptr<CacheSet> Caches;
+  /// Atomic: a shutdown request may land on any batch worker.
+  std::atomic<bool> Shutdown{false};
+};
+
+} // namespace sest::service
+
+#endif // SERVICE_SERVICE_H

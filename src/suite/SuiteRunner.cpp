@@ -10,6 +10,7 @@
 #include "interp/bytecode/BytecodeVM.h"
 #include "obs/EventLog.h"
 #include "obs/Telemetry.h"
+#include "support/Hash.h"
 #include "support/Json.h"
 
 #include <atomic>
@@ -230,8 +231,10 @@ sest::computeSuiteAccuracy(const std::vector<CompiledSuiteProgram> &Programs,
         "aggregate(" + std::to_string(P.Profiles.size()) + ")";
     ProgramEstimate Estimate =
         estimateProgram(P.unit(), *P.Cfgs, *P.CG, InnerOpts);
-    return obs::computeAccuracy(P.unit(), *P.Cfgs, *P.CG, Estimate,
-                                Aggregate, InnerOpts);
+    obs::AccuracyReport Rep = obs::computeAccuracy(
+        P.unit(), *P.Cfgs, *P.CG, Estimate, Aggregate, InnerOpts);
+    Rep.ProgramHash = hashHex(contentHash64(P.Spec->Source));
+    return Rep;
   };
 
   if (Jobs == 0)

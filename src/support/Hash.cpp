@@ -1,0 +1,19 @@
+//===- support/Hash.cpp - Stable content hashing ---------------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+
+using namespace sest;
+
+std::string sest::hashHex(uint64_t H) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[static_cast<size_t>(I)] = Digits[H & 0xf];
+    H >>= 4;
+  }
+  return Out;
+}

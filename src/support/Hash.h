@@ -1,0 +1,108 @@
+//===- support/Hash.h - Stable content hashing ------------------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stable 64-bit content hash (FNV-1a) and a small builder for hashing
+/// structured keys. Two contracts matter here:
+///
+///  1. *Stability.* The hash of a byte sequence is the same on every
+///     platform, compiler, and run — it never depends on pointer values,
+///     std::hash, or endianness of anything but the bytes themselves.
+///     The test suite pins the published FNV-1a test vectors, so the
+///     function can never drift silently. Hashes are therefore safe to
+///     persist (cache keys, the `program_hash` field of report JSON) and
+///     to join across artifacts produced by different builds.
+///
+///  2. *Canonical field framing.* HashBuilder feeds every field through
+///     a fixed little-endian byte encoding and separates variable-length
+///     fields by their length, so ("ab","c") and ("a","bc") hash
+///     differently and adding a field can never alias an existing key.
+///
+/// Used for the analysis service's content-addressed memoization cache
+/// keys (src/service/) and for the program_hash field that lets accuracy
+/// and optimizer reports be joined against cache entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SUPPORT_HASH_H
+#define SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace sest {
+
+/// FNV-1a offset basis / prime (64-bit variant).
+inline constexpr uint64_t ContentHashSeed = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t ContentHashPrime = 0x100000001b3ULL;
+
+/// Extends \p H with \p Size bytes of \p Data (FNV-1a step).
+inline uint64_t contentHash64Extend(uint64_t H, const void *Data,
+                                    size_t Size) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= static_cast<uint64_t>(P[I]);
+    H *= ContentHashPrime;
+  }
+  return H;
+}
+
+/// The stable 64-bit content hash of \p Bytes.
+inline uint64_t contentHash64(std::string_view Bytes) {
+  return contentHash64Extend(ContentHashSeed, Bytes.data(), Bytes.size());
+}
+
+/// Formats a hash the way reports and cache logs spell it: 16 lowercase
+/// hex digits, zero-padded, no prefix.
+std::string hashHex(uint64_t H);
+
+/// Incremental hasher for structured keys. Every variable-length field
+/// is framed by its length, and every scalar goes through a fixed
+/// little-endian encoding, so field boundaries can never alias.
+class HashBuilder {
+public:
+  HashBuilder() = default;
+  /// Starts from a domain tag so different key spaces (cache tiers)
+  /// never collide even over identical field sequences.
+  explicit HashBuilder(std::string_view Domain) { add(Domain); }
+
+  HashBuilder &add(std::string_view S) {
+    addU64(S.size());
+    H = contentHash64Extend(H, S.data(), S.size());
+    return *this;
+  }
+
+  HashBuilder &addU64(uint64_t V) {
+    unsigned char B[8];
+    for (int I = 0; I < 8; ++I)
+      B[I] = static_cast<unsigned char>(V >> (8 * I));
+    H = contentHash64Extend(H, B, sizeof(B));
+    return *this;
+  }
+
+  HashBuilder &addBool(bool V) { return addU64(V ? 1 : 0); }
+
+  /// Hashes the IEEE-754 bit pattern, so 1.0 and 1.5 (and +0.0 / -0.0)
+  /// are distinct fields.
+  HashBuilder &addDouble(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    return addU64(Bits);
+  }
+
+  uint64_t digest() const { return H; }
+
+private:
+  uint64_t H = ContentHashSeed;
+};
+
+} // namespace sest
+
+#endif // SUPPORT_HASH_H

@@ -144,6 +144,12 @@ JsonWriter &JsonWriter::value(std::string_view S) {
   return *this;
 }
 
+JsonWriter &JsonWriter::rawValue(std::string_view Json) {
+  beforeValue();
+  Out += Json;
+  return *this;
+}
+
 JsonWriter &JsonWriter::value(double V) {
   beforeValue();
   Out += jsonNumber(V);

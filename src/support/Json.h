@@ -61,6 +61,12 @@ public:
   JsonWriter &value(bool V);
   JsonWriter &nullValue();
 
+  /// Splices \p Json — one complete, pre-rendered JSON value — into the
+  /// document verbatim. The caller guarantees it is valid JSON; this is
+  /// how cached, already-rendered sub-documents (e.g. the analysis
+  /// service's memoized result bodies) are embedded without re-parsing.
+  JsonWriter &rawValue(std::string_view Json);
+
   /// Shorthand for key(K).value(V).
   template <typename T> JsonWriter &member(std::string_view K, T &&V) {
     key(K);

@@ -1,0 +1,343 @@
+//===- tests/test_service.cpp - Analysis service unit tests ----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-correctness edge cases for the sestd analysis service
+/// (src/service/): the sharded LRU tiers in isolation, key separation
+/// (a one-token source edit misses every tier; identical source under
+/// different options never collides), and the determinism contract —
+/// responses byte-identical cold vs warm, under eviction churn, and
+/// across --jobs values.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Cache.h"
+#include "service/Service.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace sest;
+using namespace sest::service;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ShardedCache
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const void> box(int V) {
+  return std::make_shared<int>(V);
+}
+
+TEST(ShardedCache, HitAfterPutAndMissCounters) {
+  ShardedCache C("t", 1024, 1);
+  EXPECT_EQ(C.get(1), nullptr);
+  C.put(1, box(41), 100);
+  auto V = C.getAs<int>(1);
+  ASSERT_NE(V, nullptr);
+  EXPECT_EQ(*V, 41);
+  CacheTierStats S = C.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Bytes, 100u);
+}
+
+TEST(ShardedCache, DuplicatePutKeepsResidentValue) {
+  ShardedCache C("t", 1024, 1);
+  C.put(1, box(1), 100);
+  C.put(1, box(2), 100); // deterministic artifacts: first insert wins
+  EXPECT_EQ(*C.getAs<int>(1), 1);
+  EXPECT_EQ(C.stats().Bytes, 100u);
+  EXPECT_EQ(C.stats().Entries, 1u);
+}
+
+TEST(ShardedCache, EvictsLeastRecentlyUsedWithinBudget) {
+  ShardedCache C("t", 300, 1);
+  C.put(1, box(1), 100);
+  C.put(2, box(2), 100);
+  C.put(3, box(3), 100);
+  ASSERT_NE(C.get(1), nullptr); // 1 is now most recent
+  C.put(4, box(4), 100);        // evicts 2, the least recent
+  EXPECT_EQ(C.get(2), nullptr);
+  EXPECT_NE(C.get(1), nullptr);
+  EXPECT_NE(C.get(3), nullptr);
+  EXPECT_NE(C.get(4), nullptr);
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_LE(C.stats().Bytes, 300u);
+}
+
+TEST(ShardedCache, EvictedValueSurvivesWhileHeld) {
+  ShardedCache C("t", 100, 1);
+  C.put(1, box(7), 100);
+  auto Held = C.getAs<int>(1);
+  C.put(2, box(8), 100); // evicts key 1
+  EXPECT_EQ(C.get(1), nullptr);
+  ASSERT_NE(Held, nullptr); // the holder keeps the artifact alive
+  EXPECT_EQ(*Held, 7);
+}
+
+TEST(ShardedCache, OversizedValueIsNotAdmitted) {
+  ShardedCache C("t", 100, 1);
+  C.put(1, box(1), 101);
+  EXPECT_EQ(C.get(1), nullptr);
+  EXPECT_EQ(C.stats().Entries, 0u);
+}
+
+TEST(ShardedCache, ZeroBudgetDisablesCaching) {
+  ShardedCache C("t", 0, 4);
+  C.put(1, box(1), 0); // even zero-byte values are refused
+  EXPECT_EQ(C.get(1), nullptr);
+  EXPECT_EQ(C.stats().Entries, 0u);
+}
+
+TEST(ShardedCache, ClearDropsEntriesButKeepsCounters) {
+  ShardedCache C("t", 1024, 2);
+  C.put(1, box(1), 10);
+  C.put(2, box(2), 10);
+  ASSERT_NE(C.get(1), nullptr);
+  C.clear();
+  EXPECT_EQ(C.stats().Entries, 0u);
+  EXPECT_EQ(C.stats().Bytes, 0u);
+  EXPECT_EQ(C.stats().Hits, 1u); // counters keep counting
+  EXPECT_EQ(C.get(2), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Service cache correctness
+//===----------------------------------------------------------------------===//
+
+// A program with a loop, a branch, and a call — touches every tier.
+const char *SourceA =
+    "int triangle(int n) { int s = 0; int i; "
+    "for (i = 1; i <= n; i++) s += i; return s; } "
+    "int main() { int n = read_int(); print_int(triangle(n)); "
+    "return 0; }";
+// One token differs from SourceA: `i <= n` became `i < n`.
+const char *SourceB =
+    "int triangle(int n) { int s = 0; int i; "
+    "for (i = 1; i < n; i++) s += i; return s; } "
+    "int main() { int n = read_int(); print_int(triangle(n)); "
+    "return 0; }";
+
+std::string estimateRequest(const char *Source,
+                            const std::string &OptionsJson = "",
+                            bool Blocks = false) {
+  std::string R = "{\"op\":\"estimate\",\"source\":\"";
+  R += jsonEscape(Source);
+  R += "\"";
+  if (Blocks)
+    R += ",\"blocks\":true";
+  if (!OptionsJson.empty())
+    R += ",\"options\":" + OptionsJson;
+  R += "}";
+  return R;
+}
+
+uint64_t totalMisses(const Service &S) {
+  uint64_t N = 0;
+  for (const ShardedCache *C : S.caches().all())
+    N += C->stats().Misses;
+  return N;
+}
+
+std::string optimizeRequest(const char *Source) {
+  return std::string("{\"op\":\"optimize\",\"source\":\"") +
+         jsonEscape(Source) + "\",\"passes\":\"all\"}";
+}
+
+TEST(Service, OneTokenEditMissesEveryTier) {
+  Service S;
+  // optimize walks all six tiers (ast, cfg, branch, solve, plan,
+  // response).
+  EXPECT_TRUE(S.handle(optimizeRequest(SourceA)).find("\"ok\":true") !=
+              std::string::npos);
+  // Every tier now holds SourceA's artifacts. The edited program must
+  // hit NONE of them: each tier's miss counter advances.
+  std::vector<CacheTierStats> Before;
+  for (const ShardedCache *C : S.caches().all())
+    Before.push_back(C->stats());
+  EXPECT_TRUE(S.handle(optimizeRequest(SourceB)).find("\"ok\":true") !=
+              std::string::npos);
+  size_t I = 0;
+  for (const ShardedCache *C : S.caches().all()) {
+    CacheTierStats After = C->stats();
+    EXPECT_GT(After.Misses, Before[I].Misses)
+        << "tier '" << C->tier()
+        << "' served a stale artifact for an edited program";
+    EXPECT_EQ(After.Hits, Before[I].Hits)
+        << "tier '" << C->tier()
+        << "' hit on a program it never saw";
+    ++I;
+  }
+}
+
+TEST(Service, DifferentOptionsDoNotCollide) {
+  Service S;
+  std::string R1 = S.handle(estimateRequest(SourceA, "", /*Blocks=*/true));
+  // Same source, very different loop count: the block estimates must
+  // change, which they cannot if the solve tier collides the two keys.
+  std::string R2 = S.handle(estimateRequest(
+      SourceA, "{\"loop_iterations\":100}", /*Blocks=*/true));
+  EXPECT_NE(R1, R2);
+  // Distinct entries for both configurations in the options-keyed
+  // tiers; the source-keyed tiers (ast, cfg) are shared.
+  EXPECT_EQ(S.caches().Solve.stats().Entries, 2u);
+  EXPECT_EQ(S.caches().Branch.stats().Entries, 2u);
+  EXPECT_EQ(S.caches().Ast.stats().Entries, 1u);
+  EXPECT_EQ(S.caches().Cfg.stats().Entries, 1u);
+  // And an option that only affects the inter-procedural stage shares
+  // the branch tier but not the solve tier.
+  S.handle(estimateRequest(SourceA, "{\"inter\":\"direct\"}"));
+  EXPECT_EQ(S.caches().Solve.stats().Entries, 3u);
+  EXPECT_EQ(S.caches().Branch.stats().Entries, 2u);
+}
+
+TEST(Service, WarmResponsesAreByteIdentical) {
+  Service S;
+  std::vector<std::string> Requests = {
+      std::string("{\"id\":1,\"op\":\"parse\",\"source\":\"") +
+          jsonEscape(SourceA) + "\"}",
+      estimateRequest(SourceA),
+      estimateRequest(SourceA, "{\"intra\":\"markov\"}"),
+      std::string("{\"op\":\"optimize\",\"source\":\"") +
+          jsonEscape(SourceA) + "\",\"passes\":\"all\"}",
+      std::string("{\"op\":\"report\",\"source\":\"") +
+          jsonEscape(SourceA) + "\",\"input\":\"12\"}",
+  };
+  std::vector<std::string> Cold = S.handleBatch(Requests);
+  std::vector<std::string> Warm = S.handleBatch(Requests);
+  ASSERT_EQ(Cold.size(), Warm.size());
+  for (size_t I = 0; I < Cold.size(); ++I) {
+    EXPECT_TRUE(Cold[I].find("\"ok\":true") != std::string::npos)
+        << Cold[I];
+    EXPECT_EQ(Cold[I], Warm[I]) << "request " << I;
+  }
+  // The second pass was actually served warm.
+  EXPECT_GT(S.caches().Response.stats().Hits, 0u);
+}
+
+TEST(Service, EvictionChurnCannotChangeResponses) {
+  // Budget so small the tiers evict constantly (but still admit one
+  // entry at a time); alternate two programs so every request evicts
+  // the other's artifacts.
+  ServiceOptions Tiny;
+  Tiny.CacheBudgetBytes = 6 * 16 * 1024; // ~16 KiB per tier
+  Tiny.CacheShards = 1;
+  Service Churn(Tiny);
+  Service Roomy; // default budget: no eviction
+  for (int Round = 0; Round < 3; ++Round)
+    for (const char *Src : {SourceA, SourceB}) {
+      std::string Req = estimateRequest(Src);
+      EXPECT_EQ(Churn.handle(Req), Roomy.handle(Req));
+    }
+}
+
+TEST(Service, DisabledCacheMatchesEnabledCache) {
+  ServiceOptions Off;
+  Off.CacheBudgetBytes = 0;
+  Service NoCache(Off);
+  Service Cached;
+  for (int Round = 0; Round < 2; ++Round)
+    for (const char *Src : {SourceA, SourceB}) {
+      std::string Req = estimateRequest(Src);
+      EXPECT_EQ(NoCache.handle(Req), Cached.handle(Req));
+    }
+  uint64_t Entries = 0;
+  for (const ShardedCache *C : NoCache.caches().all())
+    Entries += C->stats().Entries;
+  EXPECT_EQ(Entries, 0u);
+}
+
+TEST(Service, JobsOneAndEightAreByteIdentical) {
+  // A batch of distinct + repeated requests, executed serially and on
+  // eight workers: responses must match byte for byte, in order.
+  std::vector<std::string> Requests;
+  for (int I = 0; I < 24; ++I) {
+    const char *Src = I % 2 ? SourceA : SourceB;
+    switch (I % 4) {
+    case 0:
+      Requests.push_back(estimateRequest(Src));
+      break;
+    case 1:
+      Requests.push_back(estimateRequest(Src, "{\"intra\":\"markov\"}"));
+      break;
+    case 2:
+      Requests.push_back(std::string("{\"op\":\"parse\",\"source\":\"") +
+                         jsonEscape(Src) + "\"}");
+      break;
+    default:
+      Requests.push_back(
+          std::string("{\"op\":\"optimize\",\"source\":\"") +
+          jsonEscape(Src) + "\"}");
+      break;
+    }
+  }
+  ServiceOptions J1, J8;
+  J1.Jobs = 1;
+  J8.Jobs = 8;
+  Service S1(J1), S8(J8);
+  std::vector<std::string> Out1 = S1.handleBatch(Requests);
+  std::vector<std::string> Out8 = S8.handleBatch(Requests);
+  ASSERT_EQ(Out1.size(), Out8.size());
+  for (size_t I = 0; I < Out1.size(); ++I)
+    EXPECT_EQ(Out1[I], Out8[I]) << "request " << I;
+}
+
+TEST(Service, MalformedRequestsFailCleanly) {
+  Service S;
+  EXPECT_NE(S.handle("not json").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(S.handle("{\"op\":\"frobnicate\"}").find("unknown op"),
+            std::string::npos);
+  EXPECT_NE(S.handle("{\"op\":\"estimate\"}").find("'source'"),
+            std::string::npos);
+  EXPECT_NE(S.handle(estimateRequest(SourceA, "{\"bogus\":1}"))
+                .find("unknown option"),
+            std::string::npos);
+  // A program that does not parse is an ok:false response with the
+  // diagnostics — and it is cached like any other deterministic answer.
+  std::string Bad = S.handle(estimateRequest("int main( {"));
+  EXPECT_NE(Bad.find("\"ok\":false"), std::string::npos);
+  EXPECT_EQ(S.handle(estimateRequest("int main( {")), Bad);
+}
+
+TEST(Service, ProgramHashIsSourceIdentity) {
+  Service S;
+  std::string RespA = S.handle(estimateRequest(SourceA));
+  std::string RespB = S.handle(estimateRequest(SourceB));
+  auto HashOf = [](const std::string &Resp) {
+    size_t At = Resp.find("\"program_hash\":\"");
+    EXPECT_NE(At, std::string::npos) << Resp;
+    return Resp.substr(At + 16, 16);
+  };
+  EXPECT_NE(HashOf(RespA), HashOf(RespB));
+  // Same source under different options: same identity.
+  EXPECT_EQ(HashOf(RespA),
+            HashOf(S.handle(
+                estimateRequest(SourceA, "{\"inter\":\"direct\"}"))));
+}
+
+TEST(Service, ShutdownAndStats) {
+  Service S;
+  S.handle(estimateRequest(SourceA));
+  S.handle(estimateRequest(SourceA));
+  std::string Stats = S.handle("{\"op\":\"stats\"}");
+  EXPECT_NE(Stats.find("sest-service-stats/1"), std::string::npos);
+  EXPECT_NE(Stats.find("\"response\":{\"hit\":1"), std::string::npos)
+      << Stats;
+  EXPECT_FALSE(S.shutdownRequested());
+  EXPECT_NE(S.handle("{\"op\":\"shutdown\"}").find("\"shutting_down\":true"),
+            std::string::npos);
+  EXPECT_TRUE(S.shutdownRequested());
+}
+
+} // namespace

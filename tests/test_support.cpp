@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/Arena.h"
+#include "support/Hash.h"
 #include "support/LinearSystem.h"
 #include "support/Prng.h"
 #include "support/Scc.h"
@@ -282,6 +283,53 @@ TEST(TextTable, CsvOutput) {
   T.setHeader({"a", "b"});
   T.addRow({"1", "2"});
   EXPECT_EQ(T.csv(), "a,b\n1,2\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Content hashing (support/Hash.h)
+//===----------------------------------------------------------------------===//
+
+// The hash is a STABLE identity: it keys the analysis service's
+// memoization cache and appears as program_hash in checked-in report
+// baselines, so these published FNV-1a 64 test vectors pin the exact
+// algorithm forever. If any of these "fail", the constant changed — fix
+// the code, never the vectors.
+TEST(ContentHash, Fnv1a64TestVectors) {
+  EXPECT_EQ(contentHash64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(contentHash64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(contentHash64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(ContentHash, HexRenderingIsZeroPaddedLowercase) {
+  EXPECT_EQ(hashHex(0xcbf29ce484222325ULL), "cbf29ce484222325");
+  EXPECT_EQ(hashHex(0x1ULL), "0000000000000001");
+  EXPECT_EQ(hashHex(0x0ULL), "0000000000000000");
+}
+
+TEST(ContentHash, OneTokenEditChangesHash) {
+  EXPECT_NE(contentHash64("for (i = 0; i < n; i++)"),
+            contentHash64("for (i = 0; i <= n; i++)"));
+}
+
+TEST(HashBuilder, LengthFramingPreventsFieldAliasing) {
+  // ("ab","c") and ("a","bc") concatenate identically; the length
+  // framing must still separate them.
+  EXPECT_NE(HashBuilder().add("ab").add("c").digest(),
+            HashBuilder().add("a").add("bc").digest());
+}
+
+TEST(HashBuilder, DomainsAndScalarsSeparateKeys) {
+  EXPECT_NE(HashBuilder("ast").add("x").digest(),
+            HashBuilder("cfg").add("x").digest());
+  EXPECT_NE(HashBuilder().addU64(1).digest(),
+            HashBuilder().addU64(2).digest());
+  EXPECT_NE(HashBuilder().addDouble(5.0).digest(),
+            HashBuilder().addDouble(10.0).digest());
+  EXPECT_NE(HashBuilder().addBool(true).digest(),
+            HashBuilder().addBool(false).digest());
+  // Equal inputs agree, of course.
+  EXPECT_EQ(HashBuilder("t").add("s").addU64(7).digest(),
+            HashBuilder("t").add("s").addU64(7).digest());
 }
 
 } // namespace

@@ -1,0 +1,102 @@
+# End-to-end determinism check for the sestd analysis service:
+#   1. a scripted request sequence must succeed (every response ok:true);
+#   2. warm replay: running the sequence twice in one session must
+#      produce byte-for-byte the cold output twice — cache hits may
+#      never change a response byte;
+#   3. --jobs 8, --no-cache, and a tiny --cache-bytes budget (constant
+#      eviction) must all produce byte-identical output;
+#   4. {"op":"stats"} answers live counters and {"op":"shutdown"} ends
+#      the session with exit code 0.
+# Run as: cmake -DSESTD=<path> -DWORKDIR=<dir> -P check_sestd.cmake
+
+set(SRC_A "int triangle(int n) { int s = 0; int i; for (i = 1; i <= n; i++) s += i; return s; } int main() { int n = read_int(); print_int(triangle(n)); return 0; }")
+# One token differs from SRC_A (i <= n becomes i < n).
+set(SRC_B "int triangle(int n) { int s = 0; int i; for (i = 1; i < n; i++) s += i; return s; } int main() { int n = read_int(); print_int(triangle(n)); return 0; }")
+
+set(REQS "")
+string(APPEND REQS "{\"id\":1,\"op\":\"parse\",\"source\":\"${SRC_A}\"}\n")
+string(APPEND REQS "{\"id\":2,\"op\":\"estimate\",\"source\":\"${SRC_A}\",\"blocks\":true}\n")
+string(APPEND REQS "{\"id\":3,\"op\":\"estimate\",\"source\":\"${SRC_A}\",\"options\":{\"intra\":\"markov\",\"loop_iterations\":10}}\n")
+string(APPEND REQS "{\"id\":4,\"op\":\"estimate\",\"source\":\"${SRC_B}\"}\n")
+string(APPEND REQS "{\"id\":5,\"op\":\"optimize\",\"source\":\"${SRC_A}\",\"passes\":\"all\"}\n")
+string(APPEND REQS "{\"id\":6,\"op\":\"report\",\"source\":\"${SRC_A}\",\"input\":\"12\"}\n")
+string(APPEND REQS "{\"id\":7,\"op\":\"estimate\",\"source\":\"does not parse(\"}\n")
+
+file(WRITE ${WORKDIR}/sestd_reqs.jsonl "${REQS}")
+file(WRITE ${WORKDIR}/sestd_reqs2x.jsonl "${REQS}${REQS}")
+
+function(run_sestd OUTFILE INFILE)
+  execute_process(
+    COMMAND ${SESTD} ${ARGN}
+    INPUT_FILE ${INFILE}
+    OUTPUT_FILE ${OUTFILE}
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "sestd ${ARGN} exited ${RC}:\n${ERR}")
+  endif()
+endfunction()
+
+run_sestd(${WORKDIR}/sestd_once.out ${WORKDIR}/sestd_reqs.jsonl)
+run_sestd(${WORKDIR}/sestd_twice.out ${WORKDIR}/sestd_reqs2x.jsonl)
+run_sestd(${WORKDIR}/sestd_twice_j8.out ${WORKDIR}/sestd_reqs2x.jsonl
+          --jobs 8)
+run_sestd(${WORKDIR}/sestd_twice_nocache.out ${WORKDIR}/sestd_reqs2x.jsonl
+          --no-cache)
+run_sestd(${WORKDIR}/sestd_twice_tiny.out ${WORKDIR}/sestd_reqs2x.jsonl
+          --cache-bytes 8192 --cache-shards 1)
+
+# Requests 1-6 must succeed; request 7 must fail cleanly.
+file(STRINGS ${WORKDIR}/sestd_once.out LINES)
+list(LENGTH LINES NLINES)
+if(NOT NLINES EQUAL 7)
+  message(FATAL_ERROR "expected 7 responses, got ${NLINES}")
+endif()
+set(I 0)
+foreach(LINE ${LINES})
+  math(EXPR I "${I} + 1")
+  if(I LESS 7)
+    if(NOT LINE MATCHES "\"ok\":true")
+      message(FATAL_ERROR "response ${I} not ok: ${LINE}")
+    endif()
+  else()
+    if(NOT LINE MATCHES "\"ok\":false.*does not parse")
+      message(FATAL_ERROR "response 7 should report a parse error: ${LINE}")
+    endif()
+  endif()
+  if(NOT LINE MATCHES "\"program_hash\":\"[0-9a-f]+\"")
+    message(FATAL_ERROR "response ${I} missing program_hash: ${LINE}")
+  endif()
+endforeach()
+
+# Warm replay: the doubled stream's output must be exactly the cold
+# output twice.
+file(READ ${WORKDIR}/sestd_once.out ONCE)
+file(READ ${WORKDIR}/sestd_twice.out TWICE)
+if(NOT TWICE STREQUAL "${ONCE}${ONCE}")
+  message(FATAL_ERROR "warm responses differ from cold responses")
+endif()
+
+# Scheduling, cache disabling, and eviction churn must not change bytes.
+foreach(VARIANT j8 nocache tiny)
+  file(READ ${WORKDIR}/sestd_twice_${VARIANT}.out GOT)
+  if(NOT GOT STREQUAL "${TWICE}")
+    message(FATAL_ERROR
+      "sestd output differs under variant '${VARIANT}'")
+  endif()
+endforeach()
+
+# stats + shutdown session: live counters, then a clean exit.
+file(WRITE ${WORKDIR}/sestd_ctl.jsonl
+  "{\"id\":1,\"op\":\"estimate\",\"source\":\"${SRC_A}\"}\n{\"id\":2,\"op\":\"estimate\",\"source\":\"${SRC_A}\"}\n{\"id\":3,\"op\":\"stats\"}\n{\"id\":4,\"op\":\"shutdown\"}\n")
+run_sestd(${WORKDIR}/sestd_ctl.out ${WORKDIR}/sestd_ctl.jsonl)
+file(READ ${WORKDIR}/sestd_ctl.out CTL)
+if(NOT CTL MATCHES "sest-service-stats/1")
+  message(FATAL_ERROR "stats response missing schema:\n${CTL}")
+endif()
+if(NOT CTL MATCHES "\"response\":{\"hit\":[1-9]")
+  message(FATAL_ERROR "stats response shows no response-tier hit:\n${CTL}")
+endif()
+if(NOT CTL MATCHES "\"shutting_down\":true")
+  message(FATAL_ERROR "shutdown not acknowledged:\n${CTL}")
+endif()

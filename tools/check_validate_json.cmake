@@ -1,0 +1,41 @@
+# Verifies sestc --validate-json's JSONL diagnostics:
+#   1. a valid JSONL file (not one JSON document) validates, reporting
+#      the record count;
+#   2. a JSONL file with one broken record fails AND names the exact
+#      failing line number plus an echo of the offending record.
+# Run as: cmake -DSESTC=<path> -DWORKDIR=<dir> -P check_validate_json.cmake
+
+file(WRITE ${WORKDIR}/good.jsonl
+  "{\"event\":\"a\",\"n\":1}\n{\"event\":\"b\",\"n\":2}\n\n{\"event\":\"c\",\"n\":3}\n")
+execute_process(
+  COMMAND ${SESTC} --validate-json ${WORKDIR}/good.jsonl
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "good.jsonl failed validation:\n${OUT}${ERR}")
+endif()
+if(NOT OUT MATCHES "valid JSONL \\(3 records\\)")
+  message(FATAL_ERROR
+    "good.jsonl should report 3 records; output was:\n${OUT}")
+endif()
+
+# Line 3 is broken (trailing comma); lines 1-2 and 4 are fine.
+file(WRITE ${WORKDIR}/bad.jsonl
+  "{\"event\":\"a\",\"n\":1}\n{\"event\":\"b\",\"n\":2}\n{\"event\":\"broken\",}\n{\"event\":\"d\",\"n\":4}\n")
+execute_process(
+  COMMAND ${SESTC} --validate-json ${WORKDIR}/bad.jsonl
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "bad.jsonl validated; expected failure")
+endif()
+if(NOT "${OUT}${ERR}" MATCHES "line 3 does not parse")
+  message(FATAL_ERROR
+    "bad.jsonl should name line 3; output was:\n${OUT}${ERR}")
+endif()
+if(NOT "${OUT}${ERR}" MATCHES "bad.jsonl:3: .*broken")
+  message(FATAL_ERROR
+    "bad.jsonl should echo the offending record; output was:\n${OUT}${ERR}")
+endif()

@@ -42,6 +42,7 @@
 #include "obs/Telemetry.h"
 #include "profile/Profile.h"
 #include "suite/SuiteRunner.h"
+#include "support/Hash.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/TextTable.h"
@@ -337,6 +338,7 @@ int emitAccuracy(const Options &O, const std::string &Source,
                  const Profile &P) {
   obs::AccuracyReport Rep =
       obs::computeAccuracy(Ctx.unit(), Cfgs, CG, E, P, O.Est);
+  Rep.ProgramHash = hashHex(contentHash64(Source));
   if (O.Explain) {
     out("\n-- annotated listing (estimated vs actual) --\n" +
         obs::renderAnnotatedListing(Source, Rep));
@@ -372,8 +374,14 @@ int runValidateJson(const std::string &Path) {
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       continue;
     if (!parseJson(Line)) {
+      // Echo the offending record (truncated) so the failing line can
+      // be found without opening the file at the reported number.
+      std::string Snippet = Line.substr(0, 60);
+      if (Line.size() > 60)
+        Snippet += "...";
       out("sestc: '" + Path + "' is neither valid JSON nor valid JSONL"
-          " (line " + std::to_string(LineNo) + " does not parse)\n");
+          " (line " + std::to_string(LineNo) + " does not parse)\n" +
+          Path + ":" + std::to_string(LineNo) + ": " + Snippet + "\n");
       return 1;
     }
     ++Records;

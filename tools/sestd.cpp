@@ -1,0 +1,324 @@
+//===- tools/sestd.cpp - Static-estimator analysis server ------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sestd — the long-running analysis service. Reads newline-delimited
+/// `sest-service/1` JSON requests from stdin (or a Unix socket with
+/// --socket), executes them batched on a worker pool, and writes one
+/// JSON response line per request, in request order. Repeated or
+/// overlapping requests are answered from the content-addressed
+/// memoization cache (src/service/); responses are byte-identical
+/// cold, warm, and at every --jobs value. See docs/SERVICE.md for the
+/// protocol and the determinism contract.
+///
+/// A session ends at EOF or after a `{"op":"shutdown"}` request has
+/// been answered (the batch it arrived in is always drained first).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "obs/EventLog.h"
+#include "obs/Telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace sest;
+
+namespace {
+
+void out(const std::string &S) { std::fputs(S.c_str(), stdout); }
+void err(const std::string &S) { std::fputs(S.c_str(), stderr); }
+
+/// One option sestd understands; generates the usage text (same single
+/// source of truth scheme as sestc).
+struct OptionSpec {
+  const char *Flag;
+  const char *Arg;  ///< Value placeholder; null for boolean flags.
+  const char *Help; ///< One-line description.
+};
+
+const OptionSpec OptionTable[] = {
+    {"--jobs", "N",
+     "worker threads per batch (default 1, 0 = cores; responses "
+     "identical for every N)"},
+    {"--batch", "N", "max requests executed per batch (default 64)"},
+    {"--cache-bytes", "N",
+     "total memoization budget in bytes (default 268435456)"},
+    {"--cache-shards", "N", "mutex stripes per cache tier (default 16)"},
+    {"--no-cache", nullptr, "disable memoization (every request recomputes)"},
+    {"--socket", "PATH", "serve on a Unix socket instead of stdin/stdout"},
+    {"--stats", nullptr, "print phase times and counters to stderr at exit"},
+    {"--trace", "FILE", "write Chrome trace-event JSON of the session"},
+    {"--log", "FILE",
+     "write the sest-events/1 JSONL decision/provenance log"},
+    {"--help", nullptr, "print this help and exit"},
+};
+
+std::string helpText() {
+  std::string S = "usage: sestd [options]\n";
+  for (const OptionSpec &Opt : OptionTable) {
+    std::string Left = std::string("  ") + Opt.Flag;
+    if (Opt.Arg)
+      Left += std::string(" ") + Opt.Arg;
+    if (Left.size() < 24)
+      Left.resize(24, ' ');
+    S += Left + " " + Opt.Help + "\n";
+  }
+  return S;
+}
+
+struct Options {
+  service::ServiceOptions Svc;
+  size_t MaxBatch = 64;
+  std::string SocketPath;
+  std::string TraceFile;
+  std::string LogFile;
+  bool Stats = false;
+};
+
+[[noreturn]] void usageError(const std::string &Message) {
+  err("sestd: " + Message + "\n" + helpText());
+  std::exit(2);
+}
+
+Options parseArgs(int argc, char **argv) {
+  Options O;
+  auto NumberArg = [&](int &I, const char *Flag) -> long long {
+    if (I + 1 >= argc)
+      usageError(std::string(Flag) + " requires a value");
+    char *End = nullptr;
+    long long V = std::strtoll(argv[++I], &End, 10);
+    if (!End || *End != '\0' || V < 0)
+      usageError(std::string(Flag) + " requires a non-negative integer");
+    return V;
+  };
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    if (A == "--help") {
+      out(helpText());
+      std::exit(0);
+    } else if (A == "--jobs") {
+      O.Svc.Jobs = static_cast<unsigned>(NumberArg(I, "--jobs"));
+    } else if (A == "--batch") {
+      long long V = NumberArg(I, "--batch");
+      if (V < 1)
+        usageError("--batch requires N >= 1");
+      O.MaxBatch = static_cast<size_t>(V);
+    } else if (A == "--cache-bytes") {
+      O.Svc.CacheBudgetBytes =
+          static_cast<size_t>(NumberArg(I, "--cache-bytes"));
+    } else if (A == "--cache-shards") {
+      long long V = NumberArg(I, "--cache-shards");
+      if (V < 1)
+        usageError("--cache-shards requires N >= 1");
+      O.Svc.CacheShards = static_cast<unsigned>(V);
+    } else if (A == "--no-cache") {
+      O.Svc.CacheBudgetBytes = 0;
+    } else if (A == "--socket") {
+      if (I + 1 >= argc)
+        usageError("--socket requires a path");
+      O.SocketPath = argv[++I];
+    } else if (A == "--stats") {
+      O.Stats = true;
+    } else if (A == "--trace") {
+      if (I + 1 >= argc)
+        usageError("--trace requires a file");
+      O.TraceFile = argv[++I];
+    } else if (A == "--log") {
+      if (I + 1 >= argc)
+        usageError("--log requires a file");
+      O.LogFile = argv[++I];
+    } else {
+      usageError("unknown option '" + A + "'");
+    }
+  }
+  return O;
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Content) {
+  std::ofstream F(Path, std::ios::binary);
+  if (!F) {
+    err("sestd: cannot write '" + Path + "'\n");
+    return false;
+  }
+  F << Content;
+  return F.good();
+}
+
+/// Drains one batch through the service and writes the responses.
+/// \p Write receives each response line (newline included).
+template <typename WriteFn>
+void serveBatch(service::Service &Svc, std::vector<std::string> &Batch,
+                WriteFn &&Write) {
+  if (Batch.empty())
+    return;
+  for (std::string &Resp : Svc.handleBatch(Batch)) {
+    Resp += '\n';
+    Write(Resp);
+  }
+  Batch.clear();
+}
+
+/// stdin/stdout mode: the first request of a batch blocks; any further
+/// lines already buffered join the same batch (up to --batch), so a
+/// client that writes N requests and then waits gets them executed
+/// concurrently, while an interactive client still gets one response
+/// per line immediately.
+int serveStdio(const Options &O, service::Service &Svc) {
+  std::vector<std::string> Batch;
+  std::string Line;
+  while (!Svc.shutdownRequested() && std::getline(std::cin, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (!Line.empty())
+      Batch.push_back(std::move(Line));
+    while (Batch.size() < O.MaxBatch &&
+           std::cin.rdbuf()->in_avail() > 0 &&
+           std::getline(std::cin, Line)) {
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (!Line.empty())
+        Batch.push_back(std::move(Line));
+    }
+    serveBatch(Svc, Batch, [](const std::string &S) { out(S); });
+    std::fflush(stdout);
+  }
+  serveBatch(Svc, Batch, [](const std::string &S) { out(S); });
+  std::fflush(stdout);
+  return 0;
+}
+
+#ifndef _WIN32
+/// Unix-socket mode: one client at a time; each connection streams the
+/// same newline-delimited protocol. The listener closes after a
+/// shutdown request (or SIGTERM from outside).
+int serveSocket(const Options &O, service::Service &Svc) {
+  int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listener < 0) {
+    err("sestd: socket() failed\n");
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (O.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    err("sestd: socket path too long\n");
+    ::close(Listener);
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, O.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  ::unlink(O.SocketPath.c_str());
+  if (::bind(Listener, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0 ||
+      ::listen(Listener, 8) < 0) {
+    err("sestd: cannot listen on '" + O.SocketPath + "'\n");
+    ::close(Listener);
+    return 1;
+  }
+  err("sestd: listening on " + O.SocketPath + "\n");
+
+  while (!Svc.shutdownRequested()) {
+    int Client = ::accept(Listener, nullptr, nullptr);
+    if (Client < 0)
+      break;
+    std::string Buffer;
+    std::vector<std::string> Batch;
+    char Chunk[64 << 10];
+    auto Write = [&](const std::string &S) {
+      size_t Off = 0;
+      while (Off < S.size()) {
+        ssize_t N = ::write(Client, S.data() + Off, S.size() - Off);
+        if (N <= 0)
+          return;
+        Off += static_cast<size_t>(N);
+      }
+    };
+    for (;;) {
+      ssize_t N = ::read(Client, Chunk, sizeof(Chunk));
+      if (N <= 0)
+        break;
+      Buffer.append(Chunk, static_cast<size_t>(N));
+      size_t Start = 0;
+      for (size_t Nl; (Nl = Buffer.find('\n', Start)) !=
+                      std::string::npos;
+           Start = Nl + 1) {
+        std::string Line = Buffer.substr(Start, Nl - Start);
+        if (!Line.empty() && Line.back() == '\r')
+          Line.pop_back();
+        if (!Line.empty())
+          Batch.push_back(std::move(Line));
+        if (Batch.size() >= O.MaxBatch)
+          serveBatch(Svc, Batch, Write);
+      }
+      Buffer.erase(0, Start);
+      serveBatch(Svc, Batch, Write);
+      if (Svc.shutdownRequested())
+        break;
+    }
+    ::close(Client);
+  }
+  ::close(Listener);
+  ::unlink(O.SocketPath.c_str());
+  return 0;
+}
+#endif
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options O = parseArgs(argc, argv);
+
+  // Telemetry is always collected: the `stats` request embeds the live
+  // report (request latency histograms, cache counters, phase tree).
+  obs::Telemetry Tele;
+  Tele.install();
+  obs::EventLog Log;
+  if (!O.LogFile.empty())
+    Log.install();
+
+  service::Service Svc(O.Svc);
+  int Rc;
+#ifndef _WIN32
+  if (!O.SocketPath.empty())
+    Rc = serveSocket(O, Svc);
+  else
+    Rc = serveStdio(O, Svc);
+#else
+  if (!O.SocketPath.empty()) {
+    err("sestd: --socket is not supported on this platform\n");
+    Rc = 1;
+  } else {
+    Rc = serveStdio(O, Svc);
+  }
+#endif
+
+  if (!O.LogFile.empty()) {
+    Log.uninstall();
+    if (!writeTextFile(O.LogFile, Log.jsonl()))
+      Rc = 1;
+  }
+  Tele.uninstall();
+  if (O.Stats)
+    err("\n-- phase times --\n" + Tele.phaseSummary() +
+        "\n-- counters --\n" + Tele.statsTable());
+  if (!O.TraceFile.empty() &&
+      !writeTextFile(O.TraceFile, Tele.traceJson()))
+    Rc = 1;
+  return Rc;
+}
