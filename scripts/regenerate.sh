@@ -58,3 +58,8 @@ done 2>&1 | tee bench_output.txt
 # speedup floor in scripts/check_perf.py is machine-independent; the
 # absolute req/s numbers are wall-clock.
 "$BUILD"/bench/bench_service --json bench/service_throughput.json
+
+# Record the refreshed headline numbers (service rps, solver speedup,
+# stage p99s) in the bench history, with deltas vs the previous entry
+# (see scripts/bench_history.py; history is bench/history.jsonl).
+python3 "$ROOT"/scripts/bench_history.py

@@ -167,6 +167,13 @@ inline std::string provProgram(std::string_view Program) {
   return "prog:" + std::string(Program);
 }
 
+/// A service request, by intake ordinal. Ordinals are assigned in
+/// request order on the intake thread, so the ID is stable across
+/// --jobs values and batch splits within one session.
+inline std::string provRequest(uint64_t Ordinal) {
+  return "req:" + std::to_string(Ordinal);
+}
+
 //===----------------------------------------------------------------------===//
 // TaskCapture — shared worker-context plumbing for the parallel pools.
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,508 @@
+//===- obs/Export.cpp - Prometheus text exposition of telemetry ------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+using namespace sest;
+using namespace sest::obs;
+
+//===----------------------------------------------------------------------===//
+// Names, labels, numbers
+//===----------------------------------------------------------------------===//
+
+static bool promNameChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '_';
+}
+
+std::string sest::obs::promMetricName(std::string_view Name,
+                                      std::string_view Prefix) {
+  std::string Out(Prefix);
+  for (char C : Name)
+    Out += promNameChar(C) ? C : '_';
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string sest::obs::promEscapeLabel(std::string_view Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+std::string sest::obs::promNumber(double Value) {
+  // jsonNumber already guarantees shortest-round-trip, locale-free
+  // output; the exposition format shares JSON's number syntax for
+  // every finite value.
+  return jsonNumber(Value);
+}
+
+bool sest::obs::deterministicSeriesName(std::string_view Name) {
+  return Name == "service.requests" ||
+         startsWith(Name, "service.requests.");
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram bucket bounds
+//===----------------------------------------------------------------------===//
+
+// Mirrors the bucketing in Telemetry.cpp: 8 sub-buckets per
+// power-of-two octave, bucket index = Exp * 8 + Sub.
+static constexpr int SubBucketsPerOctave = 8;
+
+double sest::obs::histBucketLowerBound(int32_t Index) {
+  if (Index == INT32_MIN)
+    return 0.0;
+  int32_t Exp = Index >= 0 ? Index / SubBucketsPerOctave
+                           : -((-Index + SubBucketsPerOctave - 1) /
+                               SubBucketsPerOctave);
+  int32_t Sub = Index - Exp * SubBucketsPerOctave;
+  return std::ldexp(
+      0.5 + static_cast<double>(Sub) / (2 * SubBucketsPerOctave), Exp);
+}
+
+double sest::obs::histBucketUpperBound(int32_t Index) {
+  if (Index == INT32_MIN)
+    return 0.0;
+  int32_t Exp = Index >= 0 ? Index / SubBucketsPerOctave
+                           : -((-Index + SubBucketsPerOctave - 1) /
+                               SubBucketsPerOctave);
+  int32_t Sub = Index - Exp * SubBucketsPerOctave;
+  return std::ldexp(
+      0.5 + static_cast<double>(Sub + 1) / (2 * SubBucketsPerOctave), Exp);
+}
+
+//===----------------------------------------------------------------------===//
+// Renderer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void renderScalarSection(
+    std::string &Out, const ExportOptions &O,
+    const std::map<std::string, double, std::less<>> &Series,
+    const char *Type) {
+  for (const auto &[Name, Value] : Series) {
+    std::string M = promMetricName(Name, O.Prefix);
+    Out += "# TYPE " + M + " " + Type + "\n";
+    Out += M + " " + promNumber(Value) + "\n";
+  }
+}
+
+} // namespace
+
+void sest::obs::renderHistogramFamily(std::string &Out,
+                                      const ExportOptions &O,
+                                      std::string_view Name,
+                                      const HistogramStats &H) {
+  std::string M = promMetricName(Name, O.Prefix);
+  Out += "# TYPE " + M + " histogram\n";
+  uint64_t Cum = 0;
+  for (const auto &[Index, N] : H.Buckets) {
+    Cum += N;
+    std::string Le = Index == INT32_MIN
+                         ? std::string("0")
+                         : promNumber(histBucketUpperBound(Index));
+    Out += M + "_bucket{le=\"" + Le + "\"} " + std::to_string(Cum) + "\n";
+  }
+  Out += M + "_bucket{le=\"+Inf\"} " + std::to_string(H.Count) + "\n";
+  Out += M + "_sum " + promNumber(H.Sum) + "\n";
+  Out += M + "_count " + std::to_string(H.Count) + "\n";
+  for (auto [Suffix, Q] :
+       {std::pair<const char *, double>{"_p50", 0.50},
+        {"_p90", 0.90},
+        {"_p99", 0.99}}) {
+    Out += "# TYPE " + M + Suffix + " gauge\n";
+    Out += M + Suffix + " " + promNumber(H.percentile(Q)) + "\n";
+  }
+}
+
+std::string sest::obs::renderPrometheus(const Telemetry &T,
+                                        const ExportOptions &O,
+                                        const std::vector<ExtraSeries> &Extra) {
+  std::map<std::string, double, std::less<>> Counters, Gauges;
+  for (const auto &[Name, V] : T.counters())
+    if (!O.DeterministicOnly || deterministicSeriesName(Name))
+      Counters[Name] = V;
+  if (!O.DeterministicOnly)
+    for (const auto &[Name, V] : T.gauges())
+      Gauges[Name] = V;
+  for (const ExtraSeries &E : Extra) {
+    if (O.DeterministicOnly && !deterministicSeriesName(E.Name))
+      continue;
+    (E.Counter ? Counters : Gauges)[E.Name] = E.Value;
+  }
+
+  std::string Out;
+  renderScalarSection(Out, O, Counters, "counter");
+  renderScalarSection(Out, O, Gauges, "gauge");
+  if (!O.DeterministicOnly)
+    for (const auto &[Name, H] : T.histograms())
+      renderHistogramFamily(Out, O, Name, H);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const std::string *PromSample::label(std::string_view Key) const {
+  for (const auto &[K, V] : Labels)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+const PromSample *PromDocument::find(std::string_view Name) const {
+  for (const PromSample &S : Samples)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+double PromDocument::valueOr(std::string_view Name, double Default) const {
+  const PromSample *S = find(Name);
+  return S ? S->Value : Default;
+}
+
+namespace {
+
+struct LineParser {
+  std::string_view Line;
+  size_t Pos = 0;
+
+  bool done() const { return Pos >= Line.size(); }
+  char peek() const { return done() ? '\0' : Line[Pos]; }
+  void skipSpaces() {
+    while (!done() && (Line[Pos] == ' ' || Line[Pos] == '\t'))
+      ++Pos;
+  }
+
+  /// [a-zA-Z_:][a-zA-Z0-9_:]* (metric names; colons legal in the format).
+  bool metricName(std::string &Out) {
+    size_t Start = Pos;
+    auto First = [](char C) {
+      return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+             C == '_' || C == ':';
+    };
+    if (done() || !First(peek()))
+      return false;
+    ++Pos;
+    while (!done() &&
+           (First(peek()) || (peek() >= '0' && peek() <= '9')))
+      ++Pos;
+    Out = std::string(Line.substr(Start, Pos - Start));
+    return true;
+  }
+
+  /// [a-zA-Z_][a-zA-Z0-9_]* (label names; no colons).
+  bool labelName(std::string &Out) {
+    size_t Start = Pos;
+    auto First = [](char C) {
+      return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+    };
+    if (done() || !First(peek()))
+      return false;
+    ++Pos;
+    while (!done() && (First(peek()) || (peek() >= '0' && peek() <= '9')))
+      ++Pos;
+    Out = std::string(Line.substr(Start, Pos - Start));
+    return true;
+  }
+
+  /// A double-quoted label value with \\, \", \n escapes.
+  bool quotedValue(std::string &Out, std::string &Err) {
+    if (peek() != '"') {
+      Err = "expected '\"'";
+      return false;
+    }
+    ++Pos;
+    Out.clear();
+    while (!done() && peek() != '"') {
+      char C = Line[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (done()) {
+        Err = "dangling escape in label value";
+        return false;
+      }
+      char E = Line[Pos++];
+      if (E == '\\')
+        Out += '\\';
+      else if (E == '"')
+        Out += '"';
+      else if (E == 'n')
+        Out += '\n';
+      else {
+        Err = std::string("invalid escape '\\") + E + "' in label value";
+        return false;
+      }
+    }
+    if (peek() != '"') {
+      Err = "unterminated label value";
+      return false;
+    }
+    ++Pos;
+    return true;
+  }
+};
+
+bool parseSampleValue(std::string_view Token, double &Out) {
+  if (Token == "+Inf" || Token == "Inf") {
+    Out = HUGE_VAL;
+    return true;
+  }
+  if (Token == "-Inf") {
+    Out = -HUGE_VAL;
+    return true;
+  }
+  if (Token == "NaN") {
+    Out = std::nan("");
+    return true;
+  }
+  std::string S(Token);
+  char *End = nullptr;
+  Out = std::strtod(S.c_str(), &End);
+  return End && *End == '\0' && End != S.c_str();
+}
+
+} // namespace
+
+std::optional<PromDocument>
+sest::obs::parsePrometheus(std::string_view Text, std::string *Error) {
+  PromDocument Doc;
+  auto Fail = [&](size_t LineNo, const std::string &Msg) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return std::nullopt;
+  };
+
+  size_t LineNo = 0;
+  for (size_t Start = 0; Start <= Text.size();) {
+    size_t Nl = Text.find('\n', Start);
+    std::string_view Line = Nl == std::string_view::npos
+                                ? Text.substr(Start)
+                                : Text.substr(Start, Nl - Start);
+    Start = Nl == std::string_view::npos ? Text.size() + 1 : Nl + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+
+    if (Line[0] == '#') {
+      LineParser P{Line, 1};
+      P.skipSpaces();
+      std::string Keyword;
+      if (!P.labelName(Keyword) || Keyword != "TYPE")
+        continue; // HELP and free-form comments pass through unparsed.
+      P.skipSpaces();
+      std::string Family, Type;
+      if (!P.metricName(Family))
+        return Fail(LineNo, "malformed # TYPE line: missing metric name");
+      P.skipSpaces();
+      if (!P.labelName(Type) ||
+          (Type != "counter" && Type != "gauge" && Type != "histogram" &&
+           Type != "summary" && Type != "untyped"))
+        return Fail(LineNo, "malformed # TYPE line: bad type");
+      P.skipSpaces();
+      if (!P.done())
+        return Fail(LineNo, "trailing garbage after # TYPE");
+      if (!Doc.Types.emplace(Family, Type).second)
+        return Fail(LineNo, "duplicate # TYPE for '" + Family + "'");
+      continue;
+    }
+
+    PromSample S;
+    LineParser P{Line, 0};
+    if (!P.metricName(S.Name))
+      return Fail(LineNo, "malformed metric name");
+    if (P.peek() == '{') {
+      ++P.Pos;
+      P.skipSpaces();
+      while (P.peek() != '}') {
+        std::string K, V, Err;
+        if (!P.labelName(K))
+          return Fail(LineNo, "malformed label name");
+        if (P.peek() != '=')
+          return Fail(LineNo, "expected '=' after label name");
+        ++P.Pos;
+        if (!P.quotedValue(V, Err))
+          return Fail(LineNo, Err);
+        S.Labels.emplace_back(std::move(K), std::move(V));
+        P.skipSpaces();
+        if (P.peek() == ',') {
+          ++P.Pos;
+          P.skipSpaces();
+        } else if (P.peek() != '}') {
+          return Fail(LineNo, "expected ',' or '}' in label set");
+        }
+      }
+      ++P.Pos;
+    }
+    P.skipSpaces();
+    size_t ValStart = P.Pos;
+    while (!P.done() && P.peek() != ' ' && P.peek() != '\t')
+      ++P.Pos;
+    if (ValStart == P.Pos)
+      return Fail(LineNo, "missing sample value");
+    if (!parseSampleValue(Line.substr(ValStart, P.Pos - ValStart), S.Value))
+      return Fail(LineNo, "malformed sample value");
+    P.skipSpaces();
+    if (!P.done())
+      return Fail(LineNo, "trailing garbage after sample value");
+    Doc.Samples.push_back(std::move(S));
+  }
+  return Doc;
+}
+
+//===----------------------------------------------------------------------===//
+// Lint
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The declared family of one sample: its own name, or for histogram
+/// component series the base name before _bucket/_sum/_count.
+const std::string *sampleFamily(const PromDocument &Doc,
+                                const std::string &Name) {
+  if (auto It = Doc.Types.find(Name); It != Doc.Types.end())
+    return &It->first;
+  for (std::string_view Suffix : {"_bucket", "_sum", "_count"}) {
+    if (Name.size() <= Suffix.size() ||
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(),
+                     Suffix) != 0)
+      continue;
+    std::string Base = Name.substr(0, Name.size() - Suffix.size());
+    if (auto It = Doc.Types.find(Base);
+        It != Doc.Types.end() && It->second == "histogram")
+      return &It->first;
+  }
+  return nullptr;
+}
+
+std::string seriesKey(const PromSample &S) {
+  std::vector<std::pair<std::string, std::string>> Labels = S.Labels;
+  std::sort(Labels.begin(), Labels.end());
+  std::string Key = S.Name + "{";
+  for (const auto &[K, V] : Labels)
+    Key += K + "=\"" + promEscapeLabel(V) + "\",";
+  Key += "}";
+  return Key;
+}
+
+void lintHistogram(const PromDocument &Doc, const std::string &Family,
+                   std::vector<std::string> &Findings) {
+  struct Bucket {
+    double Le;
+    double Cum;
+  };
+  std::vector<Bucket> Buckets;
+  bool SawSum = false, SawCount = false;
+  double CountVal = 0.0;
+  for (const PromSample &S : Doc.Samples) {
+    if (S.Name == Family + "_bucket") {
+      const std::string *Le = S.label("le");
+      if (!Le) {
+        Findings.push_back("histogram '" + Family +
+                           "': bucket without le label");
+        continue;
+      }
+      double Bound;
+      if (!parseSampleValue(*Le, Bound)) {
+        Findings.push_back("histogram '" + Family +
+                           "': unparsable le bound '" + *Le + "'");
+        continue;
+      }
+      Buckets.push_back({Bound, S.Value});
+    } else if (S.Name == Family + "_sum") {
+      SawSum = true;
+      if (!std::isfinite(S.Value))
+        Findings.push_back("histogram '" + Family + "': non-finite _sum");
+    } else if (S.Name == Family + "_count") {
+      SawCount = true;
+      CountVal = S.Value;
+    } else if (S.Name == Family) {
+      Findings.push_back("histogram '" + Family +
+                         "': bare sample without _bucket/_sum/_count");
+    }
+  }
+  if (Buckets.empty()) {
+    Findings.push_back("histogram '" + Family + "': no buckets");
+    return;
+  }
+  for (size_t I = 1; I < Buckets.size(); ++I) {
+    if (!(Buckets[I].Le > Buckets[I - 1].Le))
+      Findings.push_back("histogram '" + Family +
+                         "': le bounds not strictly increasing");
+    if (Buckets[I].Cum < Buckets[I - 1].Cum)
+      Findings.push_back("histogram '" + Family +
+                         "': cumulative bucket counts decrease");
+  }
+  if (!std::isinf(Buckets.back().Le) || Buckets.back().Le < 0)
+    Findings.push_back("histogram '" + Family +
+                       "': last bucket is not le=\"+Inf\"");
+  if (!SawSum)
+    Findings.push_back("histogram '" + Family + "': missing _sum");
+  if (!SawCount)
+    Findings.push_back("histogram '" + Family + "': missing _count");
+  else if (std::isinf(Buckets.back().Le) &&
+           Buckets.back().Cum != CountVal)
+    Findings.push_back("histogram '" + Family +
+                       "': +Inf bucket disagrees with _count");
+}
+
+} // namespace
+
+std::vector<std::string> sest::obs::lintPrometheus(std::string_view Text) {
+  std::vector<std::string> Findings;
+  std::string Err;
+  std::optional<PromDocument> Doc = parsePrometheus(Text, &Err);
+  if (!Doc) {
+    Findings.push_back(Err);
+    return Findings;
+  }
+
+  std::set<std::string> Seen;
+  for (const PromSample &S : Doc->Samples) {
+    if (!Seen.insert(seriesKey(S)).second)
+      Findings.push_back("duplicate series: " + seriesKey(S));
+    const std::string *Family = sampleFamily(*Doc, S.Name);
+    if (!Family) {
+      Findings.push_back("series without # TYPE: " + S.Name);
+      continue;
+    }
+    const std::string &Type = Doc->Types.find(*Family)->second;
+    if (Type == "counter" && (!std::isfinite(S.Value) || S.Value < 0))
+      Findings.push_back("counter with non-finite or negative value: " +
+                         S.Name);
+    if (Type == "gauge" && !std::isfinite(S.Value))
+      Findings.push_back("gauge with non-finite value: " + S.Name);
+  }
+  for (const auto &[Family, Type] : Doc->Types)
+    if (Type == "histogram")
+      lintHistogram(*Doc, Family, Findings);
+  return Findings;
+}

@@ -1,0 +1,156 @@
+//===- obs/Export.h - Prometheus text exposition of telemetry ---*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Telemetry registry to the Prometheus text exposition
+/// format so any registry in the system — the suite runner's, sestc's,
+/// or the live one inside sestd — can be scraped, snapshotted, and
+/// diffed with standard tooling. The mapping:
+///
+///   counter   "service.requests"   -> # TYPE sest_service_requests counter
+///   gauge     "pool.depth"         -> # TYPE sest_pool_depth gauge
+///   histogram "service.request_us" -> one histogram family with
+///             cumulative `_bucket{le="..."}` series reconstructed from
+///             the log-scale bucket map, plus `_sum` / `_count`, plus
+///             `_p50` / `_p90` / `_p99` gauge families for dashboards
+///             that want the estimate without doing bucket math.
+///
+/// Name mangling is stable and total: every registry name maps to one
+/// valid Prometheus metric name (dots and other invalid characters
+/// become underscores under a fixed prefix), so the exported series set
+/// is a pure function of the registry contents.
+///
+/// The module also carries the *reader* side — a parser for the subset
+/// of the format the renderer emits, and `lintPrometheus`, the in-tree
+/// format lint (syntax, label escaping, duplicate series, monotone
+/// cumulative buckets) that tests and CI run over every exposition the
+/// system writes.
+///
+/// Determinism: the exposition embeds no wall-clock data of its own,
+/// but most series values are live measurements. The deterministic
+/// scope (`ExportOptions::DeterministicOnly`) restricts output to the
+/// counter families that are pure functions of the request stream (see
+/// `deterministicSeriesName`), which is what the byte-identity tests
+/// and CI `cmp` steps compare across `--jobs` values and cache states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OBS_EXPORT_H
+#define OBS_EXPORT_H
+
+#include "obs/Telemetry.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sest::obs {
+
+/// Rendering options for renderPrometheus.
+struct ExportOptions {
+  /// Prepended to every mangled metric name.
+  std::string Prefix = "sest_";
+  /// Restrict output to series for which deterministicSeriesName()
+  /// holds — the subset that is byte-identical across --jobs values and
+  /// cold/warm cache for a fixed request stream.
+  bool DeterministicOnly = false;
+};
+
+/// Mangles a registry name ("service.request_us.estimate") into a valid
+/// Prometheus metric name under \p Prefix: [a-zA-Z0-9_] pass through,
+/// every other byte becomes '_', and a leading digit (only possible
+/// with an empty prefix) is guarded with '_'.
+std::string promMetricName(std::string_view Name,
+                           std::string_view Prefix = "sest_");
+
+/// Escapes a label value for the text exposition format: backslash,
+/// double quote, and newline become \\, \", and \n.
+std::string promEscapeLabel(std::string_view Value);
+
+/// Formats a sample value (shortest round-trip; integral values print
+/// without a decimal point).
+std::string promNumber(double Value);
+
+/// True for registry names whose values are pure functions of the
+/// request stream — the request-flow counters `service.requests`,
+/// `service.requests.bad`, and the per-op `service.requests.<op>`
+/// family. Latency histograms are wall-clock and cache counters depend
+/// on cache state, so neither can ever be in the deterministic scope.
+bool deterministicSeriesName(std::string_view Name);
+
+/// Bounds of one log-scale histogram bucket (HistogramStats bucket
+/// index -> value range). Index INT32_MIN (the non-positive-sample
+/// bucket) maps to [0, 0].
+double histBucketLowerBound(int32_t Index);
+double histBucketUpperBound(int32_t Index);
+
+/// One additional series spliced into an exposition — used for values
+/// that live outside the Telemetry registry, like the service cache
+/// tiers' lock-free atomic totals.
+struct ExtraSeries {
+  std::string Name;     ///< Registry-style name ("service.cache.ast.hits").
+  double Value = 0.0;
+  bool Counter = false; ///< TYPE counter (else gauge).
+};
+
+/// Renders \p T (plus \p Extra) as one Prometheus text exposition.
+/// Output order is deterministic: counters, then gauges (each sorted by
+/// name, extras merged in), then histogram families sorted by name.
+std::string renderPrometheus(const Telemetry &T, const ExportOptions &O = {},
+                             const std::vector<ExtraSeries> &Extra = {});
+
+/// Appends one histogram family (`# TYPE`, cumulative `_bucket` series,
+/// `_sum`, `_count`, and the `_p50`/`_p90`/`_p99` gauge families) to
+/// \p Out. Shared by the cumulative renderer and the window renderer.
+void renderHistogramFamily(std::string &Out, const ExportOptions &O,
+                           std::string_view Name, const HistogramStats &H);
+
+//===----------------------------------------------------------------------===//
+// Reader side — parser + format lint
+//===----------------------------------------------------------------------===//
+
+/// One parsed sample line.
+struct PromSample {
+  std::string Name;
+  /// Label pairs in document order (unescaped values).
+  std::vector<std::pair<std::string, std::string>> Labels;
+  double Value = 0.0;
+
+  /// The value of label \p Key, or null when absent.
+  const std::string *label(std::string_view Key) const;
+};
+
+/// One parsed exposition document.
+struct PromDocument {
+  std::vector<PromSample> Samples;
+  /// Family name -> declared type ("counter" | "gauge" | "histogram").
+  std::map<std::string, std::string, std::less<>> Types;
+
+  /// First sample named \p Name (exact match, any labels), or null.
+  const PromSample *find(std::string_view Name) const;
+  /// Value of the first sample named \p Name, or \p Default.
+  double valueOr(std::string_view Name, double Default) const;
+};
+
+/// Parses the renderer's subset of the text exposition format. Returns
+/// nullopt on any syntax error; \p Error (when non-null) receives a
+/// "line N: ..." description.
+std::optional<PromDocument> parsePrometheus(std::string_view Text,
+                                            std::string *Error = nullptr);
+
+/// The in-tree format lint. Returns one finding per violation (empty =
+/// clean): syntax / label-escaping errors, samples without a # TYPE
+/// family, duplicate TYPE declarations, duplicate series (same name and
+/// label set), non-finite or negative counter values, and histogram
+/// shape errors (missing le, non-monotone le bounds or cumulative
+/// counts, missing or inconsistent `le="+Inf"` / `_count` / `_sum`).
+std::vector<std::string> lintPrometheus(std::string_view Text);
+
+} // namespace sest::obs
+
+#endif // OBS_EXPORT_H

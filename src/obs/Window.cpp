@@ -1,0 +1,83 @@
+//===- obs/Window.cpp - Rolling-window telemetry snapshots -----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Window.h"
+
+#include <cstdint>
+
+using namespace sest;
+using namespace sest::obs;
+
+WindowSnapshot RollingWindow::advance(const Telemetry &T, uint64_t Tick) {
+  WindowSnapshot S;
+  S.Tick = Tick;
+  S.WindowTicks = Tick >= LastTick ? Tick - LastTick : 0;
+  LastTick = Tick;
+
+  for (const auto &[Name, V] : T.counters()) {
+    auto It = PrevCounters.find(Name);
+    S.CounterDeltas[Name] = V - (It == PrevCounters.end() ? 0.0 : It->second);
+  }
+  PrevCounters.clear();
+  for (const auto &[Name, V] : T.counters())
+    PrevCounters[Name] = V;
+
+  S.Gauges = T.gauges();
+
+  for (const auto &[Name, Cur] : T.histograms()) {
+    auto It = PrevHistograms.find(Name);
+    const HistogramStats *Prev =
+        It == PrevHistograms.end() ? nullptr : &It->second;
+    HistogramStats D;
+    D.Count = Cur.Count - (Prev ? Prev->Count : 0);
+    D.Sum = Cur.Sum - (Prev ? Prev->Sum : 0.0);
+    for (const auto &[Index, N] : Cur.Buckets) {
+      uint64_t PrevN = 0;
+      if (Prev)
+        if (auto B = Prev->Buckets.find(Index); B != Prev->Buckets.end())
+          PrevN = B->second;
+      if (N > PrevN)
+        D.Buckets[Index] = N - PrevN;
+    }
+    // The registry only keeps all-time extremes, so clamp the window's
+    // percentile range to the occupied delta buckets instead.
+    if (!D.Buckets.empty()) {
+      D.Min = histBucketLowerBound(D.Buckets.begin()->first);
+      D.Max = histBucketUpperBound(D.Buckets.rbegin()->first);
+    }
+    S.HistogramDeltas[Name] = std::move(D);
+  }
+  PrevHistograms = T.histograms();
+
+  return S;
+}
+
+std::string sest::obs::renderPrometheus(const WindowSnapshot &S,
+                                        const ExportOptions &O) {
+  // Reuse the cumulative renderer by staging the window into a scratch
+  // registry under _delta names; the tick gauges ride along as extras.
+  // Gauges are deliberately NOT re-rendered: a window exposition is
+  // meant to be concatenated after a cumulative one (sestd --metrics
+  // writes both into one file), and repeating the instantaneous gauges
+  // there would produce duplicate series the lint rejects.
+  Telemetry Scratch;
+  for (const auto &[Name, V] : S.CounterDeltas)
+    if (!O.DeterministicOnly || deterministicSeriesName(Name))
+      Scratch.raiseMax(Name + "_delta", V);
+
+  ExportOptions Plain = O;
+  Plain.DeterministicOnly = false; // already filtered above
+  std::vector<ExtraSeries> Extra = {
+      {"window.tick", static_cast<double>(S.Tick), false},
+      {"window.ticks", static_cast<double>(S.WindowTicks), false}};
+  std::string Out = renderPrometheus(Scratch, Plain, Extra);
+
+  if (!O.DeterministicOnly)
+    for (const auto &[Name, H] : S.HistogramDeltas)
+      if (H.Count)
+        renderHistogramFamily(Out, Plain, Name + "_delta", H);
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- obs/Window.h - Rolling-window telemetry snapshots --------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rolling-window aggregation over a Telemetry registry: each call to
+/// RollingWindow::advance() closes one window and returns the *delta*
+/// of every monotonic series since the previous advance — counters
+/// subtract, histogram counts/sums/buckets subtract (so windowed
+/// percentiles describe only the samples that landed inside the
+/// window), and high-water gauges pass through as point-in-time values.
+///
+/// Time never enters: the window boundary is an injected tick value
+/// (sestd ticks by requests served), so for a fixed request stream and
+/// fixed snapshot cadence every windowed snapshot is byte-reproducible
+/// — the property the determinism tests and the CI cmp step rely on.
+/// Wall-clock rates (e.g. req/s in sesttop) are always computed by the
+/// *consumer* from two scrapes, never baked into a snapshot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OBS_WINDOW_H
+#define OBS_WINDOW_H
+
+#include "obs/Export.h"
+#include "obs/Telemetry.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sest::obs {
+
+/// One closed window: deltas of everything monotonic, gauges as-is.
+struct WindowSnapshot {
+  uint64_t Tick = 0;        ///< Tick at which the window closed.
+  uint64_t WindowTicks = 0; ///< Ticks covered (Tick - previous Tick).
+  std::map<std::string, double, std::less<>> CounterDeltas;
+  /// High-water gauges, passed through (a high-water mark cannot be
+  /// windowed from a cumulative registry).
+  std::map<std::string, double, std::less<>> Gauges;
+  /// Per-histogram deltas. Count/Sum/Buckets are true in-window totals;
+  /// Min/Max are bucket-bound approximations (the registry only keeps
+  /// all-time extremes), so percentile() stays within the window's
+  /// occupied buckets.
+  std::map<std::string, HistogramStats, std::less<>> HistogramDeltas;
+};
+
+/// Delta tracker over successive registry observations. One instance
+/// per exposition stream; observations must come from the same
+/// (monotonically growing) registry.
+class RollingWindow {
+public:
+  /// Closes the window at \p Tick against the current contents of
+  /// \p T and starts the next one. Ticks should be non-decreasing.
+  WindowSnapshot advance(const Telemetry &T, uint64_t Tick);
+
+private:
+  uint64_t LastTick = 0;
+  std::map<std::string, double, std::less<>> PrevCounters;
+  std::map<std::string, HistogramStats, std::less<>> PrevHistograms;
+};
+
+/// Renders one window as Prometheus text: `<prefix>window_tick` /
+/// `<prefix>window_ticks` gauges, one `<name>_delta` gauge per counter,
+/// and one `<name>_delta` histogram family per histogram (same shape as
+/// the cumulative exposition). Snapshot gauges are *not* re-rendered —
+/// a window section is designed to concatenate lint-clean after a
+/// cumulative exposition, which already carries them. With
+/// ExportOptions::DeterministicOnly only the deterministic counter
+/// deltas (plus the tick gauges) are emitted.
+std::string renderPrometheus(const WindowSnapshot &S,
+                             const ExportOptions &O = {});
+
+} // namespace sest::obs
+
+#endif // OBS_WINDOW_H

@@ -11,6 +11,7 @@
 #include "lang/Parser.h"
 #include "metrics/Evaluation.h"
 #include "obs/EventLog.h"
+#include "obs/Export.h"
 #include "obs/Telemetry.h"
 #include "opt/Inline.h"
 #include "opt/Layout.h"
@@ -78,6 +79,10 @@ struct CfgArtifact {
 /// Tier "branch": one prediction table per function id.
 using BranchArtifact = std::vector<FunctionBranchPredictions>;
 
+} // namespace
+
+namespace sest::service::detail {
+
 /// The request options the protocol exposes. Everything that can vary
 /// here is folded into the cache keys (optionsHash / branchOptionsHash),
 /// so two requests differing in any knob can never alias an artifact.
@@ -118,8 +123,28 @@ struct Request {
   std::string Passes = "all"; ///< optimize: layout | inline | all
   std::string Input;        ///< report: bytes the program reads
   uint64_t Seed = 1;        ///< report: rand() seed
+  std::string Scope = "live"; ///< metrics: live | deterministic
   std::string Error;        ///< non-empty -> ok:false response
+  /// Intake ordinal: span provenance ("req:<N>"), assigned in request
+  /// order on the intake thread.
+  uint64_t Ordinal = 0;
 };
+
+} // namespace sest::service::detail
+
+namespace {
+
+using sest::service::detail::Request;
+using sest::service::detail::RequestOptions;
+
+/// Control ops answer from live service state instead of the analysis
+/// pipeline; handleBatch runs them on the intake thread between
+/// parallel sub-batches so their answers see a fully merged registry.
+bool isControlOp(const Request &R) {
+  return R.Error.empty() &&
+         (R.Op == "stats" || R.Op == "metrics" || R.Op == "health" ||
+          R.Op == "shutdown");
+}
 
 bool parseEstimatorOptions(const JsonValue &V, RequestOptions &O,
                            std::string &Error) {
@@ -206,8 +231,19 @@ Request parseRequest(const std::string &Line) {
   bool NeedsSource = R.Op == "parse" || R.Op == "estimate" ||
                      R.Op == "optimize" || R.Op == "report";
   if (!NeedsSource) {
-    if (R.Op != "stats" && R.Op != "shutdown")
+    if (R.Op == "metrics") {
+      if (const JsonValue *S = Doc->find("scope")) {
+        if (!S->isString() || (S->StringVal != "live" &&
+                               S->StringVal != "deterministic")) {
+          R.Error = "metrics scope must be 'live' or 'deterministic'";
+          return R;
+        }
+        R.Scope = S->StringVal;
+      }
+    } else if (R.Op != "stats" && R.Op != "health" &&
+               R.Op != "shutdown") {
       R.Error = "unknown op '" + R.Op + "'";
+    }
     return R;
   }
   const JsonValue *Source = Doc->find("source");
@@ -286,11 +322,30 @@ size_t estimateBytes(const ProgramEstimate &E) {
   return Bytes;
 }
 
+/// Annotates the ambient span of request \p R with one tier outcome.
+/// A live observation, like `stats`: hit/miss depends on cache state,
+/// so these attributes are outside the byte-determinism contract (the
+/// span *structure* — kinds, ordinals, order — is inside it).
+void logCacheEvent(const Request &R, std::string_view Tier, bool Hit,
+                   size_t Bytes = 0) {
+  if (!obs::eventLogActive())
+    return;
+  std::vector<obs::EventAttr> Attrs{
+      obs::attr("tier", Tier), obs::attr("outcome", Hit ? "hit" : "miss")};
+  if (!Hit)
+    Attrs.push_back(obs::attr("bytes", static_cast<double>(Bytes)));
+  obs::logEvent("service.request.cache", obs::provRequest(R.Ordinal),
+                std::move(Attrs));
+}
+
 std::shared_ptr<const AstArtifact> getOrBuildAst(CacheSet &Caches,
-                                                const std::string &Source) {
+                                                const Request &R) {
+  const std::string &Source = R.Source;
   uint64_t Key = HashBuilder("ast").add(Source).digest();
-  if (auto A = Caches.Ast.getAs<AstArtifact>(Key))
+  if (auto A = Caches.Ast.getAs<AstArtifact>(Key)) {
+    logCacheEvent(R, "ast", true);
     return A;
+  }
   auto A = std::make_shared<AstArtifact>();
   {
     obs::ScopedPhase Phase("service.build.ast");
@@ -298,18 +353,21 @@ std::shared_ptr<const AstArtifact> getOrBuildAst(CacheSet &Caches,
     A->Ok = parseAndAnalyze(Source, A->Ctx, Diags);
     A->DiagText = Diags.str();
   }
-  Caches.Ast.put(Key, A,
-                 sizeof(AstArtifact) + Source.size() +
-                     A->Ctx.arenaBytes() + A->DiagText.size());
+  size_t Bytes = sizeof(AstArtifact) + Source.size() +
+                 A->Ctx.arenaBytes() + A->DiagText.size();
+  logCacheEvent(R, "ast", false, Bytes);
+  Caches.Ast.put(Key, A, Bytes);
   return A;
 }
 
 std::shared_ptr<const CfgArtifact>
-getOrBuildCfg(CacheSet &Caches, const std::string &Source,
+getOrBuildCfg(CacheSet &Caches, const Request &R,
               std::shared_ptr<const AstArtifact> Ast) {
-  uint64_t Key = HashBuilder("cfg").add(Source).digest();
-  if (auto A = Caches.Cfg.getAs<CfgArtifact>(Key))
+  uint64_t Key = HashBuilder("cfg").add(R.Source).digest();
+  if (auto A = Caches.Cfg.getAs<CfgArtifact>(Key)) {
+    logCacheEvent(R, "cfg", true);
     return A;
+  }
   auto A = std::make_shared<CfgArtifact>();
   {
     obs::ScopedPhase Phase("service.build.cfg");
@@ -319,19 +377,24 @@ getOrBuildCfg(CacheSet &Caches, const std::string &Source,
     A->Cfgs = CfgModule::build(A->Ast->Ctx.unit(), Diags);
     A->CG = CallGraph::build(A->Ast->Ctx.unit(), A->Cfgs);
   }
-  Caches.Cfg.put(Key, A, cfgArtifactBytes(*A));
+  size_t Bytes = cfgArtifactBytes(*A);
+  logCacheEvent(R, "cfg", false, Bytes);
+  Caches.Cfg.put(Key, A, Bytes);
   return A;
 }
 
 std::shared_ptr<const BranchArtifact>
-getOrBuildBranch(CacheSet &Caches, const std::string &Source,
-                 const RequestOptions &Opts, const CfgArtifact &Cfg) {
+getOrBuildBranch(CacheSet &Caches, const Request &R,
+                 const CfgArtifact &Cfg) {
+  const RequestOptions &Opts = R.Opts;
   uint64_t Key = HashBuilder("branch")
-                     .add(Source)
+                     .add(R.Source)
                      .addU64(Opts.branchOptionsHash())
                      .digest();
-  if (auto A = Caches.Branch.getAs<BranchArtifact>(Key))
+  if (auto A = Caches.Branch.getAs<BranchArtifact>(Key)) {
+    logCacheEvent(R, "branch", true);
     return A;
+  }
   auto A = std::make_shared<BranchArtifact>();
   {
     obs::ScopedPhase Phase("service.build.branch");
@@ -343,20 +406,24 @@ getOrBuildBranch(CacheSet &Caches, const std::string &Source,
     for (const auto &[F, G] : Cfg.Cfgs.all())
       (*A)[F->functionId()] = Predictor.predictFunction(*G);
   }
-  Caches.Branch.put(Key, A, branchArtifactBytes(*A));
+  size_t Bytes = branchArtifactBytes(*A);
+  logCacheEvent(R, "branch", false, Bytes);
+  Caches.Branch.put(Key, A, Bytes);
   return A;
 }
 
 std::shared_ptr<const ProgramEstimate>
-getOrBuildSolve(CacheSet &Caches, const std::string &Source,
-                const RequestOptions &Opts, const CfgArtifact &Cfg,
+getOrBuildSolve(CacheSet &Caches, const Request &R, const CfgArtifact &Cfg,
                 const BranchArtifact &Branch) {
+  const RequestOptions &Opts = R.Opts;
   uint64_t Key = HashBuilder("solve")
-                     .add(Source)
+                     .add(R.Source)
                      .addU64(Opts.optionsHash())
                      .digest();
-  if (auto A = Caches.Solve.getAs<ProgramEstimate>(Key))
+  if (auto A = Caches.Solve.getAs<ProgramEstimate>(Key)) {
+    logCacheEvent(R, "solve", true);
     return A;
+  }
   std::shared_ptr<ProgramEstimate> A;
   {
     obs::ScopedPhase Phase("service.build.solve");
@@ -369,7 +436,9 @@ getOrBuildSolve(CacheSet &Caches, const std::string &Source,
         estimateProgram(Cfg.Ast->Ctx.unit(), Cfg.Cfgs, Cfg.CG, Est,
                         &Branch));
   }
-  Caches.Solve.put(Key, A, estimateBytes(*A));
+  size_t Bytes = estimateBytes(*A);
+  logCacheEvent(R, "solve", false, Bytes);
+  Caches.Solve.put(Key, A, Bytes);
   return A;
 }
 
@@ -584,23 +653,21 @@ uint64_t responseKey(const Request &R) {
 /// stage that is already cached is skipped.
 ResponseBody buildBody(CacheSet &Caches, const Request &R) {
   ResponseBody Body;
-  std::shared_ptr<const AstArtifact> Ast =
-      getOrBuildAst(Caches, R.Source);
+  std::shared_ptr<const AstArtifact> Ast = getOrBuildAst(Caches, R);
   if (!Ast->Ok) {
     Body.Error = "program does not parse: " + Ast->DiagText;
     return Body;
   }
-  std::shared_ptr<const CfgArtifact> Cfg =
-      getOrBuildCfg(Caches, R.Source, Ast);
+  std::shared_ptr<const CfgArtifact> Cfg = getOrBuildCfg(Caches, R, Ast);
   if (R.Op == "parse") {
     Body.Ok = true;
     Body.ResultJson = parseResultJson(*Cfg);
     return Body;
   }
   std::shared_ptr<const BranchArtifact> Branch =
-      getOrBuildBranch(Caches, R.Source, R.Opts, *Cfg);
+      getOrBuildBranch(Caches, R, *Cfg);
   std::shared_ptr<const ProgramEstimate> Solve =
-      getOrBuildSolve(Caches, R.Source, R.Opts, *Cfg, *Branch);
+      getOrBuildSolve(Caches, R, *Cfg, *Branch);
   if (R.Op == "estimate") {
     Body.Ok = true;
     Body.ResultJson = estimateResultJson(R, *Cfg, *Solve);
@@ -614,10 +681,13 @@ ResponseBody buildBody(CacheSet &Caches, const Request &R) {
                            .digest();
     std::shared_ptr<const std::string> Plan =
         Caches.Plan.getAs<std::string>(PlanKey);
-    if (!Plan) {
+    if (Plan) {
+      logCacheEvent(R, "plan", true);
+    } else {
       obs::ScopedPhase Phase("service.build.plan");
       Plan = std::make_shared<const std::string>(
           optimizeResultJson(R, *Cfg, *Solve));
+      logCacheEvent(R, "plan", false, Plan->size());
       Caches.Plan.put(PlanKey, Plan, sizeof(std::string) + Plan->size());
     }
     Body.Ok = true;
@@ -650,6 +720,20 @@ std::string statsResultJson(const ServiceOptions &Opts,
     W.endObject();
   }
   W.endObject();
+  // The same totals flattened under the exporter's registry names, so
+  // sesttop, the `metrics` exposition, and `stats` share one source of
+  // truth (the tier atomics) and one naming scheme.
+  W.key("gauges").beginObject();
+  for (const ShardedCache *C : Caches.all()) {
+    CacheTierStats S = C->stats();
+    std::string Base = "service.cache." + C->tier() + ".";
+    W.member(Base + "hits", S.Hits);
+    W.member(Base + "misses", S.Misses);
+    W.member(Base + "evictions", S.Evictions);
+    W.member(Base + "bytes", S.Bytes);
+    W.member(Base + "entries", S.Entries);
+  }
+  W.endObject();
   // The live telemetry report (phases, counters, gauges, histograms —
   // the same shape the suite report embeds), when the caller's thread
   // has a collector installed.
@@ -659,6 +743,56 @@ std::string statsResultJson(const ServiceOptions &Opts,
   } else {
     W.key("telemetry").nullValue(); // no collector installed
   }
+  W.endObject();
+  return W.take();
+}
+
+/// The cache tiers' live atomic totals as exporter extra series — the
+/// `service.cache.<tier>.*` gauge families (plural names, matching the
+/// flat `gauges` object in the stats result).
+std::vector<obs::ExtraSeries> cacheSeries(const CacheSet &Caches) {
+  std::vector<obs::ExtraSeries> Extra;
+  for (const ShardedCache *C : Caches.all()) {
+    CacheTierStats S = C->stats();
+    std::string Base = "service.cache." + C->tier() + ".";
+    Extra.push_back({Base + "hits", static_cast<double>(S.Hits), false});
+    Extra.push_back(
+        {Base + "misses", static_cast<double>(S.Misses), false});
+    Extra.push_back(
+        {Base + "evictions", static_cast<double>(S.Evictions), false});
+    Extra.push_back({Base + "bytes", static_cast<double>(S.Bytes), false});
+    Extra.push_back(
+        {Base + "entries", static_cast<double>(S.Entries), false});
+  }
+  return Extra;
+}
+
+/// The `metrics` result: the exposition as one JSON string field, so
+/// the envelope stays line-delimited JSON while the payload is standard
+/// Prometheus text.
+std::string metricsResultJson(const std::string &Scope,
+                              const std::string &Exposition) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", "sest-service-metrics/1");
+  W.member("format", "prometheus");
+  W.member("scope", Scope);
+  W.member("exposition", Exposition);
+  W.endObject();
+  return W.take();
+}
+
+/// The `health` result: liveness plus a config echo. Live (the answer
+/// depends on service configuration), like `stats`.
+std::string healthResultJson(const ServiceOptions &Opts, bool Shutdown) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", "sest-service-health/1");
+  W.member("status", "ok");
+  W.member("protocol", "sest-service/1");
+  W.member("accepting", !Shutdown);
+  W.member("jobs", Opts.Jobs);
+  W.member("cache_enabled", Opts.CacheBudgetBytes > 0);
   W.endObject();
   return W.take();
 }
@@ -687,25 +821,56 @@ std::string Service::statsJson() const {
   return renderEnvelope(R, Body);
 }
 
-std::string Service::dispatch(const std::string &Line) {
-  Request R = parseRequest(Line);
-  obs::ScopedPhase Phase("service.request", R.Op);
-  obs::counterAdd(R.Error.empty() ? "service.requests"
-                                  : "service.requests.bad");
-  if (!R.Error.empty())
-    return renderError(R, R.Error);
+std::string Service::metricsExposition(bool DeterministicOnly) const {
+  obs::ExportOptions O;
+  O.DeterministicOnly = DeterministicOnly;
+  std::vector<obs::ExtraSeries> Extra;
+  if (!DeterministicOnly)
+    Extra = cacheSeries(*Caches);
+  if (const obs::Telemetry *T = obs::Telemetry::active())
+    return obs::renderPrometheus(*T, O, Extra);
+  obs::Telemetry Empty; // no collector installed: cache series only
+  return obs::renderPrometheus(Empty, O, Extra);
+}
 
-  // stats and shutdown are control ops: answered live, never cached.
+std::string Service::dispatch(const detail::Request &R, bool &Ok) {
+  obs::ScopedPhase Phase("service.request", R.Op);
+  // service.requests counts every request line received (bad included:
+  // service.requests.bad is a subset, not a sibling).
+  obs::counterAdd("service.requests");
+  if (!R.Error.empty()) {
+    obs::counterAdd("service.requests.bad");
+    Ok = false;
+    return renderError(R, R.Error);
+  }
+  if (obs::telemetryActive())
+    obs::counterAdd("service.requests." + R.Op);
+
+  // Control ops: answered live, never cached. The counters above run
+  // first, so a metrics answer includes its own request.
   if (R.Op == "stats") {
     ResponseBody Body;
-    Body.Ok = true;
+    Body.Ok = Ok = true;
     Body.ResultJson = statsResultJson(Opts, *Caches);
+    return renderEnvelope(R, Body);
+  }
+  if (R.Op == "metrics") {
+    ResponseBody Body;
+    Body.Ok = Ok = true;
+    Body.ResultJson = metricsResultJson(
+        R.Scope, metricsExposition(R.Scope == "deterministic"));
+    return renderEnvelope(R, Body);
+  }
+  if (R.Op == "health") {
+    ResponseBody Body;
+    Body.Ok = Ok = true;
+    Body.ResultJson = healthResultJson(Opts, shutdownRequested());
     return renderEnvelope(R, Body);
   }
   if (R.Op == "shutdown") {
     Shutdown.store(true, std::memory_order_relaxed);
     ResponseBody Body;
-    Body.Ok = true;
+    Body.Ok = Ok = true;
     Body.ResultJson = "{\"shutting_down\":true}";
     return renderEnvelope(R, Body);
   }
@@ -715,27 +880,59 @@ std::string Service::dispatch(const std::string &Line) {
   uint64_t Key = responseKey(R);
   std::shared_ptr<const ResponseBody> Body =
       Caches->Response.getAs<ResponseBody>(Key);
-  if (!Body) {
+  if (Body) {
+    logCacheEvent(R, "response", true);
+  } else {
     auto Built = std::make_shared<ResponseBody>(buildBody(*Caches, R));
+    logCacheEvent(R, "response", false,
+                  Built->Error.size() + Built->ResultJson.size());
     Caches->Response.put(Key, Built,
                          sizeof(ResponseBody) + Built->Error.size() +
                              Built->ResultJson.size());
     Body = std::move(Built);
   }
+  Ok = Body->Ok;
   return renderEnvelope(R, *Body);
 }
 
-std::string Service::handle(const std::string &Line) {
+std::string Service::handleParsed(const detail::Request &R) {
+  // The request span: dequeue -> execute (-> per-tier cache events
+  // inside dispatch) -> respond, all under the intake-assigned req:<N>
+  // provenance, so a request's latency joins its cache outcomes.
+  const char *OpName = R.Error.empty() ? R.Op.c_str() : "invalid";
+  if (obs::eventLogActive()) {
+    obs::logEvent("service.request.dequeue", obs::provRequest(R.Ordinal),
+                  {obs::attr("op", OpName)});
+    obs::logEvent("service.request.execute", obs::provRequest(R.Ordinal),
+                  {obs::attr("op", OpName)});
+  }
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start = Clock::now();
-  std::string Out = dispatch(Line);
-  obs::histRecord(
-      "service.request_us",
-      static_cast<double>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              Clock::now() - Start)
-              .count()));
+  bool Ok = false;
+  std::string Out = dispatch(R, Ok);
+  double Us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            Start)
+          .count());
+  obs::histRecord("service.request_us", Us);
+  if (R.Error.empty() && obs::telemetryActive())
+    obs::histRecord("service.request_us." + R.Op, Us);
+  if (obs::eventLogActive())
+    obs::logEvent("service.request.respond", obs::provRequest(R.Ordinal),
+                  {obs::attr("ok", Ok ? 1.0 : 0.0),
+                   obs::attr("bytes", static_cast<double>(Out.size()))});
   return Out;
+}
+
+std::string Service::handle(const std::string &Line) {
+  detail::Request R = parseRequest(Line);
+  R.Ordinal = NextOrdinal.fetch_add(1, std::memory_order_relaxed);
+  if (obs::eventLogActive())
+    obs::logEvent("service.request.enqueue", obs::provRequest(R.Ordinal),
+                  {obs::attr("op", R.Error.empty() ? R.Op.c_str()
+                                                   : "invalid"),
+                   obs::attr("queue_depth", 1.0)});
+  return handleParsed(R);
 }
 
 std::vector<std::string>
@@ -746,36 +943,75 @@ Service::handleBatch(const std::vector<std::string> &Lines) {
                 static_cast<double>(Lines.size()));
   obs::counterAdd("service.batches");
 
+  // Intake: parse and assign ordinals in request order, and emit every
+  // enqueue event before any execution — the serial and parallel paths
+  // then produce identical event streams.
+  std::vector<detail::Request> Reqs(Lines.size());
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    Reqs[I] = parseRequest(Lines[I]);
+    Reqs[I].Ordinal = NextOrdinal.fetch_add(1, std::memory_order_relaxed);
+    if (obs::eventLogActive())
+      obs::logEvent(
+          "service.request.enqueue", obs::provRequest(Reqs[I].Ordinal),
+          {obs::attr("op", Reqs[I].Error.empty() ? Reqs[I].Op.c_str()
+                                                 : "invalid"),
+           obs::attr("queue_depth", static_cast<double>(Lines.size()))});
+  }
+
   unsigned Jobs = Opts.Jobs == 0
                       ? std::max(1u, std::thread::hardware_concurrency())
                       : Opts.Jobs;
   if (Jobs <= 1 || Lines.size() <= 1) {
     for (size_t I = 0; I < Lines.size(); ++I)
-      Out[I] = handle(Lines[I]);
+      Out[I] = handleParsed(Reqs[I]);
     return Out;
   }
 
   // The suite runner's pool shape: workers pull the next request index,
   // each task collects telemetry/events into private contexts on its
   // worker's trace track, and contexts merge back in request order —
-  // so the merged report is independent of scheduling.
-  obs::TaskCapture Cap;
-  std::vector<obs::TaskCapture::Slot> Slots(Lines.size());
-  std::atomic<size_t> Next{0};
-  auto Worker = [&](uint32_t Track) {
-    std::string Name = "service-" + std::to_string(Track);
-    for (size_t I; (I = Next.fetch_add(1)) < Lines.size();)
-      Cap.run(Slots[I], Track, Name, [&] { Out[I] = handle(Lines[I]); });
+  // so the merged report is independent of scheduling. Control ops
+  // (stats/metrics/health/shutdown) split the batch: they run on this
+  // thread after the preceding sub-batch has fully merged, so their
+  // answers see exactly the requests that preceded them in the stream,
+  // at every Jobs value.
+  auto RunParallel = [&](size_t Begin, size_t End) {
+    obs::TaskCapture Cap;
+    std::vector<obs::TaskCapture::Slot> Slots(End - Begin);
+    std::atomic<size_t> Next{Begin};
+    auto Worker = [&](uint32_t Track) {
+      std::string Name = "service-" + std::to_string(Track);
+      for (size_t I; (I = Next.fetch_add(1)) < End;)
+        Cap.run(Slots[I - Begin], Track, Name,
+                [&] { Out[I] = handleParsed(Reqs[I]); });
+    };
+    std::vector<std::thread> Pool;
+    unsigned N =
+        static_cast<unsigned>(std::min<size_t>(Jobs, End - Begin));
+    Pool.reserve(N);
+    for (unsigned I = 0; I < N; ++I)
+      Pool.emplace_back(Worker, I + 1);
+    for (std::thread &T : Pool)
+      T.join();
+    for (obs::TaskCapture::Slot &S : Slots)
+      Cap.merge(S);
   };
-  std::vector<std::thread> Pool;
-  unsigned N =
-      static_cast<unsigned>(std::min<size_t>(Jobs, Lines.size()));
-  Pool.reserve(N);
-  for (unsigned I = 0; I < N; ++I)
-    Pool.emplace_back(Worker, I + 1);
-  for (std::thread &T : Pool)
-    T.join();
-  for (obs::TaskCapture::Slot &S : Slots)
-    Cap.merge(S);
+
+  size_t Start = 0;
+  while (Start < Lines.size()) {
+    if (isControlOp(Reqs[Start])) {
+      Out[Start] = handleParsed(Reqs[Start]);
+      ++Start;
+      continue;
+    }
+    size_t End = Start;
+    while (End < Lines.size() && !isControlOp(Reqs[End]))
+      ++End;
+    if (End - Start == 1)
+      Out[Start] = handleParsed(Reqs[Start]);
+    else
+      RunParallel(Start, End);
+    Start = End;
+  }
   return Out;
 }

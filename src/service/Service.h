@@ -19,7 +19,15 @@
 ///   {"op":"optimize", "source":"...", ["passes":"layout|inline|all"]}
 ///   {"op":"report",   "source":"...", ["input":"...", "seed":N]}
 ///   {"op":"stats"}          -> live telemetry + cache counters
+///   {"op":"metrics"}        -> Prometheus text exposition
+///                              (["scope":"live"|"deterministic"])
+///   {"op":"health"}         -> liveness + config echo
 ///   {"op":"shutdown"}       -> acknowledge, then the server exits
+///
+/// stats / metrics / health / shutdown are *control ops*: they are
+/// answered on the intake thread between parallel sub-batches, so a
+/// metrics answer reflects exactly the requests that preceded it in
+/// the stream, at every Jobs value.
 ///
 /// Cache tiers (each a ShardedCache, keyed by support::contentHash64
 /// over source text + the options that influence the artifact):
@@ -54,6 +62,10 @@
 #include <vector>
 
 namespace sest::service {
+
+namespace detail {
+struct Request; // One decoded request line (Service.cpp).
+}
 
 /// Service configuration.
 struct ServiceOptions {
@@ -109,6 +121,15 @@ public:
   /// installed on the calling thread.
   std::string statsJson() const;
 
+  /// The Prometheus text exposition (also served as the `metrics` op):
+  /// the calling thread's ambient telemetry registry rendered via
+  /// obs::renderPrometheus, plus the cache tiers' live atomic totals as
+  /// `service.cache.<tier>.{hits,misses,evictions,bytes,entries}`
+  /// gauges. With \p DeterministicOnly, only the request-flow counter
+  /// families that are byte-identical across Jobs values and cache
+  /// states are emitted (see obs::deterministicSeriesName).
+  std::string metricsExposition(bool DeterministicOnly) const;
+
   /// Drops every cached artifact (for tests and benches; counters keep
   /// counting).
   void clearCache();
@@ -117,10 +138,16 @@ public:
   const ServiceOptions &options() const { return Opts; }
 
 private:
-  std::string dispatch(const std::string &Line);
+  std::string dispatch(const detail::Request &R, bool &Ok);
+  /// Executes one already-parsed request: span events, latency
+  /// histograms, dispatch.
+  std::string handleParsed(const detail::Request &R);
 
   ServiceOptions Opts;
   std::unique_ptr<CacheSet> Caches;
+  /// Next request ordinal; assigned at intake, in request order, so
+  /// `req:<N>` span provenance is stable across Jobs values.
+  std::atomic<uint64_t> NextOrdinal{0};
   /// Atomic: a shutdown request may land on any batch worker.
   std::atomic<bool> Shutdown{false};
 };

@@ -1,0 +1,344 @@
+//===- tests/test_export.cpp - Prometheus exposition unit tests ------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Prometheus exposition layer (src/obs/Export, src/obs/Window):
+/// name mangling and label escaping, render → parse → lint round-trips,
+/// histogram family shape (monotone cumulative buckets, the `le="0"`
+/// non-positive bucket, percentile gauges), the deterministic series
+/// filter, the lint's negative cases, and rolling-window delta
+/// snapshots with their byte-reproducibility guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+#include "obs/Telemetry.h"
+#include "obs/Window.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace sest;
+using namespace sest::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Name mangling and value formatting
+//===----------------------------------------------------------------------===//
+
+TEST(PromExport, MetricNameManglingIsStableAndTotal) {
+  EXPECT_EQ(promMetricName("service.request_us"),
+            "sest_service_request_us");
+  EXPECT_EQ(promMetricName("service.requests.estimate"),
+            "sest_service_requests_estimate");
+  // Every invalid byte becomes '_'; nothing is dropped.
+  EXPECT_EQ(promMetricName("a-b c/d"), "sest_a_b_c_d");
+  // A leading digit is only reachable with an empty prefix, and gets
+  // guarded so the result is still a valid metric name.
+  EXPECT_EQ(promMetricName("9lives", ""), "_9lives");
+  EXPECT_EQ(promMetricName("ok", ""), "ok");
+}
+
+TEST(PromExport, LabelEscaping) {
+  EXPECT_EQ(promEscapeLabel("plain"), "plain");
+  EXPECT_EQ(promEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(promEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(promEscapeLabel("two\nlines"), "two\\nlines");
+}
+
+TEST(PromExport, NumbersPrintIntegralWithoutDecimalPoint) {
+  EXPECT_EQ(promNumber(3.0), "3");
+  EXPECT_EQ(promNumber(0.0), "0");
+  EXPECT_EQ(promNumber(2.5), "2.5");
+}
+
+TEST(PromExport, DeterministicSeriesNameIsTheRequestFlowFamily) {
+  EXPECT_TRUE(deterministicSeriesName("service.requests"));
+  EXPECT_TRUE(deterministicSeriesName("service.requests.bad"));
+  EXPECT_TRUE(deterministicSeriesName("service.requests.estimate"));
+  EXPECT_FALSE(deterministicSeriesName("service.batches"));
+  EXPECT_FALSE(deterministicSeriesName("service.request_us"));
+  EXPECT_FALSE(deterministicSeriesName("service.cache.ast.hit"));
+}
+
+//===----------------------------------------------------------------------===//
+// Render → parse → lint round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(PromExport, RenderRoundTripsThroughParserAndLint) {
+  Telemetry T;
+  T.add("service.requests", 7);
+  T.add("service.requests.estimate", 4);
+  T.raiseMax("pool.depth", 3);
+  T.record("service.request_us", 10.0);
+  T.record("service.request_us", 100.0);
+  T.record("service.request_us", 1000.0);
+
+  std::string Text = renderPrometheus(T);
+  EXPECT_TRUE(lintPrometheus(Text).empty())
+      << lintPrometheus(Text).front();
+
+  std::string Error;
+  auto Doc = parsePrometheus(Text, &Error);
+  ASSERT_TRUE(Doc.has_value()) << Error;
+  EXPECT_EQ(Doc->valueOr("sest_service_requests", -1), 7.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_requests_estimate", -1), 4.0);
+  EXPECT_EQ(Doc->valueOr("sest_pool_depth", -1), 3.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_request_us_count", -1), 3.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_request_us_sum", -1), 1110.0);
+  // Declared types survive the round trip.
+  EXPECT_EQ(Doc->Types.at("sest_service_requests"), "counter");
+  EXPECT_EQ(Doc->Types.at("sest_pool_depth"), "gauge");
+  EXPECT_EQ(Doc->Types.at("sest_service_request_us"), "histogram");
+}
+
+TEST(PromExport, HistogramFamilyShape) {
+  Telemetry T;
+  T.record("lat", 1.0);
+  T.record("lat", 2.0);
+  T.record("lat", 1000.0);
+
+  std::string Text = renderPrometheus(T);
+  auto Doc = parsePrometheus(Text);
+  ASSERT_TRUE(Doc.has_value());
+
+  // Collect the cumulative buckets in document order: the le bounds
+  // must be strictly increasing, counts non-decreasing, and the +Inf
+  // bucket must equal _count.
+  double PrevLe = -1.0, PrevN = -1.0, InfN = -1.0;
+  size_t Buckets = 0;
+  for (const PromSample &S : Doc->Samples) {
+    if (S.Name != "sest_lat_bucket")
+      continue;
+    ++Buckets;
+    const std::string *Le = S.label("le");
+    ASSERT_NE(Le, nullptr);
+    if (*Le == "+Inf") {
+      InfN = S.Value;
+      continue;
+    }
+    double Bound = std::stod(*Le);
+    EXPECT_GT(Bound, PrevLe);
+    EXPECT_GE(S.Value, PrevN);
+    PrevLe = Bound;
+    PrevN = S.Value;
+  }
+  EXPECT_GE(Buckets, 3u);
+  EXPECT_EQ(InfN, 3.0);
+  EXPECT_EQ(Doc->valueOr("sest_lat_count", -1), 3.0);
+  // Percentile gauges ride along for dashboards.
+  EXPECT_GT(Doc->valueOr("sest_lat_p50", -1), 0.0);
+  EXPECT_GE(Doc->valueOr("sest_lat_p99", -1),
+            Doc->valueOr("sest_lat_p50", -1));
+  EXPECT_TRUE(lintPrometheus(Text).empty());
+}
+
+TEST(PromExport, NonPositiveSamplesLandInTheZeroBucket) {
+  Telemetry T;
+  T.record("signed", -5.0);
+  T.record("signed", 0.0);
+  T.record("signed", 4.0);
+
+  std::string Text = renderPrometheus(T);
+  auto Doc = parsePrometheus(Text);
+  ASSERT_TRUE(Doc.has_value());
+  bool SawZero = false;
+  for (const PromSample &S : Doc->Samples) {
+    if (S.Name != "sest_signed_bucket")
+      continue;
+    const std::string *Le = S.label("le");
+    ASSERT_NE(Le, nullptr);
+    if (*Le == "0") {
+      SawZero = true;
+      EXPECT_EQ(S.Value, 2.0); // both non-positive samples, cumulative
+    }
+  }
+  EXPECT_TRUE(SawZero);
+  EXPECT_TRUE(lintPrometheus(Text).empty());
+}
+
+TEST(PromExport, ExtraSeriesMergeIntoTheExposition) {
+  Telemetry T;
+  T.add("service.requests", 2);
+  std::vector<ExtraSeries> Extra = {
+      {"service.cache.ast.hits", 5.0, false},
+      {"service.cache.ast.misses", 1.0, false},
+  };
+  std::string Text = renderPrometheus(T, {}, Extra);
+  auto Doc = parsePrometheus(Text);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->valueOr("sest_service_cache_ast_hits", -1), 5.0);
+  EXPECT_EQ(Doc->Types.at("sest_service_cache_ast_hits"), "gauge");
+  EXPECT_TRUE(lintPrometheus(Text).empty());
+}
+
+TEST(PromExport, DeterministicScopeFiltersToRequestFlowCounters) {
+  Telemetry T;
+  T.add("service.requests", 3);
+  T.add("service.requests.parse", 3);
+  T.add("service.batches", 2);       // live-only counter
+  T.raiseMax("service.batch_depth", 4); // gauge: never deterministic
+  T.record("service.request_us", 9.0);  // histogram: never deterministic
+
+  ExportOptions O;
+  O.DeterministicOnly = true;
+  std::string Text = renderPrometheus(T, O);
+  auto Doc = parsePrometheus(Text);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->valueOr("sest_service_requests", -1), 3.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_requests_parse", -1), 3.0);
+  EXPECT_EQ(Doc->find("sest_service_batches"), nullptr);
+  EXPECT_EQ(Doc->find("sest_service_batch_depth"), nullptr);
+  EXPECT_EQ(Doc->find("sest_service_request_us_count"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint negative cases
+//===----------------------------------------------------------------------===//
+
+TEST(PromLint, FlagsDuplicateSeries) {
+  std::string Text = "# TYPE m counter\nm 1\nm 2\n";
+  auto Findings = lintPrometheus(Text);
+  ASSERT_FALSE(Findings.empty());
+  EXPECT_NE(Findings.front().find("duplicate"), std::string::npos);
+  // Distinct label sets are distinct series — no finding.
+  EXPECT_TRUE(lintPrometheus("# TYPE m counter\n"
+                             "m{k=\"a\"} 1\nm{k=\"b\"} 2\n")
+                  .empty());
+}
+
+TEST(PromLint, FlagsSamplesWithoutType) {
+  EXPECT_FALSE(lintPrometheus("orphan 1\n").empty());
+}
+
+TEST(PromLint, FlagsNegativeCounters) {
+  EXPECT_FALSE(lintPrometheus("# TYPE m counter\nm -1\n").empty());
+  EXPECT_TRUE(lintPrometheus("# TYPE m gauge\nm -1\n").empty());
+}
+
+TEST(PromLint, FlagsNonMonotoneHistogram) {
+  // Cumulative counts must be non-decreasing with le.
+  std::string Bad = "# TYPE h histogram\n"
+                    "h_bucket{le=\"1\"} 5\n"
+                    "h_bucket{le=\"2\"} 3\n"
+                    "h_bucket{le=\"+Inf\"} 5\n"
+                    "h_sum 7\n"
+                    "h_count 5\n";
+  EXPECT_FALSE(lintPrometheus(Bad).empty());
+  // +Inf bucket must agree with _count.
+  std::string Mismatch = "# TYPE h histogram\n"
+                         "h_bucket{le=\"1\"} 2\n"
+                         "h_bucket{le=\"+Inf\"} 2\n"
+                         "h_sum 2\n"
+                         "h_count 3\n";
+  EXPECT_FALSE(lintPrometheus(Mismatch).empty());
+}
+
+TEST(PromLint, FlagsSyntaxErrors) {
+  EXPECT_FALSE(lintPrometheus("m{k=\"unterminated} 1\n").empty());
+  EXPECT_FALSE(lintPrometheus("# TYPE m counter\nm notanumber\n").empty());
+  std::string Error;
+  EXPECT_FALSE(parsePrometheus("m{k=\"bad\\q\"} 1\n", &Error).has_value());
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Rolling windows
+//===----------------------------------------------------------------------===//
+
+TEST(RollingWindow, CounterAndHistogramDeltas) {
+  Telemetry T;
+  RollingWindow W;
+
+  T.add("service.requests", 10);
+  T.record("lat", 5.0);
+  WindowSnapshot S1 = W.advance(T, 10);
+  EXPECT_EQ(S1.Tick, 10u);
+  EXPECT_EQ(S1.WindowTicks, 10u);
+  EXPECT_EQ(S1.CounterDeltas.at("service.requests"), 10.0);
+  EXPECT_EQ(S1.HistogramDeltas.at("lat").Count, 1u);
+
+  T.add("service.requests", 3);
+  T.record("lat", 500.0);
+  T.record("lat", 600.0);
+  WindowSnapshot S2 = W.advance(T, 13);
+  EXPECT_EQ(S2.WindowTicks, 3u);
+  EXPECT_EQ(S2.CounterDeltas.at("service.requests"), 3.0);
+  EXPECT_EQ(S2.HistogramDeltas.at("lat").Count, 2u);
+  EXPECT_EQ(S2.HistogramDeltas.at("lat").Sum, 1100.0);
+  // The window's percentile estimate stays inside the window's samples
+  // (the first window's 5.0 no longer drags it down).
+  EXPECT_GE(S2.HistogramDeltas.at("lat").percentile(0.5), 400.0);
+
+  // An idle window is all zeros, not stale values.
+  WindowSnapshot S3 = W.advance(T, 13);
+  EXPECT_EQ(S3.WindowTicks, 0u);
+  EXPECT_EQ(S3.CounterDeltas.at("service.requests"), 0.0);
+  EXPECT_EQ(S3.HistogramDeltas.at("lat").Count, 0u);
+}
+
+TEST(RollingWindow, RenderIsByteReproducibleForAFixedSequence) {
+  auto Run = [] {
+    Telemetry T;
+    RollingWindow W;
+    std::string Out;
+    for (int Round = 1; Round <= 3; ++Round) {
+      T.add("service.requests", 4);
+      T.add("service.requests.estimate", 2);
+      T.record("service.request_us", 10.0 * Round);
+      Out += renderPrometheus(
+          W.advance(T, static_cast<uint64_t>(4 * Round)));
+      Out += "\n";
+    }
+    return Out;
+  };
+  EXPECT_EQ(Run(), Run());
+}
+
+TEST(RollingWindow, WindowRenderConcatenatesLintCleanAfterCumulative) {
+  // Exactly what sestd --metrics writes: cumulative exposition followed
+  // by the window section, in one file. No duplicate series allowed.
+  Telemetry T;
+  T.add("service.requests", 6);
+  T.raiseMax("service.batch_depth", 2);
+  T.record("service.request_us", 15.0);
+
+  RollingWindow W;
+  std::string Text = renderPrometheus(T);
+  Text += renderPrometheus(W.advance(T, 6));
+  auto Findings = lintPrometheus(Text);
+  EXPECT_TRUE(Findings.empty()) << Findings.front();
+
+  auto Doc = parsePrometheus(Text);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->valueOr("sest_service_requests", -1), 6.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_requests_delta", -1), 6.0);
+  EXPECT_EQ(Doc->valueOr("sest_window_tick", -1), 6.0);
+  EXPECT_EQ(Doc->valueOr("sest_window_ticks", -1), 6.0);
+}
+
+TEST(RollingWindow, DeterministicScopeKeepsOnlyRequestFlowDeltas) {
+  Telemetry T;
+  T.add("service.requests", 5);
+  T.add("service.batches", 2);
+  T.record("service.request_us", 7.0);
+
+  RollingWindow W;
+  ExportOptions O;
+  O.DeterministicOnly = true;
+  std::string Text = renderPrometheus(W.advance(T, 5), O);
+  auto Doc = parsePrometheus(Text);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->valueOr("sest_service_requests_delta", -1), 5.0);
+  EXPECT_EQ(Doc->find("sest_service_batches_delta"), nullptr);
+  EXPECT_EQ(Doc->find("sest_service_request_us_delta_count"), nullptr);
+  EXPECT_EQ(Doc->valueOr("sest_window_tick", -1), 5.0);
+}
+
+} // namespace

@@ -14,6 +14,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/EventLog.h"
+#include "obs/Export.h"
+#include "obs/Telemetry.h"
 #include "service/Cache.h"
 #include "service/Service.h"
 #include "support/Json.h"
@@ -338,6 +341,205 @@ TEST(Service, ShutdownAndStats) {
   EXPECT_NE(S.handle("{\"op\":\"shutdown\"}").find("\"shutting_down\":true"),
             std::string::npos);
   EXPECT_TRUE(S.shutdownRequested());
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics exposition, health, and request spans
+//===----------------------------------------------------------------------===//
+
+/// The exposition string out of one `metrics` response line.
+std::string expositionOf(const std::string &Response) {
+  auto Doc = parseJson(Response);
+  EXPECT_TRUE(Doc.has_value()) << Response;
+  if (!Doc)
+    return "";
+  const JsonValue *Result = Doc->find("result");
+  const JsonValue *Expo = Result ? Result->find("exposition") : nullptr;
+  EXPECT_TRUE(Expo && Expo->isString()) << Response;
+  return Expo && Expo->isString() ? Expo->StringVal : "";
+}
+
+/// A mixed request batch ending in a deterministic-scope metrics probe.
+std::vector<std::string> metricsProbeBatch() {
+  std::vector<std::string> Requests;
+  for (int I = 0; I < 12; ++I) {
+    const char *Src = I % 2 ? SourceA : SourceB;
+    if (I % 3 == 0)
+      Requests.push_back(estimateRequest(Src));
+    else if (I % 3 == 1)
+      Requests.push_back(std::string("{\"op\":\"parse\",\"source\":\"") +
+                         jsonEscape(Src) + "\"}");
+    else
+      Requests.push_back(optimizeRequest(Src));
+  }
+  Requests.push_back("not even json"); // counts into service.requests.bad
+  Requests.push_back("{\"op\":\"metrics\",\"scope\":\"deterministic\"}");
+  return Requests;
+}
+
+TEST(Service, MetricsDeterministicScopeIsByteIdenticalAcrossJobsAndCache) {
+  // The deterministic-scope metrics answer is part of the byte contract:
+  // identical at every Jobs value and with the cache disabled, and a
+  // mid-batch probe reflects exactly the requests that preceded it.
+  auto Run = [](unsigned Jobs, size_t CacheBytes) {
+    ServiceOptions SO;
+    SO.Jobs = Jobs;
+    SO.CacheBudgetBytes = CacheBytes;
+    obs::Telemetry Tele;
+    Tele.install();
+    Service S(SO);
+    std::vector<std::string> Out = S.handleBatch(metricsProbeBatch());
+    Tele.uninstall();
+    return Out.back();
+  };
+  std::string Jobs1 = Run(1, 256u << 20);
+  EXPECT_EQ(Jobs1, Run(8, 256u << 20));
+  EXPECT_EQ(Jobs1, Run(8, 0));
+  EXPECT_EQ(Jobs1, Run(3, 256u << 20));
+
+  std::string Expo = expositionOf(Jobs1);
+  auto Doc = obs::parsePrometheus(Expo);
+  ASSERT_TRUE(Doc.has_value()) << Expo;
+  // 12 pipeline requests + 1 bad line + the probe itself.
+  EXPECT_EQ(Doc->valueOr("sest_service_requests", -1), 14.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_requests_bad", -1), 1.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_requests_estimate", -1), 4.0);
+  // Nothing live may leak into the deterministic scope.
+  EXPECT_EQ(Doc->find("sest_service_request_us_count"), nullptr);
+  EXPECT_EQ(Doc->find("sest_service_cache_ast_hits"), nullptr);
+  EXPECT_EQ(Doc->find("sest_service_batches"), nullptr);
+  EXPECT_TRUE(obs::lintPrometheus(Expo).empty());
+}
+
+TEST(Service, MetricsLiveScopeLintsCleanWithCacheGauges) {
+  obs::Telemetry Tele;
+  Tele.install();
+  Service S;
+  S.handle(estimateRequest(SourceA));
+  S.handle(estimateRequest(SourceA));
+  std::string Expo = expositionOf(S.handle("{\"op\":\"metrics\"}"));
+  Tele.uninstall();
+
+  auto Findings = obs::lintPrometheus(Expo);
+  EXPECT_TRUE(Findings.empty()) << Findings.front();
+  auto Doc = obs::parsePrometheus(Expo);
+  ASSERT_TRUE(Doc.has_value());
+  // Live scope carries the per-tier cache gauges and latency families.
+  EXPECT_EQ(Doc->valueOr("sest_service_cache_response_hits", -1), 1.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_cache_response_misses", -1), 1.0);
+  EXPECT_GE(Doc->valueOr("sest_service_cache_ast_bytes", -1), 1.0);
+  EXPECT_EQ(Doc->valueOr("sest_service_request_us_count", -1), 2.0);
+  EXPECT_EQ(Doc->Types.at("sest_service_cache_ast_hits"), "gauge");
+}
+
+TEST(Service, MetricsWithoutAmbientTelemetryStillServesCacheGauges) {
+  // No Telemetry installed (a bare embedder): the exposition has no
+  // registry series but still reports the tiers' lock-free totals.
+  Service S;
+  S.handle(estimateRequest(SourceA));
+  std::string Expo = expositionOf(S.handle("{\"op\":\"metrics\"}"));
+  auto Doc = obs::parsePrometheus(Expo);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("sest_service_requests"), nullptr);
+  EXPECT_EQ(Doc->valueOr("sest_service_cache_ast_misses", -1), 1.0);
+  EXPECT_TRUE(obs::lintPrometheus(Expo).empty());
+}
+
+TEST(Service, MetricsRejectsUnknownScope) {
+  Service S;
+  std::string Resp = S.handle("{\"op\":\"metrics\",\"scope\":\"weekly\"}");
+  EXPECT_NE(Resp.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(Resp.find("scope"), std::string::npos);
+}
+
+TEST(Service, HealthVerbEchoesConfig) {
+  ServiceOptions SO;
+  SO.Jobs = 4;
+  Service S(SO);
+  std::string Resp = S.handle("{\"op\":\"health\"}");
+  EXPECT_NE(Resp.find("sest-service-health/1"), std::string::npos);
+  EXPECT_NE(Resp.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(Resp.find("\"accepting\":true"), std::string::npos);
+  EXPECT_NE(Resp.find("\"jobs\":4"), std::string::npos);
+  EXPECT_NE(Resp.find("\"cache_enabled\":true"), std::string::npos);
+  S.handle("{\"op\":\"shutdown\"}");
+  EXPECT_NE(S.handle("{\"op\":\"health\"}").find("\"accepting\":false"),
+            std::string::npos);
+}
+
+TEST(Service, StatsCarriesPerTierGauges) {
+  Service S;
+  S.handle(estimateRequest(SourceA));
+  S.handle(estimateRequest(SourceA));
+  std::string Stats = S.handle("{\"op\":\"stats\"}");
+  auto Doc = parseJson(Stats);
+  ASSERT_TRUE(Doc.has_value()) << Stats;
+  const JsonValue *Result = Doc->find("result");
+  ASSERT_NE(Result, nullptr);
+  const JsonValue *Gauges = Result->find("gauges");
+  ASSERT_NE(Gauges, nullptr) << Stats;
+  auto Gauge = [&](const char *Name) {
+    const JsonValue *G = Gauges->find(Name);
+    return G && G->isNumber() ? G->NumberVal : -1.0;
+  };
+  EXPECT_EQ(Gauge("service.cache.response.hits"), 1.0);
+  EXPECT_EQ(Gauge("service.cache.response.misses"), 1.0);
+  EXPECT_EQ(Gauge("service.cache.ast.entries"), 1.0);
+  EXPECT_EQ(Gauge("service.cache.ast.evictions"), 0.0);
+  EXPECT_GE(Gauge("service.cache.ast.bytes"), 1.0);
+}
+
+TEST(Service, RequestSpansAreByteIdenticalAcrossJobs) {
+  // Each request gets a req:<ordinal> span: enqueue -> dequeue ->
+  // execute -> respond, merged in request order. With one distinct
+  // source per request (so no cross-request cache races), the event
+  // stream is byte-identical across Jobs values.
+  auto Run = [](unsigned Jobs) {
+    std::vector<std::string> Requests;
+    for (int I = 0; I < 8; ++I)
+      Requests.push_back(estimateRequest(
+          ("int main() { return " + std::to_string(I) + "; }").c_str()));
+    ServiceOptions SO;
+    SO.Jobs = Jobs;
+    obs::EventLog Log;
+    Log.install();
+    Service S(SO);
+    S.handleBatch(Requests);
+    Log.uninstall();
+    return Log.jsonl();
+  };
+  std::string Serial = Run(1);
+  EXPECT_EQ(Serial, Run(8));
+
+  // Span structure: every lifecycle kind present, tagged req:<N>.
+  for (const char *Kind :
+       {"service.request.enqueue", "service.request.dequeue",
+        "service.request.execute", "service.request.respond"})
+    EXPECT_NE(Serial.find(Kind), std::string::npos) << Kind;
+  EXPECT_NE(Serial.find("\"prov\":\"req:0\""), std::string::npos);
+  EXPECT_NE(Serial.find("\"prov\":\"req:7\""), std::string::npos);
+  // Cache-outcome annotations ride on the spans.
+  EXPECT_NE(Serial.find("service.request.cache"), std::string::npos);
+  EXPECT_NE(Serial.find("\"outcome\":\"miss\""), std::string::npos);
+
+  // All enqueues are emitted at intake, before any execution.
+  size_t LastEnqueue = Serial.rfind("service.request.enqueue");
+  size_t FirstExecute = Serial.find("service.request.execute");
+  ASSERT_NE(LastEnqueue, std::string::npos);
+  ASSERT_NE(FirstExecute, std::string::npos);
+  EXPECT_LT(LastEnqueue, FirstExecute);
+}
+
+TEST(Service, WarmSpansRecordCacheHits) {
+  obs::EventLog Log;
+  Log.install();
+  Service S;
+  S.handle(estimateRequest(SourceA));
+  S.handle(estimateRequest(SourceA));
+  Log.uninstall();
+  std::string Events = Log.jsonl();
+  EXPECT_NE(Events.find("\"outcome\":\"hit\""), std::string::npos);
+  EXPECT_NE(Events.find("\"tier\":\"response\""), std::string::npos);
 }
 
 } // namespace

@@ -38,6 +38,7 @@
 #include "metrics/Evaluation.h"
 #include "obs/Accuracy.h"
 #include "obs/EventLog.h"
+#include "obs/Export.h"
 #include "opt/OptReport.h"
 #include "obs/Telemetry.h"
 #include "profile/Profile.h"
@@ -103,6 +104,9 @@ const OptionSpec OptionTable[] = {
     {"--log", "FILE",
      "write the sest-events/1 JSONL decision/provenance log"},
     {"--stats", nullptr, "print phase times and all counters"},
+    {"--stats-format", "table|prom",
+     "counter output format for --stats: aligned table (default) or "
+     "Prometheus text exposition"},
     {"--report", "FILE", "write machine-readable JSON run/suite report"},
     {"--explain", nullptr, "annotated listing + WORST-n divergence tables"},
     {"--accuracy-report", "FILE", "write sest-accuracy-report/1 JSON"},
@@ -183,6 +187,7 @@ struct Options {
   bool HasOptimize = false;
   bool Explain = false;
   bool Stats = false;
+  bool StatsProm = false;
   uint64_t Seed = 1;
   unsigned Jobs = 0;
   InterpEngine Engine = InterpEngine::Bytecode;
@@ -296,6 +301,12 @@ Options parseArgs(int argc, char **argv) {
       O.Explain = true;
     } else if (A == "--stats") {
       O.Stats = true;
+    } else if (A == "--stats-format") {
+      std::string V = Next();
+      if (V != "table" && V != "prom")
+        usage();
+      O.StatsProm = V == "prom";
+      O.Stats = true; // implies --stats
     } else if (!A.empty() && A[0] == '-') {
       unknownOption(A);
     } else {
@@ -813,8 +824,14 @@ int main(int argc, char **argv) {
   Tele.uninstall();
 
   if (O.Stats) {
-    out("\n-- phase times --\n" + Tele.phaseSummary());
-    out("\n-- counters --\n" + Tele.statsTable());
+    if (O.StatsProm) {
+      // Machine-readable stats: the same registry, as one Prometheus
+      // text exposition (scrape-compatible with sestd's metrics verb).
+      out(obs::renderPrometheus(Tele));
+    } else {
+      out("\n-- phase times --\n" + Tele.phaseSummary());
+      out("\n-- counters --\n" + Tele.statsTable());
+    }
   }
   if (!O.TraceFile.empty()) {
     if (!writeTextFile(O.TraceFile, Tele.traceJson()))

@@ -22,7 +22,9 @@
 #include "service/Service.h"
 
 #include "obs/EventLog.h"
+#include "obs/Export.h"
 #include "obs/Telemetry.h"
+#include "obs/Window.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +65,12 @@ const OptionSpec OptionTable[] = {
     {"--cache-shards", "N", "mutex stripes per cache tier (default 16)"},
     {"--no-cache", nullptr, "disable memoization (every request recomputes)"},
     {"--socket", "PATH", "serve on a Unix socket instead of stdin/stdout"},
+    {"--metrics", "FILE[:N]",
+     "write a Prometheus snapshot (cumulative + rolling window) every N "
+     "requests (default 1000) and at exit"},
+    {"--metrics-scope", "MODE",
+     "snapshot scope: live (default) or deterministic (byte-stable "
+     "across --jobs and cache state)"},
     {"--stats", nullptr, "print phase times and counters to stderr at exit"},
     {"--trace", "FILE", "write Chrome trace-event JSON of the session"},
     {"--log", "FILE",
@@ -89,6 +97,9 @@ struct Options {
   std::string SocketPath;
   std::string TraceFile;
   std::string LogFile;
+  std::string MetricsFile;
+  size_t MetricsEvery = 1000;
+  bool MetricsDeterministic = false;
   bool Stats = false;
 };
 
@@ -134,6 +145,31 @@ Options parseArgs(int argc, char **argv) {
       if (I + 1 >= argc)
         usageError("--socket requires a path");
       O.SocketPath = argv[++I];
+    } else if (A == "--metrics") {
+      if (I + 1 >= argc)
+        usageError("--metrics requires a file");
+      std::string V = argv[++I];
+      // FILE[:EVERY_N] — the suffix is only split off when it parses as
+      // a positive integer, so paths containing ':' keep working.
+      size_t Colon = V.rfind(':');
+      if (Colon != std::string::npos && Colon + 1 < V.size()) {
+        char *End = nullptr;
+        long long N = std::strtoll(V.c_str() + Colon + 1, &End, 10);
+        if (End && *End == '\0' && N >= 1) {
+          O.MetricsEvery = static_cast<size_t>(N);
+          V.resize(Colon);
+        }
+      }
+      if (V.empty())
+        usageError("--metrics requires a file");
+      O.MetricsFile = V;
+    } else if (A == "--metrics-scope") {
+      if (I + 1 >= argc)
+        usageError("--metrics-scope requires 'live' or 'deterministic'");
+      std::string V = argv[++I];
+      if (V != "live" && V != "deterministic")
+        usageError("--metrics-scope requires 'live' or 'deterministic'");
+      O.MetricsDeterministic = V == "deterministic";
     } else if (A == "--stats") {
       O.Stats = true;
     } else if (A == "--trace") {
@@ -161,18 +197,70 @@ bool writeTextFile(const std::string &Path, const std::string &Content) {
   return F.good();
 }
 
+/// Periodic metrics snapshots (--metrics FILE[:EVERY_N]): the service's
+/// cumulative exposition plus one rolling-window delta, rewritten
+/// atomically-enough (truncate + write) every EVERY_N requests and once
+/// at exit. Ticks are requests served — never wall-clock — so for a
+/// fixed request stream the snapshot sequence is deterministic; with
+/// --metrics-scope deterministic the snapshot bytes are too.
+struct MetricsSink {
+  MetricsSink(const Options &Opts, service::Service &Service)
+      : O(Opts), Svc(Service) {}
+
+  const Options &O;
+  service::Service &Svc;
+  uint64_t Served = 0;
+  uint64_t LastSnapAt = 0;
+  obs::RollingWindow Window;
+
+  bool enabled() const { return !O.MetricsFile.empty(); }
+
+  /// Max requests the current batch may take before it would cross a
+  /// snapshot boundary. Capping batches here keeps snapshots at exact
+  /// EVERY_N multiples regardless of how stdin happened to be buffered,
+  /// which is what makes the window sequence reproducible.
+  size_t batchLimit() const {
+    if (!enabled())
+      return O.MaxBatch;
+    size_t ToBoundary = O.MetricsEvery - (Served - LastSnapAt);
+    return std::min(O.MaxBatch, ToBoundary);
+  }
+
+  void onServed(size_t N) {
+    if (!enabled() || N == 0)
+      return;
+    Served += N;
+    if (Served - LastSnapAt >= O.MetricsEvery)
+      snapshot();
+  }
+
+  void snapshot() {
+    LastSnapAt = Served;
+    std::string Text = Svc.metricsExposition(O.MetricsDeterministic);
+    if (obs::Telemetry *T = obs::Telemetry::active()) {
+      obs::ExportOptions WO;
+      WO.DeterministicOnly = O.MetricsDeterministic;
+      Text += obs::renderPrometheus(Window.advance(*T, Served), WO);
+    }
+    writeTextFile(O.MetricsFile, Text);
+  }
+};
+
 /// Drains one batch through the service and writes the responses.
-/// \p Write receives each response line (newline included).
+/// \p Write receives each response line (newline included). Returns the
+/// number of requests served.
 template <typename WriteFn>
-void serveBatch(service::Service &Svc, std::vector<std::string> &Batch,
-                WriteFn &&Write) {
+size_t serveBatch(service::Service &Svc, std::vector<std::string> &Batch,
+                  WriteFn &&Write) {
   if (Batch.empty())
-    return;
+    return 0;
+  size_t N = Batch.size();
   for (std::string &Resp : Svc.handleBatch(Batch)) {
     Resp += '\n';
     Write(Resp);
   }
   Batch.clear();
+  return N;
 }
 
 /// stdin/stdout mode: the first request of a batch blocks; any further
@@ -180,7 +268,7 @@ void serveBatch(service::Service &Svc, std::vector<std::string> &Batch,
 /// client that writes N requests and then waits gets them executed
 /// concurrently, while an interactive client still gets one response
 /// per line immediately.
-int serveStdio(const Options &O, service::Service &Svc) {
+int serveStdio(service::Service &Svc, MetricsSink &Sink) {
   std::vector<std::string> Batch;
   std::string Line;
   while (!Svc.shutdownRequested() && std::getline(std::cin, Line)) {
@@ -188,7 +276,7 @@ int serveStdio(const Options &O, service::Service &Svc) {
       Line.pop_back();
     if (!Line.empty())
       Batch.push_back(std::move(Line));
-    while (Batch.size() < O.MaxBatch &&
+    while (Batch.size() < Sink.batchLimit() &&
            std::cin.rdbuf()->in_avail() > 0 &&
            std::getline(std::cin, Line)) {
       if (!Line.empty() && Line.back() == '\r')
@@ -196,10 +284,12 @@ int serveStdio(const Options &O, service::Service &Svc) {
       if (!Line.empty())
         Batch.push_back(std::move(Line));
     }
-    serveBatch(Svc, Batch, [](const std::string &S) { out(S); });
+    Sink.onServed(
+        serveBatch(Svc, Batch, [](const std::string &S) { out(S); }));
     std::fflush(stdout);
   }
-  serveBatch(Svc, Batch, [](const std::string &S) { out(S); });
+  Sink.onServed(
+      serveBatch(Svc, Batch, [](const std::string &S) { out(S); }));
   std::fflush(stdout);
   return 0;
 }
@@ -208,7 +298,8 @@ int serveStdio(const Options &O, service::Service &Svc) {
 /// Unix-socket mode: one client at a time; each connection streams the
 /// same newline-delimited protocol. The listener closes after a
 /// shutdown request (or SIGTERM from outside).
-int serveSocket(const Options &O, service::Service &Svc) {
+int serveSocket(const Options &O, service::Service &Svc,
+                MetricsSink &Sink) {
   int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Listener < 0) {
     err("sestd: socket() failed\n");
@@ -263,11 +354,11 @@ int serveSocket(const Options &O, service::Service &Svc) {
           Line.pop_back();
         if (!Line.empty())
           Batch.push_back(std::move(Line));
-        if (Batch.size() >= O.MaxBatch)
-          serveBatch(Svc, Batch, Write);
+        if (Batch.size() >= Sink.batchLimit())
+          Sink.onServed(serveBatch(Svc, Batch, Write));
       }
       Buffer.erase(0, Start);
-      serveBatch(Svc, Batch, Write);
+      Sink.onServed(serveBatch(Svc, Batch, Write));
       if (Svc.shutdownRequested())
         break;
     }
@@ -293,20 +384,25 @@ int main(int argc, char **argv) {
     Log.install();
 
   service::Service Svc(O.Svc);
+  MetricsSink Sink{O, Svc};
   int Rc;
 #ifndef _WIN32
   if (!O.SocketPath.empty())
-    Rc = serveSocket(O, Svc);
+    Rc = serveSocket(O, Svc, Sink);
   else
-    Rc = serveStdio(O, Svc);
+    Rc = serveStdio(Svc, Sink);
 #else
   if (!O.SocketPath.empty()) {
     err("sestd: --socket is not supported on this platform\n");
     Rc = 1;
   } else {
-    Rc = serveStdio(O, Svc);
+    Rc = serveStdio(Svc, Sink);
   }
 #endif
+  // Final snapshot: always written (even for an empty session), so a
+  // --metrics file exists and reflects the whole run at exit.
+  if (Sink.enabled())
+    Sink.snapshot();
 
   if (!O.LogFile.empty()) {
     Log.uninstall();
