@@ -3,8 +3,10 @@
 
 Reads the same reports check_perf.py validates — service_throughput.json
 (cold/warm service rps + warm speedup), analysis_time.json (the sparse
-vs dense solver speedup at n=1000), and pipeline_latency.json (per-stage
-p99) — condenses them into one history entry, appends it to
+vs dense solver speedup at n=1000), pipeline_latency.json (per-stage
+p99), and interp_tiers.json (the native-over-bytecode execution-tier
+speedup with its compile break-even) — condenses them into one history
+entry, appends it to
 ``bench/history.jsonl``, and prints the deltas against the previous
 entry so a regression is visible the moment the history grows.
 
@@ -38,6 +40,10 @@ HEADLINES = [
     ("stage_cfg_p99_us", "pipeline_latency.json cfg p99", False),
     ("stage_callgraph_p99_us", "pipeline_latency.json callgraph p99", False),
     ("stage_estimate_p99_us", "pipeline_latency.json estimate p99", False),
+    ("native_over_bytecode", "interp_tiers.json suite bytecode/native", True),
+    ("native_suite_ms", "interp_tiers.json suite native_ms", False),
+    ("native_compile_ms", "interp_tiers.json suite native_compile_ms", False),
+    ("native_breakeven_runs", "interp_tiers.json suite breakeven_runs", False),
 ]
 
 
@@ -83,6 +89,17 @@ def collect_entry(bench_dir):
         dense = times.get("solver/dense/1000", 0.0)
         if sparse > 0.0 and dense > 0.0:
             entry["solver_sparse_speedup_1000"] = dense / sparse
+
+    tiers = load_json(os.path.join(bench_dir, "interp_tiers.json"))
+    if tiers and tiers.get("native_available", False):
+        suite = tiers.get("suite", {})
+        entry["native_over_bytecode"] = float(
+            suite.get("bytecode_over_native", 0.0))
+        entry["native_suite_ms"] = float(suite.get("native_ms", 0.0))
+        entry["native_compile_ms"] = float(
+            suite.get("native_compile_ms", 0.0))
+        entry["native_breakeven_runs"] = float(
+            suite.get("breakeven_runs", 0.0))
 
     lat = load_json(os.path.join(bench_dir, "pipeline_latency.json"))
     if lat:

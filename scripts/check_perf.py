@@ -25,7 +25,15 @@ Two checks, both with deliberately generous machine-variance tolerance:
    cold (cache-disabled) throughput by at least 5x; warm requests/s
    against ``bench/service_throughput.json`` is advisory wall-clock.
 
-5. Optimizer outcomes: runs ``sestc --suite --optimize all --opt-report``
+5. Execution tiers: runs ``bench_interp --tiers-json`` (the three-tier
+   suite comparison) and enforces the machine-independent invariant
+   that the native tier beats the bytecode VM by at least 3x across the
+   suite — the ratio both tiers measure on the same machine in the same
+   process; absolute native wall time against
+   ``bench/interp_tiers.json`` is advisory. When the host has no C
+   compiler the native tier is a capability skip, not a failure.
+
+6. Optimizer outcomes: runs ``sestc --suite --optimize all --opt-report``
    and checks ``bench/opt_report.json`` invariants. Differential
    verification of every inlined program and the layout-cost VM
    cross-checks are deterministic and checked at full strength; the
@@ -269,6 +277,80 @@ def check_service(build, baseline_path, tolerance):
     return 1 if failed else 0
 
 
+MIN_NATIVE_OVER_BYTECODE = 3.0
+
+
+def check_tiers(build, baseline_path, tolerance):
+    """Three-tier execution comparison check. Returns 0/1/2 like main.
+
+    The bytecode-over-native speedup is machine-independent (both tiers
+    run the same steps on the same machine in the same process), so the
+    3x floor is checked at full strength; absolute suite native wall
+    time is advisory against the checked-in baseline. A host with no C
+    compiler skips the native checks cleanly (the report says why).
+    """
+    bench = os.path.join(build, "bench", "bench_interp")
+    if not os.path.exists(bench):
+        print(f"check_perf: {bench} not built", file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        subprocess.run(
+            [bench, "--tiers-json", fresh_path],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+    except (subprocess.CalledProcessError, OSError, ValueError) as e:
+        print(f"check_perf: tier bench run failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        os.unlink(fresh_path)
+
+    if not fresh.get("native_available", False):
+        print(
+            "\ntiers: native engine unavailable"
+            f" ({fresh.get('native_unavailable_reason', '?')}); skipped"
+        )
+        return 0
+
+    failed = False
+    suite = fresh.get("suite", {})
+    speedup = float(suite.get("bytecode_over_native", 0.0))
+    flag = ""
+    if speedup < MIN_NATIVE_OVER_BYTECODE:
+        flag = f"  <-- below {MIN_NATIVE_OVER_BYTECODE:.0f}x floor"
+        failed = True
+    print(f"\ntiers: native-over-bytecode speedup {speedup:.2f}x{flag}")
+    print(
+        f"tiers: native break-even {suite.get('breakeven_runs', 0.0):.0f}"
+        " suite runs (compile cost / per-run gain)"
+    )
+
+    baseline = None
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"check_perf: cannot read tiers baseline: {e}", file=sys.stderr)
+    if baseline and baseline.get("native_available", False):
+        base_ms = float(baseline.get("suite", {}).get("native_ms", 0.0))
+        fresh_ms = float(suite.get("native_ms", 0.0))
+        ratio = fresh_ms / base_ms if base_ms > 0 else float("inf")
+        flag = ""
+        if ratio > tolerance:
+            flag = f"  <-- slower than {tolerance:.1f}x baseline"
+            failed = True
+        print(
+            f"tiers: suite native wall {fresh_ms:.1f} ms"
+            f" (baseline {base_ms:.1f}, ratio {ratio:.2f}){flag}"
+        )
+    return 1 if failed else 0
+
+
 OVERLAP_SLACK = 0.05
 
 
@@ -386,6 +468,11 @@ def main():
         help="checked-in bench_service baseline",
     )
     ap.add_argument(
+        "--tiers-baseline",
+        default=os.path.join(ROOT, "bench", "interp_tiers.json"),
+        help="checked-in bench_interp --tiers-json baseline",
+    )
+    ap.add_argument(
         "--opt-baseline",
         default=os.path.join(ROOT, "bench", "opt_report.json"),
         help="checked-in optimizer report baseline",
@@ -467,12 +554,13 @@ def main():
     service_rc = check_service(
         args.build, args.service_baseline, args.tolerance
     )
+    tiers_rc = check_tiers(args.build, args.tiers_baseline, args.tolerance)
     opt_rc = check_opt(args.build, args.opt_baseline)
     if failed or bench_rc != 0 or latency_rc != 0 or service_rc != 0 \
-            or opt_rc != 0:
+            or tiers_rc != 0 or opt_rc != 0:
         print("check_perf: regression flagged (non-blocking signal)")
         return 1 if failed else max(
-            1, bench_rc, latency_rc, service_rc, opt_rc
+            1, bench_rc, latency_rc, service_rc, tiers_rc, opt_rc
         )
     print("check_perf: within tolerance")
     return 0

@@ -1,0 +1,84 @@
+//===- backend/NativeAbi.h - Host <-> emitted-code ABI ----------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C ABI between the host driver (Native.cpp) and the shared objects
+/// the CBackend compiles. The emitted translation unit carries its own
+/// textual copy of these structs (CBackend.cpp, kAbiText) — the two must
+/// stay field-for-field identical, and kSestNativeAbiVersion is bumped on
+/// any change so a stale artifact is rejected at load time instead of
+/// misreading memory.
+///
+/// Everything an artifact needs at run time that does NOT change code
+/// shape travels through sest_native_params (input bytes, PRNG seed,
+/// resource limits, the per-function cost factors of the selective-
+/// optimization experiment); everything layout- or program-shaped is
+/// compiled in. All run state lives behind the opaque impl pointer, so
+/// one loaded artifact supports concurrent runs from the suite pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BACKEND_NATIVEABI_H
+#define BACKEND_NATIVEABI_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+enum { kSestNativeAbiVersion = 1 };
+
+/// Per-run inputs. cost_factor has one entry per function id.
+typedef struct sest_native_params {
+  const char *input;
+  unsigned long long input_len;
+  unsigned long long rand_seed;
+  unsigned long long max_steps;
+  unsigned max_call_depth;
+  unsigned long long max_host_stack_bytes;
+  long long max_heap_cells;
+  const double *cost_factor;
+} sest_native_params;
+
+/// Per-run outputs. The pointers alias storage owned by impl; release
+/// with sest_native_free. limit uses the RunLimit enum's integer values.
+typedef struct sest_native_result {
+  int ok;
+  int limit;
+  long long exit_code;
+  unsigned long long steps;
+  long long heap_hw;
+  unsigned call_depth_hw;
+  unsigned long long lc_fall;
+  unsigned long long lc_taken;
+  unsigned long long lc_calls;
+  unsigned long long lc_rets;
+  double cycles;
+  const char *output;
+  unsigned long long output_len;
+  const char *error;
+  unsigned long long error_len;
+  const double *blocks;    /* flattened per-function block counts */
+  const double *arcs;      /* flattened per-function arc counts */
+  const double *entries;   /* per function id */
+  const double *callsites; /* per call-site id */
+  const unsigned long long *self_steps; /* per function id */
+  void *impl;
+} sest_native_result;
+
+/// Exported by every artifact:
+///   int  sest_native_run(const sest_native_params *, sest_native_result *);
+///   void sest_native_free(sest_native_result *);
+///   const unsigned long long sest_native_shape[5];
+///     = { abi version, nfuncs, total blocks, total arcs, ncallsites }
+typedef int (*sest_native_run_fn)(const sest_native_params *,
+                                  sest_native_result *);
+typedef void (*sest_native_free_fn)(sest_native_result *);
+
+#ifdef __cplusplus
+} // extern "C"
+#endif
+
+#endif // BACKEND_NATIVEABI_H

@@ -1223,12 +1223,35 @@ const char *sest::runLimitName(RunLimit L) {
   return "none";
 }
 
+const char *sest::interpEngineName(InterpEngine Engine) {
+  switch (Engine) {
+  case InterpEngine::Ast:
+    return "ast";
+  case InterpEngine::Bytecode:
+    return "bytecode";
+  case InterpEngine::Native:
+    return "native";
+  }
+  return "unknown";
+}
+
+static sest::NativeRunHook NativeHook = nullptr;
+
+void sest::setNativeRunHook(NativeRunHook Hook) { NativeHook = Hook; }
+
 RunResult sest::runProgram(const TranslationUnit &Unit,
                            const CfgModule &Cfgs, const ProgramInput &Input,
                            const InterpOptions &Options) {
   if (Options.Engine == InterpEngine::Ast) {
     Interpreter I(Unit, Cfgs, Input, Options);
     return I.run();
+  }
+  if (Options.Engine == InterpEngine::Native) {
+    if (NativeHook)
+      return NativeHook(Unit, Cfgs, Input, Options);
+    RunResult R;
+    R.Error = "native backend unavailable: not linked into this binary";
+    return R;
   }
   // One-shot bytecode run: lower, execute, discard. Callers that run
   // many inputs against one program (the suite runner) compile once and

@@ -45,7 +45,11 @@ struct ProgramInput {
 enum class InterpEngine {
   Ast,      ///< Recursive tree-walker (interp/Interp.cpp).
   Bytecode, ///< Compile-once bytecode VM (interp/bytecode/).
+  Native,   ///< Compile-to-C backend (src/backend/), host-native code.
 };
+
+/// Short identifier for an engine ("ast", "bytecode", "native").
+const char *interpEngineName(InterpEngine Engine);
 
 /// A whole-program basic-block layout: one block order per function id.
 /// An empty row (or a null layout pointer) means identity — blocks in
@@ -162,6 +166,15 @@ struct RunResult {
 RunResult runProgram(const TranslationUnit &Unit, const CfgModule &Cfgs,
                      const ProgramInput &Input,
                      const InterpOptions &Options = {});
+
+/// How runProgram reaches the native tier without src/interp linking
+/// against src/backend: the backend library registers its entry point
+/// here at static-init time (Native.cpp). When no backend is linked in,
+/// Engine=Native runs fail with a clean capability error.
+using NativeRunHook = RunResult (*)(const TranslationUnit &,
+                                    const CfgModule &, const ProgramInput &,
+                                    const InterpOptions &);
+void setNativeRunHook(NativeRunHook Hook);
 
 } // namespace sest
 

@@ -6,6 +6,9 @@
 
 #include "opt/OptReport.h"
 
+#include "backend/Backend.h"
+#include "backend/Native.h"
+#include "interp/bytecode/BytecodeCompiler.h"
 #include "obs/EventLog.h"
 #include "obs/Telemetry.h"
 #include "support/Hash.h"
@@ -13,6 +16,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <thread>
@@ -72,6 +76,97 @@ uint32_t reorderedFunctions(const ProgramLayout &L) {
   for (const FunctionLayout &F : L.Functions)
     if (!F.Order.empty() && !F.isIdentity())
       ++N;
+  return N;
+}
+
+/// Bitwise profile identity — the same predicate the engine
+/// differential tests use (any drift is a lowering bug, not noise).
+bool profilesIdentical(const Profile &A, const Profile &B) {
+  if (A.Functions.size() != B.Functions.size() ||
+      A.CallSiteCounts != B.CallSiteCounts ||
+      A.TotalCycles != B.TotalCycles)
+    return false;
+  for (size_t I = 0; I < A.Functions.size(); ++I) {
+    const FunctionProfile &FA = A.Functions[I];
+    const FunctionProfile &FB = B.Functions[I];
+    if (FA.EntryCount != FB.EntryCount ||
+        FA.BlockCounts != FB.BlockCounts || FA.ArcCounts != FB.ArcCounts)
+      return false;
+  }
+  return true;
+}
+
+/// MeasureNative: compile the identity-layout and static-layout native
+/// binaries for one program and race them on the evaluation input.
+/// \p PredictedCost is the classifier's reclassified layout cost — the
+/// layout binary's real counters must reproduce it exactly.
+NativeTimingResult measureNative(const TranslationUnit &Unit,
+                                 const CfgModule &Cfgs,
+                                 const ProgramInput &EvalInput,
+                                 const ProgramLayout &StaticLayout,
+                                 double PredictedCost,
+                                 const InterpOptions &RunOpts) {
+  NativeTimingResult N;
+  std::string Why;
+  if (!backend::nativeEngineAvailable(&Why)) {
+    N.Detail = Why;
+    return N;
+  }
+  const bc::BcModule Bc = bc::compileBytecode(Unit, Cfgs);
+  backend::NativeLayoutPlan Identity;
+  backend::NativeLayoutPlan Plan;
+  Plan.Order = StaticLayout.blockOrder();
+  Plan.FirstColdPos.reserve(StaticLayout.Functions.size());
+  for (const FunctionLayout &F : StaticLayout.Functions)
+    Plan.FirstColdPos.push_back(F.FirstColdPos);
+
+  std::string Err;
+  const backend::Backend &BE = backend::cBackend();
+  auto AId = BE.compile(Unit, Cfgs, Bc, Identity, &Err);
+  if (!AId) {
+    N.Detail = "identity-layout compile failed: " + Err;
+    return N;
+  }
+  auto ALay = BE.compile(Unit, Cfgs, Bc, Plan, &Err);
+  if (!ALay) {
+    N.Detail = "layout-true compile failed: " + Err;
+    return N;
+  }
+  N.IdentityCompileMs = AId->compileMs();
+  N.LayoutCompileMs = ALay->compileMs();
+
+  // Best-of-3 wall times; the first run's results feed the checks.
+  auto Race = [&](const backend::NativeArtifact &A, RunResult &First) {
+    double Best = 0.0;
+    for (int I = 0; I < 3; ++I) {
+      const auto T0 = std::chrono::steady_clock::now();
+      RunResult R = A.run(Unit, Cfgs, EvalInput, RunOpts);
+      const double Ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - T0)
+              .count();
+      if (I == 0) {
+        First = std::move(R);
+        Best = Ms;
+      } else {
+        Best = std::min(Best, Ms);
+      }
+    }
+    return Best;
+  };
+  RunResult RId, RLay;
+  N.IdentityWallMs = Race(*AId, RId);
+  N.LayoutWallMs = Race(*ALay, RLay);
+  if (!RId.Ok || !RLay.Ok) {
+    N.Detail = "native run failed: " +
+               (RId.Ok ? RLay.Error : RId.Error);
+    return N;
+  }
+  N.Available = true;
+  N.ProfilesMatch = RId.Output == RLay.Output &&
+                    RId.ExitCode == RLay.ExitCode &&
+                    profilesIdentical(RId.TheProfile, RLay.TheProfile);
+  N.LayoutCostMatch = RLay.LayoutCost.cost() == PredictedCost;
   return N;
 }
 
@@ -167,6 +262,11 @@ OptProgramReport scoreProgram(const CompiledSuiteProgram &CSP,
     R.StaticNeverTaken = SS.size();
     R.ProfileNeverTaken = SP.size();
     R.HintAgreement = jaccard(SS, SP);
+
+    if (Options.MeasureNative)
+      R.Native =
+          measureNative(Unit, *CSP.Cfgs, CSP.Spec->Inputs[EvalIdx],
+                        Layouts[0], R.Layout[0].Cost, RunOpts);
   }
 
   if (DoInline) {
@@ -315,8 +415,8 @@ std::string sest::opt::optReportJson(const OptSuiteReport &Report,
   W.beginObject();
   W.member("schema", "sest-opt-report/1");
   W.member("passes", optPassSetName(Options.Passes));
-  W.member("engine",
-           Options.Engine == InterpEngine::Ast ? "ast" : "bytecode");
+  W.member("engine", interpEngineName(Options.Engine));
+  W.member("native_timing", Options.MeasureNative);
   W.key("cost_weights").beginObject();
   W.member("fall_through", LayoutCostCounters::CostFallThrough);
   W.member("taken", LayoutCostCounters::CostTaken);
@@ -358,6 +458,23 @@ std::string sest::opt::optReportJson(const OptSuiteReport &Report,
       W.member("profile_never_taken", P.ProfileNeverTaken);
       W.member("agreement", P.HintAgreement);
       W.endObject();
+      if (Options.MeasureNative) {
+        // The wall/compile ms fields are the report's only
+        // non-deterministic values (see OptReportOptions).
+        W.key("native").beginObject();
+        W.member("available", P.Native.Available);
+        if (!P.Native.Available) {
+          W.member("detail", P.Native.Detail);
+        } else {
+          W.member("identity_wall_ms", P.Native.IdentityWallMs);
+          W.member("layout_wall_ms", P.Native.LayoutWallMs);
+          W.member("identity_compile_ms", P.Native.IdentityCompileMs);
+          W.member("layout_compile_ms", P.Native.LayoutCompileMs);
+          W.member("profiles_match", P.Native.ProfilesMatch);
+          W.member("layout_cost_match", P.Native.LayoutCostMatch);
+        }
+        W.endObject();
+      }
     }
     if (DoInline) {
       W.key("inline").beginObject();

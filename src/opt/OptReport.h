@@ -55,6 +55,12 @@ struct OptReportOptions {
   unsigned Jobs = 1;
   /// Advisory floor on the suite static recovery ratio.
   double StaticRecoveryFloor = 0.8;
+  /// Also compile layout-on and layout-off native binaries from the
+  /// static layout plan (the same plan the classifier scored) and time
+  /// them on the evaluation input. Wall-clock fields are the one
+  /// exception to the report's byte-stability guarantee; every other
+  /// field stays deterministic. No-op when no host C compiler exists.
+  bool MeasureNative = false;
 };
 
 /// One weight source's layout outcome on one program.
@@ -74,6 +80,24 @@ struct InlineSourceResult {
   std::string VerifyDetail; ///< First mismatch, empty when verified.
   double CostReduction = 0.0; ///< Layout-cost reduction on eval input.
   uint64_t CallsRemoved = 0;  ///< Dynamic calls removed on eval input.
+};
+
+/// Native-tier measurement for one program (MeasureNative only): the
+/// static-weight layout plan, compiled layout-true into a real binary
+/// and raced against the identity-layout binary on the evaluation
+/// input. The deterministic fields double as an end-to-end check that
+/// code motion never changes behavior: both binaries must produce
+/// bit-identical profiles, and the layout binary's dynamic layout cost
+/// must equal the classifier's reclassified prediction.
+struct NativeTimingResult {
+  bool Available = false; ///< Host compiler found and both builds ok.
+  std::string Detail;     ///< Capability/compile diagnostic when not.
+  double IdentityWallMs = 0.0; ///< Best-of-3 eval run, identity layout.
+  double LayoutWallMs = 0.0;   ///< Best-of-3 eval run, static layout.
+  double IdentityCompileMs = 0.0; ///< Emission + host cc + dlopen.
+  double LayoutCompileMs = 0.0;
+  bool ProfilesMatch = false;   ///< Binaries' profiles bit-identical.
+  bool LayoutCostMatch = false; ///< Native cost == classifier's cost.
 };
 
 /// Everything measured for one program.
@@ -99,6 +123,8 @@ struct OptProgramReport {
   uint64_t StaticNeverTaken = 0;
   uint64_t ProfileNeverTaken = 0;
   double HintAgreement = 0.0;
+  /// Layout-true native timing (filled only with MeasureNative).
+  NativeTimingResult Native;
 };
 
 /// The whole-suite report.

@@ -6,8 +6,11 @@
 
 #include "service/Service.h"
 
+#include "backend/Backend.h"
+#include "backend/Native.h"
 #include "estimators/Pipeline.h"
 #include "interp/Interp.h"
+#include "interp/bytecode/BytecodeCompiler.h"
 #include "lang/Parser.h"
 #include "metrics/Evaluation.h"
 #include "obs/EventLog.h"
@@ -32,15 +35,16 @@ using namespace sest::service;
 //===----------------------------------------------------------------------===//
 
 CacheSet::CacheSet(size_t BudgetBytes, unsigned Shards)
-    : Ast("ast", BudgetBytes / 6, Shards),
-      Cfg("cfg", BudgetBytes / 6, Shards),
-      Branch("branch", BudgetBytes / 6, Shards),
-      Solve("solve", BudgetBytes / 6, Shards),
-      Plan("plan", BudgetBytes / 6, Shards),
-      Response("response", BudgetBytes / 6, Shards) {}
+    : Ast("ast", BudgetBytes / 7, Shards),
+      Cfg("cfg", BudgetBytes / 7, Shards),
+      Branch("branch", BudgetBytes / 7, Shards),
+      Solve("solve", BudgetBytes / 7, Shards),
+      Plan("plan", BudgetBytes / 7, Shards),
+      Native("native", BudgetBytes / 7, Shards),
+      Response("response", BudgetBytes / 7, Shards) {}
 
 std::vector<const ShardedCache *> CacheSet::all() const {
-  return {&Ast, &Cfg, &Branch, &Solve, &Plan, &Response};
+  return {&Ast, &Cfg, &Branch, &Solve, &Plan, &Native, &Response};
 }
 
 void CacheSet::clearAll() {
@@ -49,6 +53,7 @@ void CacheSet::clearAll() {
   Branch.clear();
   Solve.clear();
   Plan.clear();
+  Native.clear();
   Response.clear();
 }
 
@@ -78,6 +83,15 @@ struct CfgArtifact {
 
 /// Tier "branch": one prediction table per function id.
 using BranchArtifact = std::vector<FunctionBranchPredictions>;
+
+/// Tier "native": one loaded compile-to-C artifact, or the diagnostic
+/// explaining why the program has none (no host compiler, lowering
+/// failure). Failures are cached like parse errors — deterministic
+/// rejections should be as cheap warm as acceptances.
+struct NativeEntry {
+  std::shared_ptr<const sest::backend::NativeArtifact> Artifact;
+  std::string Error; ///< Set when Artifact is null.
+};
 
 } // namespace
 
@@ -123,6 +137,7 @@ struct Request {
   std::string Passes = "all"; ///< optimize: layout | inline | all
   std::string Input;        ///< report: bytes the program reads
   uint64_t Seed = 1;        ///< report: rand() seed
+  std::string Engine = "ast"; ///< report: ast | bytecode | native
   std::string Scope = "live"; ///< metrics: live | deterministic
   std::string Error;        ///< non-empty -> ok:false response
   /// Intake ordinal: span provenance ("req:<N>"), assigned in request
@@ -274,6 +289,15 @@ Request parseRequest(const std::string &Line) {
     R.Input = I->StringVal;
   if (const JsonValue *S = Doc->find("seed"); S && S->isNumber())
     R.Seed = static_cast<uint64_t>(S->NumberVal);
+  if (const JsonValue *E = Doc->find("engine")) {
+    if (!E->isString() || (E->StringVal != "ast" &&
+                           E->StringVal != "bytecode" &&
+                           E->StringVal != "native")) {
+      R.Error = "engine must be 'ast', 'bytecode', or 'native'";
+      return R;
+    }
+    R.Engine = E->StringVal;
+  }
   return R;
 }
 
@@ -442,6 +466,32 @@ getOrBuildSolve(CacheSet &Caches, const Request &R, const CfgArtifact &Cfg,
   return A;
 }
 
+std::shared_ptr<const NativeEntry>
+getOrBuildNative(CacheSet &Caches, const Request &R,
+                 const CfgArtifact &Cfg) {
+  // Keyed by source alone: the service compiles identity-layout
+  // artifacts, and the backend folds the layout plan into the generated
+  // source (and therefore its own memoization) anyway.
+  uint64_t Key = HashBuilder("native").add(R.Source).digest();
+  if (auto A = Caches.Native.getAs<NativeEntry>(Key)) {
+    logCacheEvent(R, "native", true);
+    return A;
+  }
+  auto A = std::make_shared<NativeEntry>();
+  {
+    obs::ScopedPhase Phase("service.build.native");
+    const TranslationUnit &Unit = Cfg.Ast->Ctx.unit();
+    bc::BcModule Bc = bc::compileBytecode(Unit, Cfg.Cfgs);
+    A->Artifact =
+        backend::cBackend().compile(Unit, Cfg.Cfgs, Bc, {}, &A->Error);
+  }
+  size_t Bytes = sizeof(NativeEntry) + A->Error.size() +
+                 (A->Artifact ? A->Artifact->sourceBytes() : 0);
+  logCacheEvent(R, "native", false, Bytes);
+  Caches.Native.put(Key, A, Bytes);
+  return A;
+}
+
 //===----------------------------------------------------------------------===//
 // Response rendering
 //===----------------------------------------------------------------------===//
@@ -593,19 +643,36 @@ std::string optimizeResultJson(const Request &R, const CfgArtifact &Cfg,
   return W.take();
 }
 
-std::string reportResultJson(const Request &R, const CfgArtifact &Cfg,
+std::string reportResultJson(CacheSet &Caches, const Request &R,
+                             const CfgArtifact &Cfg,
                              const ProgramEstimate &E) {
   const TranslationUnit &Unit = Cfg.Ast->Ctx.unit();
   ProgramInput Input;
   Input.Text = R.Input;
   Input.RandSeed = R.Seed;
   RunResult Run;
-  {
+  if (R.Engine == "native") {
+    // The native tier runs the same RunResult contract bit-identically,
+    // so an engine:"native" report differs from an ast one only in its
+    // echoed engine field — unless the host cannot compile, in which
+    // case the capability diagnostic becomes the run error.
+    std::shared_ptr<const NativeEntry> N = getOrBuildNative(Caches, R, Cfg);
+    if (N->Artifact) {
+      obs::ScopedPhase Phase("service.build.run");
+      Run = N->Artifact->run(Unit, Cfg.Cfgs, Input, {});
+    } else {
+      Run.Error = N->Error;
+    }
+  } else {
     obs::ScopedPhase Phase("service.build.run");
-    Run = runProgram(Unit, Cfg.Cfgs, Input);
+    InterpOptions O;
+    O.Engine = R.Engine == "bytecode" ? InterpEngine::Bytecode
+                                      : InterpEngine::Ast;
+    Run = runProgram(Unit, Cfg.Cfgs, Input, O);
   }
   JsonWriter W;
   W.beginObject();
+  W.member("engine", R.Engine);
   W.key("run").beginObject();
   W.member("ok", Run.Ok);
   if (!Run.Ok)
@@ -644,7 +711,8 @@ uint64_t responseKey(const Request &R) {
       .addBool(R.Blocks)
       .add(R.Passes)
       .add(R.Input)
-      .addU64(R.Seed);
+      .addU64(R.Seed)
+      .add(R.Engine);
   return H.digest();
 }
 
@@ -694,7 +762,7 @@ ResponseBody buildBody(CacheSet &Caches, const Request &R) {
     Body.ResultJson = *Plan;
   } else { // report
     Body.Ok = true;
-    Body.ResultJson = reportResultJson(R, *Cfg, *Solve);
+    Body.ResultJson = reportResultJson(Caches, R, *Cfg, *Solve);
   }
   return Body;
 }
@@ -708,6 +776,17 @@ std::string statsResultJson(const ServiceOptions &Opts,
   W.member("cache_budget_bytes",
            static_cast<uint64_t>(Opts.CacheBudgetBytes));
   W.member("cache_shards", Opts.CacheShards);
+  // Host capability for engine:"native" reports: whether the backend
+  // can compile on this machine, and with what.
+  std::string Why;
+  bool NativeAvailable = backend::nativeEngineAvailable(&Why);
+  W.key("native_engine").beginObject();
+  W.member("available", NativeAvailable);
+  if (NativeAvailable)
+    W.member("compiler", backend::hostCompilerPath());
+  else
+    W.member("reason", Why);
+  W.endObject();
   W.key("cache").beginObject();
   for (const ShardedCache *C : Caches.all()) {
     CacheTierStats S = C->stats();
@@ -793,6 +872,7 @@ std::string healthResultJson(const ServiceOptions &Opts, bool Shutdown) {
   W.member("accepting", !Shutdown);
   W.member("jobs", Opts.Jobs);
   W.member("cache_enabled", Opts.CacheBudgetBytes > 0);
+  W.member("native_engine", backend::nativeEngineAvailable(nullptr));
   W.endObject();
   return W.take();
 }

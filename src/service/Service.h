@@ -17,7 +17,8 @@
 ///   {"op":"parse",    "source":"...", ["id":N]}
 ///   {"op":"estimate", "source":"...", ["options":{...}, "blocks":true]}
 ///   {"op":"optimize", "source":"...", ["passes":"layout|inline|all"]}
-///   {"op":"report",   "source":"...", ["input":"...", "seed":N]}
+///   {"op":"report",   "source":"...", ["input":"...", "seed":N,
+///                                       "engine":"ast|bytecode|native"]}
 ///   {"op":"stats"}          -> live telemetry + cache counters
 ///   {"op":"metrics"}        -> Prometheus text exposition
 ///                              (["scope":"live"|"deterministic"])
@@ -37,6 +38,9 @@
 ///   branch    branch-prediction tables
 ///   solve     sparse-Markov solve results (whole ProgramEstimates)
 ///   plan      optimizer plans (layout / hints / inline selection)
+///   native    loaded compile-to-C artifacts for engine:"native" reports
+///             (compile failures are cached too — rejecting is as
+///             deterministic as accepting)
 ///   response  rendered response bodies, keyed by the raw request line
 ///
 /// Determinism contract (extends the repo-wide one to the service
@@ -72,16 +76,16 @@ struct ServiceOptions {
   /// Worker threads per batch (1 = serial, 0 = hardware_concurrency).
   /// Responses are byte-identical for every value.
   unsigned Jobs = 1;
-  /// Total cache byte budget, split evenly across the six tiers
+  /// Total cache byte budget, split evenly across the seven tiers
   /// (0 disables memoization entirely — every request recomputes).
   size_t CacheBudgetBytes = 256u << 20;
   /// Mutex stripes per tier.
   unsigned CacheShards = 16;
 };
 
-/// The six cache tiers of one service instance.
+/// The seven cache tiers of one service instance.
 struct CacheSet {
-  ShardedCache Ast, Cfg, Branch, Solve, Plan, Response;
+  ShardedCache Ast, Cfg, Branch, Solve, Plan, Native, Response;
 
   CacheSet(size_t BudgetBytes, unsigned Shards);
   /// Tier pointers in stable report order.

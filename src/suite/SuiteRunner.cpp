@@ -35,6 +35,17 @@ void prepareEngine(CompiledSuiteProgram &P, const InterpOptions &Options) {
   if (P.Ok && Options.Engine == InterpEngine::Bytecode)
     P.Bc = std::make_unique<bc::BcModule>(
         bc::compileBytecode(P.unit(), *P.Cfgs));
+  if (P.Ok && Options.Engine == InterpEngine::Native) {
+    P.Bc = std::make_unique<bc::BcModule>(
+        bc::compileBytecode(P.unit(), *P.Cfgs));
+    std::string Err;
+    P.Native = backend::cBackend().compile(
+        P.unit(), *P.Cfgs, *P.Bc, backend::planFromOptions(Options), &Err);
+    if (!P.Native) {
+      P.Ok = false;
+      P.Error = P.Spec->Name + ": native compile failed: " + Err;
+    }
+  }
 }
 
 /// One timed input execution on whichever engine was prepared.
@@ -47,9 +58,10 @@ RunOutcome timedRun(const CompiledSuiteProgram &P, const ProgramInput &Input,
                     const InterpOptions &Options) {
   Clock::time_point Start = Clock::now();
   RunOutcome O;
-  O.R = P.Bc ? bc::runProgramBytecode(P.unit(), *P.Cfgs, *P.Bc, Input,
-                                      Options)
-             : runProgram(P.unit(), *P.Cfgs, Input, Options);
+  O.R = P.Native ? P.Native->run(P.unit(), *P.Cfgs, Input, Options)
+        : P.Bc   ? bc::runProgramBytecode(P.unit(), *P.Cfgs, *P.Bc, Input,
+                                          Options)
+                 : runProgram(P.unit(), *P.Cfgs, Input, Options);
   O.WallMs = msSince(Start);
   return O;
 }
@@ -297,8 +309,7 @@ sest::suiteReportJson(const std::vector<CompiledSuiteProgram> &Programs,
   JsonWriter W;
   W.beginObject();
   W.member("schema", "sest-suite-report/4");
-  W.member("engine",
-           Engine == InterpEngine::Bytecode ? "bytecode" : "ast");
+  W.member("engine", interpEngineName(Engine));
 
   unsigned NumOk = 0, NumRuns = 0;
   double TotalWallMs = 0.0, TotalCompileMs = 0.0;

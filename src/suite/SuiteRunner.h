@@ -15,6 +15,7 @@
 #ifndef SUITE_SUITERUNNER_H
 #define SUITE_SUITERUNNER_H
 
+#include "backend/Native.h"
 #include "callgraph/CallGraph.h"
 #include "cfg/Cfg.h"
 #include "interp/Interp.h"
@@ -51,6 +52,11 @@ struct CompiledSuiteProgram {
   /// read-only at run time) by every input run — including concurrent
   /// ones. Null when the AST engine is selected.
   std::unique_ptr<bc::BcModule> Bc;
+  /// The loaded native artifact (shared object) when the native engine
+  /// is selected: compiled once per (program, layout plan) and shared by
+  /// every input run, concurrent ones included (run state lives in the
+  /// callee). Null for the interpreter engines.
+  std::shared_ptr<const backend::NativeArtifact> Native;
   /// One profile per input, in input order.
   std::vector<Profile> Profiles;
   /// Wall time / usage per input, parallel to Profiles.

@@ -1,0 +1,209 @@
+//===- tests/test_backend.cpp - Native backend unit tests ------------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the compile-to-C backend: capability probing, byte-
+/// deterministic emission, artifact memoization, and layout-true code
+/// emission (an artifact compiled for the optimizer's layout must be a
+/// different translation unit with identical observable semantics).
+/// Emission tests run everywhere; compile/run tests skip cleanly on
+/// hosts without a C compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#include "backend/Backend.h"
+#include "backend/Native.h"
+#include "interp/bytecode/BytecodeCompiler.h"
+#include "opt/Layout.h"
+#include "opt/WeightSource.h"
+#include "suite/Suite.h"
+#include "suite/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace sest;
+
+namespace {
+
+/// Compiled program + bytecode for one suite program.
+struct Lowered {
+  CompiledSuiteProgram C;
+  bc::BcModule Bc;
+  explicit Lowered(const std::string &Name)
+      : C(compileProgramOnly(*findSuiteProgram(Name))),
+        Bc(bc::compileBytecode(C.unit(), *C.Cfgs)) {}
+};
+
+/// Converts the optimizer's layout into the backend's plan shape (the
+/// same conversion tools/sestc.cpp does).
+backend::NativeLayoutPlan planFromLayout(const opt::ProgramLayout &PL) {
+  backend::NativeLayoutPlan Plan;
+  Plan.Order = PL.blockOrder();
+  for (const opt::FunctionLayout &F : PL.Functions)
+    Plan.FirstColdPos.push_back(F.FirstColdPos);
+  return Plan;
+}
+
+TEST(Backend, CapabilityProbeIsConsistent) {
+  std::string Why;
+  bool Available = backend::nativeEngineAvailable(&Why);
+  if (Available) {
+    EXPECT_FALSE(backend::hostCompilerPath().empty());
+    EXPECT_TRUE(Why.empty()) << Why;
+  } else {
+    EXPECT_TRUE(backend::hostCompilerPath().empty());
+    EXPECT_FALSE(Why.empty());
+  }
+  EXPECT_EQ(backend::cBackend().available(nullptr), Available);
+  EXPECT_EQ(backend::cBackend().name(), "c");
+}
+
+/// Emission is pure (no host compiler involved): it must be available
+/// everywhere and byte-deterministic, and explicitly spelling out the
+/// identity layout must emit the same translation unit as the implicit
+/// (empty-plan) identity.
+TEST(Backend, EmissionIsDeterministic) {
+  Lowered L("compress");
+  ASSERT_TRUE(L.C.Ok) << L.C.Error;
+  std::string Err;
+  std::string First = backend::cBackend().emitSource(L.C.unit(), *L.C.Cfgs,
+                                                     L.Bc, {}, &Err);
+  ASSERT_FALSE(First.empty()) << Err;
+  std::string Second = backend::cBackend().emitSource(L.C.unit(), *L.C.Cfgs,
+                                                      L.Bc, {}, &Err);
+  EXPECT_EQ(First, Second);
+  // The artifact entry points the host loader resolves must be present.
+  EXPECT_NE(First.find("sest_native_run"), std::string::npos);
+  EXPECT_NE(First.find("sest_native_free"), std::string::npos);
+
+  backend::NativeLayoutPlan Identity =
+      planFromLayout(opt::identityLayout(L.C.unit(), *L.C.Cfgs));
+  std::string Explicit = backend::cBackend().emitSource(
+      L.C.unit(), *L.C.Cfgs, L.Bc, Identity, &Err);
+  EXPECT_EQ(First, Explicit);
+}
+
+TEST(Backend, ArtifactsAreMemoizedBySourceHash) {
+  std::string Why;
+  if (!backend::nativeEngineAvailable(&Why))
+    GTEST_SKIP() << "native tier unavailable: " << Why;
+  Lowered L("gs");
+  ASSERT_TRUE(L.C.Ok) << L.C.Error;
+  std::string Err;
+  auto A = backend::cBackend().compile(L.C.unit(), *L.C.Cfgs, L.Bc, {}, &Err);
+  ASSERT_NE(A, nullptr) << Err;
+  auto B = backend::cBackend().compile(L.C.unit(), *L.C.Cfgs, L.Bc, {}, &Err);
+  ASSERT_NE(B, nullptr) << Err;
+  // Same generated source -> the same loaded artifact, not a recompile.
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_FALSE(A->sourceHash().empty());
+  EXPECT_GT(A->sourceBytes(), 0u);
+  EXPECT_GT(A->compileMs(), 0.0);
+}
+
+TEST(Backend, ArtifactRunMatchesAstOracle) {
+  std::string Why;
+  if (!backend::nativeEngineAvailable(&Why))
+    GTEST_SKIP() << "native tier unavailable: " << Why;
+  Lowered L("gs");
+  ASSERT_TRUE(L.C.Ok) << L.C.Error;
+  std::string Err;
+  auto Artifact =
+      backend::cBackend().compile(L.C.unit(), *L.C.Cfgs, L.Bc, {}, &Err);
+  ASSERT_NE(Artifact, nullptr) << Err;
+  for (const ProgramInput &Input : L.C.Spec->Inputs) {
+    InterpOptions AstOpts;
+    AstOpts.Engine = InterpEngine::Ast;
+    RunResult A = runProgram(L.C.unit(), *L.C.Cfgs, Input, AstOpts);
+    RunResult N = Artifact->run(L.C.unit(), *L.C.Cfgs, Input, {});
+    std::string What = "gs/" + Input.Name;
+    EXPECT_EQ(A.Ok, N.Ok) << What;
+    EXPECT_EQ(A.ExitCode, N.ExitCode) << What;
+    EXPECT_EQ(A.Output, N.Output) << What;
+    EXPECT_EQ(A.StepsExecuted, N.StepsExecuted) << What;
+    EXPECT_EQ(A.TheProfile.TotalCycles, N.TheProfile.TotalCycles) << What;
+    ASSERT_TRUE(A.TheProfile.shapeMatches(N.TheProfile)) << What;
+    for (size_t F = 0; F < A.TheProfile.Functions.size(); ++F) {
+      EXPECT_EQ(A.TheProfile.Functions[F].BlockCounts,
+                N.TheProfile.Functions[F].BlockCounts)
+          << What << " fn " << F;
+      EXPECT_EQ(A.TheProfile.Functions[F].ArcCounts,
+                N.TheProfile.Functions[F].ArcCounts)
+          << What << " fn " << F;
+    }
+    EXPECT_EQ(A.TheProfile.CallSiteCounts, N.TheProfile.CallSiteCounts)
+        << What;
+  }
+}
+
+/// Layout-true emission: compiling for a profile-driven layout must
+/// produce a *different* translation unit (the layout is real
+/// instruction-stream structure, not metadata) whose observable
+/// behavior — profile, output, steps — is bit-identical to the identity
+/// artifact, and whose reported layout cost matches the layout the plan
+/// was built from.
+TEST(Backend, LayoutTrueEmissionPreservesSemantics) {
+  std::string Why;
+  if (!backend::nativeEngineAvailable(&Why))
+    GTEST_SKIP() << "native tier unavailable: " << Why;
+  const SuiteProgram *P = findSuiteProgram("compress");
+  ASSERT_NE(P, nullptr);
+  CompiledSuiteProgram C = compileAndProfileProgram(*P);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  bc::BcModule Bc = bc::compileBytecode(C.unit(), *C.Cfgs);
+
+  opt::ProgramLayout PL = opt::computeBlockLayout(
+      C.unit(), *C.Cfgs,
+      opt::weightsFromProfile(C.unit(), C.Profiles[0], "profile"));
+  bool AnyReordered = false;
+  for (const opt::FunctionLayout &F : PL.Functions)
+    AnyReordered = AnyReordered || !F.isIdentity();
+  ASSERT_TRUE(AnyReordered)
+      << "compress layout unexpectedly identity; pick another program";
+
+  std::string Err;
+  std::string IdentitySrc = backend::cBackend().emitSource(
+      C.unit(), *C.Cfgs, Bc, {}, &Err);
+  ASSERT_FALSE(IdentitySrc.empty()) << Err;
+  std::string LayoutSrc = backend::cBackend().emitSource(
+      C.unit(), *C.Cfgs, Bc, planFromLayout(PL), &Err);
+  ASSERT_FALSE(LayoutSrc.empty()) << Err;
+  EXPECT_NE(IdentitySrc, LayoutSrc);
+
+  auto Identity =
+      backend::cBackend().compile(C.unit(), *C.Cfgs, Bc, {}, &Err);
+  ASSERT_NE(Identity, nullptr) << Err;
+  auto Layout = backend::cBackend().compile(C.unit(), *C.Cfgs, Bc,
+                                            planFromLayout(PL), &Err);
+  ASSERT_NE(Layout, nullptr) << Err;
+  EXPECT_NE(Identity->sourceHash(), Layout->sourceHash());
+
+  // An artifact scores LayoutCost against the layout *baked into it*
+  // (layout is instruction-stream structure there, not an option), so
+  // each artifact must reproduce the interpreter's score for that same
+  // layout: the identity artifact matches a plain walker run, the
+  // layout artifact matches a walker run scored under the plan's order.
+  RunResult RId = Identity->run(C.unit(), *C.Cfgs, P->Inputs.front(), {});
+  RunResult RLay = Layout->run(C.unit(), *C.Cfgs, P->Inputs.front(), {});
+  EXPECT_EQ(RId.Ok, RLay.Ok);
+  EXPECT_EQ(RId.Output, RLay.Output);
+  EXPECT_EQ(RId.ExitCode, RLay.ExitCode);
+  EXPECT_EQ(RId.StepsExecuted, RLay.StepsExecuted);
+  EXPECT_EQ(RId.TheProfile.TotalCycles, RLay.TheProfile.TotalCycles);
+
+  ProgramBlockOrder Order = PL.blockOrder();
+  InterpOptions AstIdentity, AstLayout;
+  AstIdentity.Engine = AstLayout.Engine = InterpEngine::Ast;
+  AstLayout.Layout = &Order;
+  RunResult WalkId =
+      runProgram(C.unit(), *C.Cfgs, P->Inputs.front(), AstIdentity);
+  RunResult WalkLay =
+      runProgram(C.unit(), *C.Cfgs, P->Inputs.front(), AstLayout);
+  EXPECT_EQ(RId.LayoutCost.cost(), WalkId.LayoutCost.cost());
+  EXPECT_EQ(RLay.LayoutCost.cost(), WalkLay.LayoutCost.cost());
+}
+
+} // namespace

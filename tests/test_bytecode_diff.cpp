@@ -9,10 +9,14 @@
 /// every suite program × input must produce bit-identical profiles
 /// (block, arc, entry, call-site counts and cycles), output, exit codes,
 /// and limit-abort behavior under both engines, and the parallel suite
-/// runner must match a serial run.
+/// runner must match a serial run. When a host C compiler exists, the
+/// same contract extends three ways to the native tier: a limit matrix
+/// (step / heap / call-depth sweeps) must trip the identical LimitHit
+/// with identical high-water marks across all three engines.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/Native.h"
 #include "obs/Telemetry.h"
 #include "suite/Suite.h"
 #include "suite/SuiteRunner.h"
@@ -178,6 +182,105 @@ TEST(BytecodeDiff, SelectiveOptimizationCyclesMatch) {
         << "compress/" << Input.Name;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Three-way differentials: the native tier against both interpreters.
+// Skipped cleanly (not failed) on hosts without a C compiler.
+//===----------------------------------------------------------------------===//
+
+/// Asserts one RunResult triple (ast / bytecode / native) is identical
+/// in every observable: status, limit kind, diagnostics, output, exit
+/// code, step count, high-water marks, and the full profile.
+void expectThreeWayIdentical(const RunResult &A, const RunResult &B,
+                             const RunResult &N, const std::string &What) {
+  for (const auto &[R, Tier] :
+       {std::pair<const RunResult &, const char *>{B, "bytecode"},
+        std::pair<const RunResult &, const char *>{N, "native"}}) {
+    std::string W = What + " [" + Tier + "]";
+    EXPECT_EQ(A.Ok, R.Ok) << W;
+    EXPECT_EQ(A.LimitHit, R.LimitHit) << W;
+    EXPECT_EQ(A.Error, R.Error) << W;
+    EXPECT_EQ(A.ExitCode, R.ExitCode) << W;
+    EXPECT_EQ(A.Output, R.Output) << W;
+    EXPECT_EQ(A.StepsExecuted, R.StepsExecuted) << W;
+    EXPECT_EQ(A.HeapCellsHighWater, R.HeapCellsHighWater) << W;
+    EXPECT_EQ(A.CallDepthHighWater, R.CallDepthHighWater) << W;
+    expectProfilesIdentical(A.TheProfile, R.TheProfile, W);
+  }
+}
+
+/// Runs one input under all three engines with the same limits and
+/// requires identical observables.
+void runThreeWay(const CompiledSuiteProgram &C, const ProgramInput &Input,
+                 const InterpOptions &Limits, const std::string &What) {
+  InterpOptions AstOpts = Limits, BcOpts = Limits, NativeOpts = Limits;
+  AstOpts.Engine = InterpEngine::Ast;
+  BcOpts.Engine = InterpEngine::Bytecode;
+  NativeOpts.Engine = InterpEngine::Native;
+  RunResult A = runProgram(C.unit(), *C.Cfgs, Input, AstOpts);
+  RunResult B = runProgram(C.unit(), *C.Cfgs, Input, BcOpts);
+  RunResult N = runProgram(C.unit(), *C.Cfgs, Input, NativeOpts);
+  expectThreeWayIdentical(A, B, N, What);
+}
+
+/// One instance per suite program; skips on hosts without a C compiler.
+class NativeDiffTest : public ::testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override {
+    std::string Why;
+    if (!backend::nativeEngineAvailable(&Why))
+      GTEST_SKIP() << "native tier unavailable: " << Why;
+  }
+};
+
+TEST_P(NativeDiffTest, MatchesBothEnginesOnAllInputs) {
+  const SuiteProgram *P = findSuiteProgram(GetParam());
+  ASSERT_NE(P, nullptr);
+  CompiledSuiteProgram C = compileProgramOnly(*P);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  for (const ProgramInput &Input : P->Inputs)
+    runThreeWay(C, Input, InterpOptions{}, P->Name + "/" + Input.Name);
+}
+
+/// The limit matrix: step, heap, and call-depth sweeps must trip the
+/// identical LimitHit with identical high-water marks on all three
+/// engines — limits are part of the execution contract, so the compiled
+/// tier must abort at the exact step the interpreters do.
+TEST_P(NativeDiffTest, LimitMatrixMatchesBothEngines) {
+  const SuiteProgram *P = findSuiteProgram(GetParam());
+  ASSERT_NE(P, nullptr);
+  CompiledSuiteProgram C = compileProgramOnly(*P);
+  ASSERT_TRUE(C.Ok) << C.Error;
+  const ProgramInput &Input = P->Inputs.front();
+
+  for (uint64_t MaxSteps : {1u, 100u, 10000u}) {
+    InterpOptions Limits;
+    Limits.MaxSteps = MaxSteps;
+    runThreeWay(C, Input, Limits,
+                P->Name + " MaxSteps=" + std::to_string(MaxSteps));
+  }
+  for (unsigned Depth : {1u, 2u, 8u}) {
+    InterpOptions Limits;
+    Limits.MaxCallDepth = Depth;
+    runThreeWay(C, Input, Limits,
+                P->Name + " MaxCallDepth=" + std::to_string(Depth));
+  }
+  for (int64_t Cells : {1, 16, 256}) {
+    InterpOptions Limits;
+    Limits.MaxHeapCells = Cells;
+    runThreeWay(C, Input, Limits,
+                P->Name + " MaxHeapCells=" + std::to_string(Cells));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, NativeDiffTest,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> Names;
+                           for (const SuiteProgram &P : benchmarkSuite())
+                             Names.push_back(P.Name);
+                           return Names;
+                         }()),
+                         [](const auto &Info) { return Info.param; });
 
 /// The parallel suite runner must be observationally identical to a
 /// serial run: same profiles, stats, and merged telemetry counters.

@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/Native.h"
 #include "obs/EventLog.h"
 #include "obs/Export.h"
 #include "obs/Telemetry.h"
@@ -159,8 +160,8 @@ std::string optimizeRequest(const char *Source) {
 
 TEST(Service, OneTokenEditMissesEveryTier) {
   Service S;
-  // optimize walks all six tiers (ast, cfg, branch, solve, plan,
-  // response).
+  // optimize walks every tier except native (ast, cfg, branch, solve,
+  // plan, response); only engine:"native" reports touch that one.
   EXPECT_TRUE(S.handle(optimizeRequest(SourceA)).find("\"ok\":true") !=
               std::string::npos);
   // Every tier now holds SourceA's artifacts. The edited program must
@@ -172,6 +173,10 @@ TEST(Service, OneTokenEditMissesEveryTier) {
               std::string::npos);
   size_t I = 0;
   for (const ShardedCache *C : S.caches().all()) {
+    if (C->tier() == "native") {
+      ++I;
+      continue;
+    }
     CacheTierStats After = C->stats();
     EXPECT_GT(After.Misses, Before[I].Misses)
         << "tier '" << C->tier()
@@ -226,6 +231,59 @@ TEST(Service, WarmResponsesAreByteIdentical) {
   }
   // The second pass was actually served warm.
   EXPECT_GT(S.caches().Response.stats().Hits, 0u);
+}
+
+std::string reportRequest(const char *Source, const std::string &Engine) {
+  std::string R = std::string("{\"op\":\"report\",\"source\":\"") +
+                  jsonEscape(Source) + "\",\"input\":\"12\"";
+  if (!Engine.empty())
+    R += ",\"engine\":\"" + Engine + "\"";
+  R += "}";
+  return R;
+}
+
+/// engine:"bytecode" must produce the identical report to the default
+/// ast engine — the engines are bit-identical — differing only in the
+/// echoed engine field, and the two must not alias one response entry.
+TEST(Service, ReportEngineBytecodeMatchesAstModuloEcho) {
+  Service S;
+  std::string Ast = S.handle(reportRequest(SourceA, ""));
+  std::string Bc = S.handle(reportRequest(SourceA, "bytecode"));
+  EXPECT_NE(Ast, Bc); // distinct cache keys, distinct echo
+  size_t Pos = Bc.find("\"engine\":\"bytecode\"");
+  ASSERT_NE(Pos, std::string::npos) << Bc;
+  EXPECT_EQ(Ast, Bc.replace(Pos, 19, "\"engine\":\"ast\""));
+  // An explicit engine:"ast" is the same semantic request as the
+  // default and must be served from the response tier.
+  uint64_t Hits = S.caches().Response.stats().Hits;
+  EXPECT_EQ(Ast, S.handle(reportRequest(SourceA, "ast")));
+  EXPECT_GT(S.caches().Response.stats().Hits, Hits);
+}
+
+TEST(Service, ReportEngineNativeUsesArtifactTier) {
+  std::string Why;
+  if (!backend::nativeEngineAvailable(&Why))
+    GTEST_SKIP() << "native tier unavailable: " << Why;
+  Service S;
+  std::string Ast = S.handle(reportRequest(SourceA, ""));
+  std::string Native = S.handle(reportRequest(SourceA, "native"));
+  std::string Normalized = Native;
+  size_t Pos = Normalized.find("\"engine\":\"native\"");
+  ASSERT_NE(Pos, std::string::npos) << Native;
+  EXPECT_EQ(Ast, Normalized.replace(Pos, 17, "\"engine\":\"ast\""));
+  // The artifact landed in the native tier, and a repeat serves it (and
+  // the whole response) warm and byte-identically.
+  EXPECT_EQ(S.caches().Native.stats().Entries, 1u);
+  EXPECT_EQ(S.caches().Native.stats().Misses, 1u);
+  EXPECT_EQ(Native, S.handle(reportRequest(SourceA, "native")));
+  EXPECT_GT(S.caches().Response.stats().Hits, 0u);
+}
+
+TEST(Service, ReportRejectsUnknownEngine) {
+  Service S;
+  std::string R = S.handle(reportRequest(SourceA, "jit"));
+  EXPECT_NE(R.find("\"ok\":false"), std::string::npos) << R;
+  EXPECT_NE(R.find("engine must be"), std::string::npos) << R;
 }
 
 TEST(Service, EvictionChurnCannotChangeResponses) {

@@ -30,9 +30,12 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "backend/Backend.h"
+#include "backend/Native.h"
 #include "callgraph/CallGraph.h"
 #include "estimators/Pipeline.h"
 #include "interp/Interp.h"
+#include "interp/bytecode/BytecodeCompiler.h"
 #include "lang/AstPrinter.h"
 #include "lang/Parser.h"
 #include "metrics/Evaluation.h"
@@ -92,7 +95,16 @@ const OptionSpec OptionTable[] = {
     {"--counted-loops", nullptr, "use exact constant trip counts"},
     {"--input", "TEXT", "program input text"},
     {"--seed", "N", "PRNG seed for rand()"},
-    {"--interp", "ast|bytecode", "execution engine (default bytecode)"},
+    {"--interp", "ast|bytecode|native",
+     "execution engine (default bytecode)"},
+    {"--emit-c", "FILE",
+     "lower the program to standalone C (native backend) and exit"},
+    {"--native-diff", "FILE",
+     "with --suite: write the sest-native-diff/1 three-engine report"},
+    {"--native-timing", nullptr,
+     "with --optimize/--opt-report: time layout-true native binaries"},
+    {"--dump-suite-program", "NAME",
+     "print a built-in suite program's mini-C source"},
     {"--jobs", "N",
      "worker threads (0 = cores; results identical for every N)"},
     {"--solver", "sparse|dense",
@@ -170,6 +182,40 @@ size_t editDistance(const std::string &A, const std::string &B) {
   std::exit(2);
 }
 
+/// Rejects an unknown value for a closed option-value set (e.g.
+/// `--interp natve`) with the same did-you-mean treatment typo'd flags
+/// get, falling back to listing the valid values.
+[[noreturn]] void unknownValue(const std::string &Flag,
+                               const std::string &V,
+                               std::initializer_list<const char *> Valid) {
+  std::string Msg =
+      "sestc: unknown value '" + V + "' for " + Flag;
+  const char *Best = nullptr;
+  size_t BestDist = 4; // only suggest plausible typos
+  for (const char *Name : Valid) {
+    size_t D = editDistance(V, Name);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = Name;
+    }
+  }
+  if (Best) {
+    Msg += "; did you mean '" + std::string(Best) + "'?";
+  } else {
+    Msg += " (expected ";
+    bool FirstName = true;
+    for (const char *Name : Valid) {
+      if (!FirstName)
+        Msg += "|";
+      FirstName = false;
+      Msg += Name;
+    }
+    Msg += ")";
+  }
+  std::fputs((Msg + "\n").c_str(), stderr);
+  std::exit(2);
+}
+
 struct Options {
   std::string Action = "--compare";
   std::string File;
@@ -182,9 +228,13 @@ struct Options {
   std::string AccuracyReportFile;
   std::string ValidateJsonFile;
   std::string OptReportFile;
+  std::string EmitCFile;
+  std::string NativeDiffFile;
+  std::string DumpSuiteProgram;
   std::string WeightsSource = "static";
   opt::OptPassSet Optimize = opt::OptPassSet::All;
   bool HasOptimize = false;
+  bool NativeTiming = false;
   bool Explain = false;
   bool Stats = false;
   bool StatsProm = false;
@@ -245,8 +295,10 @@ Options parseArgs(int argc, char **argv) {
         O.Engine = InterpEngine::Ast;
       else if (V == "bytecode")
         O.Engine = InterpEngine::Bytecode;
+      else if (V == "native")
+        O.Engine = InterpEngine::Native;
       else
-        usage();
+        unknownValue("--interp", V, {"ast", "bytecode", "native"});
     } else if (A == "--jobs") {
       O.Jobs = static_cast<unsigned>(
           std::strtoul(Next().c_str(), nullptr, 10));
@@ -279,6 +331,15 @@ Options parseArgs(int argc, char **argv) {
       O.WeightsSource = V;
     } else if (A == "--opt-report") {
       O.OptReportFile = Next();
+    } else if (A == "--emit-c") {
+      O.EmitCFile = Next();
+    } else if (A == "--native-diff") {
+      O.NativeDiffFile = Next();
+    } else if (A == "--native-timing") {
+      O.NativeTiming = true;
+    } else if (A == "--dump-suite-program") {
+      O.DumpSuiteProgram = Next();
+      O.Action = "--dump-suite-program";
     } else if (A == "--help") {
       out(helpText());
       std::exit(0);
@@ -314,7 +375,8 @@ Options parseArgs(int argc, char **argv) {
     }
   }
   if (O.File.empty() && O.Action != "--suite" &&
-      O.Action != "--validate-json")
+      O.Action != "--validate-json" &&
+      O.Action != "--dump-suite-program")
     usage();
   return O;
 }
@@ -510,9 +572,118 @@ int runOptimize(const Options &O, AstContext &Ctx, CfgModule &Cfgs,
   return Rc;
 }
 
+/// Bitwise profile identity (any drift between engines is a bug).
+bool profilesIdentical(const Profile &A, const Profile &B) {
+  if (A.Functions.size() != B.Functions.size() ||
+      A.CallSiteCounts != B.CallSiteCounts ||
+      A.TotalCycles != B.TotalCycles)
+    return false;
+  for (size_t I = 0; I < A.Functions.size(); ++I) {
+    const FunctionProfile &FA = A.Functions[I];
+    const FunctionProfile &FB = B.Functions[I];
+    if (FA.EntryCount != FB.EntryCount ||
+        FA.BlockCounts != FB.BlockCounts || FA.ArcCounts != FB.ArcCounts)
+      return false;
+  }
+  return true;
+}
+
+/// --suite --native-diff: run the whole suite under all three engines
+/// and compare every (program, input) bitwise — profiles, steps, exit
+/// codes and resource high-water marks. The document contains no
+/// wall-clock fields, so it is byte-identical across --jobs values;
+/// CI diffs the --jobs 8 and --jobs 1 files directly. Returns the
+/// process exit code (mismatches are errors; a missing host C compiler
+/// is not — the document then records available=false).
+int runNativeDiff(const Options &O) {
+  JsonWriter W;
+  W.beginObject();
+  W.member("schema", "sest-native-diff/1");
+  std::string Why;
+  const bool Available = backend::nativeEngineAvailable(&Why);
+  W.member("available", Available);
+  if (!Available) {
+    W.member("reason", Why);
+    W.member("all_match", true);
+    W.endObject();
+    if (!writeTextFile(O.NativeDiffFile, W.take()))
+      return 1;
+    out("native diff skipped (" + Why + "); written to " +
+        O.NativeDiffFile + "\n");
+    return 0;
+  }
+
+  const InterpEngine Engines[3] = {
+      InterpEngine::Ast, InterpEngine::Bytecode, InterpEngine::Native};
+  std::vector<CompiledSuiteProgram> Runs[3];
+  for (int E = 0; E < 3; ++E) {
+    InterpOptions IO;
+    IO.Engine = Engines[E];
+    Runs[E] = compileAndProfileSuite(IO, O.Jobs);
+  }
+
+  bool AllMatch = true;
+  uint64_t InputsCompared = 0;
+  W.key("programs").beginArray();
+  for (size_t P = 0; P < Runs[0].size(); ++P) {
+    const CompiledSuiteProgram &RA = Runs[0][P];
+    const CompiledSuiteProgram &RB = Runs[1][P];
+    const CompiledSuiteProgram &RN = Runs[2][P];
+    W.beginObject();
+    W.member("name", RA.Spec ? RA.Spec->Name : "?");
+    std::string Detail;
+    if (!RA.Ok || !RB.Ok || !RN.Ok) {
+      Detail = "run failed: ast='" + RA.Error + "' bytecode='" +
+               RB.Error + "' native='" + RN.Error + "'";
+    } else if (RA.Profiles.size() != RN.Profiles.size() ||
+               RB.Profiles.size() != RN.Profiles.size()) {
+      Detail = "input counts differ";
+    } else {
+      for (size_t I = 0; I < RA.Profiles.size() && Detail.empty();
+           ++I) {
+        ++InputsCompared;
+        const SuiteRunStats &SA = RA.RunStats[I];
+        const SuiteRunStats &SB = RB.RunStats[I];
+        const SuiteRunStats &SN = RN.RunStats[I];
+        if (SA.Steps != SN.Steps || SB.Steps != SN.Steps ||
+            SA.Cycles != SN.Cycles || SB.Cycles != SN.Cycles ||
+            SA.HeapCellsHighWater != SN.HeapCellsHighWater ||
+            SA.CallDepthHighWater != SN.CallDepthHighWater ||
+            SA.ExitCode != SN.ExitCode)
+          Detail = SA.InputName + ": run stats differ";
+        else if (!profilesIdentical(RA.Profiles[I], RN.Profiles[I]))
+          Detail = SA.InputName + ": ast vs native profile differs";
+        else if (!profilesIdentical(RB.Profiles[I], RN.Profiles[I]))
+          Detail = SA.InputName + ": bytecode vs native profile differs";
+      }
+    }
+    const bool Match = Detail.empty();
+    W.member("match", Match);
+    if (!Match) {
+      W.member("detail", Detail);
+      AllMatch = false;
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.member("programs_compared", static_cast<uint64_t>(Runs[0].size()));
+  W.member("inputs_compared", InputsCompared);
+  W.member("all_match", AllMatch);
+  W.endObject();
+  if (!writeTextFile(O.NativeDiffFile, W.take()))
+    return 1;
+  out("native diff written to " + O.NativeDiffFile + " (" +
+      std::to_string(InputsCompared) + " inputs, " +
+      (AllMatch ? "all match" : "MISMATCH") + ")\n");
+  return AllMatch ? 0 : 1;
+}
+
 /// --suite: compile and profile every built-in benchmark program,
 /// print a summary table, and optionally write the JSON suite report.
 int runSuite(const Options &O) {
+  if (!O.NativeDiffFile.empty())
+    return runNativeDiff(O);
+
   InterpOptions Interp;
   Interp.Engine = O.Engine;
   std::vector<CompiledSuiteProgram> Programs =
@@ -587,14 +758,22 @@ int runSuite(const Options &O) {
     OR.Est = O.Est;
     OR.Engine = O.Engine;
     OR.Jobs = O.Jobs;
+    OR.MeasureNative = O.NativeTiming;
     opt::OptSuiteReport Rep = opt::computeOptReport(Programs, OR);
 
     TextTable T;
-    T.setHeader({"Program", "Identity cost", "Static", "Profile",
-                 "Oracle", "Inline ok"});
+    std::vector<std::string> Header = {"Program", "Identity cost",
+                                       "Static", "Profile", "Oracle",
+                                       "Inline ok"};
+    if (O.NativeTiming)
+      Header.push_back("Native ms (layout/identity)");
+    T.setHeader(Header);
     for (const opt::OptProgramReport &P : Rep.Programs) {
       if (!P.Ok) {
-        T.addRow({P.Name, "-", "-", "-", "-", "-"});
+        std::vector<std::string> Row = {P.Name, "-", "-", "-", "-", "-"};
+        if (O.NativeTiming)
+          Row.push_back("-");
+        T.addRow(Row);
         continue;
       }
       auto Red = [&P](const char *Src) -> std::string {
@@ -607,8 +786,19 @@ int runSuite(const Options &O) {
       for (const opt::InlineSourceResult &I : P.Inline)
         if (!I.Verified)
           InlOk = "NO";
-      T.addRow({P.Name, formatDouble(P.IdentityCost, 0), Red("static"),
-                Red("profile"), Red("oracle"), InlOk});
+      std::vector<std::string> Row = {
+          P.Name, formatDouble(P.IdentityCost, 0), Red("static"),
+          Red("profile"), Red("oracle"), InlOk};
+      if (O.NativeTiming)
+        Row.push_back(
+            P.Native.Available
+                ? formatDouble(P.Native.LayoutWallMs, 2) + "/" +
+                      formatDouble(P.Native.IdentityWallMs, 2) +
+                      (P.Native.ProfilesMatch && P.Native.LayoutCostMatch
+                           ? ""
+                           : " MISMATCH")
+                : "unavailable");
+      T.addRow(Row);
     }
     out("\n-- optimizer (" +
         std::string(opt::optPassSetName(O.Optimize)) + ") --\n" +
@@ -627,6 +817,14 @@ int runSuite(const Options &O) {
       out("error: an inline differential verification failed\n");
       AllOk = false;
     }
+    if (O.NativeTiming)
+      for (const opt::OptProgramReport &P : Rep.Programs)
+        if (P.Ok && P.Native.Available &&
+            (!P.Native.ProfilesMatch || !P.Native.LayoutCostMatch)) {
+          out("error: layout-true native binary diverged on " + P.Name +
+              "\n");
+          AllOk = false;
+        }
     if (!O.OptReportFile.empty()) {
       if (!writeTextFile(O.OptReportFile, opt::optReportJson(Rep, OR)))
         return 1;
@@ -639,6 +837,28 @@ int runSuite(const Options &O) {
 int runAction(const Options &O) {
   if (O.Action == "--validate-json")
     return runValidateJson(O.ValidateJsonFile);
+  if (O.Action == "--dump-suite-program") {
+    const SuiteProgram *P = findSuiteProgram(O.DumpSuiteProgram);
+    if (!P) {
+      std::string Msg = "sestc: unknown suite program '" +
+                        O.DumpSuiteProgram + "'";
+      const std::string *Best = nullptr;
+      size_t BestDist = 4;
+      for (const SuiteProgram &Cand : benchmarkSuite()) {
+        size_t D = editDistance(O.DumpSuiteProgram, Cand.Name);
+        if (D < BestDist) {
+          BestDist = D;
+          Best = &Cand.Name;
+        }
+      }
+      if (Best)
+        Msg += "; did you mean '" + *Best + "'?";
+      std::fputs((Msg + "\n").c_str(), stderr);
+      return 2;
+    }
+    out(P->Source);
+    return 0;
+  }
   if (O.Action == "--suite")
     return runSuite(O);
 
@@ -685,6 +905,37 @@ int runAction(const Options &O) {
   }
 
   ProgramEstimate E = estimateProgram(Ctx.unit(), Cfgs, CG, O.Est);
+
+  // --emit-c: lower to the native backend's standalone C and exit.
+  // Pure emission — works without a host C compiler. With --optimize
+  // (layout/all), the static-estimate layout plan is baked in, so the
+  // artifact is the layout-true binary's source; otherwise identity.
+  if (!O.EmitCFile.empty()) {
+    const bc::BcModule Bc = bc::compileBytecode(Ctx.unit(), Cfgs);
+    backend::NativeLayoutPlan Plan;
+    if (O.HasOptimize && O.Optimize != opt::OptPassSet::Inline) {
+      const opt::WeightSource W =
+          opt::weightsFromEstimate(Ctx.unit(), Cfgs, E, O.Est);
+      const opt::ProgramLayout PL =
+          opt::computeBlockLayout(Ctx.unit(), Cfgs, W);
+      Plan.Order = PL.blockOrder();
+      Plan.FirstColdPos.reserve(PL.Functions.size());
+      for (const opt::FunctionLayout &F : PL.Functions)
+        Plan.FirstColdPos.push_back(F.FirstColdPos);
+    }
+    std::string Err;
+    const std::string CSrc = backend::cBackend().emitSource(
+        Ctx.unit(), Cfgs, Bc, Plan, &Err);
+    if (CSrc.empty()) {
+      out("sestc: cannot lower to C: " + Err + "\n");
+      return 1;
+    }
+    if (!writeTextFile(O.EmitCFile, CSrc))
+      return 1;
+    out("native C source written to " + O.EmitCFile + " (" +
+        std::to_string(CSrc.size()) + " bytes)\n");
+    return 0;
+  }
 
   if (O.Action == "--callgraph") {
     out(printCallGraphDot(Ctx.unit(), CG, &E.FunctionEstimates));
