@@ -4,8 +4,10 @@
 Reads the same reports check_perf.py validates — service_throughput.json
 (cold/warm service rps + warm speedup), analysis_time.json (the sparse
 vs dense solver speedup at n=1000), pipeline_latency.json (per-stage
-p99), and interp_tiers.json (the native-over-bytecode execution-tier
-speedup with its compile break-even) — condenses them into one history
+p99), interp_tiers.json (the native-over-bytecode execution-tier
+speedup with its compile break-even), and tune_report.json (the
+autotuner's static-search recovery, winning-config agreement, and mean
+regret) — condenses them into one history
 entry, appends it to
 ``bench/history.jsonl``, and prints the deltas against the previous
 entry so a regression is visible the moment the history grows.
@@ -44,6 +46,9 @@ HEADLINES = [
     ("native_suite_ms", "interp_tiers.json suite native_ms", False),
     ("native_compile_ms", "interp_tiers.json suite native_compile_ms", False),
     ("native_breakeven_runs", "interp_tiers.json suite breakeven_runs", False),
+    ("tune_static_recovery", "tune_report.json static_search_recovery", True),
+    ("tune_config_overlap", "tune_report.json mean_config_overlap", True),
+    ("tune_mean_regret", "tune_report.json mean_regret", False),
 ]
 
 
@@ -100,6 +105,15 @@ def collect_entry(bench_dir):
             suite.get("native_compile_ms", 0.0))
         entry["native_breakeven_runs"] = float(
             suite.get("breakeven_runs", 0.0))
+
+    tune = load_json(os.path.join(bench_dir, "tune_report.json"))
+    if tune:
+        suite = tune.get("suite", {})
+        entry["tune_static_recovery"] = float(
+            suite.get("static_search_recovery", 0.0))
+        entry["tune_config_overlap"] = float(
+            suite.get("mean_config_overlap", 0.0))
+        entry["tune_mean_regret"] = float(suite.get("mean_regret", 0.0))
 
     lat = load_json(os.path.join(bench_dir, "pipeline_latency.json"))
     if lat:

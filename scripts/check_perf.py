@@ -42,6 +42,17 @@ Two checks, both with deliberately generous machine-variance tolerance:
    Jaccard) must not regress below the checked-in baseline by more than
    ``OVERLAP_SLACK``.
 
+7. Autotuner outcomes: runs ``bench_tune --json`` and checks
+   ``bench/tune_report.json`` invariants. Differential verification of
+   every tuned winner is deterministic and checked at full strength;
+   the static-search recovery must meet the report's own advisory floor
+   (0.70) and the winning-config agreement must not regress below the
+   baseline by more than ``OVERLAP_SLACK``.
+
+When anything fails, the log ends with one line per failed gate naming
+the gate with its baseline-vs-current numbers, so the verdict needs no
+scrolling: ``check_perf: FAILED <gate>: baseline X vs current Y (...)``.
+
 Exit status: 0 = within tolerance, 1 = regression flagged, 2 = could not
 run. Intended as a non-blocking CI signal (continue-on-error).
 
@@ -57,6 +68,19 @@ import sys
 import tempfile
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Every flagged floor/tolerance lands here as one self-contained line
+# ("<gate>: baseline X vs current Y (bound Z)"), so the tail of the log
+# names exactly which gates failed with the numbers that failed them —
+# no scrolling back through per-program tables.
+FAILED_GATES = []
+
+
+def flag_gate(gate, baseline, current, bound):
+    """Record one failed gate as a single baseline-vs-current line."""
+    FAILED_GATES.append(
+        f"{gate}: baseline {baseline} vs current {current} ({bound})"
+    )
 
 
 def load_programs(report):
@@ -128,6 +152,12 @@ def check_bench(build, baseline_path, tolerance):
         if ratio > tolerance:
             flag = f"  <-- slower than {tolerance:.1f}x baseline"
             failed = True
+            flag_gate(
+                f"bench {name}",
+                f"{base_ns / 1e6:.3f} ms",
+                f"{fresh_ns / 1e6:.3f} ms",
+                f"tolerance {tolerance:.1f}x",
+            )
         print(
             f"{name:<28} {base_ns / 1e6:>9.3f} {fresh_ns / 1e6:>9.3f}"
             f" {ratio:>6.2f}{flag}"
@@ -144,6 +174,13 @@ def check_bench(build, baseline_path, tolerance):
             f"sparse-vs-dense speedup at 1000 blocks: {speedup:.1f}x"
             + ("" if ok else f"  <-- below {MIN_SPARSE_SPEEDUP:.0f}x floor")
         )
+        if not ok:
+            flag_gate(
+                "solver sparse-vs-dense speedup",
+                f"{MIN_SPARSE_SPEEDUP:.0f}x floor",
+                f"{speedup:.1f}x",
+                "machine-independent floor",
+            )
         failed = failed or not ok
     else:
         print("check_perf: solver benchmarks missing from fresh run")
@@ -202,6 +239,12 @@ def check_latency(build, baseline_path, tolerance):
         if ratio > tolerance:
             flag = f"  <-- slower than {tolerance:.1f}x baseline"
             failed = True
+            flag_gate(
+                f"latency {name} p90",
+                f"{base_p90:.1f} us",
+                f"{fresh_p90:.1f} us",
+                f"tolerance {tolerance:.1f}x",
+            )
         print(
             f"{name:<12} {base_p90:>9.1f} {fresh_p90:>9.1f} {ratio:>6.2f}{flag}"
         )
@@ -254,6 +297,12 @@ def check_service(build, baseline_path, tolerance):
     if speedup < MIN_SERVICE_WARM_SPEEDUP:
         flag = f"  <-- below {MIN_SERVICE_WARM_SPEEDUP:.0f}x floor"
         failed = True
+        flag_gate(
+            "service warm-over-cold speedup",
+            f"{MIN_SERVICE_WARM_SPEEDUP:.0f}x floor",
+            f"{speedup:.1f}x",
+            "machine-independent floor",
+        )
     print(f"\nservice: warm-over-cold speedup {speedup:.1f}x{flag}")
 
     bad = int(fresh.get("cold", {}).get("bad_responses", 0)) + int(
@@ -262,6 +311,8 @@ def check_service(build, baseline_path, tolerance):
     if bad:
         print(f"service: {bad} ok:false responses in the mix  <-- FAILED")
         failed = True
+        flag_gate("service ok:false responses", "0", str(bad),
+                  "deterministic invariant")
 
     base_rps = float(baseline.get("warm", {}).get("rps", 0.0))
     fresh_rps = float(fresh.get("warm", {}).get("rps", 0.0))
@@ -270,6 +321,12 @@ def check_service(build, baseline_path, tolerance):
     if ratio > tolerance:
         flag = f"  <-- slower than {tolerance:.1f}x baseline"
         failed = True
+        flag_gate(
+            "service warm throughput",
+            f"{base_rps:,.0f} req/s",
+            f"{fresh_rps:,.0f} req/s",
+            f"tolerance {tolerance:.1f}x",
+        )
     print(
         f"service: warm throughput {fresh_rps:,.0f} req/s"
         f" (baseline {base_rps:,.0f}){flag}"
@@ -324,6 +381,12 @@ def check_tiers(build, baseline_path, tolerance):
     if speedup < MIN_NATIVE_OVER_BYTECODE:
         flag = f"  <-- below {MIN_NATIVE_OVER_BYTECODE:.0f}x floor"
         failed = True
+        flag_gate(
+            "tiers native-over-bytecode speedup",
+            f"{MIN_NATIVE_OVER_BYTECODE:.0f}x floor",
+            f"{speedup:.2f}x",
+            "machine-independent floor",
+        )
     print(f"\ntiers: native-over-bytecode speedup {speedup:.2f}x{flag}")
     print(
         f"tiers: native break-even {suite.get('breakeven_runs', 0.0):.0f}"
@@ -344,6 +407,12 @@ def check_tiers(build, baseline_path, tolerance):
         if ratio > tolerance:
             flag = f"  <-- slower than {tolerance:.1f}x baseline"
             failed = True
+            flag_gate(
+                "tiers suite native wall",
+                f"{base_ms:.1f} ms",
+                f"{fresh_ms:.1f} ms",
+                f"tolerance {tolerance:.1f}x",
+            )
         print(
             f"tiers: suite native wall {fresh_ms:.1f} ms"
             f" (baseline {base_ms:.1f}, ratio {ratio:.2f}){flag}"
@@ -411,15 +480,22 @@ def check_opt(build, baseline_path):
         ]
         print(f"opt: inliner differential verification FAILED: {bad}")
         failed = True
+        flag_gate("opt inline verification", "all verified",
+                  f"failing: {bad}", "deterministic invariant")
     if not layout.get("all_crosschecks_ok", False):
         print("opt: layout-cost VM cross-check FAILED")
         failed = True
+        flag_gate("opt layout VM cross-check", "all ok", "mismatch",
+                  "deterministic invariant")
 
     # Advisory trajectory: recovery floor and overlap no-regression.
     ratio = layout.get("static_recovery_ratio", 0.0)
     floor = layout.get("recovery_floor", 0.0)
     flag = "" if ratio >= floor else f"  <-- below {floor:.2f} floor"
     print(f"opt: static recovery ratio {ratio:.3f}{flag}")
+    if ratio < floor:
+        flag_gate("opt static recovery ratio", f"{floor:.2f} floor",
+                  f"{ratio:.3f}", "advisory floor")
     failed = failed or ratio < floor
 
     base_suite = baseline.get("suite", {})
@@ -439,7 +515,85 @@ def check_opt(build, baseline_path):
         if fresh_val < base_val - OVERLAP_SLACK:
             flag = f"  <-- regressed from baseline {base_val:.3f}"
             failed = True
+            flag_gate(f"opt {label}", f"{base_val:.3f}",
+                      f"{fresh_val:.3f}", f"slack {OVERLAP_SLACK:.2f}")
         print(f"opt: static-vs-profile {label} {fresh_val:.3f}{flag}")
+
+    return 1 if failed else 0
+
+
+def check_tune(build, baseline_path):
+    """Autotuner invariants and recovery-floor check. Returns 0/1/2.
+
+    Differential verification of every tuned winner is deterministic and
+    checked at full strength. The static-search recovery (how much of
+    the profile-oracle search's held-out cost reduction the static-
+    oracle search finds) must meet the report's own advisory floor, and
+    the winning-config agreement must not regress below the checked-in
+    baseline by more than ``OVERLAP_SLACK``.
+    """
+    bench = os.path.join(build, "bench", "bench_tune")
+    if not os.path.exists(bench):
+        print(f"check_perf: {bench} not built", file=sys.stderr)
+        return 2
+    try:
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"check_perf: cannot read tune baseline: {e}", file=sys.stderr)
+        return 2
+
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        fresh_path = tmp.name
+    try:
+        # Exit status reflects verification failures; the JSON says
+        # which, so don't bail on a non-zero exit here.
+        subprocess.run(
+            [bench, "--json", fresh_path],
+            stdout=subprocess.DEVNULL,
+        )
+        with open(fresh_path) as f:
+            fresh = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf: tune report run failed: {e}", file=sys.stderr)
+        return 2
+    finally:
+        os.unlink(fresh_path)
+
+    failed = False
+    suite = fresh.get("suite", {})
+
+    if not suite.get("all_verified", False):
+        bad = [
+            f"{p['name']}/{o['oracle']}"
+            for p in fresh.get("programs", [])
+            for o in p.get("oracles", [])
+            if not o.get("verified", True)
+        ]
+        print(f"\ntune: winner differential verification FAILED: {bad}")
+        failed = True
+        flag_gate("tune winner verification", "all verified",
+                  f"failing: {bad}", "deterministic invariant")
+
+    recovery = suite.get("static_search_recovery", 0.0)
+    floor = suite.get("recovery_floor", 0.0)
+    flag = "" if recovery >= floor else f"  <-- below {floor:.2f} floor"
+    print(f"\ntune: static search recovery {recovery:.3f}{flag}")
+    if recovery < floor:
+        flag_gate("tune static search recovery", f"{floor:.2f} floor",
+                  f"{recovery:.3f}", "advisory floor")
+        failed = True
+
+    base_overlap = baseline.get("suite", {}).get("mean_config_overlap", 0.0)
+    fresh_overlap = suite.get("mean_config_overlap", 0.0)
+    flag = ""
+    if fresh_overlap < base_overlap - OVERLAP_SLACK:
+        flag = f"  <-- regressed from baseline {base_overlap:.3f}"
+        failed = True
+        flag_gate("tune config overlap", f"{base_overlap:.3f}",
+                  f"{fresh_overlap:.3f}", f"slack {OVERLAP_SLACK:.2f}")
+    print(f"tune: static-vs-profile config overlap {fresh_overlap:.3f}{flag}")
+    print(f"tune: mean regret {suite.get('mean_regret', 0.0):.4f}")
 
     return 1 if failed else 0
 
@@ -476,6 +630,11 @@ def main():
         "--opt-baseline",
         default=os.path.join(ROOT, "bench", "opt_report.json"),
         help="checked-in optimizer report baseline",
+    )
+    ap.add_argument(
+        "--tune-baseline",
+        default=os.path.join(ROOT, "bench", "tune_report.json"),
+        help="checked-in autotuner report baseline",
     )
     ap.add_argument(
         "--tolerance",
@@ -535,6 +694,9 @@ def main():
         if ratio > args.tolerance:
             flag = f"  <-- slower than {args.tolerance:.1f}x baseline"
             failed = True
+            flag_gate(f"suite {name} wall time", f"{base_ms:.1f} ms",
+                      f"{fresh_ms:.1f} ms",
+                      f"tolerance {args.tolerance:.1f}x")
         if same_engine:
             base_steps = sum(r.get("steps", 0) for r in base.get("runs", []))
             fresh_steps = sum(
@@ -545,6 +707,8 @@ def main():
                     f"  <-- steps drifted: {base_steps} -> {fresh_steps}"
                 )
                 failed = True
+                flag_gate(f"suite {name} steps", str(base_steps),
+                          str(fresh_steps), "deterministic invariant")
         print(f"{name:<10} {base_ms:>9.1f} {fresh_ms:>9.1f} {ratio:>6.2f}{flag}")
 
     bench_rc = check_bench(args.build, args.bench_baseline, args.tolerance)
@@ -556,11 +720,14 @@ def main():
     )
     tiers_rc = check_tiers(args.build, args.tiers_baseline, args.tolerance)
     opt_rc = check_opt(args.build, args.opt_baseline)
+    tune_rc = check_tune(args.build, args.tune_baseline)
     if failed or bench_rc != 0 or latency_rc != 0 or service_rc != 0 \
-            or tiers_rc != 0 or opt_rc != 0:
-        print("check_perf: regression flagged (non-blocking signal)")
+            or tiers_rc != 0 or opt_rc != 0 or tune_rc != 0:
+        print("\ncheck_perf: regression flagged (non-blocking signal)")
+        for line in FAILED_GATES:
+            print(f"check_perf: FAILED {line}")
         return 1 if failed else max(
-            1, bench_rc, latency_rc, service_rc, tiers_rc, opt_rc
+            1, bench_rc, latency_rc, service_rc, tiers_rc, opt_rc, tune_rc
         )
     print("check_perf: within tolerance")
     return 0

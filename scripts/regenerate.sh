@@ -48,6 +48,12 @@ done 2>&1 | tee bench_output.txt
 # machine unless optimizer decisions actually changed.
 "$BUILD"/bench/bench_opt --json bench/opt_report.json
 
+# Refresh the autotuner baseline (static- vs profile-oracle search over
+# the pass-pipeline configuration space; see docs/TUNING.md and
+# scripts/check_perf.py). Also byte-deterministic: diff-clean on any
+# machine unless search outcomes actually changed.
+"$BUILD"/bench/bench_tune --json bench/tune_report.json
+
 # Refresh the pipeline stage latency baseline (per-stage p50/p90/p99;
 # advisory guard in scripts/check_perf.py). Wall-clock, so expect the
 # numbers to move between machines — the guard has 3x slack.

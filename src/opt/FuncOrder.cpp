@@ -1,0 +1,259 @@
+//===- opt/FuncOrder.cpp - Function ordering by call arcs -----------------===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/FuncOrder.h"
+
+#include "obs/EventLog.h"
+#include "obs/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace sest;
+using namespace sest::opt;
+
+namespace {
+
+/// One merged caller→callee arc (all direct sites between the pair).
+struct CallArc {
+  double Weight;
+  uint32_t Caller;
+  uint32_t Callee;
+};
+
+bool isPlaceable(const FunctionDecl *F) {
+  return F && F->isDefined() && !F->isBuiltin();
+}
+
+/// Ranks of the defined functions under \p FO: the i-th defined function
+/// in order position gets rank i. Builtins/undefined functions carry no
+/// code, so distance is measured over the functions that actually occupy
+/// space in the image.
+std::vector<uint32_t> definedRanks(const CallGraph &CG,
+                                   const FunctionOrder &FO,
+                                   const TranslationUnit &Unit) {
+  (void)CG;
+  std::vector<uint32_t> Rank(FO.Order.size(), UINT32_MAX);
+  uint32_t Next = 0;
+  for (uint32_t Fid : FO.Order) {
+    if (Fid < Unit.Functions.size() &&
+        isPlaceable(Unit.Functions[Fid]))
+      Rank[Fid] = Next++;
+  }
+  return Rank;
+}
+
+} // namespace
+
+FunctionOrder opt::identityFunctionOrder(const TranslationUnit &Unit) {
+  FunctionOrder FO;
+  const uint32_t N = static_cast<uint32_t>(Unit.Functions.size());
+  FO.Order.resize(N);
+  FO.Pos.resize(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    FO.Order[I] = I;
+    FO.Pos[I] = I;
+  }
+  FO.NumChains = N;
+  return FO;
+}
+
+FunctionOrder opt::computeFunctionOrder(const TranslationUnit &Unit,
+                                        const CallGraph &CG,
+                                        const WeightSource &W) {
+  obs::ScopedPhase Phase("opt.funcorder");
+  const bool Log = obs::eventLogActive();
+  const uint32_t N = static_cast<uint32_t>(Unit.Functions.size());
+  FunctionOrder FO = identityFunctionOrder(Unit);
+  if (N == 0)
+    return FO;
+
+  // The entry function anchors its chain's head, exactly like the entry
+  // block in block layout: "main" when defined, else the lowest-id
+  // defined function.
+  uint32_t EntryFid = UINT32_MAX;
+  for (uint32_t Fid = 0; Fid < N; ++Fid) {
+    const FunctionDecl *F = Unit.Functions[Fid];
+    if (!isPlaceable(F))
+      continue;
+    if (EntryFid == UINT32_MAX)
+      EntryFid = Fid;
+    if (F->name() == "main") {
+      EntryFid = Fid;
+      break;
+    }
+  }
+  if (EntryFid == UINT32_MAX)
+    return FO; // Nothing placeable.
+
+  // Merge every direct call site between a pair of placeable functions
+  // into one weighted arc (both directions of a mutual recursion stay
+  // distinct arcs; the chain merge below picks whichever is hotter).
+  std::map<std::pair<uint32_t, uint32_t>, double> PairWeight;
+  for (const CallSiteInfo &S : CG.sites()) {
+    if (S.isIndirect() || !isPlaceable(S.Caller) || !isPlaceable(S.Callee))
+      continue;
+    if (S.Caller == S.Callee)
+      continue;
+    double Wt = W.callSiteWeight(S.CallSiteId);
+    if (Wt <= 0.0)
+      continue;
+    PairWeight[{S.Caller->functionId(), S.Callee->functionId()}] += Wt;
+  }
+  std::vector<CallArc> Arcs;
+  Arcs.reserve(PairWeight.size());
+  for (const auto &[Pair, Wt] : PairWeight)
+    Arcs.push_back({Wt, Pair.first, Pair.second});
+  std::stable_sort(Arcs.begin(), Arcs.end(),
+                   [](const CallArc &A, const CallArc &B) {
+                     if (A.Weight != B.Weight)
+                       return A.Weight > B.Weight;
+                     if (A.Caller != B.Caller)
+                       return A.Caller < B.Caller;
+                     return A.Callee < B.Callee;
+                   });
+
+  // Chain merge, hottest arc first: append the callee's chain to the
+  // caller's when the caller is a chain tail and the callee a chain
+  // head. The entry function's chain never becomes a suffix.
+  std::vector<int> ChainOf(N, -1);
+  std::vector<std::vector<uint32_t>> Chains;
+  std::vector<double> ChainWeight;
+  for (uint32_t Fid = 0; Fid < N; ++Fid) {
+    if (!isPlaceable(Unit.Functions[Fid]))
+      continue;
+    ChainOf[Fid] = static_cast<int>(Chains.size());
+    Chains.push_back({Fid});
+    ChainWeight.push_back(0.0);
+  }
+  for (const CallArc &A : Arcs) {
+    int CA = ChainOf[A.Caller], CB = ChainOf[A.Callee];
+    if (CA == CB)
+      continue;
+    if (Chains[CA].back() != A.Caller || Chains[CB].front() != A.Callee)
+      continue;
+    if (A.Callee == EntryFid)
+      continue;
+    if (Log)
+      obs::logEvent(
+          "funcorder.chain.merge",
+          obs::provFunction(Unit.Functions[A.Caller]->name()),
+          {obs::attr("function", Unit.Functions[A.Caller]->name()),
+           obs::attr("origin", W.Origin),
+           obs::attr("callee", Unit.Functions[A.Callee]->name()),
+           obs::attr("weight", A.Weight)});
+    Chains[CA].insert(Chains[CA].end(), Chains[CB].begin(),
+                      Chains[CB].end());
+    ChainWeight[CA] += ChainWeight[CB] + A.Weight;
+    for (uint32_t Fid : Chains[CB])
+      ChainOf[Fid] = CA;
+    Chains[CB].clear();
+  }
+
+  // Emit: entry chain first, then by total weight descending, minimum
+  // function id ascending.
+  struct ChainRef {
+    double Weight;
+    uint32_t MinFid;
+    const std::vector<uint32_t> *Funcs;
+    bool IsEntry;
+  };
+  std::vector<ChainRef> Live;
+  for (size_t C = 0; C < Chains.size(); ++C) {
+    if (Chains[C].empty())
+      continue;
+    uint32_t MinFid = *std::min_element(Chains[C].begin(), Chains[C].end());
+    bool IsEntry = ChainOf[EntryFid] == static_cast<int>(C);
+    Live.push_back({ChainWeight[C], MinFid, &Chains[C], IsEntry});
+  }
+  std::stable_sort(Live.begin(), Live.end(),
+                   [](const ChainRef &A, const ChainRef &B) {
+                     if (A.IsEntry != B.IsEntry)
+                       return A.IsEntry;
+                     if (A.Weight != B.Weight)
+                       return A.Weight > B.Weight;
+                     return A.MinFid < B.MinFid;
+                   });
+
+  // Defined functions fill the identity positions of defined functions,
+  // in chain order; builtins/undefined functions are fixed points.
+  std::vector<uint32_t> DefinedSlots;
+  for (uint32_t Fid = 0; Fid < N; ++Fid)
+    if (isPlaceable(Unit.Functions[Fid]))
+      DefinedSlots.push_back(Fid);
+  size_t Slot = 0;
+  for (const ChainRef &C : Live)
+    for (uint32_t Fid : *C.Funcs)
+      FO.Order[DefinedSlots[Slot++]] = Fid;
+  for (uint32_t P = 0; P < N; ++P)
+    FO.Pos[FO.Order[P]] = P;
+  FO.NumChains = static_cast<uint32_t>(Live.size());
+
+  obs::counterAdd("opt.funcorder.functions", DefinedSlots.size());
+  obs::counterAdd("opt.funcorder.chains", Live.size());
+  if (!FO.isIdentity())
+    obs::counterAdd("opt.funcorder.reordered_programs");
+  return FO;
+}
+
+double opt::functionOrderCost(const TranslationUnit &Unit,
+                              const CallGraph &CG, const WeightSource &W,
+                              const FunctionOrder &FO,
+                              const FuncOrderOptions &Options) {
+  if (FO.Order.empty())
+    return 0.0;
+  std::vector<uint32_t> Rank = definedRanks(CG, FO, Unit);
+  double Cost = 0.0;
+  for (const CallSiteInfo &S : CG.sites()) {
+    if (S.isIndirect() || !isPlaceable(S.Caller) || !isPlaceable(S.Callee))
+      continue;
+    double Wt = W.callSiteWeight(S.CallSiteId);
+    if (Wt <= 0.0)
+      continue;
+    uint32_t CallerFid = S.Caller->functionId();
+    uint32_t CalleeFid = S.Callee->functionId();
+    if (CallerFid >= Rank.size() || CalleeFid >= Rank.size() ||
+        Rank[CallerFid] == UINT32_MAX || Rank[CalleeFid] == UINT32_MAX)
+      continue;
+    double Dist = std::abs(static_cast<double>(Rank[CallerFid]) -
+                           static_cast<double>(Rank[CalleeFid]));
+    double Penalty = Dist > 1.0 ? Dist - 1.0 : 0.0;
+    Cost += Wt * Options.DistanceCost * Penalty;
+  }
+  return Cost;
+}
+
+double opt::functionOrderOverlap(const TranslationUnit &Unit,
+                                 const FunctionOrder &A,
+                                 const FunctionOrder &B) {
+  auto AdjacentPairs = [&Unit](const FunctionOrder &FO) {
+    std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+    std::vector<uint32_t> Defined;
+    for (uint32_t Fid : FO.Order)
+      if (Fid < Unit.Functions.size() &&
+          isPlaceable(Unit.Functions[Fid]))
+        Defined.push_back(Fid);
+    for (size_t I = 0; I + 1 < Defined.size(); ++I) {
+      uint32_t X = Defined[I], Y = Defined[I + 1];
+      Pairs.emplace_back(std::min(X, Y), std::max(X, Y));
+    }
+    std::sort(Pairs.begin(), Pairs.end());
+    return Pairs;
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> PA = AdjacentPairs(A),
+                                             PB = AdjacentPairs(B);
+  if (PA.empty() && PB.empty())
+    return 1.0;
+  std::vector<std::pair<uint32_t, uint32_t>> Inter, Uni;
+  std::set_intersection(PA.begin(), PA.end(), PB.begin(), PB.end(),
+                        std::back_inserter(Inter));
+  std::set_union(PA.begin(), PA.end(), PB.begin(), PB.end(),
+                 std::back_inserter(Uni));
+  return Uni.empty() ? 1.0
+                     : static_cast<double>(Inter.size()) /
+                           static_cast<double>(Uni.size());
+}

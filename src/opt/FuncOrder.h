@@ -1,0 +1,98 @@
+//===- opt/FuncOrder.h - Function ordering by call arcs ---------*- C++ -*-===//
+//
+// Part of the static-estimators project. See README.md for license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pettis–Hansen-style procedure ordering — the other half of the layout
+/// story: chain *functions* along their hottest call-graph arcs so a hot
+/// caller and its hot callee land adjacent in the program image. The pass
+/// consumes the same WeightSource as block layout, so it runs unchanged
+/// from static estimates or measured profiles.
+///
+/// The interpreters do not model instruction placement across functions,
+/// so the pass is scored by an explicit locality cost: every direct call
+/// pays its weight times the order-distance between caller and callee
+/// (adjacent functions pay nothing). The cost is an analytic stand-in
+/// for the i-cache/TLB working-set effect the original paper's linker
+/// pass targeted; only relative comparisons between orders are
+/// meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPT_FUNCORDER_H
+#define OPT_FUNCORDER_H
+
+#include "callgraph/CallGraph.h"
+#include "lang/Ast.h"
+#include "opt/WeightSource.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace sest {
+namespace opt {
+
+/// Function-ordering knobs.
+struct FuncOrderOptions {
+  /// Locality cost charged per unit of call weight per unit of
+  /// order-distance beyond adjacency (see functionOrderCost).
+  double DistanceCost = 1.0;
+};
+
+/// A whole-program function order over function ids. Builtins and
+/// undefined functions keep their identity positions: only defined
+/// functions are reordered (they are the only ones with a body to
+/// place).
+struct FunctionOrder {
+  /// Position -> function id (a permutation of 0..NumFunctions-1).
+  std::vector<uint32_t> Order;
+  /// Function id -> position (inverse of Order).
+  std::vector<uint32_t> Pos;
+  /// Number of chains the defined functions were grouped into.
+  uint32_t NumChains = 0;
+
+  bool isIdentity() const {
+    for (uint32_t I = 0; I < Order.size(); ++I)
+      if (Order[I] != I)
+        return false;
+    return true;
+  }
+};
+
+/// Greedy call-arc chaining over defined functions: merge direct
+/// caller→callee arcs hottest-first when the caller is a chain tail and
+/// the callee a chain head (never the entry function), exactly the
+/// block-chaining discipline lifted to the call graph. Chains are
+/// emitted entry-function chain first, then by total weight descending
+/// (minimum function id ascending on ties). Deterministic for identical
+/// weights.
+FunctionOrder computeFunctionOrder(const TranslationUnit &Unit,
+                                   const CallGraph &CG,
+                                   const WeightSource &W);
+
+/// The identity order (functions in id order).
+FunctionOrder identityFunctionOrder(const TranslationUnit &Unit);
+
+/// Locality cost of \p FO under \p W: for every direct call site with
+/// positive weight between defined functions, weight × DistanceCost ×
+/// (|rank(caller) − rank(callee)| − 1), clamped at zero — adjacent (and
+/// self) calls are free. Ranks count defined functions only (builtins
+/// and undefined functions carry no code). Omitted (-1) sites contribute
+/// nothing. This is the scalar the tuner's function-ordering dimension
+/// moves.
+double functionOrderCost(const TranslationUnit &Unit, const CallGraph &CG,
+                         const WeightSource &W, const FunctionOrder &FO,
+                         const FuncOrderOptions &Options = {});
+
+/// The adjacency agreement of two orders: |adjacent unordered function
+/// pairs in both| / |union|, over defined functions. 1.0 when both
+/// orders have fewer than two defined functions.
+double functionOrderOverlap(const TranslationUnit &Unit,
+                            const FunctionOrder &A, const FunctionOrder &B);
+
+} // namespace opt
+} // namespace sest
+
+#endif // OPT_FUNCORDER_H

@@ -267,6 +267,29 @@ OptProgramReport scoreProgram(const CompiledSuiteProgram &CSP,
       R.Native =
           measureNative(Unit, *CSP.Cfgs, CSP.Spec->Inputs[EvalIdx],
                         Layouts[0], R.Layout[0].Cost, RunOpts);
+
+    // Function ordering (the Pettis–Hansen second half): each source
+    // computes its order, all orders are costed under the held-out
+    // evaluation profile's call-site counts.
+    const WeightSource WEval =
+        weightsFromProfile(Unit, CSP.Profiles[EvalIdx], "eval");
+    R.FuncOrderIdentityCost =
+        functionOrderCost(Unit, *CSP.CG, WEval, identityFunctionOrder(Unit));
+    FunctionOrder Orders[3];
+    for (int S = 0; S < 3; ++S) {
+      Orders[S] = computeFunctionOrder(Unit, *CSP.CG, *Sources[S]);
+      FuncOrderSourceResult FR;
+      FR.Source = Sources[S]->Origin;
+      FR.Cost = functionOrderCost(Unit, *CSP.CG, WEval, Orders[S]);
+      FR.Reduction = R.FuncOrderIdentityCost > 0
+                         ? (R.FuncOrderIdentityCost - FR.Cost) /
+                               R.FuncOrderIdentityCost
+                         : 0.0;
+      FR.NumChains = Orders[S].NumChains;
+      FR.Reordered = !Orders[S].isIdentity();
+      R.FuncOrder.push_back(std::move(FR));
+    }
+    R.FuncOrderOverlap = functionOrderOverlap(Unit, Orders[0], Orders[1]);
   }
 
   if (DoInline) {
@@ -370,6 +393,7 @@ OptSuiteReport sest::opt::computeOptReport(
 
   // Suite aggregation.
   size_t JaccardCount = 0;
+  size_t FuncOrderCount = 0;
   for (const OptProgramReport &P : Report.Programs) {
     if (!P.Ok)
       continue;
@@ -391,9 +415,27 @@ OptSuiteReport sest::opt::computeOptReport(
       Report.MeanInlineJaccard += P.InlineJaccard;
       ++JaccardCount;
     }
+    for (const FuncOrderSourceResult &F : P.FuncOrder) {
+      const double Delta = P.FuncOrderIdentityCost - F.Cost;
+      if (F.Source == "static")
+        Report.StaticFuncOrderReduction += Delta;
+      else if (F.Source == "profile")
+        Report.ProfileFuncOrderReduction += Delta;
+    }
+    if (!P.FuncOrder.empty()) {
+      Report.MeanFuncOrderOverlap += P.FuncOrderOverlap;
+      ++FuncOrderCount;
+    }
   }
   if (JaccardCount)
     Report.MeanInlineJaccard /= static_cast<double>(JaccardCount);
+  if (FuncOrderCount)
+    Report.MeanFuncOrderOverlap /= static_cast<double>(FuncOrderCount);
+  if (Report.ProfileFuncOrderReduction > 0)
+    Report.FuncOrderRecovery = Report.StaticFuncOrderReduction /
+                               Report.ProfileFuncOrderReduction;
+  else
+    Report.FuncOrderRecovery = 1.0;
   if (Report.ProfileTotalReduction > 0)
     Report.StaticRecoveryRatio =
         Report.StaticTotalReduction / Report.ProfileTotalReduction;
@@ -452,6 +494,21 @@ std::string sest::opt::optReportJson(const OptSuiteReport &Report,
       W.endArray();
       W.member("static_vs_profile_pair_overlap", P.LayoutPairOverlap);
       W.member("vm_crosscheck_ok", P.VmCrossCheckOk);
+      W.endObject();
+      W.key("func_order").beginObject();
+      W.member("identity_cost", P.FuncOrderIdentityCost);
+      W.key("sources").beginArray();
+      for (const FuncOrderSourceResult &F : P.FuncOrder) {
+        W.beginObject();
+        W.member("source", F.Source);
+        W.member("cost", F.Cost);
+        W.member("reduction", F.Reduction);
+        W.member("chains", F.NumChains);
+        W.member("reordered", F.Reordered);
+        W.endObject();
+      }
+      W.endArray();
+      W.member("static_vs_profile_adjacency", P.FuncOrderOverlap);
       W.endObject();
       W.key("hints").beginObject();
       W.member("static_never_taken", P.StaticNeverTaken);
@@ -516,6 +573,12 @@ std::string sest::opt::optReportJson(const OptSuiteReport &Report,
     W.member("recovery_floor", Options.StaticRecoveryFloor);
     W.member("meets_floor", Report.MeetsRecoveryFloor);
     W.member("all_crosschecks_ok", Report.AllCrossChecksOk);
+    W.endObject();
+    W.key("func_order").beginObject();
+    W.member("static_reduction", Report.StaticFuncOrderReduction);
+    W.member("profile_reduction", Report.ProfileFuncOrderReduction);
+    W.member("static_recovery", Report.FuncOrderRecovery);
+    W.member("mean_adjacency", Report.MeanFuncOrderOverlap);
     W.endObject();
   }
   if (DoInline) {

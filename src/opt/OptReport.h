@@ -25,6 +25,7 @@
 
 #include "estimators/Pipeline.h"
 #include "interp/Interp.h"
+#include "opt/FuncOrder.h"
 #include "opt/Inline.h"
 #include "opt/Layout.h"
 #include "opt/WeightSource.h"
@@ -82,6 +83,18 @@ struct InlineSourceResult {
   uint64_t CallsRemoved = 0;  ///< Dynamic calls removed on eval input.
 };
 
+/// One weight source's function-ordering outcome on one program. Every
+/// source's order is costed under the held-out evaluation profile's
+/// call-site counts (functionOrderCost), so the comparison is
+/// apples-to-apples with the layout scoring discipline.
+struct FuncOrderSourceResult {
+  std::string Source;
+  double Cost = 0.0;      ///< Locality cost under eval-input weights.
+  double Reduction = 0.0; ///< (identity - cost) / identity.
+  uint32_t NumChains = 0;
+  bool Reordered = false; ///< Order differs from identity.
+};
+
 /// Native-tier measurement for one program (MeasureNative only): the
 /// static-weight layout plan, compiled layout-true into a real binary
 /// and raced against the identity-layout binary on the evaluation
@@ -119,6 +132,12 @@ struct OptProgramReport {
   std::vector<InlineSourceResult> Inline;
   /// Jaccard overlap of static vs profile applied inline site sets.
   double InlineJaccard = 0.0;
+  /// Function ordering (the Pettis–Hansen second half), scored like
+  /// layout: identity-order locality cost on the evaluation input, one
+  /// result per weight source, and static-vs-profile adjacency overlap.
+  double FuncOrderIdentityCost = 0.0;
+  std::vector<FuncOrderSourceResult> FuncOrder;
+  double FuncOrderOverlap = 0.0;
   /// Branch hints: never-predicted-taken arc agreement (Jaccard).
   uint64_t StaticNeverTaken = 0;
   uint64_t ProfileNeverTaken = 0;
@@ -141,6 +160,13 @@ struct OptSuiteReport {
   bool AllInlineVerified = true;
   bool AllCrossChecksOk = true;
   double MeanInlineJaccard = 0.0;
+  // Function-ordering totals (same discipline as the layout totals).
+  double StaticFuncOrderReduction = 0.0;
+  double ProfileFuncOrderReduction = 0.0;
+  /// StaticFuncOrderReduction / ProfileFuncOrderReduction (1.0 when the
+  /// profile-driven order found nothing to improve).
+  double FuncOrderRecovery = 1.0;
+  double MeanFuncOrderOverlap = 0.0;
 };
 
 /// Scores the passes over compiled-and-profiled programs (skipping

@@ -22,6 +22,7 @@
 #include "support/Diagnostics.h"
 #include "support/Hash.h"
 #include "support/Json.h"
+#include "tune/Tune.h"
 
 #include <atomic>
 #include <chrono>
@@ -135,9 +136,11 @@ struct Request {
   RequestOptions Opts;
   bool Blocks = false;      ///< estimate: include per-block estimates
   std::string Passes = "all"; ///< optimize: layout | inline | all
-  std::string Input;        ///< report: bytes the program reads
-  uint64_t Seed = 1;        ///< report: rand() seed
+  std::string Input;        ///< report/tune: bytes the program reads
+  uint64_t Seed = 1;        ///< report: rand() seed; tune: search seed
   std::string Engine = "ast"; ///< report: ast | bytecode | native
+  uint32_t Budget = 8;      ///< tune: configs evaluated per oracle
+  std::string Oracles = "static,profile"; ///< tune: comma-separated
   std::string Scope = "live"; ///< metrics: live | deterministic
   std::string Error;        ///< non-empty -> ok:false response
   /// Intake ordinal: span provenance ("req:<N>"), assigned in request
@@ -244,7 +247,8 @@ Request parseRequest(const std::string &Line) {
     R.Id = Id->NumberVal;
   }
   bool NeedsSource = R.Op == "parse" || R.Op == "estimate" ||
-                     R.Op == "optimize" || R.Op == "report";
+                     R.Op == "optimize" || R.Op == "report" ||
+                     R.Op == "tune";
   if (!NeedsSource) {
     if (R.Op == "metrics") {
       if (const JsonValue *S = Doc->find("scope")) {
@@ -297,6 +301,40 @@ Request parseRequest(const std::string &Line) {
       return R;
     }
     R.Engine = E->StringVal;
+  }
+  if (R.Op == "tune") {
+    // The tuner executes the program itself, so the native engine's
+    // separate artifact path does not apply.
+    if (R.Engine == "native") {
+      R.Error = "tune engine must be 'ast' or 'bytecode'";
+      return R;
+    }
+    if (const JsonValue *B = Doc->find("budget")) {
+      if (!B->isNumber() || B->NumberVal < 1.0) {
+        R.Error = "budget must be a number >= 1";
+        return R;
+      }
+      R.Budget = static_cast<uint32_t>(B->NumberVal);
+    }
+    if (const JsonValue *O = Doc->find("oracles")) {
+      if (!O->isString()) {
+        R.Error = "'oracles' must be a comma-separated string";
+        return R;
+      }
+      R.Oracles = O->StringVal;
+    }
+    std::string Rest = R.Oracles;
+    while (!Rest.empty()) {
+      size_t Comma = Rest.find(',');
+      std::string Name = Rest.substr(0, Comma);
+      Rest = Comma == std::string::npos ? "" : Rest.substr(Comma + 1);
+      tune::TuneOracle Oracle;
+      if (!tune::parseTuneOracle(Name, Oracle)) {
+        R.Error = "unknown oracle '" + Name +
+                  "' (expected static|profile|measured)";
+        return R;
+      }
+    }
   }
   return R;
 }
@@ -712,8 +750,33 @@ uint64_t responseKey(const Request &R) {
       .add(R.Passes)
       .add(R.Input)
       .addU64(R.Seed)
-      .add(R.Engine);
+      .add(R.Engine)
+      .addU64(R.Budget)
+      .add(R.Oracles);
   return H.digest();
+}
+
+/// The `tune` result: the full sest-tune-report/1 document for the
+/// request's source, as produced by the autotuner over a synthesized
+/// train/eval input pair (tune::tuneSource). Deterministic — same
+/// source + knobs -> same bytes — so it lives in the plan tier under
+/// its own key domain.
+std::string tuneResultJson(const Request &R) {
+  tune::TuneOptions O;
+  O.Budget = R.Budget;
+  O.Seed = R.Seed;
+  O.Engine = R.Engine == "bytecode" ? InterpEngine::Bytecode
+                                    : InterpEngine::Ast;
+  O.Oracles.clear();
+  std::string Rest = R.Oracles;
+  while (!Rest.empty()) {
+    size_t Comma = Rest.find(',');
+    tune::TuneOracle Oracle;
+    if (tune::parseTuneOracle(Rest.substr(0, Comma), Oracle))
+      O.Oracles.push_back(Oracle);
+    Rest = Comma == std::string::npos ? "" : Rest.substr(Comma + 1);
+  }
+  return tune::tuneSource(R.Source, R.Input, O);
 }
 
 /// Computes the response body for one cacheable op (parse / estimate /
@@ -730,6 +793,31 @@ ResponseBody buildBody(CacheSet &Caches, const Request &R) {
   if (R.Op == "parse") {
     Body.Ok = true;
     Body.ResultJson = parseResultJson(*Cfg);
+    return Body;
+  }
+  if (R.Op == "tune") {
+    // Tune reports share the plan tier (they are optimizer decision
+    // documents too) under their own key domain.
+    uint64_t TuneKey = HashBuilder("tune")
+                           .add(R.Source)
+                           .add(R.Input)
+                           .addU64(R.Seed)
+                           .addU64(R.Budget)
+                           .add(R.Oracles)
+                           .add(R.Engine)
+                           .digest();
+    std::shared_ptr<const std::string> Doc =
+        Caches.Plan.getAs<std::string>(TuneKey);
+    if (Doc) {
+      logCacheEvent(R, "plan", true);
+    } else {
+      obs::ScopedPhase Phase("service.build.tune");
+      Doc = std::make_shared<const std::string>(tuneResultJson(R));
+      logCacheEvent(R, "plan", false, Doc->size());
+      Caches.Plan.put(TuneKey, Doc, sizeof(std::string) + Doc->size());
+    }
+    Body.Ok = true;
+    Body.ResultJson = *Doc;
     return Body;
   }
   std::shared_ptr<const BranchArtifact> Branch =

@@ -19,6 +19,9 @@
 ///   {"op":"optimize", "source":"...", ["passes":"layout|inline|all"]}
 ///   {"op":"report",   "source":"...", ["input":"...", "seed":N,
 ///                                       "engine":"ast|bytecode|native"]}
+///   {"op":"tune",     "source":"...", ["input":"...", "budget":N,
+///                                       "seed":N, "oracles":"static,...",
+///                                       "engine":"ast|bytecode"]}
 ///   {"op":"stats"}          -> live telemetry + cache counters
 ///   {"op":"metrics"}        -> Prometheus text exposition
 ///                              (["scope":"live"|"deterministic"])
@@ -37,7 +40,8 @@
 ///   cfg       CFGs + call graph (co-owns its AST entry)
 ///   branch    branch-prediction tables
 ///   solve     sparse-Markov solve results (whole ProgramEstimates)
-///   plan      optimizer plans (layout / hints / inline selection)
+///   plan      optimizer plans (layout / hints / inline selection) and
+///             tune reports (autotuner runs, own key domain)
 ///   native    loaded compile-to-C artifacts for engine:"native" reports
 ///             (compile failures are cached too — rejecting is as
 ///             deterministic as accepting)

@@ -233,6 +233,41 @@ TEST(Service, WarmResponsesAreByteIdentical) {
   EXPECT_GT(S.caches().Response.stats().Hits, 0u);
 }
 
+/// The `tune` verb: cold, warm, and across job counts the report must
+/// be byte-identical, and a warm replay must hit the plan tier (where
+/// tune documents live under their own key domain).
+TEST(Service, TuneVerbIsByteIdenticalColdWarmAndAcrossJobs) {
+  std::string Req = std::string("{\"op\":\"tune\",\"source\":\"") +
+                    jsonEscape(SourceA) +
+                    "\",\"input\":\"12\",\"budget\":3}";
+  Service S;
+  std::string Cold = S.handle(Req);
+  EXPECT_NE(Cold.find("\"ok\":true"), std::string::npos) << Cold;
+  EXPECT_NE(Cold.find("sest-tune-report/1"), std::string::npos);
+  uint64_t PlanHitsBefore = S.caches().Plan.stats().Hits;
+  std::string Warm = S.handle(Req);
+  EXPECT_EQ(Cold, Warm);
+  // Warm was served from a tier (response or plan), not recomputed.
+  EXPECT_GT(S.caches().Response.stats().Hits +
+                S.caches().Plan.stats().Hits,
+            PlanHitsBefore);
+
+  ServiceOptions O8;
+  O8.Jobs = 8;
+  Service S8(O8);
+  EXPECT_EQ(S8.handle(Req), Cold);
+
+  // Unknown oracles and a native engine are rejected cleanly.
+  EXPECT_NE(S.handle(std::string("{\"op\":\"tune\",\"source\":\"") +
+                     jsonEscape(SourceA) + "\",\"oracles\":\"bogus\"}")
+                .find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(S.handle(std::string("{\"op\":\"tune\",\"source\":\"") +
+                     jsonEscape(SourceA) + "\",\"engine\":\"native\"}")
+                .find("\"ok\":false"),
+            std::string::npos);
+}
+
 std::string reportRequest(const char *Source, const std::string &Engine) {
   std::string R = std::string("{\"op\":\"report\",\"source\":\"") +
                   jsonEscape(Source) + "\",\"input\":\"12\"";

@@ -20,7 +20,8 @@ string(APPEND REQS "{\"id\":3,\"op\":\"estimate\",\"source\":\"${SRC_A}\",\"opti
 string(APPEND REQS "{\"id\":4,\"op\":\"estimate\",\"source\":\"${SRC_B}\"}\n")
 string(APPEND REQS "{\"id\":5,\"op\":\"optimize\",\"source\":\"${SRC_A}\",\"passes\":\"all\"}\n")
 string(APPEND REQS "{\"id\":6,\"op\":\"report\",\"source\":\"${SRC_A}\",\"input\":\"12\"}\n")
-string(APPEND REQS "{\"id\":7,\"op\":\"estimate\",\"source\":\"does not parse(\"}\n")
+string(APPEND REQS "{\"id\":7,\"op\":\"tune\",\"source\":\"${SRC_A}\",\"input\":\"12\",\"budget\":3}\n")
+string(APPEND REQS "{\"id\":8,\"op\":\"estimate\",\"source\":\"does not parse(\"}\n")
 
 file(WRITE ${WORKDIR}/sestd_reqs.jsonl "${REQS}")
 file(WRITE ${WORKDIR}/sestd_reqs2x.jsonl "${REQS}${REQS}")
@@ -46,22 +47,25 @@ run_sestd(${WORKDIR}/sestd_twice_nocache.out ${WORKDIR}/sestd_reqs2x.jsonl
 run_sestd(${WORKDIR}/sestd_twice_tiny.out ${WORKDIR}/sestd_reqs2x.jsonl
           --cache-bytes 8192 --cache-shards 1)
 
-# Requests 1-6 must succeed; request 7 must fail cleanly.
+# Requests 1-7 must succeed; request 8 must fail cleanly.
 file(STRINGS ${WORKDIR}/sestd_once.out LINES)
 list(LENGTH LINES NLINES)
-if(NOT NLINES EQUAL 7)
-  message(FATAL_ERROR "expected 7 responses, got ${NLINES}")
+if(NOT NLINES EQUAL 8)
+  message(FATAL_ERROR "expected 8 responses, got ${NLINES}")
 endif()
 set(I 0)
 foreach(LINE ${LINES})
   math(EXPR I "${I} + 1")
-  if(I LESS 7)
+  if(I LESS 8)
     if(NOT LINE MATCHES "\"ok\":true")
       message(FATAL_ERROR "response ${I} not ok: ${LINE}")
     endif()
+    if(I EQUAL 7 AND NOT LINE MATCHES "sest-tune-report/1")
+      message(FATAL_ERROR "tune response missing its report: ${LINE}")
+    endif()
   else()
     if(NOT LINE MATCHES "\"ok\":false.*does not parse")
-      message(FATAL_ERROR "response 7 should report a parse error: ${LINE}")
+      message(FATAL_ERROR "response 8 should report a parse error: ${LINE}")
     endif()
   endif()
   if(NOT LINE MATCHES "\"program_hash\":\"[0-9a-f]+\"")

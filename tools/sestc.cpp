@@ -43,6 +43,7 @@
 #include "obs/EventLog.h"
 #include "obs/Export.h"
 #include "opt/OptReport.h"
+#include "opt/Pass.h"
 #include "obs/Telemetry.h"
 #include "profile/Profile.h"
 #include "suite/SuiteRunner.h"
@@ -84,6 +85,12 @@ const OptionSpec OptionTable[] = {
     {"--suite", nullptr, "compile and profile the built-in benchmark suite"},
     {"--optimize", "layout|inline|all",
      "run the estimate-driven optimizer passes"},
+    {"--pass-order", "LIST",
+     "single-file optimize: custom pass pipeline, comma-separated "
+     "(layout,inline,funcorder)"},
+    {"--tune-config", "FILE",
+     "single-file optimize: replay a sest-tune-config/1 (e.g. a sestune "
+     "winner)"},
     {"--weights", "static|profile",
      "weight source for single-file --optimize (default static)"},
     {"--opt-report", "FILE", "with --suite: write sest-opt-report/1 JSON"},
@@ -232,6 +239,8 @@ struct Options {
   std::string NativeDiffFile;
   std::string DumpSuiteProgram;
   std::string WeightsSource = "static";
+  std::string PassOrder;
+  std::string TuneConfigFile;
   opt::OptPassSet Optimize = opt::OptPassSet::All;
   bool HasOptimize = false;
   bool NativeTiming = false;
@@ -323,6 +332,12 @@ Options parseArgs(int argc, char **argv) {
         O.Optimize = opt::OptPassSet::All;
       else
         usage();
+      O.HasOptimize = true;
+    } else if (A == "--pass-order") {
+      O.PassOrder = Next();
+      O.HasOptimize = true;
+    } else if (A == "--tune-config") {
+      O.TuneConfigFile = Next();
       O.HasOptimize = true;
     } else if (A == "--weights") {
       std::string V = Next();
@@ -468,45 +483,32 @@ int runValidateJson(const std::string &Path) {
   return 0;
 }
 
-/// Single-file --optimize: print the optimizer's decisions under the
-/// chosen weight source (--weights static|profile), apply them, and
-/// verify/score against the identity-layout baseline run.
-int runOptimize(const Options &O, AstContext &Ctx, CfgModule &Cfgs,
-                const CallGraph &CG, const ProgramEstimate &E) {
-  const TranslationUnit &Unit = Ctx.unit();
+/// Live state for the single-file optimize pass observer: everything the
+/// per-pass printer needs beyond the PassContext itself.
+struct OptimizePrintState {
+  const RunResult *Base = nullptr;
   ProgramInput In;
-  In.Text = O.Input;
-  In.RandSeed = O.Seed;
   InterpOptions Interp;
-  Interp.Engine = O.Engine;
-
-  // The identity-layout baseline: the cost yardstick, the profile
-  // behind --weights profile, and the inliner's differential reference.
-  RunResult Base = runProgram(Unit, Cfgs, In, Interp);
-  if (!Base.Ok) {
-    out("sestc: baseline run failed: " + Base.Error + "\n");
-    return 1;
-  }
-  const double IdentityCost = Base.LayoutCost.cost();
-
-  opt::WeightSource W =
-      O.WeightsSource == "profile"
-          ? opt::weightsFromProfile(Unit, Base.TheProfile)
-          : opt::weightsFromEstimate(Unit, Cfgs, E, O.Est);
-  out("Optimizer pass set '" +
-      std::string(opt::optPassSetName(O.Optimize)) + "' with " +
-      W.Origin + " weights:\n");
+  double IdentityCost = 0.0;
   int Rc = 0;
+};
 
-  if (O.Optimize != opt::OptPassSet::Inline) {
-    opt::ProgramLayout PL = opt::computeBlockLayout(Unit, Cfgs, W);
+/// Pipeline observer: prints each pass's decisions at the moment the
+/// pass completes — layout on whatever CFG the pass saw, inlining with
+/// its differential verification, function order with its locality cost.
+void printOptimizePass(const opt::Pass &P, const opt::PassContext &PC,
+                       void *StateV) {
+  OptimizePrintState &St = *static_cast<OptimizePrintState *>(StateV);
+  const TranslationUnit &Unit = PC.Unit;
+  switch (P.kind()) {
+  case opt::PassKind::Layout: {
     out("\n-- block layout (| marks the cold-outline boundary) --\n");
     TextTable T;
     T.setHeader({"Function", "Order", "Chains", "Cold"});
     for (const FunctionDecl *F : Unit.Functions) {
       if (!F->isDefined())
         continue;
-      const opt::FunctionLayout &FL = PL.Functions[F->functionId()];
+      const opt::FunctionLayout &FL = PC.Layout.Functions[F->functionId()];
       if (FL.Order.empty() ||
           (FL.isIdentity() && FL.FirstColdPos == FL.Order.size()))
         continue;
@@ -522,54 +524,191 @@ int runOptimize(const Options &O, AstContext &Ctx, CfgModule &Cfgs,
                 std::to_string(FL.Order.size() - FL.FirstColdPos)});
     }
     out(T.str());
-    const ProgramBlockOrder Order = PL.blockOrder();
-    const LayoutCostCounters C = opt::reclassifyLayoutCost(
-        Unit, Cfgs, Base.TheProfile, &Order, Base.LayoutCost);
-    const double Saved =
-        IdentityCost > 0 ? (IdentityCost - C.cost()) / IdentityCost : 0.0;
-    out("layout cost on this input: " + formatDouble(C.cost(), 0) +
-        " vs identity " + formatDouble(IdentityCost, 0) + " (" +
-        formatPercent(Saved) + " saved)\n");
+    if (!PC.HasInline) {
+      // The CFG still matches the baseline profile: reclassify the real
+      // counters under the new order.
+      const ProgramBlockOrder Order = PC.Layout.blockOrder();
+      const LayoutCostCounters C = opt::reclassifyLayoutCost(
+          Unit, PC.Cfgs, St.Base->TheProfile, &Order, St.Base->LayoutCost);
+      const double Saved = St.IdentityCost > 0
+                               ? (St.IdentityCost - C.cost()) /
+                                     St.IdentityCost
+                               : 0.0;
+      out("layout cost on this input: " + formatDouble(C.cost(), 0) +
+          " vs identity " + formatDouble(St.IdentityCost, 0) + " (" +
+          formatPercent(Saved) + " saved)\n");
+    } else {
+      // Inlining already reshaped the CFG; the baseline profile no
+      // longer lines up block-for-block, so report the analytic
+      // prediction under the extended weights instead.
+      out("layout cost (predicted, post-inline weights): " +
+          formatDouble(opt::predictedLayoutCost(Unit, PC.Cfgs, PC.CG,
+                                                PC.W, &PC.Layout),
+                       0) +
+          "\n");
+    }
 
-    opt::BranchHints H = opt::computeBranchHints(Unit, Cfgs, W);
+    opt::BranchHints H = opt::computeBranchHints(Unit, PC.Cfgs, PC.W);
     out("never-predicted-taken arcs: " +
         std::to_string(H.NeverTaken.size()) + "\n");
     for (const opt::BranchHints::ColdArc &A : H.NeverTaken)
       out("  " + Unit.Functions[A.Fid]->name() + ": block " +
           std::to_string(A.Block) + " slot " + std::to_string(A.Slot) +
           "\n");
+    break;
+  }
+  case opt::PassKind::Inline: {
+    out("\n-- inlining --\n");
+    if (PC.LastInlinePlan.Sites.empty()) {
+      out("no call sites selected\n");
+      break;
+    }
+    TextTable T;
+    T.setHeader({"Site", "Caller", "Callee", "Line", "Weight"});
+    for (const opt::InlineDecision &D : PC.LastInlinePlan.Sites)
+      T.addRow({std::to_string(D.CallSiteId), D.Caller->name(),
+                D.Callee->name(), std::to_string(D.Site->loc().Line),
+                formatDouble(D.Weight, 3)});
+    out(T.str());
+    RunResult Inl = runProgram(Unit, PC.Cfgs, St.In, St.Interp);
+    opt::InlineVerifyResult V =
+        opt::compareInlinedRun(*St.Base, Inl, PC.Inlined);
+    if (!V.Match) {
+      out("inline verification FAILED: " + V.Detail + "\n");
+      St.Rc = 1;
+    } else {
+      out("inline verification: ok (output and mapped profile "
+          "identical)\n");
+      out("dynamic calls removed on this input: " +
+          std::to_string(St.Base->LayoutCost.Calls -
+                         Inl.LayoutCost.Calls) +
+          "; cost " + formatDouble(Inl.LayoutCost.cost(), 0) +
+          " vs identity " + formatDouble(St.IdentityCost, 0) + "\n");
+    }
+    break;
+  }
+  case opt::PassKind::FuncOrder: {
+    out("\n-- function order (call-arc chaining) --\n");
+    if (PC.FuncOrder.isIdentity()) {
+      out("identity order kept (" +
+          std::to_string(PC.FuncOrder.NumChains) + " chains)\n");
+    } else {
+      std::string OrderStr;
+      for (uint32_t Fid : PC.FuncOrder.Order) {
+        const FunctionDecl *F = Unit.Functions[Fid];
+        if (!F->isDefined() || F->isBuiltin())
+          continue;
+        if (!OrderStr.empty())
+          OrderStr += ' ';
+        OrderStr += F->name();
+      }
+      out("order: " + OrderStr + " (" +
+          std::to_string(PC.FuncOrder.NumChains) + " chains)\n");
+    }
+    const double Identity = opt::functionOrderCost(
+        Unit, PC.CG, PC.W, opt::identityFunctionOrder(Unit));
+    const double Cost =
+        opt::functionOrderCost(Unit, PC.CG, PC.W, PC.FuncOrder);
+    out("call locality cost: " + formatDouble(Cost, 0) +
+        " vs identity " + formatDouble(Identity, 0) + "\n");
+    break;
+  }
+  }
+}
+
+/// Single-file optimize: resolve the pass pipeline (--tune-config FILE >
+/// --pass-order LIST > the canned --optimize set), print each pass's
+/// decisions under the chosen weight source (--weights static|profile),
+/// apply them, and verify/score against the identity baseline run. The
+/// canned sets print bit-identically to the pre-pipeline plumbing.
+int runOptimize(const Options &O, AstContext &Ctx, CfgModule &Cfgs,
+                const CallGraph &CG, const ProgramEstimate &E) {
+  const TranslationUnit &Unit = Ctx.unit();
+
+  // Resolve the configuration first so a bad one fails before any run.
+  opt::TuneConfig Config;
+  bool Custom = true;
+  std::string Err;
+  if (!O.TuneConfigFile.empty()) {
+    if (!opt::TuneConfig::fromJson(readFile(O.TuneConfigFile), Config,
+                                   &Err)) {
+      out("sestc: bad tune config '" + O.TuneConfigFile + "': " + Err +
+          "\n");
+      return 1;
+    }
+    if (!O.PassOrder.empty() &&
+        !opt::TuneConfig::parseOrderString(O.PassOrder, Config.Order,
+                                           &Err)) {
+      out("sestc: bad --pass-order: " + Err + "\n");
+      return 1;
+    }
+  } else if (!O.PassOrder.empty()) {
+    if (!opt::TuneConfig::parseOrderString(O.PassOrder, Config.Order,
+                                           &Err)) {
+      out("sestc: bad --pass-order: " + Err + "\n");
+      return 1;
+    }
+  } else {
+    Custom = false;
+    opt::TuneConfig::canned(opt::optPassSetName(O.Optimize), Config);
   }
 
-  if (O.Optimize != opt::OptPassSet::Layout) {
-    opt::InlinePlan Plan = opt::planInlining(Unit, Cfgs, CG, W);
-    out("\n-- inlining --\n");
-    if (Plan.Sites.empty()) {
-      out("no call sites selected\n");
+  OptimizePrintState St;
+  St.In.Text = O.Input;
+  St.In.RandSeed = O.Seed;
+  St.Interp.Engine = O.Engine;
+
+  // The identity-layout baseline: the cost yardstick, the profile
+  // behind --weights profile, and the inliner's differential reference.
+  RunResult Base = runProgram(Unit, Cfgs, St.In, St.Interp);
+  if (!Base.Ok) {
+    out("sestc: baseline run failed: " + Base.Error + "\n");
+    return 1;
+  }
+  St.Base = &Base;
+  St.IdentityCost = Base.LayoutCost.cost();
+
+  opt::WeightSource W =
+      O.WeightsSource == "profile"
+          ? opt::weightsFromProfile(Unit, Base.TheProfile)
+          : opt::weightsFromEstimate(Unit, Cfgs, E, O.Est);
+  if (Custom)
+    out("Optimizer pipeline '" + Config.orderString() + "' with " +
+        W.Origin + " weights:\n");
+  else
+    out("Optimizer pass set '" +
+        std::string(opt::optPassSetName(O.Optimize)) + "' with " +
+        W.Origin + " weights:\n");
+
+  const opt::Pipeline Pipe(Config);
+  opt::PipelineResult PR = Pipe.run(Ctx, Cfgs, CG, std::move(W),
+                                    printOptimizePass, &St);
+
+  // Custom pipelines can sequence passes in any order; close with the
+  // whole-pipeline verification the per-pass sections cannot do.
+  if (Custom) {
+    ProgramBlockOrder Order;
+    InterpOptions Final = St.Interp;
+    if (PR.HasLayout) {
+      Order = PR.Layout.blockOrder();
+      Final.Layout = &Order;
+    }
+    const RunResult Tuned = runProgram(Unit, Cfgs, St.In, Final);
+    if (!Tuned.Ok) {
+      out("pipeline verification FAILED: " + Tuned.Error + "\n");
+      St.Rc = 1;
+    } else if (Tuned.Output != Base.Output ||
+               Tuned.ExitCode != Base.ExitCode) {
+      out("pipeline verification FAILED: output differs from the "
+          "identity baseline\n");
+      St.Rc = 1;
     } else {
-      TextTable T;
-      T.setHeader({"Site", "Caller", "Callee", "Line", "Weight"});
-      for (const opt::InlineDecision &D : Plan.Sites)
-        T.addRow({std::to_string(D.CallSiteId), D.Caller->name(),
-                  D.Callee->name(), std::to_string(D.Site->loc().Line),
-                  formatDouble(D.Weight, 3)});
-      out(T.str());
-      opt::InlineMap Map = opt::applyInlining(Ctx, Cfgs, Plan);
-      RunResult Inl = runProgram(Unit, Cfgs, In, Interp);
-      opt::InlineVerifyResult V = opt::compareInlinedRun(Base, Inl, Map);
-      if (!V.Match) {
-        out("inline verification FAILED: " + V.Detail + "\n");
-        Rc = 1;
-      } else {
-        out("inline verification: ok (output and mapped profile "
-            "identical)\n");
-        out("dynamic calls removed on this input: " +
-            std::to_string(Base.LayoutCost.Calls - Inl.LayoutCost.Calls) +
-            "; cost " + formatDouble(Inl.LayoutCost.cost(), 0) +
-            " vs identity " + formatDouble(IdentityCost, 0) + "\n");
-      }
+      out("\npipeline verification: ok; final cost on this input: " +
+          formatDouble(Tuned.LayoutCost.cost(), 0) + " vs identity " +
+          formatDouble(St.IdentityCost, 0) + "\n");
     }
   }
-  return Rc;
+  return St.Rc;
 }
 
 /// Bitwise profile identity (any drift between engines is a bug).
